@@ -1,0 +1,57 @@
+"""E1 — the demonstration scenario (Section III, Fig. 2).
+
+Reproduces the paper's demo result: the 8 SAQL queries deployed over the
+enterprise stream detect all five steps of the APT attack (each rule query
+fires on its step) and the three advanced anomaly queries flag the attack
+behaviour without attack knowledge.  The benchmark times the complete
+8-query run over one hour of monitoring data.
+"""
+
+from collections import Counter
+
+from benchmarks.conftest import fresh_stream, print_table
+from repro.core import ConcurrentQueryScheduler
+from repro.queries import DEMO_QUERIES, RULE_QUERY_NAMES, demo_query_names
+
+
+def _run_all_queries(events):
+    scheduler = ConcurrentQueryScheduler()
+    for name in demo_query_names():
+        scheduler.add_query(DEMO_QUERIES[name], name=name)
+    alerts = scheduler.execute(fresh_stream(events))
+    return scheduler, alerts
+
+
+def test_e1_apt_detection_coverage(benchmark, demo_stream):
+    """All 8 queries over the attack stream; verifies detection coverage."""
+    events = list(demo_stream)
+
+    scheduler, alerts = benchmark.pedantic(
+        lambda: _run_all_queries(events), rounds=3, iterations=1)
+
+    counts = Counter(alert.query_name for alert in alerts)
+    step_labels = {
+        "rule-c1-initial-compromise": "c1 initial compromise",
+        "rule-c2-malware-infection": "c2 malware infection",
+        "rule-c3-privilege-escalation": "c3 privilege escalation",
+        "rule-c4-penetration": "c4 penetration into DB server",
+        "rule-c5-data-exfiltration": "c5 data exfiltration",
+        "invariant-excel-children": "advanced: invariant (Excel children)",
+        "timeseries-network-spike": "advanced: time-series SMA",
+        "outlier-exfiltration": "advanced: outlier DBSCAN",
+    }
+    rows = [(step_labels[name], name,
+             "DETECTED" if counts.get(name) else "missed",
+             counts.get(name, 0))
+            for name in demo_query_names()]
+    print_table("E1: APT attack detection coverage (paper: all detected)",
+                ("attack behaviour", "query", "result", "alerts"), rows)
+    print(f"stream: {len(events)} events; "
+          f"{scheduler.stats.queries} queries in "
+          f"{scheduler.stats.groups} groups; {len(alerts)} alerts total")
+
+    # The paper's demo detects every step; the reproduction must as well.
+    for name in RULE_QUERY_NAMES:
+        assert counts.get(name), f"{name} failed to detect its attack step"
+    for name in demo_query_names():
+        assert counts.get(name, 0) >= 1

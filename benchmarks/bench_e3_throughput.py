@@ -1,0 +1,72 @@
+"""E3 — timely big-data analytics (Section I, challenge 2).
+
+The paper motivates SAQL with the volume of system monitoring data
+(~50 GB/day for 100 hosts) and the need for real-time analysis.  This
+benchmark measures the engine's single-query event throughput and how it
+scales with (a) the enterprise size (number of hosts) and (b) the stream
+density, using the stateful SMA query — the most demanding single-query
+code path (matching + windows + per-group aggregation).
+"""
+
+import time
+
+from benchmarks.conftest import fresh_stream, print_table
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.core import QueryEngine
+from repro.queries.demo_queries import (
+    rule_c5_data_exfiltration,
+    timeseries_network_spike,
+)
+
+
+def _events_for(extra_desktops, extra_web_servers, seed=7, duration=900.0):
+    enterprise = Enterprise(EnterpriseConfig(
+        seed=seed, extra_desktops=extra_desktops,
+        extra_web_servers=extra_web_servers))
+    return enterprise.background_events(0.0, duration)
+
+
+def _throughput(query_text, events):
+    engine = QueryEngine(query_text)
+    started = time.perf_counter()
+    engine.execute(fresh_stream(events))
+    elapsed = time.perf_counter() - started
+    return len(events) / elapsed if elapsed > 0 else float("inf")
+
+
+def test_e3_throughput_vs_enterprise_size(benchmark):
+    """Events/second of one stateful query as the host count grows."""
+    rows = []
+    sizes = [(0, 0), (4, 2), (12, 6)]
+    for extra_desktops, extra_web in sizes:
+        events = _events_for(extra_desktops, extra_web)
+        hosts = 4 + extra_desktops + extra_web
+        rate = _throughput(timeseries_network_spike(), events)
+        rows.append((hosts, len(events), f"{rate:,.0f}"))
+    print_table("E3a: stateful-query throughput vs enterprise size",
+                ("hosts", "events (15 min)", "events/second"), rows)
+    # Throughput should stay in the same order of magnitude as hosts grow
+    # (the engine is per-event; more hosts means more events, not slower
+    # per-event processing).
+    slowest = min(float(row[2].replace(",", "")) for row in rows)
+    fastest = max(float(row[2].replace(",", "")) for row in rows)
+    assert fastest / slowest < 20
+
+    baseline_events = _events_for(0, 0)
+    benchmark.pedantic(
+        lambda: QueryEngine(timeseries_network_spike()).execute(
+            fresh_stream(baseline_events)),
+        rounds=3, iterations=1)
+
+
+def test_e3_rule_vs_stateful_cost(db_server_events):
+    """Per-event cost of a rule query versus a stateful query."""
+    rows = []
+    for label, query in (("rule (Query 1)", rule_c5_data_exfiltration()),
+                         ("stateful SMA (Query 2)",
+                          timeseries_network_spike())):
+        rate = _throughput(query, db_server_events)
+        rows.append((label, f"{rate:,.0f}"))
+    print_table("E3b: per-query-class throughput (db-server stream)",
+                ("query class", "events/second"), rows)
+    assert all(float(row[1].replace(",", "")) > 1000 for row in rows)

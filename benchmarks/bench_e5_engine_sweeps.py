@@ -1,0 +1,111 @@
+"""E5 — engine-internals sweeps (Fig. 1 components).
+
+Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* window length sweep for the state maintainer (shorter windows mean more
+  window closings and state computations per event);
+* window-state history depth (``ss[k]``) sweep;
+* group-by cardinality sweep (how many peer groups the state maintainer
+  tracks per window);
+* multievent-matcher selectivity sweep (how much of the stream matches the
+  query's patterns).
+"""
+
+import time
+
+from benchmarks.conftest import fresh_stream, print_table
+from repro.core import QueryEngine
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+
+
+def _uniform_stream(groups=20, events_per_group=200, duration=1800.0):
+    events = []
+    procs = [ProcessEntity.make(f"svc{index}.exe", 100 + index,
+                                host="db-server")
+             for index in range(groups)]
+    conns = [NetworkEntity.make("10.0.1.30", f"10.0.2.{index}")
+             for index in range(groups)]
+    total = groups * events_per_group
+    for position in range(total):
+        group = position % groups
+        events.append(Event(
+            subject=procs[group], operation=Operation.WRITE,
+            obj=conns[group], timestamp=duration * position / total,
+            agentid="db-server", amount=10_000.0))
+    return events
+
+
+def _sma_query(window_seconds=600, history=3):
+    terms = " + ".join(f"ss[{index}].value" for index in range(history))
+    return (f"proc p write ip i as evt #time({window_seconds} s)\n"
+            f"state[{history}] ss {{\n"
+            f"  value := avg(evt.amount)\n"
+            f"}} group by p\n"
+            f"alert (ss[0].value > ({terms}) / {history}) && "
+            f"(ss[0].value > 1000000)\n"
+            f"return p, ss[0].value")
+
+
+def _timed_run(query_text, events):
+    engine = QueryEngine(query_text)
+    started = time.perf_counter()
+    engine.execute(fresh_stream(events))
+    return time.perf_counter() - started
+
+
+def test_e5_window_length_sweep(benchmark):
+    """Execution cost versus sliding-window length."""
+    events = _uniform_stream()
+    rows = []
+    for window_seconds in (30, 120, 600, 1800):
+        elapsed = _timed_run(_sma_query(window_seconds=window_seconds),
+                             events)
+        rows.append((window_seconds, f"{len(events) / elapsed:,.0f}"))
+    print_table("E5a: window length sweep (stateful query)",
+                ("window (s)", "events/second"), rows)
+    benchmark.pedantic(lambda: _timed_run(_sma_query(600), events),
+                       rounds=3, iterations=1)
+
+
+def test_e5_history_depth_sweep():
+    """Execution cost versus window-state history depth ``ss[k]``."""
+    events = _uniform_stream()
+    rows = []
+    for history in (1, 3, 6, 12):
+        elapsed = _timed_run(_sma_query(history=history), events)
+        rows.append((history, f"{len(events) / elapsed:,.0f}"))
+    print_table("E5b: state history depth sweep",
+                ("history (windows)", "events/second"), rows)
+
+
+def test_e5_group_cardinality_sweep():
+    """Execution cost versus number of per-window groups."""
+    rows = []
+    for groups in (5, 20, 80, 200):
+        events = _uniform_stream(groups=groups, events_per_group=40)
+        elapsed = _timed_run(_sma_query(), events)
+        rows.append((groups, len(events), f"{len(events) / elapsed:,.0f}"))
+    print_table("E5c: group-by cardinality sweep",
+                ("groups", "events", "events/second"), rows)
+
+
+def test_e5_matcher_selectivity_sweep():
+    """Execution cost versus the fraction of events that match the query."""
+    base_events = _uniform_stream(groups=10, events_per_group=300)
+    rows = []
+    for selective_prefix in ("svc0.exe", "svc%", "%"):
+        query = (f'proc p["{selective_prefix}"] write ip i as evt '
+                 f"#time(600 s)\n"
+                 f"state ss {{ value := sum(evt.amount) }} group by p\n"
+                 f"alert ss.value > 1000000000\nreturn p")
+        engine = QueryEngine(query)
+        started = time.perf_counter()
+        engine.execute(fresh_stream(base_events))
+        elapsed = time.perf_counter() - started
+        selectivity = engine.matcher.pattern_matcher.selectivity
+        rows.append((selective_prefix, f"{selectivity:.2f}",
+                     f"{len(base_events) / elapsed:,.0f}"))
+    print_table("E5d: multievent-matcher selectivity sweep",
+                ("subject pattern", "selectivity", "events/second"), rows)

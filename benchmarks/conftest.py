@@ -1,0 +1,62 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_eN_*`` module regenerates one experiment of EXPERIMENTS.md.
+Benchmarks print the table rows they reproduce (run pytest with ``-s`` to
+see them inline; the summary timings come from pytest-benchmark).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack import APTScenario
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.events.stream import ListStream
+
+#: Duration of the simulated background used by the detection benchmarks.
+BACKGROUND_SECONDS = 3600.0
+ATTACK_START = 1800.0
+
+
+def print_table(title, header, rows):
+    """Print one experiment's reproduced table."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(header[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    print(" | ".join(str(column).ljust(widths[i])
+                     for i, column in enumerate(header)))
+    print("-+-".join("-" * width for width in widths))
+    for row in rows:
+        print(" | ".join(str(column).ljust(widths[i])
+                         for i, column in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def enterprise():
+    """The simulated enterprise shared by all benchmarks."""
+    return Enterprise(EnterpriseConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def apt_scenario():
+    """The APT attack scenario used by the detection benchmarks."""
+    return APTScenario(start_time=ATTACK_START)
+
+
+@pytest.fixture(scope="session")
+def demo_stream(enterprise, apt_scenario):
+    """One hour of enterprise background with the attack injected."""
+    return enterprise.event_feed(0.0, BACKGROUND_SECONDS,
+                                 injected=apt_scenario.events())
+
+
+@pytest.fixture(scope="session")
+def db_server_events(enterprise):
+    """Thirty minutes of database-server background events (list form)."""
+    return enterprise.agent("db-server").generate_events(0.0, 1800.0)
+
+
+def fresh_stream(events):
+    """Wrap an already-sorted event list as a stream (cheap, reusable)."""
+    return ListStream(events, presorted=True)

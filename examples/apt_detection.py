@@ -1,0 +1,77 @@
+"""The full demonstration scenario: detect a 5-step APT attack in real time.
+
+Reproduces Section III of the paper end to end:
+
+1. simulate the enterprise of Fig. 2 (client, mail server, database server,
+   domain controller) producing benign background monitoring events;
+2. inject the 5-step APT attack (initial compromise -> malware infection ->
+   privilege escalation -> penetration -> data exfiltration);
+3. deploy the 8 demo SAQL queries (5 rule-based + 3 advanced anomaly
+   queries) over the aggregated stream with the concurrent scheduler;
+4. print the alerts in detection order and the detection coverage per
+   attack step.
+
+Run with::
+
+    python examples/apt_detection.py
+"""
+
+from collections import Counter
+
+from repro.attack import APTScenario
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.core import ConcurrentQueryScheduler
+from repro.queries import DEMO_QUERIES, RULE_QUERY_NAMES, demo_query_names
+
+BACKGROUND_SECONDS = 3600.0
+ATTACK_START = 1800.0
+
+
+def main() -> None:
+    enterprise = Enterprise(EnterpriseConfig(seed=7))
+    scenario = APTScenario(start_time=ATTACK_START)
+    stream = enterprise.event_feed(0.0, BACKGROUND_SECONDS,
+                                   injected=scenario.events())
+    print(f"simulated {len(stream.events)} events from "
+          f"{len(enterprise.hosts)} hosts; "
+          f"attack injected at t={ATTACK_START:.0f}s")
+
+    scheduler = ConcurrentQueryScheduler()
+    for name in demo_query_names():
+        scheduler.add_query(DEMO_QUERIES[name], name=name)
+    print(f"deployed {scheduler.stats.queries} queries in "
+          f"{scheduler.stats.groups} compatibility groups\n")
+
+    alerts = scheduler.execute(stream)
+
+    print("alerts (detection order):")
+    for alert in sorted(alerts, key=lambda a: a.timestamp):
+        print(" ", alert.describe())
+
+    print("\ndetection coverage per attack step:")
+    counts = Counter(alert.query_name for alert in alerts)
+    step_for_query = {
+        "rule-c1-initial-compromise": "c1 initial compromise",
+        "rule-c2-malware-infection": "c2 malware infection",
+        "rule-c3-privilege-escalation": "c3 privilege escalation",
+        "rule-c4-penetration": "c4 penetration into DB server",
+        "rule-c5-data-exfiltration": "c5 data exfiltration",
+    }
+    for name in RULE_QUERY_NAMES:
+        status = "DETECTED" if counts.get(name) else "missed"
+        print(f"  {step_for_query[name]:34s} {status}")
+    advanced = [name for name in demo_query_names()
+                if name not in RULE_QUERY_NAMES]
+    print("\nadvanced anomaly queries (no attack knowledge):")
+    for name in advanced:
+        status = "DETECTED" if counts.get(name) else "no alert"
+        print(f"  {name:34s} {status}")
+
+    if scheduler.error_reporter.has_errors():
+        print("\nerrors during execution:")
+        for record in scheduler.error_reporter.records:
+            print(" ", record.describe())
+
+
+if __name__ == "__main__":
+    main()

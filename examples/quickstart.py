@@ -1,0 +1,77 @@
+"""Quickstart: write a SAQL query and run it over a stream of events.
+
+This example builds a tiny stream of system monitoring events by hand (no
+enterprise simulation), expresses the paper's Query 1 (database dump +
+exfiltration) in SAQL, and runs it with a single :class:`QueryEngine`.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import QueryEngine, parse_query
+from repro.events import (
+    Event,
+    FileEntity,
+    ListStream,
+    NetworkEntity,
+    Operation,
+    ProcessEntity,
+)
+
+#: The paper's Query 1: data exfiltration from the database server.
+EXFILTRATION_QUERY = '''
+agentid = "db-server"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="203.0.113.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+'''
+
+
+def build_events():
+    """Hand-craft the four events of the exfiltration, plus benign noise."""
+    host = "db-server"
+    cmd = ProcessEntity.make("cmd.exe", 4100, host=host)
+    osql = ProcessEntity.make("osql.exe", 4101, host=host)
+    sqlservr = ProcessEntity.make("sqlservr.exe", 4102, host=host)
+    malware = ProcessEntity.make("sbblv.exe", 4103, host=host)
+    dump = FileEntity.make(r"D:\backup\backup1.dmp", host=host)
+    attacker = NetworkEntity.make("10.0.1.30", "203.0.113.129", dstport=443)
+    log_file = FileEntity.make(r"D:\data\enterprise.ldf", host=host)
+
+    events = [
+        # Benign background: the database appending to its log.
+        Event(subject=sqlservr, operation=Operation.WRITE, obj=log_file,
+              timestamp=5.0, agentid=host, amount=64_000),
+        # The attack: dump the database and ship it out.
+        Event(subject=cmd, operation=Operation.START, obj=osql,
+              timestamp=10.0, agentid=host),
+        Event(subject=sqlservr, operation=Operation.WRITE, obj=dump,
+              timestamp=20.0, agentid=host, amount=50_000_000),
+        Event(subject=malware, operation=Operation.READ, obj=dump,
+              timestamp=30.0, agentid=host, amount=50_000_000),
+        Event(subject=malware, operation=Operation.WRITE, obj=attacker,
+              timestamp=40.0, agentid=host, amount=50_000_000),
+    ]
+    return ListStream(events)
+
+
+def main() -> None:
+    query = parse_query(EXFILTRATION_QUERY)
+    print(f"query class: {query.model_kind}; "
+          f"{len(query.patterns)} event patterns")
+
+    engine = QueryEngine(query, name="data-exfiltration")
+    alerts = engine.execute(build_events())
+
+    print(f"processed {engine.events_processed} events, "
+          f"{len(alerts)} alert(s)")
+    for alert in alerts:
+        print(" ", alert.describe())
+
+
+if __name__ == "__main__":
+    main()

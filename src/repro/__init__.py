@@ -1,0 +1,46 @@
+"""SAQL reproduction: querying streaming system monitoring data for
+enterprise system anomaly detection (ICDE 2020 demo paper).
+
+The top-level package re-exports the most common entry points; see the
+README for the architecture overview and the subpackage docstrings for
+details:
+
+* :mod:`repro.events` — the system monitoring data model;
+* :mod:`repro.core` — the SAQL language, engine, and scheduler;
+* :mod:`repro.collection` — the simulated enterprise / data-collection agents;
+* :mod:`repro.attack` — the 5-step APT attack scenario;
+* :mod:`repro.storage` — the event database and stream replayer;
+* :mod:`repro.queries` — the 8 demo queries from the paper;
+* :mod:`repro.baselines` — comparison baselines;
+* :mod:`repro.ui` — the command-line UI.
+"""
+
+from repro.core import (
+    Alert,
+    ConcurrentQueryScheduler,
+    QueryEngine,
+    SAQLError,
+    SAQLExecutionError,
+    SAQLParseError,
+    SAQLSemanticError,
+    parse_query,
+)
+from repro.events import Event, EventStream, ListStream, MergedStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alert",
+    "ConcurrentQueryScheduler",
+    "Event",
+    "EventStream",
+    "ListStream",
+    "MergedStream",
+    "QueryEngine",
+    "SAQLError",
+    "SAQLExecutionError",
+    "SAQLParseError",
+    "SAQLSemanticError",
+    "parse_query",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""The simulated APT attack of the paper's demonstration (Fig. 2).
+
+The paper performs a five-step APT attack in a controlled environment and
+detects it with SAQL queries over the live monitoring stream.  This package
+reproduces the *traces* of that attack: :class:`APTScenario` emits the
+kernel-level events each step would generate on the victim hosts, with
+configurable start time and hosts, so the demo queries and the benchmarks
+can inject the attack into the simulated enterprise's background stream.
+"""
+
+from repro.attack.scenario import (
+    ATTACKER_IP,
+    APTScenario,
+    AttackStep,
+    StepTrace,
+)
+
+__all__ = [
+    "APTScenario",
+    "ATTACKER_IP",
+    "AttackStep",
+    "StepTrace",
+]

@@ -1,0 +1,293 @@
+"""The five-step APT attack scenario (Section III of the paper).
+
+The attack steps, and the monitoring events each one leaves behind:
+
+* **c1 — Initial Compromise**: a crafted email with a malicious Excel
+  attachment reaches the victim; Outlook writes the attachment to disk and
+  the victim opens it in Excel.
+* **c2 — Malware Infection**: the macro (CVE-2008-0081) spawns a shell,
+  the shell runs a script host which downloads a backdoor from the
+  attacker, drops it to disk and starts it.
+* **c3 — Privilege Escalation**: the backdoor scans the internal network
+  for the database server, then runs the credential-dumping tool
+  ``gsecdump.exe`` to steal database credentials.
+* **c4 — Penetration into the Database Server**: using the stolen
+  credentials, the attacker reaches the database server and drops a second
+  backdoor (``sbblv.exe``) via a VBScript.
+* **c5 — Data Exfiltration**: the attacker dumps the database with
+  ``osql.exe`` (``sqlservr.exe`` writes ``backup1.dmp``) and the backdoor
+  reads the dump and ships it to the attacker's host.
+
+Every event is emitted with the entity identities the rule queries rely on
+(the same file entity for the dump written in c5-evt2 and read in c5-evt3,
+the same backdoor process across its events, ...), matching how kernel
+auditing would attribute the activity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+
+#: The attacker-controlled external host (the paper obfuscates it as XXX.129).
+ATTACKER_IP = "203.0.113.129"
+
+#: Port the database server listens on (discovered by the c3 port scan).
+DB_PORT = 1433
+
+
+class AttackStep(enum.Enum):
+    """The five steps of the APT attack."""
+
+    C1_INITIAL_COMPROMISE = "c1"
+    C2_MALWARE_INFECTION = "c2"
+    C3_PRIVILEGE_ESCALATION = "c3"
+    C4_PENETRATION = "c4"
+    C5_DATA_EXFILTRATION = "c5"
+
+
+@dataclass
+class StepTrace:
+    """The events one attack step produced, for ground-truth evaluation."""
+
+    step: AttackStep
+    events: List[Event] = field(default_factory=list)
+
+    @property
+    def start_time(self) -> float:
+        """Return the timestamp of the step's first event."""
+        return min(event.timestamp for event in self.events)
+
+    @property
+    def end_time(self) -> float:
+        """Return the timestamp of the step's last event."""
+        return max(event.timestamp for event in self.events)
+
+
+class APTScenario:
+    """Generates the attack-trace events for the five-step APT attack."""
+
+    def __init__(self, start_time: float = 1800.0,
+                 client_host: str = "client-01",
+                 client_ip: str = "10.0.2.11",
+                 db_host: str = "db-server",
+                 db_ip: str = "10.0.1.30",
+                 attacker_ip: str = ATTACKER_IP,
+                 exfiltration_chunks: int = 12,
+                 exfiltration_chunk_bytes: float = 5_000_000.0):
+        self.start_time = float(start_time)
+        self.client_host = client_host
+        self.client_ip = client_ip
+        self.db_host = db_host
+        self.db_ip = db_ip
+        self.attacker_ip = attacker_ip
+        self.exfiltration_chunks = int(exfiltration_chunks)
+        self.exfiltration_chunk_bytes = float(exfiltration_chunk_bytes)
+
+        # Client-side processes (PIDs chosen outside the agents' ranges).
+        self._outlook = ProcessEntity.make("outlook.exe", 4100,
+                                           host=client_host, user="employee")
+        self._excel = ProcessEntity.make("excel.exe", 4101,
+                                         host=client_host, user="employee")
+        self._cmd_client = ProcessEntity.make("cmd.exe", 4102,
+                                              host=client_host,
+                                              user="employee")
+        self._wscript = ProcessEntity.make("wscript.exe", 4103,
+                                           host=client_host, user="employee")
+        self._backdoor_client = ProcessEntity.make("backdoor.exe", 4104,
+                                                   host=client_host,
+                                                   user="employee")
+        self._gsecdump = ProcessEntity.make("gsecdump.exe", 4105,
+                                            host=client_host, user="SYSTEM")
+
+        # Database-server-side processes.
+        self._cmd_db = ProcessEntity.make("cmd.exe", 5100, host=db_host,
+                                          user="dbadmin")
+        self._cscript = ProcessEntity.make("cscript.exe", 5101, host=db_host,
+                                           user="dbadmin")
+        self._sbblv = ProcessEntity.make("sbblv.exe", 5102, host=db_host,
+                                         user="dbadmin")
+        self._osql = ProcessEntity.make("osql.exe", 5103, host=db_host,
+                                        user="dbadmin")
+        self._sqlservr = ProcessEntity.make("sqlservr.exe", 5104,
+                                            host=db_host, user="mssql")
+
+        # Files shared across steps / events.
+        self._attachment = FileEntity.make(
+            r"C:\Users\employee\Downloads\invoice_2020.xls",
+            host=client_host, owner="employee")
+        self._backdoor_file = FileEntity.make(
+            r"C:\Users\employee\AppData\Roaming\backdoor.exe",
+            host=client_host, owner="employee")
+        self._sam_file = FileEntity.make(
+            r"C:\Windows\System32\config\SAM", host=client_host,
+            owner="SYSTEM")
+        self._creds_file = FileEntity.make(
+            r"C:\Users\employee\AppData\Roaming\creds.txt",
+            host=client_host, owner="SYSTEM")
+        self._sbblv_file = FileEntity.make(
+            r"C:\Windows\Temp\sbblv.exe", host=db_host, owner="dbadmin")
+        self._dump_file = FileEntity.make(
+            r"D:\backup\backup1.dmp", host=db_host, owner="mssql")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _to_attacker(self, srcip: str, dstport: int = 443) -> NetworkEntity:
+        return NetworkEntity.make(srcip, self.attacker_ip, srcport=49800,
+                                  dstport=dstport)
+
+    def _client_event(self, subject: ProcessEntity, operation: Operation,
+                      obj, offset: float, amount: float = 0.0) -> Event:
+        return Event(subject=subject, operation=operation, obj=obj,
+                     timestamp=self.start_time + offset,
+                     agentid=self.client_host, amount=amount)
+
+    def _db_event(self, subject: ProcessEntity, operation: Operation,
+                  obj, offset: float, amount: float = 0.0) -> Event:
+        return Event(subject=subject, operation=operation, obj=obj,
+                     timestamp=self.start_time + offset,
+                     agentid=self.db_host, amount=amount)
+
+    # -- the five steps -------------------------------------------------------------
+
+    def step_c1(self) -> StepTrace:
+        """c1 — the phishing email's attachment is written and opened."""
+        events = [
+            self._client_event(self._outlook, Operation.READ,
+                               self._to_attacker(self.client_ip, 25),
+                               offset=0.0, amount=52_000),
+            self._client_event(self._outlook, Operation.WRITE,
+                               self._attachment, offset=5.0, amount=52_000),
+            self._client_event(self._excel, Operation.READ,
+                               self._attachment, offset=25.0, amount=52_000),
+        ]
+        return StepTrace(step=AttackStep.C1_INITIAL_COMPROMISE, events=events)
+
+    def step_c2(self) -> StepTrace:
+        """c2 — the macro spawns a shell that drops and starts a backdoor."""
+        events = [
+            self._client_event(self._excel, Operation.START,
+                               self._cmd_client, offset=60.0),
+            self._client_event(self._cmd_client, Operation.START,
+                               self._wscript, offset=65.0),
+            self._client_event(self._wscript, Operation.WRITE,
+                               self._to_attacker(self.client_ip),
+                               offset=70.0, amount=900),
+            self._client_event(self._wscript, Operation.READ,
+                               self._to_attacker(self.client_ip),
+                               offset=75.0, amount=350_000),
+            self._client_event(self._wscript, Operation.WRITE,
+                               self._backdoor_file, offset=80.0,
+                               amount=350_000),
+            self._client_event(self._wscript, Operation.START,
+                               self._backdoor_client, offset=90.0),
+            self._client_event(self._backdoor_client, Operation.WRITE,
+                               self._to_attacker(self.client_ip),
+                               offset=95.0, amount=600),
+        ]
+        return StepTrace(step=AttackStep.C2_MALWARE_INFECTION, events=events)
+
+    def step_c3(self) -> StepTrace:
+        """c3 — network scan for the database, then credential dumping."""
+        events: List[Event] = [
+            self._client_event(self._backdoor_client, Operation.READ,
+                               self._to_attacker(self.client_ip),
+                               offset=300.0, amount=2_000),
+        ]
+        # Port scan of the server subnet; the database host answers on 1433.
+        for index in range(20):
+            target_ip = f"10.0.1.{20 + index}"
+            port = DB_PORT if target_ip == self.db_ip else 445
+            scan_target = NetworkEntity.make(self.client_ip, target_ip,
+                                             srcport=49900, dstport=port)
+            events.append(self._client_event(
+                self._backdoor_client, Operation.CONNECT, scan_target,
+                offset=310.0 + index, amount=60))
+        events.extend([
+            self._client_event(self._backdoor_client, Operation.START,
+                               self._gsecdump, offset=340.0),
+            self._client_event(self._gsecdump, Operation.READ,
+                               self._sam_file, offset=345.0, amount=65_000),
+            self._client_event(self._gsecdump, Operation.WRITE,
+                               self._creds_file, offset=350.0, amount=4_000),
+            self._client_event(self._backdoor_client, Operation.READ,
+                               self._creds_file, offset=355.0, amount=4_000),
+            self._client_event(self._backdoor_client, Operation.WRITE,
+                               self._to_attacker(self.client_ip),
+                               offset=360.0, amount=4_000),
+        ])
+        return StepTrace(step=AttackStep.C3_PRIVILEGE_ESCALATION,
+                         events=events)
+
+    def step_c4(self) -> StepTrace:
+        """c4 — a VBScript drops a second backdoor on the database server."""
+        db_from_client = NetworkEntity.make(self.client_ip, self.db_ip,
+                                            srcport=50100, dstport=DB_PORT)
+        events = [
+            self._client_event(self._backdoor_client, Operation.CONNECT,
+                               db_from_client, offset=900.0, amount=1_200),
+            self._db_event(self._cmd_db, Operation.START, self._cscript,
+                           offset=905.0),
+            self._db_event(self._cscript, Operation.WRITE, self._sbblv_file,
+                           offset=910.0, amount=410_000),
+            self._db_event(self._cscript, Operation.START, self._sbblv,
+                           offset=920.0),
+            self._db_event(self._sbblv, Operation.WRITE,
+                           self._to_attacker(self.db_ip), offset=925.0,
+                           amount=700),
+        ]
+        return StepTrace(step=AttackStep.C4_PENETRATION, events=events)
+
+    def step_c5(self) -> StepTrace:
+        """c5 — the database is dumped and exfiltrated to the attacker."""
+        events = [
+            self._db_event(self._cmd_db, Operation.START, self._osql,
+                           offset=1500.0),
+            self._db_event(self._osql, Operation.WRITE, self._dump_file,
+                           offset=1505.0, amount=2_000),
+        ]
+        chunk_bytes = self.exfiltration_chunk_bytes
+        for index in range(self.exfiltration_chunks):
+            offset = 1510.0 + index * 20.0
+            events.append(self._db_event(
+                self._sqlservr, Operation.WRITE, self._dump_file,
+                offset=offset, amount=chunk_bytes))
+        for index in range(self.exfiltration_chunks):
+            offset = 1520.0 + index * 20.0
+            events.append(self._db_event(
+                self._sbblv, Operation.READ, self._dump_file,
+                offset=offset, amount=chunk_bytes))
+            events.append(self._db_event(
+                self._sbblv, Operation.WRITE,
+                self._to_attacker(self.db_ip), offset=offset + 5.0,
+                amount=chunk_bytes))
+        return StepTrace(step=AttackStep.C5_DATA_EXFILTRATION, events=events)
+
+    # -- whole-scenario API --------------------------------------------------------
+
+    def steps(self) -> List[StepTrace]:
+        """Return all five step traces, in attack order."""
+        return [self.step_c1(), self.step_c2(), self.step_c3(),
+                self.step_c4(), self.step_c5()]
+
+    def events(self) -> List[Event]:
+        """Return every attack event, ordered by timestamp."""
+        events: List[Event] = []
+        for trace in self.steps():
+            events.extend(trace.events)
+        events.sort(key=lambda event: event.timestamp)
+        return events
+
+    def ground_truth(self) -> Dict[str, List[int]]:
+        """Return event ids per step, for detection-coverage evaluation."""
+        return {trace.step.value: [event.event_id for event in trace.events]
+                for trace in self.steps()}
+
+    @property
+    def end_time(self) -> float:
+        """Return the timestamp of the attack's last event."""
+        return max(event.timestamp for event in self.events())

@@ -1,0 +1,30 @@
+"""Comparison baselines.
+
+Section I of the paper argues that existing stream systems (Siddhi, Esper,
+Flink, ...) (a) lack explicit constructs for anomaly models and (b) keep a
+copy of the stream per concurrent query.  Two baselines reproduce those
+points of comparison:
+
+* :class:`CopyPerQueryExecutor` — executes the same SAQL queries but with
+  one stream copy per query and no master/dependent result sharing
+  (benchmark E4 measures the cost of that);
+* :mod:`repro.baselines.generic_cep` — a small general-purpose CEP-style
+  engine (filters + windowed aggregates) used to show how much
+  hand-written glue the advanced anomaly models need without SAQL's
+  constructs (benchmark E7).
+"""
+
+from repro.baselines.copy_per_query import CopyPerQueryExecutor, CopyPerQueryStats
+from repro.baselines.generic_cep import (
+    FilterQuery,
+    GenericCEPEngine,
+    WindowedAggregateQuery,
+)
+
+__all__ = [
+    "CopyPerQueryExecutor",
+    "CopyPerQueryStats",
+    "FilterQuery",
+    "GenericCEPEngine",
+    "WindowedAggregateQuery",
+]

@@ -1,0 +1,177 @@
+"""A small general-purpose CEP-style engine (Siddhi/Esper stand-in).
+
+The paper positions SAQL against general-purpose stream/CEP systems whose
+query languages offer filters, windows and aggregates but no constructs for
+the anomaly models SAQL targets (window-state history, invariant learning,
+clustering-based peer comparison).  This module implements that level of
+expressiveness — event filters and per-window grouped aggregates over
+callback-defined keys — so benchmark E7 can compare:
+
+* how much *user code* it takes to emulate each SAQL anomaly model on top
+  of such an engine (the anomaly logic must live outside the engine), and
+* the execution cost without the master-dependent-query sharing scheme
+  (each registered query processes its own view of the stream).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.events.event import Event
+
+EventPredicate = Callable[[Event], bool]
+KeyFunction = Callable[[Event], Any]
+ValueFunction = Callable[[Event], float]
+
+
+@dataclass
+class FilterQuery:
+    """A stateless filter: emit every event satisfying the predicate."""
+
+    name: str
+    predicate: EventPredicate
+    matches: List[Event] = field(default_factory=list)
+
+    def process(self, event: Event) -> Optional[Event]:
+        """Return the event when it passes the filter."""
+        if self.predicate(event):
+            self.matches.append(event)
+            return event
+        return None
+
+
+@dataclass
+class WindowResult:
+    """One closed window's grouped aggregate values."""
+
+    query_name: str
+    window_start: float
+    window_end: float
+    values: Dict[Any, float]
+
+
+class WindowedAggregateQuery:
+    """Tumbling-window grouped aggregation (sum/avg/count) over a filter.
+
+    This is the expressiveness ceiling of the baseline: one window of
+    state, no window history, no invariant learning, no clustering.  The
+    anomaly decision has to be made by user code consuming the
+    :class:`WindowResult` stream.
+    """
+
+    def __init__(self, name: str, predicate: EventPredicate,
+                 key: KeyFunction, value: ValueFunction,
+                 window_seconds: float, aggregate: str = "sum"):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if aggregate not in ("sum", "avg", "count"):
+            raise ValueError("aggregate must be sum, avg or count")
+        self.name = name
+        self.predicate = predicate
+        self.key = key
+        self.value = value
+        self.window_seconds = float(window_seconds)
+        self.aggregate = aggregate
+        self._current_index: Optional[int] = None
+        self._sums: Dict[Any, float] = {}
+        self._counts: Dict[Any, int] = {}
+        self.results: List[WindowResult] = []
+
+    def process(self, event: Event) -> Optional[WindowResult]:
+        """Feed one event; returns a window result when a window closes."""
+        window_index = int(math.floor(event.timestamp / self.window_seconds))
+        closed: Optional[WindowResult] = None
+        if self._current_index is None:
+            self._current_index = window_index
+        elif window_index > self._current_index:
+            closed = self._close()
+            self._current_index = window_index
+        if self.predicate(event):
+            key = self.key(event)
+            self._sums[key] = self._sums.get(key, 0.0) + self.value(event)
+            self._counts[key] = self._counts.get(key, 0) + 1
+        return closed
+
+    def flush(self) -> Optional[WindowResult]:
+        """Close the currently open window (end of stream)."""
+        if self._current_index is None or not self._sums:
+            return None
+        return self._close()
+
+    def _close(self) -> WindowResult:
+        assert self._current_index is not None
+        values: Dict[Any, float] = {}
+        for key, total in self._sums.items():
+            if self.aggregate == "sum":
+                values[key] = total
+            elif self.aggregate == "count":
+                values[key] = float(self._counts[key])
+            else:
+                values[key] = total / max(self._counts[key], 1)
+        result = WindowResult(
+            query_name=self.name,
+            window_start=self._current_index * self.window_seconds,
+            window_end=(self._current_index + 1) * self.window_seconds,
+            values=values,
+        )
+        self.results.append(result)
+        self._sums = {}
+        self._counts = {}
+        return result
+
+
+class GenericCEPEngine:
+    """Runs a set of filter and windowed-aggregate queries over a stream.
+
+    Every registered query receives every event (no shared matching, no
+    shared buffering), which is the copy-per-query execution model the
+    paper attributes to general-purpose systems.
+    """
+
+    def __init__(self) -> None:
+        self._filters: List[FilterQuery] = []
+        self._aggregates: List[WindowedAggregateQuery] = []
+        self.events_processed = 0
+        self.events_delivered = 0
+
+    def add_filter(self, query: FilterQuery) -> FilterQuery:
+        """Register a filter query."""
+        self._filters.append(query)
+        return query
+
+    def add_aggregate(self, query: WindowedAggregateQuery
+                      ) -> WindowedAggregateQuery:
+        """Register a windowed aggregate query."""
+        self._aggregates.append(query)
+        return query
+
+    @property
+    def query_count(self) -> int:
+        """Return the number of registered queries."""
+        return len(self._filters) + len(self._aggregates)
+
+    def process_event(self, event: Event) -> List[WindowResult]:
+        """Deliver one event to every registered query."""
+        self.events_processed += 1
+        self.events_delivered += self.query_count
+        closed: List[WindowResult] = []
+        for filter_query in self._filters:
+            filter_query.process(event)
+        for aggregate in self._aggregates:
+            result = aggregate.process(event)
+            if result is not None:
+                closed.append(result)
+        return closed
+
+    def execute(self, stream: Iterable[Event]) -> List[WindowResult]:
+        """Run over a finite stream, flushing open windows at the end."""
+        results: List[WindowResult] = []
+        for event in stream:
+            results.extend(self.process_event(event))
+        for aggregate in self._aggregates:
+            final = aggregate.flush()
+            if final is not None:
+                results.append(final)
+        return results

@@ -1,0 +1,39 @@
+"""Simulated enterprise data collection.
+
+The paper deploys kernel-level data-collection agents (auditd on Linux,
+ETW on Windows, DTrace on macOS) on ~150 hosts and aggregates their events
+at a central server.  This reproduction cannot run kernel auditing, so this
+package simulates it: each :class:`HostAgent` synthesizes a realistic SVO
+event stream for one host from a :class:`WorkloadProfile`, and
+:class:`Enterprise` assembles the multi-host deployment of Fig. 2 and
+merges the per-host streams into the single enterprise-wide event feed the
+SAQL engine consumes.
+
+All generators are deterministic given their seed, so benchmarks and tests
+are reproducible.
+"""
+
+from repro.collection.agent import HostAgent, MonitoringBackend
+from repro.collection.enterprise import Enterprise, EnterpriseConfig, HostSpec
+from repro.collection.workloads import (
+    WorkloadProfile,
+    database_server_profile,
+    desktop_profile,
+    domain_controller_profile,
+    mail_server_profile,
+    web_server_profile,
+)
+
+__all__ = [
+    "Enterprise",
+    "EnterpriseConfig",
+    "HostAgent",
+    "HostSpec",
+    "MonitoringBackend",
+    "WorkloadProfile",
+    "database_server_profile",
+    "desktop_profile",
+    "domain_controller_profile",
+    "mail_server_profile",
+    "web_server_profile",
+]

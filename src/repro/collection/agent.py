@@ -1,0 +1,153 @@
+"""Simulated data-collection agents.
+
+A :class:`HostAgent` stands in for the kernel-level monitoring agent the
+paper deploys on every host (auditd / ETW / DTrace).  Given a workload
+profile it synthesizes the host's benign SVO events over a time range:
+file reads/writes, network sends/receives and process starts, with
+Poisson-like arrival jitter and log-normal-ish volume jitter, all from a
+seeded PRNG so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.collection.workloads import ApplicationActivity, WorkloadProfile
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+
+
+class MonitoringBackend(enum.Enum):
+    """The kernel framework a host's agent would use (metadata only)."""
+
+    AUDITD = "auditd"
+    ETW = "etw"
+    DTRACE = "dtrace"
+
+
+class HostAgent:
+    """Synthesizes one host's benign monitoring events."""
+
+    def __init__(self, host_id: str, profile: WorkloadProfile,
+                 ip_address: str = "10.0.0.1",
+                 backend: MonitoringBackend = MonitoringBackend.ETW,
+                 seed: int = 1):
+        self.host_id = host_id
+        self.profile = profile
+        self.ip_address = ip_address
+        self.backend = backend
+        self._seed = seed
+        self._pid_counter = 1000 + (seed % 97) * 13
+        self._processes: Dict[str, ProcessEntity] = {}
+
+    # -- entity helpers ------------------------------------------------------
+
+    def process(self, exe_name: str) -> ProcessEntity:
+        """Return the host's long-running process entity for an executable."""
+        existing = self._processes.get(exe_name)
+        if existing is not None:
+            return existing
+        self._pid_counter += 1
+        entity = ProcessEntity.make(exe_name, self._pid_counter,
+                                    host=self.host_id, user="svc")
+        self._processes[exe_name] = entity
+        return entity
+
+    def new_process(self, exe_name: str) -> ProcessEntity:
+        """Create a fresh (short-lived) process entity for an executable."""
+        self._pid_counter += 1
+        return ProcessEntity.make(exe_name, self._pid_counter,
+                                  host=self.host_id, user="svc")
+
+    def file(self, name: str) -> FileEntity:
+        """Return the file entity for a path on this host."""
+        return FileEntity.make(name, host=self.host_id)
+
+    def connection(self, dstip: str, dstport: int = 443) -> NetworkEntity:
+        """Return a network-connection entity from this host to ``dstip``."""
+        return NetworkEntity.make(self.ip_address, dstip, srcport=49152,
+                                  dstport=dstport)
+
+    # -- event synthesis -------------------------------------------------------
+
+    def generate_events(self, start_time: float, duration: float,
+                        rate_scale: float = 1.0) -> List[Event]:
+        """Generate this host's benign events for ``[start, start+duration)``.
+
+        ``rate_scale`` multiplies every activity rate, which the throughput
+        benchmarks use to densify the stream without changing its shape.
+        """
+        rng = random.Random(f"{self._seed}:{self.host_id}:{int(start_time)}")
+        events: List[Event] = []
+        for app in self.profile.applications:
+            events.extend(self._events_for_application(
+                app, start_time, duration, rate_scale, rng))
+        events.sort(key=lambda event: event.timestamp)
+        return events
+
+    def _events_for_application(self, app: ApplicationActivity,
+                                start_time: float, duration: float,
+                                rate_scale: float,
+                                rng: random.Random) -> List[Event]:
+        subject = self.process(app.exe_name)
+        events: List[Event] = []
+
+        for name, rate, amount in app.reads:
+            events.extend(self._emit(
+                subject, Operation.READ, self.file(name), rate * rate_scale,
+                amount, start_time, duration, rng))
+        for name, rate, amount in app.writes:
+            events.extend(self._emit(
+                subject, Operation.WRITE, self.file(name), rate * rate_scale,
+                amount, start_time, duration, rng))
+        for dstip, rate, amount in app.sends:
+            events.extend(self._emit(
+                subject, Operation.WRITE, self.connection(dstip),
+                rate * rate_scale, amount, start_time, duration, rng))
+        for dstip, rate, amount in app.receives:
+            events.extend(self._emit(
+                subject, Operation.READ, self.connection(dstip),
+                rate * rate_scale, amount, start_time, duration, rng))
+        for child, rate in app.spawns:
+            for timestamp in self._arrival_times(rate * rate_scale,
+                                                 start_time, duration, rng):
+                events.append(Event(
+                    subject=subject,
+                    operation=Operation.START,
+                    obj=self.new_process(child),
+                    timestamp=timestamp,
+                    agentid=self.host_id,
+                ))
+        return events
+
+    def _emit(self, subject: ProcessEntity, operation: Operation, obj,
+              rate_per_minute: float, amount: float, start_time: float,
+              duration: float, rng: random.Random) -> Iterable[Event]:
+        for timestamp in self._arrival_times(rate_per_minute, start_time,
+                                             duration, rng):
+            jitter = rng.uniform(0.7, 1.3)
+            yield Event(
+                subject=subject,
+                operation=operation,
+                obj=obj,
+                timestamp=timestamp,
+                agentid=self.host_id,
+                amount=max(amount * jitter, 1.0),
+            )
+
+    @staticmethod
+    def _arrival_times(rate_per_minute: float, start_time: float,
+                       duration: float, rng: random.Random) -> List[float]:
+        """Sample Poisson-process arrival times for one activity."""
+        if rate_per_minute <= 0 or duration <= 0:
+            return []
+        rate_per_second = rate_per_minute / 60.0
+        times: List[float] = []
+        current = start_time
+        while True:
+            current += rng.expovariate(rate_per_second)
+            if current >= start_time + duration:
+                return times
+            times.append(current)

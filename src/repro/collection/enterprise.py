@@ -1,0 +1,147 @@
+"""The simulated enterprise: hosts, agents and the aggregated event feed.
+
+:class:`Enterprise` models the deployment of Fig. 2 in the paper: a
+Windows client, a mail server, a SQL database server and a Windows domain
+controller behind a firewall, optionally padded with additional desktops
+and web servers for scale experiments.  Each host runs a
+:class:`~repro.collection.agent.HostAgent`; the enterprise merges their
+per-host streams (by timestamp) into the single event feed the central
+SAQL server would receive, and can inject attack traces into that feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.collection.agent import HostAgent, MonitoringBackend
+from repro.collection.workloads import (
+    WorkloadProfile,
+    database_server_profile,
+    desktop_profile,
+    domain_controller_profile,
+    mail_server_profile,
+    web_server_profile,
+)
+from repro.events.event import Event
+from repro.events.stream import ListStream, MergedStream
+
+#: Host names used throughout the demo scenario and queries.
+CLIENT_HOST = "client-01"
+MAIL_HOST = "mail-server"
+DB_HOST = "db-server"
+DC_HOST = "dc-01"
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Configuration of one simulated host."""
+
+    host_id: str
+    profile: WorkloadProfile
+    ip_address: str
+    backend: MonitoringBackend = MonitoringBackend.ETW
+
+
+@dataclass
+class EnterpriseConfig:
+    """Configuration of the simulated enterprise."""
+
+    extra_desktops: int = 0
+    extra_web_servers: int = 0
+    seed: int = 7
+    rate_scale: float = 1.0
+
+
+class Enterprise:
+    """A small enterprise whose hosts emit synthetic monitoring events."""
+
+    def __init__(self, config: Optional[EnterpriseConfig] = None):
+        self.config = config or EnterpriseConfig()
+        self._agents: Dict[str, HostAgent] = {}
+        for spec in self._default_hosts():
+            self.add_host(spec)
+        for index in range(self.config.extra_desktops):
+            self.add_host(HostSpec(
+                host_id=f"desktop-{index + 2:02d}",
+                profile=desktop_profile(),
+                ip_address=f"10.0.2.{50 + index}",
+            ))
+        for index in range(self.config.extra_web_servers):
+            self.add_host(HostSpec(
+                host_id=f"web-{index + 1:02d}",
+                profile=web_server_profile(),
+                ip_address=f"10.0.3.{10 + index}",
+                backend=MonitoringBackend.AUDITD,
+            ))
+
+    @staticmethod
+    def _default_hosts() -> List[HostSpec]:
+        return [
+            HostSpec(host_id=CLIENT_HOST, profile=desktop_profile(),
+                     ip_address="10.0.2.11"),
+            HostSpec(host_id=MAIL_HOST, profile=mail_server_profile(),
+                     ip_address="10.0.1.20",
+                     backend=MonitoringBackend.AUDITD),
+            HostSpec(host_id=DB_HOST, profile=database_server_profile(),
+                     ip_address="10.0.1.30"),
+            HostSpec(host_id=DC_HOST, profile=domain_controller_profile(),
+                     ip_address="10.0.1.10"),
+        ]
+
+    # -- host management ------------------------------------------------------
+
+    def add_host(self, spec: HostSpec) -> HostAgent:
+        """Register one host and return its agent."""
+        agent = HostAgent(
+            host_id=spec.host_id,
+            profile=spec.profile,
+            ip_address=spec.ip_address,
+            backend=spec.backend,
+            seed=self.config.seed + len(self._agents),
+        )
+        self._agents[spec.host_id] = agent
+        return agent
+
+    @property
+    def hosts(self) -> List[str]:
+        """Return the registered host identifiers."""
+        return list(self._agents.keys())
+
+    def agent(self, host_id: str) -> HostAgent:
+        """Return the agent of one host."""
+        return self._agents[host_id]
+
+    # -- event feed ------------------------------------------------------------
+
+    def background_events(self, start_time: float,
+                          duration: float) -> List[Event]:
+        """Generate every host's benign events for the given time range."""
+        events: List[Event] = []
+        for agent in self._agents.values():
+            events.extend(agent.generate_events(
+                start_time, duration, rate_scale=self.config.rate_scale))
+        events.sort(key=lambda event: event.timestamp)
+        return events
+
+    def event_feed(self, start_time: float, duration: float,
+                   injected: Sequence[Event] = ()) -> ListStream:
+        """Return the aggregated enterprise feed, with optional injections.
+
+        ``injected`` carries attack-trace events (or any other extra
+        events); they are merged into the benign background by timestamp,
+        exactly as the central server would interleave agent uploads.
+        """
+        events = self.background_events(start_time, duration)
+        events.extend(injected)
+        return ListStream(events)
+
+    def per_host_streams(self, start_time: float,
+                         duration: float) -> MergedStream:
+        """Return the same feed built as an explicit k-way host merge."""
+        streams = [
+            ListStream(agent.generate_events(
+                start_time, duration, rate_scale=self.config.rate_scale))
+            for agent in self._agents.values()
+        ]
+        return MergedStream(streams)

@@ -1,0 +1,205 @@
+"""Workload profiles: what "normal" looks like on each kind of host.
+
+A :class:`WorkloadProfile` is a declarative description of the benign
+activity a host exhibits: which applications run, which files they touch,
+which peers they talk to and at what volumes.  The host agents sample from
+these descriptions to synthesize background monitoring events; the demo
+queries must see through this background noise to the injected attack.
+
+The stock profiles mirror the machines in the paper's demonstration setup
+(Fig. 2): a Windows client, a mail server, a database server, a Windows
+domain controller, and (for scale experiments) generic web servers and
+desktops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ApplicationActivity:
+    """One application's steady-state behaviour on a host.
+
+    Rates are expressed in expected events per minute; amounts in bytes per
+    event (the agent adds jitter around these values).
+    """
+
+    exe_name: str
+    #: files the application reads, with events/minute and bytes/event
+    reads: Tuple[Tuple[str, float, float], ...] = ()
+    #: files the application writes, with events/minute and bytes/event
+    writes: Tuple[Tuple[str, float, float], ...] = ()
+    #: destination IPs the application sends to, events/minute, bytes/event
+    sends: Tuple[Tuple[str, float, float], ...] = ()
+    #: destination IPs the application receives from, events/min, bytes/event
+    receives: Tuple[Tuple[str, float, float], ...] = ()
+    #: child executables the application starts, with events/minute
+    spawns: Tuple[Tuple[str, float], ...] = ()
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The full benign workload of one host role."""
+
+    role: str
+    applications: Tuple[ApplicationActivity, ...]
+
+    def exe_names(self) -> List[str]:
+        """Return the executables this profile runs."""
+        return [app.exe_name for app in self.applications]
+
+
+def desktop_profile(subnet: str = "10.0.2") -> WorkloadProfile:
+    """An employee Windows desktop: Office, browser, background services."""
+    return WorkloadProfile(
+        role="desktop",
+        applications=(
+            ApplicationActivity(
+                exe_name="outlook.exe",
+                writes=((r"C:\Users\employee\mail\inbox.pst", 2.0, 60000.0),
+                        (r"C:\Users\employee\Downloads\attachment.xls", 0.2,
+                         45000.0)),
+                reads=((r"C:\Users\employee\mail\inbox.pst", 3.0, 40000.0),),
+                sends=((f"{subnet}.20", 1.5, 8000.0),),
+                receives=((f"{subnet}.20", 2.0, 20000.0),),
+            ),
+            ApplicationActivity(
+                exe_name="excel.exe",
+                reads=((r"C:\Users\employee\Documents\report.xlsx", 1.0,
+                        30000.0),
+                       (r"C:\Users\employee\Downloads\attachment.xls", 0.3,
+                        45000.0)),
+                writes=((r"C:\Users\employee\Documents\report.xlsx", 0.5,
+                         30000.0),),
+                spawns=(("splwow64.exe", 0.4),),
+            ),
+            ApplicationActivity(
+                exe_name="chrome.exe",
+                sends=(("93.184.216.34", 6.0, 2000.0),
+                       ("151.101.1.69", 4.0, 1500.0)),
+                receives=(("93.184.216.34", 6.0, 60000.0),
+                          ("151.101.1.69", 4.0, 80000.0)),
+                writes=((r"C:\Users\employee\AppData\cache.dat", 3.0,
+                         20000.0),),
+            ),
+            ApplicationActivity(
+                exe_name="svchost.exe",
+                reads=((r"C:\Windows\System32\config\SOFTWARE", 1.0,
+                        4000.0),),
+                sends=((f"{subnet}.10", 0.5, 1000.0),),
+                spawns=(("taskhostw.exe", 0.2),),
+            ),
+        ),
+    )
+
+
+def mail_server_profile() -> WorkloadProfile:
+    """The enterprise mail server: exchange-like delivery and storage."""
+    return WorkloadProfile(
+        role="mail-server",
+        applications=(
+            ApplicationActivity(
+                exe_name="exchange.exe",
+                writes=(("/var/mail/store/mailbox.db", 12.0, 50000.0),),
+                reads=(("/var/mail/store/mailbox.db", 15.0, 45000.0),),
+                sends=(("10.0.2.11", 8.0, 30000.0), ("10.0.2.12", 6.0,
+                                                     30000.0)),
+                receives=(("203.0.113.25", 10.0, 40000.0),),
+            ),
+            ApplicationActivity(
+                exe_name="spamfilter.exe",
+                reads=(("/var/mail/queue/incoming", 10.0, 30000.0),),
+                writes=(("/var/mail/queue/clean", 9.0, 30000.0),),
+            ),
+        ),
+    )
+
+
+def database_server_profile(client_subnet: str = "10.0.2",
+                            client_count: int = 12) -> WorkloadProfile:
+    """The SQL database server the APT attack ultimately targets.
+
+    ``sqlservr.exe`` answers queries from many internal clients with
+    broadly similar per-client volumes — that homogeneity is what the
+    outlier query's DBSCAN peer-comparison relies on.
+    """
+    client_sends = tuple(
+        (f"{client_subnet}.{10 + index}", 2.5, 26000.0)
+        for index in range(client_count))
+    client_receives = tuple(
+        (f"{client_subnet}.{10 + index}", 2.0, 3000.0)
+        for index in range(client_count))
+    return WorkloadProfile(
+        role="database-server",
+        applications=(
+            ApplicationActivity(
+                exe_name="sqlservr.exe",
+                reads=((r"D:\data\enterprise.mdf", 20.0, 80000.0),),
+                writes=((r"D:\data\enterprise.ldf", 10.0, 60000.0),),
+                sends=client_sends,
+                receives=client_receives,
+            ),
+            ApplicationActivity(
+                exe_name="sqlagent.exe",
+                writes=((r"D:\backup\nightly.bak", 0.5, 400000.0),),
+                spawns=(("sqlcmd.exe", 0.1),),
+            ),
+            ApplicationActivity(
+                exe_name="services.exe",
+                spawns=(("svchost.exe", 0.3),),
+            ),
+        ),
+    )
+
+
+def domain_controller_profile() -> WorkloadProfile:
+    """The Windows domain controller: authentication traffic."""
+    return WorkloadProfile(
+        role="domain-controller",
+        applications=(
+            ApplicationActivity(
+                exe_name="lsass.exe",
+                reads=((r"C:\Windows\NTDS\ntds.dit", 8.0, 20000.0),),
+                sends=(("10.0.2.11", 4.0, 2000.0), ("10.0.2.12", 4.0,
+                                                    2000.0)),
+                receives=(("10.0.2.11", 4.0, 1500.0),
+                          ("10.0.2.12", 4.0, 1500.0)),
+            ),
+            ApplicationActivity(
+                exe_name="dns.exe",
+                receives=(("10.0.2.11", 10.0, 300.0),
+                          ("10.0.2.12", 8.0, 300.0)),
+                sends=(("10.0.2.11", 10.0, 500.0),
+                       ("10.0.2.12", 8.0, 500.0)),
+            ),
+        ),
+    )
+
+
+def web_server_profile() -> WorkloadProfile:
+    """A Linux web server running Apache with a small set of CGI helpers."""
+    return WorkloadProfile(
+        role="web-server",
+        applications=(
+            ApplicationActivity(
+                exe_name="apache.exe",
+                reads=(("/var/www/html/index.html", 20.0, 15000.0),),
+                writes=(("/var/log/apache/access.log", 20.0, 500.0),),
+                sends=(("198.51.100.7", 15.0, 20000.0),),
+                receives=(("198.51.100.7", 15.0, 1500.0),),
+                spawns=(("php-cgi.exe", 2.0), ("rotatelogs.exe", 0.2)),
+            ),
+        ),
+    )
+
+
+#: Convenience registry of the stock profiles by role name.
+PROFILES: Dict[str, WorkloadProfile] = {
+    "desktop": desktop_profile(),
+    "mail-server": mail_server_profile(),
+    "database-server": database_server_profile(),
+    "domain-controller": domain_controller_profile(),
+    "web-server": web_server_profile(),
+}

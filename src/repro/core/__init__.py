@@ -1,0 +1,32 @@
+"""The SAQL core: query language, expression evaluation, and execution engine.
+
+The public API most applications need is re-exported here:
+
+* :func:`parse_query` — parse SAQL text into a checked query object;
+* :class:`QueryEngine` — execute one query over an event stream;
+* :class:`ConcurrentQueryScheduler` — execute many queries with the
+  master-dependent-query sharing scheme;
+* :class:`Alert` — the engine's output record.
+"""
+
+from repro.core.errors import (
+    SAQLError,
+    SAQLExecutionError,
+    SAQLParseError,
+    SAQLSemanticError,
+)
+from repro.core.language import parse_query
+from repro.core.engine.alerts import Alert
+from repro.core.engine.query_engine import QueryEngine
+from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+
+__all__ = [
+    "Alert",
+    "ConcurrentQueryScheduler",
+    "QueryEngine",
+    "SAQLError",
+    "SAQLExecutionError",
+    "SAQLParseError",
+    "SAQLSemanticError",
+    "parse_query",
+]

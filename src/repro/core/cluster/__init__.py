@@ -1,0 +1,21 @@
+"""Clustering support for outlier-based anomaly models.
+
+The paper's Query 4 identifies outliers with DBSCAN over Euclidean
+distance.  This package implements DBSCAN (and a small k-means used for
+ablations) from scratch, plus the distance functions the ``distance=``
+cluster parameter can select.
+"""
+
+from repro.core.cluster.distance import DISTANCE_FUNCTIONS, get_distance
+from repro.core.cluster.dbscan import DBSCAN, ClusterResult, dbscan
+from repro.core.cluster.kmeans import KMeans, kmeans
+
+__all__ = [
+    "DBSCAN",
+    "DISTANCE_FUNCTIONS",
+    "ClusterResult",
+    "KMeans",
+    "dbscan",
+    "get_distance",
+    "kmeans",
+]

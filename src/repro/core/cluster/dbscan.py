@@ -1,0 +1,142 @@
+"""DBSCAN clustering, implemented from scratch.
+
+Query 4 of the paper clusters per-destination-IP transfer amounts with
+``DBSCAN(100000, 5)`` — ``eps`` of 100000 bytes and ``min_pts`` of 5 — and
+alerts on points labelled as outliers (noise).  This module provides the
+standard density-based algorithm over an arbitrary distance function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.cluster.distance import DistanceFunction, euclidean
+
+#: Label used for noise points (outliers).
+NOISE = -1
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of a clustering run over a list of points.
+
+    ``labels[i]`` is the cluster id of ``points[i]`` or :data:`NOISE`.
+    ``keys`` carries the caller's identifier for each point (e.g. the
+    group-by key of the window state that produced it), so the engine can
+    look up whether a particular group is an outlier.
+    """
+
+    points: List[Sequence[float]]
+    labels: List[int]
+    keys: List[Any] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters found (excluding noise)."""
+        return len({label for label in self.labels if label != NOISE})
+
+    @property
+    def outlier_indices(self) -> List[int]:
+        """Indices of points labelled as noise."""
+        return [i for i, label in enumerate(self.labels) if label == NOISE]
+
+    def is_outlier(self, key: Any) -> bool:
+        """Return True when the point registered under ``key`` is noise."""
+        for index, point_key in enumerate(self.keys):
+            if point_key == key:
+                return self.labels[index] == NOISE
+        return False
+
+    def label_of(self, key: Any) -> Optional[int]:
+        """Return the cluster label of ``key`` (None when unknown)."""
+        for index, point_key in enumerate(self.keys):
+            if point_key == key:
+                return self.labels[index]
+        return None
+
+
+class DBSCAN:
+    """Density-based spatial clustering of applications with noise.
+
+    Args:
+        eps: neighbourhood radius.
+        min_pts: minimum number of points (including the point itself)
+            required in an eps-neighbourhood for a point to be a core point.
+        distance: distance function over point vectors.
+    """
+
+    def __init__(self, eps: float, min_pts: int,
+                 distance: DistanceFunction = euclidean):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_pts < 1:
+            raise ValueError("min_pts must be at least 1")
+        self.eps = float(eps)
+        self.min_pts = int(min_pts)
+        self.distance = distance
+
+    def fit(self, points: Sequence[Sequence[float]],
+            keys: Optional[Sequence[Any]] = None) -> ClusterResult:
+        """Cluster ``points`` and return a :class:`ClusterResult`.
+
+        The classic algorithm: every unvisited point gets its
+        eps-neighbourhood computed; core points seed clusters that are
+        grown by expanding the neighbourhoods of their core members;
+        points that end up in no cluster are labelled noise.
+        """
+        points = [tuple(float(x) for x in point) for point in points]
+        count = len(points)
+        labels = [None] * count  # type: List[Optional[int]]
+        cluster_id = 0
+
+        for index in range(count):
+            if labels[index] is not None:
+                continue
+            neighbours = self._region_query(points, index)
+            if len(neighbours) < self.min_pts:
+                labels[index] = NOISE
+                continue
+            labels[index] = cluster_id
+            self._expand_cluster(points, labels, neighbours, cluster_id)
+            cluster_id += 1
+
+        final_labels = [NOISE if label is None else label for label in labels]
+        result_keys = list(keys) if keys is not None else list(range(count))
+        if len(result_keys) != count:
+            raise ValueError("keys must have the same length as points")
+        return ClusterResult(points=list(points), labels=final_labels,
+                             keys=result_keys)
+
+    def _region_query(self, points: List[Sequence[float]],
+                      index: int) -> List[int]:
+        center = points[index]
+        return [other for other, point in enumerate(points)
+                if self.distance(center, point) <= self.eps]
+
+    def _expand_cluster(self, points: List[Sequence[float]],
+                        labels: List[Optional[int]],
+                        seeds: List[int], cluster_id: int) -> None:
+        queue = list(seeds)
+        position = 0
+        while position < len(queue):
+            neighbour = queue[position]
+            position += 1
+            label = labels[neighbour]
+            if label == NOISE:
+                labels[neighbour] = cluster_id
+                continue
+            if label is not None:
+                continue
+            labels[neighbour] = cluster_id
+            neighbour_region = self._region_query(points, neighbour)
+            if len(neighbour_region) >= self.min_pts:
+                queue.extend(neighbour_region)
+
+
+def dbscan(points: Sequence[Sequence[float]], eps: float, min_pts: int,
+           distance: DistanceFunction = euclidean,
+           keys: Optional[Sequence[Any]] = None) -> ClusterResult:
+    """Convenience function wrapping :class:`DBSCAN`."""
+    return DBSCAN(eps=eps, min_pts=min_pts, distance=distance).fit(
+        points, keys=keys)

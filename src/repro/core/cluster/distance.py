@@ -1,0 +1,77 @@
+"""Distance functions for the cluster statement.
+
+The ``distance=`` parameter of a SAQL cluster statement selects one of
+these by its short code; the paper uses ``"ed"`` (Euclidean distance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+Vector = Sequence[float]
+DistanceFunction = Callable[[Vector, Vector], float]
+
+
+def euclidean(left: Vector, right: Vector) -> float:
+    """Euclidean (L2) distance; the paper's ``"ed"``."""
+    _check_dimensions(left, right)
+    return math.sqrt(sum((a - b) ** 2 for a, b in zip(left, right)))
+
+
+def manhattan(left: Vector, right: Vector) -> float:
+    """Manhattan (L1) distance."""
+    _check_dimensions(left, right)
+    return sum(abs(a - b) for a, b in zip(left, right))
+
+
+def chebyshev(left: Vector, right: Vector) -> float:
+    """Chebyshev (L-infinity) distance."""
+    _check_dimensions(left, right)
+    if not left:
+        return 0.0
+    return max(abs(a - b) for a, b in zip(left, right))
+
+
+def cosine(left: Vector, right: Vector) -> float:
+    """Cosine distance (1 - cosine similarity)."""
+    _check_dimensions(left, right)
+    dot = sum(a * b for a, b in zip(left, right))
+    norm_left = math.sqrt(sum(a * a for a in left))
+    norm_right = math.sqrt(sum(b * b for b in right))
+    if norm_left == 0 or norm_right == 0:
+        return 1.0
+    return 1.0 - dot / (norm_left * norm_right)
+
+
+def _check_dimensions(left: Vector, right: Vector) -> None:
+    if len(left) != len(right):
+        raise ValueError(
+            f"distance between vectors of different dimensions "
+            f"({len(left)} vs {len(right)})")
+
+
+#: Registry keyed by the codes accepted in ``distance="..."``.
+DISTANCE_FUNCTIONS: Dict[str, DistanceFunction] = {
+    "ed": euclidean,
+    "euclidean": euclidean,
+    "l2": euclidean,
+    "md": manhattan,
+    "manhattan": manhattan,
+    "l1": manhattan,
+    "chebyshev": chebyshev,
+    "linf": chebyshev,
+    "cosine": cosine,
+}
+
+
+def get_distance(code: str) -> DistanceFunction:
+    """Return the distance function for a ``distance=`` code.
+
+    Raises:
+        ValueError: if the code is not recognised.
+    """
+    func = DISTANCE_FUNCTIONS.get(code.lower())
+    if func is None:
+        raise ValueError(f"unknown distance code {code!r}")
+    return func

@@ -1,0 +1,43 @@
+"""The SAQL anomaly query engine.
+
+The engine mirrors the architecture in Fig. 1 of the paper:
+
+* :mod:`repro.core.engine.matching` / :mod:`repro.core.engine.multievent_matcher`
+  — the *multievent matcher*, which matches stream events against the
+  query's event patterns (attribute constraints, operation alternation,
+  temporal order, shared entity variables);
+* :mod:`repro.core.engine.windows`, :mod:`repro.core.engine.state` —
+  the *state maintainer*: sliding-window assignment and per-group state
+  history;
+* :mod:`repro.core.engine.invariant` — invariant training and checking;
+* :mod:`repro.core.engine.clustering` — the cluster statement evaluator;
+* :mod:`repro.core.engine.query_engine` — the per-query executor tying the
+  pieces together and emitting alerts;
+* :mod:`repro.core.engine.error_reporter` — the error reporter.
+
+Concurrent execution of many queries with the master-dependent-query scheme
+lives in :mod:`repro.core.scheduler`.
+"""
+
+from repro.core.engine.alerts import Alert, AlertSink, CollectingSink
+from repro.core.engine.error_reporter import ErrorRecord, ErrorReporter
+from repro.core.engine.matching import PatternMatch, PatternMatcher
+from repro.core.engine.multievent_matcher import MultieventMatcher
+from repro.core.engine.query_engine import QueryEngine
+from repro.core.engine.state import StateMaintainer, WindowState
+from repro.core.engine.windows import WindowAssigner
+
+__all__ = [
+    "Alert",
+    "AlertSink",
+    "CollectingSink",
+    "ErrorRecord",
+    "ErrorReporter",
+    "MultieventMatcher",
+    "PatternMatch",
+    "PatternMatcher",
+    "QueryEngine",
+    "StateMaintainer",
+    "WindowAssigner",
+    "WindowState",
+]

@@ -1,0 +1,73 @@
+"""Alert records and alert sinks.
+
+An :class:`Alert` is the engine's output: one detected abnormal behaviour,
+carrying the values projected by the query's return clause plus enough
+context (query, window, group) for an analyst to investigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detection result produced by a SAQL query."""
+
+    query_name: str
+    timestamp: float
+    data: Tuple[Tuple[str, Any], ...]
+    model_kind: str = "rule"
+    group_key: Any = None
+    window_start: Optional[float] = None
+    window_end: Optional[float] = None
+    agentid: str = ""
+
+    @property
+    def record(self) -> Dict[str, Any]:
+        """Return the projected return-clause values as a dictionary."""
+        return dict(self.data)
+
+    def describe(self) -> str:
+        """Render a one-line human-readable description (used by the CLI)."""
+        fields = ", ".join(f"{key}={value}" for key, value in self.data)
+        window = ""
+        if self.window_start is not None and self.window_end is not None:
+            window = f" window=[{self.window_start:.0f},{self.window_end:.0f})"
+        return (f"[{self.query_name}] t={self.timestamp:.0f}"
+                f"{window} {fields}")
+
+
+class AlertSink:
+    """Receives alerts as the engine produces them."""
+
+    def emit(self, alert: Alert) -> None:
+        """Handle one alert."""
+        raise NotImplementedError
+
+
+class CollectingSink(AlertSink):
+    """An alert sink that simply accumulates alerts in a list."""
+
+    def __init__(self) -> None:
+        self.alerts: List[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __iter__(self):
+        return iter(self.alerts)
+
+
+class CallbackSink(AlertSink):
+    """An alert sink that invokes a callback for each alert."""
+
+    def __init__(self, callback) -> None:
+        self._callback = callback
+
+    def emit(self, alert: Alert) -> None:
+        self._callback(alert)

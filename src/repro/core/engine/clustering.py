@@ -1,0 +1,102 @@
+"""The cluster-statement evaluator for outlier-based anomaly models.
+
+When a window closes, the engine gathers one *comparison point* per group
+(the values named in the cluster statement's ``points=all(...)``), runs the
+declared clustering method with the declared distance function, and makes
+the per-group outcome available to the alert condition as
+``cluster.outlier`` / ``cluster.label`` (Query 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cluster.dbscan import DBSCAN, ClusterResult
+from repro.core.cluster.distance import get_distance
+from repro.core.cluster.kmeans import KMeans
+from repro.core.engine.context import GroupContext
+from repro.core.engine.state import StateHistory, WindowState
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr.evaluator import ExpressionEvaluator
+from repro.core.expr.values import to_number
+from repro.core.language import ast
+
+#: Default DBSCAN parameters when the method string omits them.
+DEFAULT_DBSCAN_EPS = 1000.0
+DEFAULT_DBSCAN_MIN_PTS = 3
+
+
+class ClusterEvaluator:
+    """Builds per-group comparison points and runs the declared clustering."""
+
+    def __init__(self, spec: ast.ClusterSpec, state_name: str):
+        self._spec = spec
+        self._state_name = state_name
+        self._distance = get_distance(spec.distance)
+        self._point_exprs = self._extract_point_expressions(spec.points)
+
+    @staticmethod
+    def _extract_point_expressions(points: ast.Expression
+                                   ) -> Tuple[ast.Expression, ...]:
+        """Unwrap ``all(expr, ...)`` into the per-group point expressions."""
+        if isinstance(points, ast.FuncCall) and points.name.lower() == "all":
+            if not points.args:
+                raise SAQLExecutionError("all() requires at least one argument")
+            return tuple(points.args)
+        return (points,)
+
+    def point_for(self, group_key: Any, history: StateHistory,
+                  state: WindowState) -> Optional[List[float]]:
+        """Evaluate one group's comparison point for the closing window."""
+        context = GroupContext(state_name=self._state_name, history=history)
+        evaluator = ExpressionEvaluator(context)
+        vector: List[float] = []
+        for expr in self._point_exprs:
+            value = evaluator.evaluate(expr)
+            if value is None:
+                return None
+            vector.append(to_number(value))
+        return vector
+
+    def cluster(self, points: Sequence[Sequence[float]],
+                keys: Sequence[Any]) -> ClusterResult:
+        """Run the declared clustering method over the window's points."""
+        method = self._spec.method.upper()
+        if method == "DBSCAN":
+            eps = (self._spec.method_args[0]
+                   if len(self._spec.method_args) >= 1 else DEFAULT_DBSCAN_EPS)
+            min_pts = (int(self._spec.method_args[1])
+                       if len(self._spec.method_args) >= 2
+                       else DEFAULT_DBSCAN_MIN_PTS)
+            algorithm = DBSCAN(eps=eps, min_pts=min_pts,
+                               distance=self._distance)
+            return algorithm.fit(points, keys=keys)
+        if method == "KMEANS":
+            n_clusters = (int(self._spec.method_args[0])
+                          if self._spec.method_args else 2)
+            algorithm = KMeans(n_clusters=n_clusters, distance=self._distance)
+            return algorithm.fit(points, keys=keys)
+        raise SAQLExecutionError(
+            f"unsupported clustering method {self._spec.method!r}")
+
+    def evaluate_window(self, window_states: Sequence[WindowState],
+                        histories: Dict[Any, StateHistory]
+                        ) -> Optional[ClusterResult]:
+        """Cluster all groups of one closed window.
+
+        Returns None when no group produced a usable comparison point.
+        """
+        points: List[List[float]] = []
+        keys: List[Any] = []
+        for state in window_states:
+            history = histories.get(state.group_key)
+            if history is None:
+                continue
+            point = self.point_for(state.group_key, history, state)
+            if point is None:
+                continue
+            points.append(point)
+            keys.append(state.group_key)
+        if not points:
+            return None
+        return self.cluster(points, keys)

@@ -1,0 +1,198 @@
+"""Evaluation contexts used by the engine.
+
+Three contexts implement the :class:`~repro.core.expr.evaluator.EvaluationContext`
+protocol:
+
+* :class:`RecordContext` — resolves names against a *single* pattern match
+  (used per event inside aggregations and for group-key evaluation);
+* :class:`AggregationContext` — resolves aggregation calls over all matches
+  of one window group (used for state definitions);
+* :class:`GroupContext` — resolves names for alert conditions, return items
+  and invariant updates: the state history, invariant variables, the
+  cluster result, and representative entity bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.cluster.dbscan import ClusterResult
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.state import StateHistory, WindowState
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr import functions
+from repro.core.expr.evaluator import ExpressionEvaluator
+from repro.core.language import ast
+from repro.events.entities import Entity
+from repro.events.event import Event
+
+
+class ClusterView:
+    """Exposes a group's clustering outcome to expressions (``cluster.outlier``)."""
+
+    def __init__(self, result: Optional[ClusterResult], group_key: Any):
+        self._result = result
+        self._group_key = group_key
+
+    @property
+    def outlier(self) -> bool:
+        """Return True when this group's point was labelled noise."""
+        if self._result is None:
+            return False
+        return self._result.is_outlier(self._group_key)
+
+    @property
+    def label(self) -> Optional[int]:
+        """Return this group's cluster label (None when not clustered)."""
+        if self._result is None:
+            return None
+        return self._result.label_of(self._group_key)
+
+    def get_attr(self, name: str) -> Any:
+        """Attribute access used by the evaluator."""
+        if name == "outlier":
+            return self.outlier
+        if name == "label":
+            return self.label
+        if name == "n_clusters":
+            return self._result.n_clusters if self._result else 0
+        return None
+
+
+def resolve_attribute(value: Any, attr: str) -> Any:
+    """Shared ``value.attr`` resolution over the engine's runtime values."""
+    if value is None:
+        return None
+    if isinstance(value, Entity):
+        return value.get_attr(attr)
+    if isinstance(value, Event):
+        return value.get_attr(attr)
+    if isinstance(value, WindowState):
+        return value.get_field(attr)
+    if isinstance(value, StateHistory):
+        current = value.current
+        if current is None:
+            return None
+        return current.get_field(attr)
+    if isinstance(value, ClusterView):
+        return value.get_attr(attr)
+    if isinstance(value, dict):
+        return value.get(attr)
+    raise SAQLExecutionError(
+        f"cannot access attribute {attr!r} on value of type "
+        f"{type(value).__name__}")
+
+
+class RecordContext:
+    """Resolves names against one pattern match (one event)."""
+
+    def __init__(self, match: PatternMatch):
+        self._match = match
+
+    def resolve_name(self, name: str) -> Any:
+        if name == self._match.alias or name == "evt":
+            return self._match.event
+        bound = self._match.bindings.get(name)
+        if bound is not None:
+            return bound
+        return None
+
+    def get_attribute(self, value: Any, attr: str) -> Any:
+        return resolve_attribute(value, attr)
+
+    def get_index(self, value: Any, index: Any) -> Any:
+        raise SAQLExecutionError("indexing is not supported per event")
+
+    def evaluate_aggregation(self, call: ast.FuncCall) -> Any:
+        raise SAQLExecutionError(
+            "nested aggregations are not supported")
+
+
+class AggregationContext:
+    """Resolves aggregation calls over the matches of one window group."""
+
+    def __init__(self, matches: Sequence[PatternMatch]):
+        self._matches = list(matches)
+
+    def resolve_name(self, name: str) -> Any:
+        # Non-aggregated references inside a state definition resolve
+        # against the group's most recent match.
+        if not self._matches:
+            return None
+        return RecordContext(self._matches[-1]).resolve_name(name)
+
+    def get_attribute(self, value: Any, attr: str) -> Any:
+        return resolve_attribute(value, attr)
+
+    def get_index(self, value: Any, index: Any) -> Any:
+        raise SAQLExecutionError(
+            "indexing is not supported inside state definitions")
+
+    def evaluate_aggregation(self, call: ast.FuncCall) -> Any:
+        if not call.args:
+            raise SAQLExecutionError(
+                f"aggregation {call.name!r} requires an argument")
+        value_expr = call.args[0]
+        extra_args: List[float] = []
+        for arg in call.args[1:]:
+            if not isinstance(arg, ast.Literal):
+                raise SAQLExecutionError(
+                    f"extra arguments of {call.name!r} must be literals")
+            extra_args.append(float(arg.value))
+        values = []
+        for match in self._matches:
+            evaluator = ExpressionEvaluator(RecordContext(match))
+            values.append(evaluator.evaluate(value_expr))
+        return functions.aggregate(call.name, values, *extra_args)
+
+
+class GroupContext:
+    """Resolves names for alert/return/invariant evaluation of one group."""
+
+    def __init__(self,
+                 state_name: Optional[str] = None,
+                 history: Optional[StateHistory] = None,
+                 invariant_values: Optional[Dict[str, Any]] = None,
+                 cluster_view: Optional[ClusterView] = None,
+                 bindings: Optional[Dict[str, Entity]] = None,
+                 events: Optional[Dict[str, Event]] = None):
+        self._state_name = state_name
+        self._history = history
+        self._invariant_values = invariant_values or {}
+        self._cluster_view = cluster_view
+        self._bindings = bindings or {}
+        self._events = events or {}
+
+    def resolve_name(self, name: str) -> Any:
+        if self._state_name is not None and name == self._state_name:
+            return self._history
+        if name == "cluster":
+            return self._cluster_view
+        if name in self._invariant_values:
+            return self._invariant_values[name]
+        if name in self._bindings:
+            return self._bindings[name]
+        if name in self._events:
+            return self._events[name]
+        if name == "evt" and len(self._events) == 1:
+            return next(iter(self._events.values()))
+        return None
+
+    def get_attribute(self, value: Any, attr: str) -> Any:
+        return resolve_attribute(value, attr)
+
+    def get_index(self, value: Any, index: Any) -> Any:
+        if isinstance(value, StateHistory):
+            state = value.get(int(index))
+            return state
+        if isinstance(value, (list, tuple)):
+            position = int(index)
+            if 0 <= position < len(value):
+                return value[position]
+            return None
+        raise SAQLExecutionError(
+            f"cannot index value of type {type(value).__name__}")
+
+    def evaluate_aggregation(self, call: ast.FuncCall) -> Any:
+        raise SAQLExecutionError(
+            f"aggregation {call.name!r} cannot appear outside a state block")

@@ -1,0 +1,71 @@
+"""The error reporter (Fig. 1 of the paper).
+
+During concurrent query execution one misbehaving query must not take the
+whole stream down; runtime errors are captured as :class:`ErrorRecord`
+entries that the CLI and the scheduler surface to the analyst.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class ErrorRecord:
+    """One captured error, attributed to a query."""
+
+    query_name: str
+    message: str
+    timestamp: Optional[float] = None
+    details: str = ""
+
+    def describe(self) -> str:
+        """Render a one-line description of the error."""
+        when = f" t={self.timestamp:.0f}" if self.timestamp is not None else ""
+        return f"[{self.query_name}]{when} ERROR: {self.message}"
+
+
+class ErrorReporter:
+    """Collects errors raised while executing queries over the stream."""
+
+    def __init__(self, max_records: int = 1000):
+        self._records: List[ErrorRecord] = []
+        self._max_records = max_records
+        self._dropped = 0
+
+    def report(self, query_name: str, error: Exception,
+               timestamp: Optional[float] = None) -> ErrorRecord:
+        """Record an exception and return the stored record."""
+        record = ErrorRecord(
+            query_name=query_name,
+            message=str(error),
+            timestamp=timestamp,
+            details="".join(traceback.format_exception_only(type(error),
+                                                            error)).strip(),
+        )
+        if len(self._records) < self._max_records:
+            self._records.append(record)
+        else:
+            self._dropped += 1
+        return record
+
+    @property
+    def records(self) -> List[ErrorRecord]:
+        """Return the captured error records (oldest first)."""
+        return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Return how many errors were dropped after the cap was reached."""
+        return self._dropped
+
+    def has_errors(self) -> bool:
+        """Return True when at least one error was reported."""
+        return bool(self._records)
+
+    def clear(self) -> None:
+        """Discard all captured errors."""
+        self._records.clear()
+        self._dropped = 0

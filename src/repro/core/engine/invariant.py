@@ -1,0 +1,114 @@
+"""Invariant training and checking.
+
+Invariant-based anomaly models (Query 3 of the paper) learn a description
+of normal behaviour over the first *k* sliding windows — e.g. the set of
+child processes Apache is seen to spawn — and alert on later deviations.
+
+Training is per group: each group-by key (each Apache instance, each host)
+maintains its own invariant variables.  In ``offline`` mode the invariant
+is frozen once the training windows have elapsed; in ``online`` mode the
+invariant keeps absorbing new behaviour after training (detection still
+runs, so a deviation is reported the first time it appears and then
+becomes part of the learned invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.engine.context import GroupContext
+from repro.core.engine.state import StateHistory
+from repro.core.expr.evaluator import ExpressionEvaluator
+from repro.core.language import ast
+
+
+@dataclass
+class GroupInvariant:
+    """The learned invariant values and training progress of one group."""
+
+    values: Dict[str, Any] = field(default_factory=dict)
+    windows_trained: int = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Return a copy of the current invariant values."""
+        return dict(self.values)
+
+
+class InvariantMaintainer:
+    """Maintains per-group invariants for one query."""
+
+    def __init__(self, block: ast.InvariantBlock, state_name: str):
+        self._block = block
+        self._state_name = state_name
+        self._groups: Dict[Any, GroupInvariant] = {}
+
+    @property
+    def training_windows(self) -> int:
+        """Return the number of training windows declared by the query."""
+        return self._block.training_windows
+
+    @property
+    def mode(self) -> str:
+        """Return the training mode (``offline`` or ``online``)."""
+        return self._block.mode
+
+    def group(self, group_key: Any) -> GroupInvariant:
+        """Return (creating if necessary) one group's invariant record."""
+        record = self._groups.get(group_key)
+        if record is None:
+            record = GroupInvariant(values=self._initial_values())
+            self._groups[group_key] = record
+        return record
+
+    def _initial_values(self) -> Dict[str, Any]:
+        values: Dict[str, Any] = {}
+        context = GroupContext()
+        evaluator = ExpressionEvaluator(context)
+        for statement in self._block.init_statements:
+            values[statement.name] = evaluator.evaluate(statement.expr)
+        return values
+
+    def is_training(self, group_key: Any) -> bool:
+        """Return True while a group is still inside its training phase."""
+        return self.group(group_key).windows_trained < self.training_windows
+
+    def observe_window(self, group_key: Any,
+                       history: StateHistory) -> bool:
+        """Fold one closed window into the group's invariant.
+
+        Returns True when the window was a *training* window, in which case
+        the engine suppresses alerts for this group (the paper trains on the
+        first *k* windows and only detects afterwards).
+        """
+        record = self.group(group_key)
+        training = record.windows_trained < self.training_windows
+
+        should_update = training or self.mode == "online"
+        if should_update:
+            self._apply_updates(record, history)
+        if training:
+            record.windows_trained += 1
+        return training
+
+    def _apply_updates(self, record: GroupInvariant,
+                       history: StateHistory) -> None:
+        context = GroupContext(
+            state_name=self._state_name,
+            history=history,
+            invariant_values=record.values,
+        )
+        evaluator = ExpressionEvaluator(context)
+        updates: Dict[str, Any] = {}
+        for statement in self._block.update_statements:
+            updates[statement.name] = evaluator.evaluate(statement.expr)
+        record.values.update(updates)
+
+    def values_for(self, group_key: Any) -> Dict[str, Any]:
+        """Return a copy of one group's current invariant values."""
+        return self.group(group_key).snapshot()
+
+    @property
+    def group_count(self) -> int:
+        """Return the number of groups with invariant state."""
+        return len(self._groups)

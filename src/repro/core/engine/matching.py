@@ -1,0 +1,134 @@
+"""Single event-pattern matching.
+
+The first stage of the multievent matcher: check one stream event against
+one event pattern (``proc p1["%cmd.exe"] start proc p2["%osql.exe"]``),
+enforcing the query's global constraints, the operation alternation and
+both entities' attribute constraints.  A successful match yields a
+:class:`PatternMatch` carrying the entity-variable bindings that later
+stages (temporal sequencing, grouping, projection) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expr.values import compare_values, like_match
+from repro.core.language import ast
+from repro.events.entities import Entity
+from repro.events.event import Event
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One event matched against one pattern, with variable bindings."""
+
+    alias: str
+    event: Event
+    bindings: Dict[str, Entity] = field(default_factory=dict)
+
+    @property
+    def timestamp(self) -> float:
+        """Return the matched event's timestamp."""
+        return self.event.timestamp
+
+
+def check_constraint(entity: Entity,
+                     constraint: ast.AttributeConstraint) -> bool:
+    """Check one attribute constraint against an entity."""
+    if constraint.attr is None:
+        value = entity.get_attr(entity.default_attribute)
+    else:
+        value = entity.get_attr(constraint.attr)
+    return _apply_operator(constraint.op, value, constraint.value)
+
+
+def check_global_constraint(event: Event,
+                            constraint: ast.GlobalConstraint) -> bool:
+    """Check one query-wide constraint (e.g. ``agentid = ...``) on an event."""
+    value = event.get_attr(constraint.attr)
+    if value is None:
+        # Global constraints may also target subject attributes (e.g. a
+        # query pinned to events of one executable).
+        value = event.subject.get_attr(constraint.attr)
+    return _apply_operator(constraint.op, value, constraint.value)
+
+
+def _apply_operator(op: str, value: Any, expected: Any) -> bool:
+    if op == "like":
+        return like_match(value, str(expected))
+    return compare_values(op, value, expected)
+
+
+def entity_matches(entity: Entity, declaration: ast.EntityDeclaration) -> bool:
+    """Check that an entity has the declared type and satisfies constraints."""
+    if entity.entity_type.value != declaration.entity_type:
+        return False
+    return all(check_constraint(entity, constraint)
+               for constraint in declaration.constraints)
+
+
+class PatternMatcher:
+    """Matches stream events against the event patterns of one query."""
+
+    def __init__(self, query: ast.Query):
+        self._query = query
+        self._patterns: Tuple[ast.EventPatternDeclaration, ...] = tuple(
+            query.patterns)
+        self._global_constraints = tuple(query.global_constraints)
+        #: Matching statistics for benchmarks (events seen / matched).
+        self.events_seen = 0
+        self.events_matched = 0
+
+    @property
+    def patterns(self) -> Tuple[ast.EventPatternDeclaration, ...]:
+        """Return the patterns this matcher evaluates."""
+        return self._patterns
+
+    def passes_global_constraints(self, event: Event) -> bool:
+        """Check the query-wide constraints for one event."""
+        return all(check_global_constraint(event, constraint)
+                   for constraint in self._global_constraints)
+
+    def match_event(self, event: Event) -> List[PatternMatch]:
+        """Return the pattern matches produced by one stream event.
+
+        An event can match several patterns of the same query (e.g. the two
+        network patterns of a query using both ``read`` and ``write``), so a
+        list is returned.  The global constraints are checked once.
+        """
+        self.events_seen += 1
+        if not self.passes_global_constraints(event):
+            return []
+        matches: List[PatternMatch] = []
+        for pattern in self._patterns:
+            match = self.match_pattern(event, pattern)
+            if match is not None:
+                matches.append(match)
+        if matches:
+            self.events_matched += 1
+        return matches
+
+    def match_pattern(self, event: Event,
+                      pattern: ast.EventPatternDeclaration
+                      ) -> Optional[PatternMatch]:
+        """Match one event against one pattern (no global constraints)."""
+        if event.operation.value not in pattern.operations:
+            return None
+        if not entity_matches(event.subject, pattern.subject):
+            return None
+        if not entity_matches(event.obj, pattern.object):
+            return None
+        bindings = {
+            pattern.subject.variable: event.subject,
+            pattern.object.variable: event.obj,
+        }
+        return PatternMatch(alias=pattern.alias, event=event,
+                            bindings=bindings)
+
+    @property
+    def selectivity(self) -> float:
+        """Return the fraction of seen events that matched any pattern."""
+        if self.events_seen == 0:
+            return 0.0
+        return self.events_matched / self.events_seen

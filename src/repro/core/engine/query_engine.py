@@ -1,0 +1,311 @@
+"""The per-query executor.
+
+:class:`QueryEngine` ties together the engine stages for one SAQL query:
+multievent matching, sliding-window state maintenance, invariant training,
+clustering, alert evaluation and return projection.  It supports both batch
+execution over a finite stream (:meth:`execute`) and incremental, per-event
+execution (:meth:`process_event` / :meth:`finish`) as used by the CLI and
+the concurrent query scheduler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine.alerts import Alert, AlertSink
+from repro.core.engine.clustering import ClusterEvaluator
+from repro.core.engine.context import ClusterView, GroupContext
+from repro.core.engine.error_reporter import ErrorReporter
+from repro.core.engine.invariant import InvariantMaintainer
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.multievent_matcher import MultieventMatcher, SequenceMatch
+from repro.core.engine.state import StateMaintainer, WindowState
+from repro.core.engine.windows import WindowAssigner, WindowKey
+from repro.core.errors import SAQLError, SAQLExecutionError
+from repro.core.expr.evaluator import ExpressionEvaluator
+from repro.core.language import ast, format_query, parse_query
+from repro.core.language.formatter import format_expression
+from repro.events.entities import Entity
+from repro.events.event import Event
+
+_ENGINE_COUNTER = itertools.count(1)
+
+
+class QueryEngine:
+    """Executes one SAQL query over a stream of system events."""
+
+    def __init__(self, query: Union[str, ast.Query],
+                 name: Optional[str] = None,
+                 sink: Optional[AlertSink] = None,
+                 error_reporter: Optional[ErrorReporter] = None,
+                 sequence_horizon: Optional[float] = None):
+        if isinstance(query, str):
+            query = parse_query(query)
+        self._query = query
+        self.name = name or query.name or f"query-{next(_ENGINE_COUNTER)}"
+        self._sink = sink
+        self._error_reporter = error_reporter
+
+        self._matcher = MultieventMatcher(query, horizon=sequence_horizon)
+        self._window_assigner = WindowAssigner(query.window)
+        self._state_maintainer: Optional[StateMaintainer] = (
+            StateMaintainer(query) if query.state is not None else None)
+        self._invariant: Optional[InvariantMaintainer] = None
+        if query.invariant is not None and query.state is not None:
+            self._invariant = InvariantMaintainer(query.invariant,
+                                                  query.state.name)
+        self._cluster: Optional[ClusterEvaluator] = None
+        if query.cluster is not None and query.state is not None:
+            self._cluster = ClusterEvaluator(query.cluster, query.state.name)
+
+        self._seen_distinct: set = set()
+        self.events_processed = 0
+        self.alerts_emitted = 0
+        self._collected: List[Alert] = []
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def query(self) -> ast.Query:
+        """Return the (parsed, analyzed) query this engine executes."""
+        return self._query
+
+    @property
+    def matcher(self) -> MultieventMatcher:
+        """Return the multievent matcher (exposed for the scheduler)."""
+        return self._matcher
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Return all alerts emitted so far."""
+        return list(self._collected)
+
+    def execute(self, stream: Iterable[Event]) -> List[Alert]:
+        """Run the query over a finite stream and return all alerts."""
+        for event in stream:
+            self.process_event(event)
+        self.finish()
+        return self.alerts
+
+    def process_event(self, event: Event) -> List[Alert]:
+        """Feed one event; return the alerts it triggered (may be empty)."""
+        matches = self._matcher.pattern_matcher.match_event(event)
+        return self.process_matches(event, matches)
+
+    def process_matches(self, event: Event,
+                        matches: Sequence[PatternMatch]) -> List[Alert]:
+        """Feed one event whose pattern matches were computed externally.
+
+        The concurrent query scheduler uses this entry point so dependent
+        queries can reuse the pattern matches of their master query.
+        """
+        self.events_processed += 1
+        try:
+            if self._state_maintainer is not None:
+                return self._process_stateful(event, matches)
+            return self._process_rule(event, matches)
+        except SAQLError as error:
+            if self._error_reporter is None:
+                raise
+            self._error_reporter.report(self.name, error,
+                                        timestamp=event.timestamp)
+            return []
+
+    def finish(self) -> List[Alert]:
+        """Flush all still-open windows (end of stream) and return new alerts."""
+        if self._state_maintainer is None:
+            return []
+        try:
+            return self._close_windows(watermark=float("inf"))
+        except SAQLError as error:
+            if self._error_reporter is None:
+                raise
+            self._error_reporter.report(self.name, error)
+            return []
+
+    # -- rule-based path -------------------------------------------------------
+
+    def _process_rule(self, event: Event,
+                      matches: Sequence[PatternMatch]) -> List[Alert]:
+        alerts: List[Alert] = []
+        sequences = self._matcher.process_matches(event, matches)
+        for sequence in sequences:
+            alert = self._emit_rule_alert(sequence)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def _emit_rule_alert(self, sequence: SequenceMatch) -> Optional[Alert]:
+        context = GroupContext(bindings=sequence.bindings,
+                               events=sequence.events)
+        evaluator = ExpressionEvaluator(context)
+        if self._query.alert is not None:
+            if not evaluator.evaluate_truthy(self._query.alert.condition):
+                return None
+        last_event = max(sequence.matches, key=lambda m: m.timestamp).event
+        return self._emit_alert(
+            evaluator=evaluator,
+            timestamp=sequence.timestamp,
+            group_key=None,
+            window=None,
+            agentid=last_event.agentid,
+        )
+
+    # -- stateful path -----------------------------------------------------------
+
+    def _process_stateful(self, event: Event,
+                          matches: Sequence[PatternMatch]) -> List[Alert]:
+        assert self._state_maintainer is not None
+        for match in matches:
+            for window in self._window_assigner.assign(match.timestamp):
+                self._state_maintainer.add_match(window, match)
+        watermark = self._current_watermark(event)
+        return self._close_windows(watermark)
+
+    def _current_watermark(self, event: Event) -> float:
+        spec = self._window_assigner.spec
+        if spec is not None and spec.kind == "count":
+            # Count-based windows close on the match ordinal, which the
+            # assigner tracks internally; expose it via a private attribute.
+            return float(self._window_assigner._count_seen)
+        return event.timestamp
+
+    def _close_windows(self, watermark: float) -> List[Alert]:
+        assert self._state_maintainer is not None
+        due = [window for window in self._state_maintainer.open_windows()
+               if window.end <= watermark]
+        alerts: List[Alert] = []
+        for window in sorted(due, key=lambda key: key.end):
+            alerts.extend(self._process_closed_window(window))
+        return alerts
+
+    def _process_closed_window(self, window: WindowKey) -> List[Alert]:
+        assert self._state_maintainer is not None
+        states = self._state_maintainer.close_window(window)
+        if not states:
+            return []
+        histories = {
+            state.group_key: self._state_maintainer.history_for(state.group_key)
+            for state in states
+        }
+        cluster_result = None
+        if self._cluster is not None:
+            cluster_result = self._cluster.evaluate_window(states, histories)
+
+        alerts: List[Alert] = []
+        for state in states:
+            alert = self._evaluate_group(window, state, histories,
+                                         cluster_result)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def _evaluate_group(self, window: WindowKey, state: WindowState,
+                        histories: Dict[Any, Any],
+                        cluster_result) -> Optional[Alert]:
+        assert self._state_maintainer is not None
+        history = histories[state.group_key]
+
+        in_training = False
+        invariant_values: Dict[str, Any] = {}
+        if self._invariant is not None:
+            invariant_values = self._invariant.values_for(state.group_key)
+            in_training = self._invariant.is_training(state.group_key)
+
+        bindings: Dict[str, Entity] = {}
+        events: Dict[str, Event] = {}
+        agentid = ""
+        if state.representative is not None:
+            bindings = dict(state.representative.bindings)
+            events = {state.representative.alias: state.representative.event}
+            agentid = state.representative.event.agentid
+
+        context = GroupContext(
+            state_name=self._state_maintainer.state_name,
+            history=history,
+            invariant_values=invariant_values,
+            cluster_view=ClusterView(cluster_result, state.group_key),
+            bindings=bindings,
+            events=events,
+        )
+        evaluator = ExpressionEvaluator(context)
+
+        fire = True
+        if in_training:
+            fire = False
+        elif self._query.alert is not None:
+            fire = evaluator.evaluate_truthy(self._query.alert.condition)
+
+        alert: Optional[Alert] = None
+        if fire:
+            alert = self._emit_alert(
+                evaluator=evaluator,
+                timestamp=window.end,
+                group_key=state.group_key,
+                window=window,
+                agentid=agentid,
+            )
+
+        # The invariant absorbs this window only after detection, so a
+        # deviation is reported before it becomes part of the invariant.
+        if self._invariant is not None:
+            self._invariant.observe_window(state.group_key, history)
+        return alert
+
+    # -- alert construction -------------------------------------------------------
+
+    def _emit_alert(self, evaluator: ExpressionEvaluator, timestamp: float,
+                    group_key: Any, window: Optional[WindowKey],
+                    agentid: str) -> Optional[Alert]:
+        data = self._project_returns(evaluator)
+        if self._query.returns is not None and self._query.returns.distinct:
+            key = (group_key, data)
+            if key in self._seen_distinct:
+                return None
+            self._seen_distinct.add(key)
+        alert = Alert(
+            query_name=self.name,
+            timestamp=timestamp,
+            data=data,
+            model_kind=self._query.model_kind,
+            group_key=group_key,
+            window_start=window.start if window is not None else None,
+            window_end=window.end if window is not None else None,
+            agentid=agentid,
+        )
+        self.alerts_emitted += 1
+        self._collected.append(alert)
+        if self._sink is not None:
+            self._sink.emit(alert)
+        return alert
+
+    def _project_returns(self, evaluator: ExpressionEvaluator
+                         ) -> Tuple[Tuple[str, Any], ...]:
+        returns = self._query.returns
+        if returns is None:
+            return ()
+        projected: List[Tuple[str, Any]] = []
+        for item in returns.items:
+            label = item.alias or format_expression(item.expr)
+            value = evaluator.evaluate(item.expr)
+            projected.append((label, _projectable(value)))
+        return tuple(projected)
+
+
+def _projectable(value: Any) -> Any:
+    """Convert engine runtime values to alert-friendly plain values.
+
+    Entities project to their default attribute (the paper's context-aware
+    shortcut: ``p1`` returns ``p1.exe_name``); events project to their id;
+    sets become sorted tuples so alerts are hashable and stable.
+    """
+    if isinstance(value, Entity):
+        return value.default_value()
+    if isinstance(value, Event):
+        return value.event_id
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(str(item) for item in value))
+    if isinstance(value, float) and value.is_integer():
+        return value
+    return value

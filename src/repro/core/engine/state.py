@@ -1,0 +1,191 @@
+"""The state maintainer: per-window, per-group stateful computation.
+
+For stateful queries the engine accumulates the pattern matches of each
+sliding window, partitioned by the query's ``group by`` keys.  When a
+window closes, the state maintainer evaluates the state block's aggregation
+definitions for every group and appends the resulting
+:class:`WindowState` to that group's bounded history (``state[3] ss`` keeps
+the current window plus two past windows, addressed as ``ss[0]``,
+``ss[1]``, ``ss[2]`` in alert conditions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.windows import WindowKey
+from repro.core.expr.evaluator import ExpressionEvaluator
+from repro.core.language import ast
+from repro.events.entities import Entity
+
+
+@dataclass
+class WindowState:
+    """The computed state of one group for one closed window."""
+
+    group_key: Any
+    window: WindowKey
+    fields: Dict[str, Any]
+    representative: Optional[PatternMatch] = None
+    match_count: int = 0
+
+    def get_field(self, name: str) -> Any:
+        """Return a computed state field (None when undefined)."""
+        return self.fields.get(name)
+
+
+class StateHistory:
+    """Bounded history of a group's window states, most recent first."""
+
+    def __init__(self, history_length: int):
+        if history_length < 1:
+            raise ValueError("history length must be at least 1")
+        self._states: Deque[WindowState] = deque(maxlen=history_length)
+        self._history_length = history_length
+
+    def push(self, state: WindowState) -> None:
+        """Record a newly closed window's state as the most recent entry."""
+        self._states.appendleft(state)
+
+    def get(self, index: int) -> Optional[WindowState]:
+        """Return the state ``index`` windows ago (0 = current window)."""
+        if index < 0 or index >= len(self._states):
+            return None
+        return self._states[index]
+
+    @property
+    def current(self) -> Optional[WindowState]:
+        """Return the most recently closed window's state."""
+        return self.get(0)
+
+    @property
+    def length(self) -> int:
+        """Return how many window states are currently held."""
+        return len(self._states)
+
+    @property
+    def capacity(self) -> int:
+        """Return the configured history length."""
+        return self._history_length
+
+    def __iter__(self):
+        return iter(self._states)
+
+
+class StateMaintainer:
+    """Accumulates matches per window/group and computes window states."""
+
+    def __init__(self, query: ast.Query,
+                 context_factory=None):
+        if query.state is None:
+            raise ValueError("StateMaintainer requires a query with a state block")
+        self._query = query
+        self._state = query.state
+        self._context_factory = context_factory
+        # (window index) -> group key -> matches
+        self._pending: Dict[WindowKey, Dict[Any, List[PatternMatch]]] = {}
+        self._histories: Dict[Any, StateHistory] = {}
+        #: total matches accumulated, for benchmarks
+        self.total_matches = 0
+
+    # -- accumulation -------------------------------------------------------
+
+    def add_match(self, window: WindowKey, match: PatternMatch) -> None:
+        """Add one pattern match to its window/group bucket."""
+        group_key = self.group_key_for(match)
+        groups = self._pending.setdefault(window, {})
+        groups.setdefault(group_key, []).append(match)
+        self.total_matches += 1
+
+    def group_key_for(self, match: PatternMatch) -> Any:
+        """Evaluate the ``group by`` keys for one match.
+
+        Entity-variable keys (``group by p``) group by the entity's default
+        attribute (the process executable name, mirroring the paper's
+        per-application grouping); attribute keys (``group by i.dstip``)
+        group by that attribute's value.  Without a ``group by`` clause all
+        matches fall into a single group.
+        """
+        if not self._state.group_by:
+            return "__all__"
+        values: List[Any] = []
+        for key_expr in self._state.group_by:
+            values.append(self._evaluate_group_key(key_expr, match))
+        if len(values) == 1:
+            return values[0]
+        return tuple(values)
+
+    def _evaluate_group_key(self, expr: ast.Expression,
+                            match: PatternMatch) -> Any:
+        if isinstance(expr, ast.Identifier):
+            bound = match.bindings.get(expr.name)
+            if isinstance(bound, Entity):
+                return bound.default_value()
+            if expr.name == match.alias:
+                return match.event.agentid
+            return None
+        if isinstance(expr, ast.AttributeRef):
+            base = expr.base
+            if isinstance(base, ast.Identifier):
+                bound = match.bindings.get(base.name)
+                if isinstance(bound, Entity):
+                    return bound.get_attr(expr.attr)
+                if base.name == match.alias:
+                    return match.event.get_attr(expr.attr)
+            return None
+        return None
+
+    # -- window closing -------------------------------------------------------
+
+    def open_windows(self) -> List[WindowKey]:
+        """Return the windows that currently hold accumulated matches."""
+        return list(self._pending.keys())
+
+    def close_window(self, window: WindowKey) -> List[WindowState]:
+        """Compute and record the states of all groups of a closing window."""
+        groups = self._pending.pop(window, {})
+        states: List[WindowState] = []
+        for group_key, matches in groups.items():
+            state = self._compute_state(window, group_key, matches)
+            history = self._histories.setdefault(
+                group_key, StateHistory(self._state.history))
+            history.push(state)
+            states.append(state)
+        return states
+
+    def _compute_state(self, window: WindowKey, group_key: Any,
+                       matches: List[PatternMatch]) -> WindowState:
+        from repro.core.engine.context import AggregationContext
+
+        context = AggregationContext(matches)
+        evaluator = ExpressionEvaluator(context)
+        fields: Dict[str, Any] = {}
+        for definition in self._state.definitions:
+            fields[definition.name] = evaluator.evaluate(definition.expr)
+        return WindowState(
+            group_key=group_key,
+            window=window,
+            fields=fields,
+            representative=matches[-1] if matches else None,
+            match_count=len(matches),
+        )
+
+    # -- history access ---------------------------------------------------------
+
+    def history_for(self, group_key: Any) -> StateHistory:
+        """Return (creating if necessary) the history of one group."""
+        return self._histories.setdefault(
+            group_key, StateHistory(self._state.history))
+
+    @property
+    def group_count(self) -> int:
+        """Return the number of groups with recorded history."""
+        return len(self._histories)
+
+    @property
+    def state_name(self) -> str:
+        """Return the state block's declared name (e.g. ``ss``)."""
+        return self._state.name

@@ -1,0 +1,106 @@
+"""Sliding-window assignment for stateful queries.
+
+SAQL's stateful constructs (state blocks, invariants, clustering) are
+computed *per sliding window* over the stream (Section II-B.2 of the
+paper).  The :class:`WindowAssigner` turns a window specification
+(``#time(10 min)`` / ``#count(1000)``) into window identifiers:
+
+* **time windows** are aligned to the epoch: window *i* covers
+  ``[i * hop, i * hop + length)``; with the default hop (= length) this is
+  the tumbling behaviour the paper's queries use;
+* **count windows** batch every ``length`` matched events.
+
+The engine closes a window once an event arrives whose timestamp lies
+beyond that window's end (watermark = event time), then computes its state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.language import ast
+
+
+@dataclass(frozen=True)
+class WindowKey:
+    """Identifies one window instance."""
+
+    index: int
+    start: float
+    end: float
+
+    def contains(self, timestamp: float) -> bool:
+        """Return True when the timestamp falls inside this window."""
+        return self.start <= timestamp < self.end
+
+
+class WindowAssigner:
+    """Maps event timestamps (or event ordinals) to window instances."""
+
+    def __init__(self, spec: Optional[ast.WindowSpec]):
+        self._spec = spec
+        self._count_seen = 0
+
+    @property
+    def spec(self) -> Optional[ast.WindowSpec]:
+        """Return the window specification (None for rule-based queries)."""
+        return self._spec
+
+    @property
+    def is_windowed(self) -> bool:
+        """Return True when the query computes per-window state."""
+        return self._spec is not None
+
+    def assign(self, timestamp: float) -> List[WindowKey]:
+        """Return the windows an event at ``timestamp`` belongs to.
+
+        For count-based windows the internal ordinal counter advances on
+        each call, so the caller must invoke :meth:`assign` exactly once per
+        matched event.
+        """
+        spec = self._spec
+        if spec is None:
+            return []
+        if spec.kind == "count":
+            index = self._count_seen // int(spec.length)
+            self._count_seen += 1
+            start = index * spec.length
+            return [WindowKey(index=index, start=start,
+                              end=start + spec.length)]
+        return self._assign_time(timestamp)
+
+    def _assign_time(self, timestamp: float) -> List[WindowKey]:
+        spec = self._spec
+        assert spec is not None
+        hop = spec.effective_hop
+        length = spec.length
+        if hop <= 0:
+            raise ValueError("window hop must be positive")
+        # The newest window whose start is <= timestamp.  Guard against the
+        # division rounding up to the next hop boundary.
+        newest = int(math.floor(timestamp / hop))
+        while newest > 0 and newest * hop > timestamp:
+            newest -= 1
+        keys: List[WindowKey] = []
+        index = newest
+        while index >= 0:
+            start = index * hop
+            if start + length <= timestamp:
+                break
+            keys.append(WindowKey(index=index, start=start,
+                                  end=start + length))
+            index -= 1
+        keys.reverse()
+        return keys
+
+    def window_end_for(self, key: WindowKey) -> float:
+        """Return the closing time of a window (same as ``key.end``)."""
+        return key.end
+
+    def closed_before(self, open_windows: Iterable[WindowKey],
+                      watermark: float) -> List[WindowKey]:
+        """Return the given windows whose end lies at or before ``watermark``."""
+        return sorted((key for key in open_windows if key.end <= watermark),
+                      key=lambda key: key.end)

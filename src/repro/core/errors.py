@@ -1,0 +1,53 @@
+"""Exception hierarchy for the SAQL system.
+
+All errors raised by the parser, analyzer and engine derive from
+:class:`SAQLError`, so applications can catch one type at the top level.
+The engine's error reporter (Fig. 1 of the paper) collects these during
+query execution instead of letting one bad query kill the stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SAQLError(Exception):
+    """Base class for every error raised by the SAQL system."""
+
+
+class SAQLParseError(SAQLError):
+    """A syntax error in a SAQL query.
+
+    Carries the line and column of the offending token so the CLI can show
+    a pointer into the query text.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None,
+                 column: Optional[int] = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location += ")"
+        super().__init__(f"{message}{location}")
+
+
+class SAQLSemanticError(SAQLError):
+    """A query is syntactically valid but semantically inconsistent.
+
+    Examples: referencing an undeclared entity variable, using ``ss[2]``
+    when the state history only keeps two windows, or a cluster statement
+    without a state block.
+    """
+
+
+class SAQLExecutionError(SAQLError):
+    """A runtime failure while executing a query over the stream."""
+
+    def __init__(self, message: str, query_name: Optional[str] = None):
+        self.query_name = query_name
+        prefix = f"[{query_name}] " if query_name else ""
+        super().__init__(f"{prefix}{message}")

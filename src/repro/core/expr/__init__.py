@@ -1,0 +1,39 @@
+"""Expression evaluation for SAQL queries.
+
+This package turns the expression AST into values at query-execution time.
+It is split into:
+
+* :mod:`repro.core.expr.values` — runtime value helpers (truthiness, sets,
+  SQL-LIKE wildcard matching, comparison semantics);
+* :mod:`repro.core.expr.functions` — the aggregation- and scalar-function
+  registry (``avg``, ``sum``, ``set``, ``percentile``, ...);
+* :mod:`repro.core.expr.evaluator` — the expression evaluator and the
+  evaluation-context protocol the engine implements.
+"""
+
+from repro.core.expr.evaluator import EvaluationContext, ExpressionEvaluator
+from repro.core.expr.functions import (
+    AGGREGATIONS,
+    SCALARS,
+    aggregate,
+    is_aggregation,
+)
+from repro.core.expr.values import (
+    is_truthy,
+    like_match,
+    compare_values,
+    to_number,
+)
+
+__all__ = [
+    "AGGREGATIONS",
+    "EvaluationContext",
+    "ExpressionEvaluator",
+    "SCALARS",
+    "aggregate",
+    "compare_values",
+    "is_aggregation",
+    "is_truthy",
+    "like_match",
+    "to_number",
+]

@@ -1,0 +1,154 @@
+"""The SAQL expression evaluator.
+
+The evaluator walks expression ASTs and produces runtime values.  It is
+parameterized by an :class:`EvaluationContext`, which the engine implements
+to resolve names (entity variables, pattern aliases, the state name,
+invariant variables, ``cluster``) and to evaluate aggregation calls against
+the current window group.
+
+Two evaluation modes exist:
+
+* **scalar mode** (alert conditions, return items, invariant updates) —
+  aggregation calls are *not* re-computed; the context resolves already-
+  aggregated state fields;
+* **aggregation mode** (state definitions) — aggregation calls reduce the
+  per-event values of the current window group; the context supplies the
+  per-event evaluation hook.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Protocol, Sequence
+
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr import functions, values
+from repro.core.language import ast
+
+
+class EvaluationContext(Protocol):
+    """What the evaluator needs from its surrounding execution context."""
+
+    def resolve_name(self, name: str) -> Any:
+        """Resolve a bare identifier to a runtime value."""
+        ...
+
+    def get_attribute(self, value: Any, attr: str) -> Any:
+        """Resolve ``value.attr``."""
+        ...
+
+    def get_index(self, value: Any, index: Any) -> Any:
+        """Resolve ``value[index]``."""
+        ...
+
+    def evaluate_aggregation(self, call: ast.FuncCall) -> Any:
+        """Evaluate an aggregation call against the current window group."""
+        ...
+
+
+class ExpressionEvaluator:
+    """Evaluates expression ASTs against an :class:`EvaluationContext`."""
+
+    def __init__(self, context: EvaluationContext):
+        self._context = context
+
+    def evaluate(self, expr: ast.Expression) -> Any:
+        """Evaluate ``expr`` and return its runtime value."""
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.EmptySet):
+            return frozenset()
+        if isinstance(expr, ast.Identifier):
+            return self._context.resolve_name(expr.name)
+        if isinstance(expr, ast.AttributeRef):
+            base = self.evaluate(expr.base)
+            return self._context.get_attribute(base, expr.attr)
+        if isinstance(expr, ast.IndexRef):
+            base = self.evaluate(expr.base)
+            index = self.evaluate(expr.index)
+            return self._context.get_index(base, index)
+        if isinstance(expr, ast.UnaryOp):
+            return self._evaluate_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._evaluate_binary(expr)
+        if isinstance(expr, ast.SizeOf):
+            return values.size_of(self.evaluate(expr.operand))
+        if isinstance(expr, ast.FuncCall):
+            return self._evaluate_call(expr)
+        raise SAQLExecutionError(
+            f"cannot evaluate expression of type {type(expr).__name__}")
+
+    def evaluate_truthy(self, expr: ast.Expression) -> bool:
+        """Evaluate ``expr`` and coerce the result to a boolean."""
+        return values.is_truthy(self.evaluate(expr))
+
+    # -- operator handling -------------------------------------------------
+
+    def _evaluate_unary(self, expr: ast.UnaryOp) -> Any:
+        operand = self.evaluate(expr.operand)
+        if expr.op == "!":
+            return not values.is_truthy(operand)
+        if expr.op == "-":
+            return -values.to_number(operand)
+        raise SAQLExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _evaluate_binary(self, expr: ast.BinaryOp) -> Any:
+        op = expr.op
+
+        # Short-circuiting boolean connectives.
+        if op == "&&":
+            if not self.evaluate_truthy(expr.left):
+                return False
+            return values.is_truthy(self.evaluate(expr.right))
+        if op == "||":
+            if self.evaluate_truthy(expr.left):
+                return True
+            return values.is_truthy(self.evaluate(expr.right))
+
+        left = self.evaluate(expr.left)
+        right = self.evaluate(expr.right)
+
+        if op in (">", ">=", "<", "<=", "==", "=", "!="):
+            return values.compare_values(op, left, right)
+        if op == "in":
+            return left in values.as_set(right)
+        if op == "union":
+            return values.set_union(left, right)
+        if op == "diff":
+            return values.set_diff(left, right)
+        if op == "intersect":
+            return values.set_intersect(left, right)
+
+        left_num = values.to_number(left)
+        right_num = values.to_number(right)
+        if op == "+":
+            return left_num + right_num
+        if op == "-":
+            return left_num - right_num
+        if op == "*":
+            return left_num * right_num
+        if op == "/":
+            if right_num == 0:
+                return 0.0
+            return left_num / right_num
+        if op == "%":
+            if right_num == 0:
+                return 0.0
+            return left_num % right_num
+        raise SAQLExecutionError(f"unknown binary operator {op!r}")
+
+    def _evaluate_call(self, call: ast.FuncCall) -> Any:
+        name = call.name.lower()
+        if functions.is_aggregation(name):
+            return self._context.evaluate_aggregation(call)
+        scalar = functions.SCALARS.get(name)
+        if scalar is not None:
+            args = [self.evaluate(arg) for arg in call.args]
+            return scalar(*args)
+        if name == "all":
+            # ``all(...)`` is only meaningful inside a cluster statement,
+            # where the cluster evaluator interprets it; evaluating it as a
+            # plain expression returns the single argument's value.
+            if len(call.args) != 1:
+                raise SAQLExecutionError("all() takes exactly one argument")
+            return self.evaluate(call.args[0])
+        raise SAQLExecutionError(f"unknown function {call.name!r}")

@@ -1,0 +1,176 @@
+"""Aggregation and scalar functions available to SAQL queries.
+
+Aggregations are used inside state definitions (``avg(evt.amount)``) and
+reduce the per-event values of one sliding-window group to a single value.
+Scalar functions (``abs``, ``sqrt``, ``len``) operate on already-computed
+values inside alert conditions and return items.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr.values import to_number
+
+
+def _numeric(values: Sequence[Any]) -> List[float]:
+    return [to_number(value) for value in values if value is not None]
+
+
+def agg_avg(values: Sequence[Any]) -> float:
+    """Arithmetic mean of the non-missing values (0 when empty)."""
+    nums = _numeric(values)
+    if not nums:
+        return 0.0
+    return sum(nums) / len(nums)
+
+
+def agg_sum(values: Sequence[Any]) -> float:
+    """Sum of the non-missing values."""
+    return float(sum(_numeric(values)))
+
+
+def agg_count(values: Sequence[Any]) -> int:
+    """Number of non-missing values."""
+    return sum(1 for value in values if value is not None)
+
+
+def agg_min(values: Sequence[Any]) -> float:
+    """Minimum of the non-missing values (0 when empty)."""
+    nums = _numeric(values)
+    return min(nums) if nums else 0.0
+
+
+def agg_max(values: Sequence[Any]) -> float:
+    """Maximum of the non-missing values (0 when empty)."""
+    nums = _numeric(values)
+    return max(nums) if nums else 0.0
+
+
+def agg_set(values: Sequence[Any]) -> frozenset:
+    """The distinct set of non-missing values (the paper's ``set()``)."""
+    return frozenset(value for value in values if value is not None)
+
+
+def agg_distinct_count(values: Sequence[Any]) -> int:
+    """Number of distinct non-missing values."""
+    return len(agg_set(values))
+
+
+def agg_stddev(values: Sequence[Any]) -> float:
+    """Population standard deviation (0 for fewer than two values)."""
+    nums = _numeric(values)
+    if len(nums) < 2:
+        return 0.0
+    mean = sum(nums) / len(nums)
+    variance = sum((value - mean) ** 2 for value in nums) / len(nums)
+    return math.sqrt(variance)
+
+
+def agg_median(values: Sequence[Any]) -> float:
+    """Median of the non-missing values (0 when empty)."""
+    nums = sorted(_numeric(values))
+    if not nums:
+        return 0.0
+    mid = len(nums) // 2
+    if len(nums) % 2 == 1:
+        return nums[mid]
+    return (nums[mid - 1] + nums[mid]) / 2.0
+
+
+def agg_first(values: Sequence[Any]) -> Any:
+    """First non-missing value in event order (None when empty)."""
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def agg_last(values: Sequence[Any]) -> Any:
+    """Last non-missing value in event order (None when empty)."""
+    result = None
+    for value in values:
+        if value is not None:
+            result = value
+    return result
+
+
+def agg_percentile(values: Sequence[Any], percentile: float = 95.0) -> float:
+    """The given percentile (nearest-rank) of the non-missing values."""
+    nums = sorted(_numeric(values))
+    if not nums:
+        return 0.0
+    fraction = min(max(percentile, 0.0), 100.0) / 100.0
+    rank = max(int(math.ceil(fraction * len(nums))) - 1, 0)
+    return nums[rank]
+
+
+#: Aggregation registry: name -> reducer over a sequence of per-event values.
+AGGREGATIONS: Dict[str, Callable[..., Any]] = {
+    "avg": agg_avg,
+    "sum": agg_sum,
+    "count": agg_count,
+    "min": agg_min,
+    "max": agg_max,
+    "set": agg_set,
+    "distinct_count": agg_distinct_count,
+    "stddev": agg_stddev,
+    "median": agg_median,
+    "first": agg_first,
+    "last": agg_last,
+    "percentile": agg_percentile,
+}
+
+
+def scalar_abs(value: Any) -> float:
+    """Absolute value."""
+    return abs(to_number(value))
+
+
+def scalar_sqrt(value: Any) -> float:
+    """Square root (of the numeric coercion)."""
+    number = to_number(value)
+    if number < 0:
+        raise SAQLExecutionError(f"sqrt of negative value {number}")
+    return math.sqrt(number)
+
+
+def scalar_len(value: Any) -> float:
+    """Collection length / string length."""
+    if value is None:
+        return 0.0
+    if isinstance(value, (set, frozenset, list, tuple, dict, str)):
+        return float(len(value))
+    return 1.0
+
+
+#: Scalar function registry.
+SCALARS: Dict[str, Callable[..., Any]] = {
+    "abs": scalar_abs,
+    "sqrt": scalar_sqrt,
+    "len": scalar_len,
+}
+
+
+def is_aggregation(name: str) -> bool:
+    """Return True when ``name`` is a registered aggregation function."""
+    return name.lower() in AGGREGATIONS
+
+
+def aggregate(name: str, values: Sequence[Any], *extra_args: float) -> Any:
+    """Apply the named aggregation to a sequence of per-event values.
+
+    ``extra_args`` carries literal parameters such as the percentile rank in
+    ``percentile(evt.amount, 99)``.
+
+    Raises:
+        SAQLExecutionError: if the aggregation name is unknown.
+    """
+    func = AGGREGATIONS.get(name.lower())
+    if func is None:
+        raise SAQLExecutionError(f"unknown aggregation function {name!r}")
+    if extra_args:
+        return func(values, *extra_args)
+    return func(values)

@@ -1,0 +1,157 @@
+"""Runtime value semantics for SAQL expressions.
+
+SAQL expressions operate over a small set of value kinds: numbers, strings,
+booleans, sets (from the ``set()`` aggregation and set operators), and the
+engine's structured views (window states, entities, events, cluster
+results).  This module defines the scalar semantics — truthiness,
+comparison, numeric coercion and the SQL-LIKE ``%`` wildcard matching used
+by entity attribute constraints such as ``proc p1["%cmd.exe"]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+
+def is_truthy(value: Any) -> bool:
+    """Return the boolean interpretation of an expression value.
+
+    ``None`` (missing attribute), empty sets/strings, zero and ``False``
+    are all false; everything else is true.
+    """
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, (str, set, frozenset, list, tuple, dict)):
+        return len(value) > 0
+    return True
+
+
+def to_number(value: Any, default: float = 0.0) -> float:
+    """Coerce a value to a float for arithmetic; ``default`` when impossible."""
+    if value is None:
+        return default
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return default
+    if isinstance(value, (set, frozenset, list, tuple)):
+        return float(len(value))
+    return default
+
+
+def like_match(value: Any, pattern: str) -> bool:
+    """SQL-LIKE matching with ``%`` (any run) and ``_`` (single character).
+
+    Matching is case-insensitive, mirroring how executable names and file
+    paths are matched in the paper's example queries.
+    """
+    if value is None:
+        return False
+    text = str(value)
+    regex_parts = []
+    for char in pattern:
+        if char == "%":
+            regex_parts.append(".*")
+        elif char == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(char))
+    regex = "^" + "".join(regex_parts) + "$"
+    return re.match(regex, text, flags=re.IGNORECASE) is not None
+
+
+def compare_values(op: str, left: Any, right: Any) -> bool:
+    """Evaluate a comparison operator with SAQL's mixed-type semantics.
+
+    Strings compare as strings for (in)equality and support LIKE wildcards
+    when the right operand contains ``%``; everything else is compared
+    numerically.  Missing values (``None``) only satisfy ``!=`` against a
+    non-missing operand.
+    """
+    if op in ("==", "=", "!="):
+        equal = _values_equal(left, right)
+        return equal if op in ("==", "=") else not equal
+
+    if left is None or right is None:
+        return False
+
+    left_num = to_number(left, default=float("nan"))
+    right_num = to_number(right, default=float("nan"))
+    if left_num != left_num or right_num != right_num:  # NaN check
+        # Fall back to string ordering when either side is non-numeric.
+        left_num, right_num = str(left), str(right)  # type: ignore[assignment]
+    if op == ">":
+        return left_num > right_num
+    if op == ">=":
+        return left_num >= right_num
+    if op == "<":
+        return left_num < right_num
+    if op == "<=":
+        return left_num <= right_num
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    if left is None and right is None:
+        return True
+    if left is None or right is None:
+        return False
+    if isinstance(left, str) or isinstance(right, str):
+        left_text, right_text = str(left), str(right)
+        if "%" in right_text or "_" in right_text:
+            return like_match(left_text, right_text)
+        if "%" in left_text or "_" in left_text:
+            return like_match(right_text, left_text)
+        # Numeric strings still compare numerically ("5" == 5).
+        try:
+            return float(left_text) == float(right_text)
+        except ValueError:
+            return left_text.lower() == right_text.lower()
+    if isinstance(left, (set, frozenset)) or isinstance(right, (set, frozenset)):
+        return set(left) == set(right)
+    return left == right
+
+
+def as_set(value: Any) -> frozenset:
+    """Coerce a value to a frozenset for the set operators."""
+    if value is None:
+        return frozenset()
+    if isinstance(value, (set, frozenset)):
+        return frozenset(value)
+    if isinstance(value, (list, tuple)):
+        return frozenset(value)
+    return frozenset({value})
+
+
+def set_union(left: Any, right: Any) -> frozenset:
+    """The ``union`` operator."""
+    return as_set(left) | as_set(right)
+
+
+def set_diff(left: Any, right: Any) -> frozenset:
+    """The ``diff`` operator (elements of ``left`` not in ``right``)."""
+    return as_set(left) - as_set(right)
+
+
+def set_intersect(left: Any, right: Any) -> frozenset:
+    """The ``intersect`` operator."""
+    return as_set(left) & as_set(right)
+
+
+def size_of(value: Any) -> float:
+    """The ``|expr|`` construct: collection size or numeric absolute value."""
+    if value is None:
+        return 0.0
+    if isinstance(value, (set, frozenset, list, tuple, dict, str)):
+        return float(len(value))
+    return abs(to_number(value))

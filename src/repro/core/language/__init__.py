@@ -1,0 +1,41 @@
+"""The SAQL query language front-end.
+
+The language pipeline is::
+
+    query text --tokenize--> tokens --parse--> AST --analyze--> checked Query
+
+:func:`parse_query` runs the whole pipeline and is what applications and the
+engine use.  The individual stages are exported for tests and tooling.
+"""
+
+from repro.core.language.analyzer import QueryAnalyzer, analyze_query
+from repro.core.language.parser import Parser, parse
+from repro.core.language.tokens import Token, TokenType, tokenize
+from repro.core.language import ast
+from repro.core.language.formatter import format_query
+
+
+def parse_query(text: str) -> "ast.Query":
+    """Parse SAQL query text into a semantically checked query AST.
+
+    Raises:
+        SAQLParseError: on a syntax error.
+        SAQLSemanticError: on a semantic inconsistency.
+    """
+    query = parse(text)
+    analyze_query(query)
+    return query
+
+
+__all__ = [
+    "Parser",
+    "QueryAnalyzer",
+    "Token",
+    "TokenType",
+    "analyze_query",
+    "ast",
+    "format_query",
+    "parse",
+    "parse_query",
+    "tokenize",
+]

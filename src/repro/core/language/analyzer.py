@@ -1,0 +1,258 @@
+"""Semantic analysis of parsed SAQL queries.
+
+The analyzer checks the consistency rules that the grammar alone cannot
+express and annotates the query with the symbol tables the engine needs:
+
+* every entity variable is declared once per type (a repeated variable, such
+  as ``f1`` appearing in two patterns of Query 1, implicitly constrains both
+  patterns to bind the *same* entity);
+* pattern aliases are unique, and the temporal order references only
+  declared aliases;
+* stateful constructs (state / invariant / cluster) require a sliding
+  window, and the invariant and cluster clauses require a state block;
+* the window-history index ``ss[k]`` never exceeds the declared history;
+* expressions only reference known names (entity variables, pattern aliases,
+  the state name, invariant variables, and the special ``cluster`` symbol);
+* a return clause is present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.errors import SAQLSemanticError
+from repro.core.language import ast
+
+#: Names that are always resolvable inside expressions.
+_BUILTIN_NAMES = frozenset({"cluster", "evt"})
+
+#: Aggregation functions accepted in state definitions.
+AGGREGATION_FUNCTIONS = frozenset({
+    "avg", "sum", "count", "min", "max", "set", "distinct_count",
+    "stddev", "median", "first", "last", "percentile",
+})
+
+#: Functions accepted anywhere in expressions.
+SCALAR_FUNCTIONS = frozenset({"abs", "sqrt", "len", "all"})
+
+
+class QueryAnalyzer:
+    """Checks and annotates one parsed query."""
+
+    def __init__(self, query: ast.Query):
+        self._query = query
+
+    def analyze(self) -> ast.Query:
+        """Run all checks; returns the annotated query.
+
+        Raises:
+            SAQLSemanticError: on the first inconsistency found.
+        """
+        query = self._query
+        self._collect_entities_and_aliases()
+        self._check_temporal_order()
+        self._check_window_requirements()
+        self._check_state_block()
+        self._check_invariant_block()
+        self._check_cluster()
+        self._check_alert()
+        self._check_returns()
+        return query
+
+    # -- individual checks ---------------------------------------------------
+
+    def _collect_entities_and_aliases(self) -> None:
+        query = self._query
+        entity_variables: Dict[str, ast.EntityDeclaration] = {}
+        pattern_aliases: Dict[str, ast.EventPatternDeclaration] = {}
+
+        for pattern in query.patterns:
+            for decl in (pattern.subject, pattern.object):
+                existing = entity_variables.get(decl.variable)
+                if existing is None:
+                    entity_variables[decl.variable] = decl
+                elif existing.entity_type != decl.entity_type:
+                    raise SAQLSemanticError(
+                        f"entity variable {decl.variable!r} redeclared with a "
+                        f"different type ({existing.entity_type} vs "
+                        f"{decl.entity_type})")
+            if pattern.alias in pattern_aliases:
+                raise SAQLSemanticError(
+                    f"duplicate event pattern alias {pattern.alias!r}")
+            pattern_aliases[pattern.alias] = pattern
+
+        query.entity_variables = entity_variables
+        query.pattern_aliases = pattern_aliases
+
+    def _check_temporal_order(self) -> None:
+        query = self._query
+        if query.temporal_order is None:
+            return
+        for alias in query.temporal_order.aliases:
+            if alias not in query.pattern_aliases:
+                raise SAQLSemanticError(
+                    f"temporal order references unknown alias {alias!r}")
+
+    def _check_window_requirements(self) -> None:
+        query = self._query
+        needs_window = (query.state is not None
+                        or query.invariant is not None
+                        or query.cluster is not None)
+        if needs_window and query.window is None:
+            raise SAQLSemanticError(
+                "stateful queries require a window specification "
+                "(e.g. '#time(10 min)') on an event pattern")
+
+    def _check_state_block(self) -> None:
+        query = self._query
+        state = query.state
+        if state is None:
+            return
+        seen: Set[str] = set()
+        for definition in state.definitions:
+            if definition.name in seen:
+                raise SAQLSemanticError(
+                    f"duplicate state field {definition.name!r}")
+            seen.add(definition.name)
+            self._check_expression(definition.expr,
+                                   extra_names=frozenset(),
+                                   allow_aggregations=True,
+                                   context="state definition")
+        for key in state.group_by:
+            self._check_group_key(key)
+
+    def _check_group_key(self, key: ast.Expression) -> None:
+        query = self._query
+        if isinstance(key, ast.Identifier):
+            if (key.name not in query.entity_variables
+                    and key.name not in query.pattern_aliases
+                    and key.name not in _BUILTIN_NAMES):
+                raise SAQLSemanticError(
+                    f"group-by key references unknown name {key.name!r}")
+            return
+        if isinstance(key, ast.AttributeRef):
+            self._check_group_key(key.base)
+            return
+        raise SAQLSemanticError(
+            "group-by keys must be entity variables or attribute references")
+
+    def _check_invariant_block(self) -> None:
+        query = self._query
+        invariant = query.invariant
+        if invariant is None:
+            return
+        if query.state is None:
+            raise SAQLSemanticError(
+                "an invariant block requires a state block to draw values from")
+        init_names = {stmt.name for stmt in invariant.init_statements}
+        if not init_names:
+            raise SAQLSemanticError(
+                "invariant block has no initialization statement (':=')")
+        for stmt in invariant.update_statements:
+            if stmt.name not in init_names:
+                raise SAQLSemanticError(
+                    f"invariant update targets undeclared variable {stmt.name!r}")
+            self._check_expression(stmt.expr,
+                                   extra_names=frozenset(init_names),
+                                   allow_aggregations=False,
+                                   context="invariant update")
+
+    def _check_cluster(self) -> None:
+        query = self._query
+        cluster = query.cluster
+        if cluster is None:
+            return
+        if query.state is None:
+            raise SAQLSemanticError(
+                "a cluster statement requires a state block providing the points")
+        self._check_expression(cluster.points,
+                               extra_names=frozenset(),
+                               allow_aggregations=False,
+                               context="cluster points")
+        if cluster.method.upper() not in ("DBSCAN", "KMEANS"):
+            raise SAQLSemanticError(
+                f"unsupported clustering method {cluster.method!r}")
+
+    def _check_alert(self) -> None:
+        query = self._query
+        if query.alert is None:
+            return
+        extra = self._invariant_names()
+        self._check_expression(query.alert.condition,
+                               extra_names=extra,
+                               allow_aggregations=False,
+                               context="alert condition")
+        self._check_state_history_indices(query.alert.condition)
+
+    def _check_returns(self) -> None:
+        query = self._query
+        if query.returns is None:
+            raise SAQLSemanticError("query has no return clause")
+        extra = self._invariant_names()
+        for item in query.returns.items:
+            self._check_expression(item.expr,
+                                   extra_names=extra,
+                                   allow_aggregations=False,
+                                   context="return item")
+            self._check_state_history_indices(item.expr)
+
+    # -- expression-level helpers ---------------------------------------------
+
+    def _invariant_names(self) -> frozenset:
+        invariant = self._query.invariant
+        if invariant is None:
+            return frozenset()
+        return frozenset(stmt.name for stmt in invariant.init_statements)
+
+    def _known_names(self, extra_names: frozenset) -> Set[str]:
+        query = self._query
+        names: Set[str] = set(_BUILTIN_NAMES)
+        names.update(query.entity_variables)
+        names.update(query.pattern_aliases)
+        if query.state is not None:
+            names.add(query.state.name)
+        names.update(extra_names)
+        return names
+
+    def _check_expression(self, expr: ast.Expression, extra_names: frozenset,
+                          allow_aggregations: bool, context: str) -> None:
+        known = self._known_names(extra_names)
+        for node in ast.walk_expression(expr):
+            if isinstance(node, ast.Identifier):
+                if node.name not in known:
+                    raise SAQLSemanticError(
+                        f"{context} references unknown name {node.name!r}")
+            elif isinstance(node, ast.FuncCall):
+                name = node.name.lower()
+                if name in AGGREGATION_FUNCTIONS:
+                    if not allow_aggregations and name != "all":
+                        raise SAQLSemanticError(
+                            f"aggregation {node.name!r} is only allowed in "
+                            f"state definitions (found in {context})")
+                elif name not in SCALAR_FUNCTIONS:
+                    raise SAQLSemanticError(
+                        f"{context} calls unknown function {node.name!r}")
+
+    def _check_state_history_indices(self, expr: ast.Expression) -> None:
+        query = self._query
+        state = query.state
+        if state is None:
+            return
+        for node in ast.walk_expression(expr):
+            if not isinstance(node, ast.IndexRef):
+                continue
+            base = node.base
+            if not (isinstance(base, ast.Identifier)
+                    and base.name == state.name):
+                continue
+            index = node.index
+            if isinstance(index, ast.Literal) and isinstance(index.value, int):
+                if index.value < 0 or index.value >= state.history:
+                    raise SAQLSemanticError(
+                        f"state history index {index.value} out of range "
+                        f"(history keeps {state.history} windows)")
+
+
+def analyze_query(query: ast.Query) -> ast.Query:
+    """Check and annotate a parsed query (see :class:`QueryAnalyzer`)."""
+    return QueryAnalyzer(query).analyze()

@@ -1,0 +1,355 @@
+"""Abstract syntax tree for SAQL queries.
+
+A parsed query is a :class:`Query` holding the clauses the language
+supports (Section II-B of the paper):
+
+* global constraints (``agentid = xxx``);
+* one or more event patterns, each an SVO pattern with optional attribute
+  constraints and an alias (``proc p1["%cmd.exe"] start proc p2 as evt1``);
+* an optional sliding-window specification (``#time(10 min)``);
+* an optional temporal order over pattern aliases (``with evt1 -> evt2``);
+* an optional state block with aggregations and grouping;
+* an optional invariant block (training window count, offline/online mode,
+  init and update statements);
+* an optional cluster statement (points, distance, method);
+* an optional alert condition;
+* a return clause.
+
+Expression nodes form a small, conventional hierarchy used by the state
+definitions, the invariant statements, the alert condition and the return
+items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expression:
+    """Base class for SAQL expressions."""
+
+    def children(self) -> Sequence["Expression"]:
+        """Return the direct sub-expressions (for generic tree walks)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A number or string literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Identifier(Expression):
+    """A bare name: entity variable, state name, ``cluster``, etc."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EmptySet(Expression):
+    """The ``empty_set`` invariant-initialization literal."""
+
+
+@dataclass(frozen=True)
+class AttributeRef(Expression):
+    """Attribute access: ``base.attr`` (e.g. ``evt.amount``, ``p1.exe_name``)."""
+
+    base: Expression
+    attr: str
+
+    def children(self) -> Sequence[Expression]:
+        return (self.base,)
+
+
+@dataclass(frozen=True)
+class IndexRef(Expression):
+    """Index access: ``base[index]`` (e.g. ``ss[0]`` for window history)."""
+
+    base: Expression
+    index: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.base, self.index)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operation: logical not (``!``) or numeric negation (``-``)."""
+
+    op: str
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operation.
+
+    ``op`` is one of the arithmetic operators (``+ - * / %``), comparisons
+    (``> >= < <= == !=``, with ``=`` treated as equality), boolean
+    connectives (``&& ||``), set operators (``union``, ``diff``,
+    ``intersect``) or membership (``in``).
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class SizeOf(Expression):
+    """The ``|expr|`` construct: set cardinality or numeric absolute value."""
+
+    operand: Expression
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class FuncCall(Expression):
+    """A function or aggregation call, e.g. ``avg(evt.amount)``, ``all(ss.amt)``."""
+
+    name: str
+    args: Tuple[Expression, ...] = ()
+    kwargs: Tuple[Tuple[str, Expression], ...] = ()
+
+    def children(self) -> Sequence[Expression]:
+        return tuple(self.args) + tuple(expr for _, expr in self.kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Query clauses
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttributeConstraint:
+    """A constraint inside an entity declaration's brackets.
+
+    ``attr`` is ``None`` for the shorthand pattern form
+    (``proc p1["%cmd.exe"]`` constrains the entity's *default* attribute).
+    ``op`` is a comparison operator; string values containing ``%`` are
+    matched as SQL-LIKE wildcards.
+    """
+
+    attr: Optional[str]
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class EntityDeclaration:
+    """An entity occurrence in an event pattern, e.g. ``proc p1["%cmd.exe"]``."""
+
+    entity_type: str          # "proc" | "file" | "ip"
+    variable: str
+    constraints: Tuple[AttributeConstraint, ...] = ()
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A sliding-window specification attached to an event pattern.
+
+    ``kind`` is ``"time"`` (length in seconds) or ``"count"`` (number of
+    events).  Windows are tumbling by default, matching the paper's
+    per-window state computation; a hop smaller than the length produces
+    an overlapping sliding window.
+    """
+
+    kind: str
+    length: float
+    hop: Optional[float] = None
+
+    @property
+    def effective_hop(self) -> float:
+        """Return the hop (defaults to the window length: tumbling)."""
+        return self.hop if self.hop is not None else self.length
+
+
+@dataclass(frozen=True)
+class EventPatternDeclaration:
+    """One SVO event pattern with alias.
+
+    ``operations`` holds one or more operation keywords joined by ``||``
+    in the query text (``read || write``).
+    """
+
+    subject: EntityDeclaration
+    operations: Tuple[str, ...]
+    object: EntityDeclaration
+    alias: str
+    window: Optional[WindowSpec] = None
+
+
+@dataclass(frozen=True)
+class GlobalConstraint:
+    """A query-wide event attribute constraint, e.g. ``agentid = "server-db"``."""
+
+    attr: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class TemporalOrder:
+    """The ``with evt1 -> evt2 -> ...`` clause."""
+
+    aliases: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StateDefinition:
+    """One aggregation definition inside a state block: ``name := expr``."""
+
+    name: str
+    expr: Expression
+
+
+@dataclass(frozen=True)
+class StateBlock:
+    """The ``state[k] ss { ... } group by ...`` clause.
+
+    ``history`` is the number of windows kept (``state`` alone keeps 1,
+    ``state[3]`` keeps the current window plus two past ones).
+    """
+
+    name: str
+    history: int
+    definitions: Tuple[StateDefinition, ...]
+    group_by: Tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class InvariantStatement:
+    """One statement inside an invariant block.
+
+    ``is_init`` distinguishes the ``a := empty_set`` initialization from the
+    ``a = a union ss.set_proc`` per-window update.
+    """
+
+    name: str
+    expr: Expression
+    is_init: bool
+
+
+@dataclass(frozen=True)
+class InvariantBlock:
+    """The ``invariant[k][offline|online] { ... }`` clause."""
+
+    training_windows: int
+    mode: str
+    statements: Tuple[InvariantStatement, ...]
+
+    @property
+    def init_statements(self) -> Tuple[InvariantStatement, ...]:
+        """Return the initialization statements, in declaration order."""
+        return tuple(stmt for stmt in self.statements if stmt.is_init)
+
+    @property
+    def update_statements(self) -> Tuple[InvariantStatement, ...]:
+        """Return the per-window update statements, in declaration order."""
+        return tuple(stmt for stmt in self.statements if not stmt.is_init)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The ``cluster(points=..., distance=..., method=...)`` clause.
+
+    ``method`` carries the clustering algorithm name and its parameters,
+    e.g. ``DBSCAN(100000, 5)`` becomes ``("DBSCAN", (100000.0, 5.0))``.
+    """
+
+    points: Expression
+    distance: str
+    method: str
+    method_args: Tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class AlertClause:
+    """The ``alert <condition>`` clause."""
+
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """One projected item of the return clause, with an optional alias."""
+
+    expr: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    """The ``return [distinct] item, item, ...`` clause."""
+
+    items: Tuple[ReturnItem, ...]
+    distinct: bool = False
+
+
+@dataclass
+class Query:
+    """A complete SAQL query.
+
+    Built by the parser, then checked and annotated by the analyzer (which
+    fills :attr:`entity_variables` and :attr:`pattern_aliases`).
+    """
+
+    global_constraints: List[GlobalConstraint] = field(default_factory=list)
+    patterns: List[EventPatternDeclaration] = field(default_factory=list)
+    temporal_order: Optional[TemporalOrder] = None
+    state: Optional[StateBlock] = None
+    invariant: Optional[InvariantBlock] = None
+    cluster: Optional[ClusterSpec] = None
+    alert: Optional[AlertClause] = None
+    returns: Optional[ReturnClause] = None
+    name: str = ""
+    source_text: str = ""
+
+    # Filled by the analyzer.
+    entity_variables: Dict[str, EntityDeclaration] = field(default_factory=dict)
+    pattern_aliases: Dict[str, EventPatternDeclaration] = field(default_factory=dict)
+
+    @property
+    def window(self) -> Optional[WindowSpec]:
+        """Return the query's window specification (from any pattern)."""
+        for pattern in self.patterns:
+            if pattern.window is not None:
+                return pattern.window
+        return None
+
+    @property
+    def is_stateful(self) -> bool:
+        """Return True when the query needs per-window state computation."""
+        return self.state is not None
+
+    @property
+    def model_kind(self) -> str:
+        """Classify the query into the paper's four anomaly-model types."""
+        if self.cluster is not None:
+            return "outlier"
+        if self.invariant is not None:
+            return "invariant"
+        if self.state is not None:
+            return "time-series"
+        return "rule"
+
+
+def walk_expression(expr: Expression):
+    """Yield ``expr`` and all of its sub-expressions, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk_expression(child)

@@ -1,0 +1,180 @@
+"""Pretty-printer that renders a parsed query back to SAQL text.
+
+Used by the CLI (to echo normalized queries) and by round-trip tests that
+check parse → format → parse stability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.language import ast
+
+
+def format_expression(expr: ast.Expression) -> str:
+    """Render an expression to SAQL source text."""
+    if isinstance(expr, ast.Literal):
+        if isinstance(expr.value, str):
+            return f'"{expr.value}"'
+        return _format_number(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.EmptySet):
+        return "empty_set"
+    if isinstance(expr, ast.AttributeRef):
+        return f"{format_expression(expr.base)}.{expr.attr}"
+    if isinstance(expr, ast.IndexRef):
+        return (f"{format_expression(expr.base)}"
+                f"[{format_expression(expr.index)}]")
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op}{format_expression(expr.operand)}"
+    if isinstance(expr, ast.BinaryOp):
+        left = format_expression(expr.left)
+        right = format_expression(expr.right)
+        if _needs_parens(expr.left, expr.op):
+            left = f"({left})"
+        if _needs_parens(expr.right, expr.op):
+            right = f"({right})"
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, ast.SizeOf):
+        return f"|{format_expression(expr.operand)}|"
+    if isinstance(expr, ast.FuncCall):
+        pieces = [format_expression(arg) for arg in expr.args]
+        pieces.extend(f"{key}={format_expression(value)}"
+                      for key, value in expr.kwargs)
+        return f"{expr.name}({', '.join(pieces)})"
+    raise TypeError(f"cannot format expression of type {type(expr).__name__}")
+
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    ">": 3, ">=": 3, "<": 3, "<=": 3, "==": 3, "!=": 3, "in": 3,
+    "union": 4, "diff": 4, "intersect": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def _needs_parens(child: ast.Expression, parent_op: str) -> bool:
+    if not isinstance(child, ast.BinaryOp):
+        return False
+    child_prec = _PRECEDENCE.get(child.op, 7)
+    parent_prec = _PRECEDENCE.get(parent_op, 7)
+    return child_prec < parent_prec
+
+
+def _format_number(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _format_constraint(constraint: ast.AttributeConstraint) -> str:
+    if constraint.attr is None:
+        if isinstance(constraint.value, str):
+            return f'"{constraint.value}"'
+        return _format_number(constraint.value)
+    value = (f'"{constraint.value}"' if isinstance(constraint.value, str)
+             else _format_number(constraint.value))
+    op = "=" if constraint.op in ("==", "like") else constraint.op
+    return f"{constraint.attr}{op}{value}"
+
+
+def _format_entity(decl: ast.EntityDeclaration) -> str:
+    text = f"{decl.entity_type} {decl.variable}"
+    if decl.constraints:
+        inner = ", ".join(_format_constraint(c) for c in decl.constraints)
+        text += f"[{inner}]"
+    return text
+
+
+def _format_window(window: ast.WindowSpec) -> str:
+    if window.kind == "count":
+        return f"#count({int(window.length)})"
+    length, unit = _humanize_seconds(window.length)
+    if window.hop is not None:
+        hop_length, hop_unit = _humanize_seconds(window.hop)
+        return f"#time({length} {unit}, {hop_length} {hop_unit})"
+    return f"#time({length} {unit})"
+
+
+def _humanize_seconds(seconds: float):
+    if seconds % 3600 == 0 and seconds >= 3600:
+        return int(seconds // 3600), "h"
+    if seconds % 60 == 0 and seconds >= 60:
+        return int(seconds // 60), "min"
+    if seconds >= 1 and float(seconds).is_integer():
+        return int(seconds), "s"
+    return seconds, "s"
+
+
+def format_query(query: ast.Query) -> str:
+    """Render a parsed query back to (normalized) SAQL text."""
+    lines: List[str] = []
+    for constraint in query.global_constraints:
+        value = (f'"{constraint.value}"'
+                 if isinstance(constraint.value, str) else
+                 _format_number(constraint.value))
+        op = "=" if constraint.op == "==" else constraint.op
+        lines.append(f"{constraint.attr} {op} {value}")
+
+    for pattern in query.patterns:
+        ops = " || ".join(pattern.operations)
+        line = (f"{_format_entity(pattern.subject)} {ops} "
+                f"{_format_entity(pattern.object)} as {pattern.alias}")
+        if pattern.window is not None:
+            line += f" {_format_window(pattern.window)}"
+        lines.append(line)
+
+    if query.temporal_order is not None:
+        lines.append("with " + " -> ".join(query.temporal_order.aliases))
+
+    if query.state is not None:
+        state = query.state
+        header = "state"
+        if state.history > 1:
+            header += f"[{state.history}]"
+        lines.append(f"{header} {state.name} {{")
+        for definition in state.definitions:
+            lines.append(
+                f"  {definition.name} := {format_expression(definition.expr)}")
+        closing = "}"
+        if state.group_by:
+            keys = ", ".join(format_expression(key) for key in state.group_by)
+            closing += f" group by {keys}"
+        lines.append(closing)
+
+    if query.invariant is not None:
+        invariant = query.invariant
+        lines.append(
+            f"invariant[{invariant.training_windows}][{invariant.mode}] {{")
+        for stmt in invariant.statements:
+            op = ":=" if stmt.is_init else "="
+            lines.append(f"  {stmt.name} {op} {format_expression(stmt.expr)}")
+        lines.append("}")
+
+    if query.cluster is not None:
+        cluster = query.cluster
+        method = cluster.method
+        if cluster.method_args:
+            args = ", ".join(_format_number(arg)
+                             for arg in cluster.method_args)
+            method += f"({args})"
+        lines.append(
+            f'cluster(points={format_expression(cluster.points)}, '
+            f'distance="{cluster.distance}", method="{method}")')
+
+    if query.alert is not None:
+        lines.append(f"alert {format_expression(query.alert.condition)}")
+
+    if query.returns is not None:
+        pieces = []
+        for item in query.returns.items:
+            text = format_expression(item.expr)
+            if item.alias:
+                text += f" as {item.alias}"
+            pieces.append(text)
+        prefix = "return distinct " if query.returns.distinct else "return "
+        lines.append(prefix + ", ".join(pieces))
+
+    return "\n".join(lines)

@@ -1,0 +1,619 @@
+"""Recursive-descent parser for the SAQL query language.
+
+The parser consumes the token list produced by
+:mod:`repro.core.language.tokens` and builds the AST defined in
+:mod:`repro.core.language.ast`.  The accepted grammar covers the four query
+classes shown in the paper (rule-based, time-series, invariant-based,
+outlier-based); see ``docs`` in the README for the full grammar summary.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.core.errors import SAQLParseError
+from repro.core.language import ast
+from repro.core.language.tokens import Token, TokenType, tokenize
+
+#: Entity keywords that may start an event pattern.
+ENTITY_KEYWORDS = ("proc", "file", "ip")
+
+#: Operation keywords accepted between the subject and object of a pattern.
+OPERATION_KEYWORDS = (
+    "start", "end", "read", "write", "execute", "delete", "rename",
+    "connect", "accept", "send", "recv",
+)
+
+#: Window-unit multipliers to seconds.
+TIME_UNITS = {
+    "ms": 0.001,
+    "s": 1.0, "sec": 1.0, "second": 1.0, "seconds": 1.0,
+    "min": 60.0, "minute": 60.0, "minutes": 60.0,
+    "h": 3600.0, "hour": 3600.0, "hours": 3600.0,
+    "day": 86400.0, "days": 86400.0,
+}
+
+_COMPARISON_TOKENS = {
+    TokenType.GT: ">",
+    TokenType.GTE: ">=",
+    TokenType.LT: "<",
+    TokenType.LTE: "<=",
+    TokenType.EQEQ: "==",
+    TokenType.EQ: "==",
+    TokenType.NEQ: "!=",
+}
+
+_SET_OPERATORS = ("union", "diff", "intersect")
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.core.language.ast.Query`."""
+
+    def __init__(self, tokens: List[Token], source_text: str = ""):
+        self._tokens = tokens
+        self._pos = 0
+        self._source_text = source_text
+        self._auto_alias_counter = 0
+
+    # -- token-stream helpers ---------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: Optional[str] = None,
+               offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.type is not token_type:
+            return False
+        if value is not None and token.value != value:
+            return False
+        return True
+
+    def _check_keyword(self, *keywords: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.type is TokenType.IDENT and token.value in keywords
+
+    def _expect(self, token_type: TokenType,
+                value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(token_type, value):
+            expected = value if value is not None else token_type.value
+            raise SAQLParseError(
+                f"expected {expected!r} but found {token.value!r}",
+                token.line, token.column)
+        return self._advance()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not self._check_keyword(keyword):
+            raise SAQLParseError(
+                f"expected keyword {keyword!r} but found {token.value!r}",
+                token.line, token.column)
+        return self._advance()
+
+    def _error(self, message: str) -> SAQLParseError:
+        token = self._peek()
+        return SAQLParseError(message, token.line, token.column)
+
+    # -- entry point -------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        """Parse a complete SAQL query."""
+        query = ast.Query(source_text=self._source_text)
+
+        query.global_constraints = self._parse_global_constraints()
+        query.patterns = self._parse_event_patterns()
+        if self._check_keyword("with"):
+            query.temporal_order = self._parse_temporal_order()
+        if self._check_keyword("state"):
+            query.state = self._parse_state_block()
+        if self._check_keyword("invariant"):
+            query.invariant = self._parse_invariant_block()
+        if self._check_keyword("cluster") and self._check(
+                TokenType.LPAREN, offset=1):
+            query.cluster = self._parse_cluster_spec()
+        if self._check_keyword("alert"):
+            query.alert = self._parse_alert_clause()
+        if self._check_keyword("return"):
+            query.returns = self._parse_return_clause()
+
+        if not self._check(TokenType.EOF):
+            raise self._error(
+                f"unexpected token {self._peek().value!r} after query")
+        if not query.patterns:
+            raise SAQLParseError("query declares no event patterns")
+        return query
+
+    # -- clause parsers ----------------------------------------------------
+
+    def _parse_global_constraints(self) -> List[ast.GlobalConstraint]:
+        """Parse leading ``attr = value`` lines (e.g. ``agentid = host1``)."""
+        constraints: List[ast.GlobalConstraint] = []
+        while (self._peek().type is TokenType.IDENT
+               and self._peek().value not in ENTITY_KEYWORDS
+               and self._peek(1).type in _COMPARISON_TOKENS):
+            attr = self._advance().value
+            op_token = self._advance()
+            op = _COMPARISON_TOKENS[op_token.type]
+            value = self._parse_literal_value()
+            constraints.append(ast.GlobalConstraint(attr=attr, op=op,
+                                                    value=value))
+        return constraints
+
+    def _parse_literal_value(self):
+        """Parse a constraint value: string, number, or bare identifier."""
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return _number_value(token.value)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return token.value
+        raise self._error(f"expected a literal value, found {token.value!r}")
+
+    def _parse_event_patterns(self) -> List[ast.EventPatternDeclaration]:
+        patterns: List[ast.EventPatternDeclaration] = []
+        while self._check_keyword(*ENTITY_KEYWORDS):
+            patterns.append(self._parse_event_pattern())
+        return patterns
+
+    def _parse_event_pattern(self) -> ast.EventPatternDeclaration:
+        subject = self._parse_entity_declaration()
+        operations = self._parse_operations()
+        obj = self._parse_entity_declaration()
+
+        if self._check_keyword("as"):
+            self._advance()
+            alias = self._expect(TokenType.IDENT).value
+        else:
+            self._auto_alias_counter += 1
+            alias = f"evt{self._auto_alias_counter}"
+
+        window: Optional[ast.WindowSpec] = None
+        if self._check(TokenType.HASH):
+            window = self._parse_window_spec()
+
+        return ast.EventPatternDeclaration(
+            subject=subject,
+            operations=tuple(operations),
+            object=obj,
+            alias=alias,
+            window=window,
+        )
+
+    def _parse_entity_declaration(self) -> ast.EntityDeclaration:
+        token = self._peek()
+        if not self._check_keyword(*ENTITY_KEYWORDS):
+            raise self._error(
+                f"expected an entity keyword (proc/file/ip), found {token.value!r}")
+        entity_type = self._advance().value
+        variable = self._expect(TokenType.IDENT).value
+        constraints: List[ast.AttributeConstraint] = []
+        if self._check(TokenType.LBRACKET):
+            self._advance()
+            if not self._check(TokenType.RBRACKET):
+                constraints.append(self._parse_attribute_constraint())
+                while self._check(TokenType.COMMA):
+                    self._advance()
+                    constraints.append(self._parse_attribute_constraint())
+            self._expect(TokenType.RBRACKET)
+        return ast.EntityDeclaration(
+            entity_type=entity_type,
+            variable=variable,
+            constraints=tuple(constraints),
+        )
+
+    def _parse_attribute_constraint(self) -> ast.AttributeConstraint:
+        token = self._peek()
+        # Shorthand form: a bare string constrains the default attribute.
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.AttributeConstraint(attr=None, op="like",
+                                           value=token.value)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.AttributeConstraint(attr=None, op="==",
+                                           value=_number_value(token.value))
+        # Full form: attr <op> value.
+        attr = self._expect(TokenType.IDENT).value
+        op_token = self._peek()
+        if op_token.type not in _COMPARISON_TOKENS:
+            raise self._error(
+                f"expected a comparison operator in constraint, found {op_token.value!r}")
+        self._advance()
+        op = _COMPARISON_TOKENS[op_token.type]
+        value = self._parse_literal_value()
+        if op == "==" and isinstance(value, str) and "%" in value:
+            op = "like"
+        return ast.AttributeConstraint(attr=attr, op=op, value=value)
+
+    def _parse_operations(self) -> List[str]:
+        token = self._peek()
+        if not self._check_keyword(*OPERATION_KEYWORDS):
+            raise self._error(
+                f"expected an operation keyword, found {token.value!r}")
+        operations = [self._advance().value]
+        while self._check(TokenType.OROR):
+            self._advance()
+            if not self._check_keyword(*OPERATION_KEYWORDS):
+                raise self._error(
+                    f"expected an operation keyword after '||', found {self._peek().value!r}")
+            operations.append(self._advance().value)
+        return operations
+
+    def _parse_window_spec(self) -> ast.WindowSpec:
+        self._expect(TokenType.HASH)
+        kind_token = self._expect(TokenType.IDENT)
+        kind = kind_token.value
+        if kind not in ("time", "count"):
+            raise SAQLParseError(
+                f"unknown window kind {kind!r} (expected 'time' or 'count')",
+                kind_token.line, kind_token.column)
+        self._expect(TokenType.LPAREN)
+        length_token = self._expect(TokenType.NUMBER)
+        length = _number_value(length_token.value)
+        hop: Optional[float] = None
+        if kind == "time":
+            unit = "s"
+            if self._check(TokenType.IDENT):
+                unit = self._advance().value
+            length = float(length) * _unit_multiplier(unit, length_token)
+            if self._check(TokenType.COMMA):
+                self._advance()
+                hop_token = self._expect(TokenType.NUMBER)
+                hop_unit = "s"
+                if self._check(TokenType.IDENT):
+                    hop_unit = self._advance().value
+                hop = (float(_number_value(hop_token.value))
+                       * _unit_multiplier(hop_unit, hop_token))
+        else:
+            length = float(length)
+            if self._check(TokenType.COMMA):
+                self._advance()
+                hop_token = self._expect(TokenType.NUMBER)
+                hop = float(_number_value(hop_token.value))
+        self._expect(TokenType.RPAREN)
+        return ast.WindowSpec(kind=kind, length=float(length), hop=hop)
+
+    def _parse_temporal_order(self) -> ast.TemporalOrder:
+        self._expect_keyword("with")
+        aliases = [self._expect(TokenType.IDENT).value]
+        while self._check(TokenType.ARROW):
+            self._advance()
+            aliases.append(self._expect(TokenType.IDENT).value)
+        if len(aliases) < 2:
+            raise self._error("temporal order requires at least two aliases")
+        return ast.TemporalOrder(aliases=tuple(aliases))
+
+    def _parse_state_block(self) -> ast.StateBlock:
+        self._expect_keyword("state")
+        history = 1
+        if self._check(TokenType.LBRACKET):
+            self._advance()
+            history_token = self._expect(TokenType.NUMBER)
+            history = int(_number_value(history_token.value))
+            if history < 1:
+                raise SAQLParseError("state history must be at least 1",
+                                     history_token.line, history_token.column)
+            self._expect(TokenType.RBRACKET)
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.LBRACE)
+        definitions: List[ast.StateDefinition] = []
+        while not self._check(TokenType.RBRACE):
+            def_name = self._expect(TokenType.IDENT).value
+            self._expect(TokenType.ASSIGN)
+            expr = self._parse_expression()
+            definitions.append(ast.StateDefinition(name=def_name, expr=expr))
+            if self._check(TokenType.COMMA):
+                self._advance()
+        self._expect(TokenType.RBRACE)
+        if not definitions:
+            raise self._error("state block declares no aggregations")
+
+        group_by: List[ast.Expression] = []
+        if self._check_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            group_by.append(self._parse_postfix_expression())
+            while self._check(TokenType.COMMA):
+                self._advance()
+                group_by.append(self._parse_postfix_expression())
+
+        return ast.StateBlock(
+            name=name,
+            history=history,
+            definitions=tuple(definitions),
+            group_by=tuple(group_by),
+        )
+
+    def _parse_invariant_block(self) -> ast.InvariantBlock:
+        self._expect_keyword("invariant")
+        self._expect(TokenType.LBRACKET)
+        training_token = self._expect(TokenType.NUMBER)
+        training = int(_number_value(training_token.value))
+        if training < 1:
+            raise SAQLParseError("invariant training length must be >= 1",
+                                 training_token.line, training_token.column)
+        self._expect(TokenType.RBRACKET)
+        mode = "offline"
+        if self._check(TokenType.LBRACKET):
+            self._advance()
+            mode_token = self._expect(TokenType.IDENT)
+            if mode_token.value not in ("offline", "online"):
+                raise SAQLParseError(
+                    f"unknown invariant mode {mode_token.value!r}",
+                    mode_token.line, mode_token.column)
+            mode = mode_token.value
+            self._expect(TokenType.RBRACKET)
+
+        self._expect(TokenType.LBRACE)
+        statements: List[ast.InvariantStatement] = []
+        while not self._check(TokenType.RBRACE):
+            stmt_name = self._expect(TokenType.IDENT).value
+            if self._check(TokenType.ASSIGN):
+                self._advance()
+                is_init = True
+            elif self._check(TokenType.EQ):
+                self._advance()
+                is_init = False
+            else:
+                raise self._error(
+                    "expected ':=' (init) or '=' (update) in invariant block")
+            expr = self._parse_expression()
+            statements.append(ast.InvariantStatement(
+                name=stmt_name, expr=expr, is_init=is_init))
+            if self._check(TokenType.COMMA):
+                self._advance()
+        self._expect(TokenType.RBRACE)
+        if not statements:
+            raise self._error("invariant block declares no statements")
+        return ast.InvariantBlock(
+            training_windows=training, mode=mode,
+            statements=tuple(statements))
+
+    def _parse_cluster_spec(self) -> ast.ClusterSpec:
+        self._expect_keyword("cluster")
+        self._expect(TokenType.LPAREN)
+        points: Optional[ast.Expression] = None
+        distance = "ed"
+        method_text = ""
+        while not self._check(TokenType.RPAREN):
+            key = self._expect(TokenType.IDENT).value
+            self._expect(TokenType.EQ)
+            if key == "points":
+                points = self._parse_expression()
+            elif key == "distance":
+                distance = self._expect(TokenType.STRING).value
+            elif key == "method":
+                method_text = self._expect(TokenType.STRING).value
+            else:
+                raise self._error(f"unknown cluster parameter {key!r}")
+            if self._check(TokenType.COMMA):
+                self._advance()
+        self._expect(TokenType.RPAREN)
+        if points is None:
+            raise self._error("cluster statement requires a 'points' parameter")
+        method_name, method_args = _parse_method_string(method_text)
+        return ast.ClusterSpec(points=points, distance=distance,
+                               method=method_name, method_args=method_args)
+
+    def _parse_alert_clause(self) -> ast.AlertClause:
+        self._expect_keyword("alert")
+        condition = self._parse_expression()
+        return ast.AlertClause(condition=condition)
+
+    def _parse_return_clause(self) -> ast.ReturnClause:
+        self._expect_keyword("return")
+        distinct = False
+        if self._check_keyword("distinct"):
+            self._advance()
+            distinct = True
+        items = [self._parse_return_item()]
+        while self._check(TokenType.COMMA):
+            self._advance()
+            items.append(self._parse_return_item())
+        return ast.ReturnClause(items=tuple(items), distinct=distinct)
+
+    def _parse_return_item(self) -> ast.ReturnItem:
+        expr = self._parse_expression()
+        alias: Optional[str] = None
+        if self._check_keyword("as"):
+            self._advance()
+            alias = self._expect(TokenType.IDENT).value
+        return ast.ReturnItem(expr=expr, alias=alias)
+
+    # -- expression parsers -------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or_expression()
+
+    def _parse_or_expression(self) -> ast.Expression:
+        left = self._parse_and_expression()
+        while self._check(TokenType.OROR):
+            self._advance()
+            right = self._parse_and_expression()
+            left = ast.BinaryOp(op="||", left=left, right=right)
+        return left
+
+    def _parse_and_expression(self) -> ast.Expression:
+        left = self._parse_comparison_expression()
+        while self._check(TokenType.ANDAND):
+            self._advance()
+            right = self._parse_comparison_expression()
+            left = ast.BinaryOp(op="&&", left=left, right=right)
+        return left
+
+    def _parse_comparison_expression(self) -> ast.Expression:
+        left = self._parse_set_expression()
+        token = self._peek()
+        if token.type in _COMPARISON_TOKENS:
+            self._advance()
+            right = self._parse_set_expression()
+            return ast.BinaryOp(op=_COMPARISON_TOKENS[token.type],
+                                left=left, right=right)
+        if self._check_keyword("in"):
+            self._advance()
+            right = self._parse_set_expression()
+            return ast.BinaryOp(op="in", left=left, right=right)
+        return left
+
+    def _parse_set_expression(self) -> ast.Expression:
+        left = self._parse_additive_expression()
+        while self._check_keyword(*_SET_OPERATORS):
+            op = self._advance().value
+            right = self._parse_additive_expression()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive_expression(self) -> ast.Expression:
+        left = self._parse_multiplicative_expression()
+        while self._check(TokenType.PLUS) or self._check(TokenType.MINUS):
+            op = self._advance().value
+            right = self._parse_multiplicative_expression()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative_expression(self) -> ast.Expression:
+        left = self._parse_unary_expression()
+        while (self._check(TokenType.STAR) or self._check(TokenType.SLASH)
+               or self._check(TokenType.PERCENT)):
+            op = self._advance().value
+            right = self._parse_unary_expression()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary_expression(self) -> ast.Expression:
+        if self._check(TokenType.NOT):
+            self._advance()
+            return ast.UnaryOp(op="!",
+                               operand=self._parse_unary_expression())
+        if self._check(TokenType.MINUS):
+            self._advance()
+            return ast.UnaryOp(op="-",
+                               operand=self._parse_unary_expression())
+        return self._parse_postfix_expression()
+
+    def _parse_postfix_expression(self) -> ast.Expression:
+        expr = self._parse_primary_expression()
+        while True:
+            if self._check(TokenType.DOT):
+                self._advance()
+                attr = self._expect(TokenType.IDENT).value
+                expr = ast.AttributeRef(base=expr, attr=attr)
+            elif self._check(TokenType.LBRACKET):
+                self._advance()
+                index = self._parse_expression()
+                self._expect(TokenType.RBRACKET)
+                expr = ast.IndexRef(base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary_expression(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(value=_number_value(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.PIPE:
+            self._advance()
+            operand = self._parse_expression()
+            self._expect(TokenType.PIPE)
+            return ast.SizeOf(operand=operand)
+        if token.type is TokenType.IDENT:
+            if token.value == "empty_set":
+                self._advance()
+                return ast.EmptySet()
+            self._advance()
+            if self._check(TokenType.LPAREN):
+                return self._parse_call(token.value)
+            return ast.Identifier(name=token.value)
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_call(self, name: str) -> ast.FuncCall:
+        self._expect(TokenType.LPAREN)
+        args: List[ast.Expression] = []
+        kwargs: List[Tuple[str, ast.Expression]] = []
+        while not self._check(TokenType.RPAREN):
+            if (self._check(TokenType.IDENT)
+                    and self._check(TokenType.EQ, offset=1)):
+                key = self._advance().value
+                self._advance()  # '='
+                kwargs.append((key, self._parse_expression()))
+            else:
+                args.append(self._parse_expression())
+            if self._check(TokenType.COMMA):
+                self._advance()
+        self._expect(TokenType.RPAREN)
+        return ast.FuncCall(name=name, args=tuple(args),
+                            kwargs=tuple(kwargs))
+
+
+def _number_value(text: str):
+    """Convert a NUMBER token's text to int or float."""
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _unit_multiplier(unit: str, token: Token) -> float:
+    """Return the seconds-per-unit multiplier for a time-window unit."""
+    try:
+        return TIME_UNITS[unit.lower()]
+    except KeyError:
+        raise SAQLParseError(f"unknown time unit {unit!r}",
+                             token.line, token.column) from None
+
+
+_METHOD_PATTERN = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:\((?P<args>[^)]*)\))?\s*$")
+
+
+def _parse_method_string(text: str) -> Tuple[str, Tuple[float, ...]]:
+    """Parse a cluster method string such as ``DBSCAN(100000, 5)``."""
+    if not text:
+        return "DBSCAN", ()
+    match = _METHOD_PATTERN.match(text)
+    if match is None:
+        raise SAQLParseError(f"malformed cluster method {text!r}")
+    name = match.group("name")
+    args_text = match.group("args")
+    if not args_text:
+        return name, ()
+    args = []
+    for piece in args_text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            args.append(float(piece))
+        except ValueError:
+            raise SAQLParseError(
+                f"non-numeric cluster method argument {piece!r}") from None
+    return name, tuple(args)
+
+
+def parse(text: str, name: str = "") -> ast.Query:
+    """Parse SAQL query text into an (unchecked) query AST."""
+    tokens = tokenize(text)
+    parser = Parser(tokens, source_text=text)
+    query = parser.parse_query()
+    query.name = name
+    return query

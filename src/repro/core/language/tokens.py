@@ -1,0 +1,254 @@
+"""Tokenizer for the SAQL query language.
+
+The paper builds its grammar with ANTLR 4; since this reproduction cannot
+pull in external parser generators, the lexer is hand written.  It produces
+a flat token list consumed by the recursive-descent parser.
+
+Lexical conventions (taken from Queries 1-4 of the paper):
+
+* ``//`` starts a comment that runs to the end of the line;
+* string literals use double quotes and may contain ``%`` wildcards;
+* ``||`` is both the operation alternation ("read || write") and boolean
+  OR — the parser disambiguates by context;
+* ``->`` is the temporal-order arrow; ``:=`` is state/invariant
+  initialization; ``#`` introduces a window specification;
+* identifiers may contain letters, digits, underscores and dots are NOT
+  part of identifiers (attribute access is a separate ``.`` token).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.errors import SAQLParseError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by the tokenizer."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    DOT = "."
+    HASH = "#"
+    PIPE = "|"
+    OROR = "||"
+    ANDAND = "&&"
+    NOT = "!"
+    ARROW = "->"
+    ASSIGN = ":="
+    EQ = "="
+    EQEQ = "=="
+    NEQ = "!="
+    LT = "<"
+    LTE = "<="
+    GT = ">"
+    GTE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+#: Keywords are scanned as IDENT tokens; the parser gives them meaning in
+#: context.  Listed here for reference and for the formatter/analyzer.
+KEYWORDS = frozenset({
+    "proc", "file", "ip",
+    "start", "end", "read", "write", "execute", "delete", "rename",
+    "connect", "accept", "send", "recv",
+    "as", "with", "state", "group", "by", "invariant", "offline", "online",
+    "cluster", "alert", "return", "distinct", "union", "diff", "intersect",
+    "in", "empty_set", "time", "count",
+})
+
+_TWO_CHAR_TOKENS = {
+    "||": TokenType.OROR,
+    "&&": TokenType.ANDAND,
+    "->": TokenType.ARROW,
+    ":=": TokenType.ASSIGN,
+    "==": TokenType.EQEQ,
+    "!=": TokenType.NEQ,
+    "<=": TokenType.LTE,
+    ">=": TokenType.GTE,
+}
+
+_ONE_CHAR_TOKENS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "#": TokenType.HASH,
+    "|": TokenType.PIPE,
+    "!": TokenType.NOT,
+    "=": TokenType.EQ,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+}
+
+
+class Tokenizer:
+    """Converts SAQL query text into a list of :class:`Token` objects."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        """Scan the whole input and return the token list (EOF-terminated)."""
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # -- scanning helpers -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._pos >= len(self._text):
+                return
+            if self._text[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self._line, self._column
+        if self._pos >= len(self._text):
+            return Token(TokenType.EOF, "", line, column)
+
+        char = self._peek()
+
+        # String literal.
+        if char == '"':
+            return self._scan_string(line, column)
+
+        # Number literal.
+        if char.isdigit():
+            return self._scan_number(line, column)
+
+        # Identifier / keyword.
+        if char.isalpha() or char == "_":
+            return self._scan_identifier(line, column)
+
+        # Two-character operators first.
+        two = self._text[self._pos:self._pos + 2]
+        if two in _TWO_CHAR_TOKENS:
+            self._advance(2)
+            return Token(_TWO_CHAR_TOKENS[two], two, line, column)
+
+        if char in _ONE_CHAR_TOKENS:
+            self._advance()
+            return Token(_ONE_CHAR_TOKENS[char], char, line, column)
+
+        raise SAQLParseError(f"unexpected character {char!r}", line, column)
+
+    def _scan_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise SAQLParseError("unterminated string literal",
+                                     line, column)
+            char = self._peek()
+            if char == '"':
+                self._advance()
+                return Token(TokenType.STRING, "".join(chars), line, column)
+            if char == "\\" and self._peek(1) in ('"', "\\"):
+                chars.append(self._peek(1))
+                self._advance(2)
+                continue
+            if char == "\n":
+                raise SAQLParseError("newline inside string literal",
+                                     line, column)
+            chars.append(char)
+            self._advance()
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        saw_dot = False
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not saw_dot and self._peek(1).isdigit():
+                saw_dot = True
+                self._advance()
+            else:
+                break
+        value = self._text[start:self._pos]
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _scan_identifier(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char.isalnum() or char == "_":
+                self._advance()
+            else:
+                break
+        value = self._text[start:self._pos]
+        return Token(TokenType.IDENT, value, line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SAQL query text into a list of tokens."""
+    return Tokenizer(text).tokenize()

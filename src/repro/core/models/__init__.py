@@ -1,0 +1,28 @@
+"""Programmatic builders for the four anomaly-model classes.
+
+Writing SAQL text is the primary interface, but applications that generate
+queries (dashboards, policy compilers) can use these builders to assemble
+the paper's four anomaly-model classes without string templating:
+
+* :class:`RuleQueryBuilder` — multi-event rule-based models;
+* :class:`TimeSeriesQueryBuilder` — sliding-window moving-average models;
+* :class:`InvariantQueryBuilder` — invariant learning models;
+* :class:`OutlierQueryBuilder` — clustering-based peer-comparison models.
+
+Each builder produces SAQL text (``to_saql()``) and a parsed query
+(``build()``), so everything still flows through the same language
+front-end and engine.
+"""
+
+from repro.core.models.rule_based import RuleQueryBuilder
+from repro.core.models.time_series import TimeSeriesQueryBuilder, simple_moving_average
+from repro.core.models.invariant import InvariantQueryBuilder
+from repro.core.models.outlier import OutlierQueryBuilder
+
+__all__ = [
+    "InvariantQueryBuilder",
+    "OutlierQueryBuilder",
+    "RuleQueryBuilder",
+    "TimeSeriesQueryBuilder",
+    "simple_moving_average",
+]

@@ -1,0 +1,92 @@
+"""Builder for invariant-based anomaly queries.
+
+Invariant models (Query 3 of the paper) learn a set-valued description of
+normal behaviour during a training period — e.g. which child processes a
+service is known to spawn — and alert on later additions to that set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.language import ast, parse_query
+
+
+class InvariantQueryBuilder:
+    """Assembles an invariant-learning SAQL query."""
+
+    def __init__(self, name: str = "invariant-query"):
+        self.name = name
+        self._agentid: Optional[str] = None
+        self._parent_pattern = "%service%"
+        self._operation = "start"
+        self._tracked_attr = "exe_name"
+        self._window_seconds = 10.0
+        self._training_windows = 10
+        self._mode = "offline"
+        self._group_by = "p1"
+
+    def on_agent(self, agentid: str) -> "InvariantQueryBuilder":
+        """Restrict to one host agent."""
+        self._agentid = agentid
+        return self
+
+    def parent(self, pattern: str) -> "InvariantQueryBuilder":
+        """Set the parent process pattern whose behaviour is learned."""
+        self._parent_pattern = pattern
+        return self
+
+    def operation(self, op: str) -> "InvariantQueryBuilder":
+        """Set the monitored operation (default ``start``)."""
+        self._operation = op
+        return self
+
+    def tracked_attribute(self, attr: str) -> "InvariantQueryBuilder":
+        """Set the child attribute collected into the invariant set."""
+        self._tracked_attr = attr
+        return self
+
+    def window_seconds(self, seconds: float) -> "InvariantQueryBuilder":
+        """Set the sliding-window length in seconds."""
+        self._window_seconds = float(seconds)
+        return self
+
+    def training(self, windows: int,
+                 mode: str = "offline") -> "InvariantQueryBuilder":
+        """Set the number of training windows and the training mode."""
+        if windows < 1:
+            raise ValueError("training needs at least one window")
+        if mode not in ("offline", "online"):
+            raise ValueError("mode must be 'offline' or 'online'")
+        self._training_windows = int(windows)
+        self._mode = mode
+        return self
+
+    def to_saql(self) -> str:
+        """Render the accumulated specification as SAQL text."""
+        lines: List[str] = []
+        if self._agentid:
+            lines.append(f'agentid = "{self._agentid}"')
+        window = self._window_seconds
+        window_text = (f"{int(window)} s" if float(window).is_integer()
+                       else f"{window} s")
+        lines.append(
+            f'proc p1["{self._parent_pattern}"] {self._operation} proc p2 '
+            f"as evt #time({window_text})")
+        lines.append("state ss {")
+        lines.append(f"  observed := set(p2.{self._tracked_attr})")
+        lines.append(f"}} group by {self._group_by}")
+        lines.append(
+            f"invariant[{self._training_windows}][{self._mode}] {{")
+        lines.append("  known := empty_set")
+        lines.append("  known = known union ss.observed")
+        lines.append("}")
+        lines.append("alert |ss.observed diff known| > 0")
+        lines.append(f"return {self._group_by}, ss.observed")
+        return "\n".join(lines)
+
+    def build(self) -> ast.Query:
+        """Parse the generated SAQL text into a checked query."""
+        query = parse_query(self.to_saql())
+        query.name = self.name
+        return query

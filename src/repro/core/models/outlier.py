@@ -1,0 +1,116 @@
+"""Builder for outlier-based anomaly queries (peer comparison).
+
+Outlier models (Query 4 of the paper) compute one comparison point per
+group in each sliding window and flag groups whose point is labelled as
+noise by a clustering algorithm (DBSCAN in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.language import ast, parse_query
+
+
+class OutlierQueryBuilder:
+    """Assembles a clustering-based outlier SAQL query."""
+
+    def __init__(self, name: str = "outlier-query"):
+        self.name = name
+        self._agentid: Optional[str] = None
+        self._subject_pattern: Optional[str] = None
+        self._operations: List[str] = ["read", "write"]
+        self._object_type = "ip"
+        self._window_minutes = 10.0
+        self._metric = ("sum", "amount")
+        self._group_by = "i.dstip"
+        self._distance = "ed"
+        self._method = "DBSCAN"
+        self._method_args: Tuple[float, ...] = (100000.0, 5.0)
+        self._min_threshold = 1000000.0
+
+    def on_agent(self, agentid: str) -> "OutlierQueryBuilder":
+        """Restrict to one host agent."""
+        self._agentid = agentid
+        return self
+
+    def subject(self, pattern: str) -> "OutlierQueryBuilder":
+        """Constrain the subject process executable name (LIKE pattern)."""
+        self._subject_pattern = pattern
+        return self
+
+    def operations(self, *ops: str) -> "OutlierQueryBuilder":
+        """Set the monitored operations."""
+        self._operations = list(ops)
+        return self
+
+    def window_minutes(self, minutes: float) -> "OutlierQueryBuilder":
+        """Set the sliding-window length in minutes."""
+        self._window_minutes = float(minutes)
+        return self
+
+    def metric(self, aggregation: str, attr: str) -> "OutlierQueryBuilder":
+        """Set the per-group comparison metric."""
+        self._metric = (aggregation, attr)
+        return self
+
+    def group_by(self, key: str) -> "OutlierQueryBuilder":
+        """Set the peer-grouping key (default ``i.dstip``)."""
+        self._group_by = key
+        return self
+
+    def clustering(self, method: str, *args: float,
+                   distance: str = "ed") -> "OutlierQueryBuilder":
+        """Set the clustering method, its parameters and the distance code."""
+        self._method = method
+        self._method_args = tuple(float(arg) for arg in args)
+        self._distance = distance
+        return self
+
+    def minimum(self, threshold: float) -> "OutlierQueryBuilder":
+        """Set the absolute floor below which no alert fires."""
+        self._min_threshold = float(threshold)
+        return self
+
+    def to_saql(self) -> str:
+        """Render the accumulated specification as SAQL text."""
+        lines: List[str] = []
+        if self._agentid:
+            lines.append(f'agentid = "{self._agentid}"')
+        subject = "proc p"
+        if self._subject_pattern:
+            subject += f'["{self._subject_pattern}"]'
+        ops = " || ".join(self._operations)
+        window = self._window_minutes
+        window_text = (f"{int(window)} min" if float(window).is_integer()
+                       else f"{window * 60} s")
+        lines.append(
+            f"{subject} {ops} {self._object_type} i as evt #time({window_text})")
+        aggregation, attr = self._metric
+        lines.append("state ss {")
+        lines.append(f"  amt := {aggregation}(evt.{attr})")
+        lines.append(f"}} group by {self._group_by}")
+        method = self._method
+        if self._method_args:
+            args = ", ".join(_format_number(arg) for arg in self._method_args)
+            method += f"({args})"
+        lines.append(
+            f'cluster(points=all(ss.amt), distance="{self._distance}", '
+            f'method="{method}")')
+        lines.append(
+            f"alert cluster.outlier && ss.amt > "
+            f"{_format_number(self._min_threshold)}")
+        lines.append(f"return {self._group_by}, ss.amt")
+        return "\n".join(lines)
+
+    def build(self) -> ast.Query:
+        """Parse the generated SAQL text into a checked query."""
+        query = parse_query(self.to_saql())
+        query.name = self.name
+        return query
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,111 @@
+"""Builder for rule-based anomaly queries.
+
+Rule-based models (Query 1 of the paper) specify known attack behaviours:
+a sequence of event patterns with attribute constraints, temporal order and
+shared entity variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.language import ast, parse_query
+
+
+@dataclass
+class _PatternSpec:
+    subject_type: str
+    subject_var: str
+    subject_pattern: Optional[str]
+    operations: Tuple[str, ...]
+    object_type: str
+    object_var: str
+    object_pattern: Optional[str]
+    object_constraints: Tuple[Tuple[str, str], ...]
+    alias: str
+
+
+class RuleQueryBuilder:
+    """Assembles a rule-based SAQL query step by step."""
+
+    def __init__(self, name: str = "rule-query"):
+        self.name = name
+        self._global_constraints: List[Tuple[str, str]] = []
+        self._patterns: List[_PatternSpec] = []
+        self._temporal: List[str] = []
+        self._returns: List[str] = []
+        self._distinct = True
+
+    def on_agent(self, agentid: str) -> "RuleQueryBuilder":
+        """Restrict the query to events observed on one host agent."""
+        self._global_constraints.append(("agentid", agentid))
+        return self
+
+    def pattern(self, subject_var: str, operations: Sequence[str],
+                object_type: str, object_var: str,
+                subject_pattern: Optional[str] = None,
+                object_pattern: Optional[str] = None,
+                object_constraints: Sequence[Tuple[str, str]] = (),
+                alias: Optional[str] = None) -> "RuleQueryBuilder":
+        """Add one event pattern (subject is always a process)."""
+        alias = alias or f"evt{len(self._patterns) + 1}"
+        self._patterns.append(_PatternSpec(
+            subject_type="proc",
+            subject_var=subject_var,
+            subject_pattern=subject_pattern,
+            operations=tuple(operations),
+            object_type=object_type,
+            object_var=object_var,
+            object_pattern=object_pattern,
+            object_constraints=tuple(object_constraints),
+            alias=alias,
+        ))
+        return self
+
+    def in_order(self, *aliases: str) -> "RuleQueryBuilder":
+        """Require the named patterns to occur in the given temporal order."""
+        self._temporal = list(aliases)
+        return self
+
+    def returning(self, *items: str, distinct: bool = True
+                  ) -> "RuleQueryBuilder":
+        """Set the return clause items (SAQL expressions as text)."""
+        self._returns = list(items)
+        self._distinct = distinct
+        return self
+
+    def to_saql(self) -> str:
+        """Render the accumulated specification as SAQL text."""
+        if not self._patterns:
+            raise ValueError("a rule query needs at least one pattern")
+        lines: List[str] = []
+        for attr, value in self._global_constraints:
+            lines.append(f'{attr} = "{value}"')
+        for spec in self._patterns:
+            subject = f"{spec.subject_type} {spec.subject_var}"
+            if spec.subject_pattern:
+                subject += f'["{spec.subject_pattern}"]'
+            obj = f"{spec.object_type} {spec.object_var}"
+            object_parts = []
+            if spec.object_pattern:
+                object_parts.append(f'"{spec.object_pattern}"')
+            object_parts.extend(f'{attr}="{value}"'
+                                for attr, value in spec.object_constraints)
+            if object_parts:
+                obj += f"[{', '.join(object_parts)}]"
+            ops = " || ".join(spec.operations)
+            lines.append(f"{subject} {ops} {obj} as {spec.alias}")
+        if self._temporal:
+            lines.append("with " + " -> ".join(self._temporal))
+        returns = self._returns or [spec.subject_var
+                                    for spec in self._patterns]
+        prefix = "return distinct " if self._distinct else "return "
+        lines.append(prefix + ", ".join(returns))
+        return "\n".join(lines)
+
+    def build(self) -> ast.Query:
+        """Parse the generated SAQL text into a checked query."""
+        query = parse_query(self.to_saql())
+        query.name = self.name
+        return query

@@ -1,0 +1,117 @@
+"""Builder for time-series anomaly queries (simple moving average).
+
+Time-series models (Query 2 of the paper) track a per-group aggregate over
+sliding windows and alert when the newest window deviates from the moving
+average of the recent history — e.g. a process suddenly sending far more
+data over the network than it used to.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.language import ast, parse_query
+
+
+def simple_moving_average(values: Sequence[float]) -> float:
+    """Return the arithmetic mean of a window-history series (SMA)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+class TimeSeriesQueryBuilder:
+    """Assembles an SMA-style time-series SAQL query."""
+
+    def __init__(self, name: str = "time-series-query"):
+        self.name = name
+        self._agentid: Optional[str] = None
+        self._subject_pattern: Optional[str] = None
+        self._operations: List[str] = ["write"]
+        self._object_type = "ip"
+        self._window_minutes = 10.0
+        self._history = 3
+        self._aggregation = "avg"
+        self._metric_attr = "amount"
+        self._group_by = "p"
+        self._min_threshold = 10000.0
+
+    def on_agent(self, agentid: str) -> "TimeSeriesQueryBuilder":
+        """Restrict to one host agent."""
+        self._agentid = agentid
+        return self
+
+    def subject(self, pattern: str) -> "TimeSeriesQueryBuilder":
+        """Constrain the subject process executable name (LIKE pattern)."""
+        self._subject_pattern = pattern
+        return self
+
+    def operations(self, *ops: str) -> "TimeSeriesQueryBuilder":
+        """Set the monitored operations (default: ``write``)."""
+        self._operations = list(ops)
+        return self
+
+    def window_minutes(self, minutes: float) -> "TimeSeriesQueryBuilder":
+        """Set the sliding-window length in minutes."""
+        self._window_minutes = float(minutes)
+        return self
+
+    def history(self, windows: int) -> "TimeSeriesQueryBuilder":
+        """Set how many windows the moving average spans (including current)."""
+        if windows < 2:
+            raise ValueError("a moving average needs at least 2 windows")
+        self._history = int(windows)
+        return self
+
+    def metric(self, aggregation: str, attr: str) -> "TimeSeriesQueryBuilder":
+        """Set the per-window aggregate, e.g. ``avg``/``sum`` of ``amount``."""
+        self._aggregation = aggregation
+        self._metric_attr = attr
+        return self
+
+    def minimum(self, threshold: float) -> "TimeSeriesQueryBuilder":
+        """Set the absolute floor below which no alert fires."""
+        self._min_threshold = float(threshold)
+        return self
+
+    def to_saql(self) -> str:
+        """Render the accumulated specification as SAQL text."""
+        lines: List[str] = []
+        if self._agentid:
+            lines.append(f'agentid = "{self._agentid}"')
+        subject = "proc p"
+        if self._subject_pattern:
+            subject += f'["{self._subject_pattern}"]'
+        ops = " || ".join(self._operations)
+        window_min = self._window_minutes
+        window_text = (f"{int(window_min)} min"
+                       if float(window_min).is_integer() else
+                       f"{window_min * 60} s")
+        lines.append(
+            f"{subject} {ops} {self._object_type} i as evt #time({window_text})")
+        lines.append(f"state[{self._history}] ss {{")
+        lines.append(
+            f"  value := {self._aggregation}(evt.{self._metric_attr})")
+        lines.append(f"}} group by {self._group_by}")
+        history_terms = " + ".join(f"ss[{i}].value"
+                                   for i in range(self._history))
+        lines.append(
+            f"alert (ss[0].value > ({history_terms}) / {self._history}) && "
+            f"(ss[0].value > {_format_number(self._min_threshold)})")
+        returns = ", ".join([self._group_by] +
+                            [f"ss[{i}].value" for i in range(self._history)])
+        lines.append(f"return {returns}")
+        return "\n".join(lines)
+
+    def build(self) -> ast.Query:
+        """Parse the generated SAQL text into a checked query."""
+        query = parse_query(self.to_saql())
+        query.name = self.name
+        return query
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,28 @@
+"""Concurrent query scheduling with the master-dependent-query scheme.
+
+Section II-C of the paper: concurrent queries are divided into groups based
+on their semantic compatibility; each group has one *master* query with
+direct access to the data stream and several *dependent* queries whose
+execution reuses the master's intermediate results, so that the group
+shares a single copy of the stream data.
+"""
+
+from repro.core.scheduler.compatibility import (
+    CompatibilitySignature,
+    compatibility_signature,
+    pattern_signature,
+)
+from repro.core.scheduler.concurrent import (
+    ConcurrentQueryScheduler,
+    QueryGroup,
+    SchedulerStats,
+)
+
+__all__ = [
+    "CompatibilitySignature",
+    "ConcurrentQueryScheduler",
+    "QueryGroup",
+    "SchedulerStats",
+    "compatibility_signature",
+    "pattern_signature",
+]

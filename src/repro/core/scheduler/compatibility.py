@@ -1,0 +1,65 @@
+"""Semantic-compatibility signatures for query grouping.
+
+Two queries are *semantically compatible* — and can therefore share one
+copy of the stream data under one master query — when they agree on
+
+* the query-wide (global) constraints, which decide which slice of the
+  stream the queries observe (e.g. both pinned to the database server's
+  ``agentid``), and
+* the sliding-window specification, which decides how that slice is
+  buffered for stateful computation.
+
+Individual event patterns additionally get a *pattern signature* so a
+dependent query can pick up the master's match result for any pattern the
+two queries share, and only match its remaining patterns itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.language import ast
+
+
+@dataclass(frozen=True)
+class CompatibilitySignature:
+    """Hashable signature deciding which group a query belongs to."""
+
+    global_constraints: Tuple[Tuple[str, str, str], ...]
+    window: Optional[Tuple[str, float, float]]
+
+
+def compatibility_signature(query: ast.Query) -> CompatibilitySignature:
+    """Compute the grouping signature of a query."""
+    constraints = tuple(sorted(
+        (constraint.attr, constraint.op, str(constraint.value))
+        for constraint in query.global_constraints))
+    window = query.window
+    window_signature: Optional[Tuple[str, float, float]] = None
+    if window is not None:
+        window_signature = (window.kind, float(window.length),
+                            float(window.effective_hop))
+    return CompatibilitySignature(global_constraints=constraints,
+                                  window=window_signature)
+
+
+def _entity_signature(decl: ast.EntityDeclaration) -> Tuple:
+    constraints = tuple(sorted(
+        (constraint.attr or "", constraint.op, str(constraint.value))
+        for constraint in decl.constraints))
+    return (decl.entity_type, constraints)
+
+
+def pattern_signature(pattern: ast.EventPatternDeclaration) -> Tuple:
+    """Compute the signature of one event pattern.
+
+    Two patterns with the same signature match exactly the same events, so
+    a dependent query can reuse its master's match outcome for them (the
+    variable names and alias may differ; they are rebound per query).
+    """
+    return (
+        _entity_signature(pattern.subject),
+        tuple(sorted(pattern.operations)),
+        _entity_signature(pattern.object),
+    )

@@ -1,0 +1,267 @@
+"""The concurrent query scheduler (master-dependent-query scheme).
+
+The scheduler owns a set of :class:`~repro.core.engine.query_engine.QueryEngine`
+instances and executes them over one event stream.  Queries are grouped by
+their :func:`~repro.core.scheduler.compatibility.compatibility_signature`;
+each group keeps a single shared buffer of the stream slice it observes
+("a single copy of the stream data"), the group's *master* query matches
+events against its patterns, and every *dependent* query reuses the
+master's match results for the patterns they share.
+
+The scheduler also keeps the accounting the paper's efficiency argument is
+about: how many per-query copies of stream data exist (one per group under
+sharing versus one per query without), and how many pattern-match
+evaluations were saved by reuse.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.engine.alerts import Alert, AlertSink
+from repro.core.engine.error_reporter import ErrorReporter
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.query_engine import QueryEngine
+from repro.core.language import ast, parse_query
+from repro.core.scheduler.compatibility import (
+    CompatibilitySignature,
+    compatibility_signature,
+    pattern_signature,
+)
+from repro.events.event import Event
+
+#: Default retention (seconds) of the per-group shared event buffer when the
+#: group's queries declare no window.
+DEFAULT_BUFFER_SECONDS = 600.0
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate accounting for one scheduler run."""
+
+    events_ingested: int = 0
+    queries: int = 0
+    groups: int = 0
+    alerts: int = 0
+    #: Pattern-match evaluations actually performed.
+    pattern_evaluations: int = 0
+    #: Pattern-match evaluations avoided by master-result reuse.
+    pattern_evaluations_saved: int = 0
+    #: Events currently retained across all shared group buffers.
+    buffered_events: int = 0
+    #: Peak of :attr:`buffered_events` over the run.
+    peak_buffered_events: int = 0
+
+    @property
+    def data_copies(self) -> int:
+        """Stream copies kept under the master-dependent scheme (one per group)."""
+        return self.groups
+
+    @property
+    def data_copies_without_sharing(self) -> int:
+        """Stream copies a copy-per-query execution would keep."""
+        return self.queries
+
+
+class QueryGroup:
+    """One compatibility group: a master query plus its dependent queries."""
+
+    def __init__(self, signature: CompatibilitySignature,
+                 master: QueryEngine):
+        self.signature = signature
+        self.master = master
+        self.dependents: List[QueryEngine] = []
+        self._master_signatures = {
+            pattern_signature(pattern): pattern
+            for pattern in master.query.patterns
+        }
+        buffer_seconds = DEFAULT_BUFFER_SECONDS
+        if signature.window is not None:
+            buffer_seconds = max(signature.window[1], signature.window[2])
+        self._buffer_seconds = buffer_seconds
+        #: The group's single shared copy of the (filtered) stream data.
+        self.shared_buffer: Deque[Event] = deque()
+
+    @property
+    def engines(self) -> List[QueryEngine]:
+        """Return the master followed by the dependent engines."""
+        return [self.master] + self.dependents
+
+    def add(self, engine: QueryEngine) -> None:
+        """Add a dependent query to the group."""
+        self.dependents.append(engine)
+
+    # -- execution ------------------------------------------------------------
+
+    def process_event(self, event: Event,
+                      stats: SchedulerStats) -> List[Alert]:
+        """Process one stream event through every query of the group."""
+        alerts: List[Alert] = []
+
+        # The master query has direct access to the data stream: it applies
+        # the group's shared global constraints and matches its patterns.
+        master_matcher = self.master.matcher.pattern_matcher
+        if not master_matcher.passes_global_constraints(event):
+            return alerts
+
+        self._retain(event)
+
+        master_matches = []
+        matched_by_signature: Dict[Tuple, PatternMatch] = {}
+        for pattern in self.master.query.patterns:
+            stats.pattern_evaluations += 1
+            match = master_matcher.match_pattern(event, pattern)
+            if match is not None:
+                master_matches.append(match)
+                matched_by_signature[pattern_signature(pattern)] = match
+        alerts.extend(self.master.process_matches(event, master_matches))
+
+        # Dependent queries reuse the master's intermediate results for every
+        # pattern they share with it and only evaluate their own remainder.
+        for engine in self.dependents:
+            dependent_matches: List[PatternMatch] = []
+            for pattern in engine.query.patterns:
+                signature = pattern_signature(pattern)
+                if signature in self._master_signatures:
+                    stats.pattern_evaluations_saved += 1
+                    if signature in matched_by_signature:
+                        dependent_matches.append(
+                            _rebind(matched_by_signature[signature], pattern))
+                    continue
+                stats.pattern_evaluations += 1
+                match = engine.matcher.pattern_matcher.match_pattern(
+                    event, pattern)
+                if match is not None:
+                    dependent_matches.append(match)
+            alerts.extend(engine.process_matches(event, dependent_matches))
+        return alerts
+
+    def finish(self) -> List[Alert]:
+        """Flush every engine of the group at end of stream."""
+        alerts: List[Alert] = []
+        for engine in self.engines:
+            alerts.extend(engine.finish())
+        return alerts
+
+    def _retain(self, event: Event) -> None:
+        self.shared_buffer.append(event)
+        cutoff = event.timestamp - self._buffer_seconds
+        while self.shared_buffer and self.shared_buffer[0].timestamp < cutoff:
+            self.shared_buffer.popleft()
+
+    @property
+    def buffered_events(self) -> int:
+        """Return how many events the group's shared buffer currently holds."""
+        return len(self.shared_buffer)
+
+
+def _rebind(match: PatternMatch,
+            pattern: ast.EventPatternDeclaration) -> PatternMatch:
+    """Rebind a master's match to a dependent pattern's variable names."""
+    return PatternMatch(
+        alias=pattern.alias,
+        event=match.event,
+        bindings={
+            pattern.subject.variable: match.event.subject,
+            pattern.object.variable: match.event.obj,
+        },
+    )
+
+
+class ConcurrentQueryScheduler:
+    """Executes many SAQL queries over one stream with result sharing."""
+
+    def __init__(self, sink: Optional[AlertSink] = None,
+                 error_reporter: Optional[ErrorReporter] = None,
+                 enable_sharing: bool = True):
+        self._sink = sink
+        self._error_reporter = error_reporter or ErrorReporter()
+        self._enable_sharing = enable_sharing
+        self._groups: Dict[Any, QueryGroup] = {}
+        self._engines: List[QueryEngine] = []
+        self.stats = SchedulerStats()
+
+    # -- registration ------------------------------------------------------------
+
+    def add_query(self, query: Union[str, ast.Query],
+                  name: Optional[str] = None) -> QueryEngine:
+        """Register one query; returns the engine created for it."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        engine = QueryEngine(query, name=name, sink=self._sink,
+                             error_reporter=self._error_reporter)
+        self._engines.append(engine)
+
+        if self._enable_sharing:
+            group_key: Any = compatibility_signature(query)
+        else:
+            # Without sharing every query is its own group (the baseline
+            # behaviour of general-purpose stream engines in Section I).
+            group_key = ("isolated", len(self._engines))
+
+        group = self._groups.get(group_key)
+        if group is None:
+            signature = (group_key if isinstance(group_key,
+                                                 CompatibilitySignature)
+                         else compatibility_signature(query))
+            self._groups[group_key] = QueryGroup(signature, engine)
+        else:
+            group.add(engine)
+
+        self.stats.queries = len(self._engines)
+        self.stats.groups = len(self._groups)
+        return engine
+
+    def add_queries(self, queries: Iterable[Union[str, ast.Query]]) -> None:
+        """Register several queries at once."""
+        for query in queries:
+            self.add_query(query)
+
+    @property
+    def engines(self) -> List[QueryEngine]:
+        """Return all registered query engines."""
+        return list(self._engines)
+
+    @property
+    def groups(self) -> List[QueryGroup]:
+        """Return the compatibility groups formed so far."""
+        return list(self._groups.values())
+
+    @property
+    def error_reporter(self) -> ErrorReporter:
+        """Return the shared error reporter."""
+        return self._error_reporter
+
+    # -- execution ----------------------------------------------------------------
+
+    def process_event(self, event: Event) -> List[Alert]:
+        """Feed one event to every group; returns the alerts it triggered."""
+        self.stats.events_ingested += 1
+        alerts: List[Alert] = []
+        for group in self._groups.values():
+            alerts.extend(group.process_event(event, self.stats))
+        buffered = sum(group.buffered_events
+                       for group in self._groups.values())
+        self.stats.buffered_events = buffered
+        self.stats.peak_buffered_events = max(
+            self.stats.peak_buffered_events, buffered)
+        self.stats.alerts += len(alerts)
+        return alerts
+
+    def finish(self) -> List[Alert]:
+        """Flush every group at end of stream."""
+        alerts: List[Alert] = []
+        for group in self._groups.values():
+            alerts.extend(group.finish())
+        self.stats.alerts += len(alerts)
+        return alerts
+
+    def execute(self, stream: Iterable[Event]) -> List[Alert]:
+        """Run all registered queries over a finite stream."""
+        alerts: List[Alert] = []
+        for event in stream:
+            alerts.extend(self.process_event(event))
+        alerts.extend(self.finish())
+        return alerts

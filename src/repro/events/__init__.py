@@ -1,0 +1,62 @@
+"""System monitoring data model.
+
+This package defines the data substrate that the SAQL engine queries:
+system *entities* (processes, files, network connections), system *events*
+(SVO interactions between a subject process and an object entity), and the
+*event stream* abstraction that carries events from data-collection agents
+to the anomaly query engine.
+
+The attribute names follow the conventions used in the paper's example
+queries: ``exe_name``, ``pid`` for processes; ``name`` for files; ``srcip``,
+``dstip``, ``srcport``, ``dstport`` for network connections; plus the
+event-level attributes ``agentid`` (host), ``amount`` (bytes transferred)
+and ``starttime``/``endtime``.
+"""
+
+from repro.events.entities import (
+    Entity,
+    EntityType,
+    FileEntity,
+    NetworkEntity,
+    ProcessEntity,
+    entity_from_dict,
+)
+from repro.events.event import Event, EventType, Operation
+from repro.events.serialization import (
+    event_from_dict,
+    event_from_json,
+    event_to_dict,
+    event_to_json,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from repro.events.stream import (
+    EventStream,
+    ListStream,
+    MergedStream,
+    StreamStats,
+    collect,
+)
+
+__all__ = [
+    "Entity",
+    "EntityType",
+    "Event",
+    "EventStream",
+    "EventType",
+    "FileEntity",
+    "ListStream",
+    "MergedStream",
+    "NetworkEntity",
+    "Operation",
+    "ProcessEntity",
+    "StreamStats",
+    "collect",
+    "entity_from_dict",
+    "event_from_dict",
+    "event_from_json",
+    "event_to_dict",
+    "event_to_json",
+    "read_events_jsonl",
+    "write_events_jsonl",
+]

@@ -1,0 +1,200 @@
+"""System entities: processes, files, and network connections.
+
+Following the paper's data model (Section II-A), system monitoring data
+records interactions among three kinds of system entities.  Each entity
+carries the security-related attributes that SAQL queries can constrain:
+
+* **process** — executable name, PID, command line, owning user;
+* **file** — path/name, owner, permissions;
+* **network connection (ip)** — source/destination IP and port, protocol.
+
+Entities are immutable value objects.  Attribute access for the query
+engine goes through :meth:`Entity.get_attr`, which also resolves the
+*context-aware shortcut* described in the paper (``p1`` stands for
+``p1.exe_name``, ``f1`` for ``f1.name``, ``i1`` for ``i1.dstip``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional
+
+
+class EntityType(enum.Enum):
+    """The three system-entity kinds recognised by the SAQL data model."""
+
+    PROCESS = "proc"
+    FILE = "file"
+    NETWORK = "ip"
+
+    @classmethod
+    def from_keyword(cls, keyword: str) -> "EntityType":
+        """Map a SAQL entity keyword (``proc``/``file``/``ip``) to a type."""
+        normalized = keyword.strip().lower()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(f"unknown entity keyword: {keyword!r}")
+
+
+@dataclass(frozen=True)
+class Entity:
+    """Base class for system entities.
+
+    Subclasses add typed attributes; generic attribute access for query
+    evaluation is provided by :meth:`get_attr` / :meth:`attributes`.
+    """
+
+    entity_id: str
+
+    #: Name of the attribute used when an entity variable is referenced
+    #: without an explicit attribute (the paper's context-aware shortcut).
+    default_attribute = "entity_id"
+
+    @property
+    def entity_type(self) -> EntityType:
+        """Return the :class:`EntityType` of this entity."""
+        raise NotImplementedError
+
+    def attributes(self) -> Dict[str, Any]:
+        """Return all attributes of the entity as a plain dictionary."""
+        result = {f.name: getattr(self, f.name) for f in fields(self)}
+        result["type"] = self.entity_type.value
+        return result
+
+    def get_attr(self, name: str) -> Any:
+        """Return attribute ``name``, or ``None`` when it is not defined.
+
+        The engine treats a missing attribute as a non-match rather than an
+        error, mirroring how monitoring records may omit optional fields.
+        """
+        if name in ("type", "entity_type"):
+            return self.entity_type.value
+        return getattr(self, name, None)
+
+    def default_value(self) -> Any:
+        """Return the value used for the context-aware return shortcut."""
+        return self.get_attr(self.default_attribute)
+
+
+@dataclass(frozen=True)
+class ProcessEntity(Entity):
+    """A running process, identified by executable name and PID."""
+
+    exe_name: str = ""
+    pid: int = 0
+    user: str = ""
+    cmdline: str = ""
+    host: str = ""
+
+    default_attribute = "exe_name"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.PROCESS
+
+    @staticmethod
+    def make(exe_name: str, pid: int, host: str = "", user: str = "",
+             cmdline: str = "") -> "ProcessEntity":
+        """Create a process entity with a deterministic identifier."""
+        entity_id = f"proc:{host}:{pid}:{exe_name}"
+        return ProcessEntity(
+            entity_id=entity_id,
+            exe_name=exe_name,
+            pid=pid,
+            user=user,
+            cmdline=cmdline or exe_name,
+            host=host,
+        )
+
+
+@dataclass(frozen=True)
+class FileEntity(Entity):
+    """A file, identified by its full path (``name``)."""
+
+    name: str = ""
+    owner: str = ""
+    permissions: str = ""
+    host: str = ""
+
+    default_attribute = "name"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.FILE
+
+    @staticmethod
+    def make(name: str, host: str = "", owner: str = "",
+             permissions: str = "rw-") -> "FileEntity":
+        """Create a file entity with a deterministic identifier."""
+        entity_id = f"file:{host}:{name}"
+        return FileEntity(
+            entity_id=entity_id,
+            name=name,
+            owner=owner,
+            permissions=permissions,
+            host=host,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkEntity(Entity):
+    """A network connection endpoint pair."""
+
+    srcip: str = ""
+    srcport: int = 0
+    dstip: str = ""
+    dstport: int = 0
+    protocol: str = "tcp"
+
+    default_attribute = "dstip"
+
+    @property
+    def entity_type(self) -> EntityType:
+        return EntityType.NETWORK
+
+    @staticmethod
+    def make(srcip: str, dstip: str, srcport: int = 0, dstport: int = 0,
+             protocol: str = "tcp") -> "NetworkEntity":
+        """Create a network-connection entity with a deterministic id."""
+        entity_id = f"ip:{srcip}:{srcport}->{dstip}:{dstport}/{protocol}"
+        return NetworkEntity(
+            entity_id=entity_id,
+            srcip=srcip,
+            srcport=srcport,
+            dstip=dstip,
+            dstport=dstport,
+            protocol=protocol,
+        )
+
+
+_ENTITY_CLASSES = {
+    EntityType.PROCESS: ProcessEntity,
+    EntityType.FILE: FileEntity,
+    EntityType.NETWORK: NetworkEntity,
+}
+
+
+def entity_class_for(entity_type: EntityType) -> type:
+    """Return the dataclass implementing the given entity type."""
+    return _ENTITY_CLASSES[entity_type]
+
+
+def entity_from_dict(data: Dict[str, Any]) -> Entity:
+    """Reconstruct an entity from its dictionary form.
+
+    The dictionary must contain a ``type`` key holding one of the SAQL
+    entity keywords (``proc``, ``file``, ``ip``); remaining keys are the
+    entity's attributes.  Unknown keys are ignored so that richer monitoring
+    records can be loaded without schema churn.
+    """
+    if "type" not in data:
+        raise ValueError("entity dictionary is missing the 'type' key")
+    entity_type = EntityType.from_keyword(str(data["type"]))
+    cls = _ENTITY_CLASSES[entity_type]
+    allowed = {f.name for f in fields(cls)}
+    kwargs = {key: value for key, value in data.items() if key in allowed}
+    if "entity_id" not in kwargs:
+        raise ValueError("entity dictionary is missing the 'entity_id' key")
+    return cls(**kwargs)

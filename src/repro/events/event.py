@@ -1,0 +1,124 @@
+"""System events: SVO interactions between system entities.
+
+A system event records one kernel-level interaction, represented as
+⟨subject, operation, object⟩ (Section II-A of the paper).  The subject is
+always a process; the object is a file, a process, or a network connection,
+which partitions events into *file events*, *process events* and *network
+events*.
+
+Every event additionally carries:
+
+* ``agentid`` — the identifier of the host agent that observed it (the
+  paper's global ``agentid = xxx`` constraint filters on this);
+* ``timestamp`` — seconds since the epoch of the simulated enterprise;
+* ``amount`` — number of bytes moved by read/write/send/recv operations;
+* ``attrs`` — a free-form dictionary for additional monitoring attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.events.entities import Entity, EntityType, ProcessEntity
+
+
+class Operation(enum.Enum):
+    """Kernel-level operations recorded by the monitoring agents."""
+
+    START = "start"
+    END = "end"
+    READ = "read"
+    WRITE = "write"
+    EXECUTE = "execute"
+    DELETE = "delete"
+    RENAME = "rename"
+    CONNECT = "connect"
+    ACCEPT = "accept"
+    SEND = "send"
+    RECV = "recv"
+
+    @classmethod
+    def from_keyword(cls, keyword: str) -> "Operation":
+        """Map a SAQL operation keyword to an :class:`Operation`."""
+        normalized = keyword.strip().lower()
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise ValueError(f"unknown operation keyword: {keyword!r}")
+
+
+class EventType(enum.Enum):
+    """Event categories derived from the object entity type."""
+
+    PROCESS_EVENT = "process"
+    FILE_EVENT = "file"
+    NETWORK_EVENT = "network"
+
+    @classmethod
+    def for_object(cls, obj: Entity) -> "EventType":
+        """Return the event category implied by the object entity."""
+        mapping = {
+            EntityType.PROCESS: cls.PROCESS_EVENT,
+            EntityType.FILE: cls.FILE_EVENT,
+            EntityType.NETWORK: cls.NETWORK_EVENT,
+        }
+        return mapping[obj.entity_type]
+
+
+_EVENT_COUNTER = itertools.count(1)
+
+
+def _next_event_id() -> int:
+    return next(_EVENT_COUNTER)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One system monitoring event (an SVO triple plus metadata)."""
+
+    subject: ProcessEntity
+    operation: Operation
+    obj: Entity
+    timestamp: float
+    agentid: str = ""
+    amount: float = 0.0
+    event_id: int = field(default_factory=_next_event_id)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def event_type(self) -> EventType:
+        """Return the event category (process/file/network event)."""
+        return EventType.for_object(self.obj)
+
+    def get_attr(self, name: str) -> Any:
+        """Return an event-level attribute.
+
+        Event-level attributes are the metadata fields (``agentid``,
+        ``amount``, ``timestamp``, ``operation``, ``type``) plus anything in
+        the free-form ``attrs`` dictionary.  Missing attributes evaluate to
+        ``None`` so that constraint checks fail without raising.
+        """
+        if name == "agentid":
+            return self.agentid
+        if name == "amount":
+            return self.amount
+        if name in ("timestamp", "time", "starttime"):
+            return self.timestamp
+        if name in ("operation", "op"):
+            return self.operation.value
+        if name in ("type", "event_type"):
+            return self.event_type.value
+        if name == "event_id":
+            return self.event_id
+        return self.attrs.get(name)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.subject, ProcessEntity):
+            raise TypeError("event subject must be a ProcessEntity")
+        if self.timestamp < 0:
+            raise ValueError("event timestamp must be non-negative")
+        if self.amount < 0:
+            raise ValueError("event amount must be non-negative")

@@ -1,0 +1,90 @@
+"""Serialization of events to and from dictionaries, JSON, and JSON-lines.
+
+The data-collection agents, the event database and the stream replayer all
+exchange events in the dictionary form produced here, so that a stored day
+of monitoring data round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Union
+
+from repro.events.entities import Entity, entity_from_dict
+from repro.events.event import Event, Operation
+
+
+def entity_to_dict(entity: Entity) -> Dict[str, Any]:
+    """Serialize an entity, including its ``type`` discriminator."""
+    return entity.attributes()
+
+
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """Serialize an event to a JSON-compatible dictionary."""
+    return {
+        "event_id": event.event_id,
+        "timestamp": event.timestamp,
+        "agentid": event.agentid,
+        "operation": event.operation.value,
+        "amount": event.amount,
+        "subject": entity_to_dict(event.subject),
+        "object": entity_to_dict(event.obj),
+        "attrs": dict(event.attrs),
+    }
+
+
+def event_from_dict(data: Dict[str, Any]) -> Event:
+    """Reconstruct an event from its dictionary form.
+
+    Raises:
+        ValueError: if a required key is missing or malformed.
+    """
+    try:
+        subject = entity_from_dict(data["subject"])
+        obj = entity_from_dict(data["object"])
+        operation = Operation.from_keyword(data["operation"])
+        timestamp = float(data["timestamp"])
+    except KeyError as exc:
+        raise ValueError(f"event dictionary is missing key {exc}") from exc
+    return Event(
+        subject=subject,  # type: ignore[arg-type]
+        operation=operation,
+        obj=obj,
+        timestamp=timestamp,
+        agentid=str(data.get("agentid", "")),
+        amount=float(data.get("amount", 0.0)),
+        event_id=int(data.get("event_id", 0)) or Event.__dataclass_fields__["event_id"].default_factory(),  # type: ignore[misc]
+        attrs=dict(data.get("attrs", {})),
+    )
+
+
+def event_to_json(event: Event) -> str:
+    """Serialize an event to a single JSON string."""
+    return json.dumps(event_to_dict(event), sort_keys=True)
+
+
+def event_from_json(text: str) -> Event:
+    """Parse an event from a JSON string."""
+    return event_from_dict(json.loads(text))
+
+
+def write_events_jsonl(events: Iterable[Event],
+                       path: Union[str, Path]) -> int:
+    """Write events to a JSON-lines file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event_to_json(event))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(path: Union[str, Path]) -> Iterator[Event]:
+    """Lazily read events back from a JSON-lines file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield event_from_json(line)

@@ -1,0 +1,175 @@
+"""Event stream abstractions.
+
+The SAQL engine consumes a single, time-ordered event feed aggregated from
+many hosts.  This module provides:
+
+* :class:`EventStream` — the minimal iterable interface the engine needs;
+* :class:`ListStream` — an in-memory stream over a list of events;
+* :class:`MergedStream` — a k-way timestamp merge of several per-host
+  streams into one enterprise-wide feed (what the central server does with
+  agent uploads);
+* :class:`StreamStats` — running statistics used by benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.events.event import Event, EventType
+
+
+class EventStream:
+    """Base class for event streams.
+
+    A stream is an iterable of :class:`~repro.events.event.Event` objects in
+    non-decreasing timestamp order.  Subclasses implement :meth:`__iter__`.
+    """
+
+    def __iter__(self) -> Iterator[Event]:
+        raise NotImplementedError
+
+    def filter(self, predicate: Callable[[Event], bool]) -> "EventStream":
+        """Return a new stream containing only events matching ``predicate``."""
+        return _FilteredStream(self, predicate)
+
+    def limit(self, count: int) -> "EventStream":
+        """Return a stream truncated to the first ``count`` events."""
+        return _LimitedStream(self, count)
+
+
+class ListStream(EventStream):
+    """An in-memory event stream backed by a list.
+
+    The list is sorted by timestamp on construction so that out-of-order
+    synthetic data still forms a valid stream.
+    """
+
+    def __init__(self, events: Iterable[Event], presorted: bool = False):
+        events = list(events)
+        if not presorted:
+            events.sort(key=lambda event: (event.timestamp, event.event_id))
+        self._events: List[Event] = events
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """Return the underlying (sorted) event list."""
+        return self._events
+
+
+class _FilteredStream(EventStream):
+    """Lazy predicate filter over another stream."""
+
+    def __init__(self, source: EventStream,
+                 predicate: Callable[[Event], bool]):
+        self._source = source
+        self._predicate = predicate
+
+    def __iter__(self) -> Iterator[Event]:
+        for event in self._source:
+            if self._predicate(event):
+                yield event
+
+
+class _LimitedStream(EventStream):
+    """Truncates another stream after a fixed number of events."""
+
+    def __init__(self, source: EventStream, count: int):
+        if count < 0:
+            raise ValueError("limit count must be non-negative")
+        self._source = source
+        self._count = count
+
+    def __iter__(self) -> Iterator[Event]:
+        remaining = self._count
+        for event in self._source:
+            if remaining <= 0:
+                return
+            yield event
+            remaining -= 1
+
+
+class MergedStream(EventStream):
+    """Timestamp-ordered merge of several source streams.
+
+    This models the central server merging per-host agent feeds into the
+    single enterprise-wide event feed that SAQL queries run against.
+    """
+
+    def __init__(self, sources: Sequence[EventStream]):
+        self._sources = list(sources)
+
+    def __iter__(self) -> Iterator[Event]:
+        iterators = [iter(source) for source in self._sources]
+        heap: List[tuple] = []
+        for index, iterator in enumerate(iterators):
+            first = next(iterator, None)
+            if first is not None:
+                heapq.heappush(
+                    heap, (first.timestamp, first.event_id, index, first))
+        while heap:
+            _, _, index, event = heapq.heappop(heap)
+            yield event
+            nxt = next(iterators[index], None)
+            if nxt is not None:
+                heapq.heappush(
+                    heap, (nxt.timestamp, nxt.event_id, index, nxt))
+
+
+@dataclass
+class StreamStats:
+    """Running statistics over a stream of events."""
+
+    total_events: int = 0
+    first_timestamp: Optional[float] = None
+    last_timestamp: Optional[float] = None
+    by_type: Dict[str, int] = field(default_factory=dict)
+    by_agent: Dict[str, int] = field(default_factory=dict)
+    total_amount: float = 0.0
+
+    def observe(self, event: Event) -> None:
+        """Fold one event into the statistics."""
+        self.total_events += 1
+        if self.first_timestamp is None:
+            self.first_timestamp = event.timestamp
+        self.last_timestamp = event.timestamp
+        type_key = event.event_type.value
+        self.by_type[type_key] = self.by_type.get(type_key, 0) + 1
+        if event.agentid:
+            self.by_agent[event.agentid] = (
+                self.by_agent.get(event.agentid, 0) + 1)
+        self.total_amount += event.amount
+
+    @property
+    def duration(self) -> float:
+        """Return the time span covered by the observed events."""
+        if self.first_timestamp is None or self.last_timestamp is None:
+            return 0.0
+        return self.last_timestamp - self.first_timestamp
+
+    @property
+    def events_per_second(self) -> float:
+        """Return the average event rate over the observed time span."""
+        if self.duration <= 0:
+            return float(self.total_events)
+        return self.total_events / self.duration
+
+    @classmethod
+    def from_stream(cls, stream: Iterable[Event]) -> "StreamStats":
+        """Compute statistics by consuming an entire stream."""
+        stats = cls()
+        for event in stream:
+            stats.observe(event)
+        return stats
+
+
+def collect(stream: Iterable[Event]) -> List[Event]:
+    """Materialize a stream into a list (convenience for tests/examples)."""
+    return list(stream)

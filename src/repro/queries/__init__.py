@@ -1,0 +1,42 @@
+"""The demo SAQL queries (Section III of the paper).
+
+The paper constructs 8 SAQL queries in advance of the demonstration: one
+rule-based query per attack step (c1-c5, built with knowledge of the
+attack), plus three advanced anomaly queries that assume no knowledge of
+the attack details (an invariant-based query over Excel's child processes,
+a time-series/SMA query over per-process network volume on the database
+server, and an outlier-based DBSCAN query over per-destination network
+volume on the database server).
+"""
+
+from repro.queries.demo_queries import (
+    ADVANCED_QUERY_NAMES,
+    DEMO_QUERIES,
+    RULE_QUERY_NAMES,
+    demo_query,
+    demo_query_names,
+    invariant_excel_children,
+    outlier_exfiltration,
+    rule_c1_initial_compromise,
+    rule_c2_malware_infection,
+    rule_c3_privilege_escalation,
+    rule_c4_penetration,
+    rule_c5_data_exfiltration,
+    timeseries_network_spike,
+)
+
+__all__ = [
+    "ADVANCED_QUERY_NAMES",
+    "DEMO_QUERIES",
+    "RULE_QUERY_NAMES",
+    "demo_query",
+    "demo_query_names",
+    "invariant_excel_children",
+    "outlier_exfiltration",
+    "rule_c1_initial_compromise",
+    "rule_c2_malware_infection",
+    "rule_c3_privilege_escalation",
+    "rule_c4_penetration",
+    "rule_c5_data_exfiltration",
+    "timeseries_network_spike",
+]

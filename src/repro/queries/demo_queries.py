@@ -1,0 +1,209 @@
+"""SAQL text of the 8 demo queries and helpers to access them.
+
+The rule-based queries (c1-c5) encode knowledge of the specific attack
+artifacts, exactly as the paper's demonstration does; the three advanced
+anomaly queries encode only generic models of abnormality (a new Excel
+child process, a spike in per-process network volume, a per-destination
+volume outlier) and therefore also work without attack knowledge.
+
+Host identifiers refer to the simulated enterprise
+(:mod:`repro.collection.enterprise`): the victim desktop is ``client-01``
+and the SQL database server is ``db-server``.  The attacker host is
+``203.0.113.129`` (the paper obfuscates it as ``XXX.129``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.language import ast, parse_query
+
+CLIENT_AGENT = "client-01"
+DB_AGENT = "db-server"
+ATTACKER_IP = "203.0.113.129"
+
+
+def rule_c1_initial_compromise() -> str:
+    """Rule query for step c1: a suspicious attachment written then opened."""
+    return f'''
+// c1: Outlook stores a crafted spreadsheet which Excel then opens
+agentid = "{CLIENT_AGENT}"
+proc p1["%outlook.exe"] write file f1["%invoice%"] as evt1
+proc p2["%excel.exe"] read file f1 as evt2
+with evt1 -> evt2
+return distinct p1, f1, p2
+'''
+
+
+def rule_c2_malware_infection() -> str:
+    """Rule query for step c2: the macro drops and starts a backdoor."""
+    return f'''
+// c2: Excel spawns a shell, the script host downloads and runs a backdoor
+agentid = "{CLIENT_AGENT}"
+proc p1["%excel.exe"] start proc p2["%cmd.exe"] as evt1
+proc p2 start proc p3["%wscript.exe"] as evt2
+proc p3 write file f1["%backdoor.exe"] as evt3
+proc p3 start proc p4["%backdoor.exe"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4
+'''
+
+
+def rule_c3_privilege_escalation() -> str:
+    """Rule query for step c3: the credential-dumping tool is run."""
+    return f'''
+// c3: the backdoor runs gsecdump to steal database credentials
+agentid = "{CLIENT_AGENT}"
+proc p1["%backdoor.exe"] start proc p2["%gsecdump.exe"] as evt1
+proc p2 read file f1["%SAM%"] as evt2
+proc p2 write file f2["%creds%"] as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, p2, f1, f2
+'''
+
+
+def rule_c4_penetration() -> str:
+    """Rule query for step c4: a VBScript drops a backdoor on the DB server."""
+    return f'''
+// c4: cscript drops sbblv.exe on the database server and starts it
+agentid = "{DB_AGENT}"
+proc p1["%cmd.exe"] start proc p2["%cscript.exe"] as evt1
+proc p2 write file f1["%sbblv.exe"] as evt2
+proc p2 start proc p3["%sbblv.exe"] as evt3
+with evt1 -> evt2 -> evt3
+return distinct p1, p2, f1, p3
+'''
+
+
+def rule_c5_data_exfiltration() -> str:
+    """Rule query for step c5 (Query 1 of the paper): the database dump."""
+    return f'''
+// c5: the database is dumped via osql and shipped to the attacker's host
+agentid = "{DB_AGENT}"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="{ATTACKER_IP}"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+'''
+
+
+def invariant_excel_children(training_windows: int = 3,
+                             window_minutes: int = 5) -> str:
+    """Invariant query: Excel starts a process it has never started before.
+
+    The invariant is the set of child executables Excel spawned during the
+    first ``training_windows`` sliding windows; later additions (the
+    malicious shell of step c2) are reported.
+    """
+    return f'''
+// advanced #1: learn the set of processes Excel normally starts
+agentid = "{CLIENT_AGENT}"
+proc p1["%excel.exe"] start proc p2 as evt #time({window_minutes} min)
+state ss {{
+  set_proc := set(p2.exe_name)
+}} group by p1
+invariant[{training_windows}][offline] {{
+  a := empty_set
+  a = a union ss.set_proc
+}}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+'''
+
+
+def timeseries_network_spike(window_minutes: int = 10,
+                             floor_bytes: float = 500000) -> str:
+    """Time-series (SMA) query: abnormally high per-process network volume.
+
+    Query 2 of the paper: compare each process's average outbound transfer
+    size in the current window against the simple moving average of the
+    last three windows, with an absolute floor to ignore small talkers.
+    """
+    floor_text = (str(int(floor_bytes)) if float(floor_bytes).is_integer()
+                  else str(floor_bytes))
+    return f'''
+// advanced #2: SMA spike detection on the database server's network volume
+agentid = "{DB_AGENT}"
+proc p write ip i as evt #time({window_minutes} min)
+state[3] ss {{
+  avg_amount := avg(evt.amount)
+}} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > {floor_text})
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
+'''
+
+
+def outlier_exfiltration(window_minutes: int = 10, eps: float = 500000,
+                         min_pts: int = 3,
+                         floor_bytes: float = 5000000) -> str:
+    """Outlier query (Query 4 of the paper): per-destination volume outlier.
+
+    Per sliding window, the total bytes moved to each destination IP on the
+    database server form the comparison points; DBSCAN labels destinations
+    far from the dense cluster of normal client traffic as outliers.  The
+    paper's Query 4 pins the subject to ``sqlservr.exe``; here the subject
+    is left open because in the reproduced scenario the dropped malware
+    (``sbblv.exe``) performs the transfer — the peer-comparison model is
+    unchanged.
+    """
+    eps_text = str(int(eps)) if float(eps).is_integer() else str(eps)
+    floor_text = (str(int(floor_bytes)) if float(floor_bytes).is_integer()
+                  else str(floor_bytes))
+    return f'''
+// advanced #3: DBSCAN peer comparison of per-destination network volume
+agentid = "{DB_AGENT}"
+proc p read || write ip i as evt #time({window_minutes} min)
+state ss {{
+  amt := sum(evt.amount)
+}} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN({eps_text}, {min_pts})")
+alert cluster.outlier && ss.amt > {floor_text}
+return i.dstip, ss.amt
+'''
+
+
+#: The five rule-based query names, in attack-step order.
+RULE_QUERY_NAMES: List[str] = [
+    "rule-c1-initial-compromise",
+    "rule-c2-malware-infection",
+    "rule-c3-privilege-escalation",
+    "rule-c4-penetration",
+    "rule-c5-data-exfiltration",
+]
+
+#: The three advanced anomaly query names.
+ADVANCED_QUERY_NAMES: List[str] = [
+    "invariant-excel-children",
+    "timeseries-network-spike",
+    "outlier-exfiltration",
+]
+
+#: All 8 demo queries: name -> SAQL text.
+DEMO_QUERIES: Dict[str, str] = {
+    "rule-c1-initial-compromise": rule_c1_initial_compromise(),
+    "rule-c2-malware-infection": rule_c2_malware_infection(),
+    "rule-c3-privilege-escalation": rule_c3_privilege_escalation(),
+    "rule-c4-penetration": rule_c4_penetration(),
+    "rule-c5-data-exfiltration": rule_c5_data_exfiltration(),
+    "invariant-excel-children": invariant_excel_children(),
+    "timeseries-network-spike": timeseries_network_spike(),
+    "outlier-exfiltration": outlier_exfiltration(),
+}
+
+
+def demo_query_names() -> List[str]:
+    """Return the names of all 8 demo queries, rule queries first."""
+    return RULE_QUERY_NAMES + ADVANCED_QUERY_NAMES
+
+
+def demo_query(name: str) -> ast.Query:
+    """Parse one demo query by name into a checked query AST."""
+    text = DEMO_QUERIES.get(name)
+    if text is None:
+        raise KeyError(f"unknown demo query {name!r}; "
+                       f"known: {', '.join(demo_query_names())}")
+    query = parse_query(text)
+    query.name = name
+    return query

@@ -1,0 +1,22 @@
+"""Event storage and the stream replayer.
+
+The paper's demo stores the collected monitoring data in databases and uses
+a *stream replayer* (Fig. 4) to replay any host/time slice of it as a live
+stream, so the same attack data can be reused to showcase different
+queries.  This package provides:
+
+* :class:`EventDatabase` — an embedded, indexed event store with range
+  queries by time, host and event type, and JSON-lines persistence;
+* :class:`StreamReplayer` — replays a stored slice as an event stream,
+  optionally throttled to a real-time speed factor.
+"""
+
+from repro.storage.database import DatabaseStats, EventDatabase
+from repro.storage.replayer import ReplaySpec, StreamReplayer
+
+__all__ = [
+    "DatabaseStats",
+    "EventDatabase",
+    "ReplaySpec",
+    "StreamReplayer",
+]

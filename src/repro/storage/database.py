@@ -1,0 +1,144 @@
+"""An embedded event database for collected monitoring data.
+
+Events are kept sorted by timestamp with secondary indexes by host
+(``agentid``) and by event type, supporting the range scans the stream
+replayer needs (host set + time range).  The store persists to JSON-lines
+files via :mod:`repro.events.serialization`, so a captured day of data can
+be saved and replayed later.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.events.event import Event
+from repro.events.serialization import read_events_jsonl, write_events_jsonl
+
+
+@dataclass
+class DatabaseStats:
+    """Summary statistics of a database's contents."""
+
+    total_events: int = 0
+    hosts: List[str] = field(default_factory=list)
+    first_timestamp: Optional[float] = None
+    last_timestamp: Optional[float] = None
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+
+class EventDatabase:
+    """Stores monitoring events and answers host/time range queries."""
+
+    def __init__(self, events: Iterable[Event] = ()):
+        self._events: List[Event] = []
+        self._timestamps: List[float] = []
+        self._by_host: Dict[str, List[int]] = {}
+        self._by_type: Dict[str, int] = {}
+        self.insert_many(events)
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def insert(self, event: Event) -> None:
+        """Insert one event, keeping the time order and indexes consistent."""
+        position = bisect.bisect_right(self._timestamps, event.timestamp)
+        self._timestamps.insert(position, event.timestamp)
+        self._events.insert(position, event)
+        # Positional host indexes are rebuilt lazily; mark them stale.
+        self._by_host.clear()
+        type_key = event.event_type.value
+        self._by_type[type_key] = self._by_type.get(type_key, 0) + 1
+
+    def insert_many(self, events: Iterable[Event]) -> int:
+        """Insert many events at once (faster than repeated single inserts)."""
+        events = list(events)
+        if not events:
+            return 0
+        self._events.extend(events)
+        self._events.sort(key=lambda event: (event.timestamp, event.event_id))
+        self._timestamps = [event.timestamp for event in self._events]
+        self._by_host.clear()
+        for event in events:
+            type_key = event.event_type.value
+            self._by_type[type_key] = self._by_type.get(type_key, 0) + 1
+        return len(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _host_index(self) -> Dict[str, List[int]]:
+        if not self._by_host and self._events:
+            for position, event in enumerate(self._events):
+                self._by_host.setdefault(event.agentid, []).append(position)
+        return self._by_host
+
+    @property
+    def hosts(self) -> List[str]:
+        """Return the distinct host identifiers present in the store."""
+        return sorted(self._host_index().keys())
+
+    @property
+    def time_range(self) -> Optional[tuple]:
+        """Return (first, last) timestamps, or None when empty."""
+        if not self._events:
+            return None
+        return (self._timestamps[0], self._timestamps[-1])
+
+    def query(self, start_time: Optional[float] = None,
+              end_time: Optional[float] = None,
+              hosts: Optional[Sequence[str]] = None,
+              event_types: Optional[Sequence[str]] = None) -> List[Event]:
+        """Return events in ``[start_time, end_time)`` for the given hosts.
+
+        All filters are optional; omitted filters select everything.
+        ``event_types`` accepts the category names ``process``, ``file``,
+        ``network``.
+        """
+        low = 0
+        high = len(self._events)
+        if start_time is not None:
+            low = bisect.bisect_left(self._timestamps, start_time)
+        if end_time is not None:
+            high = bisect.bisect_left(self._timestamps, end_time)
+        host_filter: Optional[Set[str]] = set(hosts) if hosts else None
+        type_filter: Optional[Set[str]] = (set(event_types) if event_types
+                                           else None)
+        results: List[Event] = []
+        for event in self._events[low:high]:
+            if host_filter is not None and event.agentid not in host_filter:
+                continue
+            if (type_filter is not None
+                    and event.event_type.value not in type_filter):
+                continue
+            results.append(event)
+        return results
+
+    def scan(self) -> Iterator[Event]:
+        """Iterate every stored event in time order."""
+        return iter(self._events)
+
+    def stats(self) -> DatabaseStats:
+        """Return summary statistics of the stored data."""
+        time_range = self.time_range
+        return DatabaseStats(
+            total_events=len(self._events),
+            hosts=self.hosts,
+            first_timestamp=time_range[0] if time_range else None,
+            last_timestamp=time_range[1] if time_range else None,
+            by_type=dict(self._by_type),
+        )
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Persist the store to a JSON-lines file; returns the event count."""
+        return write_events_jsonl(self._events, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "EventDatabase":
+        """Load a store previously written by :meth:`save`."""
+        return cls(read_events_jsonl(path))

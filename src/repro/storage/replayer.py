@@ -1,0 +1,73 @@
+"""The stream replayer (Fig. 4 of the paper).
+
+The replayer turns a stored slice of monitoring data — selected by hosts
+and start/end time — back into an event stream, so the attack data can be
+replayed repeatedly to showcase different queries.  A speed factor allows
+throttled ("real-time x N") replay; the default replays as fast as the
+consumer can read, which is what the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.events.event import Event
+from repro.events.stream import EventStream
+from repro.storage.database import EventDatabase
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """What to replay: the host set and the time range (Fig. 4's controls)."""
+
+    hosts: Optional[Sequence[str]] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    #: Replay speed factor: None = as fast as possible, 1.0 = real time,
+    #: 10.0 = ten times faster than real time.
+    speed: Optional[float] = None
+
+
+class StreamReplayer(EventStream):
+    """Replays a stored host/time slice of events as a stream."""
+
+    def __init__(self, database: EventDatabase,
+                 spec: Optional[ReplaySpec] = None,
+                 sleep=_time.sleep):
+        self._database = database
+        self._spec = spec or ReplaySpec()
+        self._sleep = sleep
+        #: Number of events produced by the last replay run.
+        self.events_replayed = 0
+
+    @property
+    def spec(self) -> ReplaySpec:
+        """Return the replay specification."""
+        return self._spec
+
+    def with_spec(self, spec: ReplaySpec) -> "StreamReplayer":
+        """Return a new replayer over the same database with another spec."""
+        return StreamReplayer(self._database, spec, sleep=self._sleep)
+
+    def selected_events(self) -> List[Event]:
+        """Return the stored events selected by the replay specification."""
+        return self._database.query(
+            start_time=self._spec.start_time,
+            end_time=self._spec.end_time,
+            hosts=self._spec.hosts,
+        )
+
+    def __iter__(self) -> Iterator[Event]:
+        self.events_replayed = 0
+        previous_timestamp: Optional[float] = None
+        speed = self._spec.speed
+        for event in self.selected_events():
+            if speed is not None and previous_timestamp is not None:
+                gap = (event.timestamp - previous_timestamp) / speed
+                if gap > 0:
+                    self._sleep(gap)
+            previous_timestamp = event.timestamp
+            self.events_replayed += 1
+            yield event

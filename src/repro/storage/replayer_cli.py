@@ -1,0 +1,77 @@
+"""Command-line front-end for the stream replayer (``saql-replay``).
+
+The paper's replayer exposes a small web UI for choosing hosts and the
+start/end time; this reproduction provides the same controls on the
+command line and writes the selected slice either to stdout (as JSON
+lines) or to an output file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.events.serialization import event_to_json
+from repro.storage.database import EventDatabase
+from repro.storage.replayer import ReplaySpec, StreamReplayer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the replayer CLI."""
+    parser = argparse.ArgumentParser(
+        prog="saql-replay",
+        description="Replay stored system monitoring data as an event stream.")
+    parser.add_argument("database",
+                        help="JSON-lines file written by EventDatabase.save()")
+    parser.add_argument("--hosts", nargs="*", default=None,
+                        help="host identifiers to replay (default: all)")
+    parser.add_argument("--start", type=float, default=None,
+                        help="start timestamp (inclusive)")
+    parser.add_argument("--end", type=float, default=None,
+                        help="end timestamp (exclusive)")
+    parser.add_argument("--speed", type=float, default=None,
+                        help="replay speed factor (default: as fast as possible)")
+    parser.add_argument("--output", default=None,
+                        help="write the replayed events to this JSON-lines file")
+    parser.add_argument("--stats", action="store_true",
+                        help="print database statistics and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``saql-replay`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    database = EventDatabase.load(args.database)
+    if args.stats:
+        stats = database.stats()
+        print(f"events: {stats.total_events}")
+        print(f"hosts: {', '.join(stats.hosts)}")
+        if stats.first_timestamp is not None:
+            print(f"time range: [{stats.first_timestamp}, "
+                  f"{stats.last_timestamp}]")
+        for type_name, count in sorted(stats.by_type.items()):
+            print(f"  {type_name} events: {count}")
+        return 0
+
+    spec = ReplaySpec(hosts=args.hosts, start_time=args.start,
+                      end_time=args.end, speed=args.speed)
+    replayer = StreamReplayer(database, spec)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for event in replayer:
+                handle.write(event_to_json(event))
+                handle.write("\n")
+    else:
+        for event in replayer:
+            sys.stdout.write(event_to_json(event))
+            sys.stdout.write("\n")
+    print(f"replayed {replayer.events_replayed} events", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

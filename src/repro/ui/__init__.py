@@ -1,0 +1,10 @@
+"""The command-line UI (Fig. 3 of the paper).
+
+``saql`` lets an analyst parse queries, run the built-in demo scenario, or
+execute a set of SAQL queries against a stored event database, printing
+alerts as they are detected.
+"""
+
+from repro.ui.cli import main
+
+__all__ = ["main"]

@@ -1,0 +1,181 @@
+"""The ``saql`` command-line UI.
+
+Sub-commands:
+
+* ``saql parse QUERY_FILE`` — parse a SAQL query and echo its normalized
+  form (useful while authoring queries);
+* ``saql demo`` — run the full demonstration: simulate the enterprise,
+  inject the 5-step APT attack, deploy the 8 demo queries over the stream
+  and print the alerts in detection order;
+* ``saql run --database EVENTS.jsonl QUERY_FILE...`` — run one or more
+  query files against a stored event database (written by
+  ``EventDatabase.save`` or the quickstart example).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.attack import APTScenario
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.core import ConcurrentQueryScheduler, SAQLError, parse_query
+from repro.core.engine.alerts import Alert, CallbackSink
+from repro.core.language import format_query
+from repro.queries import DEMO_QUERIES, demo_query_names
+from repro.storage import EventDatabase, ReplaySpec, StreamReplayer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``saql`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="saql",
+        description="SAQL: query streaming system monitoring data for "
+                    "abnormal behavior.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    parse_cmd = subparsers.add_parser(
+        "parse", help="parse a SAQL query file and echo its normalized form")
+    parse_cmd.add_argument("query_file", help="path to a .saql query file")
+
+    demo_cmd = subparsers.add_parser(
+        "demo", help="run the APT-attack demonstration end to end")
+    demo_cmd.add_argument("--background-minutes", type=float, default=60.0,
+                          help="minutes of benign background to simulate")
+    demo_cmd.add_argument("--attack-start", type=float, default=1800.0,
+                          help="attack start time (seconds into the stream)")
+    demo_cmd.add_argument("--seed", type=int, default=7,
+                          help="enterprise simulation seed")
+    demo_cmd.add_argument("--queries", nargs="*", default=None,
+                          help="subset of demo query names to deploy")
+    demo_cmd.add_argument("--save-events", default=None,
+                          help="also save the generated stream to this "
+                               "JSON-lines file")
+
+    run_cmd = subparsers.add_parser(
+        "run", help="run query files against a stored event database")
+    run_cmd.add_argument("query_files", nargs="+",
+                         help="paths to .saql query files")
+    run_cmd.add_argument("--database", required=True,
+                         help="JSON-lines event file to query")
+    run_cmd.add_argument("--hosts", nargs="*", default=None,
+                         help="restrict the replay to these hosts")
+    run_cmd.add_argument("--start", type=float, default=None,
+                         help="replay start timestamp")
+    run_cmd.add_argument("--end", type=float, default=None,
+                         help="replay end timestamp")
+
+    list_cmd = subparsers.add_parser(
+        "queries", help="list the built-in demo queries")
+    list_cmd.add_argument("--show", default=None,
+                          help="print the SAQL text of one demo query")
+    return parser
+
+
+def _print_alert(alert: Alert) -> None:
+    print(f"ALERT {alert.describe()}")
+
+
+def command_parse(args: argparse.Namespace) -> int:
+    """Implement ``saql parse``."""
+    text = Path(args.query_file).read_text(encoding="utf-8")
+    try:
+        query = parse_query(text)
+    except SAQLError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(format_query(query))
+    return 0
+
+
+def command_demo(args: argparse.Namespace) -> int:
+    """Implement ``saql demo``."""
+    duration = args.background_minutes * 60.0
+    enterprise = Enterprise(EnterpriseConfig(seed=args.seed))
+    scenario = APTScenario(start_time=args.attack_start)
+    stream = enterprise.event_feed(0.0, duration,
+                                   injected=scenario.events())
+
+    names = args.queries or demo_query_names()
+    scheduler = ConcurrentQueryScheduler(sink=CallbackSink(_print_alert))
+    for name in names:
+        if name not in DEMO_QUERIES:
+            print(f"error: unknown demo query {name!r}", file=sys.stderr)
+            return 1
+        scheduler.add_query(DEMO_QUERIES[name], name=name)
+
+    print(f"deployed {len(names)} queries over "
+          f"{len(list(stream.events))} events "
+          f"({len(enterprise.hosts)} hosts); attack starts at "
+          f"t={args.attack_start:.0f}")
+    alerts = scheduler.execute(stream)
+    print(f"done: {len(alerts)} alerts, "
+          f"{scheduler.stats.groups} query groups "
+          f"(vs {scheduler.stats.queries} stream copies without sharing)")
+    if scheduler.error_reporter.has_errors():
+        for record in scheduler.error_reporter.records:
+            print(record.describe(), file=sys.stderr)
+
+    if args.save_events:
+        database = EventDatabase(stream)
+        database.save(args.save_events)
+        print(f"saved {len(database)} events to {args.save_events}")
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """Implement ``saql run``."""
+    database = EventDatabase.load(args.database)
+    spec = ReplaySpec(hosts=args.hosts, start_time=args.start,
+                      end_time=args.end)
+    replayer = StreamReplayer(database, spec)
+
+    scheduler = ConcurrentQueryScheduler(sink=CallbackSink(_print_alert))
+    for path in args.query_files:
+        text = Path(path).read_text(encoding="utf-8")
+        try:
+            scheduler.add_query(text, name=Path(path).stem)
+        except SAQLError as error:
+            print(f"error in {path}: {error}", file=sys.stderr)
+            return 1
+
+    alerts = scheduler.execute(replayer)
+    print(f"done: {replayer.events_replayed} events replayed, "
+          f"{len(alerts)} alerts")
+    if scheduler.error_reporter.has_errors():
+        for record in scheduler.error_reporter.records:
+            print(record.describe(), file=sys.stderr)
+    return 0
+
+
+def command_queries(args: argparse.Namespace) -> int:
+    """Implement ``saql queries``."""
+    if args.show:
+        text = DEMO_QUERIES.get(args.show)
+        if text is None:
+            print(f"error: unknown demo query {args.show!r}", file=sys.stderr)
+            return 1
+        print(text.strip())
+        return 0
+    for name in demo_query_names():
+        print(name)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``saql`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "parse": command_parse,
+        "demo": command_demo,
+        "run": command_run,
+        "queries": command_queries,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

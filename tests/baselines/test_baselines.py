@@ -1,0 +1,142 @@
+"""Tests for the copy-per-query and generic-CEP baselines."""
+
+import pytest
+
+from repro.baselines import (
+    CopyPerQueryExecutor,
+    FilterQuery,
+    GenericCEPEngine,
+    WindowedAggregateQuery,
+)
+from repro.core import ConcurrentQueryScheduler
+from repro.events.event import Operation
+from repro.events.stream import ListStream
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+QUERY_A = '''
+agentid = "db-server"
+proc p["%sbblv.exe"] read file f["%backup%"] as e
+return p, f
+'''
+
+QUERY_B = '''
+agentid = "db-server"
+proc p["%sbblv.exe"] write ip i as e
+return p, i
+'''
+
+
+def _events(count=20):
+    sbblv = make_process("sbblv.exe", 4)
+    dump = make_file("D:/backup/backup1.dmp")
+    attacker = make_connection("203.0.113.129")
+    events = []
+    for index in range(count):
+        events.append(make_event(sbblv, Operation.READ, dump,
+                                 float(index * 2), amount=1e5))
+        events.append(make_event(sbblv, Operation.WRITE, attacker,
+                                 float(index * 2 + 1), amount=1e5))
+    return events
+
+
+class TestCopyPerQueryExecutor:
+    def test_detections_match_shared_scheduler(self):
+        baseline = CopyPerQueryExecutor()
+        shared = ConcurrentQueryScheduler()
+        for runner in (baseline, shared):
+            runner.add_query(QUERY_A, name="a")
+            runner.add_query(QUERY_B, name="b")
+        baseline_alerts = sorted(
+            (a.query_name, a.data)
+            for a in baseline.execute(ListStream(_events())))
+        shared_alerts = sorted(
+            (a.query_name, a.data)
+            for a in shared.execute(ListStream(_events())))
+        assert baseline_alerts == shared_alerts
+
+    def test_one_data_copy_per_query(self):
+        baseline = CopyPerQueryExecutor()
+        baseline.add_query(QUERY_A)
+        baseline.add_query(QUERY_B)
+        assert baseline.stats.data_copies == 2
+
+    def test_buffers_grow_with_query_count(self):
+        few = CopyPerQueryExecutor()
+        few.add_query(QUERY_A)
+        many = CopyPerQueryExecutor()
+        for index in range(4):
+            many.add_query(QUERY_A, name=f"q{index}")
+        few.execute(ListStream(_events()))
+        many.execute(ListStream(_events()))
+        assert (many.stats.peak_buffered_events
+                > few.stats.peak_buffered_events)
+
+    def test_sharing_buffers_less_than_baseline(self):
+        baseline = CopyPerQueryExecutor()
+        shared = ConcurrentQueryScheduler()
+        for runner in (baseline, shared):
+            for index in range(4):
+                runner.add_query(QUERY_A, name=f"q{index}")
+        baseline.execute(ListStream(_events()))
+        shared.execute(ListStream(_events()))
+        assert (shared.stats.peak_buffered_events
+                < baseline.stats.peak_buffered_events)
+
+    def test_global_constraint_still_applies(self):
+        baseline = CopyPerQueryExecutor()
+        baseline.add_query(QUERY_A)
+        foreign = make_event(make_process("sbblv.exe", 4), Operation.READ,
+                             make_file("D:/backup/backup1.dmp"), 1.0,
+                             agentid="laptop-07")
+        assert baseline.execute(ListStream([foreign])) == []
+
+
+class TestGenericCEP:
+    def test_filter_query(self):
+        engine = GenericCEPEngine()
+        fltr = engine.add_filter(FilterQuery(
+            name="reads", predicate=lambda e: e.operation is Operation.READ))
+        engine.execute(ListStream(_events(count=5)))
+        assert len(fltr.matches) == 5
+
+    def test_windowed_aggregate(self):
+        engine = GenericCEPEngine()
+        aggregate = engine.add_aggregate(WindowedAggregateQuery(
+            name="per-dst", predicate=lambda e: e.obj.get_attr("dstip"),
+            key=lambda e: e.obj.get_attr("dstip"),
+            value=lambda e: e.amount, window_seconds=10.0))
+        results = engine.execute(ListStream(_events(count=10)))
+        assert results
+        total = sum(sum(result.values.values()) for result in results)
+        assert total == pytest.approx(10 * 1e5)
+
+    @pytest.mark.parametrize("kind,expected", [("avg", 1e5), ("count", 10.0)])
+    def test_avg_and_count_aggregates(self, kind, expected):
+        engine = GenericCEPEngine()
+        aggregate = engine.add_aggregate(WindowedAggregateQuery(
+            name="x", predicate=lambda e: True,
+            key=lambda e: "all", value=lambda e: e.amount,
+            window_seconds=1e6, aggregate=kind))
+        engine.execute(ListStream(_events(count=5)))
+        # Only the flush result exists because the window never closes.
+        assert len(aggregate.results) == 1
+        assert aggregate.results[0].values["all"] == pytest.approx(expected)
+
+    def test_every_query_sees_every_event(self):
+        engine = GenericCEPEngine()
+        engine.add_filter(FilterQuery("a", lambda e: True))
+        engine.add_filter(FilterQuery("b", lambda e: False))
+        engine.execute(ListStream(_events(count=3)))
+        assert engine.events_processed == 6
+        assert engine.events_delivered == 12
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedAggregateQuery("x", lambda e: True, lambda e: 1,
+                                   lambda e: 1.0, window_seconds=0)
+
+    def test_invalid_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedAggregateQuery("x", lambda e: True, lambda e: 1,
+                                   lambda e: 1.0, window_seconds=10,
+                                   aggregate="median")

@@ -1,0 +1,104 @@
+"""Unit tests for the from-scratch DBSCAN implementation."""
+
+import pytest
+
+from repro.core.cluster.dbscan import DBSCAN, NOISE, dbscan
+from repro.core.cluster.distance import manhattan
+
+
+def _two_blobs_and_outlier():
+    """Two dense 1-D blobs plus one far-away point."""
+    blob_a = [(float(value),) for value in (1, 2, 3, 4, 5)]
+    blob_b = [(float(value),) for value in (100, 101, 102, 103, 104)]
+    outlier = [(1000.0,)]
+    return blob_a + blob_b + outlier
+
+
+class TestDBSCANClustering:
+    def test_finds_two_clusters(self):
+        result = dbscan(_two_blobs_and_outlier(), eps=2.0, min_pts=3)
+        assert result.n_clusters == 2
+
+    def test_far_point_is_noise(self):
+        result = dbscan(_two_blobs_and_outlier(), eps=2.0, min_pts=3)
+        assert result.labels[-1] == NOISE
+
+    def test_cluster_members_share_label(self):
+        result = dbscan(_two_blobs_and_outlier(), eps=2.0, min_pts=3)
+        assert len(set(result.labels[:5])) == 1
+        assert len(set(result.labels[5:10])) == 1
+        assert result.labels[0] != result.labels[5]
+
+    def test_all_noise_when_min_pts_too_high(self):
+        result = dbscan([(0.0,), (10.0,), (20.0,)], eps=1.0, min_pts=2)
+        assert result.labels == [NOISE, NOISE, NOISE]
+        assert result.n_clusters == 0
+
+    def test_single_dense_cluster(self):
+        points = [(float(value),) for value in range(10)]
+        result = dbscan(points, eps=1.5, min_pts=2)
+        assert result.n_clusters == 1
+        assert NOISE not in result.labels
+
+    def test_empty_input(self):
+        result = dbscan([], eps=1.0, min_pts=2)
+        assert result.labels == []
+        assert result.n_clusters == 0
+
+    def test_border_point_joins_cluster(self):
+        # 5.5 is within eps of the last core point but has few neighbours.
+        points = [(1.0,), (2.0,), (3.0,), (4.0,), (5.5,)]
+        result = dbscan(points, eps=1.6, min_pts=3)
+        assert result.labels[-1] == result.labels[0]
+
+    def test_custom_distance(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (50.0, 50.0)]
+        result = DBSCAN(eps=2.5, min_pts=2, distance=manhattan).fit(points)
+        assert result.labels[-1] == NOISE
+
+    def test_two_dimensional_points(self):
+        points = [(0, 0), (0, 1), (1, 0), (1, 1), (30, 30)]
+        result = dbscan(points, eps=1.5, min_pts=3)
+        assert result.labels[-1] == NOISE
+        assert result.n_clusters == 1
+
+
+class TestClusterResult:
+    def test_keys_default_to_indices(self):
+        result = dbscan([(0.0,), (0.5,), (100.0,)], eps=1.0, min_pts=2)
+        assert result.keys == [0, 1, 2]
+
+    def test_is_outlier_by_key(self):
+        result = dbscan([(0.0,), (0.5,), (100.0,)], eps=1.0, min_pts=2,
+                        keys=["a", "b", "evil"])
+        assert result.is_outlier("evil")
+        assert not result.is_outlier("a")
+
+    def test_is_outlier_unknown_key_is_false(self):
+        result = dbscan([(0.0,)], eps=1.0, min_pts=1, keys=["a"])
+        assert not result.is_outlier("zzz")
+
+    def test_label_of(self):
+        result = dbscan([(0.0,), (0.5,), (100.0,)], eps=1.0, min_pts=2,
+                        keys=["a", "b", "evil"])
+        assert result.label_of("a") == result.label_of("b")
+        assert result.label_of("evil") == NOISE
+        assert result.label_of("missing") is None
+
+    def test_outlier_indices(self):
+        result = dbscan([(0.0,), (0.5,), (100.0,)], eps=1.0, min_pts=2)
+        assert result.outlier_indices == [2]
+
+    def test_mismatched_keys_length_raises(self):
+        with pytest.raises(ValueError):
+            dbscan([(0.0,)], eps=1.0, min_pts=1, keys=["a", "b"])
+
+
+class TestParameterValidation:
+    def test_eps_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0, min_pts=1)
+
+    def test_min_pts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1.0, min_pts=0)

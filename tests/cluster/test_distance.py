@@ -1,0 +1,61 @@
+"""Unit tests for the distance functions."""
+
+import math
+
+import pytest
+
+from repro.core.cluster.distance import (
+    chebyshev,
+    cosine,
+    euclidean,
+    get_distance,
+    manhattan,
+)
+
+
+class TestEuclidean:
+    def test_classic_345(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_identical_points(self):
+        assert euclidean((1, 2, 3), (1, 2, 3)) == 0.0
+
+    def test_one_dimension(self):
+        assert euclidean((10,), (4,)) == 6.0
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            euclidean((1, 2), (1,))
+
+
+class TestOtherDistances:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7.0
+
+    def test_chebyshev(self):
+        assert chebyshev((0, 0), (3, 4)) == 4.0
+
+    def test_cosine_orthogonal(self):
+        assert cosine((1, 0), (0, 1)) == pytest.approx(1.0)
+
+    def test_cosine_parallel(self):
+        assert cosine((1, 1), (2, 2)) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector(self):
+        assert cosine((0, 0), (1, 1)) == 1.0
+
+
+class TestRegistry:
+    def test_ed_code_is_euclidean(self):
+        assert get_distance("ed") is euclidean
+
+    def test_codes_are_case_insensitive(self):
+        assert get_distance("ED") is euclidean
+
+    def test_manhattan_codes(self):
+        assert get_distance("md") is manhattan
+        assert get_distance("l1") is manhattan
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError):
+            get_distance("hamming")

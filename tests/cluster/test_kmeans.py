@@ -1,0 +1,46 @@
+"""Unit tests for the k-means clustering ablation."""
+
+import pytest
+
+from repro.core.cluster.dbscan import NOISE
+from repro.core.cluster.kmeans import KMeans, kmeans
+
+
+class TestKMeans:
+    def test_two_well_separated_blobs(self):
+        points = [(0.0,), (1.0,), (2.0,), (100.0,), (101.0,), (102.0,)]
+        result = kmeans(points, n_clusters=2, seed=3)
+        assert len(set(result.labels[:3])) == 1
+        assert len(set(result.labels[3:])) == 1
+        assert result.labels[0] != result.labels[3]
+
+    def test_empty_input(self):
+        result = kmeans([], n_clusters=2)
+        assert result.labels == []
+
+    def test_fewer_points_than_clusters(self):
+        result = kmeans([(1.0,), (2.0,)], n_clusters=5)
+        assert len(result.labels) == 2
+
+    def test_keys_are_attached(self):
+        result = kmeans([(0.0,), (100.0,)], n_clusters=2, keys=["a", "b"])
+        assert set(result.keys) == {"a", "b"}
+
+    def test_outlier_labelling(self):
+        points = [(0.0,), (1.0,), (2.0,), (1.5,), (0.5,), (500.0,)]
+        result = KMeans(n_clusters=1, outlier_factor=3.0).fit(points)
+        assert result.labels[-1] == NOISE
+
+    def test_deterministic_given_seed(self):
+        points = [(float(i),) for i in range(20)]
+        first = KMeans(n_clusters=3, seed=11).fit(points)
+        second = KMeans(n_clusters=3, seed=11).fit(points)
+        assert first.labels == second.labels
+
+    def test_invalid_cluster_count_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_mismatched_keys_raises(self):
+        with pytest.raises(ValueError):
+            kmeans([(0.0,)], n_clusters=1, keys=["a", "b"])

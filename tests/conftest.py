@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack import APTScenario
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+
+DB_HOST = "db-server"
+CLIENT_HOST = "client-01"
+
+
+def make_process(exe_name: str, pid: int = 100,
+                 host: str = DB_HOST) -> ProcessEntity:
+    """Create a process entity for tests."""
+    return ProcessEntity.make(exe_name, pid, host=host)
+
+
+def make_file(name: str, host: str = DB_HOST) -> FileEntity:
+    """Create a file entity for tests."""
+    return FileEntity.make(name, host=host)
+
+
+def make_connection(dstip: str, dstport: int = 443,
+                    srcip: str = "10.0.1.30") -> NetworkEntity:
+    """Create a network-connection entity for tests."""
+    return NetworkEntity.make(srcip, dstip, srcport=50000, dstport=dstport)
+
+
+def make_event(subject, operation, obj, timestamp, agentid=DB_HOST,
+               amount=0.0, **attrs) -> Event:
+    """Create an event for tests."""
+    return Event(subject=subject, operation=operation, obj=obj,
+                 timestamp=timestamp, agentid=agentid, amount=amount,
+                 attrs=attrs)
+
+
+@pytest.fixture
+def sqlservr() -> ProcessEntity:
+    return make_process("sqlservr.exe", 500)
+
+
+@pytest.fixture
+def network_write_events(sqlservr) -> ListStream:
+    """Ten windows of sqlservr.exe writing 1000-byte chunks to one IP."""
+    conn = make_connection("10.0.2.11")
+    events = []
+    for window in range(10):
+        for k in range(5):
+            events.append(make_event(
+                sqlservr, Operation.WRITE, conn,
+                timestamp=window * 600 + k * 60 + 1, amount=1000.0))
+    return ListStream(events)
+
+
+@pytest.fixture(scope="session")
+def small_enterprise() -> Enterprise:
+    """A small simulated enterprise shared across tests (read-only)."""
+    return Enterprise(EnterpriseConfig(seed=11))
+
+
+@pytest.fixture(scope="session")
+def apt_scenario() -> APTScenario:
+    """The default APT scenario shared across tests (read-only)."""
+    return APTScenario(start_time=1800.0)
+
+
+@pytest.fixture(scope="session")
+def demo_stream(small_enterprise, apt_scenario) -> ListStream:
+    """One hour of background plus the injected attack (session-scoped)."""
+    return small_enterprise.event_feed(
+        0.0, 3600.0, injected=apt_scenario.events())

@@ -1,0 +1,78 @@
+"""Unit tests for alert records, sinks and the error reporter."""
+
+import pytest
+
+from repro.core.engine.alerts import Alert, CallbackSink, CollectingSink
+from repro.core.engine.error_reporter import ErrorReporter
+from repro.core.errors import SAQLExecutionError
+
+
+def _alert(**overrides):
+    defaults = dict(query_name="q1", timestamp=100.0,
+                    data=(("p", "cmd.exe"), ("amount", 5.0)),
+                    model_kind="rule")
+    defaults.update(overrides)
+    return Alert(**defaults)
+
+
+class TestAlert:
+    def test_record_is_a_dict(self):
+        assert _alert().record == {"p": "cmd.exe", "amount": 5.0}
+
+    def test_describe_contains_query_and_fields(self):
+        text = _alert().describe()
+        assert "q1" in text
+        assert "p=cmd.exe" in text
+
+    def test_describe_includes_window_when_present(self):
+        alert = _alert(window_start=0.0, window_end=600.0)
+        assert "window=[0,600)" in alert.describe()
+
+    def test_alerts_are_hashable(self):
+        assert len({_alert(), _alert()}) == 1
+
+
+class TestSinks:
+    def test_collecting_sink(self):
+        sink = CollectingSink()
+        sink.emit(_alert())
+        sink.emit(_alert(timestamp=200.0))
+        assert len(sink) == 2
+        assert [alert.timestamp for alert in sink] == [100.0, 200.0]
+
+    def test_callback_sink(self):
+        received = []
+        sink = CallbackSink(received.append)
+        sink.emit(_alert())
+        assert len(received) == 1
+
+
+class TestErrorReporter:
+    def test_report_stores_record(self):
+        reporter = ErrorReporter()
+        reporter.report("q1", SAQLExecutionError("boom"), timestamp=5.0)
+        assert reporter.has_errors()
+        record = reporter.records[0]
+        assert record.query_name == "q1"
+        assert "boom" in record.message
+        assert record.timestamp == 5.0
+
+    def test_describe(self):
+        reporter = ErrorReporter()
+        record = reporter.report("q1", ValueError("bad"))
+        assert "q1" in record.describe()
+        assert "bad" in record.describe()
+
+    def test_cap_and_dropped_counter(self):
+        reporter = ErrorReporter(max_records=2)
+        for index in range(5):
+            reporter.report("q", ValueError(str(index)))
+        assert len(reporter.records) == 2
+        assert reporter.dropped == 3
+
+    def test_clear(self):
+        reporter = ErrorReporter()
+        reporter.report("q", ValueError("x"))
+        reporter.clear()
+        assert not reporter.has_errors()
+        assert reporter.dropped == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the cluster-statement evaluator."""
+
+import pytest
+
+from repro.core.engine.clustering import ClusterEvaluator
+from repro.core.engine.state import StateHistory, WindowState
+from repro.core.engine.windows import WindowKey
+from repro.core.language import parse_query
+
+QUERY = '''
+proc p read || write ip i as evt #time(10 min)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(1000, 3)")
+alert cluster.outlier && ss.amt > 0
+return i.dstip, ss.amt
+'''
+
+WINDOW = WindowKey(0, 0.0, 600.0)
+
+
+def _window_states(amounts):
+    """Build per-group states and histories for one window."""
+    states = []
+    histories = {}
+    for key, amount in amounts.items():
+        state = WindowState(group_key=key, window=WINDOW,
+                            fields={"amt": amount})
+        history = StateHistory(1)
+        history.push(state)
+        states.append(state)
+        histories[key] = history
+    return states, histories
+
+
+def _evaluator(query_text=QUERY):
+    query = parse_query(query_text)
+    return ClusterEvaluator(query.cluster, query.state.name)
+
+
+class TestPointExtraction:
+    def test_point_for_group(self):
+        evaluator = _evaluator()
+        states, histories = _window_states({"10.0.0.1": 500.0})
+        point = evaluator.point_for("10.0.0.1", histories["10.0.0.1"],
+                                    states[0])
+        assert point == [500.0]
+
+    def test_missing_field_gives_no_point(self):
+        evaluator = _evaluator()
+        history = StateHistory(1)
+        history.push(WindowState(group_key="g", window=WINDOW, fields={}))
+        state = history.current
+        assert evaluator.point_for("g", history, state) is None
+
+
+class TestWindowClustering:
+    def test_outlier_detection_across_groups(self):
+        evaluator = _evaluator()
+        amounts = {f"10.0.2.{i}": 1000.0 + i * 10 for i in range(6)}
+        amounts["203.0.113.129"] = 500000.0
+        states, histories = _window_states(amounts)
+        result = evaluator.evaluate_window(states, histories)
+        assert result is not None
+        assert result.is_outlier("203.0.113.129")
+        assert not result.is_outlier("10.0.2.0")
+
+    def test_no_points_returns_none(self):
+        evaluator = _evaluator()
+        assert evaluator.evaluate_window([], {}) is None
+
+    def test_kmeans_method(self):
+        text = QUERY.replace('method="DBSCAN(1000, 3)"',
+                             'method="KMEANS(2)"')
+        evaluator = _evaluator(text)
+        amounts = {f"g{i}": float(i) for i in range(4)}
+        states, histories = _window_states(amounts)
+        result = evaluator.evaluate_window(states, histories)
+        assert result is not None
+        assert len(result.labels) == 4
+
+    def test_default_dbscan_parameters(self):
+        text = QUERY.replace('method="DBSCAN(1000, 3)"', 'method="DBSCAN"')
+        evaluator = _evaluator(text)
+        amounts = {f"g{i}": 100.0 for i in range(4)}
+        states, histories = _window_states(amounts)
+        result = evaluator.evaluate_window(states, histories)
+        assert result is not None

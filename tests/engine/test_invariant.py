@@ -1,0 +1,94 @@
+"""Unit tests for invariant training and checking."""
+
+import pytest
+
+from repro.core.engine.invariant import InvariantMaintainer
+from repro.core.engine.state import StateHistory, WindowState
+from repro.core.engine.windows import WindowKey
+from repro.core.language import parse_query
+
+QUERY = '''
+proc p1["%apache%"] start proc p2 as evt #time(10 s)
+state ss {
+  children := set(p2.exe_name)
+} group by p1
+invariant[TRAINING][MODE] {
+  known := empty_set
+  known = known union ss.children
+}
+alert |ss.children diff known| > 0
+return p1, ss.children
+'''
+
+
+def _maintainer(training=2, mode="offline"):
+    text = QUERY.replace("TRAINING", str(training)).replace("MODE", mode)
+    query = parse_query(text)
+    return InvariantMaintainer(query.invariant, query.state.name), query
+
+
+def _history_with(children, window_index=0):
+    history = StateHistory(1)
+    history.push(WindowState(
+        group_key="apache.exe",
+        window=WindowKey(window_index, window_index * 10.0,
+                         (window_index + 1) * 10.0),
+        fields={"children": frozenset(children)}))
+    return history
+
+
+class TestInitialization:
+    def test_initial_values_from_init_statements(self):
+        maintainer, _ = _maintainer()
+        assert maintainer.values_for("apache.exe") == {"known": frozenset()}
+
+    def test_training_windows_and_mode(self):
+        maintainer, _ = _maintainer(training=7, mode="online")
+        assert maintainer.training_windows == 7
+        assert maintainer.mode == "online"
+
+    def test_groups_are_independent(self):
+        maintainer, _ = _maintainer()
+        maintainer.observe_window("a", _history_with({"x.exe"}))
+        assert maintainer.values_for("a")["known"] == frozenset({"x.exe"})
+        assert maintainer.values_for("b")["known"] == frozenset()
+        assert maintainer.group_count == 2
+
+
+class TestOfflineTraining:
+    def test_training_absorbs_observations(self):
+        maintainer, _ = _maintainer(training=2)
+        assert maintainer.observe_window("g", _history_with({"php.exe"}))
+        assert maintainer.observe_window("g", _history_with({"cgi.exe"}))
+        assert maintainer.values_for("g")["known"] == frozenset(
+            {"php.exe", "cgi.exe"})
+
+    def test_is_training_flag(self):
+        maintainer, _ = _maintainer(training=1)
+        assert maintainer.is_training("g")
+        maintainer.observe_window("g", _history_with({"php.exe"}))
+        assert not maintainer.is_training("g")
+
+    def test_offline_freezes_after_training(self):
+        maintainer, _ = _maintainer(training=1)
+        maintainer.observe_window("g", _history_with({"php.exe"}))
+        # Post-training windows are *not* absorbed in offline mode.
+        was_training = maintainer.observe_window(
+            "g", _history_with({"malware.exe"}))
+        assert was_training is False
+        assert maintainer.values_for("g")["known"] == frozenset({"php.exe"})
+
+
+class TestOnlineTraining:
+    def test_online_keeps_absorbing_after_training(self):
+        maintainer, _ = _maintainer(training=1, mode="online")
+        maintainer.observe_window("g", _history_with({"php.exe"}))
+        maintainer.observe_window("g", _history_with({"malware.exe"}))
+        assert maintainer.values_for("g")["known"] == frozenset(
+            {"php.exe", "malware.exe"})
+
+    def test_online_still_reports_training_phase(self):
+        maintainer, _ = _maintainer(training=2, mode="online")
+        assert maintainer.observe_window("g", _history_with({"a"})) is True
+        assert maintainer.observe_window("g", _history_with({"b"})) is True
+        assert maintainer.observe_window("g", _history_with({"c"})) is False

@@ -1,0 +1,139 @@
+"""Unit tests for single-pattern matching and constraint checks."""
+
+import pytest
+
+from repro.core.engine.matching import (
+    PatternMatcher,
+    check_constraint,
+    check_global_constraint,
+    entity_matches,
+)
+from repro.core.language import ast
+from repro.core.language.parser import parse
+from repro.events.event import Operation
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+
+def _query(text):
+    return parse(text)
+
+
+class TestConstraintChecks:
+    def test_default_attribute_like(self):
+        constraint = ast.AttributeConstraint(attr=None, op="like",
+                                             value="%cmd.exe")
+        assert check_constraint(make_process("cmd.exe"), constraint)
+        assert not check_constraint(make_process("powershell.exe"),
+                                    constraint)
+
+    def test_named_attribute_equality(self):
+        constraint = ast.AttributeConstraint(attr="dstip", op="==",
+                                             value="203.0.113.129")
+        assert check_constraint(make_connection("203.0.113.129"), constraint)
+        assert not check_constraint(make_connection("8.8.8.8"), constraint)
+
+    def test_numeric_comparison_constraint(self):
+        constraint = ast.AttributeConstraint(attr="dstport", op=">",
+                                             value=1000)
+        assert check_constraint(make_connection("1.2.3.4", dstport=8080),
+                                constraint)
+        assert not check_constraint(make_connection("1.2.3.4", dstport=80),
+                                    constraint)
+
+    def test_global_constraint_on_agentid(self):
+        constraint = ast.GlobalConstraint(attr="agentid", op="==",
+                                          value="db-server")
+        event = make_event(make_process("a.exe"), Operation.WRITE,
+                           make_file("/x"), 1.0, agentid="db-server")
+        assert check_global_constraint(event, constraint)
+
+    def test_global_constraint_falls_back_to_subject(self):
+        constraint = ast.GlobalConstraint(attr="exe_name", op="==",
+                                          value="a.exe")
+        event = make_event(make_process("a.exe"), Operation.WRITE,
+                           make_file("/x"), 1.0)
+        assert check_global_constraint(event, constraint)
+
+    def test_entity_matches_checks_type(self):
+        declaration = ast.EntityDeclaration(entity_type="file", variable="f")
+        assert entity_matches(make_file("/x"), declaration)
+        assert not entity_matches(make_process("x.exe"), declaration)
+
+
+class TestPatternMatcher:
+    QUERY = '''
+agentid = "db-server"
+proc p1["%sqlservr.exe"] write file f1["%backup%"] as evt1
+proc p2["%sbblv.exe"] read || write ip i1 as evt2
+return p1, f1, p2, i1
+'''
+
+    def _matcher(self):
+        return PatternMatcher(_query(self.QUERY))
+
+    def test_event_matching_first_pattern(self):
+        matcher = self._matcher()
+        event = make_event(make_process("sqlservr.exe"), Operation.WRITE,
+                           make_file("/backup/1.dmp"), 1.0)
+        matches = matcher.match_event(event)
+        assert len(matches) == 1
+        assert matches[0].alias == "evt1"
+
+    def test_bindings_capture_entities(self):
+        matcher = self._matcher()
+        proc = make_process("sqlservr.exe")
+        file = make_file("/backup/1.dmp")
+        event = make_event(proc, Operation.WRITE, file, 1.0)
+        match = matcher.match_event(event)[0]
+        assert match.bindings["p1"] == proc
+        assert match.bindings["f1"] == file
+
+    def test_wrong_agent_fails_global_constraint(self):
+        matcher = self._matcher()
+        event = make_event(make_process("sqlservr.exe"), Operation.WRITE,
+                           make_file("/backup/1.dmp"), 1.0,
+                           agentid="other-host")
+        assert matcher.match_event(event) == []
+
+    def test_operation_alternation(self):
+        matcher = self._matcher()
+        conn = make_connection("8.8.8.8")
+        for operation in (Operation.READ, Operation.WRITE):
+            event = make_event(make_process("sbblv.exe"), operation, conn,
+                               1.0)
+            assert len(matcher.match_event(event)) == 1
+
+    def test_non_listed_operation_rejected(self):
+        matcher = self._matcher()
+        event = make_event(make_process("sbblv.exe"), Operation.CONNECT,
+                           make_connection("8.8.8.8"), 1.0)
+        assert matcher.match_event(event) == []
+
+    def test_wrong_object_type_rejected(self):
+        matcher = self._matcher()
+        event = make_event(make_process("sqlservr.exe"), Operation.WRITE,
+                           make_connection("8.8.8.8"), 1.0)
+        assert matcher.match_event(event) == []
+
+    def test_statistics_and_selectivity(self):
+        matcher = self._matcher()
+        matching = make_event(make_process("sqlservr.exe"), Operation.WRITE,
+                              make_file("/backup/1.dmp"), 1.0)
+        non_matching = make_event(make_process("explorer.exe"),
+                                  Operation.WRITE, make_file("/tmp/x"), 2.0)
+        matcher.match_event(matching)
+        matcher.match_event(non_matching)
+        assert matcher.events_seen == 2
+        assert matcher.events_matched == 1
+        assert matcher.selectivity == 0.5
+
+    def test_selectivity_with_no_events(self):
+        assert self._matcher().selectivity == 0.0
+
+    def test_event_can_match_multiple_patterns(self):
+        query = _query("proc a write file f as e1\n"
+                       "proc b write file g as e2\nreturn a")
+        matcher = PatternMatcher(query)
+        event = make_event(make_process("x.exe"), Operation.WRITE,
+                           make_file("/x"), 1.0)
+        assert len(matcher.match_event(event)) == 2

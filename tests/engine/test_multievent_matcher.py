@@ -1,0 +1,127 @@
+"""Unit tests for the multievent (sequence) matcher."""
+
+import pytest
+
+from repro.core.engine.multievent_matcher import MultieventMatcher
+from repro.core.language.parser import parse
+from repro.core.language.analyzer import analyze_query
+from repro.events.event import Operation
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+SEQUENCE_QUERY = '''
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+with evt1 -> evt2 -> evt3
+return p1, p2, p3, f1, p4
+'''
+
+
+def _matcher(text=SEQUENCE_QUERY, **kwargs):
+    query = parse(text)
+    analyze_query(query)
+    return MultieventMatcher(query, **kwargs)
+
+
+def _attack_events(file_name="/db/backup1.dmp", start=0.0):
+    cmd = make_process("cmd.exe", 1)
+    osql = make_process("osql.exe", 2)
+    sqlservr = make_process("sqlservr.exe", 3)
+    sbblv = make_process("sbblv.exe", 4)
+    dump = make_file(file_name)
+    return [
+        make_event(cmd, Operation.START, osql, start + 1),
+        make_event(sqlservr, Operation.WRITE, dump, start + 2),
+        make_event(sbblv, Operation.READ, dump, start + 3),
+    ]
+
+
+class TestOrderedSequences:
+    def test_full_sequence_completes(self):
+        matcher = _matcher()
+        completed = []
+        for event in _attack_events():
+            completed.extend(matcher.process_event(event))
+        assert len(completed) == 1
+        assert set(completed[0].events) == {"evt1", "evt2", "evt3"}
+
+    def test_out_of_order_does_not_complete(self):
+        matcher = _matcher()
+        events = _attack_events()
+        reordered = [events[1], events[0], events[2]]
+        completed = []
+        for event in reordered:
+            completed.extend(matcher.process_event(event))
+        assert completed == []
+
+    def test_shared_file_variable_must_bind_same_entity(self):
+        matcher = _matcher()
+        events = _attack_events()
+        # The exfiltration reads a *different* dump file: no match.
+        other_read = make_event(make_process("sbblv.exe", 4), Operation.READ,
+                                make_file("/db/other_backup1.dmp"), 5.0)
+        completed = []
+        for event in [events[0], events[1], other_read]:
+            completed.extend(matcher.process_event(event))
+        assert completed == []
+
+    def test_sequence_timestamp_is_last_event(self):
+        matcher = _matcher()
+        completed = []
+        for event in _attack_events(start=100.0):
+            completed.extend(matcher.process_event(event))
+        assert completed[0].timestamp == 103.0
+
+    def test_bindings_are_merged_across_matches(self):
+        matcher = _matcher()
+        completed = []
+        for event in _attack_events():
+            completed.extend(matcher.process_event(event))
+        bindings = completed[0].bindings
+        assert set(bindings) == {"p1", "p2", "p3", "p4", "f1"}
+
+    def test_expired_partial_sequences_are_dropped(self):
+        matcher = _matcher(horizon=10.0)
+        events = _attack_events()
+        matcher.process_event(events[0])
+        # Much later than the horizon: the partial sequence has expired.
+        late = make_event(make_process("sqlservr.exe", 3), Operation.WRITE,
+                          make_file("/db/backup1.dmp"), 1000.0)
+        matcher.process_event(late)
+        final = make_event(make_process("sbblv.exe", 4), Operation.READ,
+                           make_file("/db/backup1.dmp"), 1001.0)
+        assert matcher.process_event(final) == []
+
+    def test_pending_sequences_bounded(self):
+        matcher = _matcher(max_partial_sequences=5)
+        cmd = make_process("cmd.exe", 1)
+        for index in range(20):
+            osql = make_process("osql.exe", 100 + index)
+            matcher.process_event(
+                make_event(cmd, Operation.START, osql, float(index)))
+        assert matcher.pending_sequences <= 5
+
+
+class TestUnorderedQueries:
+    UNORDERED = '''
+proc p1["%a.exe"] write file f1 as e1
+proc p2["%b.exe"] write file f2 as e2
+return p1, p2
+'''
+
+    def test_any_order_completes(self):
+        matcher = _matcher(self.UNORDERED)
+        first = make_event(make_process("b.exe", 2), Operation.WRITE,
+                           make_file("/2"), 1.0)
+        second = make_event(make_process("a.exe", 1), Operation.WRITE,
+                            make_file("/1"), 2.0)
+        completed = []
+        for event in (first, second):
+            completed.extend(matcher.process_event(event))
+        assert len(completed) == 1
+
+    def test_single_pattern_completes_immediately(self):
+        matcher = _matcher("proc p write file f as e\nreturn p")
+        event = make_event(make_process("x.exe"), Operation.WRITE,
+                           make_file("/x"), 1.0)
+        assert len(matcher.process_event(event)) == 1

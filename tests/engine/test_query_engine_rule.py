@@ -1,0 +1,146 @@
+"""End-to-end tests of the query engine on rule-based queries."""
+
+import pytest
+
+from repro.core import QueryEngine
+from repro.core.engine.alerts import CollectingSink
+from repro.core.engine.error_reporter import ErrorReporter
+from repro.events.event import Operation
+from repro.events.stream import ListStream
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+EXFIL_QUERY = '''
+agentid = "db-server"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="203.0.113.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+'''
+
+
+def _exfil_events(agentid="db-server"):
+    cmd = make_process("cmd.exe", 1)
+    osql = make_process("osql.exe", 2)
+    sqlservr = make_process("sqlservr.exe", 3)
+    sbblv = make_process("sbblv.exe", 4)
+    dump = make_file("D:/backup/backup1.dmp")
+    attacker = make_connection("203.0.113.129")
+    return [
+        make_event(cmd, Operation.START, osql, 10.0, agentid=agentid),
+        make_event(sqlservr, Operation.WRITE, dump, 20.0, agentid=agentid,
+                   amount=5e6),
+        make_event(sbblv, Operation.READ, dump, 30.0, agentid=agentid,
+                   amount=5e6),
+        make_event(sbblv, Operation.WRITE, attacker, 40.0, agentid=agentid,
+                   amount=5e6),
+    ]
+
+
+class TestRuleQueryDetection:
+    def test_attack_sequence_is_detected_once(self):
+        engine = QueryEngine(EXFIL_QUERY, name="exfil")
+        alerts = engine.execute(ListStream(_exfil_events()))
+        assert len(alerts) == 1
+
+    def test_alert_projects_context_aware_values(self):
+        engine = QueryEngine(EXFIL_QUERY)
+        record = engine.execute(ListStream(_exfil_events()))[0].record
+        assert record["p1"] == "cmd.exe"
+        assert record["f1"] == "D:/backup/backup1.dmp"
+        assert record["i1"] == "203.0.113.129"
+
+    def test_alert_metadata(self):
+        engine = QueryEngine(EXFIL_QUERY, name="exfil")
+        alert = engine.execute(ListStream(_exfil_events()))[0]
+        assert alert.query_name == "exfil"
+        assert alert.model_kind == "rule"
+        assert alert.timestamp == 40.0
+        assert alert.agentid == "db-server"
+
+    def test_wrong_agent_is_ignored(self):
+        engine = QueryEngine(EXFIL_QUERY)
+        alerts = engine.execute(ListStream(_exfil_events(agentid="desktop")))
+        assert alerts == []
+
+    def test_missing_step_prevents_detection(self):
+        engine = QueryEngine(EXFIL_QUERY)
+        events = _exfil_events()
+        del events[2]  # the dump is never read by the malware
+        assert engine.execute(ListStream(events)) == []
+
+    def test_distinct_suppresses_duplicate_alerts(self):
+        engine = QueryEngine(EXFIL_QUERY)
+        events = _exfil_events()
+        # A second exfiltration write produces the same projected values.
+        extra = make_event(make_process("sbblv.exe", 4), Operation.WRITE,
+                           make_connection("203.0.113.129"), 50.0,
+                           agentid="db-server", amount=1e6)
+        alerts = engine.execute(ListStream(events + [extra]))
+        assert len(alerts) == 1
+
+    def test_benign_background_produces_no_alerts(self):
+        engine = QueryEngine(EXFIL_QUERY)
+        benign = [
+            make_event(make_process("sqlservr.exe", 3), Operation.WRITE,
+                       make_file("D:/data/enterprise.ldf"), float(t),
+                       agentid="db-server", amount=1000)
+            for t in range(50)
+        ]
+        assert engine.execute(ListStream(benign)) == []
+
+    def test_alerts_are_sent_to_sink(self):
+        sink = CollectingSink()
+        engine = QueryEngine(EXFIL_QUERY, sink=sink)
+        engine.execute(ListStream(_exfil_events()))
+        assert len(sink) == 1
+
+    def test_events_processed_counter(self):
+        engine = QueryEngine(EXFIL_QUERY)
+        engine.execute(ListStream(_exfil_events()))
+        assert engine.events_processed == 4
+        assert engine.alerts_emitted == 1
+
+
+class TestRuleQueryWithAlertClause:
+    QUERY = '''
+proc p["%sbblv.exe"] write ip i as evt
+alert evt.amount > 1000000
+return p, i, evt.amount
+'''
+
+    def test_alert_condition_filters_matches(self):
+        engine = QueryEngine(self.QUERY)
+        small = make_event(make_process("sbblv.exe"), Operation.WRITE,
+                           make_connection("8.8.8.8"), 1.0, amount=10.0)
+        large = make_event(make_process("sbblv.exe"), Operation.WRITE,
+                           make_connection("8.8.8.8"), 2.0, amount=5e6)
+        alerts = engine.execute(ListStream([small, large]))
+        assert len(alerts) == 1
+        assert alerts[0].record["evt.amount"] == 5e6
+
+
+class TestErrorHandling:
+    def test_parse_from_string_in_constructor(self):
+        engine = QueryEngine("proc p write file f as e\nreturn p, f")
+        assert engine.query.model_kind == "rule"
+
+    def test_error_reporter_captures_runtime_errors(self):
+        # Indexing an entity is a runtime execution error.
+        query = "proc p write file f as e\nreturn p[0]"
+        reporter = ErrorReporter()
+        engine = QueryEngine(query, error_reporter=reporter)
+        event = make_event(make_process("x.exe"), Operation.WRITE,
+                           make_file("/x"), 1.0)
+        alerts = engine.execute(ListStream([event]))
+        assert alerts == []
+        assert reporter.has_errors()
+
+    def test_runtime_error_raises_without_reporter(self):
+        query = "proc p write file f as e\nreturn p[0]"
+        engine = QueryEngine(query)
+        event = make_event(make_process("x.exe"), Operation.WRITE,
+                           make_file("/x"), 1.0)
+        with pytest.raises(Exception):
+            engine.execute(ListStream([event]))

@@ -1,0 +1,229 @@
+"""End-to-end tests of the query engine on stateful queries.
+
+Covers the three advanced anomaly models of the paper: time-series (SMA),
+invariant-based, and outlier-based (DBSCAN) queries.
+"""
+
+import pytest
+
+from repro.core import QueryEngine
+from repro.events.event import Operation
+from repro.events.stream import ListStream
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+SMA_QUERY = '''
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+  avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
+'''
+
+INVARIANT_QUERY = '''
+proc p1["%apache%"] start proc p2 as evt #time(10 s)
+state ss {
+  set_proc := set(p2.exe_name)
+} group by p1
+invariant[3][offline] {
+  a := empty_set
+  a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+'''
+
+OUTLIER_QUERY = '''
+proc p read || write ip i as evt #time(10 min)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 3)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+'''
+
+
+def _network_writes(process, amounts_per_window, window_seconds=600,
+                    dstip="8.8.8.8", events_per_window=5):
+    """One process writing to one IP, with a given mean amount per window."""
+    events = []
+    conn = make_connection(dstip)
+    for window, amount in enumerate(amounts_per_window):
+        for k in range(events_per_window):
+            events.append(make_event(
+                process, Operation.WRITE, conn,
+                timestamp=window * window_seconds + 10 * (k + 1),
+                amount=amount))
+    return events
+
+
+class TestTimeSeriesQuery:
+    def test_spike_is_detected(self):
+        proc = make_process("app.exe", 10)
+        events = _network_writes(proc, [1000, 1000, 1000, 1000, 900000])
+        alerts = QueryEngine(SMA_QUERY).execute(ListStream(events))
+        assert len(alerts) == 1
+        record = alerts[0].record
+        assert record["p"] == "app.exe"
+        assert record["ss[0].avg_amount"] == 900000.0
+        assert record["ss[1].avg_amount"] == 1000.0
+
+    def test_steady_traffic_raises_no_alert_once_history_exists(self):
+        # Missing past windows count as zero, so the first two windows of a
+        # brand-new high-volume group may alert; once the SMA history is
+        # populated, steady traffic must stay silent.
+        proc = make_process("app.exe", 10)
+        events = _network_writes(proc, [50000] * 6)
+        alerts = QueryEngine(SMA_QUERY).execute(ListStream(events))
+        assert all(alert.window_start < 1200.0 for alert in alerts)
+        assert not any(alert.window_start >= 1200.0 for alert in alerts)
+
+    def test_small_spike_below_floor_is_ignored(self):
+        proc = make_process("app.exe", 10)
+        events = _network_writes(proc, [100, 100, 100, 100, 5000])
+        assert QueryEngine(SMA_QUERY).execute(ListStream(events)) == []
+
+    def test_groups_are_independent(self):
+        quiet = make_process("quiet.exe", 11)
+        noisy = make_process("noisy.exe", 12)
+        events = (_network_writes(quiet, [1000] * 5)
+                  + _network_writes(noisy, [1000, 1000, 1000, 1000, 500000]))
+        alerts = QueryEngine(SMA_QUERY).execute(ListStream(events))
+        assert len(alerts) == 1
+        assert alerts[0].record["p"] == "noisy.exe"
+        assert alerts[0].group_key == "noisy.exe"
+
+    def test_window_metadata_on_alert(self):
+        proc = make_process("app.exe", 10)
+        events = _network_writes(proc, [1000, 1000, 1000, 1000, 900000])
+        alert = QueryEngine(SMA_QUERY).execute(ListStream(events))[0]
+        assert alert.window_start == 4 * 600.0
+        assert alert.window_end == 5 * 600.0
+        assert alert.model_kind == "time-series"
+
+
+class TestInvariantQuery:
+    def _spawn(self, parent, child_name, pid, timestamp):
+        child = make_process(child_name, pid)
+        return make_event(parent, Operation.START, child, timestamp)
+
+    def test_new_child_after_training_alerts(self):
+        apache = make_process("apache.exe", 50)
+        events = [self._spawn(apache, "php.exe", 100 + w, w * 10 + 1)
+                  for w in range(3)]              # training windows
+        events.append(self._spawn(apache, "php.exe", 200, 31))   # benign
+        events.append(self._spawn(apache, "malware.exe", 201, 41))
+        events.append(self._spawn(apache, "php.exe", 202, 51))
+        alerts = QueryEngine(INVARIANT_QUERY).execute(ListStream(events))
+        assert len(alerts) == 1
+        assert alerts[0].record["ss.set_proc"] == ("malware.exe",)
+
+    def test_no_alert_during_training(self):
+        apache = make_process("apache.exe", 50)
+        events = [self._spawn(apache, f"child{w}.exe", 100 + w, w * 10 + 1)
+                  for w in range(3)]
+        assert QueryEngine(INVARIANT_QUERY).execute(ListStream(events)) == []
+
+    def test_known_children_never_alert(self):
+        apache = make_process("apache.exe", 50)
+        events = [self._spawn(apache, "php.exe", 100 + w, w * 10 + 1)
+                  for w in range(8)]
+        assert QueryEngine(INVARIANT_QUERY).execute(ListStream(events)) == []
+
+    def test_non_matching_parent_is_ignored(self):
+        nginx = make_process("nginx.exe", 60)
+        events = [self._spawn(nginx, "sh.exe", 100 + w, w * 10 + 1)
+                  for w in range(6)]
+        assert QueryEngine(INVARIANT_QUERY).execute(ListStream(events)) == []
+
+
+class TestOutlierQuery:
+    def test_exfiltration_destination_is_outlier(self):
+        sql = make_process("sqlservr.exe", 70)
+        events = []
+        # Twelve destinations with similar volume, one with a huge volume.
+        for index in range(12):
+            conn = make_connection(f"10.0.2.{index + 10}")
+            for k in range(5):
+                events.append(make_event(sql, Operation.WRITE, conn,
+                                         timestamp=10 * (k + 1) + index,
+                                         amount=50000))
+        attacker = make_connection("203.0.113.129")
+        events.append(make_event(make_process("sbblv.exe", 71),
+                                 Operation.WRITE, attacker, timestamp=400,
+                                 amount=6e7))
+        # An event in the next window closes the first one.
+        events.append(make_event(sql, Operation.WRITE,
+                                 make_connection("10.0.2.10"),
+                                 timestamp=700, amount=50000))
+        alerts = QueryEngine(OUTLIER_QUERY).execute(ListStream(events))
+        outlier_ips = {alert.record["i.dstip"] for alert in alerts}
+        assert outlier_ips == {"203.0.113.129"}
+
+    def test_homogeneous_traffic_has_no_outlier(self):
+        sql = make_process("sqlservr.exe", 70)
+        events = []
+        for index in range(8):
+            conn = make_connection(f"10.0.2.{index + 10}")
+            for k in range(5):
+                events.append(make_event(sql, Operation.WRITE, conn,
+                                         timestamp=10 * (k + 1) + index,
+                                         amount=2_000_000))
+        assert QueryEngine(OUTLIER_QUERY).execute(ListStream(events)) == []
+
+    def test_small_outlier_below_floor_is_suppressed(self):
+        sql = make_process("sqlservr.exe", 70)
+        events = []
+        for index in range(8):
+            conn = make_connection(f"10.0.2.{index + 10}")
+            events.append(make_event(sql, Operation.WRITE, conn,
+                                     timestamp=10 + index, amount=500000))
+        # Far from the cluster but below the 1 MB alert floor.
+        events.append(make_event(sql, Operation.WRITE,
+                                 make_connection("198.51.100.9"),
+                                 timestamp=100, amount=10))
+        assert QueryEngine(OUTLIER_QUERY).execute(ListStream(events)) == []
+
+
+class TestWindowLifecycle:
+    COUNT_QUERY = '''
+proc p write ip i as evt #count(3)
+state ss {
+  total := sum(evt.amount)
+} group by p
+alert ss.total > 0
+return p, ss.total
+'''
+
+    def test_count_windows_close_every_n_matches(self):
+        proc = make_process("app.exe", 10)
+        conn = make_connection("8.8.8.8")
+        events = [make_event(proc, Operation.WRITE, conn, float(i),
+                             amount=10.0) for i in range(7)]
+        alerts = QueryEngine(self.COUNT_QUERY).execute(ListStream(events))
+        # Two full windows of three events, plus the final flush of one.
+        assert [alert.record["ss.total"] for alert in alerts] == [
+            30.0, 30.0, 10.0]
+
+    def test_finish_flushes_open_windows(self):
+        proc = make_process("app.exe", 10)
+        events = _network_writes(proc, [20000])
+        engine = QueryEngine(SMA_QUERY)
+        for event in events:
+            engine.process_event(event)
+        assert engine.alerts == []
+        engine.finish()
+        assert len(engine.alerts) == 1
+
+    def test_incremental_and_batch_agree(self):
+        proc = make_process("app.exe", 10)
+        events = _network_writes(proc, [1000, 1000, 1000, 1000, 900000])
+        batch = QueryEngine(SMA_QUERY).execute(ListStream(events))
+        incremental_engine = QueryEngine(SMA_QUERY)
+        incremental = []
+        for event in ListStream(events):
+            incremental.extend(incremental_engine.process_event(event))
+        incremental.extend(incremental_engine.finish())
+        assert len(batch) == len(incremental) == 1
+        assert batch[0].record == incremental[0].record

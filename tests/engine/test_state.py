@@ -1,0 +1,150 @@
+"""Unit tests for the state maintainer and window-state history."""
+
+import pytest
+
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.state import StateHistory, StateMaintainer, WindowState
+from repro.core.engine.windows import WindowKey
+from repro.core.language import parse_query
+from repro.events.event import Operation
+from tests.conftest import make_connection, make_event, make_process
+
+QUERY = '''
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+  total := sum(evt.amount)
+  average := avg(evt.amount)
+  destinations := set(i.dstip)
+} group by p
+alert ss[0].total > 0
+return p, ss[0].total
+'''
+
+GROUP_BY_ATTR_QUERY = '''
+proc p write ip i as evt #time(10 min)
+state ss {
+  total := sum(evt.amount)
+} group by i.dstip
+alert ss.total > 0
+return i.dstip
+'''
+
+
+def _match(query, exe="app.exe", dstip="8.8.8.8", timestamp=1.0, amount=100.0,
+           pid=1):
+    proc = make_process(exe, pid)
+    conn = make_connection(dstip)
+    event = make_event(proc, Operation.WRITE, conn, timestamp, amount=amount)
+    pattern = query.patterns[0]
+    return PatternMatch(alias=pattern.alias, event=event,
+                        bindings={pattern.subject.variable: proc,
+                                  pattern.object.variable: conn})
+
+
+WINDOW = WindowKey(index=0, start=0.0, end=600.0)
+
+
+class TestStateHistory:
+    def test_push_and_get(self):
+        history = StateHistory(3)
+        for index in range(3):
+            history.push(WindowState(group_key="g", window=WINDOW,
+                                     fields={"n": index}))
+        assert history.get(0).fields["n"] == 2
+        assert history.get(2).fields["n"] == 0
+
+    def test_bounded_capacity(self):
+        history = StateHistory(2)
+        for index in range(5):
+            history.push(WindowState(group_key="g", window=WINDOW,
+                                     fields={"n": index}))
+        assert history.length == 2
+        assert history.get(0).fields["n"] == 4
+
+    def test_out_of_range_returns_none(self):
+        history = StateHistory(3)
+        assert history.get(0) is None
+        assert history.get(5) is None
+        assert history.get(-1) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            StateHistory(0)
+
+
+class TestStateMaintainer:
+    def test_requires_state_block(self):
+        query = parse_query("proc p write file f as e\nreturn p")
+        with pytest.raises(ValueError):
+            StateMaintainer(query)
+
+    def test_group_key_for_entity_variable(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        match = _match(query, exe="sqlservr.exe")
+        assert maintainer.group_key_for(match) == "sqlservr.exe"
+
+    def test_group_key_for_attribute(self):
+        query = parse_query(GROUP_BY_ATTR_QUERY)
+        maintainer = StateMaintainer(query)
+        match = _match(query, dstip="203.0.113.129")
+        assert maintainer.group_key_for(match) == "203.0.113.129"
+
+    def test_close_window_computes_aggregates(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        for amount in (100.0, 200.0, 300.0):
+            maintainer.add_match(WINDOW, _match(query, amount=amount))
+        states = maintainer.close_window(WINDOW)
+        assert len(states) == 1
+        fields = states[0].fields
+        assert fields["total"] == 600.0
+        assert fields["average"] == 200.0
+        assert fields["destinations"] == frozenset({"8.8.8.8"})
+
+    def test_groups_are_separated(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        maintainer.add_match(WINDOW, _match(query, exe="a.exe", pid=1))
+        maintainer.add_match(WINDOW, _match(query, exe="b.exe", pid=2))
+        states = maintainer.close_window(WINDOW)
+        assert {state.group_key for state in states} == {"a.exe", "b.exe"}
+
+    def test_history_is_per_group(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        maintainer.add_match(WINDOW, _match(query, exe="a.exe"))
+        maintainer.close_window(WINDOW)
+        assert maintainer.history_for("a.exe").length == 1
+        assert maintainer.history_for("b.exe").length == 0
+
+    def test_close_unknown_window_returns_empty(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        assert maintainer.close_window(WINDOW) == []
+
+    def test_match_count_and_representative(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        maintainer.add_match(WINDOW, _match(query, timestamp=1.0))
+        maintainer.add_match(WINDOW, _match(query, timestamp=2.0))
+        state = maintainer.close_window(WINDOW)[0]
+        assert state.match_count == 2
+        assert state.representative.timestamp == 2.0
+
+    def test_no_group_by_uses_single_group(self):
+        query = parse_query(
+            "proc p write ip i as evt #time(10 min)\n"
+            "state ss { total := sum(evt.amount) }\n"
+            "alert ss.total > 0\nreturn ss.total")
+        maintainer = StateMaintainer(query)
+        maintainer.add_match(WINDOW, _match(query))
+        states = maintainer.close_window(WINDOW)
+        assert states[0].group_key == "__all__"
+
+    def test_total_matches_counter(self):
+        query = parse_query(QUERY)
+        maintainer = StateMaintainer(query)
+        for _ in range(4):
+            maintainer.add_match(WINDOW, _match(query))
+        assert maintainer.total_matches == 4

@@ -1,0 +1,92 @@
+"""Unit tests for the sliding-window assigner."""
+
+import pytest
+
+from repro.core.engine.windows import WindowAssigner, WindowKey
+from repro.core.language import ast
+
+
+def time_spec(length, hop=None):
+    return ast.WindowSpec(kind="time", length=float(length), hop=hop)
+
+
+def count_spec(length):
+    return ast.WindowSpec(kind="count", length=float(length))
+
+
+class TestWindowKey:
+    def test_contains(self):
+        key = WindowKey(index=1, start=600.0, end=1200.0)
+        assert key.contains(600.0)
+        assert key.contains(1199.9)
+        assert not key.contains(1200.0)
+        assert not key.contains(10.0)
+
+
+class TestTumblingTimeWindows:
+    def test_assigns_single_window(self):
+        assigner = WindowAssigner(time_spec(600))
+        keys = assigner.assign(650.0)
+        assert len(keys) == 1
+        assert keys[0].start == 600.0
+        assert keys[0].end == 1200.0
+
+    def test_boundary_belongs_to_next_window(self):
+        assigner = WindowAssigner(time_spec(600))
+        keys = assigner.assign(600.0)
+        assert keys[0].start == 600.0
+
+    def test_time_zero(self):
+        assigner = WindowAssigner(time_spec(600))
+        keys = assigner.assign(0.0)
+        assert keys[0].index == 0
+
+    def test_is_windowed(self):
+        assert WindowAssigner(time_spec(10)).is_windowed
+        assert not WindowAssigner(None).is_windowed
+
+    def test_no_spec_assigns_nothing(self):
+        assert WindowAssigner(None).assign(123.0) == []
+
+
+class TestHoppingTimeWindows:
+    def test_event_belongs_to_multiple_windows(self):
+        assigner = WindowAssigner(time_spec(600, hop=300))
+        keys = assigner.assign(650.0)
+        starts = [key.start for key in keys]
+        assert starts == [300.0, 600.0]
+
+    def test_hop_equal_length_is_tumbling(self):
+        assigner = WindowAssigner(time_spec(600, hop=600))
+        assert len(assigner.assign(650.0)) == 1
+
+    def test_effective_hop_defaults_to_length(self):
+        assert time_spec(600).effective_hop == 600.0
+        assert time_spec(600, hop=60).effective_hop == 60.0
+
+
+class TestCountWindows:
+    def test_every_n_events_forms_a_window(self):
+        assigner = WindowAssigner(count_spec(3))
+        indices = [assigner.assign(float(i))[0].index for i in range(7)]
+        assert indices == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_count_window_bounds(self):
+        assigner = WindowAssigner(count_spec(5))
+        key = assigner.assign(99.0)[0]
+        assert key.start == 0.0
+        assert key.end == 5.0
+
+
+class TestClosedBefore:
+    def test_closed_before_returns_due_windows_sorted(self):
+        assigner = WindowAssigner(time_spec(600))
+        windows = [WindowKey(1, 600.0, 1200.0), WindowKey(0, 0.0, 600.0),
+                   WindowKey(2, 1200.0, 1800.0)]
+        due = assigner.closed_before(windows, watermark=1200.0)
+        assert [key.index for key in due] == [0, 1]
+
+    def test_closed_before_none_due(self):
+        assigner = WindowAssigner(time_spec(600))
+        windows = [WindowKey(0, 0.0, 600.0)]
+        assert assigner.closed_before(windows, watermark=10.0) == []

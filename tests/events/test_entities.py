@@ -1,0 +1,135 @@
+"""Unit tests for the system-entity data model."""
+
+import pytest
+
+from repro.events.entities import (
+    EntityType,
+    FileEntity,
+    NetworkEntity,
+    ProcessEntity,
+    entity_from_dict,
+)
+
+
+class TestEntityType:
+    def test_from_keyword_proc(self):
+        assert EntityType.from_keyword("proc") is EntityType.PROCESS
+
+    def test_from_keyword_file(self):
+        assert EntityType.from_keyword("file") is EntityType.FILE
+
+    def test_from_keyword_ip(self):
+        assert EntityType.from_keyword("ip") is EntityType.NETWORK
+
+    def test_from_keyword_is_case_insensitive(self):
+        assert EntityType.from_keyword(" PROC ") is EntityType.PROCESS
+
+    def test_from_keyword_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            EntityType.from_keyword("socket")
+
+
+class TestProcessEntity:
+    def test_make_builds_deterministic_id(self):
+        first = ProcessEntity.make("cmd.exe", 42, host="h1")
+        second = ProcessEntity.make("cmd.exe", 42, host="h1")
+        assert first.entity_id == second.entity_id
+
+    def test_different_pid_gives_different_id(self):
+        first = ProcessEntity.make("cmd.exe", 42, host="h1")
+        second = ProcessEntity.make("cmd.exe", 43, host="h1")
+        assert first.entity_id != second.entity_id
+
+    def test_entity_type(self):
+        assert ProcessEntity.make("a.exe", 1).entity_type is EntityType.PROCESS
+
+    def test_default_value_is_exe_name(self):
+        proc = ProcessEntity.make("osql.exe", 7, host="db")
+        assert proc.default_value() == "osql.exe"
+
+    def test_get_attr_returns_known_attribute(self):
+        proc = ProcessEntity.make("osql.exe", 7, host="db", user="admin")
+        assert proc.get_attr("pid") == 7
+        assert proc.get_attr("user") == "admin"
+
+    def test_get_attr_missing_returns_none(self):
+        proc = ProcessEntity.make("osql.exe", 7)
+        assert proc.get_attr("no_such_attr") is None
+
+    def test_get_attr_type_returns_keyword(self):
+        proc = ProcessEntity.make("osql.exe", 7)
+        assert proc.get_attr("type") == "proc"
+
+    def test_attributes_contains_type_discriminator(self):
+        attrs = ProcessEntity.make("osql.exe", 7).attributes()
+        assert attrs["type"] == "proc"
+        assert attrs["exe_name"] == "osql.exe"
+
+    def test_is_frozen(self):
+        proc = ProcessEntity.make("osql.exe", 7)
+        with pytest.raises(Exception):
+            proc.exe_name = "other.exe"
+
+
+class TestFileEntity:
+    def test_default_value_is_name(self):
+        file = FileEntity.make("/tmp/backup1.dmp", host="db")
+        assert file.default_value() == "/tmp/backup1.dmp"
+
+    def test_entity_type(self):
+        assert FileEntity.make("/x").entity_type is EntityType.FILE
+
+    def test_same_path_same_host_same_identity(self):
+        first = FileEntity.make("/tmp/a", host="db")
+        second = FileEntity.make("/tmp/a", host="db")
+        assert first.entity_id == second.entity_id
+
+    def test_same_path_different_host_distinct_identity(self):
+        first = FileEntity.make("/tmp/a", host="db")
+        second = FileEntity.make("/tmp/a", host="web")
+        assert first.entity_id != second.entity_id
+
+
+class TestNetworkEntity:
+    def test_default_value_is_dstip(self):
+        conn = NetworkEntity.make("10.0.0.1", "203.0.113.129")
+        assert conn.default_value() == "203.0.113.129"
+
+    def test_entity_type(self):
+        conn = NetworkEntity.make("10.0.0.1", "8.8.8.8")
+        assert conn.entity_type is EntityType.NETWORK
+
+    def test_get_attr_ports(self):
+        conn = NetworkEntity.make("10.0.0.1", "8.8.8.8", srcport=1234,
+                                  dstport=53)
+        assert conn.get_attr("srcport") == 1234
+        assert conn.get_attr("dstport") == 53
+
+
+class TestEntityFromDict:
+    def test_round_trip_process(self):
+        original = ProcessEntity.make("cmd.exe", 42, host="h1", user="bob")
+        rebuilt = entity_from_dict(original.attributes())
+        assert rebuilt == original
+
+    def test_round_trip_file(self):
+        original = FileEntity.make("/etc/passwd", host="h1")
+        assert entity_from_dict(original.attributes()) == original
+
+    def test_round_trip_network(self):
+        original = NetworkEntity.make("10.0.0.1", "8.8.8.8", dstport=53)
+        assert entity_from_dict(original.attributes()) == original
+
+    def test_missing_type_raises(self):
+        with pytest.raises(ValueError):
+            entity_from_dict({"entity_id": "x"})
+
+    def test_missing_entity_id_raises(self):
+        with pytest.raises(ValueError):
+            entity_from_dict({"type": "proc"})
+
+    def test_unknown_keys_are_ignored(self):
+        data = ProcessEntity.make("cmd.exe", 1).attributes()
+        data["extra"] = "ignored"
+        rebuilt = entity_from_dict(data)
+        assert rebuilt.exe_name == "cmd.exe"

@@ -1,0 +1,99 @@
+"""Unit tests for the SVO event model."""
+
+import pytest
+
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, EventType, Operation
+
+
+@pytest.fixture
+def proc():
+    return ProcessEntity.make("sqlservr.exe", 10, host="db")
+
+
+class TestOperation:
+    def test_from_keyword(self):
+        assert Operation.from_keyword("write") is Operation.WRITE
+
+    def test_from_keyword_case_insensitive(self):
+        assert Operation.from_keyword("START") is Operation.START
+
+    def test_from_keyword_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Operation.from_keyword("teleport")
+
+
+class TestEventType:
+    def test_file_object_gives_file_event(self, proc):
+        event = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/x", host="db"), timestamp=1.0)
+        assert event.event_type is EventType.FILE_EVENT
+
+    def test_process_object_gives_process_event(self, proc):
+        child = ProcessEntity.make("cmd.exe", 11, host="db")
+        event = Event(subject=proc, operation=Operation.START, obj=child,
+                      timestamp=1.0)
+        assert event.event_type is EventType.PROCESS_EVENT
+
+    def test_network_object_gives_network_event(self, proc):
+        conn = NetworkEntity.make("10.0.0.1", "8.8.8.8")
+        event = Event(subject=proc, operation=Operation.WRITE, obj=conn,
+                      timestamp=1.0)
+        assert event.event_type is EventType.NETWORK_EVENT
+
+
+class TestEventValidation:
+    def test_subject_must_be_process(self):
+        file = FileEntity.make("/x")
+        with pytest.raises(TypeError):
+            Event(subject=file, operation=Operation.WRITE,
+                  obj=FileEntity.make("/y"), timestamp=1.0)
+
+    def test_negative_timestamp_rejected(self, proc):
+        with pytest.raises(ValueError):
+            Event(subject=proc, operation=Operation.WRITE,
+                  obj=FileEntity.make("/x"), timestamp=-1.0)
+
+    def test_negative_amount_rejected(self, proc):
+        with pytest.raises(ValueError):
+            Event(subject=proc, operation=Operation.WRITE,
+                  obj=FileEntity.make("/x"), timestamp=1.0, amount=-5)
+
+    def test_event_ids_are_unique(self, proc):
+        first = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/x"), timestamp=1.0)
+        second = Event(subject=proc, operation=Operation.WRITE,
+                       obj=FileEntity.make("/x"), timestamp=1.0)
+        assert first.event_id != second.event_id
+
+
+class TestEventAttributes:
+    def test_get_attr_agentid(self, proc):
+        event = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/x"), timestamp=1.0,
+                      agentid="db-server")
+        assert event.get_attr("agentid") == "db-server"
+
+    def test_get_attr_amount_and_timestamp(self, proc):
+        event = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/x"), timestamp=12.5, amount=42.0)
+        assert event.get_attr("amount") == 42.0
+        assert event.get_attr("timestamp") == 12.5
+        assert event.get_attr("starttime") == 12.5
+
+    def test_get_attr_operation_and_type(self, proc):
+        event = Event(subject=proc, operation=Operation.READ,
+                      obj=FileEntity.make("/x"), timestamp=1.0)
+        assert event.get_attr("operation") == "read"
+        assert event.get_attr("type") == "file"
+
+    def test_get_attr_custom_attrs(self, proc):
+        event = Event(subject=proc, operation=Operation.READ,
+                      obj=FileEntity.make("/x"), timestamp=1.0,
+                      attrs={"session": "s1"})
+        assert event.get_attr("session") == "s1"
+
+    def test_get_attr_missing_returns_none(self, proc):
+        event = Event(subject=proc, operation=Operation.READ,
+                      obj=FileEntity.make("/x"), timestamp=1.0)
+        assert event.get_attr("nonexistent") is None

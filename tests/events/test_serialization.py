@@ -1,0 +1,80 @@
+"""Unit tests for event serialization (dict / JSON / JSON-lines)."""
+
+import pytest
+
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.serialization import (
+    event_from_dict,
+    event_from_json,
+    event_to_dict,
+    event_to_json,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+
+
+def _sample_event(timestamp=10.0):
+    proc = ProcessEntity.make("sqlservr.exe", 77, host="db-server")
+    conn = NetworkEntity.make("10.0.1.30", "203.0.113.129", dstport=443)
+    return Event(subject=proc, operation=Operation.WRITE, obj=conn,
+                 timestamp=timestamp, agentid="db-server", amount=5e6,
+                 attrs={"session": "abc"})
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_subject(self):
+        event = _sample_event()
+        rebuilt = event_from_dict(event_to_dict(event))
+        assert rebuilt.subject == event.subject
+
+    def test_round_trip_preserves_object(self):
+        event = _sample_event()
+        rebuilt = event_from_dict(event_to_dict(event))
+        assert rebuilt.obj == event.obj
+
+    def test_round_trip_preserves_metadata(self):
+        event = _sample_event()
+        rebuilt = event_from_dict(event_to_dict(event))
+        assert rebuilt.timestamp == event.timestamp
+        assert rebuilt.agentid == event.agentid
+        assert rebuilt.amount == event.amount
+        assert rebuilt.attrs == event.attrs
+        assert rebuilt.operation is event.operation
+
+    def test_missing_key_raises_value_error(self):
+        data = event_to_dict(_sample_event())
+        del data["subject"]
+        with pytest.raises(ValueError):
+            event_from_dict(data)
+
+
+class TestJsonRoundTrip:
+    def test_json_round_trip(self):
+        event = _sample_event()
+        rebuilt = event_from_json(event_to_json(event))
+        assert rebuilt.subject == event.subject
+        assert rebuilt.obj == event.obj
+        assert rebuilt.amount == event.amount
+
+    def test_json_is_deterministic(self):
+        event = _sample_event()
+        assert event_to_json(event) == event_to_json(event)
+
+
+class TestJsonl:
+    def test_write_and_read_back(self, tmp_path):
+        events = [_sample_event(timestamp=float(i)) for i in range(5)]
+        path = tmp_path / "events.jsonl"
+        written = write_events_jsonl(events, path)
+        assert written == 5
+        loaded = list(read_events_jsonl(path))
+        assert len(loaded) == 5
+        assert [event.timestamp for event in loaded] == [0, 1, 2, 3, 4]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl([_sample_event()], path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert len(list(read_events_jsonl(path))) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for the event-stream abstractions."""
+
+from repro.events.entities import FileEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream, MergedStream, StreamStats, collect
+
+
+def _event(timestamp, agentid="h1", amount=0.0):
+    proc = ProcessEntity.make("a.exe", 1, host=agentid)
+    return Event(subject=proc, operation=Operation.WRITE,
+                 obj=FileEntity.make("/x", host=agentid),
+                 timestamp=timestamp, agentid=agentid, amount=amount)
+
+
+class TestListStream:
+    def test_sorts_by_timestamp(self):
+        stream = ListStream([_event(5), _event(1), _event(3)])
+        assert [event.timestamp for event in stream] == [1, 3, 5]
+
+    def test_len_and_events(self):
+        stream = ListStream([_event(1), _event(2)])
+        assert len(stream) == 2
+        assert len(stream.events) == 2
+
+    def test_presorted_keeps_order(self):
+        events = [_event(1), _event(2)]
+        stream = ListStream(events, presorted=True)
+        assert list(stream) == events
+
+    def test_filter(self):
+        stream = ListStream([_event(1, "a"), _event(2, "b"), _event(3, "a")])
+        filtered = collect(stream.filter(lambda event: event.agentid == "a"))
+        assert len(filtered) == 2
+
+    def test_limit(self):
+        stream = ListStream([_event(t) for t in range(10)])
+        assert len(collect(stream.limit(3))) == 3
+
+    def test_limit_zero(self):
+        stream = ListStream([_event(1)])
+        assert collect(stream.limit(0)) == []
+
+
+class TestMergedStream:
+    def test_merges_by_timestamp(self):
+        left = ListStream([_event(1, "a"), _event(4, "a")])
+        right = ListStream([_event(2, "b"), _event(3, "b")])
+        merged = collect(MergedStream([left, right]))
+        assert [event.timestamp for event in merged] == [1, 2, 3, 4]
+
+    def test_empty_sources(self):
+        assert collect(MergedStream([ListStream([]), ListStream([])])) == []
+
+    def test_single_source(self):
+        stream = ListStream([_event(1), _event(2)])
+        assert len(collect(MergedStream([stream]))) == 2
+
+
+class TestStreamStats:
+    def test_counts_events_and_amount(self):
+        stats = StreamStats.from_stream(
+            ListStream([_event(0, amount=10), _event(10, amount=20)]))
+        assert stats.total_events == 2
+        assert stats.total_amount == 30
+        assert stats.duration == 10
+
+    def test_rate_per_second(self):
+        stats = StreamStats.from_stream(
+            ListStream([_event(0), _event(5), _event(10)]))
+        assert stats.events_per_second == 3 / 10
+
+    def test_by_agent_and_type(self):
+        stats = StreamStats.from_stream(
+            ListStream([_event(0, "a"), _event(1, "b"), _event(2, "a")]))
+        assert stats.by_agent == {"a": 2, "b": 1}
+        assert stats.by_type == {"file": 3}
+
+    def test_empty_stream(self):
+        stats = StreamStats.from_stream(ListStream([]))
+        assert stats.total_events == 0
+        assert stats.duration == 0.0
+        assert stats.events_per_second == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for the expression evaluator over a simple context."""
+
+import pytest
+
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr.evaluator import ExpressionEvaluator
+from repro.core.language import ast
+from repro.core.language.parser import parse
+
+
+class DictContext:
+    """A minimal evaluation context backed by plain dictionaries."""
+
+    def __init__(self, names=None):
+        self.names = names or {}
+
+    def resolve_name(self, name):
+        return self.names.get(name)
+
+    def get_attribute(self, value, attr):
+        if isinstance(value, dict):
+            return value.get(attr)
+        return None
+
+    def get_index(self, value, index):
+        if isinstance(value, (list, tuple)):
+            return value[int(index)]
+        return None
+
+    def evaluate_aggregation(self, call):
+        raise SAQLExecutionError("no aggregations here")
+
+
+def evaluate(text, names=None):
+    """Parse an alert condition and evaluate it against a dict context."""
+    query = parse(
+        "proc p write ip i as evt #time(10 s)\n"
+        "state ss { v := sum(evt.amount) } group by p\n"
+        f"alert {text}\nreturn p")
+    evaluator = ExpressionEvaluator(DictContext(names))
+    return evaluator.evaluate(query.alert.condition)
+
+
+class TestArithmetic:
+    def test_addition_and_multiplication(self):
+        assert evaluate("1 + 2 * 3") == 7
+
+    def test_division(self):
+        assert evaluate("10 / 4") == 2.5
+
+    def test_division_by_zero_is_zero(self):
+        assert evaluate("10 / 0") == 0.0
+
+    def test_modulo(self):
+        assert evaluate("10 % 3") == 1.0
+
+    def test_unary_minus(self):
+        assert evaluate("-(2 + 3)") == -5.0
+
+
+class TestComparisonsAndBooleans:
+    def test_greater_than(self):
+        assert evaluate("3 > 2") is True
+
+    def test_equality_operator_single_equals(self):
+        assert evaluate("2 = 2") is True
+
+    def test_and_or(self):
+        assert evaluate("1 > 0 && 2 > 1") is True
+        assert evaluate("1 > 2 || 2 > 1") is True
+        assert evaluate("1 > 2 && 2 > 1") is False
+
+    def test_not(self):
+        assert evaluate("!(1 > 2)") is True
+
+    def test_short_circuit_and(self):
+        # The right side references an unknown name but is never evaluated.
+        assert evaluate("1 > 2 && ss.v > unknown_name") is False
+
+    def test_in_operator(self):
+        assert evaluate('"a" in ss', {"ss": frozenset({"a", "b"})}) is True
+
+
+class TestNamesAndAttributes:
+    def test_identifier_resolution(self):
+        assert evaluate("ss > 5", {"ss": 10}) is True
+
+    def test_attribute_resolution(self):
+        assert evaluate("ss.v > 5", {"ss": {"v": 6}}) is True
+
+    def test_missing_attribute_is_none(self):
+        assert evaluate("ss.missing > 5", {"ss": {}}) is False
+
+    def test_index_resolution(self):
+        assert evaluate("ss[1] > 5", {"ss": (1, 10)}) is True
+
+
+class TestSetsAndSizeOf(object):
+    def test_empty_set_literal(self):
+        assert evaluate("|ss union ss| == 0", {"ss": frozenset()}) is True
+
+    def test_union_and_diff(self):
+        names = {"ss": frozenset({"a"}), "other": frozenset({"a", "b"})}
+        assert evaluate("|other diff ss| == 1", names) is True
+        assert evaluate("|other union ss| == 2", names) is True
+
+    def test_sizeof_absolute_value(self):
+        assert evaluate("|0 - 5| == 5") is True
+
+
+class TestFunctions:
+    def test_scalar_function(self):
+        assert evaluate("abs(0 - 3) == 3") is True
+
+    def test_all_passthrough(self):
+        assert evaluate("all(ss) > 5", {"ss": 6}) is True
+
+    def test_aggregation_delegates_to_context(self):
+        with pytest.raises(SAQLExecutionError):
+            evaluate("avg(evt.amount) > 1 && 1 > 0", {"evt": {}})
+
+
+class TestLiteralEvaluation:
+    def test_string_literal(self):
+        assert evaluate('"abc" == "ABC"') is True
+
+    def test_float_literal(self):
+        assert evaluate("1.5 + 1.5 == 3") is True

@@ -1,0 +1,96 @@
+"""Unit tests for the aggregation and scalar function registry."""
+
+import pytest
+
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr import functions
+
+
+class TestAggregations:
+    def test_avg(self):
+        assert functions.agg_avg([1, 2, 3]) == 2.0
+
+    def test_avg_skips_missing(self):
+        assert functions.agg_avg([1, None, 3]) == 2.0
+
+    def test_avg_empty(self):
+        assert functions.agg_avg([]) == 0.0
+
+    def test_sum(self):
+        assert functions.agg_sum([1.5, 2.5]) == 4.0
+
+    def test_count(self):
+        assert functions.agg_count([1, None, "x"]) == 2
+
+    def test_min_max(self):
+        assert functions.agg_min([5, 2, 9]) == 2
+        assert functions.agg_max([5, 2, 9]) == 9
+
+    def test_min_empty(self):
+        assert functions.agg_min([]) == 0.0
+
+    def test_set(self):
+        assert functions.agg_set(["a", "b", "a", None]) == frozenset(
+            {"a", "b"})
+
+    def test_distinct_count(self):
+        assert functions.agg_distinct_count(["a", "b", "a"]) == 2
+
+    def test_stddev(self):
+        assert functions.agg_stddev([2, 4, 4, 4, 5, 5, 7, 9]) == 2.0
+
+    def test_stddev_single_value(self):
+        assert functions.agg_stddev([5]) == 0.0
+
+    def test_median_odd(self):
+        assert functions.agg_median([3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert functions.agg_median([1, 2, 3, 4]) == 2.5
+
+    def test_first_and_last(self):
+        assert functions.agg_first([None, "a", "b"]) == "a"
+        assert functions.agg_last(["a", "b", None]) == "b"
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert functions.agg_percentile(values, 95) == 95
+
+    def test_percentile_default(self):
+        assert functions.agg_percentile([10]) == 10
+
+
+class TestAggregateDispatch:
+    def test_dispatch_by_name(self):
+        assert functions.aggregate("sum", [1, 2, 3]) == 6.0
+
+    def test_dispatch_case_insensitive(self):
+        assert functions.aggregate("AVG", [2, 4]) == 3.0
+
+    def test_dispatch_with_extra_args(self):
+        assert functions.aggregate("percentile", [1, 2, 3, 4], 50) == 2
+
+    def test_unknown_aggregation_raises(self):
+        with pytest.raises(SAQLExecutionError):
+            functions.aggregate("frobnicate", [1])
+
+    def test_is_aggregation(self):
+        assert functions.is_aggregation("set")
+        assert not functions.is_aggregation("abs")
+
+
+class TestScalars:
+    def test_abs(self):
+        assert functions.scalar_abs(-3) == 3.0
+
+    def test_sqrt(self):
+        assert functions.scalar_sqrt(9) == 3.0
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(SAQLExecutionError):
+            functions.scalar_sqrt(-1)
+
+    def test_len(self):
+        assert functions.scalar_len({1, 2}) == 2.0
+        assert functions.scalar_len(None) == 0.0
+        assert functions.scalar_len(5) == 1.0

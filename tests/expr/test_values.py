@@ -1,0 +1,137 @@
+"""Unit tests for the runtime value semantics."""
+
+import pytest
+
+from repro.core.expr.values import (
+    as_set,
+    compare_values,
+    is_truthy,
+    like_match,
+    set_diff,
+    set_intersect,
+    set_union,
+    size_of,
+    to_number,
+)
+
+
+class TestTruthiness:
+    @pytest.mark.parametrize("value", [None, 0, 0.0, "", set(), [], False])
+    def test_falsey_values(self, value):
+        assert is_truthy(value) is False
+
+    @pytest.mark.parametrize("value", [1, -1, 0.5, "x", {1}, [0], True])
+    def test_truthy_values(self, value):
+        assert is_truthy(value) is True
+
+    def test_object_is_truthy(self):
+        assert is_truthy(object()) is True
+
+
+class TestToNumber:
+    def test_none_uses_default(self):
+        assert to_number(None) == 0.0
+        assert to_number(None, default=7.0) == 7.0
+
+    def test_bool(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_numeric_string(self):
+        assert to_number("42.5") == 42.5
+
+    def test_non_numeric_string_uses_default(self):
+        assert to_number("osql.exe", default=-1.0) == -1.0
+
+    def test_collection_length(self):
+        assert to_number({1, 2, 3}) == 3.0
+
+
+class TestLikeMatch:
+    def test_prefix_wildcard(self):
+        assert like_match("C:\\Windows\\cmd.exe", "%cmd.exe")
+
+    def test_suffix_wildcard(self):
+        assert like_match("backup1.dmp.gz", "backup1.dmp%")
+
+    def test_both_sides(self):
+        assert like_match("x-invoice-2020.xls", "%invoice%")
+
+    def test_single_char_wildcard(self):
+        assert like_match("a1c", "a_c")
+
+    def test_case_insensitive(self):
+        assert like_match("CMD.EXE", "%cmd.exe")
+
+    def test_no_match(self):
+        assert not like_match("powershell.exe", "%cmd.exe")
+
+    def test_none_never_matches(self):
+        assert not like_match(None, "%")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert like_match("a.b", "a.b")
+        assert not like_match("aXb", "a.b")
+
+
+class TestCompareValues:
+    def test_numeric_comparison(self):
+        assert compare_values(">", 10, 5)
+        assert compare_values("<=", 5, 5)
+        assert not compare_values("<", 10, 5)
+
+    def test_equality_numeric_string(self):
+        assert compare_values("==", "5", 5)
+
+    def test_equality_string_case_insensitive(self):
+        assert compare_values("==", "CMD.exe", "cmd.exe")
+
+    def test_equality_with_wildcard_right(self):
+        assert compare_values("==", "C:\\x\\cmd.exe", "%cmd.exe")
+
+    def test_inequality(self):
+        assert compare_values("!=", "a", "b")
+        assert not compare_values("!=", 3, 3)
+
+    def test_none_equality(self):
+        assert compare_values("==", None, None)
+        assert not compare_values("==", None, 1)
+        assert compare_values("!=", None, 1)
+
+    def test_none_ordering_is_false(self):
+        assert not compare_values(">", None, 1)
+        assert not compare_values("<", 1, None)
+
+    def test_string_ordering_falls_back_to_lexicographic(self):
+        assert compare_values("<", "apple", "banana")
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            compare_values("~", 1, 2)
+
+    def test_set_equality(self):
+        assert compare_values("==", {1, 2}, frozenset({2, 1}))
+
+
+class TestSetOperations:
+    def test_as_set_scalars(self):
+        assert as_set("a") == frozenset({"a"})
+        assert as_set(None) == frozenset()
+
+    def test_union(self):
+        assert set_union({1}, {2}) == frozenset({1, 2})
+
+    def test_diff(self):
+        assert set_diff({1, 2, 3}, {2}) == frozenset({1, 3})
+
+    def test_intersect(self):
+        assert set_intersect({1, 2}, {2, 3}) == frozenset({2})
+
+    def test_size_of_set(self):
+        assert size_of({1, 2, 3}) == 3.0
+
+    def test_size_of_number_is_abs(self):
+        assert size_of(-4.5) == 4.5
+
+    def test_size_of_none(self):
+        assert size_of(None) == 0.0

@@ -1,0 +1,112 @@
+"""Integration test: the full demonstration scenario (Section III).
+
+The 8 demo queries run concurrently over one hour of simulated enterprise
+background with the 5-step APT attack injected.  Every attack step must be
+detected by its rule query, the three advanced anomaly queries must flag
+the malicious behaviour, and the benign background must not drown the
+result in false positives.
+"""
+
+import pytest
+
+from repro.core import ConcurrentQueryScheduler, QueryEngine
+from repro.queries import DEMO_QUERIES, demo_query_names
+from repro.storage import EventDatabase, ReplaySpec, StreamReplayer
+
+
+@pytest.fixture(scope="module")
+def detection_run(request):
+    """Run all 8 queries once over the shared demo stream."""
+    demo_stream = request.getfixturevalue("demo_stream")
+    scheduler = ConcurrentQueryScheduler()
+    for name in demo_query_names():
+        scheduler.add_query(DEMO_QUERIES[name], name=name)
+    alerts = scheduler.execute(demo_stream)
+    return scheduler, alerts
+
+
+class TestEndToEndDetection:
+    def test_every_query_fires_at_least_once(self, detection_run):
+        _, alerts = detection_run
+        fired = {alert.query_name for alert in alerts}
+        assert fired == set(demo_query_names())
+
+    def test_no_runtime_errors(self, detection_run):
+        scheduler, _ = detection_run
+        assert not scheduler.error_reporter.has_errors()
+
+    def test_rule_queries_fire_exactly_once(self, detection_run):
+        _, alerts = detection_run
+        for name in demo_query_names():
+            if name.startswith("rule-"):
+                count = sum(1 for alert in alerts if alert.query_name == name)
+                assert count == 1, f"{name} fired {count} times"
+
+    def test_alert_volume_is_small(self, detection_run):
+        _, alerts = detection_run
+        assert len(alerts) <= 15
+
+    def test_detection_order_follows_attack_steps(self, detection_run):
+        _, alerts = detection_run
+        rule_alerts = {alert.query_name: alert.timestamp
+                       for alert in alerts
+                       if alert.query_name.startswith("rule-")}
+        ordered = [rule_alerts[f"rule-c{step}-" + suffix]
+                   for step, suffix in ((1, "initial-compromise"),
+                                        (2, "malware-infection"),
+                                        (3, "privilege-escalation"),
+                                        (4, "penetration"),
+                                        (5, "data-exfiltration"))]
+        assert ordered == sorted(ordered)
+
+    def test_exfiltration_alert_names_the_attacker(self, detection_run):
+        _, alerts = detection_run
+        exfil = [alert for alert in alerts
+                 if alert.query_name == "rule-c5-data-exfiltration"][0]
+        assert exfil.record["i1"] == "203.0.113.129"
+
+    def test_outlier_alert_names_the_attacker(self, detection_run):
+        _, alerts = detection_run
+        outlier = [alert for alert in alerts
+                   if alert.query_name == "outlier-exfiltration"][0]
+        assert outlier.record["i.dstip"] == "203.0.113.129"
+
+    def test_invariant_alert_reports_new_child(self, detection_run):
+        _, alerts = detection_run
+        invariant = [alert for alert in alerts
+                     if alert.query_name == "invariant-excel-children"][0]
+        assert "cmd.exe" in invariant.record["ss.set_proc"]
+
+    def test_timeseries_alert_flags_the_malware(self, detection_run):
+        _, alerts = detection_run
+        spike = [alert for alert in alerts
+                 if alert.query_name == "timeseries-network-spike"][0]
+        assert spike.record["p"] == "sbblv.exe"
+
+    def test_scheduler_groups_fewer_than_queries(self, detection_run):
+        scheduler, _ = detection_run
+        assert scheduler.stats.groups < scheduler.stats.queries
+
+    def test_benign_stream_produces_no_alerts(self, small_enterprise):
+        benign = small_enterprise.event_feed(0.0, 1800.0)
+        scheduler = ConcurrentQueryScheduler()
+        for name in demo_query_names():
+            if name.startswith("rule-"):
+                scheduler.add_query(DEMO_QUERIES[name], name=name)
+        assert scheduler.execute(benign) == []
+
+
+class TestStoreAndReplay:
+    def test_replayed_slice_reproduces_detection(self, demo_stream, tmp_path):
+        database = EventDatabase(demo_stream)
+        path = tmp_path / "captured.jsonl"
+        database.save(path)
+        reloaded = EventDatabase.load(path)
+
+        replayer = StreamReplayer(reloaded,
+                                  ReplaySpec(hosts=["db-server"]))
+        engine = QueryEngine(DEMO_QUERIES["rule-c5-data-exfiltration"],
+                             name="exfil")
+        alerts = engine.execute(replayer)
+        assert len(alerts) == 1
+        assert alerts[0].record["p4"] == "sbblv.exe"

@@ -1,0 +1,143 @@
+"""Unit tests for the semantic analyzer."""
+
+import pytest
+
+from repro.core.errors import SAQLSemanticError
+from repro.core.language import parse_query
+from repro.core.language.parser import parse
+from repro.core.language.analyzer import analyze_query
+
+
+BASE_STATEFUL = '''
+proc p write ip i as evt #time(10 min)
+state[2] ss {{
+  v := sum(evt.amount)
+}} group by p
+alert {alert}
+return {returns}
+'''
+
+
+class TestSymbolCollection:
+    def test_entity_variables_collected(self):
+        query = parse_query("proc p write file f as e\nreturn p, f")
+        assert set(query.entity_variables) == {"p", "f"}
+
+    def test_pattern_aliases_collected(self):
+        query = parse_query("proc p write file f as e\nreturn p")
+        assert set(query.pattern_aliases) == {"e"}
+
+    def test_shared_variable_same_type_is_allowed(self):
+        query = parse_query(
+            "proc a write file f as e1\nproc b read file f as e2\nreturn f")
+        assert query.entity_variables["f"].entity_type == "file"
+
+    def test_variable_type_conflict_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc x write file f as e1\n"
+                        "proc p read ip x as e2\nreturn p")
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write file f as e\n"
+                        "proc p read file f as e\nreturn p")
+
+
+class TestClauseChecks:
+    def test_missing_return_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write file f as e")
+
+    def test_temporal_order_unknown_alias_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write file f as e1\n"
+                        "proc p read file f as e2\n"
+                        "with e1 -> e9\nreturn p")
+
+    def test_state_requires_window(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write ip i as evt\n"
+                        "state ss { v := sum(evt.amount) } group by p\n"
+                        "return p")
+
+    def test_invariant_requires_state(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write ip i as evt #time(10 s)\n"
+                        "invariant[5][offline] { a := empty_set }\n"
+                        "return p")
+
+    def test_cluster_requires_state(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query('proc p write ip i as evt #time(10 s)\n'
+                        'cluster(points=all(i), distance="ed", '
+                        'method="DBSCAN(1, 1)")\nreturn p')
+
+    def test_invariant_update_of_undeclared_variable_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write ip i as evt #time(10 s)\n"
+                        "state ss { v := set(i.dstip) } group by p\n"
+                        "invariant[5][offline] {\n"
+                        "  a := empty_set\n"
+                        "  b = b union ss.v\n"
+                        "}\nalert |ss.v diff a| > 0\nreturn p")
+
+    def test_unknown_cluster_method_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query('proc p write ip i as evt #time(10 min)\n'
+                        'state ss { v := sum(evt.amount) } group by i.dstip\n'
+                        'cluster(points=all(ss.v), distance="ed", '
+                        'method="OPTICS(1, 2)")\n'
+                        'alert cluster.outlier\nreturn i.dstip')
+
+
+class TestExpressionChecks:
+    def _query(self, alert="ss[0].v > 1", returns="p, ss[0].v"):
+        return parse_query(BASE_STATEFUL.format(alert=alert,
+                                                returns=returns))
+
+    def test_valid_stateful_query_passes(self):
+        query = self._query()
+        assert query.state is not None
+
+    def test_unknown_name_in_alert_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            self._query(alert="zz.v > 1")
+
+    def test_unknown_name_in_return_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            self._query(returns="p, qq")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            self._query(alert="frobnicate(ss[0].v) > 1")
+
+    def test_aggregation_in_alert_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            self._query(alert="avg(evt.amount) > 1")
+
+    def test_history_index_out_of_range_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            self._query(alert="ss[2].v > 1")
+
+    def test_history_index_in_range_accepted(self):
+        query = self._query(alert="ss[1].v > 1")
+        assert query.alert is not None
+
+    def test_duplicate_state_field_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write ip i as evt #time(10 s)\n"
+                        "state ss { v := sum(evt.amount)\n"
+                        "  v := avg(evt.amount) } group by p\n"
+                        "alert ss.v > 1\nreturn p")
+
+    def test_group_by_unknown_name_rejected(self):
+        with pytest.raises(SAQLSemanticError):
+            parse_query("proc p write ip i as evt #time(10 s)\n"
+                        "state ss { v := sum(evt.amount) } group by zz\n"
+                        "alert ss.v > 1\nreturn p")
+
+    def test_analyze_is_idempotent(self):
+        query = parse("proc p write file f as e\nreturn p")
+        analyze_query(query)
+        analyze_query(query)
+        assert set(query.entity_variables) == {"p", "f"}

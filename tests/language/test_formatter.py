@@ -1,0 +1,64 @@
+"""Round-trip tests for the query formatter (parse -> format -> parse)."""
+
+import pytest
+
+from repro.core.language import format_query, parse_query
+from repro.core.language.formatter import format_expression
+from repro.core.language.parser import parse
+from repro.queries import DEMO_QUERIES
+
+
+class TestExpressionFormatting:
+    def _expr(self, text):
+        query = parse(f"proc p write ip i as evt #time(10 s)\n"
+                      f"state ss {{ v := sum(evt.amount) }} group by p\n"
+                      f"alert {text}\nreturn p")
+        return query.alert.condition
+
+    def test_simple_comparison(self):
+        assert format_expression(self._expr("ss.v > 10")) == "ss.v > 10"
+
+    def test_nested_precedence_gets_parentheses(self):
+        text = format_expression(self._expr("(ss.v + 1) * 2 > 3"))
+        assert "(ss.v + 1) * 2" in text
+
+    def test_sizeof(self):
+        assert format_expression(
+            self._expr("|ss.v union ss.v| > 0")).startswith("|")
+
+    def test_function_call(self):
+        assert format_expression(self._expr("abs(ss.v) > 1")) == \
+            "abs(ss.v) > 1"
+
+    def test_string_literal_quoted(self):
+        text = format_expression(self._expr('ss.v == "x"'))
+        assert '"x"' in text
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize("name", sorted(DEMO_QUERIES))
+    def test_demo_queries_round_trip(self, name):
+        original = parse_query(DEMO_QUERIES[name])
+        formatted = format_query(original)
+        reparsed = parse_query(formatted)
+        assert len(reparsed.patterns) == len(original.patterns)
+        assert reparsed.model_kind == original.model_kind
+        assert (reparsed.returns.distinct == original.returns.distinct)
+        # Formatting the reparsed query again is stable.
+        assert format_query(reparsed) == formatted
+
+    def test_formatted_text_contains_window(self):
+        query = parse_query("proc p write ip i as evt #time(10 min)\n"
+                            "state ss { v := sum(evt.amount) } group by p\n"
+                            "alert ss.v > 1\nreturn p")
+        assert "#time(10 min)" in format_query(query)
+
+    def test_formatted_text_contains_invariant(self):
+        text = DEMO_QUERIES["invariant-excel-children"]
+        formatted = format_query(parse_query(text))
+        assert "invariant[3][offline]" in formatted
+
+    def test_formatted_text_contains_cluster(self):
+        text = DEMO_QUERIES["outlier-exfiltration"]
+        formatted = format_query(parse_query(text))
+        assert 'method="DBSCAN(' in formatted

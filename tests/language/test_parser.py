@@ -1,0 +1,277 @@
+"""Unit tests for the SAQL recursive-descent parser."""
+
+import pytest
+
+from repro.core.errors import SAQLParseError
+from repro.core.language import ast
+from repro.core.language.parser import parse
+
+QUERY1 = '''
+agentid = "db-server"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="203.0.113.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+'''
+
+QUERY2 = '''
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+  avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
+'''
+
+QUERY3 = '''
+proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
+state ss {
+  set_proc := set(p2.exe_name)
+} group by p1
+invariant[10][offline] {
+  a := empty_set
+  a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+'''
+
+QUERY4 = '''
+agentid = "db-server"
+proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+state ss {
+  amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+'''
+
+
+class TestRuleQueryParsing:
+    def test_global_constraint(self):
+        query = parse(QUERY1)
+        assert len(query.global_constraints) == 1
+        constraint = query.global_constraints[0]
+        assert constraint.attr == "agentid"
+        assert constraint.value == "db-server"
+
+    def test_pattern_count_and_aliases(self):
+        query = parse(QUERY1)
+        assert [pattern.alias for pattern in query.patterns] == [
+            "evt1", "evt2", "evt3", "evt4"]
+
+    def test_entity_types(self):
+        query = parse(QUERY1)
+        assert query.patterns[1].object.entity_type == "file"
+        assert query.patterns[3].object.entity_type == "ip"
+
+    def test_default_attribute_constraint_uses_like(self):
+        query = parse(QUERY1)
+        constraint = query.patterns[0].subject.constraints[0]
+        assert constraint.attr is None
+        assert constraint.op == "like"
+        assert constraint.value == "%cmd.exe"
+
+    def test_named_attribute_constraint(self):
+        query = parse(QUERY1)
+        constraint = query.patterns[3].object.constraints[0]
+        assert constraint.attr == "dstip"
+        assert constraint.value == "203.0.113.129"
+
+    def test_operation_alternation(self):
+        query = parse(QUERY1)
+        assert query.patterns[3].operations == ("read", "write")
+
+    def test_temporal_order(self):
+        query = parse(QUERY1)
+        assert query.temporal_order.aliases == ("evt1", "evt2", "evt3",
+                                                "evt4")
+
+    def test_return_distinct(self):
+        query = parse(QUERY1)
+        assert query.returns.distinct is True
+        assert len(query.returns.items) == 6
+
+    def test_model_kind_is_rule(self):
+        assert parse(QUERY1).model_kind == "rule"
+
+
+class TestTimeSeriesQueryParsing:
+    def test_window_is_600_seconds(self):
+        query = parse(QUERY2)
+        assert query.window.kind == "time"
+        assert query.window.length == 600.0
+
+    def test_state_history(self):
+        query = parse(QUERY2)
+        assert query.state.history == 3
+        assert query.state.name == "ss"
+
+    def test_state_definition(self):
+        definition = parse(QUERY2).state.definitions[0]
+        assert definition.name == "avg_amount"
+        assert isinstance(definition.expr, ast.FuncCall)
+        assert definition.expr.name == "avg"
+
+    def test_group_by(self):
+        query = parse(QUERY2)
+        assert len(query.state.group_by) == 1
+        assert isinstance(query.state.group_by[0], ast.Identifier)
+
+    def test_alert_condition_is_boolean_expression(self):
+        query = parse(QUERY2)
+        assert isinstance(query.alert.condition, ast.BinaryOp)
+        assert query.alert.condition.op == "&&"
+
+    def test_model_kind_is_time_series(self):
+        assert parse(QUERY2).model_kind == "time-series"
+
+
+class TestInvariantQueryParsing:
+    def test_window_in_seconds(self):
+        assert parse(QUERY3).window.length == 10.0
+
+    def test_invariant_header(self):
+        invariant = parse(QUERY3).invariant
+        assert invariant.training_windows == 10
+        assert invariant.mode == "offline"
+
+    def test_init_and_update_statements(self):
+        invariant = parse(QUERY3).invariant
+        assert len(invariant.init_statements) == 1
+        assert len(invariant.update_statements) == 1
+        assert isinstance(invariant.init_statements[0].expr, ast.EmptySet)
+
+    def test_alert_uses_sizeof(self):
+        query = parse(QUERY3)
+        condition = query.alert.condition
+        assert isinstance(condition, ast.BinaryOp)
+        assert isinstance(condition.left, ast.SizeOf)
+
+    def test_model_kind_is_invariant(self):
+        assert parse(QUERY3).model_kind == "invariant"
+
+
+class TestOutlierQueryParsing:
+    def test_cluster_method_and_args(self):
+        cluster = parse(QUERY4).cluster
+        assert cluster.method == "DBSCAN"
+        assert cluster.method_args == (100000.0, 5.0)
+        assert cluster.distance == "ed"
+
+    def test_cluster_points_is_all_call(self):
+        cluster = parse(QUERY4).cluster
+        assert isinstance(cluster.points, ast.FuncCall)
+        assert cluster.points.name == "all"
+
+    def test_group_by_attribute(self):
+        query = parse(QUERY4)
+        key = query.state.group_by[0]
+        assert isinstance(key, ast.AttributeRef)
+        assert key.attr == "dstip"
+
+    def test_model_kind_is_outlier(self):
+        assert parse(QUERY4).model_kind == "outlier"
+
+
+class TestWindowSpecs:
+    def test_count_window(self):
+        query = parse("proc p write file f as evt #count(100)\nreturn p")
+        assert query.window.kind == "count"
+        assert query.window.length == 100.0
+
+    def test_time_window_with_hop(self):
+        query = parse("proc p write file f as evt #time(10 min, 1 min)\n"
+                      "return p")
+        assert query.window.length == 600.0
+        assert query.window.hop == 60.0
+
+    def test_hour_unit(self):
+        query = parse("proc p write file f as evt #time(2 h)\nreturn p")
+        assert query.window.length == 7200.0
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(SAQLParseError):
+            parse("proc p write file f as evt #time(10 fortnight)\nreturn p")
+
+    def test_unknown_window_kind_raises(self):
+        with pytest.raises(SAQLParseError):
+            parse("proc p write file f as evt #hop(10)\nreturn p")
+
+
+class TestParserErrors:
+    def test_missing_patterns_raises(self):
+        with pytest.raises(SAQLParseError):
+            parse("return p")
+
+    def test_missing_operation_raises(self):
+        with pytest.raises(SAQLParseError):
+            parse("proc p file f as evt\nreturn p")
+
+    def test_unclosed_bracket_raises(self):
+        with pytest.raises(SAQLParseError):
+            parse('proc p["%x" write file f as evt\nreturn p')
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SAQLParseError):
+            parse("proc p write file f as evt\nreturn p\nbogus trailing")
+
+    def test_error_carries_location(self):
+        try:
+            parse("proc p write file f as evt\nreturn p ??")
+        except SAQLParseError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected a parse error")
+
+    def test_auto_alias_when_as_is_omitted(self):
+        query = parse("proc p write file f #time(10 s)\n"
+                      "state ss { c := count(evt.amount) } group by p\n"
+                      "return p")
+        assert query.patterns[0].alias == "evt1"
+
+    def test_single_pattern_without_temporal_clause(self):
+        query = parse("proc p write file f as e\nreturn p, f")
+        assert query.temporal_order is None
+
+
+class TestExpressionParsing:
+    def _alert_expr(self, text):
+        return parse(f"proc p write file f as evt #time(10 s)\n"
+                     f"state ss {{ v := sum(evt.amount) }} group by p\n"
+                     f"alert {text}\nreturn p").alert.condition
+
+    def test_precedence_of_and_over_or(self):
+        expr = self._alert_expr("ss.v > 1 || ss.v > 2 && ss.v > 3")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_arithmetic_precedence(self):
+        expr = self._alert_expr("ss.v > 1 + 2 * 3")
+        assert expr.op == ">"
+        assert expr.right.op == "+"
+        assert expr.right.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = self._alert_expr("ss.v > (1 + 2) * 3")
+        assert expr.right.op == "*"
+        assert expr.right.left.op == "+"
+
+    def test_unary_not(self):
+        expr = self._alert_expr("!(ss.v > 5)")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "!"
+
+    def test_set_operator(self):
+        expr = self._alert_expr("|ss.v union ss.v| > 0")
+        assert isinstance(expr.left, ast.SizeOf)
+        assert expr.left.operand.op == "union"
+
+    def test_index_and_attribute_chain(self):
+        expr = self._alert_expr("ss[0].v > 1")
+        left = expr.left
+        assert isinstance(left, ast.AttributeRef)
+        assert isinstance(left.base, ast.IndexRef)

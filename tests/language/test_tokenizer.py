@@ -1,0 +1,97 @@
+"""Unit tests for the SAQL tokenizer."""
+
+import pytest
+
+from repro.core.errors import SAQLParseError
+from repro.core.language.tokens import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_identifiers_and_numbers(self):
+        assert kinds("proc p1 10") == [TokenType.IDENT, TokenType.IDENT,
+                                       TokenType.NUMBER]
+
+    def test_float_number(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "3.14"
+
+    def test_string_literal(self):
+        tokens = tokenize('"%cmd.exe"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "%cmd.exe"
+
+    def test_string_with_escape(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SAQLParseError):
+            tokenize('"no closing quote')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SAQLParseError):
+            tokenize("proc @ file")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("|| && -> := == != <= >=") == [
+            TokenType.OROR, TokenType.ANDAND, TokenType.ARROW,
+            TokenType.ASSIGN, TokenType.EQEQ, TokenType.NEQ,
+            TokenType.LTE, TokenType.GTE]
+
+    def test_single_char_operators(self):
+        assert kinds("( ) [ ] { } , . # | ! = < > + - * / %") == [
+            TokenType.LPAREN, TokenType.RPAREN, TokenType.LBRACKET,
+            TokenType.RBRACKET, TokenType.LBRACE, TokenType.RBRACE,
+            TokenType.COMMA, TokenType.DOT, TokenType.HASH, TokenType.PIPE,
+            TokenType.NOT, TokenType.EQ, TokenType.LT, TokenType.GT,
+            TokenType.PLUS, TokenType.MINUS, TokenType.STAR, TokenType.SLASH,
+            TokenType.PERCENT]
+
+    def test_pipe_vs_oror(self):
+        assert kinds("| ||") == [TokenType.PIPE, TokenType.OROR]
+
+
+class TestCommentsAndPositions:
+    def test_comments_are_skipped(self):
+        assert values("proc // a comment\n p") == ["proc", "p"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("proc // trailing") == ["proc"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("proc\n  p1")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestRealQueryFragments:
+    def test_event_pattern_line(self):
+        text = 'proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1'
+        assert values(text) == ["proc", "p1", "[", "%cmd.exe", "]", "start",
+                                "proc", "p2", "[", "%osql.exe", "]", "as",
+                                "evt1"]
+
+    def test_window_spec(self):
+        assert values("#time(10 min)") == ["#", "time", "(", "10", "min", ")"]
+
+    def test_sizeof_expression(self):
+        assert kinds("|ss.set_proc diff a| > 0") == [
+            TokenType.PIPE, TokenType.IDENT, TokenType.DOT, TokenType.IDENT,
+            TokenType.IDENT, TokenType.IDENT, TokenType.PIPE, TokenType.GT,
+            TokenType.NUMBER]

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster.dbscan import NOISE, dbscan
+from repro.core.cluster.distance import euclidean, manhattan
+from repro.core.engine.state import StateHistory, WindowState
+from repro.core.engine.windows import WindowAssigner, WindowKey
+from repro.core.expr import functions
+from repro.core.expr.values import (
+    as_set,
+    like_match,
+    set_diff,
+    set_intersect,
+    set_union,
+    size_of,
+)
+from repro.core.language import ast
+from repro.events.entities import ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.serialization import event_from_dict, event_to_dict
+from repro.events.stream import ListStream
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+amounts = st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                    allow_infinity=False)
+
+
+class TestAggregationProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_avg_is_bounded_by_min_and_max(self, values):
+        average = functions.agg_avg(values)
+        assert functions.agg_min(values) - 1e-6 <= average
+        assert average <= functions.agg_max(values) + 1e-6
+
+    @given(st.lists(finite_floats, max_size=50))
+    def test_count_matches_length(self, values):
+        assert functions.agg_count(values) == len(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_median_is_bounded(self, values):
+        median = functions.agg_median(values)
+        assert min(values) <= median <= max(values)
+
+    @given(st.lists(st.text(max_size=5), max_size=30))
+    def test_set_size_never_exceeds_count(self, values):
+        assert len(functions.agg_set(values)) <= len(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_is_a_member(self, values, rank):
+        assert functions.agg_percentile(values, rank) in values
+
+
+class TestSetOperatorProperties:
+    sets = st.frozensets(st.integers(min_value=0, max_value=20), max_size=10)
+
+    @given(sets, sets)
+    def test_union_is_commutative(self, left, right):
+        assert set_union(left, right) == set_union(right, left)
+
+    @given(sets, sets)
+    def test_diff_is_disjoint_from_right(self, left, right):
+        assert set_intersect(set_diff(left, right), right) == frozenset()
+
+    @given(sets, sets)
+    def test_union_size_bounds(self, left, right):
+        union = set_union(left, right)
+        assert max(len(left), len(right)) <= len(union) <= (len(left)
+                                                            + len(right))
+
+    @given(st.one_of(st.integers(), st.text(max_size=5), st.none()))
+    def test_as_set_of_scalar_has_size_at_most_one(self, value):
+        assert len(as_set(value)) <= 1
+
+    @given(sets)
+    def test_size_of_matches_len(self, value):
+        assert size_of(value) == len(value)
+
+
+class TestLikeMatchProperties:
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+                   max_size=20))
+    def test_percent_matches_everything(self, text):
+        assert like_match(text, "%")
+
+    @given(st.text(alphabet="abcXYZ09._-", max_size=15))
+    def test_exact_text_matches_itself(self, text):
+        assert like_match(text, text)
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=10))
+    def test_suffix_pattern(self, text):
+        assert like_match("prefix/" + text, "%" + text)
+
+
+class TestDistanceProperties:
+    vectors = st.lists(finite_floats, min_size=1, max_size=4)
+
+    @given(vectors)
+    def test_distance_to_self_is_zero(self, vector):
+        assert euclidean(vector, vector) == 0.0
+        assert manhattan(vector, vector) == 0.0
+
+    @given(st.integers(1, 4).flatmap(
+        lambda n: st.tuples(
+            st.lists(finite_floats, min_size=n, max_size=n),
+            st.lists(finite_floats, min_size=n, max_size=n))))
+    def test_symmetry(self, pair):
+        left, right = pair
+        assert euclidean(left, right) == euclidean(right, left)
+        assert manhattan(left, right) == manhattan(right, left)
+
+    @given(st.integers(1, 3).flatmap(
+        lambda n: st.tuples(
+            st.lists(finite_floats, min_size=n, max_size=n),
+            st.lists(finite_floats, min_size=n, max_size=n),
+            st.lists(finite_floats, min_size=n, max_size=n))))
+    def test_triangle_inequality(self, triple):
+        a, b, c = triple
+        assert euclidean(a, c) <= euclidean(a, b) + euclidean(b, c) + 1e-6
+
+
+class TestDBSCANProperties:
+    points = st.lists(
+        st.tuples(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)),
+        min_size=1, max_size=30)
+
+    @settings(max_examples=30)
+    @given(points, st.floats(min_value=0.1, max_value=100.0),
+           st.integers(min_value=1, max_value=5))
+    def test_every_point_gets_a_label(self, pts, eps, min_pts):
+        result = dbscan(pts, eps=eps, min_pts=min_pts)
+        assert len(result.labels) == len(pts)
+        assert all(label == NOISE or label >= 0 for label in result.labels)
+
+    @settings(max_examples=30)
+    @given(points)
+    def test_min_pts_one_means_no_noise(self, pts):
+        result = dbscan(pts, eps=1.0, min_pts=1)
+        assert NOISE not in result.labels
+
+
+class TestWindowProperties:
+    @given(st.floats(min_value=0, max_value=1e8, allow_nan=False),
+           st.floats(min_value=1.0, max_value=1e5))
+    def test_time_window_contains_its_event(self, timestamp, length):
+        assigner = WindowAssigner(ast.WindowSpec(kind="time", length=length))
+        keys = assigner.assign(timestamp)
+        assert len(keys) == 1
+        assert keys[0].contains(timestamp)
+
+    @given(st.floats(min_value=0, max_value=1e8, allow_nan=False),
+           st.floats(min_value=1.0, max_value=1e4),
+           st.integers(min_value=1, max_value=5))
+    def test_hopping_windows_all_contain_the_event(self, timestamp, hop,
+                                                   factor):
+        spec = ast.WindowSpec(kind="time", length=hop * factor, hop=hop)
+        keys = WindowAssigner(spec).assign(timestamp)
+        assert keys
+        assert all(key.contains(timestamp) for key in keys)
+        assert len(keys) <= factor
+
+
+class TestStateHistoryProperties:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=20))
+    def test_history_never_exceeds_capacity(self, capacity, pushes):
+        history = StateHistory(capacity)
+        for index in range(pushes):
+            history.push(WindowState(group_key="g",
+                                     window=WindowKey(index, 0.0, 1.0),
+                                     fields={"n": index}))
+        assert history.length == min(capacity, pushes)
+        if pushes:
+            assert history.get(0).fields["n"] == pushes - 1
+
+
+class TestSerializationProperties:
+    @settings(max_examples=50)
+    @given(st.text(alphabet="abcdefXYZ.-_ ", min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=1 << 20),
+           amounts,
+           st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_event_dict_round_trip(self, exe, pid, amount, timestamp):
+        proc = ProcessEntity.make(exe, pid, host="h1")
+        child = ProcessEntity.make("child.exe", pid + 1, host="h1")
+        event = Event(subject=proc, operation=Operation.START, obj=child,
+                      timestamp=timestamp, agentid="h1", amount=amount)
+        rebuilt = event_from_dict(event_to_dict(event))
+        assert rebuilt.subject == event.subject
+        assert rebuilt.obj == event.obj
+        assert rebuilt.timestamp == event.timestamp
+        assert rebuilt.amount == event.amount
+
+
+class TestStreamProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    max_size=50))
+    def test_list_stream_is_always_sorted(self, timestamps):
+        proc = ProcessEntity.make("a.exe", 1, host="h")
+        events = [Event(subject=proc, operation=Operation.START,
+                        obj=ProcessEntity.make("b.exe", 2, host="h"),
+                        timestamp=t, agentid="h") for t in timestamps]
+        ordered = [event.timestamp for event in ListStream(events)]
+        assert ordered == sorted(ordered)

@@ -1,0 +1,71 @@
+"""Tests for the built-in demo query library."""
+
+import pytest
+
+from repro.core.language import parse_query
+from repro.queries import (
+    ADVANCED_QUERY_NAMES,
+    DEMO_QUERIES,
+    RULE_QUERY_NAMES,
+    demo_query,
+    demo_query_names,
+)
+
+
+class TestDemoQueryLibrary:
+    def test_eight_queries(self):
+        assert len(DEMO_QUERIES) == 8
+        assert len(demo_query_names()) == 8
+
+    def test_five_rule_queries_and_three_advanced(self):
+        assert len(RULE_QUERY_NAMES) == 5
+        assert len(ADVANCED_QUERY_NAMES) == 3
+
+    @pytest.mark.parametrize("name", sorted(DEMO_QUERIES))
+    def test_every_demo_query_parses(self, name):
+        query = demo_query(name)
+        assert query.name == name
+        assert query.returns is not None
+
+    def test_rule_queries_are_rule_models(self):
+        for name in RULE_QUERY_NAMES:
+            assert demo_query(name).model_kind == "rule"
+
+    def test_advanced_query_model_kinds(self):
+        kinds = {name: demo_query(name).model_kind
+                 for name in ADVANCED_QUERY_NAMES}
+        assert kinds["invariant-excel-children"] == "invariant"
+        assert kinds["timeseries-network-spike"] == "time-series"
+        assert kinds["outlier-exfiltration"] == "outlier"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            demo_query("no-such-query")
+
+    def test_rule_queries_pin_a_host(self):
+        for name in RULE_QUERY_NAMES:
+            query = demo_query(name)
+            assert any(constraint.attr == "agentid"
+                       for constraint in query.global_constraints)
+
+    def test_exfiltration_query_matches_paper_query1_shape(self):
+        query = demo_query("rule-c5-data-exfiltration")
+        assert len(query.patterns) == 4
+        assert query.temporal_order is not None
+        assert query.returns.distinct is True
+
+    def test_builders_are_parameterizable(self):
+        from repro.queries.demo_queries import (
+            invariant_excel_children,
+            outlier_exfiltration,
+            timeseries_network_spike,
+        )
+        invariant = parse_query(invariant_excel_children(
+            training_windows=7, window_minutes=2))
+        assert invariant.invariant.training_windows == 7
+        assert invariant.window.length == 120.0
+        sma = parse_query(timeseries_network_spike(window_minutes=5,
+                                                   floor_bytes=123))
+        assert sma.window.length == 300.0
+        outlier = parse_query(outlier_exfiltration(eps=42, min_pts=2))
+        assert outlier.cluster.method_args == (42.0, 2.0)

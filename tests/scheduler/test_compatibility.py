@@ -1,0 +1,76 @@
+"""Unit tests for semantic-compatibility signatures."""
+
+from repro.core.language import parse_query
+from repro.core.scheduler.compatibility import (
+    compatibility_signature,
+    pattern_signature,
+)
+
+DB_RULE = '''
+agentid = "db-server"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+return p1, p2
+'''
+
+DB_RULE_OTHER_VARS = '''
+agentid = "db-server"
+proc a["%cmd.exe"] start proc b["%osql.exe"] as first
+return a, b
+'''
+
+CLIENT_RULE = '''
+agentid = "client-01"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+return p1, p2
+'''
+
+WINDOWED = '''
+agentid = "db-server"
+proc p write ip i as evt #time(10 min)
+state ss { v := sum(evt.amount) } group by p
+alert ss.v > 1
+return p
+'''
+
+
+class TestCompatibilitySignature:
+    def test_same_constraints_same_signature(self):
+        assert (compatibility_signature(parse_query(DB_RULE))
+                == compatibility_signature(parse_query(DB_RULE_OTHER_VARS)))
+
+    def test_different_agent_different_signature(self):
+        assert (compatibility_signature(parse_query(DB_RULE))
+                != compatibility_signature(parse_query(CLIENT_RULE)))
+
+    def test_window_is_part_of_signature(self):
+        assert (compatibility_signature(parse_query(DB_RULE))
+                != compatibility_signature(parse_query(WINDOWED)))
+
+    def test_signature_is_hashable(self):
+        signature = compatibility_signature(parse_query(WINDOWED))
+        assert signature in {signature}
+
+
+class TestPatternSignature:
+    def test_variable_names_do_not_matter(self):
+        first = parse_query(DB_RULE).patterns[0]
+        second = parse_query(DB_RULE_OTHER_VARS).patterns[0]
+        assert pattern_signature(first) == pattern_signature(second)
+
+    def test_operations_matter(self):
+        read_query = parse_query("proc p read file f as e\nreturn p")
+        write_query = parse_query("proc p write file f as e\nreturn p")
+        assert (pattern_signature(read_query.patterns[0])
+                != pattern_signature(write_query.patterns[0]))
+
+    def test_alternation_order_does_not_matter(self):
+        first = parse_query("proc p read || write file f as e\nreturn p")
+        second = parse_query("proc p write || read file f as e\nreturn p")
+        assert (pattern_signature(first.patterns[0])
+                == pattern_signature(second.patterns[0]))
+
+    def test_constraints_matter(self):
+        first = parse_query('proc p["%a.exe"] read file f as e\nreturn p')
+        second = parse_query('proc p["%b.exe"] read file f as e\nreturn p')
+        assert (pattern_signature(first.patterns[0])
+                != pattern_signature(second.patterns[0]))

@@ -1,0 +1,149 @@
+"""Tests for the concurrent query scheduler (master-dependent-query scheme)."""
+
+import pytest
+
+from repro.core import ConcurrentQueryScheduler, QueryEngine
+from repro.core.engine.alerts import CollectingSink
+from repro.events.event import Operation
+from repro.events.stream import ListStream
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+EXFIL_READ = '''
+agentid = "db-server"
+proc p["%sbblv.exe"] read file f["%backup%"] as e
+return p, f
+'''
+
+EXFIL_SEND = '''
+agentid = "db-server"
+proc p["%sbblv.exe"] read file f["%backup%"] as e1
+proc p write ip i as e2
+with e1 -> e2
+return p, f, i
+'''
+
+CLIENT_QUERY = '''
+agentid = "client-01"
+proc p["%excel.exe"] start proc c as e
+return p, c
+'''
+
+
+def _db_events():
+    sbblv = make_process("sbblv.exe", 4)
+    dump = make_file("D:/backup/backup1.dmp")
+    attacker = make_connection("203.0.113.129")
+    return [
+        make_event(sbblv, Operation.READ, dump, 10.0, amount=1e6),
+        make_event(sbblv, Operation.WRITE, attacker, 20.0, amount=1e6),
+    ]
+
+
+class TestGrouping:
+    def test_compatible_queries_share_a_group(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ, name="read")
+        scheduler.add_query(EXFIL_SEND, name="send")
+        assert scheduler.stats.queries == 2
+        assert scheduler.stats.groups == 1
+        assert scheduler.stats.data_copies == 1
+        assert scheduler.stats.data_copies_without_sharing == 2
+
+    def test_incompatible_queries_get_separate_groups(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ)
+        scheduler.add_query(CLIENT_QUERY)
+        assert scheduler.stats.groups == 2
+
+    def test_sharing_can_be_disabled(self):
+        scheduler = ConcurrentQueryScheduler(enable_sharing=False)
+        scheduler.add_query(EXFIL_READ)
+        scheduler.add_query(EXFIL_SEND)
+        assert scheduler.stats.groups == 2
+
+    def test_add_queries_bulk(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_queries([EXFIL_READ, EXFIL_SEND, CLIENT_QUERY])
+        assert len(scheduler.engines) == 3
+
+
+class TestSharedExecution:
+    def test_both_queries_detect_with_sharing(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ, name="read")
+        scheduler.add_query(EXFIL_SEND, name="send")
+        alerts = scheduler.execute(ListStream(_db_events()))
+        assert {alert.query_name for alert in alerts} == {"read", "send"}
+
+    def test_sharing_matches_unshared_results(self):
+        shared = ConcurrentQueryScheduler()
+        unshared = ConcurrentQueryScheduler(enable_sharing=False)
+        for scheduler in (shared, unshared):
+            scheduler.add_query(EXFIL_READ, name="read")
+            scheduler.add_query(EXFIL_SEND, name="send")
+        events = _db_events()
+        shared_records = sorted(
+            (a.query_name, a.data) for a in shared.execute(ListStream(events)))
+        unshared_records = sorted(
+            (a.query_name, a.data)
+            for a in unshared.execute(ListStream(events)))
+        assert shared_records == unshared_records
+
+    def test_dependent_reuses_master_matches(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ, name="read")
+        scheduler.add_query(EXFIL_SEND, name="send")
+        scheduler.execute(ListStream(_db_events()))
+        assert scheduler.stats.pattern_evaluations_saved > 0
+
+    def test_global_constraint_filters_whole_group(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ, name="read")
+        other_host_event = make_event(make_process("sbblv.exe", 4),
+                                      Operation.READ,
+                                      make_file("D:/backup/backup1.dmp"),
+                                      5.0, agentid="client-01")
+        alerts = scheduler.execute(ListStream([other_host_event]))
+        assert alerts == []
+
+    def test_alerts_reach_shared_sink(self):
+        sink = CollectingSink()
+        scheduler = ConcurrentQueryScheduler(sink=sink)
+        scheduler.add_query(EXFIL_READ)
+        scheduler.execute(ListStream(_db_events()))
+        assert len(sink) == 1
+
+    def test_buffered_events_accounted(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ)
+        scheduler.execute(ListStream(_db_events()))
+        assert scheduler.stats.peak_buffered_events >= 1
+
+    def test_error_in_one_query_does_not_stop_others(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query("proc p read file f as e\nreturn p[0]",
+                            name="broken")
+        scheduler.add_query(EXFIL_READ, name="read")
+        alerts = scheduler.execute(ListStream(_db_events()))
+        assert {alert.query_name for alert in alerts} == {"read"}
+        assert scheduler.error_reporter.has_errors()
+
+
+class TestStatsAccounting:
+    def test_events_ingested(self):
+        scheduler = ConcurrentQueryScheduler()
+        scheduler.add_query(EXFIL_READ)
+        scheduler.execute(ListStream(_db_events()))
+        assert scheduler.stats.events_ingested == 2
+
+    def test_sharing_reduces_pattern_evaluations(self):
+        events = ListStream(_db_events())
+        shared = ConcurrentQueryScheduler()
+        unshared = ConcurrentQueryScheduler(enable_sharing=False)
+        for scheduler in (shared, unshared):
+            for index in range(4):
+                scheduler.add_query(EXFIL_READ, name=f"q{index}")
+        shared.execute(events)
+        unshared.execute(ListStream(_db_events()))
+        assert (shared.stats.pattern_evaluations
+                < unshared.stats.pattern_evaluations)

@@ -1,0 +1,96 @@
+"""Tests for the APT attack scenario generator."""
+
+import pytest
+
+from repro.attack import APTScenario, AttackStep, ATTACKER_IP
+from repro.events.event import Operation
+
+
+class TestScenarioStructure:
+    def test_five_steps(self):
+        scenario = APTScenario()
+        steps = scenario.steps()
+        assert [trace.step for trace in steps] == [
+            AttackStep.C1_INITIAL_COMPROMISE,
+            AttackStep.C2_MALWARE_INFECTION,
+            AttackStep.C3_PRIVILEGE_ESCALATION,
+            AttackStep.C4_PENETRATION,
+            AttackStep.C5_DATA_EXFILTRATION,
+        ]
+
+    def test_steps_occur_in_order(self):
+        scenario = APTScenario()
+        steps = scenario.steps()
+        for earlier, later in zip(steps, steps[1:]):
+            assert earlier.end_time <= later.start_time
+
+    def test_events_are_time_sorted(self):
+        events = APTScenario().events()
+        timestamps = [event.timestamp for event in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_start_time_offsets_everything(self):
+        early = APTScenario(start_time=0.0)
+        late = APTScenario(start_time=5000.0)
+        assert (late.steps()[0].start_time
+                == early.steps()[0].start_time + 5000.0)
+
+    def test_ground_truth_covers_all_steps(self):
+        truth = APTScenario().ground_truth()
+        assert set(truth) == {"c1", "c2", "c3", "c4", "c5"}
+        assert all(ids for ids in truth.values())
+
+
+class TestAttackFootprints:
+    def test_c1_happens_on_the_client(self):
+        trace = APTScenario(client_host="client-01").step_c1()
+        assert {event.agentid for event in trace.events} == {"client-01"}
+
+    def test_c2_spawns_shell_from_excel(self):
+        trace = APTScenario().step_c2()
+        spawn = trace.events[0]
+        assert spawn.subject.exe_name == "excel.exe"
+        assert spawn.operation is Operation.START
+        assert spawn.obj.exe_name == "cmd.exe"
+
+    def test_c3_scans_and_dumps_credentials(self):
+        trace = APTScenario().step_c3()
+        connects = [event for event in trace.events
+                    if event.operation is Operation.CONNECT]
+        assert len(connects) == 20
+        gsecdump_events = [event for event in trace.events
+                           if event.subject.exe_name == "gsecdump.exe"]
+        assert gsecdump_events
+
+    def test_c4_moves_to_database_server(self):
+        trace = APTScenario(db_host="db-server").step_c4()
+        db_events = [event for event in trace.events
+                     if event.agentid == "db-server"]
+        assert db_events
+
+    def test_c5_exfiltrates_to_attacker(self):
+        scenario = APTScenario(exfiltration_chunks=4,
+                               exfiltration_chunk_bytes=1e6)
+        trace = scenario.step_c5()
+        to_attacker = [event for event in trace.events
+                       if event.obj.get_attr("dstip") == ATTACKER_IP]
+        assert sum(event.amount for event in to_attacker) == 4e6
+
+    def test_shared_entities_have_stable_identity(self):
+        trace = APTScenario().step_c5()
+        dump_writes = [event for event in trace.events
+                       if event.subject.exe_name == "sqlservr.exe"]
+        dump_reads = [event for event in trace.events
+                      if event.subject.exe_name == "sbblv.exe"
+                      and event.operation is Operation.READ]
+        assert dump_writes and dump_reads
+        assert dump_writes[0].obj.entity_id == dump_reads[0].obj.entity_id
+
+    def test_exfiltration_volume_is_configurable(self):
+        small = APTScenario(exfiltration_chunks=2)
+        assert len(small.step_c5().events) < len(
+            APTScenario(exfiltration_chunks=12).step_c5().events)
+
+    def test_end_time_after_start_time(self):
+        scenario = APTScenario(start_time=1000.0)
+        assert scenario.end_time > 1000.0

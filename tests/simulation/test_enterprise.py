@@ -1,0 +1,58 @@
+"""Tests for the enterprise simulation."""
+
+import pytest
+
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.collection.enterprise import CLIENT_HOST, DB_HOST, DC_HOST, MAIL_HOST
+from repro.events.stream import StreamStats, collect
+
+
+class TestEnterpriseTopology:
+    def test_default_hosts_match_demo_setup(self):
+        enterprise = Enterprise()
+        assert set(enterprise.hosts) == {CLIENT_HOST, MAIL_HOST, DB_HOST,
+                                         DC_HOST}
+
+    def test_extra_hosts_can_be_added(self):
+        enterprise = Enterprise(EnterpriseConfig(extra_desktops=3,
+                                                 extra_web_servers=2))
+        assert len(enterprise.hosts) == 4 + 5
+
+    def test_agent_lookup(self):
+        enterprise = Enterprise()
+        assert enterprise.agent(DB_HOST).host_id == DB_HOST
+
+
+class TestEventFeed:
+    def test_feed_is_time_ordered(self):
+        enterprise = Enterprise(EnterpriseConfig(seed=3))
+        events = collect(enterprise.event_feed(0.0, 600.0))
+        timestamps = [event.timestamp for event in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_feed_contains_all_hosts(self):
+        enterprise = Enterprise(EnterpriseConfig(seed=3))
+        stats = StreamStats.from_stream(enterprise.event_feed(0.0, 1200.0))
+        assert set(stats.by_agent) == set(enterprise.hosts)
+
+    def test_injected_events_are_merged(self):
+        enterprise = Enterprise(EnterpriseConfig(seed=3))
+        baseline = len(collect(enterprise.event_feed(0.0, 300.0)))
+        attack_agent = enterprise.agent(DB_HOST)
+        injected = attack_agent.generate_events(100.0, 50.0)
+        merged = collect(enterprise.event_feed(0.0, 300.0,
+                                               injected=injected))
+        assert len(merged) == baseline + len(injected)
+
+    def test_per_host_streams_merge_equals_feed(self):
+        enterprise = Enterprise(EnterpriseConfig(seed=5))
+        feed = collect(enterprise.event_feed(0.0, 300.0))
+        merged = collect(enterprise.per_host_streams(0.0, 300.0))
+        assert len(feed) == len(merged)
+
+    def test_rate_scale_controls_volume(self):
+        small = Enterprise(EnterpriseConfig(seed=3, rate_scale=0.5))
+        large = Enterprise(EnterpriseConfig(seed=3, rate_scale=2.0))
+        small_count = len(collect(small.event_feed(0.0, 600.0)))
+        large_count = len(collect(large.event_feed(0.0, 600.0)))
+        assert large_count > small_count * 2

@@ -1,0 +1,90 @@
+"""Tests for the workload profiles and the simulated host agents."""
+
+import pytest
+
+from repro.collection.agent import HostAgent, MonitoringBackend
+from repro.collection.workloads import (
+    PROFILES,
+    database_server_profile,
+    desktop_profile,
+    web_server_profile,
+)
+from repro.events.event import EventType, Operation
+
+
+class TestWorkloadProfiles:
+    def test_registry_contains_all_roles(self):
+        assert set(PROFILES) == {"desktop", "mail-server", "database-server",
+                                 "domain-controller", "web-server"}
+
+    def test_desktop_runs_office_applications(self):
+        names = desktop_profile().exe_names()
+        assert "outlook.exe" in names
+        assert "excel.exe" in names
+
+    def test_database_profile_has_many_clients(self):
+        profile = database_server_profile(client_count=8)
+        sqlservr = profile.applications[0]
+        assert len(sqlservr.sends) == 8
+
+    def test_web_server_spawns_cgi_children(self):
+        apache = web_server_profile().applications[0]
+        assert any(child == "php-cgi.exe" for child, _ in apache.spawns)
+
+
+class TestHostAgent:
+    def _agent(self, seed=3):
+        return HostAgent("db-server", database_server_profile(),
+                         ip_address="10.0.1.30", seed=seed)
+
+    def test_generation_is_deterministic(self):
+        first = self._agent().generate_events(0.0, 600.0)
+        second = self._agent().generate_events(0.0, 600.0)
+        assert len(first) == len(second)
+        assert [e.timestamp for e in first] == [e.timestamp for e in second]
+
+    def test_different_seeds_differ(self):
+        first = self._agent(seed=1).generate_events(0.0, 600.0)
+        second = self._agent(seed=2).generate_events(0.0, 600.0)
+        assert [e.timestamp for e in first] != [e.timestamp for e in second]
+
+    def test_events_are_sorted_and_in_range(self):
+        events = self._agent().generate_events(100.0, 500.0)
+        timestamps = [event.timestamp for event in events]
+        assert timestamps == sorted(timestamps)
+        assert all(100.0 <= t < 600.0 for t in timestamps)
+
+    def test_events_carry_agentid(self):
+        events = self._agent().generate_events(0.0, 300.0)
+        assert events
+        assert all(event.agentid == "db-server" for event in events)
+
+    def test_rate_scale_increases_volume(self):
+        base = len(self._agent().generate_events(0.0, 600.0))
+        scaled = len(self._agent().generate_events(0.0, 600.0,
+                                                   rate_scale=3.0))
+        assert scaled > base * 1.5
+
+    def test_zero_duration_produces_nothing(self):
+        assert self._agent().generate_events(0.0, 0.0) == []
+
+    def test_mix_of_event_types(self):
+        events = self._agent().generate_events(0.0, 1800.0)
+        types = {event.event_type for event in events}
+        assert EventType.FILE_EVENT in types
+        assert EventType.NETWORK_EVENT in types
+
+    def test_long_running_process_identity_is_stable(self):
+        agent = self._agent()
+        assert agent.process("sqlservr.exe") is agent.process("sqlservr.exe")
+
+    def test_new_process_gets_fresh_pid(self):
+        agent = self._agent()
+        first = agent.new_process("sqlcmd.exe")
+        second = agent.new_process("sqlcmd.exe")
+        assert first.pid != second.pid
+
+    def test_backend_metadata(self):
+        agent = HostAgent("mac-host", desktop_profile(),
+                          backend=MonitoringBackend.DTRACE)
+        assert agent.backend is MonitoringBackend.DTRACE

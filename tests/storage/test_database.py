@@ -1,0 +1,101 @@
+"""Tests for the embedded event database."""
+
+import pytest
+
+from repro.events.event import Operation
+from repro.storage import EventDatabase
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+
+def _events():
+    db_proc = make_process("sqlservr.exe", 1, host="db-server")
+    client_proc = make_process("excel.exe", 2, host="client-01")
+    events = []
+    for index in range(10):
+        events.append(make_event(db_proc, Operation.WRITE,
+                                 make_file("/db/log", host="db-server"),
+                                 float(index * 10), agentid="db-server",
+                                 amount=100))
+    for index in range(5):
+        events.append(make_event(client_proc, Operation.WRITE,
+                                 make_connection("8.8.8.8"),
+                                 float(index * 20 + 5), agentid="client-01",
+                                 amount=10))
+    return events
+
+
+class TestIngestion:
+    def test_insert_many_and_len(self):
+        database = EventDatabase(_events())
+        assert len(database) == 15
+
+    def test_single_insert_keeps_order(self):
+        database = EventDatabase()
+        events = _events()
+        database.insert(events[3])
+        database.insert(events[0])
+        timestamps = [event.timestamp for event in database.scan()]
+        assert timestamps == sorted(timestamps)
+
+    def test_insert_empty_batch(self):
+        database = EventDatabase()
+        assert database.insert_many([]) == 0
+
+
+class TestQueries:
+    def test_time_range_query(self):
+        database = EventDatabase(_events())
+        results = database.query(start_time=20.0, end_time=50.0)
+        assert all(20.0 <= event.timestamp < 50.0 for event in results)
+        assert results
+
+    def test_host_filter(self):
+        database = EventDatabase(_events())
+        results = database.query(hosts=["client-01"])
+        assert len(results) == 5
+        assert all(event.agentid == "client-01" for event in results)
+
+    def test_event_type_filter(self):
+        database = EventDatabase(_events())
+        results = database.query(event_types=["network"])
+        assert len(results) == 5
+
+    def test_combined_filters(self):
+        database = EventDatabase(_events())
+        results = database.query(start_time=0.0, end_time=50.0,
+                                 hosts=["db-server"],
+                                 event_types=["file"])
+        assert all(event.agentid == "db-server" for event in results)
+        assert all(event.timestamp < 50.0 for event in results)
+
+    def test_hosts_listing(self):
+        database = EventDatabase(_events())
+        assert database.hosts == ["client-01", "db-server"]
+
+    def test_time_range_property(self):
+        database = EventDatabase(_events())
+        first, last = database.time_range
+        assert first == 0.0
+        assert last == 90.0
+
+    def test_empty_database(self):
+        database = EventDatabase()
+        assert database.time_range is None
+        assert database.query() == []
+
+    def test_stats(self):
+        stats = EventDatabase(_events()).stats()
+        assert stats.total_events == 15
+        assert stats.by_type == {"file": 10, "network": 5}
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, tmp_path):
+        database = EventDatabase(_events())
+        path = tmp_path / "day1.jsonl"
+        written = database.save(path)
+        assert written == 15
+        loaded = EventDatabase.load(path)
+        assert len(loaded) == 15
+        assert loaded.hosts == database.hosts
+        assert loaded.time_range == database.time_range

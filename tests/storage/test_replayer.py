@@ -1,0 +1,81 @@
+"""Tests for the stream replayer."""
+
+import pytest
+
+from repro.events.event import Operation
+from repro.storage import EventDatabase, ReplaySpec, StreamReplayer
+from repro.storage.replayer_cli import main as replay_main
+from tests.conftest import make_event, make_file, make_process
+
+
+def _database():
+    events = []
+    for host in ("db-server", "client-01"):
+        proc = make_process("app.exe", 1, host=host)
+        for index in range(10):
+            events.append(make_event(proc, Operation.WRITE,
+                                      make_file("/x", host=host),
+                                      float(index * 10), agentid=host))
+    return EventDatabase(events)
+
+
+class TestReplayer:
+    def test_replays_everything_by_default(self):
+        replayer = StreamReplayer(_database())
+        assert len(list(replayer)) == 20
+        assert replayer.events_replayed == 20
+
+    def test_host_selection(self):
+        replayer = StreamReplayer(_database(),
+                                  ReplaySpec(hosts=["db-server"]))
+        events = list(replayer)
+        assert len(events) == 10
+        assert all(event.agentid == "db-server" for event in events)
+
+    def test_time_selection(self):
+        replayer = StreamReplayer(_database(),
+                                  ReplaySpec(start_time=30.0, end_time=60.0))
+        assert all(30.0 <= event.timestamp < 60.0 for event in replayer)
+
+    def test_with_spec_builds_new_replayer(self):
+        replayer = StreamReplayer(_database())
+        narrowed = replayer.with_spec(ReplaySpec(hosts=["client-01"]))
+        assert len(list(narrowed)) == 10
+
+    def test_replay_preserves_time_order(self):
+        timestamps = [event.timestamp for event in StreamReplayer(_database())]
+        assert timestamps == sorted(timestamps)
+
+    def test_throttled_replay_sleeps_between_events(self):
+        sleeps = []
+        replayer = StreamReplayer(_database(),
+                                  ReplaySpec(hosts=["db-server"], speed=10.0),
+                                  sleep=sleeps.append)
+        list(replayer)
+        assert len(sleeps) == 9
+        assert all(abs(gap - 1.0) < 1e-9 for gap in sleeps)
+
+    def test_unthrottled_replay_never_sleeps(self):
+        sleeps = []
+        replayer = StreamReplayer(_database(), ReplaySpec(),
+                                  sleep=sleeps.append)
+        list(replayer)
+        assert sleeps == []
+
+
+class TestReplayerCli:
+    def test_stats_flag(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        _database().save(path)
+        assert replay_main([str(path), "--stats"]) == 0
+        output = capsys.readouterr().out
+        assert "events: 20" in output
+
+    def test_replay_to_output_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _database().save(path)
+        out = tmp_path / "slice.jsonl"
+        code = replay_main([str(path), "--hosts", "db-server",
+                            "--output", str(out)])
+        assert code == 0
+        assert len(out.read_text().strip().splitlines()) == 10

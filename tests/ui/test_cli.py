@@ -1,0 +1,80 @@
+"""Tests for the ``saql`` command-line UI."""
+
+import pytest
+
+from repro.queries import DEMO_QUERIES
+from repro.ui.cli import main
+
+
+class TestParseCommand:
+    def test_parse_valid_query(self, tmp_path, capsys):
+        path = tmp_path / "query.saql"
+        path.write_text(DEMO_QUERIES["rule-c5-data-exfiltration"])
+        assert main(["parse", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "osql.exe" in output
+
+    def test_parse_invalid_query(self, tmp_path, capsys):
+        path = tmp_path / "broken.saql"
+        path.write_text("proc p write")
+        assert main(["parse", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueriesCommand:
+    def test_list_queries(self, capsys):
+        assert main(["queries"]) == 0
+        output = capsys.readouterr().out
+        assert "rule-c5-data-exfiltration" in output
+        assert "outlier-exfiltration" in output
+
+    def test_show_query(self, capsys):
+        assert main(["queries", "--show", "rule-c1-initial-compromise"]) == 0
+        assert "outlook.exe" in capsys.readouterr().out
+
+    def test_show_unknown_query(self, capsys):
+        assert main(["queries", "--show", "nope"]) == 1
+
+
+class TestDemoCommand:
+    def test_demo_detects_the_attack(self, capsys, tmp_path):
+        events_path = tmp_path / "demo.jsonl"
+        code = main(["demo", "--background-minutes", "40",
+                     "--attack-start", "600", "--seed", "3",
+                     "--queries", "rule-c5-data-exfiltration",
+                     "rule-c2-malware-infection",
+                     "--save-events", str(events_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ALERT" in output
+        assert "rule-c5-data-exfiltration" in output
+        assert events_path.exists()
+
+    def test_demo_rejects_unknown_query(self, capsys):
+        assert main(["demo", "--queries", "bogus"]) == 1
+
+
+class TestRunCommand:
+    def test_run_queries_against_saved_events(self, tmp_path, capsys):
+        events_path = tmp_path / "demo.jsonl"
+        main(["demo", "--background-minutes", "40", "--attack-start", "600",
+              "--seed", "3", "--queries", "rule-c1-initial-compromise",
+              "--save-events", str(events_path)])
+        capsys.readouterr()
+
+        query_path = tmp_path / "exfil.saql"
+        query_path.write_text(DEMO_QUERIES["rule-c5-data-exfiltration"])
+        assert main(["run", str(query_path), "--database",
+                     str(events_path)]) == 0
+        output = capsys.readouterr().out
+        assert "ALERT" in output
+
+    def test_run_rejects_broken_query_file(self, tmp_path, capsys):
+        events_path = tmp_path / "demo.jsonl"
+        main(["demo", "--background-minutes", "5", "--attack-start", "60",
+              "--queries", "rule-c1-initial-compromise",
+              "--save-events", str(events_path)])
+        capsys.readouterr()
+        bad = tmp_path / "bad.saql"
+        bad.write_text("this is not saql")
+        assert main(["run", str(bad), "--database", str(events_path)]) == 1
