@@ -10,7 +10,7 @@ code path (matching + windows + per-group aggregation).
 
 import time
 
-from benchmarks.conftest import fresh_stream, print_table
+from benchmarks.conftest import fresh_stream, print_table, record_rate
 from repro.collection import Enterprise, EnterpriseConfig
 from repro.core import QueryEngine
 from repro.queries.demo_queries import (
@@ -42,6 +42,7 @@ def test_e3_throughput_vs_enterprise_size(benchmark):
         events = _events_for(extra_desktops, extra_web)
         hosts = 4 + extra_desktops + extra_web
         rate = _throughput(timeseries_network_spike(), events)
+        record_rate("e3", f"stateful-sma-{hosts}-hosts", rate)
         rows.append((hosts, len(events), f"{rate:,.0f}"))
     print_table("E3a: stateful-query throughput vs enterprise size",
                 ("hosts", "events (15 min)", "events/second"), rows)
@@ -62,10 +63,13 @@ def test_e3_throughput_vs_enterprise_size(benchmark):
 def test_e3_rule_vs_stateful_cost(db_server_events):
     """Per-event cost of a rule query versus a stateful query."""
     rows = []
-    for label, query in (("rule (Query 1)", rule_c5_data_exfiltration()),
-                         ("stateful SMA (Query 2)",
-                          timeseries_network_spike())):
+    for label, scenario, query in (
+            ("rule (Query 1)", "rule-exfiltration",
+             rule_c5_data_exfiltration()),
+            ("stateful SMA (Query 2)", "stateful-sma-db-server",
+             timeseries_network_spike())):
         rate = _throughput(query, db_server_events)
+        record_rate("e3", scenario, rate)
         rows.append((label, f"{rate:,.0f}"))
     print_table("E3b: per-query-class throughput (db-server stream)",
                 ("query class", "events/second"), rows)

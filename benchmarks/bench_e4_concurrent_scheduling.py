@@ -8,9 +8,11 @@ queries with (a) the sharing scheduler and (b) the copy-per-query baseline
 and reports stream copies, peak buffered events and pattern evaluations.
 """
 
+import time
+
 import pytest
 
-from benchmarks.conftest import fresh_stream, print_table
+from benchmarks.conftest import fresh_stream, print_table, record_rate
 from repro.baselines import CopyPerQueryExecutor
 from repro.core import ConcurrentQueryScheduler
 from repro.queries.demo_queries import (
@@ -39,13 +41,30 @@ def _run(runner_factory, queries, events):
     return runner
 
 
+def _run_timed(runner_factory, queries, events):
+    """Like :func:`_run`, also returning the execution rate (events/sec)."""
+    runner = runner_factory()
+    for name, text in queries:
+        runner.add_query(text, name=name)
+    started = time.perf_counter()
+    runner.execute(fresh_stream(events))
+    elapsed = time.perf_counter() - started
+    rate = len(events) / elapsed if elapsed > 0 else float("inf")
+    return runner, rate
+
+
 def test_e4_data_copy_reduction(benchmark, db_server_events):
     """Stream copies and memory vs number of concurrent queries."""
     rows = []
     for copies in (1, 2, 4, 8):
         queries = _query_set(copies)
-        shared = _run(ConcurrentQueryScheduler, queries, db_server_events)
-        baseline = _run(CopyPerQueryExecutor, queries, db_server_events)
+        shared, shared_rate = _run_timed(ConcurrentQueryScheduler, queries,
+                                         db_server_events)
+        baseline, baseline_rate = _run_timed(CopyPerQueryExecutor, queries,
+                                             db_server_events)
+        record_rate("e4", f"shared-{len(queries)}-queries", shared_rate)
+        record_rate("e4", f"copy-per-query-{len(queries)}-queries",
+                    baseline_rate)
         rows.append((len(queries),
                      shared.stats.data_copies,
                      baseline.stats.data_copies,

@@ -3,9 +3,21 @@
 Each ``bench_eN_*`` module regenerates one experiment of EXPERIMENTS.md.
 Benchmarks print the table rows they reproduce (run pytest with ``-s`` to
 see them inline; the summary timings come from pytest-benchmark).
+
+Throughput-style benchmarks additionally record their rates via
+:func:`record_rate`; at session end each experiment's rates are written to
+a machine-readable ``BENCH_<experiment>.json`` next to this file (e.g.
+``BENCH_e3.json``), so later revisions have a perf trajectory to compare
+against.
 """
 
 from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -16,6 +28,51 @@ from repro.events.stream import ListStream
 #: Duration of the simulated background used by the detection benchmarks.
 BACKGROUND_SECONDS = 3600.0
 ATTACK_START = 1800.0
+
+#: experiment -> scenario -> events/second, filled by record_rate().
+_RECORDED_RATES: Dict[str, Dict[str, float]] = {}
+
+
+def record_rate(experiment: str, scenario: str,
+                events_per_second: float) -> None:
+    """Record one scenario's throughput for the end-of-session JSON dump."""
+    _RECORDED_RATES.setdefault(experiment, {})[scenario] = float(
+        events_per_second)
+
+
+def _all_recorded_rates() -> Dict[str, Dict[str, float]]:
+    """Merge the rates recorded under every import of this module.
+
+    pytest loads this file as its own ``conftest`` plugin module while the
+    benchmark modules import it as ``benchmarks.conftest``; both copies can
+    hold recorded rates, so the session hook merges them.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    seen = set()
+    for module_name in (__name__, "benchmarks.conftest", "conftest"):
+        module = sys.modules.get(module_name)
+        if module is None or id(module) in seen:
+            continue
+        seen.add(id(module))
+        for experiment, rates in getattr(module, "_RECORDED_RATES",
+                                         {}).items():
+            merged.setdefault(experiment, {}).update(rates)
+    return merged
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_<experiment>.json for every experiment that recorded rates."""
+    directory = Path(__file__).resolve().parent
+    for experiment, rates in sorted(_all_recorded_rates().items()):
+        payload = {
+            "experiment": experiment,
+            "unit": "events/second",
+            "python": platform.python_version(),
+            "rates": {scenario: round(rate, 1)
+                      for scenario, rate in sorted(rates.items())},
+        }
+        path = directory / f"BENCH_{experiment}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def print_table(title, header, rows):

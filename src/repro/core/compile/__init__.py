@@ -1,0 +1,65 @@
+"""Query compilation: lowering SAQL ASTs to closures, once per query.
+
+SAQL's pitch is *timely* anomaly analysis over high-volume system
+monitoring streams, so the per-event cost of a deployed query dominates
+everything else.  The interpreter modules (:mod:`repro.core.expr.evaluator`,
+the AST-walking helpers in :mod:`repro.core.engine.matching` and the
+per-match dispatch in :mod:`repro.core.engine.state`) re-inspect the query
+AST for every event.  This package performs that inspection exactly once,
+at :class:`~repro.core.engine.query_engine.QueryEngine` construction time,
+and hands the engine plain Python closures:
+
+* **Pattern predicates** (:mod:`.predicates`) — operation alternations
+  become frozenset membership tests, entity attribute constraints become
+  pre-compiled checks (LIKE patterns compiled to regexes up front), the
+  query's global constraints fuse into one event predicate, and the
+  pattern list is indexed by operation so an event is only tested against
+  patterns that could accept it.
+* **Expressions** (:mod:`.expressions`) — alert conditions, return items,
+  invariant statements, state aggregation definitions and ``group by``
+  keys compile to nested closures; aggregation calls lower to a
+  pre-resolved reducer over a compiled per-record value closure.
+* **Query plans** (:mod:`.plan`) — :func:`compile_query` bundles the
+  artifacts above into one :class:`CompiledQuery` per engine.
+
+**Fast path / slow path.**  The engine runs the compiled artifacts by
+default; passing ``compiled=False`` to :class:`QueryEngine` (and to
+:class:`~repro.core.engine.matching.PatternMatcher` /
+:class:`~repro.core.engine.state.StateMaintainer` /
+:class:`~repro.core.engine.invariant.InvariantMaintainer`) selects the
+original AST-walking interpreter.  The interpreter is the reference
+semantics: the equivalence suite under ``tests/compile/`` asserts that
+compiled predicates, group keys and expressions agree with the
+interpreter across the demo queries and randomized events, and that both
+engine modes produce byte-identical alert streams.  Keep the two paths in
+lock-step — any semantic change must land in both, plus a test.
+"""
+
+from repro.core.compile.expressions import (
+    compile_aggregation,
+    compile_group_key,
+    compile_record,
+    compile_scalar,
+    compile_state_definitions,
+)
+from repro.core.compile.plan import CompiledQuery, compile_query
+from repro.core.compile.predicates import (
+    CompiledPattern,
+    CompiledPatternSet,
+    compile_entity_predicate,
+    compile_global_constraints,
+)
+
+__all__ = [
+    "CompiledPattern",
+    "CompiledPatternSet",
+    "CompiledQuery",
+    "compile_aggregation",
+    "compile_entity_predicate",
+    "compile_global_constraints",
+    "compile_group_key",
+    "compile_query",
+    "compile_record",
+    "compile_scalar",
+    "compile_state_definitions",
+]

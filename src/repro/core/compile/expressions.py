@@ -1,0 +1,354 @@
+"""Closure-compiled SAQL expressions.
+
+:class:`~repro.core.expr.evaluator.ExpressionEvaluator` walks the
+expression AST on every evaluation; these compilers walk it exactly once
+and produce nested closures, so the hot loop pays only function calls.
+Three compilation modes mirror the interpreter's evaluation contexts:
+
+* :func:`compile_scalar` — closures over an
+  :class:`~repro.core.expr.evaluator.EvaluationContext` (alert conditions,
+  return items, invariant statements evaluated against a
+  :class:`~repro.core.engine.context.GroupContext`);
+* :func:`compile_record` — closures over a single
+  :class:`~repro.core.engine.matching.PatternMatch`
+  (:class:`~repro.core.engine.context.RecordContext` semantics);
+* :func:`compile_state_definitions` / :func:`compile_aggregation` —
+  closures over the match list of one window group
+  (:class:`~repro.core.engine.context.AggregationContext` semantics), with
+  aggregation calls lowered to a pre-resolved reducer over a compiled
+  per-record value closure.
+
+:func:`compile_group_key` lowers a state block's ``group by`` clause into
+one ``match -> key`` extractor, replacing the per-match AST dispatch in
+:meth:`~repro.core.engine.state.StateMaintainer.group_key_for`.
+
+Compilation itself never raises for malformed expressions: nodes the
+interpreter would reject at evaluation time compile to closures raising
+the same :class:`~repro.core.errors.SAQLExecutionError`, so the engine's
+per-event error reporting is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr import functions, values
+from repro.core.language import ast
+from repro.events.entities import Entity
+
+#: A compiled expression: one positional argument (context, match or match
+#: list depending on the compilation mode) to the expression's value.
+CompiledExpr = Callable[[Any], Any]
+
+
+def _raiser(message: str) -> CompiledExpr:
+    """Compile to a closure that raises the interpreter's runtime error."""
+    def raise_error(_env: Any) -> Any:
+        raise SAQLExecutionError(message)
+    return raise_error
+
+
+def _constant(value: Any) -> CompiledExpr:
+    return lambda _env: value
+
+
+class _Mode:
+    """How one compilation mode resolves the context-dependent nodes."""
+
+    def compile_name(self, name: str) -> CompiledExpr:
+        raise NotImplementedError
+
+    def compile_attribute(self, base: CompiledExpr, attr: str) -> CompiledExpr:
+        raise NotImplementedError
+
+    def compile_index(self, base: CompiledExpr,
+                      index: CompiledExpr) -> CompiledExpr:
+        raise NotImplementedError
+
+    def compile_aggregation(self, call: ast.FuncCall) -> CompiledExpr:
+        raise NotImplementedError
+
+    # -- shared structural lowering ----------------------------------------
+
+    def compile(self, expr: ast.Expression) -> CompiledExpr:
+        """Lower one expression node (and its subtree) to a closure."""
+        if isinstance(expr, ast.Literal):
+            return _constant(expr.value)
+        if isinstance(expr, ast.EmptySet):
+            return _constant(frozenset())
+        if isinstance(expr, ast.Identifier):
+            return self.compile_name(expr.name)
+        if isinstance(expr, ast.AttributeRef):
+            return self.compile_attribute(self.compile(expr.base), expr.attr)
+        if isinstance(expr, ast.IndexRef):
+            return self.compile_index(self.compile(expr.base),
+                                      self.compile(expr.index))
+        if isinstance(expr, ast.UnaryOp):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.SizeOf):
+            operand = self.compile(expr.operand)
+            return lambda env: values.size_of(operand(env))
+        if isinstance(expr, ast.FuncCall):
+            return self._compile_call(expr)
+        return _raiser(
+            f"cannot evaluate expression of type {type(expr).__name__}")
+
+    def _compile_unary(self, expr: ast.UnaryOp) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        if expr.op == "!":
+            return lambda env: not values.is_truthy(operand(env))
+        if expr.op == "-":
+            return lambda env: -values.to_number(operand(env))
+        message = f"unknown unary operator {expr.op!r}"
+
+        def unknown(env: Any) -> Any:
+            operand(env)
+            raise SAQLExecutionError(message)
+        return unknown
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> CompiledExpr:
+        op = expr.op
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+
+        if op == "&&":
+            def and_fn(env: Any) -> bool:
+                if not values.is_truthy(left(env)):
+                    return False
+                return values.is_truthy(right(env))
+            return and_fn
+        if op == "||":
+            def or_fn(env: Any) -> bool:
+                if values.is_truthy(left(env)):
+                    return True
+                return values.is_truthy(right(env))
+            return or_fn
+        if op in (">", ">=", "<", "<=", "==", "=", "!="):
+            return lambda env: values.compare_values(op, left(env), right(env))
+        if op == "in":
+            return lambda env: left(env) in values.as_set(right(env))
+        if op == "union":
+            return lambda env: values.set_union(left(env), right(env))
+        if op == "diff":
+            return lambda env: values.set_diff(left(env), right(env))
+        if op == "intersect":
+            return lambda env: values.set_intersect(left(env), right(env))
+        if op == "+":
+            return lambda env: (values.to_number(left(env))
+                                + values.to_number(right(env)))
+        if op == "-":
+            return lambda env: (values.to_number(left(env))
+                                - values.to_number(right(env)))
+        if op == "*":
+            return lambda env: (values.to_number(left(env))
+                                * values.to_number(right(env)))
+        if op == "/":
+            def div_fn(env: Any) -> float:
+                left_num = values.to_number(left(env))
+                right_num = values.to_number(right(env))
+                if right_num == 0:
+                    return 0.0
+                return left_num / right_num
+            return div_fn
+        if op == "%":
+            def mod_fn(env: Any) -> float:
+                left_num = values.to_number(left(env))
+                right_num = values.to_number(right(env))
+                if right_num == 0:
+                    return 0.0
+                return left_num % right_num
+            return mod_fn
+        message = f"unknown binary operator {op!r}"
+
+        def unknown(env: Any) -> Any:
+            left(env)
+            right(env)
+            raise SAQLExecutionError(message)
+        return unknown
+
+    def _compile_call(self, call: ast.FuncCall) -> CompiledExpr:
+        name = call.name.lower()
+        if functions.is_aggregation(name):
+            return self.compile_aggregation(call)
+        scalar = functions.SCALARS.get(name)
+        if scalar is not None:
+            arg_fns = tuple(self.compile(arg) for arg in call.args)
+            return lambda env: scalar(*[arg(env) for arg in arg_fns])
+        if name == "all":
+            if len(call.args) != 1:
+                return _raiser("all() takes exactly one argument")
+            return self.compile(call.args[0])
+        return _raiser(f"unknown function {call.name!r}")
+
+
+class _ScalarMode(_Mode):
+    """Closures over an :class:`EvaluationContext` (alert/return/invariant)."""
+
+    def compile_name(self, name: str) -> CompiledExpr:
+        return lambda ctx: ctx.resolve_name(name)
+
+    def compile_attribute(self, base: CompiledExpr, attr: str) -> CompiledExpr:
+        return lambda ctx: ctx.get_attribute(base(ctx), attr)
+
+    def compile_index(self, base: CompiledExpr,
+                      index: CompiledExpr) -> CompiledExpr:
+        return lambda ctx: ctx.get_index(base(ctx), index(ctx))
+
+    def compile_aggregation(self, call: ast.FuncCall) -> CompiledExpr:
+        return lambda ctx: ctx.evaluate_aggregation(call)
+
+
+class _RecordMode(_Mode):
+    """Closures over one :class:`PatternMatch` (RecordContext semantics)."""
+
+    def compile_name(self, name: str) -> CompiledExpr:
+        def resolve(match: Any) -> Any:
+            if name == match.alias or name == "evt":
+                return match.event
+            return match.bindings.get(name)
+        return resolve
+
+    def compile_attribute(self, base: CompiledExpr, attr: str) -> CompiledExpr:
+        from repro.core.engine.context import resolve_attribute
+        return lambda match: resolve_attribute(base(match), attr)
+
+    def compile_index(self, base: CompiledExpr,
+                      index: CompiledExpr) -> CompiledExpr:
+        return _raiser("indexing is not supported per event")
+
+    def compile_aggregation(self, call: ast.FuncCall) -> CompiledExpr:
+        return _raiser("nested aggregations are not supported")
+
+
+class _AggregationMode(_Mode):
+    """Closures over one window group's match list (state definitions)."""
+
+    def __init__(self) -> None:
+        self._record = _RecordMode()
+
+    def compile_name(self, name: str) -> CompiledExpr:
+        # Non-aggregated references inside a state definition resolve
+        # against the group's most recent match.
+        record_fn = self._record.compile_name(name)
+
+        def resolve(matches: Sequence[Any]) -> Any:
+            if not matches:
+                return None
+            return record_fn(matches[-1])
+        return resolve
+
+    def compile_attribute(self, base: CompiledExpr, attr: str) -> CompiledExpr:
+        from repro.core.engine.context import resolve_attribute
+        return lambda matches: resolve_attribute(base(matches), attr)
+
+    def compile_index(self, base: CompiledExpr,
+                      index: CompiledExpr) -> CompiledExpr:
+        return _raiser("indexing is not supported inside state definitions")
+
+    def compile_aggregation(self, call: ast.FuncCall) -> CompiledExpr:
+        if not call.args:
+            return _raiser(f"aggregation {call.name!r} requires an argument")
+        extra_args: List[float] = []
+        for arg in call.args[1:]:
+            if not isinstance(arg, ast.Literal):
+                return _raiser(
+                    f"extra arguments of {call.name!r} must be literals")
+            extra_args.append(float(arg.value))
+        value_fn = self._record.compile(call.args[0])
+        reducer = functions.AGGREGATIONS[call.name.lower()]
+        if extra_args:
+            extras = tuple(extra_args)
+            return lambda matches: reducer(
+                [value_fn(match) for match in matches], *extras)
+        return lambda matches: reducer(
+            [value_fn(match) for match in matches])
+
+
+def compile_scalar(expr: ast.Expression) -> CompiledExpr:
+    """Compile an expression to a ``context -> value`` closure.
+
+    Equivalent to ``ExpressionEvaluator(context).evaluate(expr)`` for any
+    :class:`~repro.core.expr.evaluator.EvaluationContext`.
+    """
+    return _ScalarMode().compile(expr)
+
+
+def compile_record(expr: ast.Expression) -> CompiledExpr:
+    """Compile an expression to a ``match -> value`` closure.
+
+    Equivalent to evaluating against a
+    :class:`~repro.core.engine.context.RecordContext` built on the match.
+    """
+    return _RecordMode().compile(expr)
+
+
+def compile_aggregation(expr: ast.Expression) -> CompiledExpr:
+    """Compile a state-definition expression to a ``matches -> value`` closure.
+
+    Equivalent to evaluating against an
+    :class:`~repro.core.engine.context.AggregationContext` over the matches.
+    """
+    return _AggregationMode().compile(expr)
+
+
+def compile_state_definitions(
+        state: ast.StateBlock) -> Callable[[Sequence[Any]], Dict[str, Any]]:
+    """Compile all of a state block's definitions to one ``matches -> fields``."""
+    compiled: Tuple[Tuple[str, CompiledExpr], ...] = tuple(
+        (definition.name, compile_aggregation(definition.expr))
+        for definition in state.definitions)
+
+    def compute(matches: Sequence[Any]) -> Dict[str, Any]:
+        return {name: fn(matches) for name, fn in compiled}
+
+    return compute
+
+
+def _compile_one_group_key(expr: ast.Expression) -> CompiledExpr:
+    """Compile one ``group by`` key, mirroring the interpreter's dispatch."""
+    if isinstance(expr, ast.Identifier):
+        name = expr.name
+
+        def key_identifier(match: Any) -> Any:
+            bound = match.bindings.get(name)
+            if isinstance(bound, Entity):
+                # Inlined Entity.default_value(): the default attribute is a
+                # plain field name, never one of get_attr's special names.
+                return getattr(bound, bound.default_attribute, None)
+            if name == match.alias:
+                return match.event.agentid
+            return None
+        return key_identifier
+    if isinstance(expr, ast.AttributeRef) and isinstance(expr.base,
+                                                         ast.Identifier):
+        base_name = expr.base.name
+        attr = expr.attr
+
+        def key_attribute(match: Any) -> Any:
+            bound = match.bindings.get(base_name)
+            if isinstance(bound, Entity):
+                return bound.get_attr(attr)
+            if base_name == match.alias:
+                return match.event.get_attr(attr)
+            return None
+        return key_attribute
+    return _constant(None)
+
+
+def compile_group_key(state: ast.StateBlock) -> CompiledExpr:
+    """Compile a state block's ``group by`` clause to a ``match -> key``.
+
+    Equivalent to :meth:`~repro.core.engine.state.StateMaintainer.group_key_for`:
+    entity-variable keys group by the entity's default attribute, attribute
+    keys by that attribute's value, and no clause puts every match into the
+    single ``"__all__"`` group.
+    """
+    if not state.group_by:
+        return _constant("__all__")
+    key_fns = tuple(_compile_one_group_key(expr) for expr in state.group_by)
+    if len(key_fns) == 1:
+        return key_fns[0]
+    return lambda match: tuple(fn(match) for fn in key_fns)

@@ -1,0 +1,85 @@
+"""The compiled form of one SAQL query.
+
+:func:`compile_query` lowers a parsed, analyzed query into the artifacts
+the engine's hot loop consumes: a compiled pattern set (predicates indexed
+by operation), a group-key extractor, a state-field computer, and compiled
+scalar closures for the alert condition, the return items and the
+invariant statements.  The engine builds one :class:`CompiledQuery` at
+construction time and never touches the AST again on the per-event path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.compile.expressions import (
+    CompiledExpr,
+    compile_group_key,
+    compile_scalar,
+    compile_state_definitions,
+)
+from repro.core.compile.predicates import CompiledPatternSet
+from repro.core.language import ast
+from repro.core.language.formatter import format_expression
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """Pre-built per-query artifacts for the per-event fast path."""
+
+    query: ast.Query
+    #: Compiled patterns + fused global constraints, indexed by operation.
+    pattern_set: CompiledPatternSet
+    #: ``match -> group key`` (None for queries without a state block).
+    group_key: Optional[CompiledExpr]
+    #: ``matches -> {field: value}`` (None without a state block).
+    state_fields: Optional[Callable[[Sequence[Any]], Dict[str, Any]]]
+    #: ``context -> value`` for the alert condition (None without one).
+    alert_condition: Optional[CompiledExpr]
+    #: ``(label, context -> value)`` per return item (None without returns).
+    return_items: Optional[Tuple[Tuple[str, CompiledExpr], ...]]
+    #: ``(name, context -> value)`` for invariant init / update statements.
+    invariant_init: Tuple[Tuple[str, CompiledExpr], ...]
+    invariant_update: Tuple[Tuple[str, CompiledExpr], ...]
+
+
+def compile_query(query: ast.Query) -> CompiledQuery:
+    """Lower one query AST into its compiled execution artifacts."""
+    group_key = None
+    state_fields = None
+    if query.state is not None:
+        group_key = compile_group_key(query.state)
+        state_fields = compile_state_definitions(query.state)
+
+    alert_condition = None
+    if query.alert is not None:
+        alert_condition = compile_scalar(query.alert.condition)
+
+    return_items = None
+    if query.returns is not None:
+        return_items = tuple(
+            (item.alias or format_expression(item.expr),
+             compile_scalar(item.expr))
+            for item in query.returns.items)
+
+    invariant_init: Tuple[Tuple[str, CompiledExpr], ...] = ()
+    invariant_update: Tuple[Tuple[str, CompiledExpr], ...] = ()
+    if query.invariant is not None:
+        invariant_init = tuple(
+            (statement.name, compile_scalar(statement.expr))
+            for statement in query.invariant.init_statements)
+        invariant_update = tuple(
+            (statement.name, compile_scalar(statement.expr))
+            for statement in query.invariant.update_statements)
+
+    return CompiledQuery(
+        query=query,
+        pattern_set=CompiledPatternSet(query),
+        group_key=group_key,
+        state_fields=state_fields,
+        alert_condition=alert_condition,
+        return_items=return_items,
+        invariant_init=invariant_init,
+        invariant_update=invariant_update,
+    )

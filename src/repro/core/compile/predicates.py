@@ -1,0 +1,319 @@
+"""Closure-compiled event-pattern predicates.
+
+The interpreter in :mod:`repro.core.engine.matching` re-walks the AST of
+every pattern for every stream event.  This module lowers the per-pattern
+checks into plain Python closures once, at query registration time:
+
+* entity attribute constraints become a tuple of value predicates with
+  LIKE patterns pre-compiled to regexes;
+* operation alternations become a frozenset membership test;
+* the query's global constraints fuse into a single event predicate;
+* the pattern list is indexed by operation keyword, so an event is only
+  checked against patterns whose operation alternation can accept it.
+
+The compiled predicates are behaviourally identical to the interpreter
+(`tests/compile/` enforces this); the interpreter remains the slow-path
+reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expr.values import (
+    _compile_like,
+    compare_values,
+    like_match,
+    to_number,
+)
+from repro.core.language import ast
+from repro.events.entities import Entity, EntityType, entity_class_for
+from repro.events.event import Event
+
+#: A compiled predicate over one entity.
+EntityPredicate = Callable[[Entity], bool]
+#: A compiled predicate over one event.
+EventPredicate = Callable[[Event], bool]
+
+
+def _compile_equality(expected: str) -> Callable[[object], bool]:
+    """Compile equality against a plain (wildcard-free) string constant.
+
+    Specializes :func:`repro.core.expr.values._values_equal` for the common
+    constraint shape (``agentid = "db-server"``): the expected side's
+    numeric parse and case folding happen once, at compile time, instead of
+    re-raising a ``ValueError`` per event.
+    """
+    try:
+        expected_number: Optional[float] = float(expected)
+    except ValueError:
+        expected_number = None
+    expected_lower = expected.lower()
+
+    def check_equal(value: object) -> bool:
+        if value is None:
+            return False
+        if value == expected:
+            # Exact match short-circuits the fold/parse path (identical
+            # strings compare equal under every branch below).
+            return True
+        text = str(value)
+        if "%" in text or "_" in text:
+            # A wildcard-bearing *value* matches the expected text as a
+            # LIKE pattern (symmetric wildcard semantics of the seed).
+            return like_match(expected, text)
+        if expected_number is not None:
+            try:
+                return float(text) == expected_number
+            except ValueError:
+                pass
+        return text.lower() == expected_lower
+
+    return check_equal
+
+
+def _compile_ordering(op: str, expected) -> Optional[Callable[[object], bool]]:
+    """Compile an ordering check against a numeric constant (None: bail out)."""
+    expected_number = to_number(expected, default=float("nan"))
+    if expected_number != expected_number:  # non-numeric: generic path
+        return None
+
+    expected_text = str(expected)
+
+    def check_ordering(value: object) -> bool:
+        if value is None:
+            return False
+        number = to_number(value, default=float("nan"))
+        if number != number:
+            # Fall back to string ordering when the value is non-numeric,
+            # as compare_values does.
+            left, right = str(value), expected_text
+        else:
+            left, right = number, expected_number
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "<":
+            return left < right
+        return left <= right
+
+    return check_ordering
+
+
+def _compile_value_check(op: str, expected) -> Callable[[object], bool]:
+    """Compile one ``<value> <op> <expected>`` check to a closure."""
+    if op == "like":
+        regex = _compile_like(str(expected))
+
+        def check_like(value: object) -> bool:
+            if value is None:
+                return False
+            return regex.match(str(value)) is not None
+
+        return check_like
+
+    if op in ("==", "=", "!=") and isinstance(expected, str):
+        if "%" in expected or "_" in expected:
+            # Wildcard-bearing equality is LIKE matching in disguise.
+            regex = _compile_like(expected)
+
+            def check_wild(value: object) -> bool:
+                if value is None:
+                    return False
+                return regex.match(str(value)) is not None
+
+            if op == "!=":
+                return lambda value: not check_wild(value)
+            return check_wild
+        equal = _compile_equality(expected)
+        if op == "!=":
+            return lambda value: not equal(value)
+        return equal
+
+    if op in (">", ">=", "<", "<="):
+        ordering = _compile_ordering(op, expected)
+        if ordering is not None:
+            return ordering
+
+    def check_compare(value: object) -> bool:
+        return compare_values(op, value, expected)
+
+    return check_compare
+
+
+def compile_entity_predicate(decl: ast.EntityDeclaration) -> EntityPredicate:
+    """Compile an entity declaration into one ``entity -> bool`` closure.
+
+    Equivalent to :func:`repro.core.engine.matching.entity_matches`: the
+    entity type must match and every attribute constraint must hold.
+    """
+    entity_type = decl.entity_type
+    try:
+        # The declared keyword maps to one concrete entity class, so the
+        # type test compiles to an isinstance check (with the string
+        # comparison kept as a fallback for exotic Entity subclasses).
+        entity_cls: Optional[type] = entity_class_for(
+            EntityType.from_keyword(entity_type))
+    except ValueError:
+        entity_cls = None
+
+    def type_ok(entity: Entity) -> bool:
+        if entity_cls is not None and isinstance(entity, entity_cls):
+            return True
+        return entity.entity_type.value == entity_type
+
+    checks: List[Tuple[Optional[str], Callable[[object], bool]]] = [
+        (constraint.attr, _compile_value_check(constraint.op, constraint.value))
+        for constraint in decl.constraints
+    ]
+
+    if not checks:
+        return type_ok
+
+    def predicate(entity: Entity) -> bool:
+        if not type_ok(entity):
+            return False
+        for attr, check in checks:
+            if attr is None:
+                value = entity.get_attr(entity.default_attribute)
+            else:
+                value = entity.get_attr(attr)
+            if not check(value):
+                return False
+        return True
+
+    return predicate
+
+
+def compile_global_constraints(
+        constraints: Sequence[ast.GlobalConstraint]) -> EventPredicate:
+    """Fuse a query's global constraints into one ``event -> bool`` closure."""
+    if not constraints:
+        return lambda event: True
+
+    checks: List[Tuple[str, Callable[[object], bool]]] = [
+        (constraint.attr, _compile_value_check(constraint.op, constraint.value))
+        for constraint in constraints
+    ]
+
+    def predicate(event: Event) -> bool:
+        for attr, check in checks:
+            value = event.get_attr(attr)
+            if value is None:
+                # Global constraints may also target subject attributes
+                # (e.g. a query pinned to events of one executable).
+                value = event.subject.get_attr(attr)
+            if not check(value):
+                return False
+        return True
+
+    return predicate
+
+
+def _pattern_match_cls():
+    # Imported lazily (and cached) to avoid a module-level cycle with
+    # repro.core.engine.matching, which imports this module.
+    global _PATTERN_MATCH
+    if _PATTERN_MATCH is None:
+        from repro.core.engine.matching import PatternMatch
+        _PATTERN_MATCH = PatternMatch
+    return _PATTERN_MATCH
+
+
+_PATTERN_MATCH = None
+
+
+class CompiledPattern:
+    """One event pattern lowered to closures.
+
+    ``match`` mirrors :meth:`repro.core.engine.matching.PatternMatcher.match_pattern`
+    but runs only pre-built artifacts: a frozenset membership test for the
+    operation alternation and two compiled entity predicates.
+    """
+
+    __slots__ = ("declaration", "alias", "operations",
+                 "_subject_ok", "_object_ok",
+                 "_subject_var", "_object_var", "_match_cls")
+
+    def __init__(self, declaration: ast.EventPatternDeclaration):
+        self.declaration = declaration
+        self.alias = declaration.alias
+        self.operations = frozenset(declaration.operations)
+        self._subject_ok = compile_entity_predicate(declaration.subject)
+        self._object_ok = compile_entity_predicate(declaration.object)
+        self._subject_var = declaration.subject.variable
+        self._object_var = declaration.object.variable
+        self._match_cls = _pattern_match_cls()
+
+    def match(self, event: Event):
+        """Match one event against this pattern (no global constraints)."""
+        if event.operation.value not in self.operations:
+            return None
+        return self.match_accepted_operation(event)
+
+    def match_accepted_operation(self, event: Event):
+        """Match an event whose operation is already known to be accepted.
+
+        Used by the operation-indexed dispatch, which has established the
+        operation membership before selecting this pattern.
+        """
+        if not self._subject_ok(event.subject):
+            return None
+        if not self._object_ok(event.obj):
+            return None
+        return self._match_cls(
+            alias=self.alias,
+            event=event,
+            bindings={self._subject_var: event.subject,
+                      self._object_var: event.obj},
+        )
+
+
+class CompiledPatternSet:
+    """All patterns of one query, compiled and indexed by operation."""
+
+    def __init__(self, query: ast.Query):
+        self.patterns: Tuple[CompiledPattern, ...] = tuple(
+            CompiledPattern(pattern) for pattern in query.patterns)
+        self.passes_global_constraints: EventPredicate = (
+            compile_global_constraints(query.global_constraints))
+        self._by_declaration: Dict[ast.EventPatternDeclaration,
+                                   CompiledPattern] = {
+            compiled.declaration: compiled for compiled in self.patterns
+        }
+        self._by_operation: Dict[str, Tuple[CompiledPattern, ...]] = {}
+        for compiled in self.patterns:
+            for operation in compiled.operations:
+                bucket = self._by_operation.get(operation, ())
+                self._by_operation[operation] = bucket + (compiled,)
+
+    @property
+    def operations(self) -> frozenset:
+        """Return every operation keyword any pattern can accept."""
+        return frozenset(self._by_operation)
+
+    def patterns_for(self, operation: str) -> Tuple[CompiledPattern, ...]:
+        """Return the compiled patterns whose alternation accepts ``operation``."""
+        return self._by_operation.get(operation, ())
+
+    def compiled_for(self, declaration: ast.EventPatternDeclaration
+                     ) -> Optional[CompiledPattern]:
+        """Return the compiled form of one of this query's declarations."""
+        return self._by_declaration.get(declaration)
+
+    def match_event(self, event: Event) -> list:
+        """Return the pattern matches of one event (globals already passed).
+
+        Only patterns indexed under the event's operation are attempted;
+        order follows the query's declaration order, as in the interpreter.
+        """
+        candidates = self._by_operation.get(event.operation.value)
+        if not candidates:
+            return []
+        matches = []
+        for compiled in candidates:
+            match = compiled.match_accepted_operation(event)
+            if match is not None:
+                matches.append(match)
+        return matches

@@ -15,8 +15,9 @@ becomes part of the learned invariant).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
+from repro.core.compile.expressions import CompiledExpr, compile_scalar
 from repro.core.engine.context import GroupContext
 from repro.core.engine.state import StateHistory
 from repro.core.expr.evaluator import ExpressionEvaluator
@@ -38,10 +39,20 @@ class GroupInvariant:
 class InvariantMaintainer:
     """Maintains per-group invariants for one query."""
 
-    def __init__(self, block: ast.InvariantBlock, state_name: str):
+    def __init__(self, block: ast.InvariantBlock, state_name: str,
+                 compiled: bool = True):
         self._block = block
         self._state_name = state_name
         self._groups: Dict[Any, GroupInvariant] = {}
+        self._compiled_init: Optional[Tuple[Tuple[str, CompiledExpr], ...]] = None
+        self._compiled_update: Optional[Tuple[Tuple[str, CompiledExpr], ...]] = None
+        if compiled:
+            self._compiled_init = tuple(
+                (statement.name, compile_scalar(statement.expr))
+                for statement in block.init_statements)
+            self._compiled_update = tuple(
+                (statement.name, compile_scalar(statement.expr))
+                for statement in block.update_statements)
 
     @property
     def training_windows(self) -> int:
@@ -63,6 +74,11 @@ class InvariantMaintainer:
 
     def _initial_values(self) -> Dict[str, Any]:
         values: Dict[str, Any] = {}
+        if self._compiled_init is not None:
+            context = GroupContext()
+            for name, init_fn in self._compiled_init:
+                values[name] = init_fn(context)
+            return values
         context = GroupContext()
         evaluator = ExpressionEvaluator(context)
         for statement in self._block.init_statements:
@@ -98,10 +114,14 @@ class InvariantMaintainer:
             history=history,
             invariant_values=record.values,
         )
-        evaluator = ExpressionEvaluator(context)
         updates: Dict[str, Any] = {}
-        for statement in self._block.update_statements:
-            updates[statement.name] = evaluator.evaluate(statement.expr)
+        if self._compiled_update is not None:
+            for name, update_fn in self._compiled_update:
+                updates[name] = update_fn(context)
+        else:
+            evaluator = ExpressionEvaluator(context)
+            for statement in self._block.update_statements:
+                updates[statement.name] = evaluator.evaluate(statement.expr)
         record.values.update(updates)
 
     def values_for(self, group_key: Any) -> Dict[str, Any]:

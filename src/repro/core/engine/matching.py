@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.compile.predicates import CompiledPatternSet
 from repro.core.expr.values import compare_values, like_match
 from repro.core.language import ast
 from repro.events.entities import Entity
@@ -69,13 +70,23 @@ def entity_matches(entity: Entity, declaration: ast.EntityDeclaration) -> bool:
 
 
 class PatternMatcher:
-    """Matches stream events against the event patterns of one query."""
+    """Matches stream events against the event patterns of one query.
 
-    def __init__(self, query: ast.Query):
+    By default the patterns are compiled once into closures (see
+    :mod:`repro.core.compile.predicates`): the per-event path then runs a
+    fused global-constraint predicate and only the patterns indexed under
+    the event's operation.  Pass ``compiled=False`` to force the original
+    AST-walking interpreter (the slow-path reference used for equivalence
+    testing).
+    """
+
+    def __init__(self, query: ast.Query, compiled: bool = True):
         self._query = query
         self._patterns: Tuple[ast.EventPatternDeclaration, ...] = tuple(
             query.patterns)
         self._global_constraints = tuple(query.global_constraints)
+        self._compiled: Optional[CompiledPatternSet] = (
+            CompiledPatternSet(query) if compiled else None)
         #: Matching statistics for benchmarks (events seen / matched).
         self.events_seen = 0
         self.events_matched = 0
@@ -85,8 +96,15 @@ class PatternMatcher:
         """Return the patterns this matcher evaluates."""
         return self._patterns
 
+    @property
+    def compiled_patterns(self) -> Optional[CompiledPatternSet]:
+        """Return the compiled pattern set (None in interpreter mode)."""
+        return self._compiled
+
     def passes_global_constraints(self, event: Event) -> bool:
         """Check the query-wide constraints for one event."""
+        if self._compiled is not None:
+            return self._compiled.passes_global_constraints(event)
         return all(check_global_constraint(event, constraint)
                    for constraint in self._global_constraints)
 
@@ -100,11 +118,14 @@ class PatternMatcher:
         self.events_seen += 1
         if not self.passes_global_constraints(event):
             return []
-        matches: List[PatternMatch] = []
-        for pattern in self._patterns:
-            match = self.match_pattern(event, pattern)
-            if match is not None:
-                matches.append(match)
+        if self._compiled is not None:
+            matches = self._compiled.match_event(event)
+        else:
+            matches = []
+            for pattern in self._patterns:
+                match = self.match_pattern(event, pattern)
+                if match is not None:
+                    matches.append(match)
         if matches:
             self.events_matched += 1
         return matches
@@ -113,6 +134,10 @@ class PatternMatcher:
                       pattern: ast.EventPatternDeclaration
                       ) -> Optional[PatternMatch]:
         """Match one event against one pattern (no global constraints)."""
+        if self._compiled is not None:
+            compiled = self._compiled.compiled_for(pattern)
+            if compiled is not None:
+                return compiled.match(event)
         if event.operation.value not in pattern.operations:
             return None
         if not entity_matches(event.subject, pattern.subject):

@@ -84,9 +84,10 @@ class MultieventMatcher:
 
     def __init__(self, query: ast.Query,
                  horizon: Optional[float] = None,
-                 max_partial_sequences: int = 10000):
+                 max_partial_sequences: int = 10000,
+                 compiled: bool = True):
         self._query = query
-        self._pattern_matcher = PatternMatcher(query)
+        self._pattern_matcher = PatternMatcher(query, compiled=compiled)
         self._aliases = [pattern.alias for pattern in query.patterns]
         self._order: Optional[Tuple[str, ...]] = (
             query.temporal_order.aliases

@@ -13,6 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.compile.expressions import CompiledExpr, compile_scalar
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.engine.clustering import ClusterEvaluator
 from repro.core.engine.context import ClusterView, GroupContext
@@ -23,6 +24,7 @@ from repro.core.engine.multievent_matcher import MultieventMatcher, SequenceMatc
 from repro.core.engine.state import StateMaintainer, WindowState
 from repro.core.engine.windows import WindowAssigner, WindowKey
 from repro.core.errors import SAQLError, SAQLExecutionError
+from repro.core.expr import values
 from repro.core.expr.evaluator import ExpressionEvaluator
 from repro.core.language import ast, format_query, parse_query
 from repro.core.language.formatter import format_expression
@@ -39,22 +41,43 @@ class QueryEngine:
                  name: Optional[str] = None,
                  sink: Optional[AlertSink] = None,
                  error_reporter: Optional[ErrorReporter] = None,
-                 sequence_horizon: Optional[float] = None):
+                 sequence_horizon: Optional[float] = None,
+                 compiled: bool = True):
         if isinstance(query, str):
             query = parse_query(query)
         self._query = query
         self.name = name or query.name or f"query-{next(_ENGINE_COUNTER)}"
         self._sink = sink
         self._error_reporter = error_reporter
+        self._compiled = compiled
 
-        self._matcher = MultieventMatcher(query, horizon=sequence_horizon)
+        # The query is lowered to closures once, here; the per-event path
+        # below only runs pre-built artifacts (see repro.core.compile).
+        # With compiled=False every stage falls back to the AST-walking
+        # interpreter, kept as the reference for equivalence testing.
+        self._compiled_alert: Optional[CompiledExpr] = None
+        self._compiled_returns: Optional[
+            Tuple[Tuple[str, CompiledExpr], ...]] = None
+        if compiled:
+            if query.alert is not None:
+                self._compiled_alert = compile_scalar(query.alert.condition)
+            if query.returns is not None:
+                self._compiled_returns = tuple(
+                    (item.alias or format_expression(item.expr),
+                     compile_scalar(item.expr))
+                    for item in query.returns.items)
+
+        self._matcher = MultieventMatcher(query, horizon=sequence_horizon,
+                                          compiled=compiled)
         self._window_assigner = WindowAssigner(query.window)
         self._state_maintainer: Optional[StateMaintainer] = (
-            StateMaintainer(query) if query.state is not None else None)
+            StateMaintainer(query, compiled=compiled)
+            if query.state is not None else None)
         self._invariant: Optional[InvariantMaintainer] = None
         if query.invariant is not None and query.state is not None:
             self._invariant = InvariantMaintainer(query.invariant,
-                                                  query.state.name)
+                                                  query.state.name,
+                                                  compiled=compiled)
         self._cluster: Optional[ClusterEvaluator] = None
         if query.cluster is not None and query.state is not None:
             self._cluster = ClusterEvaluator(query.cluster, query.state.name)
@@ -139,13 +162,11 @@ class QueryEngine:
     def _emit_rule_alert(self, sequence: SequenceMatch) -> Optional[Alert]:
         context = GroupContext(bindings=sequence.bindings,
                                events=sequence.events)
-        evaluator = ExpressionEvaluator(context)
-        if self._query.alert is not None:
-            if not evaluator.evaluate_truthy(self._query.alert.condition):
-                return None
+        if not self._alert_condition_holds(context):
+            return None
         last_event = max(sequence.matches, key=lambda m: m.timestamp).event
         return self._emit_alert(
-            evaluator=evaluator,
+            context=context,
             timestamp=sequence.timestamp,
             group_key=None,
             window=None,
@@ -164,19 +185,20 @@ class QueryEngine:
         return self._close_windows(watermark)
 
     def _current_watermark(self, event: Event) -> float:
-        spec = self._window_assigner.spec
-        if spec is not None and spec.kind == "count":
-            # Count-based windows close on the match ordinal, which the
-            # assigner tracks internally; expose it via a private attribute.
-            return float(self._window_assigner._count_seen)
-        return event.timestamp
+        return self._window_assigner.watermark(event.timestamp)
 
     def _close_windows(self, watermark: float) -> List[Alert]:
         assert self._state_maintainer is not None
-        due = [window for window in self._state_maintainer.open_windows()
-               if window.end <= watermark]
+        if not self._state_maintainer.has_due_windows(watermark):
+            return []
         alerts: List[Alert] = []
-        for window in sorted(due, key=lambda key: key.end):
+        # Pop one window at a time: if processing a window raises, the
+        # later due windows keep their deadlines and close on the next
+        # watermark advance, as they did under the scan-based closing.
+        while True:
+            window = self._state_maintainer.pop_next_due_window(watermark)
+            if window is None:
+                break
             alerts.extend(self._process_closed_window(window))
         return alerts
 
@@ -229,18 +251,17 @@ class QueryEngine:
             bindings=bindings,
             events=events,
         )
-        evaluator = ExpressionEvaluator(context)
 
         fire = True
         if in_training:
             fire = False
-        elif self._query.alert is not None:
-            fire = evaluator.evaluate_truthy(self._query.alert.condition)
+        else:
+            fire = self._alert_condition_holds(context)
 
         alert: Optional[Alert] = None
         if fire:
             alert = self._emit_alert(
-                evaluator=evaluator,
+                context=context,
                 timestamp=window.end,
                 group_key=state.group_key,
                 window=window,
@@ -255,10 +276,18 @@ class QueryEngine:
 
     # -- alert construction -------------------------------------------------------
 
-    def _emit_alert(self, evaluator: ExpressionEvaluator, timestamp: float,
+    def _alert_condition_holds(self, context: GroupContext) -> bool:
+        if self._query.alert is None:
+            return True
+        if self._compiled_alert is not None:
+            return values.is_truthy(self._compiled_alert(context))
+        evaluator = ExpressionEvaluator(context)
+        return evaluator.evaluate_truthy(self._query.alert.condition)
+
+    def _emit_alert(self, context: GroupContext, timestamp: float,
                     group_key: Any, window: Optional[WindowKey],
                     agentid: str) -> Optional[Alert]:
-        data = self._project_returns(evaluator)
+        data = self._project_returns(context)
         if self._query.returns is not None and self._query.returns.distinct:
             key = (group_key, data)
             if key in self._seen_distinct:
@@ -280,11 +309,15 @@ class QueryEngine:
             self._sink.emit(alert)
         return alert
 
-    def _project_returns(self, evaluator: ExpressionEvaluator
+    def _project_returns(self, context: GroupContext
                          ) -> Tuple[Tuple[str, Any], ...]:
         returns = self._query.returns
         if returns is None:
             return ()
+        if self._compiled_returns is not None:
+            return tuple((label, _projectable(item_fn(context)))
+                         for label, item_fn in self._compiled_returns)
+        evaluator = ExpressionEvaluator(context)
         projected: List[Tuple[str, Any]] = []
         for item in returns.items:
             label = item.alias or format_expression(item.expr)

@@ -11,10 +11,15 @@ the current window plus two past windows, addressed as ``ss[0]``,
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.compile.expressions import (
+    compile_group_key,
+    compile_state_definitions,
+)
 from repro.core.engine.matching import PatternMatch
 from repro.core.engine.windows import WindowKey
 from repro.core.expr.evaluator import ExpressionEvaluator
@@ -79,14 +84,25 @@ class StateMaintainer:
     """Accumulates matches per window/group and computes window states."""
 
     def __init__(self, query: ast.Query,
-                 context_factory=None):
+                 context_factory=None,
+                 compiled: bool = True):
         if query.state is None:
             raise ValueError("StateMaintainer requires a query with a state block")
         self._query = query
         self._state = query.state
         self._context_factory = context_factory
+        self._compiled_group_key: Optional[Callable[[PatternMatch], Any]] = None
+        self._compiled_fields: Optional[
+            Callable[[Sequence[PatternMatch]], Dict[str, Any]]] = None
+        if compiled:
+            self._compiled_group_key = compile_group_key(query.state)
+            self._compiled_fields = compile_state_definitions(query.state)
         # (window index) -> group key -> matches
         self._pending: Dict[WindowKey, Dict[Any, List[PatternMatch]]] = {}
+        # Min-heap of open-window ends, pushed when a window first receives
+        # a match; lets the engine close due windows without scanning every
+        # open window per event.
+        self._deadline_heap: List[Tuple[float, int, float]] = []
         self._histories: Dict[Any, StateHistory] = {}
         #: total matches accumulated, for benchmarks
         self.total_matches = 0
@@ -96,7 +112,11 @@ class StateMaintainer:
     def add_match(self, window: WindowKey, match: PatternMatch) -> None:
         """Add one pattern match to its window/group bucket."""
         group_key = self.group_key_for(match)
-        groups = self._pending.setdefault(window, {})
+        groups = self._pending.get(window)
+        if groups is None:
+            groups = self._pending[window] = {}
+            heapq.heappush(self._deadline_heap,
+                           (window.end, window.index, window.start))
         groups.setdefault(group_key, []).append(match)
         self.total_matches += 1
 
@@ -109,6 +129,8 @@ class StateMaintainer:
         group by that attribute's value.  Without a ``group by`` clause all
         matches fall into a single group.
         """
+        if self._compiled_group_key is not None:
+            return self._compiled_group_key(match)
         if not self._state.group_by:
             return "__all__"
         values: List[Any] = []
@@ -144,6 +166,30 @@ class StateMaintainer:
         """Return the windows that currently hold accumulated matches."""
         return list(self._pending.keys())
 
+    def has_due_windows(self, watermark: float) -> bool:
+        """Return True when at least one open window ends at or before ``watermark``."""
+        heap = self._deadline_heap
+        return bool(heap) and heap[0][0] <= watermark
+
+    def pop_next_due_window(self, watermark: float) -> Optional[WindowKey]:
+        """Pop and return the earliest-ending open window due at ``watermark``.
+
+        Due windows come back one at a time in end-time order (the order
+        they must close in), so an error while processing one window
+        leaves the deadlines of the remaining due windows intact for the
+        next call.  This replaces the per-event scan-and-sort over all
+        open windows: when nothing is due the cost is one heap peek.
+        """
+        heap = self._deadline_heap
+        while heap and heap[0][0] <= watermark:
+            end, index, start = heapq.heappop(heap)
+            window = WindowKey(index=index, start=start, end=end)
+            # Skip stale deadlines for windows already closed directly via
+            # close_window (the heap is not updated on that path).
+            if window in self._pending:
+                return window
+        return None
+
     def close_window(self, window: WindowKey) -> List[WindowState]:
         """Compute and record the states of all groups of a closing window."""
         groups = self._pending.pop(window, {})
@@ -158,11 +204,20 @@ class StateMaintainer:
 
     def _compute_state(self, window: WindowKey, group_key: Any,
                        matches: List[PatternMatch]) -> WindowState:
+        if self._compiled_fields is not None:
+            fields = self._compiled_fields(matches)
+            return WindowState(
+                group_key=group_key,
+                window=window,
+                fields=fields,
+                representative=matches[-1] if matches else None,
+                match_count=len(matches),
+            )
         from repro.core.engine.context import AggregationContext
 
         context = AggregationContext(matches)
         evaluator = ExpressionEvaluator(context)
-        fields: Dict[str, Any] = {}
+        fields = {}
         for definition in self._state.definitions:
             fields[definition.name] = evaluator.evaluate(definition.expr)
         return WindowState(

@@ -42,6 +42,10 @@ class WindowAssigner:
     def __init__(self, spec: Optional[ast.WindowSpec]):
         self._spec = spec
         self._count_seen = 0
+        self._is_count = spec is not None and spec.kind == "count"
+        # Events cluster in time, so consecutive assignments usually hit
+        # the same window; cache the last key to skip re-construction.
+        self._last_window: Optional[WindowKey] = None
 
     @property
     def spec(self) -> Optional[ast.WindowSpec]:
@@ -52,6 +56,25 @@ class WindowAssigner:
     def is_windowed(self) -> bool:
         """Return True when the query computes per-window state."""
         return self._spec is not None
+
+    @property
+    def count_seen(self) -> int:
+        """Return how many matched events have been assigned so far.
+
+        Only advances for count-based windows, where it doubles as the
+        stream position that drives window closing.
+        """
+        return self._count_seen
+
+    def watermark(self, event_timestamp: float) -> float:
+        """Return the window-closing watermark after an event at ``timestamp``.
+
+        Time-based windows close on event time; count-based windows close
+        on the match ordinal this assigner tracks internally.
+        """
+        if self._is_count:
+            return float(self._count_seen)
+        return event_timestamp
 
     def assign(self, timestamp: float) -> List[WindowKey]:
         """Return the windows an event at ``timestamp`` belongs to.
@@ -83,6 +106,18 @@ class WindowAssigner:
         newest = int(math.floor(timestamp / hop))
         while newest > 0 and newest * hop > timestamp:
             newest -= 1
+        if hop >= length:
+            # Tumbling (or gapped) windows: at most one window contains the
+            # timestamp, and consecutive events usually share it.
+            start = newest * hop
+            if start + length <= timestamp:
+                return []
+            cached = self._last_window
+            if cached is not None and cached.index == newest:
+                return [cached]
+            key = WindowKey(index=newest, start=start, end=start + length)
+            self._last_window = key
+            return [key]
         keys: List[WindowKey] = []
         index = newest
         while index >= 0:

@@ -11,7 +11,8 @@ by entity attribute constraints such as ``proc p1["%cmd.exe"]``.
 from __future__ import annotations
 
 import re
-from typing import Any, Optional
+from functools import lru_cache
+from typing import Any, Optional, Pattern
 
 
 def is_truthy(value: Any) -> bool:
@@ -49,15 +50,13 @@ def to_number(value: Any, default: float = 0.0) -> float:
     return default
 
 
-def like_match(value: Any, pattern: str) -> bool:
-    """SQL-LIKE matching with ``%`` (any run) and ``_`` (single character).
+@lru_cache(maxsize=4096)
+def _compile_like(pattern: str) -> Pattern[str]:
+    """Compile a SQL-LIKE pattern to a regex, cached per pattern text.
 
-    Matching is case-insensitive, mirroring how executable names and file
-    paths are matched in the paper's example queries.
+    LIKE patterns come from query text, so the working set is small and the
+    cache turns per-event regex construction into a dictionary hit.
     """
-    if value is None:
-        return False
-    text = str(value)
     regex_parts = []
     for char in pattern:
         if char == "%":
@@ -67,7 +66,18 @@ def like_match(value: Any, pattern: str) -> bool:
         else:
             regex_parts.append(re.escape(char))
     regex = "^" + "".join(regex_parts) + "$"
-    return re.match(regex, text, flags=re.IGNORECASE) is not None
+    return re.compile(regex, flags=re.IGNORECASE)
+
+
+def like_match(value: Any, pattern: str) -> bool:
+    """SQL-LIKE matching with ``%`` (any run) and ``_`` (single character).
+
+    Matching is case-insensitive, mirroring how executable names and file
+    paths are matched in the paper's example queries.
+    """
+    if value is None:
+        return False
+    return _compile_like(pattern).match(str(value)) is not None
 
 
 def compare_values(op: str, left: Any, right: Any) -> bool:

@@ -66,17 +66,39 @@ class SchedulerStats:
 
 
 class QueryGroup:
-    """One compatibility group: a master query plus its dependent queries."""
+    """One compatibility group: a master query plus its dependent queries.
+
+    Pattern signatures and per-pattern operation sets are computed once, at
+    registration time; the per-event path only walks pre-built dispatch
+    plans (the seed recomputed :func:`pattern_signature` for every pattern
+    of every query on every event).
+    """
 
     def __init__(self, signature: CompatibilitySignature,
                  master: QueryEngine):
         self.signature = signature
         self.master = master
         self.dependents: List[QueryEngine] = []
+        # Per-pattern plan entries: (pattern, signature, operation set,
+        # compiled pattern or None).  The compiled reference avoids
+        # re-hashing the AST declaration per event in the dispatch loop.
+        self._master_plan: Tuple[Tuple[ast.EventPatternDeclaration, Tuple,
+                                       frozenset, Any], ...] = tuple(
+            (pattern, pattern_signature(pattern),
+             frozenset(pattern.operations),
+             _compiled_pattern_for(master, pattern))
+            for pattern in master.query.patterns)
         self._master_signatures = {
-            pattern_signature(pattern): pattern
-            for pattern in master.query.patterns
+            entry[1]: entry[0] for entry in self._master_plan
         }
+        # Dependent plans, parallel to self.dependents: per pattern either
+        # the master signature to reuse (shared) or None (evaluate).
+        self._dependent_plans: List[Tuple[Tuple[
+            ast.EventPatternDeclaration, Optional[Tuple], frozenset,
+            Any], ...]] = []
+        #: Union of every operation any pattern of the group can accept.
+        self.operations: frozenset = frozenset(
+            operation for entry in self._master_plan for operation in entry[2])
         buffer_seconds = DEFAULT_BUFFER_SECONDS
         if signature.window is not None:
             buffer_seconds = max(signature.window[1], signature.window[2])
@@ -92,6 +114,17 @@ class QueryGroup:
     def add(self, engine: QueryEngine) -> None:
         """Add a dependent query to the group."""
         self.dependents.append(engine)
+        plan = []
+        operations = set(self.operations)
+        for pattern in engine.query.patterns:
+            signature = pattern_signature(pattern)
+            shared = signature if signature in self._master_signatures else None
+            pattern_operations = frozenset(pattern.operations)
+            operations.update(pattern_operations)
+            plan.append((pattern, shared, pattern_operations,
+                         _compiled_pattern_for(engine, pattern)))
+        self._dependent_plans.append(tuple(plan))
+        self.operations = frozenset(operations)
 
     # -- execution ------------------------------------------------------------
 
@@ -106,36 +139,67 @@ class QueryGroup:
         if not master_matcher.passes_global_constraints(event):
             return alerts
 
-        self._retain(event)
+        stats.buffered_events += self._retain(event)
 
+        operation = event.operation.value
         master_matches = []
         matched_by_signature: Dict[Tuple, PatternMatch] = {}
-        for pattern in self.master.query.patterns:
+        for pattern, signature, pattern_operations, compiled in self._master_plan:
+            if operation not in pattern_operations:
+                continue
             stats.pattern_evaluations += 1
-            match = master_matcher.match_pattern(event, pattern)
+            if compiled is not None:
+                match = compiled.match_accepted_operation(event)
+            else:
+                match = master_matcher.match_pattern(event, pattern)
             if match is not None:
                 master_matches.append(match)
-                matched_by_signature[pattern_signature(pattern)] = match
+                matched_by_signature[signature] = match
         alerts.extend(self.master.process_matches(event, master_matches))
 
         # Dependent queries reuse the master's intermediate results for every
         # pattern they share with it and only evaluate their own remainder.
-        for engine in self.dependents:
+        for engine, plan in zip(self.dependents, self._dependent_plans):
             dependent_matches: List[PatternMatch] = []
-            for pattern in engine.query.patterns:
-                signature = pattern_signature(pattern)
-                if signature in self._master_signatures:
+            for pattern, shared, pattern_operations, compiled in plan:
+                if operation not in pattern_operations:
+                    continue
+                if shared is not None:
                     stats.pattern_evaluations_saved += 1
-                    if signature in matched_by_signature:
-                        dependent_matches.append(
-                            _rebind(matched_by_signature[signature], pattern))
+                    match = matched_by_signature.get(shared)
+                    if match is not None:
+                        dependent_matches.append(_rebind(match, pattern))
                     continue
                 stats.pattern_evaluations += 1
-                match = engine.matcher.pattern_matcher.match_pattern(
-                    event, pattern)
+                if compiled is not None:
+                    match = compiled.match_accepted_operation(event)
+                else:
+                    match = engine.matcher.pattern_matcher.match_pattern(
+                        event, pattern)
                 if match is not None:
                     dependent_matches.append(match)
             alerts.extend(engine.process_matches(event, dependent_matches))
+        return alerts
+
+    def advance_watermark(self, event: Event,
+                          stats: SchedulerStats) -> List[Alert]:
+        """Offer an event the group's patterns cannot match.
+
+        The operation-indexed scheduler routes such events here instead of
+        :meth:`process_event`: no pattern is evaluated, but the group still
+        applies its global constraints, retains the event in the shared
+        buffer and advances every engine's watermark (with an empty match
+        list), so windows that are already past in event time close — and
+        alert — with the same latency as under unindexed dispatch.
+        """
+        master_matcher = self.master.matcher.pattern_matcher
+        if not master_matcher.passes_global_constraints(event):
+            return []
+        stats.buffered_events += self._retain(event)
+        alerts: List[Alert] = []
+        alerts.extend(self.master.process_matches(event, ()))
+        for engine in self.dependents:
+            alerts.extend(engine.process_matches(event, ()))
         return alerts
 
     def finish(self) -> List[Alert]:
@@ -145,16 +209,38 @@ class QueryGroup:
             alerts.extend(engine.finish())
         return alerts
 
-    def _retain(self, event: Event) -> None:
+    def _retain(self, event: Event) -> int:
+        """Buffer one event; return the net change in buffered-event count.
+
+        The delta lets the scheduler keep its ``buffered_events`` total
+        incrementally instead of re-summing every group's buffer length on
+        every event.
+        """
         self.shared_buffer.append(event)
+        evicted = 0
         cutoff = event.timestamp - self._buffer_seconds
         while self.shared_buffer and self.shared_buffer[0].timestamp < cutoff:
             self.shared_buffer.popleft()
+            evicted += 1
+        return 1 - evicted
 
     @property
     def buffered_events(self) -> int:
         """Return how many events the group's shared buffer currently holds."""
         return len(self.shared_buffer)
+
+
+def _compiled_pattern_for(engine: QueryEngine,
+                          pattern: ast.EventPatternDeclaration):
+    """Resolve a pattern's compiled form once, at plan-build time.
+
+    Returns None for interpreter-mode engines; the dispatch loop then
+    falls back to the matcher's per-pattern lookup.
+    """
+    compiled_set = engine.matcher.pattern_matcher.compiled_patterns
+    if compiled_set is None:
+        return None
+    return compiled_set.compiled_for(pattern)
 
 
 def _rebind(match: PatternMatch,
@@ -181,6 +267,12 @@ class ConcurrentQueryScheduler:
         self._enable_sharing = enable_sharing
         self._groups: Dict[Any, QueryGroup] = {}
         self._engines: List[QueryEngine] = []
+        # Operation keyword -> (group, can_match) in registration order,
+        # rebuilt lazily after registrations.  can_match decides between
+        # full pattern dispatch and the cheap watermark-advance path.
+        self._op_index: Optional[Dict[str, Tuple[Tuple[QueryGroup, bool],
+                                                 ...]]] = None
+        self._fallback_entries: Tuple[Tuple[QueryGroup, bool], ...] = ()
         self.stats = SchedulerStats()
 
     # -- registration ------------------------------------------------------------
@@ -209,6 +301,7 @@ class ConcurrentQueryScheduler:
             self._groups[group_key] = QueryGroup(signature, engine)
         else:
             group.add(engine)
+        self._op_index = None
 
         self.stats.queries = len(self._engines)
         self.stats.groups = len(self._groups)
@@ -236,17 +329,47 @@ class ConcurrentQueryScheduler:
 
     # -- execution ----------------------------------------------------------------
 
+    def _rebuild_op_index(self) -> Dict[str, Tuple[Tuple[QueryGroup, bool],
+                                                   ...]]:
+        """Build the operation dispatch table over the registered groups."""
+        groups = list(self._groups.values())
+        operations = set()
+        for group in groups:
+            operations.update(group.operations)
+        index = {
+            operation: tuple((group, operation in group.operations)
+                             for group in groups)
+            for operation in operations
+        }
+        # Operations no pattern accepts only advance watermarks.
+        self._fallback_entries = tuple((group, False) for group in groups)
+        self._op_index = index
+        return index
+
     def process_event(self, event: Event) -> List[Alert]:
-        """Feed one event to every group; returns the alerts it triggered."""
+        """Feed one event to every group, dispatching by operation.
+
+        Dispatch is operation-indexed: a group only runs full pattern
+        matching when at least one of its patterns accepts the event's
+        operation; every other group takes the constant-time
+        watermark-advance path, so window-close alerts keep the same
+        latency as under unindexed dispatch.
+        """
         self.stats.events_ingested += 1
+        index = self._op_index
+        if index is None:
+            index = self._rebuild_op_index()
+        entries = index.get(event.operation.value)
+        if entries is None:
+            entries = self._fallback_entries
         alerts: List[Alert] = []
-        for group in self._groups.values():
-            alerts.extend(group.process_event(event, self.stats))
-        buffered = sum(group.buffered_events
-                       for group in self._groups.values())
-        self.stats.buffered_events = buffered
+        for group, can_match in entries:
+            if can_match:
+                alerts.extend(group.process_event(event, self.stats))
+            else:
+                alerts.extend(group.advance_watermark(event, self.stats))
         self.stats.peak_buffered_events = max(
-            self.stats.peak_buffered_events, buffered)
+            self.stats.peak_buffered_events, self.stats.buffered_events)
         self.stats.alerts += len(alerts)
         return alerts
 

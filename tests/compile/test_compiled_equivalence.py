@@ -1,0 +1,296 @@
+"""Compiled/interpreted equivalence for the query-compilation subsystem.
+
+The compile layer (:mod:`repro.core.compile`) is a pure performance
+artifact: for every query the compiled predicates, group keys and
+expressions must agree with the AST-walking interpreter on every input.
+These tests enforce that across the demo queries, randomized event
+streams, and (property-style) randomized scalar values, including full
+engine-vs-engine alert-stream identity.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConcurrentQueryScheduler, QueryEngine
+from repro.core.compile.predicates import (
+    _compile_value_check,
+    compile_global_constraints,
+)
+from repro.core.engine.matching import PatternMatcher, check_global_constraint
+from repro.core.engine.state import StateMaintainer
+from repro.core.expr.values import compare_values, like_match
+from repro.core.language import parse_query
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+from repro.queries.demo_queries import DEMO_QUERIES
+
+# ---------------------------------------------------------------------------
+# Randomized event streams that exercise the demo queries' constraints
+# ---------------------------------------------------------------------------
+
+_EXES = ["cmd.exe", "osql.exe", "sqlservr.exe", "sbblv.exe", "excel.exe",
+         "outlook.exe", "wscript.exe", "backdoor.exe", "gsecdump.exe",
+         "cscript.exe", "chrome.exe", "svchost.exe"]
+_FILES = ["D:/backup/backup1.dmp", "C:/mail/invoice-4711.xlsx",
+          "C:/tmp/creds.txt", "C:/windows/system32/config/SAM",
+          "C:/tools/sbblv.exe", "C:/users/alice/backdoor.exe",
+          "C:/logs/app.log"]
+_IPS = ["203.0.113.129", "10.0.2.11", "10.0.2.12", "192.168.1.50"]
+_AGENTS = ["db-server", "client-01", "web-01"]
+_OPERATIONS = list(Operation)
+
+
+def random_events(seed: int, count: int = 400):
+    """Generate a deterministic, time-ordered mixed event stream."""
+    rng = random.Random(seed)
+    events = []
+    timestamp = 0.0
+    for _ in range(count):
+        timestamp += rng.uniform(0.1, 30.0)
+        host = rng.choice(_AGENTS)
+        subject = ProcessEntity.make(rng.choice(_EXES),
+                                     pid=rng.randint(1, 50), host=host)
+        kind = rng.random()
+        if kind < 0.4:
+            obj = FileEntity.make(rng.choice(_FILES), host=host)
+        elif kind < 0.7:
+            obj = NetworkEntity.make("10.0.1.30", rng.choice(_IPS),
+                                     srcport=50000,
+                                     dstport=rng.choice([443, 1433, 8080]))
+        else:
+            obj = ProcessEntity.make(rng.choice(_EXES),
+                                     pid=rng.randint(51, 99), host=host)
+        events.append(Event(
+            subject=subject,
+            operation=rng.choice(_OPERATIONS),
+            obj=obj,
+            timestamp=timestamp,
+            agentid=host,
+            amount=rng.choice([0.0, 512.0, 1e5, 6e5, 7e6]),
+        ))
+    return events
+
+
+def _match_fingerprint(match):
+    return (match.alias, match.event.event_id,
+            tuple(sorted((name, entity.entity_id)
+                         for name, entity in match.bindings.items())))
+
+
+@pytest.fixture(scope="module")
+def streams():
+    return [random_events(seed) for seed in (3, 17, 92)]
+
+
+# ---------------------------------------------------------------------------
+# Unit-level equivalence: predicates, global constraints, group keys, state
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(DEMO_QUERIES))
+def test_compiled_pattern_matching_equals_interpreter(name, streams):
+    query = parse_query(DEMO_QUERIES[name])
+    compiled = PatternMatcher(query, compiled=True)
+    interpreted = PatternMatcher(query, compiled=False)
+    for events in streams:
+        for event in events:
+            fast = [_match_fingerprint(m) for m in compiled.match_event(event)]
+            slow = [_match_fingerprint(m)
+                    for m in interpreted.match_event(event)]
+            assert fast == slow
+
+
+@pytest.mark.parametrize("name", sorted(DEMO_QUERIES))
+def test_compiled_global_constraints_equal_interpreter(name, streams):
+    query = parse_query(DEMO_QUERIES[name])
+    predicate = compile_global_constraints(query.global_constraints)
+    for events in streams:
+        for event in events:
+            expected = all(check_global_constraint(event, constraint)
+                           for constraint in query.global_constraints)
+            assert predicate(event) == expected
+
+
+@pytest.mark.parametrize("name", [name for name, text in DEMO_QUERIES.items()
+                                  if "state" in text])
+def test_compiled_group_keys_equal_interpreter(name, streams):
+    query = parse_query(DEMO_QUERIES[name])
+    compiled = StateMaintainer(query, compiled=True)
+    interpreted = StateMaintainer(query, compiled=False)
+    matcher = PatternMatcher(query, compiled=False)
+    checked = 0
+    for events in streams:
+        for event in events:
+            for match in matcher.match_event(event):
+                assert (compiled.group_key_for(match)
+                        == interpreted.group_key_for(match))
+                checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("name", [name for name, text in DEMO_QUERIES.items()
+                                  if "state" in text])
+def test_compiled_state_fields_equal_interpreter(name, streams):
+    query = parse_query(DEMO_QUERIES[name])
+    compiled = StateMaintainer(query, compiled=True)
+    interpreted = StateMaintainer(query, compiled=False)
+    matcher = PatternMatcher(query, compiled=True)
+    matches = [match for events in streams for event in events
+               for match in matcher.match_event(event)]
+    assert matches
+    # Compare the computed per-group window fields over the same bucket.
+    fast = compiled._compiled_fields(matches)
+    from repro.core.engine.context import AggregationContext
+    from repro.core.expr.evaluator import ExpressionEvaluator
+    evaluator = ExpressionEvaluator(AggregationContext(matches))
+    slow = {definition.name: evaluator.evaluate(definition.expr)
+            for definition in query.state.definitions}
+    assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# Property-style equivalence of the specialized constraint checks
+# ---------------------------------------------------------------------------
+
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.sampled_from(["db-server", "client-01", "5", "5.0", "%cmd%",
+                     "a_b", "CMD.EXE", "cmd.exe"]),
+)
+expected_values = st.one_of(
+    st.integers(min_value=-10**4, max_value=10**4),
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.sampled_from(["db-server", "5", "%cmd%", "_sql%", "443"]),
+)
+
+
+class TestCompiledValueChecks:
+    @settings(max_examples=300, deadline=None)
+    @given(op=st.sampled_from(["==", "=", "!=", ">", ">=", "<", "<="]),
+           value=scalar_values, expected=expected_values)
+    def test_compiled_check_matches_compare_values(self, op, value, expected):
+        check = _compile_value_check(op, expected)
+        assert check(value) == compare_values(op, value, expected)
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=scalar_values,
+           pattern=st.sampled_from(["%cmd.exe", "%backup%", "_sql%",
+                                    "plain", "%", "_", ""]))
+    def test_compiled_like_matches_interpreter(self, value, pattern):
+        check = _compile_value_check("like", pattern)
+        assert check(value) == like_match(value, pattern)
+
+
+# ---------------------------------------------------------------------------
+# Engine-vs-engine: identical alert streams on both paths
+# ---------------------------------------------------------------------------
+
+def _alert_fingerprint(alert):
+    return (alert.timestamp, alert.data, alert.group_key,
+            alert.window_start, alert.window_end, alert.agentid,
+            alert.model_kind)
+
+
+def _alert_stream(query_text, events, compiled):
+    engine = QueryEngine(query_text, compiled=compiled)
+    engine.execute(ListStream(events, presorted=True))
+    return [_alert_fingerprint(alert) for alert in engine.alerts]
+
+
+@pytest.mark.parametrize("name", sorted(DEMO_QUERIES))
+def test_engine_alert_streams_identical_on_random_events(name, streams):
+    text = DEMO_QUERIES[name]
+    for events in streams:
+        assert (_alert_stream(text, events, compiled=True)
+                == _alert_stream(text, events, compiled=False))
+
+
+@pytest.mark.parametrize("name", sorted(DEMO_QUERIES))
+def test_engine_alert_streams_identical_on_demo_stream(name, demo_stream):
+    text = DEMO_QUERIES[name]
+    events = list(demo_stream)
+    assert (_alert_stream(text, events, compiled=True)
+            == _alert_stream(text, events, compiled=False))
+
+
+def test_window_close_error_does_not_lose_later_windows():
+    """An error closing one due window must not drop later due windows."""
+    from repro.core.engine.error_reporter import ErrorReporter
+
+    query = '''
+proc p read file f as e #time(10 sec)
+state ss { total := sum(evt.marker.sub) }
+alert ss.total >= 0
+return ss.total
+'''
+    reporter = ErrorReporter()
+    engine = QueryEngine(query, error_reporter=reporter)
+    proc = ProcessEntity.make("osql.exe", 7, host="db-server")
+    blob = FileEntity.make("C:/data/blob.bin", host="db-server")
+
+    def event(timestamp, **attrs):
+        return Event(subject=proc, operation=Operation.READ, obj=blob,
+                     timestamp=timestamp, agentid="db-server", attrs=attrs)
+
+    # Window [0, 10) raises while computing state (marker is a string, so
+    # evt.marker.sub fails); window [10, 20) is clean.  The out-of-order
+    # arrival keeps both windows open until one watermark jump dues both.
+    engine.process_event(event(12.0))
+    engine.process_event(event(1.0, marker="boom"))
+    # Both windows become due at once; the first raises and is reported.
+    assert engine.process_event(event(25.0)) == []
+    assert reporter.has_errors()
+    # The clean windows must still close (here: via the end-of-stream flush).
+    alerts = engine.finish()
+    assert [(a.window_start, a.window_end) for a in alerts] == [
+        (10.0, 20.0), (20.0, 30.0)]
+
+
+def test_op_indexed_scheduler_still_advances_watermarks():
+    """Events of unmatched operations must still close due windows."""
+    query = '''
+proc p write file f as e #time(10 sec)
+state ss { total := sum(evt.amount) }
+alert ss.total > 0
+return ss.total
+'''
+    scheduler = ConcurrentQueryScheduler()
+    scheduler.add_query(query, name="writes")
+    proc = ProcessEntity.make("osql.exe", 7, host="db-server")
+    blob = FileEntity.make("C:/data/blob.bin", host="db-server")
+    write = Event(subject=proc, operation=Operation.WRITE, obj=blob,
+                  timestamp=1.0, agentid="db-server", amount=100.0)
+    read = Event(subject=proc, operation=Operation.READ, obj=blob,
+                 timestamp=50.0, agentid="db-server")
+    assert scheduler.process_event(write) == []
+    # The read cannot match the write-only pattern, but it must advance
+    # the watermark so the [0, 10) window alerts now, not at finish().
+    alerts = scheduler.process_event(read)
+    assert [(a.window_start, a.window_end) for a in alerts] == [(0.0, 10.0)]
+    assert scheduler.finish() == []
+
+
+def test_scheduler_alerts_match_interpreted_engines(streams):
+    """Operation-indexed scheduling changes no per-query alert stream."""
+    for events in streams:
+        scheduler = ConcurrentQueryScheduler()
+        for name, text in sorted(DEMO_QUERIES.items()):
+            scheduler.add_query(text, name=name)
+        scheduler.execute(ListStream(events, presorted=True))
+        for engine in scheduler.engines:
+            reference = _alert_stream(DEMO_QUERIES[engine.name], events,
+                                      compiled=False)
+            assert [_alert_fingerprint(alert)
+                    for alert in engine.alerts] == reference
