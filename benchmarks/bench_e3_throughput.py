@@ -10,7 +10,8 @@ code path (matching + windows + per-group aggregation).
 
 import time
 
-from benchmarks.conftest import fresh_stream, print_table, record_rate
+from benchmarks.conftest import (bench_scale, fresh_stream, print_table,
+                                 record_rate)
 from repro.collection import Enterprise, EnterpriseConfig
 from repro.core import QueryEngine
 from repro.queries.demo_queries import (
@@ -23,7 +24,7 @@ def _events_for(extra_desktops, extra_web_servers, seed=7, duration=900.0):
     enterprise = Enterprise(EnterpriseConfig(
         seed=seed, extra_desktops=extra_desktops,
         extra_web_servers=extra_web_servers))
-    return enterprise.background_events(0.0, duration)
+    return enterprise.background_events(0.0, duration * bench_scale())
 
 
 def _throughput(query_text, events):

@@ -1,0 +1,187 @@
+"""E8 — sharded multi-core execution and batch ingestion.
+
+PR 1 made the single-core path 2-4x faster; this experiment opens the
+multi-core axis.  A multi-host enterprise stream is executed under (a) the
+single-process scheduler fed per event, (b) the same scheduler through the
+batch ingestion path at several batch sizes, and (c) the
+:class:`~repro.core.parallel.ShardedScheduler` with 1/2/4 worker processes,
+for 12- and 24-query workloads whose queries are pinned round-robin across
+the hosts.  Alert equivalence with the single-process run is asserted on
+every sharded configuration; the speedup assertions only fire when the
+machine actually has the cores (``os.cpu_count() >= 4``) and the stream is
+full-sized (``SAQL_BENCH_SCALE >= 1``), so smoke runs on small containers
+still validate dispatch and equivalence without asserting hardware scaling.
+
+Rates land in ``benchmarks/BENCH_e8.json`` via the shared conftest hook.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import (bench_scale, fresh_stream, print_table,
+                                 record_rate)
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler
+from repro.queries.demo_queries import (
+    outlier_exfiltration,
+    rule_c5_data_exfiltration,
+    timeseries_network_spike,
+)
+
+#: Worker counts for the sharded runs.
+WORKER_COUNTS = (1, 2, 4)
+#: Batch sizes for the single-process batch ingestion runs.
+BATCH_SIZES = (1, 64, 512)
+#: Events per feed batch for the sharded runs.
+SHARD_BATCH = 512
+
+
+@pytest.fixture(scope="module")
+def multi_host_enterprise():
+    return Enterprise(EnterpriseConfig(seed=7, extra_desktops=4,
+                                       extra_web_servers=2))
+
+
+@pytest.fixture(scope="module")
+def multi_host_events(multi_host_enterprise):
+    """Thirty minutes of background events across all (10) hosts."""
+    return multi_host_enterprise.background_events(
+        0.0, 1800.0 * bench_scale())
+
+
+def _workload(hosts, queries):
+    """Pin E4's query triple round-robin across ``hosts``.
+
+    Every host gets the same detection logic (the paper's scenario of one
+    query set deployed enterprise-wide), so the stream partitions into
+    per-host slices of roughly equal query load.
+    """
+    workload = []
+    index = 0
+    while len(workload) < queries:
+        host = hosts[index % len(hosts)]
+        kind = (index // len(hosts)) % 3
+        if kind == 0:
+            text = rule_c5_data_exfiltration(agent=host)
+        elif kind == 1:
+            text = timeseries_network_spike(floor_bytes=500000 + index,
+                                            agent=host)
+        else:
+            text = outlier_exfiltration(floor_bytes=5000000 + index,
+                                        agent=host)
+        workload.append((f"q{index:02d}-{host}", text))
+        index += 1
+    return workload
+
+
+def _fingerprints(alerts):
+    return sorted(repr((a.query_name, a.timestamp, a.data,
+                        repr(a.group_key), a.window_start, a.window_end,
+                        a.agentid, a.model_kind)) for a in alerts)
+
+
+def _best_rate(run, events, repeats=3):
+    """Best-of-N events/second (reduces scheduler-noise on small machines)."""
+    best, result = 0.0, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = run()
+        elapsed = time.perf_counter() - started
+        rate = len(events) / elapsed if elapsed > 0 else float("inf")
+        if rate > best:
+            best, result = rate, outcome
+    return best, result
+
+
+def _run_single(queries, events, batch_size):
+    def run():
+        scheduler = ConcurrentQueryScheduler()
+        for name, text in queries:
+            scheduler.add_query(text, name=name)
+        return scheduler.execute(fresh_stream(events), batch_size=batch_size)
+    return _best_rate(run, events)
+
+
+def _run_sharded(queries, events, workers):
+    def run():
+        scheduler = ShardedScheduler(shards=workers, backend="process",
+                                     batch_size=SHARD_BATCH)
+        for name, text in queries:
+            scheduler.add_query(text, name=name)
+        return scheduler.execute(fresh_stream(events))
+    return _best_rate(run, events)
+
+
+def test_e8_batch_ingestion_and_sharded_scaling(benchmark, multi_host_events,
+                                                multi_host_enterprise):
+    """Events/second across batch sizes and worker counts, both workloads."""
+    hosts = multi_host_enterprise.hosts
+    full_scale = bench_scale() >= 1.0
+    rows = []
+    for query_count in (12, 24):
+        queries = _workload(hosts[:max(4, query_count // 3)], query_count)
+
+        perevent_rate, perevent_alerts = _run_single(
+            queries, multi_host_events, batch_size=None)
+        record_rate("e8", f"single-perevent-{query_count}-queries",
+                    perevent_rate)
+        reference = _fingerprints(perevent_alerts)
+        rows.append((query_count, "single, per-event", 1,
+                     f"{perevent_rate:,.0f}", "1.00x"))
+
+        batch_rates = {}
+        for batch_size in BATCH_SIZES:
+            rate, alerts = _run_single(queries, multi_host_events,
+                                       batch_size=batch_size)
+            batch_rates[batch_size] = rate
+            record_rate("e8", f"single-batch-{batch_size}-{query_count}"
+                              "-queries", rate)
+            rows.append((query_count, f"single, batch={batch_size}", 1,
+                         f"{rate:,.0f}", f"{rate / perevent_rate:.2f}x"))
+            assert _fingerprints(alerts) == reference
+
+        sharded_rates = {}
+        for workers in WORKER_COUNTS:
+            rate, alerts = _run_sharded(queries, multi_host_events, workers)
+            sharded_rates[workers] = rate
+            record_rate("e8", f"sharded-process-{workers}w-{query_count}"
+                              "-queries", rate)
+            rows.append((query_count, "sharded, batch="
+                         f"{SHARD_BATCH}", workers,
+                         f"{rate:,.0f}", f"{rate / perevent_rate:.2f}x"))
+            # Byte-identical sorted alert sets, no matter the worker count.
+            assert _fingerprints(alerts) == reference
+
+        if full_scale:
+            # Batch ingestion alone must buy >= 1.2x at batch >= 64.
+            assert batch_rates[64] >= 1.2 * perevent_rate
+            if (os.cpu_count() or 1) >= 4:
+                # Four workers must buy >= 2x once the cores exist.
+                assert sharded_rates[4] >= 2.0 * perevent_rate
+
+    print_table(
+        "E8: sharded multi-core execution and batch ingestion "
+        f"({len(multi_host_events)} events, {len(hosts)} hosts, "
+        f"{os.cpu_count()} cpus)",
+        ("queries", "configuration", "workers", "events/second", "speedup"),
+        rows)
+
+    queries = _workload(hosts[:4], 12)
+    benchmark.pedantic(
+        lambda: _run_single(queries, multi_host_events, batch_size=64),
+        rounds=1, iterations=1)
+
+
+def test_e8_shardability_routing(multi_host_enterprise):
+    """The E8 workloads run fully sharded — no single-shard fallback."""
+    queries = _workload(multi_host_enterprise.hosts[:8], 24)
+    scheduler = ShardedScheduler(shards=4)
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    assert not scheduler.single_lane_query_names
+    assert len(scheduler.sharded_query_names) == 24
+    assert all(report.pinned_agentid is not None
+               for report in scheduler.reports.values())

@@ -14,6 +14,7 @@ against.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -28,6 +29,17 @@ from repro.events.stream import ListStream
 #: Duration of the simulated background used by the detection benchmarks.
 BACKGROUND_SECONDS = 3600.0
 ATTACK_START = 1800.0
+
+
+def bench_scale() -> float:
+    """Return the stream-duration scale for the throughput benchmarks.
+
+    ``SAQL_BENCH_SCALE=0.1`` shrinks the synthesized streams ten-fold; CI
+    uses this for a smoke run that catches dispatch regressions without the
+    full event volume.  Performance-ratio assertions are skipped below 1.0
+    because tiny streams are timing noise.
+    """
+    return float(os.environ.get("SAQL_BENCH_SCALE", "1.0"))
 
 #: experiment -> scenario -> events/second, filled by record_rate().
 _RECORDED_RATES: Dict[str, Dict[str, float]] = {}
@@ -61,13 +73,23 @@ def _all_recorded_rates() -> Dict[str, Dict[str, float]]:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write BENCH_<experiment>.json for every experiment that recorded rates."""
+    """Write BENCH_<experiment>.json for every experiment that recorded rates.
+
+    Scaled-down (smoke) runs do not overwrite the trajectory files: their
+    rates come from streams too small to be comparable across revisions.
+    """
+    if bench_scale() != 1.0:
+        return
     directory = Path(__file__).resolve().parent
     for experiment, rates in sorted(_all_recorded_rates().items()):
         payload = {
             "experiment": experiment,
             "unit": "events/second",
             "python": platform.python_version(),
+            # Rates are machine-dependent; the fingerprint lets trajectory
+            # diffs distinguish a code regression from a machine change.
+            "machine": {"cpus": os.cpu_count(),
+                        "platform": platform.platform()},
             "rates": {scenario: round(rate, 1)
                       for scenario, rate in sorted(rates.items())},
         }
@@ -111,7 +133,8 @@ def demo_stream(enterprise, apt_scenario):
 @pytest.fixture(scope="session")
 def db_server_events(enterprise):
     """Thirty minutes of database-server background events (list form)."""
-    return enterprise.agent("db-server").generate_events(0.0, 1800.0)
+    return enterprise.agent("db-server").generate_events(
+        0.0, 1800.0 * bench_scale())
 
 
 def fresh_stream(events):

@@ -6,6 +6,8 @@ The public API most applications need is re-exported here:
 * :class:`QueryEngine` — execute one query over an event stream;
 * :class:`ConcurrentQueryScheduler` — execute many queries with the
   master-dependent-query sharing scheme;
+* :class:`ShardedScheduler` — execute many queries sharded by ``agentid``
+  across worker processes (or in-process shards);
 * :class:`Alert` — the engine's output record.
 """
 
@@ -19,11 +21,13 @@ from repro.core.language import parse_query
 from repro.core.engine.alerts import Alert
 from repro.core.engine.query_engine import QueryEngine
 from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler
 
 __all__ = [
     "Alert",
     "ConcurrentQueryScheduler",
     "QueryEngine",
+    "ShardedScheduler",
     "SAQLError",
     "SAQLExecutionError",
     "SAQLParseError",

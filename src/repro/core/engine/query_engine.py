@@ -116,6 +116,73 @@ class QueryEngine:
         matches = self._matcher.pattern_matcher.match_event(event)
         return self.process_matches(event, matches)
 
+    def process_events(self, events: Sequence[Event]) -> List[Alert]:
+        """Feed a timestamp-ordered batch of events; return the new alerts.
+
+        Equivalent to calling :meth:`process_event` per event, but routed
+        through :meth:`process_match_batch` so per-event dispatch overhead
+        is amortized across the batch.
+        """
+        matcher = self._matcher.pattern_matcher
+        return self.process_match_batch(
+            [(event, matcher.match_event(event)) for event in events])
+
+    def process_match_batch(
+            self, pairs: Sequence[Tuple[Event, Sequence[PatternMatch]]]
+    ) -> List[Alert]:
+        """Feed a batch of events with externally computed pattern matches.
+
+        This is the batch counterpart of :meth:`process_matches` (and what
+        the concurrent scheduler's batch ingestion path calls): matches are
+        folded in per event, but the per-event engine call chain collapses
+        to one call per batch.  For stateful queries the window-closing
+        watermark advances once, at the batch tail — safe because the
+        watermark is monotone in event time and matches never join windows
+        that are already due, so the closed windows, their contents and
+        their closing order are identical to per-event feeding; only the
+        point within the batch at which close-alerts surface moves to the
+        batch tail.  For rule queries, events without matches are skipped
+        entirely: they can neither extend nor complete a sequence, and
+        partial-sequence expiry is cutoff-monotone, so the next match
+        prunes the same partials the skipped calls would have.
+        """
+        if self._state_maintainer is None:
+            alerts: List[Alert] = []
+            for event, matches in pairs:
+                self.events_processed += 1
+                if not matches:
+                    continue
+                try:
+                    alerts.extend(self._process_rule(event, matches))
+                except SAQLError as error:
+                    if self._error_reporter is None:
+                        raise
+                    self._error_reporter.report(self.name, error,
+                                                timestamp=event.timestamp)
+            return alerts
+        last_event: Optional[Event] = None
+        for event, matches in pairs:
+            self.events_processed += 1
+            if matches:
+                try:
+                    self._accumulate_matches(matches)
+                except SAQLError as error:
+                    if self._error_reporter is None:
+                        raise
+                    self._error_reporter.report(self.name, error,
+                                                timestamp=event.timestamp)
+            last_event = event
+        if last_event is None:
+            return []
+        try:
+            return self._close_windows(self._current_watermark(last_event))
+        except SAQLError as error:
+            if self._error_reporter is None:
+                raise
+            self._error_reporter.report(self.name, error,
+                                        timestamp=last_event.timestamp)
+            return []
+
     def process_matches(self, event: Event,
                         matches: Sequence[PatternMatch]) -> List[Alert]:
         """Feed one event whose pattern matches were computed externally.
@@ -178,11 +245,15 @@ class QueryEngine:
     def _process_stateful(self, event: Event,
                           matches: Sequence[PatternMatch]) -> List[Alert]:
         assert self._state_maintainer is not None
+        self._accumulate_matches(matches)
+        watermark = self._current_watermark(event)
+        return self._close_windows(watermark)
+
+    def _accumulate_matches(self, matches: Sequence[PatternMatch]) -> None:
+        assert self._state_maintainer is not None
         for match in matches:
             for window in self._window_assigner.assign(match.timestamp):
                 self._state_maintainer.add_match(window, match)
-        watermark = self._current_watermark(event)
-        return self._close_windows(watermark)
 
     def _current_watermark(self, event: Event) -> float:
         return self._window_assigner.watermark(event.timestamp)
@@ -340,5 +411,8 @@ def _projectable(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         return tuple(sorted(str(item) for item in value))
     if isinstance(value, float) and value.is_integer():
-        return value
+        # Aggregations over integral byte counts produce floats like
+        # 500000.0; normalize them so alert payloads are stable regardless
+        # of whether a value went through float arithmetic.
+        return int(value)
     return value

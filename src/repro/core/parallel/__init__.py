@@ -1,0 +1,54 @@
+"""Sharded multi-core execution for the concurrent query scheduler.
+
+This package opens the multi-core scaling axis the single-process design
+caps: the enterprise stream is partitioned by ``agentid`` and one full
+:class:`~repro.core.scheduler.concurrent.ConcurrentQueryScheduler` runs per
+shard, with per-shard alerts merged back into one deterministically-ordered
+stream and per-shard statistics merged into one aggregate.
+
+**The shardability rule.**  Partitioning by host is only correct for
+queries whose unit of state is host-local — every set of events that must
+be observed together to produce one alert comes from a single host.  The
+static analysis in :mod:`repro.core.parallel.shardability` proves this from
+the query AST: a query qualifies when it is pinned to one host by an
+``agentid =`` global constraint, when every ``group by`` key is host-local
+(the ``host``/``entity_id`` attributes of process and file entities embed
+the originating host; bare event aliases and ``agentid`` attributes are
+host-local by construction),
+or — for rule queries — when shared host-scoped entity variables connect
+all of its patterns, forcing each matched sequence onto one host.  Queries
+that aggregate across hosts (cluster peer comparison, group-by over
+network-entity attributes, cross-host ``return distinct``, stateful queries
+without ``group by``) automatically fall back to a single-shard lane that
+observes the full stream, so sharded execution never changes any query's
+alerts.
+
+See :class:`ShardedScheduler` for the runtime and its serial / thread /
+process backends.
+"""
+
+from repro.core.parallel.shardability import (
+    ShardabilityReport,
+    analyze_shardability,
+)
+from repro.core.parallel.sharded import (
+    DEFAULT_BATCH_SIZE,
+    ProcessShard,
+    SerialShard,
+    ShardedScheduler,
+    ThreadShard,
+    merge_stats,
+    shard_index,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ProcessShard",
+    "SerialShard",
+    "ShardabilityReport",
+    "ShardedScheduler",
+    "ThreadShard",
+    "analyze_shardability",
+    "merge_stats",
+    "shard_index",
+]

@@ -1,0 +1,222 @@
+"""Shardability analysis: when may a query run partitioned by ``agentid``?
+
+The sharded runtime partitions the enterprise stream by the hash of each
+event's ``agentid`` and runs one full scheduler per shard.  That is only
+correct for queries whose *unit of state* is host-local — i.e. every group
+of events that must be observed together to produce one alert originates
+from a single host, and therefore lands on a single shard.  This module
+decides that property statically, from the query AST, so the sharded
+scheduler can route host-local queries to the shards and fall back to
+single-shard (full-stream) execution for everything else.
+
+The rules, in order:
+
+1. **Host-pinned queries are always shardable.**  A global constraint
+   ``agentid = "xxx"`` restricts the stream slice the query observes to one
+   host; all of its state lives on the shard that owns that host.
+
+2. **Cluster queries are not shardable** (unless host-pinned).  The
+   ``cluster(...)`` clause peer-compares *all* groups of a window; when the
+   groups span hosts, a shard would cluster over an incomplete peer set.
+
+3. **Stateful queries are shardable iff every group-by key is host-local.**
+   A group-by expression is host-local when equal key values imply equal
+   hosts: the ``host`` or ``entity_id`` attribute of a process/file entity
+   variable (those identities embed the originating host —
+   ``proc:<host>:<pid>:<exe>``), a bare event alias (which the group-key
+   semantics resolve to the event's ``agentid``), or an explicit
+   ``agentid`` attribute reference.  Note that a *bare entity variable*
+   resolves through the paper's context-aware shortcut to its default
+   attribute (``p`` is ``p.exe_name``, ``f`` is ``f.name``, ``i`` is
+   ``i.dstip``) — values that repeat across hosts — so ``group by p``
+   without a host pin aggregates the same executable on every host into
+   one group and must run single-shard, exactly like ``group by i.dstip``.
+   A key additionally only counts as host-local when *every* pattern's
+   matches bind it (an entity variable must appear in every pattern; an
+   alias key requires a single-pattern query): a match evaluates group
+   keys against its own bindings only, so a variable another pattern does
+   not bind folds that pattern's matches into one cross-host ``None``
+   group.  A stateful query with no ``group by`` folds the whole stream
+   into one group and is likewise not shardable.
+
+4. **Rule queries are shardable iff their patterns are connected through
+   shared host-scoped entity variables** (and the return clause is not
+   ``distinct``).  The multievent matcher joins pattern matches on entity
+   identity; a process/file variable shared by two patterns therefore
+   forces both matched events onto the same host.  If every pattern is
+   transitively linked this way, complete sequences are host-local.
+   Patterns linked only by temporal order (or by a shared *network*
+   variable) can mix events from different hosts, so such queries run
+   single-shard.  ``return distinct`` deduplicates across sequences with a
+   query-global seen-set; without a host pin that set would be split across
+   shards, so those queries also run single-shard.
+
+These rules rest on one data invariant, which the collection layer
+maintains: process and file entities are created host-scoped
+(``ProcessEntity.make``/``FileEntity.make`` embed the host in
+``entity_id``), matching the ``agentid`` of the events that carry them.
+Aliasing between agentid spellings under SAQL's loose equality (case
+folding, numeric coercion, LIKE wildcards on either side) is handled at
+runtime by the sharded scheduler's router, which checks each distinct
+agentid against the registered pins with the engine's own equality; the
+one unsupported shape — an agentid satisfying pins on different shards —
+fails loudly instead of partitioning incorrectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.language import ast
+
+#: Entity types whose identity embeds the originating host.
+_HOST_SCOPED_ENTITY_TYPES = frozenset({"proc", "file"})
+
+
+@dataclass(frozen=True)
+class ShardabilityReport:
+    """The outcome of analyzing one query for agentid-sharded execution."""
+
+    #: True when the query may run partitioned by ``agentid``.
+    shardable: bool
+    #: Human-readable justification (surfaced by benchmarks and the CLI).
+    reason: str
+    #: The host the query is pinned to, when rule 1 applied.
+    pinned_agentid: Optional[str] = None
+
+
+def _pinned_agentid(query: ast.Query) -> Optional[str]:
+    """Return the agentid a global equality constraint pins, if any."""
+    for constraint in query.global_constraints:
+        if constraint.attr == "agentid" and constraint.op in ("=", "=="):
+            value = str(constraint.value)
+            # LIKE wildcards match many hosts; only a literal value pins.
+            if "%" not in value and "_" not in value:
+                return value
+    return None
+
+
+def _variable_bound_by_every_pattern(name: str, query: ast.Query) -> bool:
+    """Return True when every pattern's matches bind the variable ``name``.
+
+    The group key of a match only sees that match's own bindings: a
+    variable declared in pattern 1 evaluates to None on pattern 2's
+    matches, which would silently fold those matches into one cross-host
+    ``None`` group.  A key is therefore only trustworthy when every
+    pattern binds it.
+    """
+    return all(name in (pattern.subject.variable, pattern.object.variable)
+               for pattern in query.patterns)
+
+
+def _alias_names_every_pattern(name: str, query: ast.Query) -> bool:
+    """Return True when ``name`` is the alias of every pattern.
+
+    Alias-based keys resolve to the event's agentid only on matches of the
+    pattern carrying that alias; other patterns' matches get None.  Aliases
+    are unique per pattern, so this holds exactly for single-pattern
+    queries keyed by their own alias.
+    """
+    return all(pattern.alias == name for pattern in query.patterns)
+
+
+def _is_host_local_key(expr: ast.Expression, query: ast.Query) -> bool:
+    """Return True when equal values of this group-by key imply equal hosts."""
+    if isinstance(expr, ast.Identifier):
+        if expr.name in query.entity_variables:
+            # The context-aware shortcut resolves a bare entity variable to
+            # its default attribute (exe_name / name / dstip): values that
+            # repeat across hosts, so never host-local.
+            return False
+        # A bare event alias resolves to the event's agentid.
+        return (expr.name in query.pattern_aliases
+                and _alias_names_every_pattern(expr.name, query))
+    if isinstance(expr, ast.AttributeRef) and isinstance(expr.base,
+                                                         ast.Identifier):
+        base = expr.base.name
+        declaration = query.entity_variables.get(base)
+        if declaration is not None:
+            return (declaration.entity_type in _HOST_SCOPED_ENTITY_TYPES
+                    and expr.attr in ("host", "entity_id")
+                    and _variable_bound_by_every_pattern(base, query))
+        if base in query.pattern_aliases:
+            return (expr.attr == "agentid"
+                    and _alias_names_every_pattern(base, query))
+    return False
+
+
+def _patterns_host_connected(query: ast.Query) -> bool:
+    """Return True when shared host-scoped variables link every pattern."""
+    patterns = query.patterns
+    if len(patterns) <= 1:
+        return True
+    # Union-find over patterns, merging via shared host-scoped variables.
+    parent = list(range(len(patterns)))
+
+    def find(index: int) -> int:
+        while parent[index] != index:
+            parent[index] = parent[parent[index]]
+            index = parent[index]
+        return index
+
+    owner: Dict[str, int] = {}
+    for index, pattern in enumerate(patterns):
+        for declaration in (pattern.subject, pattern.object):
+            if declaration.entity_type not in _HOST_SCOPED_ENTITY_TYPES:
+                continue
+            variable = declaration.variable
+            if variable in owner:
+                parent[find(owner[variable])] = find(index)
+            else:
+                owner[variable] = index
+    roots = {find(index) for index in range(len(patterns))}
+    return len(roots) == 1
+
+
+def analyze_shardability(query: ast.Query) -> ShardabilityReport:
+    """Decide statically whether a query may run sharded by ``agentid``."""
+    pinned = _pinned_agentid(query)
+    if pinned is not None:
+        return ShardabilityReport(
+            shardable=True,
+            reason=f"host-pinned by global constraint agentid = {pinned!r}",
+            pinned_agentid=pinned)
+
+    if query.cluster is not None:
+        return ShardabilityReport(
+            shardable=False,
+            reason="cluster clause peer-compares groups across hosts")
+
+    if query.state is not None:
+        group_by = query.state.group_by
+        if not group_by:
+            return ShardabilityReport(
+                shardable=False,
+                reason="stateful query without group by folds all hosts "
+                       "into one group")
+        for expr in group_by:
+            if not _is_host_local_key(expr, query):
+                return ShardabilityReport(
+                    shardable=False,
+                    reason="group-by key is not host-local; groups may "
+                           "aggregate events from several hosts")
+        return ShardabilityReport(
+            shardable=True,
+            reason="every group-by key is host-local, so each group's "
+                   "state lives on one shard")
+
+    if query.returns is not None and query.returns.distinct:
+        return ShardabilityReport(
+            shardable=False,
+            reason="return distinct deduplicates across hosts without a "
+                   "host pin")
+    if _patterns_host_connected(query):
+        return ShardabilityReport(
+            shardable=True,
+            reason="patterns are connected through shared host-scoped "
+                   "entity variables, so sequences are host-local")
+    return ShardabilityReport(
+        shardable=False,
+        reason="patterns are not linked by shared host-scoped variables; "
+               "sequences may mix events from several hosts")

@@ -1,0 +1,628 @@
+"""The sharded parallel runtime: one scheduler per worker, split by agentid.
+
+:class:`ShardedScheduler` partitions the enterprise stream by the (stable)
+hash of each event's ``agentid`` and runs one full
+:class:`~repro.core.scheduler.concurrent.ConcurrentQueryScheduler` per
+shard, so many-query workloads scale across cores instead of being capped
+by the single-process design.  Queries are routed by the static
+shardability analysis (:mod:`repro.core.parallel.shardability`): host-local
+queries are registered on every shard (a shard that never sees a query's
+host simply never matches it), while queries that aggregate across hosts
+fall back to a single-shard lane that observes the full stream.
+
+Three interchangeable backends execute the shards:
+
+* ``serial`` — shards run inline in the calling thread, in shard order.
+  Fully deterministic, no threads or processes; the backend equivalence
+  tests and Windows-constrained environments use this.
+* ``thread`` — one :class:`ThreadShard` per shard, fed through bounded
+  queues.  Schedulers share no state, so no locking is needed; the GIL
+  limits the speedup, but the feeding/backpressure behaviour matches the
+  process backend.
+* ``process`` — one worker process per shard (``multiprocessing``).  Each
+  worker compiles its own copy of the queries from source (compiled
+  closures do not cross process boundaries), consumes event batches from a
+  bounded queue, and ships its alerts and stats back at end of stream.
+
+Shards are fed in batches (the batch ingestion path,
+``process_events``) to amortize dispatch and serialization overhead.  After
+the stream drains, per-shard alerts are merged into a single
+deterministically-ordered stream — sorted by timestamp, query name, window
+and payload — and per-shard ``SchedulerStats`` are merged into one
+aggregate, so callers observe the same interface as the single-process
+scheduler.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine.alerts import Alert, AlertSink
+from repro.core.language import ast, parse_query
+from repro.core.parallel.shardability import (
+    ShardabilityReport,
+    analyze_shardability,
+)
+from repro.core.expr.values import compare_values
+from repro.core.scheduler.compatibility import compatibility_signature
+from repro.core.scheduler.concurrent import (
+    ConcurrentQueryScheduler,
+    SchedulerStats,
+)
+from repro.events.event import Event
+from repro.events.stream import iter_batches
+
+#: Default number of events per feed batch.
+DEFAULT_BATCH_SIZE = 256
+
+#: Bound on in-flight batches per shard queue (backpressure for the
+#: thread/process backends).
+_QUEUE_DEPTH = 8
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def shard_index(agentid: str, shard_count: int) -> int:
+    """Map a host to its shard with a stable, process-independent hash.
+
+    ``zlib.crc32`` is used instead of ``hash()`` because the latter is
+    randomized per interpreter (``PYTHONHASHSEED``), which would make shard
+    assignment — and therefore per-shard stats — differ between runs.  The
+    agentid is case-folded first: SAQL equality is case-insensitive, so a
+    host-pinned query matches agentids differing only in case, and those
+    events must land on the pin's shard.
+    """
+    return zlib.crc32(agentid.casefold().encode("utf-8")) % shard_count
+
+
+def merge_stats(per_shard: Sequence[SchedulerStats],
+                single_lane: Optional[SchedulerStats] = None
+                ) -> SchedulerStats:
+    """Merge per-shard statistics into one aggregate ``SchedulerStats``.
+
+    Work counters (alerts, pattern evaluations, buffered events) are
+    summed: they measure work actually performed and memory actually held,
+    including the per-shard replicas of each group's shared buffer.
+    ``queries`` and ``groups`` count *logical* queries/groups: the maximum
+    across shards is taken (an exact figure when every shard registers the
+    same query set, an upper bound when pinned queries are routed to their
+    owner shard only — :class:`ShardedScheduler` overwrites both with the
+    exact registration-time counts after a run) and the single-shard
+    lane's are added.  ``peak_buffered_events`` sums the per-shard peaks,
+    an upper bound on the true simultaneous peak (shards reach their peaks
+    at different stream positions).  ``events_ingested`` sums per-lane
+    ingestion; the sharded scheduler overwrites it with its own
+    once-per-event count after a run.
+    """
+    merged = SchedulerStats()
+    for stats in per_shard:
+        merged.events_ingested += stats.events_ingested
+        merged.alerts += stats.alerts
+        merged.pattern_evaluations += stats.pattern_evaluations
+        merged.pattern_evaluations_saved += stats.pattern_evaluations_saved
+        merged.buffered_events += stats.buffered_events
+        merged.peak_buffered_events += stats.peak_buffered_events
+    if per_shard:
+        merged.queries = max(stats.queries for stats in per_shard)
+        merged.groups = max(stats.groups for stats in per_shard)
+    if single_lane is not None:
+        merged.events_ingested += single_lane.events_ingested
+        merged.alerts += single_lane.alerts
+        merged.pattern_evaluations += single_lane.pattern_evaluations
+        merged.pattern_evaluations_saved += (
+            single_lane.pattern_evaluations_saved)
+        merged.buffered_events += single_lane.buffered_events
+        merged.peak_buffered_events += single_lane.peak_buffered_events
+        merged.queries += single_lane.queries
+        merged.groups += single_lane.groups
+    return merged
+
+
+def _alert_sort_key(alert: Alert) -> Tuple:
+    """Total order over alerts that does not depend on shard interleaving."""
+    return (
+        alert.timestamp,
+        alert.query_name,
+        alert.window_start if alert.window_start is not None else -1.0,
+        repr(alert.group_key),
+        repr(alert.data),
+        alert.agentid,
+    )
+
+
+def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
+                     enable_sharing: bool) -> ConcurrentQueryScheduler:
+    scheduler = ConcurrentQueryScheduler(enable_sharing=enable_sharing)
+    for name, source in queries:
+        scheduler.add_query(source, name=name)
+    return scheduler
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+class SerialShard:
+    """In-process shard executed inline (deterministic test backend)."""
+
+    def __init__(self, queries, enable_sharing: bool):
+        self._scheduler = _build_scheduler(queries, enable_sharing)
+        self._alerts: List[Alert] = []
+
+    def feed(self, batch: List[Event]) -> None:
+        self._alerts.extend(self._scheduler.process_events(batch))
+
+    def finish(self) -> Tuple[List[Alert], SchedulerStats]:
+        self._alerts.extend(self._scheduler.finish())
+        return self._alerts, self._scheduler.stats
+
+
+class ThreadShard:
+    """In-process shard executed on its own thread.
+
+    Each shard owns its scheduler outright, so no locking is required; the
+    bounded queue provides the same backpressure as the process backend.
+    """
+
+    def __init__(self, queries, enable_sharing: bool):
+        self._scheduler = _build_scheduler(queries, enable_sharing)
+        self._alerts: List[Alert] = []
+        self._queue: "queue.Queue[Optional[List[Event]]]" = queue.Queue(
+            maxsize=_QUEUE_DEPTH)
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        try:
+            while True:
+                batch = self._queue.get()
+                if batch is None:
+                    return
+                self._alerts.extend(self._scheduler.process_events(batch))
+        except BaseException as error:  # surfaced by feed()/finish()
+            self._error = error
+
+    def _put(self, item: Optional[List[Event]]) -> None:
+        # A blocking put against a dead consumer would hang the stream
+        # loop forever once the bounded queue fills, so surface the
+        # thread's failure instead of waiting on it.
+        while True:
+            try:
+                self._queue.put(item, timeout=0.1)
+                return
+            except queue.Full:
+                if self._error is not None:
+                    raise self._error
+                if not self._thread.is_alive():
+                    raise RuntimeError("shard thread exited mid-stream")
+
+    def feed(self, batch: List[Event]) -> None:
+        if self._error is not None:
+            raise self._error
+        self._put(batch)
+
+    def finish(self) -> Tuple[List[Alert], SchedulerStats]:
+        if self._thread.is_alive():
+            self._put(None)
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        self._alerts.extend(self._scheduler.finish())
+        return self._alerts, self._scheduler.stats
+
+
+def _process_shard_main(index: int,
+                        queries: Sequence[Tuple[str, Union[str, ast.Query]]],
+                        enable_sharing: bool,
+                        in_queue: "multiprocessing.Queue",
+                        out_queue: "multiprocessing.Queue") -> None:
+    """Worker entry point: compile the queries, drain batches, report back."""
+    try:
+        scheduler = _build_scheduler(queries, enable_sharing)
+        alerts: List[Alert] = []
+        while True:
+            batch = in_queue.get()
+            if batch is None:
+                break
+            alerts.extend(scheduler.process_events(batch))
+        alerts.extend(scheduler.finish())
+        out_queue.put((index, alerts, scheduler.stats, None))
+    except BaseException as error:
+        out_queue.put((index, [], None,
+                       f"{type(error).__name__}: {error}"))
+
+
+class ProcessShard:
+    """Shard executed in a worker process, fed through a bounded queue."""
+
+    def __init__(self, index: int, queries, enable_sharing: bool,
+                 context, out_queue):
+        self.index = index
+        self._in_queue = context.Queue(maxsize=_QUEUE_DEPTH)
+        self._out_queue = out_queue
+        self._process = context.Process(
+            target=_process_shard_main,
+            args=(index, list(queries), enable_sharing, self._in_queue,
+                  out_queue),
+            daemon=True)
+        self._process.start()
+
+    def feed(self, batch: List[Event]) -> None:
+        # Same liveness rule as ThreadShard: a worker that died mid-stream
+        # (its error tuple sits on the out queue) must not deadlock the
+        # parent's feed loop once the bounded in-queue fills.
+        while True:
+            try:
+                self._in_queue.put(batch, timeout=0.1)
+                return
+            except queue.Full:
+                if not self._process.is_alive():
+                    raise RuntimeError(
+                        f"shard {self.index} worker exited mid-stream")
+
+    def close(self) -> None:
+        # The sentinel must actually arrive: silently dropping it on a
+        # transiently full queue would leave the worker blocked on get()
+        # and the parent blocked on the result collection, forever.
+        while self._process.is_alive():
+            try:
+                self._in_queue.put(None, timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def is_alive(self) -> bool:
+        return self._process.is_alive()
+
+    def join(self) -> None:
+        self._process.join()
+
+
+# ---------------------------------------------------------------------------
+# The sharded scheduler
+# ---------------------------------------------------------------------------
+
+class ShardedScheduler:
+    """Executes many SAQL queries over one stream, sharded by ``agentid``.
+
+    The public surface mirrors :class:`ConcurrentQueryScheduler`:
+    ``add_query``/``add_queries`` to register, ``execute`` to run over a
+    finite stream, ``alerts``/``stats`` afterwards.  Differences:
+
+    * ``add_query`` returns the :class:`ShardabilityReport` for the query
+      (also kept in :attr:`reports`) instead of a live engine — with the
+      process backend the engines live in the workers.
+    * ``execute`` returns the merged alert stream in a deterministic order
+      (by timestamp, query, window, payload) that is independent of the
+      backend and of shard interleaving.
+    * :attr:`stats` is the merged aggregate; :attr:`per_shard_stats` and
+      :attr:`single_lane_stats` expose the per-lane figures.
+    """
+
+    def __init__(self, shards: int = 4, backend: str = "serial",
+                 sink: Optional[AlertSink] = None,
+                 enable_sharing: bool = True,
+                 batch_size: int = DEFAULT_BATCH_SIZE):
+        if shards < 1:
+            raise ValueError("shard count must be at least 1")
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {_BACKENDS}")
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.shards = shards
+        self.backend = backend
+        self._sink = sink
+        self._enable_sharing = enable_sharing
+        self._batch_size = batch_size
+        #: (name, source, pinned agentid or None, compatibility signature)
+        #: for queries routed to the sharded lane.
+        self._sharded_queries: List[Tuple[str, Union[str, ast.Query],
+                                          Optional[str], Any]] = []
+        #: (name, source) pairs that must observe the full stream.
+        self._single_lane_queries: List[Tuple[str, Union[str, ast.Query]]] = []
+        #: query name -> shardability report, in registration order.
+        self.reports: Dict[str, ShardabilityReport] = {}
+        self._alerts: List[Alert] = []
+        self._merged_stats = SchedulerStats()
+        self.per_shard_stats: List[SchedulerStats] = []
+        self.single_lane_stats: Optional[SchedulerStats] = None
+
+    # -- registration ------------------------------------------------------
+
+    def add_query(self, query: Union[str, ast.Query],
+                  name: Optional[str] = None) -> ShardabilityReport:
+        """Register one query; returns its shardability report."""
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if name is None:
+            # Workers run their own engine counters, so auto-names must be
+            # assigned here to be identical on every shard.
+            name = parsed.name or f"query-{len(self.reports) + 1}"
+        if name in self.reports:
+            raise ValueError(f"duplicate query name {name!r}")
+        report = analyze_shardability(parsed)
+        self.reports[name] = report
+        source: Union[str, ast.Query] = (query if isinstance(query, str)
+                                         else parsed)
+        if report.shardable:
+            self._sharded_queries.append(
+                (name, source, report.pinned_agentid,
+                 compatibility_signature(parsed)))
+        else:
+            self._single_lane_queries.append((name, source))
+        return report
+
+    def add_queries(self, queries: Iterable[Union[str, ast.Query]]) -> None:
+        """Register several queries at once."""
+        for query in queries:
+            self.add_query(query)
+
+    @property
+    def sharded_query_names(self) -> List[str]:
+        """Names of the queries running partitioned across the shards."""
+        return [entry[0] for entry in self._sharded_queries]
+
+    def _queries_for_shard(self, position: int) -> List[Tuple[str,
+                                                              Union[str,
+                                                                    ast.Query]]]:
+        """Return the queries shard ``position`` must register.
+
+        Host-pinned queries only ever match events of their pin's shard, so
+        they are routed there exclusively — other shards skip their groups
+        (and the per-event constraint checks) entirely.  Unpinned
+        host-local queries observe every host and register everywhere.
+        """
+        return [(name, source)
+                for name, source, pinned, _ in self._sharded_queries
+                if pinned is None
+                or shard_index(pinned, self.shards) == position]
+
+    def _make_router(self, shard_count: int):
+        """Build the agentid -> shard routing function for one run.
+
+        The default route is the stable hash (:func:`shard_index`), but a
+        host-pinned query lives only on its pin's shard, and SAQL equality
+        is looser than string identity: it case-folds, coerces numeric
+        strings (``"7" == "7.0"``) and treats ``%``/``_`` on *either* side
+        as LIKE wildcards.  An event whose agentid satisfies a pin under
+        those semantics but hashes elsewhere would silently never reach the
+        pinned query, so the router checks each distinct agentid against
+        the pins with the engine's own equality and routes it to the
+        satisfied pin's shard.  That stays host-consistent for the
+        unpinned queries too (every event of one agentid takes one route).
+        An agentid satisfying pins on *different* shards cannot be
+        partitioned at all and fails loudly.  Distinct agentids are few,
+        so the equality checks amortize through a cache.
+        """
+        pins = sorted({(pinned, shard_index(pinned, shard_count))
+                       for _, _, pinned, _ in self._sharded_queries
+                       if pinned is not None})
+        cache: Dict[str, int] = {}
+
+        def route(agentid: str) -> int:
+            position = cache.get(agentid)
+            if position is None:
+                targets = {shard for pin, shard in pins
+                           if compare_values("==", agentid, pin)}
+                if len(targets) > 1:
+                    raise RuntimeError(
+                        f"agentid {agentid!r} satisfies host pins on "
+                        "different shards under SAQL equality; this stream "
+                        "cannot be partitioned — run with shards=1 or "
+                        "disambiguate the host identifiers")
+                if targets:
+                    position = targets.pop()
+                else:
+                    position = shard_index(agentid, shard_count)
+                cache[agentid] = position
+            return position
+
+        return route
+
+    def _logical_group_count(self) -> int:
+        """Logical compatibility groups across the sharded lane's queries.
+
+        Matches what one full scheduler would form over the same queries:
+        one group per distinct compatibility signature under sharing, one
+        per query without.
+        """
+        if not self._enable_sharing:
+            return len(self._sharded_queries)
+        return len({signature
+                    for _, _, _, signature in self._sharded_queries})
+
+    @property
+    def single_lane_query_names(self) -> List[str]:
+        """Names of the queries running on the full-stream fallback lane."""
+        return [name for name, _ in self._single_lane_queries]
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Return the merged, deterministically-ordered alerts."""
+        return list(self._alerts)
+
+    @property
+    def stats(self) -> SchedulerStats:
+        """Return the merged aggregate statistics of the last run."""
+        return self._merged_stats
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, stream: Iterable[Event],
+                batch_size: Optional[int] = None) -> List[Alert]:
+        """Run all registered queries over a finite stream."""
+        size = batch_size if batch_size is not None else self._batch_size
+        if size < 1:
+            raise ValueError("batch size must be at least 1")
+        if self.backend == "process" and self._sharded_queries:
+            alerts = self._execute_process(stream, size)
+        else:
+            alerts = self._execute_in_process(stream, size)
+        alerts.sort(key=_alert_sort_key)
+        self._alerts = alerts
+        if self._sink is not None:
+            for alert in alerts:
+                self._sink.emit(alert)
+        return list(alerts)
+
+    def _single_lane_scheduler(self) -> Optional[ConcurrentQueryScheduler]:
+        if not self._single_lane_queries:
+            return None
+        return _build_scheduler(self._single_lane_queries,
+                                self._enable_sharing)
+
+    def _finalize(self, shard_results: Sequence[Tuple[List[Alert],
+                                                      SchedulerStats]],
+                  single_lane: Optional[ConcurrentQueryScheduler],
+                  single_alerts: List[Alert],
+                  events_ingested: int) -> List[Alert]:
+        alerts: List[Alert] = []
+        self.per_shard_stats = []
+        for shard_alerts, shard_stats in shard_results:
+            alerts.extend(shard_alerts)
+            self.per_shard_stats.append(shard_stats)
+        self.single_lane_stats = None
+        if single_lane is not None:
+            single_alerts.extend(single_lane.finish())
+            alerts.extend(single_alerts)
+            self.single_lane_stats = single_lane.stats
+        self._merged_stats = merge_stats(self.per_shard_stats,
+                                         self.single_lane_stats)
+        # Each stream event is ingested once by the sharded runtime, even
+        # when the single-shard lane observed it as well; queries and
+        # groups are the exact logical counts (pinned-query routing makes
+        # the per-shard figures subsets).
+        self._merged_stats.events_ingested = events_ingested
+        single_queries = (self.single_lane_stats.queries
+                          if self.single_lane_stats is not None else 0)
+        single_groups = (self.single_lane_stats.groups
+                         if self.single_lane_stats is not None else 0)
+        self._merged_stats.queries = (len(self._sharded_queries)
+                                      + single_queries)
+        self._merged_stats.groups = (self._logical_group_count()
+                                     + single_groups)
+        return alerts
+
+    def _execute_in_process(self, stream: Iterable[Event],
+                            size: int) -> List[Alert]:
+        """Run with the serial or thread backend (shards live in-process)."""
+        shard_cls = ThreadShard if self.backend == "thread" else SerialShard
+        shards: List[Any] = []
+        active: List[bool] = []
+        if self._sharded_queries:
+            per_shard = [self._queries_for_shard(position)
+                         for position in range(self.shards)]
+            shards = [shard_cls(queries, self._enable_sharing)
+                      for queries in per_shard]
+            active = [bool(queries) for queries in per_shard]
+        single_lane = self._single_lane_scheduler()
+        single_alerts: List[Alert] = []
+        buffers: List[List[Event]] = [[] for _ in range(len(shards))]
+        route = self._make_router(len(shards)) if shards else None
+        events_ingested = 0
+        for batch in iter_batches(stream, size):
+            events_ingested += len(batch)
+            if single_lane is not None:
+                single_alerts.extend(single_lane.process_events(batch))
+            if not shards:
+                continue
+            for event in batch:
+                position = route(event.agentid)
+                # A shard every query was routed away from has nothing to
+                # do with its slice of the stream.
+                if active[position]:
+                    buffers[position].append(event)
+            for position, buffer in enumerate(buffers):
+                if len(buffer) >= size:
+                    shards[position].feed(buffer)
+                    buffers[position] = []
+        for position, buffer in enumerate(buffers):
+            if buffer:
+                shards[position].feed(buffer)
+        results = [shard.finish() for shard in shards]
+        return self._finalize(results, single_lane, single_alerts,
+                              events_ingested)
+
+    def _execute_process(self, stream: Iterable[Event],
+                         size: int) -> List[Alert]:
+        """Run with the multiprocessing backend (one worker per shard)."""
+        context = multiprocessing.get_context()
+        out_queue = context.Queue()
+        per_shard = [self._queries_for_shard(position)
+                     for position in range(self.shards)]
+        workers = [ProcessShard(position, queries, self._enable_sharing,
+                                context, out_queue)
+                   for position, queries in enumerate(per_shard)]
+        active = [bool(queries) for queries in per_shard]
+        single_lane = self._single_lane_scheduler()
+        single_alerts: List[Alert] = []
+        buffers: List[List[Event]] = [[] for _ in workers]
+        route = self._make_router(len(workers))
+        events_ingested = 0
+        try:
+            for batch in iter_batches(stream, size):
+                events_ingested += len(batch)
+                if single_lane is not None:
+                    single_alerts.extend(single_lane.process_events(batch))
+                for event in batch:
+                    position = route(event.agentid)
+                    if active[position]:
+                        buffers[position].append(event)
+                for position, buffer in enumerate(buffers):
+                    if len(buffer) >= size:
+                        workers[position].feed(buffer)
+                        buffers[position] = []
+            for position, buffer in enumerate(buffers):
+                if buffer:
+                    workers[position].feed(buffer)
+        finally:
+            for worker in workers:
+                worker.close()
+        # Collect results before joining: a worker blocks on its result put
+        # until the parent reads it.  The get is timed and paired with a
+        # liveness check so a worker that died without posting (OOM-kill,
+        # unpicklable result) fails the run instead of hanging it.
+        collected: Dict[int, Tuple[List[Alert], SchedulerStats]] = {}
+        failures: List[str] = []
+        remaining = set(range(len(workers)))
+        dead_patience = 0
+        while remaining:
+            try:
+                index, alerts, stats, error = out_queue.get(timeout=0.5)
+            except queue.Empty:
+                dead = [position for position in remaining
+                        if not workers[position].is_alive()]
+                if dead:
+                    # A dead worker's result may still sit in the pipe
+                    # buffer; give it a few more timed gets before
+                    # declaring the shard lost.
+                    dead_patience += 1
+                    if dead_patience >= 10:
+                        for position in dead:
+                            failures.append(f"shard {position}: worker "
+                                            "exited without posting a "
+                                            "result")
+                            remaining.discard(position)
+                continue
+            dead_patience = 0
+            remaining.discard(index)
+            if error is not None:
+                failures.append(f"shard {index}: {error}")
+            else:
+                collected[index] = (alerts, stats)
+        for worker in workers:
+            if worker.index in collected or not worker.is_alive():
+                worker.join()
+        if failures:
+            raise RuntimeError("sharded execution failed: "
+                               + "; ".join(sorted(failures)))
+        results = [collected[position] for position in range(len(workers))]
+        return self._finalize(results, single_lane, single_alerts,
+                              events_ingested)

@@ -36,6 +36,7 @@ from repro.events.stream import (
     MergedStream,
     StreamStats,
     collect,
+    iter_batches,
 )
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "event_from_json",
     "event_to_dict",
     "event_to_json",
+    "iter_batches",
     "read_events_jsonl",
     "write_events_jsonl",
 ]

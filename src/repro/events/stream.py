@@ -20,6 +20,27 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 from repro.events.event import Event, EventType
 
 
+def iter_batches(events: Iterable[Event], size: int) -> Iterator[List[Event]]:
+    """Chunk any event iterable into lists of at most ``size`` events.
+
+    The batch ingestion path (``process_events``) amortizes per-event
+    dispatch overhead across a chunk; this helper is the single chunking
+    implementation shared by :meth:`EventStream.batches`, the stream
+    replayer and the sharded runtime.  Event order is preserved and the
+    final batch may be shorter than ``size``.
+    """
+    if size < 1:
+        raise ValueError("batch size must be at least 1")
+    batch: List[Event] = []
+    for event in events:
+        batch.append(event)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
 class EventStream:
     """Base class for event streams.
 
@@ -37,6 +58,10 @@ class EventStream:
     def limit(self, count: int) -> "EventStream":
         """Return a stream truncated to the first ``count`` events."""
         return _LimitedStream(self, count)
+
+    def batches(self, size: int) -> Iterator[List[Event]]:
+        """Iterate the stream in timestamp-ordered chunks of ``size`` events."""
+        return iter_batches(self, size)
 
 
 class ListStream(EventStream):

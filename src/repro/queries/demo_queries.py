@@ -75,11 +75,15 @@ return distinct p1, p2, f1, p3
 '''
 
 
-def rule_c5_data_exfiltration() -> str:
-    """Rule query for step c5 (Query 1 of the paper): the database dump."""
+def rule_c5_data_exfiltration(agent: str = DB_AGENT) -> str:
+    """Rule query for step c5 (Query 1 of the paper): the database dump.
+
+    ``agent`` re-pins the query to another host, which the scaling
+    benchmarks use to spread per-host copies of the workload across shards.
+    """
     return f'''
 // c5: the database is dumped via osql and shipped to the attacker's host
-agentid = "{DB_AGENT}"
+agentid = "{agent}"
 proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
 proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
 proc p4["%sbblv.exe"] read file f1 as evt3
@@ -114,7 +118,8 @@ return p1, ss.set_proc
 
 
 def timeseries_network_spike(window_minutes: int = 10,
-                             floor_bytes: float = 500000) -> str:
+                             floor_bytes: float = 500000,
+                             agent: str = DB_AGENT) -> str:
     """Time-series (SMA) query: abnormally high per-process network volume.
 
     Query 2 of the paper: compare each process's average outbound transfer
@@ -125,7 +130,7 @@ def timeseries_network_spike(window_minutes: int = 10,
                   else str(floor_bytes))
     return f'''
 // advanced #2: SMA spike detection on the database server's network volume
-agentid = "{DB_AGENT}"
+agentid = "{agent}"
 proc p write ip i as evt #time({window_minutes} min)
 state[3] ss {{
   avg_amount := avg(evt.amount)
@@ -137,7 +142,8 @@ return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
 
 def outlier_exfiltration(window_minutes: int = 10, eps: float = 500000,
                          min_pts: int = 3,
-                         floor_bytes: float = 5000000) -> str:
+                         floor_bytes: float = 5000000,
+                         agent: str = DB_AGENT) -> str:
     """Outlier query (Query 4 of the paper): per-destination volume outlier.
 
     Per sliding window, the total bytes moved to each destination IP on the
@@ -153,7 +159,7 @@ def outlier_exfiltration(window_minutes: int = 10, eps: float = 500000,
                   else str(floor_bytes))
     return f'''
 // advanced #3: DBSCAN peer comparison of per-destination network volume
-agentid = "{DB_AGENT}"
+agentid = "{agent}"
 proc p read || write ip i as evt #time({window_minutes} min)
 state ss {{
   amt := sum(evt.amount)

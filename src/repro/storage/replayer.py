@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence
 
 from repro.events.event import Event
-from repro.events.stream import EventStream
+from repro.events.stream import EventStream, iter_batches
 from repro.storage.database import EventDatabase
 
 
@@ -71,3 +71,27 @@ class StreamReplayer(EventStream):
             previous_timestamp = event.timestamp
             self.events_replayed += 1
             yield event
+
+    def iter_batches(self, size: int) -> Iterator[List[Event]]:
+        """Replay the selected slice in timestamp-ordered batches.
+
+        This is the replay entry point of the batch ingestion path (and of
+        the sharded runtime, which feeds its shards in chunks).  The speed
+        factor is honored per batch: each batch is yielded when its *last*
+        event would have been delivered by per-event replay, so a
+        throttled replay covers the same wall-clock span as per-event
+        replay — it just advances in batch-sized steps.
+        """
+        self.events_replayed = 0
+        previous_timestamp: Optional[float] = None
+        speed = self._spec.speed
+        for batch in iter_batches(self.selected_events(), size):
+            if speed is not None:
+                if previous_timestamp is None:
+                    previous_timestamp = batch[0].timestamp
+                gap = (batch[-1].timestamp - previous_timestamp) / speed
+                if gap > 0:
+                    self._sleep(gap)
+                previous_timestamp = batch[-1].timestamp
+            self.events_replayed += len(batch)
+            yield batch

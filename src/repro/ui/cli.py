@@ -17,15 +17,21 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
+
+from repro.events.event import Event
 
 from repro.attack import APTScenario
 from repro.collection import Enterprise, EnterpriseConfig
 from repro.core import ConcurrentQueryScheduler, SAQLError, parse_query
 from repro.core.engine.alerts import Alert, CallbackSink
 from repro.core.language import format_query
+from repro.core.parallel import ShardedScheduler
 from repro.queries import DEMO_QUERIES, demo_query_names
 from repro.storage import EventDatabase, ReplaySpec, StreamReplayer
+
+#: Default events per ingestion batch for the demo/run commands.
+DEFAULT_CLI_BATCH = 256
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo_cmd.add_argument("--save-events", default=None,
                           help="also save the generated stream to this "
                                "JSON-lines file")
+    _add_execution_options(demo_cmd)
 
     run_cmd = subparsers.add_parser(
         "run", help="run query files against a stored event database")
@@ -66,12 +73,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay start timestamp")
     run_cmd.add_argument("--end", type=float, default=None,
                          help="replay end timestamp")
+    _add_execution_options(run_cmd)
 
     list_cmd = subparsers.add_parser(
         "queries", help="list the built-in demo queries")
     list_cmd.add_argument("--show", default=None,
                           help="print the SAQL text of one demo query")
     return parser
+
+
+def _add_execution_options(command: argparse.ArgumentParser) -> None:
+    """Add the batch-ingestion / sharded-execution options shared by
+    ``demo`` and ``run``."""
+    command.add_argument("--batch-size", type=int, default=DEFAULT_CLI_BATCH,
+                         help="events per ingestion batch (amortizes "
+                              "dispatch overhead)")
+    command.add_argument("--shards", type=int, default=1,
+                         help="partition the stream by agentid across this "
+                              "many workers (1 = single-process)")
+    command.add_argument("--shard-backend", default="process",
+                         choices=["serial", "thread", "process"],
+                         help="execution backend when --shards > 1")
+
+
+def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
+    """Build the scheduler the execution options select."""
+    if args.shards > 1:
+        return ShardedScheduler(shards=args.shards,
+                                backend=args.shard_backend, sink=sink,
+                                batch_size=args.batch_size)
+    return ConcurrentQueryScheduler(sink=sink)
 
 
 def _print_alert(alert: Alert) -> None:
@@ -99,7 +130,7 @@ def command_demo(args: argparse.Namespace) -> int:
                                    injected=scenario.events())
 
     names = args.queries or demo_query_names()
-    scheduler = ConcurrentQueryScheduler(sink=CallbackSink(_print_alert))
+    scheduler = _make_scheduler(args, CallbackSink(_print_alert))
     for name in names:
         if name not in DEMO_QUERIES:
             print(f"error: unknown demo query {name!r}", file=sys.stderr)
@@ -110,13 +141,17 @@ def command_demo(args: argparse.Namespace) -> int:
           f"{len(list(stream.events))} events "
           f"({len(enterprise.hosts)} hosts); attack starts at "
           f"t={args.attack_start:.0f}")
-    alerts = scheduler.execute(stream)
+    if args.shards > 1:
+        single = getattr(scheduler, "single_lane_query_names", [])
+        print(f"sharded execution: {args.shards} {args.shard_backend} "
+              f"shards, batch size {args.batch_size}"
+              + (f"; full-stream fallback for {len(single)} queries"
+                 if single else ""))
+    alerts = scheduler.execute(stream, batch_size=args.batch_size)
     print(f"done: {len(alerts)} alerts, "
           f"{scheduler.stats.groups} query groups "
           f"(vs {scheduler.stats.queries} stream copies without sharing)")
-    if scheduler.error_reporter.has_errors():
-        for record in scheduler.error_reporter.records:
-            print(record.describe(), file=sys.stderr)
+    _print_error_records(scheduler)
 
     if args.save_events:
         database = EventDatabase(stream)
@@ -132,7 +167,7 @@ def command_run(args: argparse.Namespace) -> int:
                       end_time=args.end)
     replayer = StreamReplayer(database, spec)
 
-    scheduler = ConcurrentQueryScheduler(sink=CallbackSink(_print_alert))
+    scheduler = _make_scheduler(args, CallbackSink(_print_alert))
     for path in args.query_files:
         text = Path(path).read_text(encoding="utf-8")
         try:
@@ -141,13 +176,38 @@ def command_run(args: argparse.Namespace) -> int:
             print(f"error in {path}: {error}", file=sys.stderr)
             return 1
 
-    alerts = scheduler.execute(replayer)
+    # Replay in batches so the replayer, the batch ingestion path and the
+    # sharded runtime all share one chunked code path.
+    alerts: List[Alert] = []
+    if args.shards > 1:
+        alerts = scheduler.execute(
+            _flatten_batches(replayer.iter_batches(args.batch_size)),
+            batch_size=args.batch_size)
+    else:
+        for batch in replayer.iter_batches(args.batch_size):
+            alerts.extend(scheduler.process_events(batch))
+        alerts.extend(scheduler.finish())
     print(f"done: {replayer.events_replayed} events replayed, "
           f"{len(alerts)} alerts")
-    if scheduler.error_reporter.has_errors():
-        for record in scheduler.error_reporter.records:
-            print(record.describe(), file=sys.stderr)
+    _print_error_records(scheduler)
     return 0
+
+
+def _flatten_batches(batches) -> "Iterator[Event]":
+    for batch in batches:
+        yield from batch
+
+
+def _print_error_records(scheduler) -> None:
+    """Print per-query execution errors when the scheduler exposes them.
+
+    The sharded scheduler's engines live in its workers, so it has no
+    cross-process error reporter; worker failures surface as exceptions.
+    """
+    reporter = getattr(scheduler, "error_reporter", None)
+    if reporter is not None and reporter.has_errors():
+        for record in reporter.records:
+            print(record.describe(), file=sys.stderr)
 
 
 def command_queries(args: argparse.Namespace) -> int:

@@ -76,3 +76,53 @@ class TestErrorReporter:
         reporter.clear()
         assert not reporter.has_errors()
         assert reporter.dropped == 0
+
+
+class TestProjectable:
+    """Return-clause value normalization (engine values -> alert payloads)."""
+
+    def test_integral_floats_normalize_to_int(self):
+        from repro.core.engine.query_engine import _projectable
+
+        value = _projectable(500000.0)
+        assert value == 500000
+        assert isinstance(value, int)
+
+    def test_fractional_floats_stay_float(self):
+        from repro.core.engine.query_engine import _projectable
+
+        value = _projectable(2.5)
+        assert value == 2.5
+        assert isinstance(value, float)
+
+    def test_sets_become_sorted_tuples(self):
+        from repro.core.engine.query_engine import _projectable
+
+        assert _projectable({"b", "a"}) == ("a", "b")
+
+    def test_alert_payload_is_stable_across_float_arithmetic(self):
+        # sum() over integral byte counts goes through float arithmetic;
+        # the projected payload must come out as a plain int.
+        from repro.core import QueryEngine
+        from repro.events.event import Operation
+        from tests.conftest import make_connection, make_event, make_process
+
+        engine = QueryEngine('''
+proc p write ip i as evt #time(10 sec)
+state ss { total := sum(evt.amount) }
+group by evt.agentid
+alert ss.total > 0
+return ss.total
+''')
+        proc = make_process("sqlservr.exe", 5)
+        conn = make_connection("10.0.2.11")
+        engine.process_event(make_event(proc, Operation.WRITE, conn, 1.0,
+                                        amount=1000.0))
+        engine.process_event(make_event(proc, Operation.WRITE, conn, 2.0,
+                                        amount=500.0))
+        alerts = engine.finish()
+        assert len(alerts) == 1
+        (label, value), = alerts[0].data
+        assert label == "ss.total"
+        assert value == 1500
+        assert isinstance(value, int)

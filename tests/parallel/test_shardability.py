@@ -1,0 +1,195 @@
+"""Unit tests for the static shardability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.language import parse_query
+from repro.core.parallel import analyze_shardability
+from repro.queries.demo_queries import DEMO_QUERIES
+
+
+def report_for(text: str):
+    return analyze_shardability(parse_query(text))
+
+
+class TestHostPinnedQueries:
+    def test_agentid_equality_pins(self):
+        report = report_for('''
+agentid = "db-server"
+proc p read || write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100, 3)")
+alert cluster.outlier
+return i.dstip
+''')
+        assert report.shardable
+        assert report.pinned_agentid == "db-server"
+
+    def test_like_pattern_does_not_pin(self):
+        report = report_for('''
+agentid = "db-%"
+proc p read || write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+return i.dstip
+''')
+        assert not report.shardable
+        assert report.pinned_agentid is None
+
+    def test_every_demo_query_is_shardable(self):
+        # All 8 demo queries pin a host, so the full demo workload shards.
+        for name, text in DEMO_QUERIES.items():
+            report = analyze_shardability(parse_query(text))
+            assert report.shardable, (name, report.reason)
+            assert report.pinned_agentid in ("db-server", "client-01")
+
+
+class TestStatefulQueries:
+    def test_cluster_without_pin_is_not_shardable(self):
+        report = report_for('''
+proc p read || write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100, 3)")
+alert cluster.outlier
+return i.dstip
+''')
+        assert not report.shardable
+        assert "cluster" in report.reason
+
+    def test_group_by_bare_entity_variable_is_not_host_local(self):
+        # The context-aware shortcut makes `group by p` mean
+        # `group by p.exe_name`, and executable names repeat across hosts.
+        report = report_for('''
+proc p write ip i as evt #time(1 min)
+state ss { total := sum(evt.amount) } group by p
+alert ss.total > 100
+return p, ss.total
+''')
+        assert not report.shardable
+
+    def test_group_by_entity_host_attributes_is_host_local(self):
+        for key in ("p.host", "p.entity_id"):
+            report = report_for(f'''
+proc p write ip i as evt #time(1 min)
+state ss {{ total := sum(evt.amount) }} group by {key}
+alert ss.total > 100
+return ss.total
+''')
+            assert report.shardable, key
+
+    def test_group_by_event_alias_is_host_local(self):
+        # A bare alias resolves to the event's agentid in group-key position.
+        report = report_for('''
+proc p write ip i as evt #time(1 min)
+state ss { total := sum(evt.amount) } group by evt
+alert ss.total > 100
+return ss.total
+''')
+        assert report.shardable
+
+    def test_alias_key_with_second_pattern_is_not_host_local(self):
+        # Group keys see only their own match's bindings: evt2 matches get
+        # key None, folding them into one cross-host group.
+        report = report_for('''
+proc p1 write ip i as evt1 #time(1 min)
+proc p2 read file f as evt2
+state ss { total := sum(evt1.amount) } group by evt1.agentid
+alert ss.total > 100
+return ss.total
+''')
+        assert not report.shardable
+
+    def test_entity_key_must_be_bound_by_every_pattern(self):
+        unbound = report_for('''
+proc p1 write ip i as evt1 #time(1 min)
+proc p2 read file f as evt2
+state ss { total := sum(evt1.amount) } group by p1.host
+alert ss.total > 100
+return ss.total
+''')
+        assert not unbound.shardable
+        bound = report_for('''
+proc p1 write ip i as evt1 #time(1 min)
+proc p1 read file f as evt2
+state ss { total := sum(evt1.amount) } group by p1.host
+alert ss.total > 100
+return ss.total
+''')
+        assert bound.shardable
+
+    def test_group_by_agentid_attribute_is_host_local(self):
+        report = report_for('''
+proc p write ip i as evt #time(1 min)
+state ss { total := sum(evt.amount) } group by evt.agentid
+alert ss.total > 100
+return ss.total
+''')
+        assert report.shardable
+
+    def test_group_by_network_attribute_is_not_host_local(self):
+        report = report_for('''
+proc p write ip i as evt #time(1 min)
+state ss { total := sum(evt.amount) } group by i.dstip
+alert ss.total > 100
+return i.dstip, ss.total
+''')
+        assert not report.shardable
+
+    def test_group_by_process_name_is_not_host_local(self):
+        # exe_name repeats across hosts (svchost.exe everywhere), so the
+        # same group key would be split across shards.
+        report = report_for('''
+proc p write ip i as evt #time(1 min)
+state ss { total := sum(evt.amount) } group by p.exe_name
+alert ss.total > 100
+return ss.total
+''')
+        assert not report.shardable
+
+
+class TestRuleQueries:
+    def test_single_pattern_rule_is_shardable(self):
+        report = report_for('''
+proc p["%cmd.exe"] write file f as evt
+return p, f
+''')
+        assert report.shardable
+
+    def test_connected_patterns_are_shardable(self):
+        report = report_for('''
+proc p1 write file f1 as evt1
+proc p2 read file f1 as evt2
+with evt1 -> evt2
+return p1, p2
+''')
+        assert report.shardable
+
+    def test_temporal_order_alone_is_not_shardable(self):
+        # No shared entity variable: evt1 on host A and evt2 on host B can
+        # form a sequence under the plain scheduler.
+        report = report_for('''
+proc p1 write file f1 as evt1
+proc p2 read file f2 as evt2
+with evt1 -> evt2
+return p1, p2
+''')
+        assert not report.shardable
+
+    def test_shared_network_variable_does_not_connect(self):
+        # The same connection endpoint is observed from many hosts, so a
+        # shared ip variable does not force one host.
+        report = report_for('''
+proc p1 send ip i1 as evt1
+proc p2 recv ip i1 as evt2
+with evt1 -> evt2
+return p1, p2
+''')
+        assert not report.shardable
+
+    def test_distinct_without_pin_is_not_shardable(self):
+        report = report_for('''
+proc p["%cmd.exe"] write file f as evt
+return distinct p, f
+''')
+        assert not report.shardable
+        assert "distinct" in report.reason

@@ -1,0 +1,335 @@
+"""Sharded/plain equivalence for the parallel runtime.
+
+The sharded runtime is a pure scaling artifact: for every workload the
+merged alert stream and the merged statistics must agree with the
+single-process :class:`ConcurrentQueryScheduler` over the same events.
+These tests enforce that property-style, over randomized multi-host
+streams, across shard counts and backends, including the single-shard
+fallback lane for non-shardable queries.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler, merge_stats, shard_index
+from repro.core.parallel.sharded import _alert_sort_key
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+from repro.queries.demo_queries import (
+    rule_c5_data_exfiltration,
+    timeseries_network_spike,
+)
+
+_HOSTS = ["db-server", "client-01", "web-01", "mail-01", "dc-01"]
+_EXES = ["cmd.exe", "osql.exe", "sqlservr.exe", "sbblv.exe", "excel.exe",
+         "svchost.exe", "backdoor.exe"]
+_FILES = ["D:/backup/backup1.dmp", "C:/tmp/creds.txt", "C:/logs/app.log"]
+_IPS = ["203.0.113.129", "10.0.2.11", "10.0.2.12"]
+_OPERATIONS = [Operation.READ, Operation.WRITE, Operation.START,
+               Operation.SEND, Operation.RECV, Operation.CONNECT]
+
+#: The workload mixes host-pinned queries, unpinned-but-host-local queries
+#: and queries that must fall back to the single-shard lane.
+SHARDABLE_QUERIES = [
+    ("pinned-rule", rule_c5_data_exfiltration()),
+    ("pinned-sma", timeseries_network_spike(window_minutes=1)),
+    ("per-proc-volume", '''
+proc p write ip i as evt #time(30 sec)
+state ss { total := sum(evt.amount) } group by p.entity_id
+alert ss.total > 500000
+return p, ss.total
+'''),
+    ("per-host-volume", '''
+proc p send ip i as evt #time(45 sec)
+state ss { total := sum(evt.amount) } group by evt.agentid
+alert ss.total > 600000
+return ss.total
+'''),
+    ("cmd-writes", '''
+proc p["%cmd.exe"] write file f as evt
+return p, f
+'''),
+]
+
+SINGLE_LANE_QUERIES = [
+    ("per-dst-volume", '''
+proc p write ip i as evt #time(30 sec)
+state ss { total := sum(evt.amount) } group by i.dstip
+alert ss.total > 400000
+return i.dstip, ss.total
+'''),
+    ("per-exe-volume", '''
+proc p write ip i as evt #time(30 sec)
+state ss { total := sum(evt.amount) } group by p
+alert ss.total > 500000
+return p, ss.total
+'''),
+    ("cross-host-sequence", '''
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sbblv.exe"] read file f1 as evt2
+with evt1 -> evt2
+return p1, p3, f1
+'''),
+]
+
+
+def multi_host_events(seed: int, count: int = 500):
+    """A deterministic, time-ordered stream spread over several hosts."""
+    rng = random.Random(seed)
+    events = []
+    timestamp = 0.0
+    for _ in range(count):
+        timestamp += rng.uniform(0.05, 5.0)
+        host = rng.choice(_HOSTS)
+        subject = ProcessEntity.make(rng.choice(_EXES),
+                                     pid=rng.randint(1, 40), host=host)
+        kind = rng.random()
+        if kind < 0.45:
+            obj = FileEntity.make(rng.choice(_FILES), host=host)
+        elif kind < 0.8:
+            obj = NetworkEntity.make("10.0.1.30", rng.choice(_IPS),
+                                     srcport=50000,
+                                     dstport=rng.choice([443, 1433]))
+        else:
+            obj = ProcessEntity.make(rng.choice(_EXES),
+                                     pid=rng.randint(41, 80), host=host)
+        events.append(Event(
+            subject=subject,
+            operation=rng.choice(_OPERATIONS),
+            obj=obj,
+            timestamp=timestamp,
+            agentid=host,
+            amount=rng.choice([0.0, 512.0, 1e5, 6e5, 7e6]),
+        ))
+    return events
+
+
+def _fingerprints(alerts):
+    return sorted(
+        (alert.query_name, alert.timestamp, alert.data,
+         repr(alert.group_key), alert.window_start, alert.window_end,
+         alert.agentid, alert.model_kind)
+        for alert in alerts)
+
+
+def _run_plain(queries, events):
+    scheduler = ConcurrentQueryScheduler()
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    alerts = scheduler.execute(ListStream(events, presorted=True))
+    return scheduler, alerts
+
+
+def _run_sharded(queries, events, shards, backend="serial", batch_size=64):
+    scheduler = ShardedScheduler(shards=shards, backend=backend,
+                                 batch_size=batch_size)
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    alerts = scheduler.execute(ListStream(events, presorted=True))
+    return scheduler, alerts
+
+
+# ---------------------------------------------------------------------------
+# Property-style equivalence over randomized multi-host streams
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_sharded_alerts_and_stats_match_plain(seed):
+    """Serial backend, 1/2/4 shards: identical alert sets and merged stats."""
+    events = multi_host_events(seed)
+    plain, plain_alerts = _run_plain(SHARDABLE_QUERIES, events)
+    reference = _fingerprints(plain_alerts)
+    for shards in (1, 2, 4):
+        sharded, alerts = _run_sharded(SHARDABLE_QUERIES, events, shards)
+        assert not sharded.single_lane_query_names
+        assert _fingerprints(alerts) == reference
+        merged = sharded.stats
+        assert merged.events_ingested == plain.stats.events_ingested
+        assert merged.alerts == plain.stats.alerts
+        assert merged.pattern_evaluations == plain.stats.pattern_evaluations
+        assert (merged.pattern_evaluations_saved
+                == plain.stats.pattern_evaluations_saved)
+        # A shard evicts its buffers on its own latest event, which can lag
+        # the global stream tail, so shards retain at least what the single
+        # scheduler does.
+        assert merged.buffered_events >= plain.stats.buffered_events
+        assert merged.queries == plain.stats.queries
+        assert merged.groups == plain.stats.groups
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_single_lane_fallback_matches_plain(seed):
+    """Non-shardable queries fall back to a full-stream lane, alerts equal."""
+    queries = SHARDABLE_QUERIES + SINGLE_LANE_QUERIES
+    events = multi_host_events(seed)
+    _, plain_alerts = _run_plain(queries, events)
+    sharded, alerts = _run_sharded(queries, events, shards=3)
+    assert sharded.single_lane_query_names == [name for name, _ in
+                                               SINGLE_LANE_QUERIES]
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    # Each stream event is counted once, not once per lane.
+    assert sharded.stats.events_ingested == len(events)
+    assert sharded.stats.queries == len(queries)
+
+
+def test_backends_agree_on_one_stream():
+    """Thread and process backends produce the serial backend's output."""
+    events = multi_host_events(1234)
+    queries = SHARDABLE_QUERIES + SINGLE_LANE_QUERIES
+    _, reference_alerts = _run_sharded(queries, events, shards=2)
+    reference = _fingerprints(reference_alerts)
+    for backend in ("thread", "process"):
+        sharded, alerts = _run_sharded(queries, events, shards=2,
+                                       backend=backend)
+        assert _fingerprints(alerts) == reference
+        assert sharded.stats.events_ingested == len(events)
+
+
+def test_merged_alert_order_is_deterministic():
+    events = multi_host_events(77)
+    _, first = _run_sharded(SHARDABLE_QUERIES, events, shards=4)
+    _, second = _run_sharded(SHARDABLE_QUERIES, events, shards=4,
+                             backend="thread", batch_size=17)
+    assert [_alert_sort_key(a) for a in first] == [
+        _alert_sort_key(a) for a in second]
+
+
+# ---------------------------------------------------------------------------
+# Routing and plumbing details
+# ---------------------------------------------------------------------------
+
+def test_shard_index_is_stable_and_in_range():
+    for shards in (1, 2, 4, 7):
+        for host in _HOSTS:
+            index = shard_index(host, shards)
+            assert 0 <= index < shards
+            assert index == shard_index(host, shards)
+
+
+def test_shard_index_is_case_insensitive():
+    # SAQL equality case-folds, so a pin on "db-server" also matches
+    # events reporting as "DB-Server" — both must land on the pin's shard.
+    for shards in (2, 4, 7):
+        assert shard_index("DB-Server", shards) == shard_index("db-server",
+                                                               shards)
+
+
+def test_pinned_queries_route_to_their_owner_shard_only():
+    scheduler = ShardedScheduler(shards=4)
+    for name, text in SHARDABLE_QUERIES:
+        scheduler.add_query(text, name=name)
+    pinned = {name: report.pinned_agentid
+              for name, report in scheduler.reports.items()}
+    for position in range(4):
+        names = {name for name, _ in scheduler._queries_for_shard(position)}
+        for name, pin in pinned.items():
+            if pin is None:
+                assert name in names          # unpinned: everywhere
+            else:
+                assert ((name in names)
+                        == (shard_index(pin, 4) == position))
+
+
+def test_router_honors_saql_equality_aliasing():
+    """Agentids satisfying a pin under SAQL equality route to its shard.
+
+    SAQL equality case-folds and treats ``_``/``%`` on either side as LIKE
+    wildcards, so an event reporting as "db_server" matches a query pinned
+    to "db-server" — the router must send it where that query lives.
+    """
+    scheduler = ShardedScheduler(shards=4)
+    scheduler.add_query(rule_c5_data_exfiltration(), name="pinned")
+    route = scheduler._make_router(4)
+    pin_shard = shard_index("db-server", 4)
+    assert route("db-server") == pin_shard
+    assert route("DB-Server") == pin_shard
+    assert route("db_server") == pin_shard      # '_' wildcard aliases the pin
+    assert route("client-01") == shard_index("client-01", 4)
+
+
+def test_router_rejects_cross_shard_aliasing():
+    scheduler = ShardedScheduler(shards=4)
+    # Find two pins that land on different shards.
+    by_shard = {}
+    for number in range(64):
+        pin = f"host-{number:02d}"
+        by_shard.setdefault(shard_index(pin, 4), pin)
+        if len(by_shard) >= 2:
+            break
+    assert len(by_shard) >= 2
+    first, second = list(by_shard.values())[:2]
+    scheduler.add_query(rule_c5_data_exfiltration(agent=first), name="a")
+    scheduler.add_query(rule_c5_data_exfiltration(agent=second), name="b")
+    route = scheduler._make_router(4)
+    with pytest.raises(RuntimeError):
+        route("%")  # a pure-wildcard agentid satisfies both pins
+
+
+def test_dead_shard_thread_fails_fast_instead_of_deadlocking():
+    from repro.core.parallel.sharded import ThreadShard
+
+    shard = ThreadShard([("q", SHARDABLE_QUERIES[0][1])],
+                        enable_sharing=True)
+    # Garbage input kills the shard thread; subsequent feeds must raise
+    # (before this fix they blocked forever once the queue filled).
+    shard.feed(["not-an-event"])
+    with pytest.raises(Exception):
+        for _ in range(64):
+            shard.feed(["not-an-event"])
+            time.sleep(0.01)
+
+
+def test_all_host_events_land_on_one_shard():
+    events = multi_host_events(5)
+    by_host = {}
+    for event in events:
+        by_host.setdefault(event.agentid, set()).add(
+            shard_index(event.agentid, 4))
+    assert all(len(shards) == 1 for shards in by_host.values())
+
+
+def test_add_query_reports_and_rejects_duplicates():
+    scheduler = ShardedScheduler(shards=2)
+    report = scheduler.add_query(SHARDABLE_QUERIES[0][1], name="q")
+    assert report.shardable
+    with pytest.raises(ValueError):
+        scheduler.add_query(SHARDABLE_QUERIES[0][1], name="q")
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        ShardedScheduler(shards=0)
+    with pytest.raises(ValueError):
+        ShardedScheduler(backend="fiber")
+    with pytest.raises(ValueError):
+        ShardedScheduler(batch_size=0)
+
+
+def test_merge_stats_counts_logical_queries_once():
+    plain, _ = _run_plain(SHARDABLE_QUERIES, multi_host_events(9))
+    merged = merge_stats([plain.stats, plain.stats])
+    assert merged.queries == plain.stats.queries
+    assert merged.alerts == 2 * plain.stats.alerts
+
+
+def test_sink_receives_merged_order():
+    from repro.core.engine.alerts import CollectingSink
+
+    sink = CollectingSink()
+    events = multi_host_events(42)
+    scheduler = ShardedScheduler(shards=2, sink=sink)
+    for name, text in SHARDABLE_QUERIES:
+        scheduler.add_query(text, name=name)
+    alerts = scheduler.execute(ListStream(events, presorted=True))
+    assert sink.alerts == alerts
+    assert scheduler.alerts == alerts

@@ -63,6 +63,48 @@ class TestReplayer:
         assert sleeps == []
 
 
+class TestBatchReplay:
+    def test_batches_cover_the_selection_in_order(self):
+        database = _database()
+        replayer = StreamReplayer(database)
+        batches = list(replayer.iter_batches(7))
+        flattened = [event for batch in batches for event in batch]
+        assert flattened == list(StreamReplayer(database))
+        assert [len(batch) for batch in batches] == [7, 7, 6]
+        assert replayer.events_replayed == 20
+
+    def test_batches_honor_host_and_time_selection(self):
+        spec = ReplaySpec(hosts=["db-server"], start_time=30.0)
+        replayer = StreamReplayer(_database(), spec)
+        events = [event for batch in replayer.iter_batches(4)
+                  for event in batch]
+        assert events
+        assert all(event.agentid == "db-server" for event in events)
+        assert all(event.timestamp >= 30.0 for event in events)
+
+    def test_throttled_batches_sleep_once_per_batch(self):
+        # 10 db-server events, 10 s apart (t=0..90), at speed 10 in
+        # batches of 5: each batch is due when its last event is due, so
+        # the sleeps are (40-0)/10 and (90-40)/10 — and the total equals
+        # the 9 s that per-event replay sleeps.
+        sleeps = []
+        replayer = StreamReplayer(_database(),
+                                  ReplaySpec(hosts=["db-server"], speed=10.0),
+                                  sleep=sleeps.append)
+        list(replayer.iter_batches(5))
+        assert len(sleeps) == 2
+        assert abs(sleeps[0] - 4.0) < 1e-9
+        assert abs(sleeps[1] - 5.0) < 1e-9
+        assert abs(sum(sleeps) - 9.0) < 1e-9
+
+    def test_unthrottled_batches_never_sleep(self):
+        sleeps = []
+        replayer = StreamReplayer(_database(), ReplaySpec(),
+                                  sleep=sleeps.append)
+        list(replayer.iter_batches(3))
+        assert sleeps == []
+
+
 class TestReplayerCli:
     def test_stats_flag(self, tmp_path, capsys):
         path = tmp_path / "events.jsonl"
