@@ -19,6 +19,12 @@ and hands the engine plain Python closures:
   invariant statements, state aggregation definitions and ``group by``
   keys compile to nested closures; aggregation calls lower to a
   pre-resolved reducer over a compiled per-record value closure.
+* **Accumulator plans** (:mod:`.accumulators`) — state blocks whose
+  definitions have a streaming form lower to per-aggregation accumulators
+  (count/sum/avg, Welford stddev, min/max, distinct sets, order-statistic
+  buffers) that are updated once per match and merged pane-by-pane for
+  overlapping windows, enabling match-buffer elision in the state
+  maintainer.
 * **Query plans** (:mod:`.plan`) — :func:`compile_query` bundles the
   artifacts above into one :class:`CompiledQuery` per engine.
 
@@ -30,11 +36,20 @@ default; passing ``compiled=False`` to :class:`QueryEngine` (and to
 original AST-walking interpreter.  The interpreter is the reference
 semantics: the equivalence suite under ``tests/compile/`` asserts that
 compiled predicates, group keys and expressions agree with the
-interpreter across the demo queries and randomized events, and that both
-engine modes produce byte-identical alert streams.  Keep the two paths in
-lock-step — any semantic change must land in both, plus a test.
+interpreter across the demo queries and randomized events, and that the
+engine modes produce equivalent alert streams — byte-identical for the
+compiled-buffered path, and within float tolerance for the default
+incremental-aggregation path (``stddev`` uses Welford's recurrence and
+pane merging may re-associate float additions; exact for integral
+inputs — see ``tests/engine/test_incremental_equivalence.py``).  Keep
+the paths in lock-step — any semantic change must land in all of them,
+plus a test.
 """
 
+from repro.core.compile.accumulators import (
+    AccumulatorPlan,
+    compile_accumulator_plan,
+)
 from repro.core.compile.expressions import (
     compile_aggregation,
     compile_group_key,
@@ -51,9 +66,11 @@ from repro.core.compile.predicates import (
 )
 
 __all__ = [
+    "AccumulatorPlan",
     "CompiledPattern",
     "CompiledPatternSet",
     "CompiledQuery",
+    "compile_accumulator_plan",
     "compile_aggregation",
     "compile_entity_predicate",
     "compile_global_constraints",

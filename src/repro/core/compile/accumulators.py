@@ -1,0 +1,596 @@
+"""Streaming accumulator plans for incremental window aggregation.
+
+The buffered execution path keeps every :class:`PatternMatch` of a
+(window, group) bucket and re-reduces the full list when the window
+closes; with overlapping sliding windows (hop < length) each match is
+stored and re-aggregated once per containing window.  This module lowers
+a state block to an **accumulator plan** instead: each aggregation call
+becomes a streaming accumulator that is updated exactly once per match
+and whose partial states can be *merged*, so the state maintainer can
+keep per-pane partials and combine the O(length/hop) panes covering a
+window at close (pane/slice sharing, as in Li et al.'s paired windows
+and Flink's slice sharing).
+
+A plan also enables **match-buffer elision**: nothing downstream of
+:meth:`~repro.core.engine.state.StateMaintainer.close_window` consumes
+the raw match list (alert conditions, return items, invariants and
+clustering all read the computed ``WindowState.fields`` plus one
+representative match), so when every state definition lowers to
+accumulators the engine drops the per-window match buffers entirely and
+retains one representative match per open (pane, group) bucket.
+
+:func:`compile_accumulator_plan` returns ``None`` when a definition uses
+a construct with no streaming form (indexing, nested aggregations,
+non-literal aggregation parameters, unknown functions); the maintainer
+then falls back to the buffered-recompute path, which reproduces the
+interpreter's behaviour — including its close-time errors — exactly.
+
+Equivalence contract with the buffered path: ``count``/``min``/``max``/
+``set``/``distinct_count``/``first``/``last``/``median``/``percentile``
+are exact; ``sum``/``avg`` are exact per pane and associate float
+additions pane-by-pane on merge (bit-identical for integral inputs);
+``stddev`` uses Welford's algorithm with Chan's pairwise merge and may
+differ from the interpreter's two-pass formula by float rounding.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compile.expressions import (
+    CompiledExpr,
+    _Mode,
+    _raiser,
+    _RecordMode,
+)
+from repro.core.errors import SAQLExecutionError
+from repro.core.expr import functions
+from repro.core.expr.values import to_number
+from repro.core.language import ast
+
+#: Unary / binary operators the closure compiler implements; anything else
+#: compiles to a raiser, which must keep raising at close time (buffered
+#: path), so expressions using them are not lowered to accumulators.
+_UNARY_OPS = ("!", "-")
+_BINARY_OPS = frozenset({
+    "&&", "||", ">", ">=", "<", "<=", "==", "=", "!=", "in",
+    "union", "diff", "intersect", "+", "-", "*", "/", "%",
+})
+
+
+# ---------------------------------------------------------------------------
+# Streaming accumulators
+# ---------------------------------------------------------------------------
+# Each accumulator implements add(value, seq) — called once per match in
+# ingest order — merge(other) — fold another partial in; ``other`` is not
+# mutated — and result().  ``seq`` is the maintainer's monotone ingest
+# ordinal; only the order-sensitive accumulators (first/last) consult it,
+# so pane partials merge correctly even when late events created panes
+# out of time order.
+
+class _CountAcc:
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            self.n += 1
+
+    def merge(self, other: "_CountAcc") -> None:
+        self.n += other.n
+
+    def result(self) -> int:
+        return self.n
+
+
+class _SumAcc:
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            self.total += to_number(value)
+
+    def merge(self, other: "_SumAcc") -> None:
+        self.total += other.total
+
+    def result(self) -> float:
+        return self.total
+
+
+class _AvgAcc:
+    __slots__ = ("n", "total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            self.n += 1
+            self.total += to_number(value)
+
+    def merge(self, other: "_AvgAcc") -> None:
+        self.n += other.n
+        self.total += other.total
+
+    def result(self) -> float:
+        if not self.n:
+            return 0.0
+        return self.total / self.n
+
+
+class _MinAcc:
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Optional[float] = None
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            number = to_number(value)
+            if self.best is None or number < self.best:
+                self.best = number
+
+    def merge(self, other: "_MinAcc") -> None:
+        if other.best is not None and (self.best is None
+                                       or other.best < self.best):
+            self.best = other.best
+
+    def result(self) -> float:
+        return self.best if self.best is not None else 0.0
+
+
+class _MaxAcc:
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Optional[float] = None
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            number = to_number(value)
+            if self.best is None or number > self.best:
+                self.best = number
+
+    def merge(self, other: "_MaxAcc") -> None:
+        if other.best is not None and (self.best is None
+                                       or other.best > self.best):
+            self.best = other.best
+
+    def result(self) -> float:
+        return self.best if self.best is not None else 0.0
+
+
+class _SetAcc:
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: set = set()
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            self.values.add(value)
+
+    def merge(self, other: "_SetAcc") -> None:
+        self.values |= other.values
+
+    def result(self) -> frozenset:
+        return frozenset(self.values)
+
+
+class _DistinctCountAcc(_SetAcc):
+    __slots__ = ()
+
+    def result(self) -> int:  # type: ignore[override]
+        return len(self.values)
+
+
+class _StddevAcc:
+    """Welford's online variance with Chan's pairwise merge."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is None:
+            return
+        number = to_number(value)
+        self.n += 1
+        delta = number - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (number - self.mean)
+
+    def merge(self, other: "_StddevAcc") -> None:
+        if not other.n:
+            return
+        if not self.n:
+            self.n, self.mean, self.m2 = other.n, other.mean, other.m2
+            return
+        combined = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 += other.m2 + delta * delta * self.n * other.n / combined
+        self.mean = (self.mean * self.n + other.mean * other.n) / combined
+        self.n = combined
+
+    def result(self) -> float:
+        if self.n < 2:
+            return 0.0
+        # Population variance, matching functions.agg_stddev; guard the
+        # tiny negative m2 float rounding can produce.
+        return math.sqrt(max(self.m2 / self.n, 0.0))
+
+
+class _OrderStatAcc:
+    """median / percentile: per-pane value buffer, sorted at finalize.
+
+    Exact order statistics need the values, so this accumulator keeps the
+    numeric coercions (floats, not matches) per pane; ``result`` delegates
+    to the interpreter's reducers so rank semantics stay identical.
+    """
+
+    __slots__ = ("values", "rank")
+
+    def __init__(self, rank: Optional[float]) -> None:
+        self.values: List[float] = []
+        self.rank = rank
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            self.values.append(to_number(value))
+
+    def merge(self, other: "_OrderStatAcc") -> None:
+        self.values.extend(other.values)
+
+    def result(self) -> float:
+        if self.rank is None:
+            return functions.agg_median(self.values)
+        return functions.agg_percentile(self.values, self.rank)
+
+
+class _FirstAcc:
+    __slots__ = ("seq", "value")
+
+    def __init__(self) -> None:
+        self.seq = -1
+        self.value: Any = None
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None and self.seq < 0:
+            self.seq = seq
+            self.value = value
+
+    def merge(self, other: "_FirstAcc") -> None:
+        if other.seq >= 0 and (self.seq < 0 or other.seq < self.seq):
+            self.seq = other.seq
+            self.value = other.value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class _LastAcc:
+    __slots__ = ("seq", "value")
+
+    def __init__(self) -> None:
+        self.seq = -1
+        self.value: Any = None
+
+    def add(self, value: Any, seq: int) -> None:
+        if value is not None:
+            self.seq = seq
+            self.value = value
+
+    def merge(self, other: "_LastAcc") -> None:
+        if other.seq > self.seq:
+            self.seq = other.seq
+            self.value = other.value
+
+    def result(self) -> Any:
+        return self.value
+
+
+#: Aggregations whose accumulator takes no extra parameter.
+_SIMPLE_FACTORIES: Dict[str, Callable[[], Any]] = {
+    "count": _CountAcc,
+    "sum": _SumAcc,
+    "avg": _AvgAcc,
+    "min": _MinAcc,
+    "max": _MaxAcc,
+    "set": _SetAcc,
+    "distinct_count": _DistinctCountAcc,
+    "stddev": _StddevAcc,
+    "first": _FirstAcc,
+    "last": _LastAcc,
+}
+
+
+# ---------------------------------------------------------------------------
+# Lowerability analysis
+# ---------------------------------------------------------------------------
+
+def _record_streamable(expr: ast.Expression) -> bool:
+    """Can this per-record expression run inside an accumulator update?
+
+    Mirrors what :class:`_RecordMode` compiles without producing a raiser
+    closure: a raiser must keep raising when the window *closes* (the
+    buffered path's timing), not once per match at ingest.
+    """
+    if isinstance(expr, (ast.Literal, ast.EmptySet, ast.Identifier)):
+        return True
+    if isinstance(expr, ast.AttributeRef):
+        return _record_streamable(expr.base)
+    if isinstance(expr, ast.UnaryOp):
+        return expr.op in _UNARY_OPS and _record_streamable(expr.operand)
+    if isinstance(expr, ast.BinaryOp):
+        return (expr.op in _BINARY_OPS
+                and _record_streamable(expr.left)
+                and _record_streamable(expr.right))
+    if isinstance(expr, ast.SizeOf):
+        return _record_streamable(expr.operand)
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name.lower()
+        if functions.is_aggregation(name):
+            return False  # nested aggregations raise at close time
+        if name == "all":
+            return (len(expr.args) == 1
+                    and _record_streamable(expr.args[0]))
+        if name in functions.SCALARS:
+            return all(_record_streamable(arg) for arg in expr.args)
+        return False
+    return False
+
+
+def _aggregation_spec(call: ast.FuncCall
+                      ) -> Optional[Tuple[str, Tuple[float, ...]]]:
+    """Return (name, literal extras) when the call has a streaming form."""
+    if not call.args or call.kwargs:
+        return None
+    name = call.name.lower()
+    extras: List[float] = []
+    for arg in call.args[1:]:
+        if not isinstance(arg, ast.Literal):
+            return None
+        try:
+            extras.append(float(arg.value))
+        except (TypeError, ValueError):
+            return None
+    # Only percentile takes a parameter; extra arguments on any other
+    # aggregation make the interpreter's reducer raise at close time.
+    if extras and (name != "percentile" or len(extras) > 1):
+        return None
+    if not _record_streamable(call.args[0]):
+        return None
+    return name, tuple(extras)
+
+
+def _outer_streamable(expr: ast.Expression,
+                      calls: List[ast.FuncCall]) -> bool:
+    """Check one state definition and collect its aggregation calls."""
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name.lower()
+        if functions.is_aggregation(name):
+            if _aggregation_spec(expr) is None:
+                return False
+            calls.append(expr)
+            return True
+        if name == "all":
+            return (len(expr.args) == 1
+                    and _outer_streamable(expr.args[0], calls))
+        if name in functions.SCALARS:
+            return all(_outer_streamable(arg, calls) for arg in expr.args)
+        return False
+    if isinstance(expr, (ast.Literal, ast.EmptySet, ast.Identifier)):
+        return True
+    if isinstance(expr, ast.AttributeRef):
+        return _outer_streamable(expr.base, calls)
+    if isinstance(expr, ast.UnaryOp):
+        return (expr.op in _UNARY_OPS
+                and _outer_streamable(expr.operand, calls))
+    if isinstance(expr, ast.BinaryOp):
+        return (expr.op in _BINARY_OPS
+                and _outer_streamable(expr.left, calls)
+                and _outer_streamable(expr.right, calls))
+    if isinstance(expr, ast.SizeOf):
+        return _outer_streamable(expr.operand, calls)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+class GroupAccumulator:
+    """The streaming state of one (bucket, group): slot accumulators plus
+    the representative match (the bucket's last match in ingest order,
+    standing in for the buffered path's ``matches[-1]``).
+
+    ``error`` holds the first :class:`SAQLExecutionError` a per-record
+    value closure raised; it is re-raised when the bucket finalizes, so
+    runtime errors in state definitions keep the buffered path's timing
+    (reported when the window closes, not once per offending match).
+    """
+
+    __slots__ = ("slots", "rep", "rep_seq", "first_seq", "count", "error")
+
+    def __init__(self, slots: List[Any]) -> None:
+        self.slots = slots
+        self.rep: Any = None
+        self.rep_seq = -1
+        # Ingest ordinal of the bucket's first match: pane merging uses it
+        # to emit a window's groups in first-arrival order, matching the
+        # buffered path's dict-insertion order.
+        self.first_seq = -1
+        self.count = 0
+        self.error: Optional[SAQLExecutionError] = None
+
+
+class _FinalizeMode(_Mode):
+    """Closures over ``(slot_results, representative_match)`` environments.
+
+    Mirrors :class:`_AggregationMode`: aggregation calls read their slot's
+    finalized value, everything else resolves per-record against the
+    representative (the buffered path's ``matches[-1]``).
+    """
+
+    def __init__(self, slot_index: Dict[ast.FuncCall, int]) -> None:
+        self._slot_index = slot_index
+        self._record = _RecordMode()
+
+    def compile_name(self, name: str) -> CompiledExpr:
+        record_fn = self._record.compile_name(name)
+
+        def resolve(env: Any) -> Any:
+            representative = env[1]
+            if representative is None:
+                return None
+            return record_fn(representative)
+        return resolve
+
+    def compile_attribute(self, base: CompiledExpr, attr: str) -> CompiledExpr:
+        # Imported lazily, as in expressions.py: engine.context imports
+        # engine.state, which imports this module.
+        from repro.core.engine.context import resolve_attribute
+        return lambda env: resolve_attribute(base(env), attr)
+
+    def compile_index(self, base: CompiledExpr,
+                      index: CompiledExpr) -> CompiledExpr:
+        return _raiser("indexing is not supported inside state definitions")
+
+    def compile_aggregation(self, call: ast.FuncCall) -> CompiledExpr:
+        slot = self._slot_index[call]
+        return lambda env: env[0][slot]
+
+
+class AccumulatorPlan:
+    """The lowered form of one state block: slot accumulator factories,
+    per-slot ``match -> value`` closures, and per-definition finalizers
+    over ``(slot_results, representative)``."""
+
+    def __init__(self,
+                 factories: Sequence[Callable[[], Any]],
+                 value_fns: Sequence[CompiledExpr],
+                 value_slots: Sequence[Tuple[int, ...]],
+                 fields: Sequence[Tuple[str, CompiledExpr]]) -> None:
+        self._factories = tuple(factories)
+        # One compiled value closure per *distinct* value expression,
+        # paired with the slot indices it feeds — so
+        # ``count/sum/avg/stddev/percentile`` over the same attribute
+        # evaluate it once per match, not once per aggregation.  Pre-zip
+        # so the once-per-match update loop allocates nothing.
+        self._value_pairs = tuple(zip(value_fns, value_slots))
+        self._fields = tuple(fields)
+
+    @property
+    def slot_count(self) -> int:
+        """Return how many distinct aggregation slots the plan keeps."""
+        return len(self._factories)
+
+    def new_group(self) -> GroupAccumulator:
+        """Create the empty streaming state of one (bucket, group)."""
+        return GroupAccumulator([factory() for factory in self._factories])
+
+    def update(self, group: GroupAccumulator, match: Any, seq: int) -> None:
+        """Fold one match into a bucket group — the once-per-match touch."""
+        group.count += 1
+        group.rep = match
+        group.rep_seq = seq
+        if group.first_seq < 0:
+            group.first_seq = seq
+        slots = group.slots
+        try:
+            for value_fn, indices in self._value_pairs:
+                value = value_fn(match)
+                for index in indices:
+                    slots[index].add(value, seq)
+        except SAQLExecutionError as error:
+            if group.error is None:
+                group.error = error
+
+    def merge(self, target: GroupAccumulator,
+              source: GroupAccumulator) -> None:
+        """Fold a pane partial into a window's merged state (source intact)."""
+        target.count += source.count
+        if source.rep_seq > target.rep_seq:
+            target.rep = source.rep
+            target.rep_seq = source.rep_seq
+        if source.first_seq >= 0 and (target.first_seq < 0
+                                      or source.first_seq < target.first_seq):
+            target.first_seq = source.first_seq
+        if target.error is None and source.error is not None:
+            target.error = source.error
+        for accumulator, partial in zip(target.slots, source.slots):
+            accumulator.merge(partial)
+
+    def finalize(self, group: GroupAccumulator) -> Dict[str, Any]:
+        """Compute the state fields of one closed (window, group).
+
+        Re-raises the first per-record error the bucket absorbed, giving
+        malformed values the same close-time failure as the buffered
+        recompute.
+        """
+        if group.error is not None:
+            raise group.error
+        env = (tuple(accumulator.result() for accumulator in group.slots),
+               group.rep)
+        return {name: field_fn(env) for name, field_fn in self._fields}
+
+
+def compile_accumulator_plan(state: ast.StateBlock
+                             ) -> Optional[AccumulatorPlan]:
+    """Lower a state block to an accumulator plan (None when not possible).
+
+    Structurally identical aggregation calls across definitions share one
+    slot, so ``avg(evt.amount)`` appearing in two definitions is
+    accumulated once per match.
+    """
+    calls: List[ast.FuncCall] = []
+    for definition in state.definitions:
+        if not _outer_streamable(definition.expr, calls):
+            return None
+    record = _RecordMode()
+    slot_index: Dict[ast.FuncCall, int] = {}
+    factories: List[Callable[[], Any]] = []
+    value_groups: Dict[ast.Expression, Tuple[CompiledExpr, List[int]]] = {}
+    for call in calls:
+        if call in slot_index:
+            continue
+        spec = _aggregation_spec(call)
+        assert spec is not None  # guaranteed by _outer_streamable
+        name, extras = spec
+        slot = len(factories)
+        slot_index[call] = slot
+        factories.append(_make_factory(name, extras))
+        value_expr = call.args[0]
+        group = value_groups.get(value_expr)
+        if group is None:
+            value_groups[value_expr] = (record.compile(value_expr), [slot])
+        else:
+            group[1].append(slot)
+    mode = _FinalizeMode(slot_index)
+    fields = tuple((definition.name, mode.compile(definition.expr))
+                   for definition in state.definitions)
+    return AccumulatorPlan(
+        factories,
+        [value_fn for value_fn, _ in value_groups.values()],
+        [tuple(slots) for _, slots in value_groups.values()],
+        fields)
+
+
+def _make_factory(name: str,
+                  extras: Tuple[float, ...]) -> Callable[[], Any]:
+    if name == "percentile":
+        rank = extras[0] if extras else 95.0
+        return lambda: _OrderStatAcc(rank)
+    if name == "median":
+        return lambda: _OrderStatAcc(None)
+    return _SIMPLE_FACTORIES[name]

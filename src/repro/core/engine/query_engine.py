@@ -42,7 +42,8 @@ class QueryEngine:
                  sink: Optional[AlertSink] = None,
                  error_reporter: Optional[ErrorReporter] = None,
                  sequence_horizon: Optional[float] = None,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 incremental: Optional[bool] = None):
         if isinstance(query, str):
             query = parse_query(query)
         self._query = query
@@ -70,8 +71,12 @@ class QueryEngine:
         self._matcher = MultieventMatcher(query, horizon=sequence_horizon,
                                           compiled=compiled)
         self._window_assigner = WindowAssigner(query.window)
+        # ``incremental=None`` auto-selects: state blocks that lower to an
+        # accumulator plan run incrementally (streaming accumulators, pane
+        # sharing, match-buffer elision); the rest — and compiled=False —
+        # use the buffered-recompute oracle.
         self._state_maintainer: Optional[StateMaintainer] = (
-            StateMaintainer(query, compiled=compiled)
+            StateMaintainer(query, compiled=compiled, incremental=incremental)
             if query.state is not None else None)
         self._invariant: Optional[InvariantMaintainer] = None
         if query.invariant is not None and query.state is not None:
@@ -103,6 +108,26 @@ class QueryEngine:
     def alerts(self) -> List[Alert]:
         """Return all alerts emitted so far."""
         return list(self._collected)
+
+    @property
+    def state_buffered_matches(self) -> int:
+        """Matches currently retained for window state (0 for rule queries).
+
+        Under buffered aggregation this counts every stored copy (an
+        overlapping window stores each match once per containing window);
+        under incremental aggregation it counts the single representative
+        match kept per open (bucket, group).
+        """
+        if self._state_maintainer is None:
+            return 0
+        return self._state_maintainer.buffered_matches
+
+    @property
+    def state_peak_buffered_matches(self) -> int:
+        """Peak of :attr:`state_buffered_matches` over the run."""
+        if self._state_maintainer is None:
+            return 0
+        return self._state_maintainer.peak_buffered_matches
 
     def execute(self, stream: Iterable[Event]) -> List[Alert]:
         """Run the query over a finite stream and return all alerts."""
@@ -250,10 +275,20 @@ class QueryEngine:
         return self._close_windows(watermark)
 
     def _accumulate_matches(self, matches: Sequence[PatternMatch]) -> None:
-        assert self._state_maintainer is not None
+        maintainer = self._state_maintainer
+        assert maintainer is not None
+        if maintainer.shares_panes:
+            # Overlapping sliding windows: one pane update per match
+            # instead of one bucket append per containing window.
+            add_sliding = maintainer.add_match_sliding
+            for match in matches:
+                add_sliding(match)
+            return
+        assign = self._window_assigner.assign
+        add = maintainer.add_match
         for match in matches:
-            for window in self._window_assigner.assign(match.timestamp):
-                self._state_maintainer.add_match(window, match)
+            for window in assign(match.timestamp):
+                add(window, match)
 
     def _current_watermark(self, event: Event) -> float:
         return self._window_assigner.watermark(event.timestamp)

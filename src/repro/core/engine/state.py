@@ -1,21 +1,42 @@
 """The state maintainer: per-window, per-group stateful computation.
 
-For stateful queries the engine accumulates the pattern matches of each
-sliding window, partitioned by the query's ``group by`` keys.  When a
-window closes, the state maintainer evaluates the state block's aggregation
+For stateful queries the engine folds the pattern matches of each sliding
+window, partitioned by the query's ``group by`` keys.  When a window
+closes, the state maintainer computes the state block's aggregation
 definitions for every group and appends the resulting
 :class:`WindowState` to that group's bounded history (``state[3] ss`` keeps
 the current window plus two past windows, addressed as ``ss[0]``,
 ``ss[1]``, ``ss[2]`` in alert conditions).
+
+Two execution modes share this class:
+
+* **incremental** (the default when the state block lowers to an
+  :class:`~repro.core.compile.accumulators.AccumulatorPlan`): each match
+  updates streaming accumulators exactly once; for overlapping sliding
+  windows (hop < length) matches land in *panes* of size
+  ``gcd(hop, length)`` and a closing window merges the O(length/hop)
+  panes that cover it.  No per-window match lists exist — only the
+  accumulators plus one representative match per open (bucket, group)
+  (match-buffer elision);
+* **buffered** (``compiled=False``, ``incremental=False``, or a state
+  block with no streaming form): the original accumulate-then-recompute
+  path, kept as the semantic oracle for equivalence testing.
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
+import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.compile.accumulators import (
+    AccumulatorPlan,
+    GroupAccumulator,
+    compile_accumulator_plan,
+)
 from repro.core.compile.expressions import (
     compile_group_key,
     compile_state_definitions,
@@ -80,45 +101,293 @@ class StateHistory:
         return iter(self._states)
 
 
+def _pane_geometry(spec: Optional[ast.WindowSpec]
+                   ) -> Optional[Tuple[float, int, int]]:
+    """Return (pane size, hop panes, length panes) for pane sharing.
+
+    Pane (slice) sharing applies to overlapping time windows whose hop and
+    length are commensurable: panes of size ``gcd(hop, length)`` tile
+    every window exactly, window *i* covering panes
+    ``[i * hop_panes, i * hop_panes + length_panes)``.
+
+    Only integral-second geometry shares panes: with integer hop/length
+    every pane boundary ``p * pane_size`` and window boundary
+    ``i * hop`` is float-exact, so pane binning agrees bit-for-bit with
+    :meth:`WindowAssigner.assign`'s containment checks.  Fractional
+    seconds (where ``3 * 0.1 > 0.3`` style rounding could silently move
+    a boundary timestamp between windows) fall back to per-window
+    buckets, which use the assigner's own window set and therefore
+    cannot disagree with the buffered oracle.
+    """
+    if spec is None or spec.kind != "time":
+        return None
+    hop = spec.effective_hop
+    length = spec.length
+    if not 0 < hop < length:
+        return None
+    # float() first: spec fields may be programmatically-built ints, and
+    # int.is_integer only exists from Python 3.12.
+    if not (float(hop).is_integer() and float(length).is_integer()):
+        return None
+    pane = math.gcd(int(hop), int(length))
+    if pane <= 0:
+        return None
+    return float(pane), int(hop) // pane, int(length) // pane
+
+
 class StateMaintainer:
-    """Accumulates matches per window/group and computes window states."""
+    """Folds matches per window/group and computes window states."""
 
     def __init__(self, query: ast.Query,
                  context_factory=None,
-                 compiled: bool = True):
+                 compiled: bool = True,
+                 incremental: Optional[bool] = None):
         if query.state is None:
             raise ValueError("StateMaintainer requires a query with a state block")
         self._query = query
         self._state = query.state
         self._context_factory = context_factory
         self._compiled_group_key: Optional[Callable[[PatternMatch], Any]] = None
-        self._compiled_fields: Optional[
+        self._fields_compile_enabled = compiled
+        self._compiled_fields_cache: Optional[
             Callable[[Sequence[PatternMatch]], Dict[str, Any]]] = None
+        self._plan: Optional[AccumulatorPlan] = None
         if compiled:
             self._compiled_group_key = compile_group_key(query.state)
-            self._compiled_fields = compile_state_definitions(query.state)
-        # (window index) -> group key -> matches
+            if incremental is not False:
+                self._plan = compile_accumulator_plan(query.state)
+        spec = query.window
+        self._window_spec = spec
+        self._pane = _pane_geometry(spec) if self._plan is not None else None
+        # (window) -> group key -> matches (buffered mode only).
         self._pending: Dict[WindowKey, Dict[Any, List[PatternMatch]]] = {}
-        # Min-heap of open-window ends, pushed when a window first receives
-        # a match; lets the engine close due windows without scanning every
-        # open window per event.
-        self._deadline_heap: List[Tuple[float, int, float]] = []
+        # (window) -> group key -> accumulators (incremental, one bucket
+        # per window: tumbling/gapped/count windows, or explicit windows
+        # handed to add_match).
+        self._banks: Dict[WindowKey, Dict[Any, GroupAccumulator]] = {}
+        # pane index -> group key -> accumulators (incremental pane
+        # sharing for overlapping time windows).
+        self._pane_groups: Dict[int, Dict[Any, GroupAccumulator]] = {}
+        # Pane indices in eviction order (a pane outlives the first window
+        # it serves; it is dropped when its last covering window closes).
+        self._pane_heap: List[int] = []
+        # Window indices currently open under pane sharing.
+        self._open_indices: Set[int] = set()
+        # Close frontier: windows below this index have closed via the
+        # pane path.  A late match covering one of them must re-open it
+        # with *only* its late contributions (the buffered path's
+        # semantics — earlier matches were already reported when the
+        # window first closed), so such windows take per-window buckets
+        # in ``_banks`` instead of pane merging.  ``_late_threshold`` is
+        # the first pane index whose covering windows are all unclosed;
+        # the hot path pays one comparison against it.
+        self._closed_frontier = 0
+        self._late_threshold = 0
+        # Min-heap of open windows, pushed when a window first opens; the
+        # WindowKey rides along so popping a due window reuses the entry
+        # instead of rebuilding the key, and the monotone tiebreak keeps
+        # entries comparable if one window ever re-opens (late events).
+        self._deadline_heap: List[Tuple[float, int, int, WindowKey]] = []
+        self._heap_ties = itertools.count()
         self._histories: Dict[Any, StateHistory] = {}
-        #: total matches accumulated, for benchmarks
+        #: total matches accumulated (one per add_match call), for benchmarks
         self.total_matches = 0
+        #: monotone ingest ordinal driving first/last/representative merges
+        self._seq = 0
+        #: matches currently retained (buffered lists, or one
+        #: representative per open bucket group under elision)
+        self.buffered_matches = 0
+        #: peak of :attr:`buffered_matches` over the run
+        self.peak_buffered_matches = 0
+
+    # -- mode introspection --------------------------------------------------
+
+    @property
+    def _compiled_fields(self) -> Optional[
+            Callable[[Sequence[PatternMatch]], Dict[str, Any]]]:
+        """Buffered-path state-field closures, compiled on first use.
+
+        Incremental mode never consults them, so registration skips the
+        compile; the buffered fallback (and the equivalence suite, which
+        reads this attribute directly) builds them on demand.
+        """
+        if self._compiled_fields_cache is None and self._fields_compile_enabled:
+            self._compiled_fields_cache = compile_state_definitions(
+                self._state)
+        return self._compiled_fields_cache
+
+    @property
+    def incremental(self) -> bool:
+        """True when state is folded into streaming accumulators."""
+        return self._plan is not None
+
+    @property
+    def shares_panes(self) -> bool:
+        """True when overlapping windows share per-pane partials.
+
+        The engine then ingests via :meth:`add_match_sliding` (one touch
+        per match) instead of one :meth:`add_match` per containing window.
+        """
+        return self._pane is not None
+
+    @property
+    def pane_size(self) -> Optional[float]:
+        """Return the shared pane length in seconds (None without sharing)."""
+        return self._pane[0] if self._pane is not None else None
 
     # -- accumulation -------------------------------------------------------
 
     def add_match(self, window: WindowKey, match: PatternMatch) -> None:
-        """Add one pattern match to its window/group bucket."""
-        group_key = self.group_key_for(match)
+        """Fold one pattern match into its window/group bucket."""
+        self.total_matches += 1
+        seq = self._seq
+        self._seq = seq + 1
+        if self._plan is not None:
+            banks = self._banks
+            groups = banks.get(window)
+            if groups is None:
+                groups = banks[window] = {}
+                self._push_deadline(window)
+            group_key = self.group_key_for(match)
+            bucket = groups.get(group_key)
+            if bucket is None:
+                bucket = groups[group_key] = self._plan.new_group()
+                self._grew_buckets(1)
+            self._plan.update(bucket, match, seq)
+            return
         groups = self._pending.get(window)
         if groups is None:
             groups = self._pending[window] = {}
-            heapq.heappush(self._deadline_heap,
-                           (window.end, window.index, window.start))
-        groups.setdefault(group_key, []).append(match)
+            self._push_deadline(window)
+        group_key = self.group_key_for(match)
+        matches = groups.get(group_key)
+        if matches is None:
+            groups[group_key] = [match]
+        else:
+            matches.append(match)
+        self._grew_buckets(1)
+
+    def add_match_sliding(self, match: PatternMatch) -> None:
+        """Fold one match into its pane (pane-sharing fast path).
+
+        Each match is touched exactly once: it updates the accumulators of
+        its single pane/group bucket, while the buffered path would store
+        and later re-reduce it once per containing window
+        (``length / hop`` times).
+        """
+        assert self._pane is not None and self._plan is not None
         self.total_matches += 1
+        seq = self._seq
+        self._seq = seq + 1
+        pane_size = self._pane[0]
+        timestamp = match.timestamp
+        pane = int(timestamp // pane_size)
+        # Guard float division landing on the wrong side of a boundary.
+        if pane * pane_size > timestamp:
+            pane -= 1
+        elif (pane + 1) * pane_size <= timestamp:
+            pane += 1
+        if pane < self._late_threshold:
+            self._add_late_sliding(pane, match, seq)
+            return
+        groups = self._pane_groups.get(pane)
+        if groups is None:
+            groups = self._pane_groups[pane] = {}
+            heapq.heappush(self._pane_heap, pane)
+            self._register_windows_for_pane(pane)
+        group_key = self.group_key_for(match)
+        bucket = groups.get(group_key)
+        if bucket is None:
+            bucket = groups[group_key] = self._plan.new_group()
+            self._grew_buckets(1)
+        self._plan.update(bucket, match, seq)
+
+    def _covering_range(self, pane: int) -> Tuple[int, int]:
+        """Window indices covering a pane: (first, last), both inclusive.
+
+        Window *i* covers panes ``[i * hop_panes, i * hop_panes +
+        length_panes)``, so the covering indices run from
+        ``ceil((pane + 1 - length_panes) / hop_panes)`` (clamped at 0)
+        through ``pane // hop_panes``.
+        """
+        assert self._pane is not None
+        _, hop_panes, length_panes = self._pane
+        first = -((length_panes - 1 - pane) // hop_panes)
+        return (first if first > 0 else 0), pane // hop_panes
+
+    def _window_for_index(self, index: int) -> WindowKey:
+        """Build the key of sliding window ``index`` from the query spec."""
+        spec = self._window_spec
+        assert spec is not None
+        start = index * spec.effective_hop
+        return WindowKey(index=index, start=start,
+                         end=start + spec.length)
+
+    def _register_windows_for_pane(self, pane: int) -> None:
+        """Open every unclosed window covering a newly created pane.
+
+        Runs once per pane (not per event).  Windows behind the close
+        frontier are excluded — late matches re-open those through
+        per-window buckets.
+        """
+        first, last = self._covering_range(pane)
+        if first < self._closed_frontier:
+            first = self._closed_frontier
+        open_indices = self._open_indices
+        for index in range(first, last + 1):
+            if index not in open_indices:
+                open_indices.add(index)
+                self._push_deadline(self._window_for_index(index))
+
+    def _add_late_sliding(self, pane: int, match: PatternMatch,
+                          seq: int) -> None:
+        """Fold a match at least one of whose covering windows has closed.
+
+        Already-closed windows re-open as per-window buckets that see only
+        their late matches — exactly what the buffered path's re-created
+        (window, group) lists would hold; the pane keeps serving the still
+        unclosed windows at or past the frontier.
+        """
+        assert self._pane is not None and self._plan is not None
+        first, last = self._covering_range(pane)
+        frontier = self._closed_frontier
+        plan = self._plan
+        group_key = self.group_key_for(match)
+        stop = last + 1 if last < frontier else frontier
+        for index in range(first, stop):
+            window = self._window_for_index(index)
+            groups = self._banks.get(window)
+            if groups is None:
+                groups = self._banks[window] = {}
+                self._push_deadline(window)
+            bucket = groups.get(group_key)
+            if bucket is None:
+                bucket = groups[group_key] = plan.new_group()
+                self._grew_buckets(1)
+            plan.update(bucket, match, seq)
+        if last < frontier:
+            return
+        groups = self._pane_groups.get(pane)
+        if groups is None:
+            groups = self._pane_groups[pane] = {}
+            heapq.heappush(self._pane_heap, pane)
+            self._register_windows_for_pane(pane)
+        bucket = groups.get(group_key)
+        if bucket is None:
+            bucket = groups[group_key] = plan.new_group()
+            self._grew_buckets(1)
+        plan.update(bucket, match, seq)
+
+    def _push_deadline(self, window: WindowKey) -> None:
+        heapq.heappush(self._deadline_heap,
+                       (window.end, window.index, next(self._heap_ties),
+                        window))
+
+    def _grew_buckets(self, added: int) -> None:
+        grown = self.buffered_matches + added
+        self.buffered_matches = grown
+        if grown > self.peak_buffered_matches:
+            self.peak_buffered_matches = grown
 
     def group_key_for(self, match: PatternMatch) -> Any:
         """Evaluate the ``group by`` keys for one match.
@@ -163,8 +432,20 @@ class StateMaintainer:
     # -- window closing -------------------------------------------------------
 
     def open_windows(self) -> List[WindowKey]:
-        """Return the windows that currently hold accumulated matches."""
+        """Return the windows that currently hold accumulated state."""
+        if self._plan is not None:
+            windows = list(self._banks.keys())
+            if self._open_indices:
+                windows.extend(self._window_for_index(index)
+                               for index in sorted(self._open_indices))
+            return windows
         return list(self._pending.keys())
+
+    def _is_open(self, window: WindowKey) -> bool:
+        if self._plan is not None:
+            return (window.index in self._open_indices
+                    or window in self._banks)
+        return window in self._pending
 
     def has_due_windows(self, watermark: float) -> bool:
         """Return True when at least one open window ends at or before ``watermark``."""
@@ -178,29 +459,112 @@ class StateMaintainer:
         they must close in), so an error while processing one window
         leaves the deadlines of the remaining due windows intact for the
         next call.  This replaces the per-event scan-and-sort over all
-        open windows: when nothing is due the cost is one heap peek.
+        open windows: when nothing is due the cost is one heap peek, and
+        the popped entry carries its :class:`WindowKey` so nothing is
+        rebuilt on the close path.
         """
         heap = self._deadline_heap
         while heap and heap[0][0] <= watermark:
-            end, index, start = heapq.heappop(heap)
-            window = WindowKey(index=index, start=start, end=end)
+            window = heapq.heappop(heap)[3]
             # Skip stale deadlines for windows already closed directly via
             # close_window (the heap is not updated on that path).
-            if window in self._pending:
+            if self._is_open(window):
                 return window
         return None
 
     def close_window(self, window: WindowKey) -> List[WindowState]:
         """Compute and record the states of all groups of a closing window."""
-        groups = self._pending.pop(window, {})
+        if self._plan is not None:
+            return self._close_incremental(window)
+        groups = self._pending.pop(window, None)
+        if not groups:
+            return []
+        # The lists left _pending above, so they are no longer retained —
+        # decrement before computing state, which may raise mid-loop.
+        self.buffered_matches -= sum(len(matches)
+                                     for matches in groups.values())
         states: List[WindowState] = []
+        history_length = self._state.history
+        histories = self._histories
         for group_key, matches in groups.items():
             state = self._compute_state(window, group_key, matches)
-            history = self._histories.setdefault(
-                group_key, StateHistory(self._state.history))
+            history = histories.get(group_key)
+            if history is None:
+                history = histories[group_key] = StateHistory(history_length)
             history.push(state)
             states.append(state)
         return states
+
+    def _close_incremental(self, window: WindowKey) -> List[WindowState]:
+        plan = self._plan
+        assert plan is not None
+        merged: Dict[Any, GroupAccumulator]
+        if window.index in self._open_indices:
+            self._open_indices.discard(window.index)
+            assert self._pane is not None
+            _, hop_panes, length_panes = self._pane
+            first_pane = window.index * hop_panes
+            merged = {}
+            pane_groups = self._pane_groups
+            for pane in range(first_pane, first_pane + length_panes):
+                groups = pane_groups.get(pane)
+                if not groups:
+                    continue
+                for group_key, partial in groups.items():
+                    bucket = merged.get(group_key)
+                    if bucket is None:
+                        bucket = merged[group_key] = plan.new_group()
+                    plan.merge(bucket, partial)
+            # Panes no window after this one covers can go; windows close
+            # in index order (uniform length), so the threshold only moves
+            # forward.
+            self._evict_panes_before(first_pane + hop_panes)
+            if window.index >= self._closed_frontier:
+                self._closed_frontier = window.index + 1
+                # First pane whose covering windows are all unclosed.
+                self._late_threshold = (self._closed_frontier * hop_panes
+                                        + length_panes - hop_panes)
+            # Emit groups in first-arrival order — the buffered path's
+            # dict-insertion order — not pane order, which diverges when
+            # events arrive out of timestamp order.
+            if len(merged) > 1:
+                merged = dict(sorted(
+                    merged.items(),
+                    key=lambda entry: entry[1].first_seq))
+        else:
+            groups = self._banks.pop(window, None)
+            if not groups:
+                return []
+            self.buffered_matches -= len(groups)
+            merged = groups
+        states: List[WindowState] = []
+        history_length = self._state.history
+        histories = self._histories
+        for group_key, bucket in merged.items():
+            state = WindowState(
+                group_key=group_key,
+                window=window,
+                fields=plan.finalize(bucket),
+                representative=bucket.rep,
+                match_count=bucket.count,
+            )
+            history = histories.get(group_key)
+            if history is None:
+                history = histories[group_key] = StateHistory(history_length)
+            history.push(state)
+            states.append(state)
+        return states
+
+    def _evict_panes_before(self, threshold: int) -> None:
+        heap = self._pane_heap
+        pane_groups = self._pane_groups
+        dropped = 0
+        while heap and heap[0] < threshold:
+            groups = pane_groups.pop(heapq.heappop(heap), None)
+            if groups:
+                dropped += len(groups)
+        if dropped:
+            self.buffered_matches -= dropped
 
     def _compute_state(self, window: WindowKey, group_key: Any,
                        matches: List[PatternMatch]) -> WindowState:

@@ -44,8 +44,12 @@ class WindowAssigner:
         self._count_seen = 0
         self._is_count = spec is not None and spec.kind == "count"
         # Events cluster in time, so consecutive assignments usually hit
-        # the same window; cache the last key to skip re-construction.
+        # the same window; cache the last key — and the one-element result
+        # list wrapping it — so the per-event fast path neither rebuilds
+        # the key nor allocates a fresh list.  Callers treat the result as
+        # read-only (the engine only iterates it).
         self._last_window: Optional[WindowKey] = None
+        self._last_result: List[WindowKey] = []
 
     @property
     def spec(self) -> Optional[ast.WindowSpec]:
@@ -114,10 +118,11 @@ class WindowAssigner:
                 return []
             cached = self._last_window
             if cached is not None and cached.index == newest:
-                return [cached]
+                return self._last_result
             key = WindowKey(index=newest, start=start, end=start + length)
             self._last_window = key
-            return [key]
+            self._last_result = [key]
+            return self._last_result
         keys: List[WindowKey] = []
         index = newest
         while index >= 0:

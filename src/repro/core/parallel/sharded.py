@@ -35,11 +35,14 @@ scheduler.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import queue
 import threading
 import zlib
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import Counter
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.language import ast, parse_query
@@ -58,6 +61,10 @@ from repro.events.stream import iter_batches
 
 #: Default number of events per feed batch.
 DEFAULT_BATCH_SIZE = 256
+
+#: Default replay-prefix length (events) observed by ``shard_map="auto"``
+#: before greedily bin-packing agentids onto shards.
+DEFAULT_AUTO_PREFIX = 32768
 
 #: Bound on in-flight batches per shard queue (backpressure for the
 #: thread/process backends).
@@ -106,6 +113,8 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
         merged.pattern_evaluations_saved += stats.pattern_evaluations_saved
         merged.buffered_events += stats.buffered_events
         merged.peak_buffered_events += stats.peak_buffered_events
+        merged.buffered_matches += stats.buffered_matches
+        merged.peak_buffered_matches += stats.peak_buffered_matches
     if per_shard:
         merged.queries = max(stats.queries for stats in per_shard)
         merged.groups = max(stats.groups for stats in per_shard)
@@ -117,6 +126,8 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
             single_lane.pattern_evaluations_saved)
         merged.buffered_events += single_lane.buffered_events
         merged.peak_buffered_events += single_lane.peak_buffered_events
+        merged.buffered_matches += single_lane.buffered_matches
+        merged.peak_buffered_matches += single_lane.peak_buffered_matches
         merged.queries += single_lane.queries
         merged.groups += single_lane.groups
     return merged
@@ -307,7 +318,9 @@ class ShardedScheduler:
     def __init__(self, shards: int = 4, backend: str = "serial",
                  sink: Optional[AlertSink] = None,
                  enable_sharing: bool = True,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 shard_map: Optional[Union[str, Mapping[str, int]]] = None,
+                 auto_prefix: int = DEFAULT_AUTO_PREFIX):
         if shards < 1:
             raise ValueError("shard count must be at least 1")
         if backend not in _BACKENDS:
@@ -315,11 +328,30 @@ class ShardedScheduler:
                              f"expected one of {_BACKENDS}")
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
+        if auto_prefix < 1:
+            raise ValueError("auto-map prefix must be at least 1 event")
         self.shards = shards
         self.backend = backend
         self._sink = sink
         self._enable_sharing = enable_sharing
         self._batch_size = batch_size
+        # Load-aware assignment: None/"hash" = stable crc32 of the agentid;
+        # "auto" = bin-pack by the event counts of a stream prefix at
+        # execute() time; a mapping = explicit agentid -> shard overrides.
+        if isinstance(shard_map, str) and shard_map not in ("auto", "hash"):
+            raise ValueError(f"unknown shard map mode {shard_map!r}; "
+                             "expected 'auto', 'hash' or an explicit "
+                             "agentid -> shard mapping")
+        self._shard_map: Optional[Union[str, Dict[str, int]]] = (
+            None if shard_map == "hash" else
+            shard_map if isinstance(shard_map, str) or shard_map is None
+            else self._validated_map(shard_map))
+        self._auto_prefix = auto_prefix
+        #: The agentid -> shard overrides routing the current/last run
+        #: (casefolded keys; None when pure hash routing is in effect).
+        self.resolved_shard_map: Optional[Dict[str, int]] = (
+            dict(self._shard_map)
+            if isinstance(self._shard_map, dict) else None)
         #: (name, source, pinned agentid or None, compatibility signature)
         #: for queries routed to the sharded lane.
         self._sharded_queries: List[Tuple[str, Union[str, ast.Query],
@@ -367,22 +399,147 @@ class ShardedScheduler:
         """Names of the queries running partitioned across the shards."""
         return [entry[0] for entry in self._sharded_queries]
 
+    # -- load-aware shard assignment ---------------------------------------
+
+    def _validated_map(self, mapping: Mapping[str, int]) -> Dict[str, int]:
+        """Casefold and range-check an explicit agentid -> shard mapping."""
+        validated: Dict[str, int] = {}
+        for agentid, position in mapping.items():
+            if not 0 <= int(position) < self.shards:
+                raise ValueError(
+                    f"shard map sends {agentid!r} to shard {position}, "
+                    f"outside 0..{self.shards - 1}")
+            key = str(agentid).casefold()
+            known = validated.get(key)
+            if known is not None and known != int(position):
+                raise ValueError(
+                    f"shard map entries for {agentid!r} collide after "
+                    "casefolding (SAQL equality is case-insensitive) with "
+                    "conflicting shard targets")
+            validated[key] = int(position)
+        return validated
+
+    def set_shard_map(self, mapping: Mapping[str, int]) -> None:
+        """Install an explicit agentid -> shard map for subsequent runs.
+
+        Use with :meth:`plan_shard_map` when per-host event counts are
+        known up front (e.g. from a replay's database statistics) instead
+        of observing a stream prefix via ``shard_map="auto"``.
+        """
+        self._shard_map = self._validated_map(mapping)
+        self.resolved_shard_map = dict(self._shard_map)
+
+    def plan_shard_map(self, counts: Mapping[str, int]) -> Dict[str, int]:
+        """Greedily bin-pack agentids onto shards by observed event count.
+
+        Longest-processing-time packing: agentids are placed heaviest
+        first onto the currently least-loaded shard, so one hot host (the
+        ROADMAP's db-server example) no longer saturates the shard crc32
+        happens to pick while others idle.  Agentids that satisfy a
+        registered query's host pin under SAQL equality are clustered with
+        that pin (they must share a shard for the pinned query to observe
+        them); pins satisfied by a common agentid collapse into one
+        cluster.  The result maps casefolded agentids — including the pin
+        literals — to shard positions and is deterministic for equal
+        counts (ties break by name, then shard position).
+        """
+        pins = sorted({pinned for _, _, pinned, _ in self._sharded_queries
+                       if pinned is not None})
+        # Union-find over pins: an agentid satisfying several pins welds
+        # them into one cluster.
+        leader = {pin: pin for pin in pins}
+
+        def find(pin: str) -> str:
+            while leader[pin] != pin:
+                leader[pin] = leader[leader[pin]]
+                pin = leader[pin]
+            return pin
+
+        cluster_members: Dict[str, List[str]] = {pin: [pin] for pin in pins}
+        cluster_weight: Dict[str, int] = {pin: 0 for pin in pins}
+        loose: List[Tuple[int, str]] = []
+        for agentid in sorted(counts):
+            weight = int(counts[agentid])
+            matched = [pin for pin in pins
+                       if compare_values("==", agentid, pin)]
+            if not matched:
+                loose.append((weight, agentid))
+                continue
+            root = find(matched[0])
+            for pin in matched[1:]:
+                other = find(pin)
+                if other != root:
+                    leader[other] = root
+                    cluster_members[root].extend(cluster_members.pop(other))
+                    cluster_weight[root] += cluster_weight.pop(other)
+            cluster_members[root].append(agentid)
+            cluster_weight[root] += weight
+        items: List[Tuple[int, str, Tuple[str, ...]]] = [
+            (cluster_weight[root], root, tuple(cluster_members[root]))
+            for root in cluster_members
+        ]
+        items.extend((weight, agentid, (agentid,))
+                     for weight, agentid in loose)
+        # Heaviest first; name breaks ties so the plan is reproducible.
+        items.sort(key=lambda item: (-item[0], item[1]))
+        loads = [0] * self.shards
+        plan: Dict[str, int] = {}
+        for weight, _, members in items:
+            if weight <= 0:
+                # Pins whose hosts never appeared in the observed counts
+                # carry no load signal; leaving them out of the plan keeps
+                # the stable-hash routing, which spreads them, instead of
+                # LPT piling every zero-weight cluster onto one shard.
+                continue
+            position = min(range(self.shards), key=lambda i: (loads[i], i))
+            loads[position] += weight
+            for member in members:
+                plan[member.casefold()] = position
+        return plan
+
+    def _home_shard(self, agentid: str) -> int:
+        """Return the shard routing ``agentid``: map override, else hash."""
+        resolved = self.resolved_shard_map
+        if resolved is not None:
+            position = resolved.get(agentid.casefold())
+            if position is not None:
+                return position
+        return shard_index(agentid, self.shards)
+
+    def _resolve_auto_map(self,
+                          stream: Iterable[Event]) -> Iterable[Event]:
+        """Materialize the ``auto`` shard map from a stream prefix.
+
+        Consumes up to ``auto_prefix`` events to count per-host load,
+        plans the map, and hands back the prefix chained with the rest of
+        the stream; re-planned on every run so the map tracks the stream
+        actually being executed.
+        """
+        if self._shard_map == "auto":
+            iterator = iter(stream)
+            prefix = list(itertools.islice(iterator, self._auto_prefix))
+            counts = Counter(event.agentid for event in prefix)
+            self.resolved_shard_map = self.plan_shard_map(counts)
+            return itertools.chain(prefix, iterator)
+        return stream
+
     def _queries_for_shard(self, position: int) -> List[Tuple[str,
                                                               Union[str,
                                                                     ast.Query]]]:
         """Return the queries shard ``position`` must register.
 
-        Host-pinned queries only ever match events of their pin's shard, so
-        they are routed there exclusively — other shards skip their groups
-        (and the per-event constraint checks) entirely.  Unpinned
-        host-local queries observe every host and register everywhere.
+        Host-pinned queries only ever match events of their pin's shard
+        (the shard map decides which one that is), so they are routed
+        there exclusively — other shards skip their groups (and the
+        per-event constraint checks) entirely.  Unpinned host-local
+        queries observe every host and register everywhere.
         """
         return [(name, source)
                 for name, source, pinned, _ in self._sharded_queries
                 if pinned is None
-                or shard_index(pinned, self.shards) == position]
+                or self._home_shard(pinned) == position]
 
-    def _make_router(self, shard_count: int):
+    def _make_router(self):
         """Build the agentid -> shard routing function for one run.
 
         The default route is the stable hash (:func:`shard_index`), but a
@@ -398,8 +555,13 @@ class ShardedScheduler:
         An agentid satisfying pins on *different* shards cannot be
         partitioned at all and fails loudly.  Distinct agentids are few,
         so the equality checks amortize through a cache.
+
+        The default (non-pin) route consults the resolved shard map first
+        (load-aware or explicit assignment), then the stable hash.  Every
+        backend builds exactly ``self.shards`` lanes, which is what the
+        home-shard helper routes over.
         """
-        pins = sorted({(pinned, shard_index(pinned, shard_count))
+        pins = sorted({(pinned, self._home_shard(pinned))
                        for _, _, pinned, _ in self._sharded_queries
                        if pinned is not None})
         cache: Dict[str, int] = {}
@@ -418,7 +580,7 @@ class ShardedScheduler:
                 if targets:
                     position = targets.pop()
                 else:
-                    position = shard_index(agentid, shard_count)
+                    position = self._home_shard(agentid)
                 cache[agentid] = position
             return position
 
@@ -461,6 +623,9 @@ class ShardedScheduler:
         size = batch_size if batch_size is not None else self._batch_size
         if size < 1:
             raise ValueError("batch size must be at least 1")
+        # Resolve the auto map before shards are built: pinned-query
+        # registration depends on where the map homes each pin.
+        stream = self._resolve_auto_map(stream)
         if self.backend == "process" and self._sharded_queries:
             alerts = self._execute_process(stream, size)
         else:
@@ -525,7 +690,7 @@ class ShardedScheduler:
         single_lane = self._single_lane_scheduler()
         single_alerts: List[Alert] = []
         buffers: List[List[Event]] = [[] for _ in range(len(shards))]
-        route = self._make_router(len(shards)) if shards else None
+        route = self._make_router() if shards else None
         events_ingested = 0
         for batch in iter_batches(stream, size):
             events_ingested += len(batch)
@@ -564,7 +729,7 @@ class ShardedScheduler:
         single_lane = self._single_lane_scheduler()
         single_alerts: List[Alert] = []
         buffers: List[List[Event]] = [[] for _ in workers]
-        route = self._make_router(len(workers))
+        route = self._make_router()
         events_ingested = 0
         try:
             for batch in iter_batches(stream, size):

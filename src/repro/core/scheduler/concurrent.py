@@ -55,6 +55,14 @@ class SchedulerStats:
     buffered_events: int = 0
     #: Peak of :attr:`buffered_events` over the run.
     peak_buffered_events: int = 0
+    #: Matches currently retained for window state across all engines
+    #: (buffered aggregation stores each match once per containing window;
+    #: incremental aggregation keeps one representative per open bucket
+    #: group).  Sampled at batch boundaries and at finish.
+    buffered_matches: int = 0
+    #: Sum of the per-engine peaks of retained state matches — an upper
+    #: bound on the true simultaneous peak.
+    peak_buffered_matches: int = 0
 
     @property
     def data_copies(self) -> int:
@@ -497,7 +505,23 @@ class ConcurrentQueryScheduler:
         if stats.buffered_events > stats.peak_buffered_events:
             stats.peak_buffered_events = stats.buffered_events
         stats.alerts += len(alerts)
+        self._refresh_match_stats()
         return alerts
+
+    def _refresh_match_stats(self) -> None:
+        """Sample the engines' state-match retention into the stats.
+
+        Sampling at batch boundaries (and finish) keeps the accounting off
+        the per-event hot path; the peak is the sum of per-engine peaks,
+        an upper bound on the true simultaneous figure.
+        """
+        buffered = 0
+        peak = 0
+        for engine in self._engines:
+            buffered += engine.state_buffered_matches
+            peak += engine.state_peak_buffered_matches
+        self.stats.buffered_matches = buffered
+        self.stats.peak_buffered_matches = peak
 
     def finish(self) -> List[Alert]:
         """Flush every group at end of stream."""
@@ -505,6 +529,7 @@ class ConcurrentQueryScheduler:
         for group in self._groups.values():
             alerts.extend(group.finish())
         self.stats.alerts += len(alerts)
+        self._refresh_match_stats()
         return alerts
 
     def execute(self, stream: Iterable[Event],

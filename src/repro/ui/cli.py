@@ -94,6 +94,12 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--shard-backend", default="process",
                          choices=["serial", "thread", "process"],
                          help="execution backend when --shards > 1")
+    command.add_argument("--shard-map", default="hash",
+                         choices=["hash", "auto"],
+                         help="agentid -> shard assignment: 'hash' spreads "
+                              "hosts by stable crc32, 'auto' observes a "
+                              "stream prefix and bin-packs hosts onto "
+                              "shards by event count")
 
 
 def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
@@ -101,7 +107,8 @@ def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
     if args.shards > 1:
         return ShardedScheduler(shards=args.shards,
                                 backend=args.shard_backend, sink=sink,
-                                batch_size=args.batch_size)
+                                batch_size=args.batch_size,
+                                shard_map=args.shard_map)
     return ConcurrentQueryScheduler(sink=sink)
 
 

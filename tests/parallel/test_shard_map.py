@@ -1,0 +1,214 @@
+"""Load-aware shard assignment: planning, routing and equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler
+from repro.events.stream import ListStream
+from repro.events.event import Operation
+from tests.conftest import make_connection, make_event, make_process
+
+SPIKE_QUERY = '''
+proc p write ip i as evt #time(60)
+state ss {{
+  total := sum(evt.amount)
+}} group by evt.agentid
+alert ss.total > 0
+return p, ss.total
+'''
+
+PINNED_QUERY = '''
+agentid = "{agent}"
+proc p write ip i as evt #time(60)
+state ss {{
+  total := sum(evt.amount)
+}} group by p
+alert ss.total > 0
+return p, ss.total
+'''
+
+
+def skewed_events(heavy="db-server", lights=("web-01", "web-02", "client-01"),
+                  heavy_count=200, light_count=20):
+    """A stream where one host dominates (the ROADMAP's hot-host case)."""
+    events = []
+    timestamp = 0.0
+    hosts = [heavy] * heavy_count + [
+        host for host in lights for _ in range(light_count)]
+    for position, host in enumerate(sorted(hosts * 1, key=lambda h: h)):
+        timestamp += 0.5
+        events.append(make_event(
+            make_process(f"{host}-app.exe", pid=1, host=host),
+            Operation.WRITE, make_connection("10.0.0.9"), timestamp,
+            agentid=host, amount=100.0 + position))
+    events.sort(key=lambda event: event.timestamp)
+    return events
+
+
+def _fingerprints(alerts):
+    return sorted(repr((a.query_name, a.timestamp, a.data, repr(a.group_key),
+                        a.window_start, a.window_end, a.agentid))
+                  for a in alerts)
+
+
+class TestPlanShardMap:
+    def test_heaviest_host_gets_its_own_shard(self):
+        scheduler = ShardedScheduler(shards=2)
+        scheduler.add_query(SPIKE_QUERY.format(), name="q")
+        plan = scheduler.plan_shard_map(
+            {"db-server": 1000, "web-01": 50, "web-02": 40, "client-01": 30})
+        assert set(plan.values()) == {0, 1}
+        heavy_shard = plan["db-server"]
+        assert all(plan[host] != heavy_shard
+                   for host in ("web-01", "web-02", "client-01"))
+
+    def test_deterministic_for_equal_counts(self):
+        scheduler = ShardedScheduler(shards=3)
+        counts = {f"host-{k}": 10 for k in range(9)}
+        assert (scheduler.plan_shard_map(counts)
+                == scheduler.plan_shard_map(dict(reversed(list(
+                    counts.items())))))
+
+    def test_pin_clusters_with_matching_agentids(self):
+        scheduler = ShardedScheduler(shards=4)
+        scheduler.add_query(PINNED_QUERY.format(agent="DB-Server"),
+                            name="pinned")
+        plan = scheduler.plan_shard_map({"db-server": 500, "web-01": 400})
+        # The pin literal and the observed (differently-cased) agentid
+        # must land on one shard so the pinned query observes its host.
+        assert plan["db-server"] == plan["db-server".casefold()]
+        assert plan["DB-Server".casefold()] == plan["db-server"]
+
+    def test_unseen_pins_keep_hash_spreading(self):
+        """Pins absent from the observed counts must not pile onto the
+        least-loaded shard — they keep their stable-hash placement."""
+        from repro.core.parallel.sharded import shard_index
+        scheduler = ShardedScheduler(shards=4)
+        pins = [f"late-host-{k}" for k in range(8)]
+        for position, pin in enumerate(pins):
+            scheduler.add_query(PINNED_QUERY.format(agent=pin),
+                                name=f"pinned-{position}")
+        plan = scheduler.plan_shard_map({"db-server": 100, "web-01": 60})
+        for pin in pins:
+            assert pin.casefold() not in plan
+        scheduler.set_shard_map(plan)
+        homes = {scheduler._home_shard(pin) for pin in pins}
+        assert homes == {shard_index(pin, 4) for pin in pins}
+        assert len(homes) > 1
+
+    def test_loads_balance_greedily(self):
+        scheduler = ShardedScheduler(shards=2)
+        plan = scheduler.plan_shard_map(
+            {"a": 50, "b": 30, "c": 30, "d": 25, "e": 25})
+        loads = {0: 0, 1: 0}
+        for host, count in (("a", 50), ("b", 30), ("c", 30), ("d", 25),
+                            ("e", 25)):
+            loads[plan[host]] += count
+        assert abs(loads[0] - loads[1]) <= 20
+
+
+class TestShardMapValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(shards=2, shard_map="magic")
+
+    def test_out_of_range_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(shards=2, shard_map={"db-server": 5})
+        scheduler = ShardedScheduler(shards=2)
+        with pytest.raises(ValueError):
+            scheduler.set_shard_map({"db-server": -1})
+
+    def test_casefold_colliding_entries_rejected(self):
+        scheduler = ShardedScheduler(shards=2)
+        with pytest.raises(ValueError):
+            scheduler.set_shard_map({"DB-server": 0, "db-server": 1})
+        # Consistent duplicates are fine.
+        scheduler.set_shard_map({"DB-server": 1, "db-server": 1})
+        assert scheduler.resolved_shard_map == {"db-server": 1}
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScheduler(shards=2, shard_map="auto", auto_prefix=0)
+
+    def test_hash_mode_is_default(self):
+        assert ShardedScheduler(shards=2,
+                                shard_map="hash").resolved_shard_map is None
+
+
+class TestAutoMapExecution:
+    def _run(self, events, queries, **kwargs):
+        scheduler = ShardedScheduler(shards=3, backend="serial", **kwargs)
+        for name, text in queries:
+            scheduler.add_query(text, name=name)
+        alerts = scheduler.execute(ListStream(events, presorted=True))
+        return scheduler, alerts
+
+    def test_auto_map_matches_hash_and_single_process_alerts(self):
+        events = skewed_events()
+        queries = [("spike", SPIKE_QUERY.format()),
+                   ("pinned", PINNED_QUERY.format(agent="db-server"))]
+        reference = ConcurrentQueryScheduler()
+        for name, text in queries:
+            reference.add_query(text, name=name)
+        expected = _fingerprints(reference.execute(
+            ListStream(events, presorted=True)))
+        _, hash_alerts = self._run(events, queries)
+        auto_scheduler, auto_alerts = self._run(events, queries,
+                                                shard_map="auto",
+                                                auto_prefix=100)
+        assert _fingerprints(hash_alerts) == expected
+        assert _fingerprints(auto_alerts) == expected
+        assert auto_scheduler.resolved_shard_map is not None
+        assert "db-server" in auto_scheduler.resolved_shard_map
+
+    def test_auto_map_separates_the_hot_host(self):
+        events = skewed_events()
+        queries = [("spike", SPIKE_QUERY.format())]
+        scheduler, _ = self._run(events, queries, shard_map="auto",
+                                 auto_prefix=len(events))
+        plan = scheduler.resolved_shard_map
+        heavy = plan["db-server"]
+        assert all(plan[host] != heavy
+                   for host in ("web-01", "web-02", "client-01"))
+        # The heavy host's shard must not also ingest the light hosts.
+        per_shard = [stats.events_ingested
+                     for stats in scheduler.per_shard_stats]
+        assert per_shard[heavy] == 200
+
+    def test_explicit_map_routes_and_revalidates_per_run(self):
+        events = skewed_events()
+        queries = [("spike", SPIKE_QUERY.format())]
+        scheduler = ShardedScheduler(shards=2, backend="serial",
+                                     shard_map={"db-server": 1,
+                                                "web-01": 0,
+                                                "web-02": 0,
+                                                "client-01": 0})
+        for name, text in queries:
+            scheduler.add_query(text, name=name)
+        alerts = scheduler.execute(ListStream(events, presorted=True))
+        reference = ConcurrentQueryScheduler()
+        for name, text in queries:
+            reference.add_query(text, name=name)
+        assert _fingerprints(alerts) == _fingerprints(reference.execute(
+            ListStream(events, presorted=True)))
+        assert scheduler.per_shard_stats[1].events_ingested == 200
+
+    def test_plan_then_set_shard_map_round_trip(self):
+        events = skewed_events()
+        queries = [("spike", SPIKE_QUERY.format())]
+        scheduler = ShardedScheduler(shards=2, backend="serial")
+        for name, text in queries:
+            scheduler.add_query(text, name=name)
+        counts = {}
+        for event in events:
+            counts[event.agentid] = counts.get(event.agentid, 0) + 1
+        scheduler.set_shard_map(scheduler.plan_shard_map(counts))
+        alerts = scheduler.execute(ListStream(events, presorted=True))
+        reference = ConcurrentQueryScheduler()
+        for name, text in queries:
+            reference.add_query(text, name=name)
+        assert _fingerprints(alerts) == _fingerprints(reference.execute(
+            ListStream(events, presorted=True)))

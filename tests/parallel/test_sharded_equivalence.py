@@ -249,7 +249,7 @@ def test_router_honors_saql_equality_aliasing():
     """
     scheduler = ShardedScheduler(shards=4)
     scheduler.add_query(rule_c5_data_exfiltration(), name="pinned")
-    route = scheduler._make_router(4)
+    route = scheduler._make_router()
     pin_shard = shard_index("db-server", 4)
     assert route("db-server") == pin_shard
     assert route("DB-Server") == pin_shard
@@ -270,7 +270,7 @@ def test_router_rejects_cross_shard_aliasing():
     first, second = list(by_shard.values())[:2]
     scheduler.add_query(rule_c5_data_exfiltration(agent=first), name="a")
     scheduler.add_query(rule_c5_data_exfiltration(agent=second), name="b")
-    route = scheduler._make_router(4)
+    route = scheduler._make_router()
     with pytest.raises(RuntimeError):
         route("%")  # a pure-wildcard agentid satisfies both pins
 
