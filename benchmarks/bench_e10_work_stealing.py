@@ -1,0 +1,254 @@
+"""E10 — mid-stream work stealing versus the static auto shard map.
+
+PR 3's ``shard_map="auto"`` fixes skew that is visible in the observed
+stream prefix; this experiment measures the case it cannot fix: load that
+shifts *mid-stream*.  A synthetic enterprise stream starts uniform across
+eight hosts (the prefix the auto map observes) and then collapses ~86% of
+its traffic onto exactly the hosts the auto map co-located on one shard —
+the worst case for a static assignment, and precisely the burst-host /
+ramping-attack scenario the ROADMAP's work-stealing item names.
+
+Three arms run over the same stream with the same steal-safe query pair
+(a tumbling per-host aggregation plus a stateless rule):
+
+* the single-process :class:`ConcurrentQueryScheduler` (the oracle),
+* ``ShardedScheduler(shard_map="auto")`` — the static baseline,
+* the same sharded scheduler with ``rebalance_interval`` set, so the
+  :class:`~repro.core.parallel.WorkStealingBalancer` migrates the burst
+  hosts off the hot shard at window-aligned safe points.
+
+Alert-set equivalence with the oracle is asserted on every arm.  The
+headline metric is *shard load balance*: the hottest shard's share of the
+sharded lane's events, and the modeled makespan speedup
+(``static max-shard load / stealing max-shard load``) — the factor by
+which rebalancing shortens the critical path once each shard owns a core.
+Balance is measured on the serial backend (deterministic migrations) and
+parity additionally on the thread backend (asynchronous drain-and-handoff).
+Wall-clock rates are recorded for the trajectory but, as with E8/E9, this
+container has one CPU — and the thread backend shares the GIL — so the
+balance win only converts into wall-clock on a multi-core process-backend
+deployment; see benchmarks/README.md.
+
+Rates land in ``benchmarks/BENCH_e10.json`` via the shared conftest hook.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import (bench_scale, fresh_stream, print_table,
+                                 record_rate)
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+
+#: Steal-safe workload: both queries register on every shard unpinned.
+QUERIES = [
+    ("per-host-volume", '''
+proc p send ip i as evt #time(10)
+state ss { total := sum(evt.amount) } group by evt.agentid
+alert ss.total > 200000
+return ss.total
+'''),
+    ("send-watch", '''
+proc p["%x.exe"] send ip i as evt
+alert evt.amount > 990
+return p, i.dstip
+'''),
+]
+
+HOSTS = [f"host-{n:02d}" for n in range(8)]
+SHARDS = 2
+#: Events between load-report epochs (scaled down with the stream).
+REBALANCE_INTERVAL = 2000
+REBALANCE_RATIO = 1.2
+#: Events per feed batch: batches bound how often shard control channels
+#: are polled, so smoke-scale streams still complete their migrations.
+SHARD_BATCH = 64
+
+
+def _event(host, position):
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                               dstport=443),
+        timestamp=position * 0.01,
+        agentid=host,
+        amount=float(500 + (position * 37) % 500),
+    )
+
+
+def _burst_group():
+    """Return the hosts the auto map will co-locate on one shard.
+
+    The prefix is uniform, so the LPT plan over equal counts is
+    deterministic; asking :meth:`plan_shard_map` directly (rather than
+    hard-coding host names) keeps the workload honest if the packing
+    heuristic ever changes.
+    """
+    probe = ShardedScheduler(shards=SHARDS)
+    for name, text in QUERIES:
+        probe.add_query(text, name=name)
+    plan = probe.plan_shard_map({host: 1000 for host in HOSTS})
+    group = sorted(host for host in HOSTS if plan[host.casefold()] == 0)
+    assert len(group) == len(HOSTS) // SHARDS
+    return group
+
+
+def mid_stream_skew_events(count, prefix):
+    """Uniform for ``prefix`` events, then ~86% on one shard's hosts."""
+    burst_hosts = _burst_group()
+    events = []
+    for position in range(count):
+        if position < prefix:
+            host = HOSTS[position % len(HOSTS)]
+        elif position % 7 == 0:
+            host = HOSTS[position % len(HOSTS)]       # residual background
+        else:
+            host = burst_hosts[position % len(burst_hosts)]
+        events.append(_event(host, position))
+    return events
+
+
+def _fingerprints(alerts):
+    return sorted(repr((a.query_name, a.timestamp, a.data,
+                        repr(a.group_key), a.window_start, a.window_end,
+                        a.agentid, a.model_kind)) for a in alerts)
+
+
+def _best_rate(run, events, repeats=3):
+    """Best-of-N events/second (reduces scheduler-noise on small machines)."""
+    best, result = 0.0, None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = run()
+        elapsed = time.perf_counter() - started
+        rate = len(events) / elapsed if elapsed > 0 else float("inf")
+        if rate > best:
+            best, result = rate, outcome
+    return best, result
+
+
+def _run_oracle(events):
+    def run():
+        scheduler = ConcurrentQueryScheduler()
+        for name, text in QUERIES:
+            scheduler.add_query(text, name=name)
+        alerts = scheduler.execute(fresh_stream(events))
+        return scheduler, alerts
+    return _best_rate(run, events)
+
+
+def _run_sharded(events, prefix, backend, interval=None, repeats=3):
+    def run():
+        scheduler = ShardedScheduler(
+            shards=SHARDS, backend=backend, shard_map="auto",
+            auto_prefix=prefix, batch_size=SHARD_BATCH,
+            rebalance_interval=interval,
+            rebalance_ratio=REBALANCE_RATIO)
+        for name, text in QUERIES:
+            scheduler.add_query(text, name=name)
+        alerts = scheduler.execute(fresh_stream(events))
+        return scheduler, alerts
+    return _best_rate(run, events, repeats=repeats)
+
+
+def _max_share(scheduler):
+    """The hottest shard's fraction of the sharded lane's ingested events."""
+    loads = [stats.events_ingested for stats in scheduler.per_shard_stats]
+    return max(loads) / sum(loads), loads
+
+
+def test_e10_work_stealing_beats_static_auto_map(benchmark):
+    """Balance and parity under a mid-stream skew the auto map cannot see."""
+    scale = bench_scale()
+    count = max(4000, int(48000 * scale))
+    prefix = count // 6
+    interval = max(400, int(REBALANCE_INTERVAL * scale))
+    events = mid_stream_skew_events(count, prefix)
+
+    oracle_rate, (oracle, oracle_alerts) = _run_oracle(events)
+    reference = _fingerprints(oracle_alerts)
+    record_rate("e10", "single-process-oracle", oracle_rate)
+
+    static_rate, (static, static_alerts) = _run_sharded(
+        events, prefix, backend="serial")
+    assert _fingerprints(static_alerts) == reference
+    assert static.migrations == []
+    static_share, static_loads = _max_share(static)
+    record_rate("e10", "static-auto-serial-2w", static_rate)
+    record_rate("e10", "static-auto-max-shard-share", static_share)
+
+    stealing_rate, (stealing, stealing_alerts) = _run_sharded(
+        events, prefix, backend="serial", interval=interval)
+    assert _fingerprints(stealing_alerts) == reference
+    assert stealing.migrations, "skew workload produced no steals"
+    assert stealing.last_steal_eligibility.eligible
+    stealing_share, stealing_loads = _max_share(stealing)
+    record_rate("e10", "stealing-serial-2w", stealing_rate)
+    record_rate("e10", "stealing-max-shard-share", stealing_share)
+
+    # The headline: rebalancing shortens the critical path.  The modeled
+    # makespan speedup is what a multi-core process-backend deployment
+    # gains once each shard owns a core.
+    modeled = max(static_loads) / max(stealing_loads)
+    record_rate("e10", "stealing-modeled-makespan-speedup", modeled)
+    assert stealing_share < static_share
+    assert modeled >= 1.15
+
+    # Thread backend: drain-and-handoff completes asynchronously; parity
+    # must hold on every attempt, migrations on at least one.
+    thread_rate, threaded = 0.0, None
+    for _ in range(6):
+        rate, (candidate, thread_alerts) = _run_sharded(
+            events, prefix, backend="thread", interval=interval, repeats=1)
+        assert _fingerprints(thread_alerts) == reference
+        thread_rate = max(thread_rate, rate)
+        if candidate.migrations:
+            threaded = candidate
+            break
+    assert threaded is not None, "thread backend never completed a migration"
+    record_rate("e10", "stealing-thread-2w", thread_rate)
+    static_thread_rate, (_, static_thread_alerts) = _run_sharded(
+        events, prefix, backend="thread")
+    assert _fingerprints(static_thread_alerts) == reference
+    record_rate("e10", "static-auto-thread-2w", static_thread_rate)
+
+    print_table(
+        "E10: mid-stream work stealing vs static auto map "
+        f"({count} events, {len(HOSTS)} hosts, {SHARDS} shards, "
+        f"{os.cpu_count()} cpus)",
+        ("configuration", "events/second", "max shard share",
+         "migrations"),
+        [
+            ("single process (oracle)", f"{oracle_rate:,.0f}", "-", "-"),
+            ("static auto, serial", f"{static_rate:,.0f}",
+             f"{static_share:.2f}", 0),
+            ("stealing, serial", f"{stealing_rate:,.0f}",
+             f"{stealing_share:.2f}", len(stealing.migrations)),
+            ("static auto, thread", f"{static_thread_rate:,.0f}", "-", 0),
+            ("stealing, thread", f"{thread_rate:,.0f}", "-",
+             len(threaded.migrations)),
+            ("modeled makespan speedup", f"{modeled:.2f}x", "", ""),
+        ])
+
+    benchmark.pedantic(
+        lambda: _run_sharded(events, prefix, backend="serial",
+                             interval=interval),
+        rounds=1, iterations=1)
+
+
+def test_e10_migrations_are_window_aligned():
+    """Every recorded cut sits on the tumbling hop, per the eligibility."""
+    count = max(4000, int(12000 * bench_scale()))
+    events = mid_stream_skew_events(count, count // 6)
+    _, (stealing, _) = _run_sharded(events, count // 6, backend="serial",
+                                    interval=400)
+    assert stealing.migrations
+    assert stealing.last_steal_eligibility.alignment == 10
+    for record in stealing.migrations:
+        assert record.cut % 10 == 0
+        assert record.source != record.target

@@ -129,6 +129,20 @@ class QueryEngine:
             return 0
         return self._state_maintainer.peak_buffered_matches
 
+    def open_window_deadline(self) -> Optional[float]:
+        """Return the earliest end time of this engine's open windows.
+
+        None for rule-based queries (no window state) and for stateful
+        queries with nothing open.  The sharded runtime's drain-and-handoff
+        protocol polls this through the owning scheduler: migrating an
+        agentid is safe once every window that could hold its matches —
+        all of which end at or before the migration's cut time — has
+        closed.
+        """
+        if self._state_maintainer is None:
+            return None
+        return self._state_maintainer.earliest_open_deadline()
+
     def execute(self, stream: Iterable[Event]) -> List[Alert]:
         """Run the query over a finite stream and return all alerts."""
         for event in stream:

@@ -452,6 +452,22 @@ class StateMaintainer:
         heap = self._deadline_heap
         return bool(heap) and heap[0][0] <= watermark
 
+    def earliest_open_deadline(self) -> Optional[float]:
+        """Return the end time of the earliest-ending open window, if any.
+
+        The work-stealing handoff uses this as the drain signal: a shard
+        has drained through a cut time ``C`` once no open window ends at
+        or before ``C``.  Stale heap entries (windows already closed
+        directly through :meth:`close_window`) are discarded on the way,
+        mirroring :meth:`pop_next_due_window`.
+        """
+        heap = self._deadline_heap
+        while heap:
+            if self._is_open(heap[0][3]):
+                return heap[0][0]
+            heapq.heappop(heap)
+        return None
+
     def pop_next_due_window(self, watermark: float) -> Optional[WindowKey]:
         """Pop and return the earliest-ending open window due at ``watermark``.
 

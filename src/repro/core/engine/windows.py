@@ -45,11 +45,14 @@ class WindowAssigner:
         self._is_count = spec is not None and spec.kind == "count"
         # Events cluster in time, so consecutive assignments usually hit
         # the same window; cache the last key — and the one-element result
-        # list wrapping it — so the per-event fast path neither rebuilds
-        # the key nor allocates a fresh list.  Callers treat the result as
-        # read-only (the engine only iterates it).
+        # tuple wrapping it — so the per-event fast path neither rebuilds
+        # the key nor allocates a fresh container.  The cached result is
+        # returned to *every* caller that hits the same window, so it must
+        # be immutable: a list here once let a caller that mutated (or
+        # retained and extended) its result corrupt every subsequent
+        # assignment into that window.
         self._last_window: Optional[WindowKey] = None
-        self._last_result: List[WindowKey] = []
+        self._last_result: Tuple[WindowKey, ...] = ()
 
     @property
     def spec(self) -> Optional[ast.WindowSpec]:
@@ -80,25 +83,30 @@ class WindowAssigner:
             return float(self._count_seen)
         return event_timestamp
 
-    def assign(self, timestamp: float) -> List[WindowKey]:
+    def assign(self, timestamp: float) -> Tuple[WindowKey, ...]:
         """Return the windows an event at ``timestamp`` belongs to.
 
         For count-based windows the internal ordinal counter advances on
         each call, so the caller must invoke :meth:`assign` exactly once per
         matched event.
+
+        The result is an immutable tuple: the tumbling fast path returns a
+        *cached* container shared across calls that hit the same window, so
+        a mutable result would let one caller corrupt every later
+        assignment into that window.
         """
         spec = self._spec
         if spec is None:
-            return []
+            return ()
         if spec.kind == "count":
             index = self._count_seen // int(spec.length)
             self._count_seen += 1
             start = index * spec.length
-            return [WindowKey(index=index, start=start,
-                              end=start + spec.length)]
+            return (WindowKey(index=index, start=start,
+                              end=start + spec.length),)
         return self._assign_time(timestamp)
 
-    def _assign_time(self, timestamp: float) -> List[WindowKey]:
+    def _assign_time(self, timestamp: float) -> Tuple[WindowKey, ...]:
         spec = self._spec
         assert spec is not None
         hop = spec.effective_hop
@@ -115,13 +123,13 @@ class WindowAssigner:
             # timestamp, and consecutive events usually share it.
             start = newest * hop
             if start + length <= timestamp:
-                return []
+                return ()
             cached = self._last_window
             if cached is not None and cached.index == newest:
                 return self._last_result
             key = WindowKey(index=newest, start=start, end=start + length)
             self._last_window = key
-            self._last_result = [key]
+            self._last_result = (key,)
             return self._last_result
         keys: List[WindowKey] = []
         index = newest
@@ -133,7 +141,7 @@ class WindowAssigner:
                                   end=start + length))
             index -= 1
         keys.reverse()
-        return keys
+        return tuple(keys)
 
     def window_end_for(self, key: WindowKey) -> float:
         """Return the closing time of a window (same as ``key.end``)."""

@@ -30,9 +30,11 @@ process backends.
 from repro.core.parallel.shardability import (
     ShardabilityReport,
     analyze_shardability,
+    analyze_steal_safety,
 )
 from repro.core.parallel.sharded import (
     DEFAULT_BATCH_SIZE,
+    MigrationRecord,
     ProcessShard,
     SerialShard,
     ShardedScheduler,
@@ -40,15 +42,29 @@ from repro.core.parallel.sharded import (
     merge_stats,
     shard_index,
 )
+from repro.core.parallel.stealing import (
+    DEFAULT_REBALANCE_RATIO,
+    StealDecision,
+    StealEligibility,
+    WorkStealingBalancer,
+    steal_eligibility,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_REBALANCE_RATIO",
+    "MigrationRecord",
     "ProcessShard",
     "SerialShard",
     "ShardabilityReport",
     "ShardedScheduler",
+    "StealDecision",
+    "StealEligibility",
     "ThreadShard",
+    "WorkStealingBalancer",
     "analyze_shardability",
+    "analyze_steal_safety",
     "merge_stats",
     "shard_index",
+    "steal_eligibility",
 ]

@@ -66,7 +66,7 @@ fails loudly instead of partitioning incorrectly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.language import ast
 
@@ -84,6 +84,17 @@ class ShardabilityReport:
     reason: str
     #: The host the query is pinned to, when rule 1 applied.
     pinned_agentid: Optional[str] = None
+    #: True when an agentid feeding this query may migrate between shards
+    #: mid-stream at a window-aligned safe point (see
+    #: :func:`analyze_steal_safety`).  Meaningless when not shardable.
+    steal_safe: bool = False
+    #: Human-readable justification for :attr:`steal_safe`.
+    steal_reason: str = ""
+    #: Window-boundary granularity (seconds) a migration cut must align
+    #: to for this query, or None when any cut time is safe (stateless
+    #: single-pattern rule queries).  The sharded runtime cuts at a common
+    #: multiple of every steal-safe query's alignment.
+    steal_alignment: Optional[int] = None
 
 
 def _pinned_agentid(query: ast.Query) -> Optional[str]:
@@ -174,19 +185,103 @@ def _patterns_host_connected(query: ast.Query) -> bool:
     return len(roots) == 1
 
 
+def analyze_steal_safety(query: ast.Query
+                         ) -> Tuple[bool, str, Optional[int]]:
+    """Decide whether an agentid feeding this query may migrate mid-stream.
+
+    Work stealing moves an agentid from one shard to another at a *cut
+    time* ``C``: events below the cut stay with the donor, events at or
+    above it reach the thief (after the donor confirms its open windows
+    have drained).  That reproduces the single-scheduler alerts exactly
+    only when no per-host state spans the cut, which this function checks
+    statically.  Returns ``(steal_safe, reason, alignment)`` where
+    ``alignment`` is the window granularity (seconds) cut times must be a
+    multiple of (None when any cut is safe).
+
+    The rules:
+
+    * **Stateless single-pattern rule queries** hold no cross-event state
+      — any cut is safe.
+    * **Multi-pattern rule queries** keep partial sequences in flight; a
+      partial opened on the donor could only complete with events the
+      thief now observes, so such queries pin their hosts in place.
+    * **Stateful queries** are safe when their window is a time window
+      with ``hop >= length`` (tumbling or gapped: a cut at a hop multiple
+      is crossed by no window) and integral-second hop (hop multiples are
+      float-exact, so the router's cut comparison agrees bit-for-bit with
+      the assigner's window containment), the state history is 1 (``ss[k]``
+      history would be left behind on the donor), and there is no
+      invariant (training accumulates per group across windows) and no
+      ``return distinct`` (the seen-set stays on the donor).  Overlapping
+      sliding windows (hop < length) cover every instant, so no cut
+      avoids splitting a window; count windows close on per-engine match
+      ordinals, which a migration would split.
+    """
+    if query.state is None:
+        if len(query.patterns) > 1:
+            return (False, "multi-pattern rule query keeps partial "
+                           "sequences in flight across a cut", None)
+        if query.returns is not None and query.returns.distinct:
+            return (False, "return distinct keeps a per-engine seen-set "
+                           "that a migration would leave on the donor",
+                    None)
+        return (True, "single-pattern rule query holds no cross-event "
+                      "state; any cut is safe", None)
+
+    if query.invariant is not None:
+        return (False, "invariant models train per group across windows; "
+                       "a migration would split training", None)
+    if query.cluster is not None:
+        return (False, "cluster clause peer-compares a window's groups; "
+                       "a migration would split the peer set", None)
+    if query.returns is not None and query.returns.distinct:
+        return (False, "return distinct keeps a per-engine seen-set that "
+                       "a migration would leave on the donor", None)
+    if query.state.history > 1:
+        return (False, f"state history of {query.state.history} windows "
+                       "reads past windows that would be left on the "
+                       "donor", None)
+    window = query.window
+    if window is None:
+        return (False, "stateful query without a window folds the whole "
+                       "stream into one never-closing state", None)
+    if window.kind != "time":
+        return (False, "count windows close on per-engine match ordinals, "
+                       "which a migration would split", None)
+    hop = window.effective_hop
+    if hop < window.length:
+        return (False, "overlapping sliding windows cover every instant; "
+                       "no cut time avoids splitting a window", None)
+    if not float(hop).is_integer():
+        return (False, "fractional-second hop has no float-exact cut "
+                       "boundary", None)
+    return (True, "tumbling/gapped time window with history 1: a cut at "
+                  "a hop multiple is crossed by no window",
+            int(hop))
+
+
 def analyze_shardability(query: ast.Query) -> ShardabilityReport:
     """Decide statically whether a query may run sharded by ``agentid``."""
     pinned = _pinned_agentid(query)
     if pinned is not None:
+        # A pinned query lives only on its pin's shard and filters other
+        # hosts through its global constraint, so migrating *other*
+        # agentids cannot touch its state; the pinned agentid itself is
+        # never stolen (the balancer excludes pin-satisfying hosts).
         return ShardabilityReport(
             shardable=True,
             reason=f"host-pinned by global constraint agentid = {pinned!r}",
-            pinned_agentid=pinned)
+            pinned_agentid=pinned,
+            steal_safe=True,
+            steal_reason="host-pinned: registered only on the pin's shard; "
+                         "migrations of other agentids cannot affect it")
 
     if query.cluster is not None:
         return ShardabilityReport(
             shardable=False,
             reason="cluster clause peer-compares groups across hosts")
+
+    steal_safe, steal_reason, steal_alignment = analyze_steal_safety(query)
 
     if query.state is not None:
         group_by = query.state.group_by
@@ -204,7 +299,10 @@ def analyze_shardability(query: ast.Query) -> ShardabilityReport:
         return ShardabilityReport(
             shardable=True,
             reason="every group-by key is host-local, so each group's "
-                   "state lives on one shard")
+                   "state lives on one shard",
+            steal_safe=steal_safe,
+            steal_reason=steal_reason,
+            steal_alignment=steal_alignment)
 
     if query.returns is not None and query.returns.distinct:
         return ShardabilityReport(
@@ -215,7 +313,10 @@ def analyze_shardability(query: ast.Query) -> ShardabilityReport:
         return ShardabilityReport(
             shardable=True,
             reason="patterns are connected through shared host-scoped "
-                   "entity variables, so sequences are host-local")
+                   "entity variables, so sequences are host-local",
+            steal_safe=steal_safe,
+            steal_reason=steal_reason,
+            steal_alignment=steal_alignment)
     return ShardabilityReport(
         shardable=False,
         reason="patterns are not linked by shared host-scoped variables; "

@@ -31,6 +31,25 @@ deterministically-ordered stream — sorted by timestamp, query name, window
 and payload — and per-shard ``SchedulerStats`` are merged into one
 aggregate, so callers observe the same interface as the single-process
 scheduler.
+
+**Mid-stream work stealing.**  With ``rebalance_interval`` set, the router
+runs *rebalance epochs*: every ``interval`` events it collects one
+:class:`~repro.core.scheduler.concurrent.ShardLoadReport` per shard over a
+per-backend control channel (inline for ``serial``, through the feed queue
+for ``thread``/``process``) and asks the
+:class:`~repro.core.parallel.stealing.WorkStealingBalancer` whether load
+has skewed past the configured ratio.  A planned steal migrates one
+agentid from the most- to the least-loaded shard at a *safe point*: the
+cut time is the next window-aligned boundary, the victim's events at or
+past the cut are held in a handoff buffer, and only once the donor shard
+confirms (again over the control channel) that its open windows — all of
+which end at or before the cut — have closed is the buffer flushed to the
+thief and the route switched.  Pinned agentids are never stolen (their
+queries live only on the pin's shard), single-shard-lane queries observe
+the full stream regardless of routing, and a single steal-unsafe unpinned
+query (see :func:`~repro.core.parallel.shardability.analyze_steal_safety`)
+vetoes stealing for the whole lane, so the merged alert stream stays
+identical to single-process execution.
 """
 
 from __future__ import annotations
@@ -41,8 +60,9 @@ import queue
 import threading
 import zlib
 from collections import Counter
-from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.language import ast, parse_query
@@ -50,11 +70,18 @@ from repro.core.parallel.shardability import (
     ShardabilityReport,
     analyze_shardability,
 )
+from repro.core.parallel.stealing import (
+    DEFAULT_REBALANCE_RATIO,
+    StealEligibility,
+    WorkStealingBalancer,
+    steal_eligibility,
+)
 from repro.core.expr.values import compare_values
 from repro.core.scheduler.compatibility import compatibility_signature
 from repro.core.scheduler.concurrent import (
     ConcurrentQueryScheduler,
     SchedulerStats,
+    ShardLoadReport,
 )
 from repro.events.event import Event
 from repro.events.stream import iter_batches
@@ -99,11 +126,20 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
     same query set, an upper bound when pinned queries are routed to their
     owner shard only — :class:`ShardedScheduler` overwrites both with the
     exact registration-time counts after a run) and the single-shard
-    lane's are added.  ``peak_buffered_events`` sums the per-shard peaks,
-    an upper bound on the true simultaneous peak (shards reach their peaks
-    at different stream positions).  ``events_ingested`` sums per-lane
-    ingestion; the sharded scheduler overwrites it with its own
-    once-per-event count after a run.
+    lane's are added.  ``events_ingested`` sums per-lane ingestion; the
+    sharded scheduler overwrites it with its own once-per-event count
+    after a run.
+
+    The per-lane ``peak_buffered_events``/``peak_buffered_matches``
+    figures occur at *different stream positions*, so their sum — each
+    lane counted exactly once, the single lane included — is only an
+    upper bound on the true simultaneous peak.  That sum is recorded in
+    the explicitly-named ``peak_buffered_events_bound`` /
+    ``peak_buffered_matches_bound`` fields.  ``peak_buffered_events`` /
+    ``peak_buffered_matches`` start out equal to the bound (the process
+    backend, whose shard buffers live in other processes, can do no
+    better); the serial/thread backends overwrite them with a genuine
+    concurrent peak sampled across all lanes at batch boundaries.
     """
     merged = SchedulerStats()
     for stats in per_shard:
@@ -130,6 +166,8 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
         merged.peak_buffered_matches += single_lane.peak_buffered_matches
         merged.queries += single_lane.queries
         merged.groups += single_lane.groups
+    merged.peak_buffered_events_bound = merged.peak_buffered_events
+    merged.peak_buffered_matches_bound = merged.peak_buffered_matches
     return merged
 
 
@@ -146,11 +184,39 @@ def _alert_sort_key(alert: Alert) -> Tuple:
 
 
 def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
-                     enable_sharing: bool) -> ConcurrentQueryScheduler:
-    scheduler = ConcurrentQueryScheduler(enable_sharing=enable_sharing)
+                     enable_sharing: bool,
+                     track_agent_load: bool = False
+                     ) -> ConcurrentQueryScheduler:
+    scheduler = ConcurrentQueryScheduler(enable_sharing=enable_sharing,
+                                         track_agent_load=track_agent_load)
     for name, source in queries:
         scheduler.add_query(source, name=name)
     return scheduler
+
+
+def _answer_control(scheduler: ConcurrentQueryScheduler,
+                    message: Tuple) -> Tuple:
+    """Answer one work-stealing control message against a shard scheduler.
+
+    Shared by all three backends so the protocol cannot drift: ``("load",
+    epoch)`` returns that epoch's :class:`ShardLoadReport`; ``("drain",
+    agentid, cut)`` reports whether the shard's open windows have drained
+    through the cut (see
+    :meth:`ConcurrentQueryScheduler.drained_through`).
+    """
+    kind = message[0]
+    if kind == "load":
+        return ("load", message[1], scheduler.take_load_report())
+    if kind == "drain":
+        cut = message[2]
+        # Both halves of the safe point: the shard must have *seen* the
+        # stream past the cut (otherwise a later pre-cut match could
+        # still open a window here) and hold no open window ending by
+        # it.  See ConcurrentQueryScheduler.drained_through.
+        drained = (scheduler.load_watermark >= cut
+                   and scheduler.drained_through(cut))
+        return ("drain", message[1], cut, drained)
+    raise ValueError(f"unknown shard control message {message!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -160,16 +226,43 @@ def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
 class SerialShard:
     """In-process shard executed inline (deterministic test backend)."""
 
-    def __init__(self, queries, enable_sharing: bool):
-        self._scheduler = _build_scheduler(queries, enable_sharing)
+    def __init__(self, queries, enable_sharing: bool,
+                 track_agent_load: bool = False, index: int = 0):
+        self.index = index
+        self._scheduler = _build_scheduler(queries, enable_sharing,
+                                           track_agent_load)
         self._alerts: List[Alert] = []
+        self._responses: List[Tuple] = []
 
     def feed(self, batch: List[Event]) -> None:
         self._alerts.extend(self._scheduler.process_events(batch))
 
+    def request_control(self, message: Tuple) -> None:
+        """Answer a control message (inline, so immediately)."""
+        self._responses.append(_answer_control(self._scheduler, message))
+
+    def poll_control(self) -> List[Tuple]:
+        """Return (and clear) the pending control responses."""
+        responses, self._responses = self._responses, []
+        return responses
+
+    def buffer_sample(self) -> Tuple[int, int]:
+        """Current (buffered events, buffered matches) retention snapshot."""
+        stats = self._scheduler.stats
+        return stats.buffered_events, stats.buffered_matches
+
     def finish(self) -> Tuple[List[Alert], SchedulerStats]:
         self._alerts.extend(self._scheduler.finish())
         return self._alerts, self._scheduler.stats
+
+    def close(self) -> None:
+        """Nothing to release: the shard runs inline."""
+
+    def __enter__(self) -> "SerialShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class ThreadShard:
@@ -177,28 +270,39 @@ class ThreadShard:
 
     Each shard owns its scheduler outright, so no locking is required; the
     bounded queue provides the same backpressure as the process backend.
+    Queue items are batches (lists), control messages (tuples, answered
+    onto a response queue) or the ``None`` stop sentinel.
     """
 
-    def __init__(self, queries, enable_sharing: bool):
-        self._scheduler = _build_scheduler(queries, enable_sharing)
+    def __init__(self, queries, enable_sharing: bool,
+                 track_agent_load: bool = False, index: int = 0):
+        self.index = index
+        self._scheduler = _build_scheduler(queries, enable_sharing,
+                                           track_agent_load)
         self._alerts: List[Alert] = []
-        self._queue: "queue.Queue[Optional[List[Event]]]" = queue.Queue(
-            maxsize=_QUEUE_DEPTH)
+        self._queue: "queue.Queue[Optional[Union[List[Event], Tuple]]]" = (
+            queue.Queue(maxsize=_QUEUE_DEPTH))
+        self._responses: "queue.Queue[Tuple]" = queue.Queue()
         self._error: Optional[BaseException] = None
-        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"saql-shard-{index}")
         self._thread.start()
 
     def _run(self) -> None:
         try:
             while True:
-                batch = self._queue.get()
-                if batch is None:
+                item = self._queue.get()
+                if item is None:
                     return
-                self._alerts.extend(self._scheduler.process_events(batch))
+                if isinstance(item, tuple):
+                    self._responses.put(
+                        _answer_control(self._scheduler, item))
+                    continue
+                self._alerts.extend(self._scheduler.process_events(item))
         except BaseException as error:  # surfaced by feed()/finish()
             self._error = error
 
-    def _put(self, item: Optional[List[Event]]) -> None:
+    def _put(self, item: Optional[Union[List[Event], Tuple]]) -> None:
         # A blocking put against a dead consumer would hang the stream
         # loop forever once the bounded queue fills, so surface the
         # thread's failure instead of waiting on it.
@@ -217,6 +321,29 @@ class ThreadShard:
             raise self._error
         self._put(batch)
 
+    def request_control(self, message: Tuple) -> None:
+        """Enqueue a control message; answered in feed order."""
+        self._put(message)
+
+    def poll_control(self) -> List[Tuple]:
+        """Return the control responses posted so far (non-blocking)."""
+        responses: List[Tuple] = []
+        while True:
+            try:
+                responses.append(self._responses.get_nowait())
+            except queue.Empty:
+                return responses
+
+    def buffer_sample(self) -> Tuple[int, int]:
+        """Current (buffered events, buffered matches) retention snapshot.
+
+        Read across threads without locking: both counters are plain ints
+        maintained by the worker, so this is a benign racy sample of the
+        shard's simultaneous retention.
+        """
+        stats = self._scheduler.stats
+        return stats.buffered_events, stats.buffered_matches
+
     def finish(self) -> Tuple[List[Alert], SchedulerStats]:
         if self._thread.is_alive():
             self._put(None)
@@ -226,25 +353,57 @@ class ThreadShard:
         self._alerts.extend(self._scheduler.finish())
         return self._alerts, self._scheduler.stats
 
+    def close(self) -> None:
+        """Stop the worker thread without requiring a clean finish.
+
+        Safe after errors (the worker may be dead or mid-batch) and
+        idempotent after :meth:`finish`; never raises, so cleanup in a
+        ``finally`` cannot mask the original failure.
+        """
+        while self._thread.is_alive():
+            try:
+                self._queue.put(None, timeout=0.1)
+                break
+            except queue.Full:
+                continue  # a live worker is draining; a dead one exits the loop
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ThreadShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def _process_shard_main(index: int,
                         queries: Sequence[Tuple[str, Union[str, ast.Query]]],
                         enable_sharing: bool,
+                        track_agent_load: bool,
                         in_queue: "multiprocessing.Queue",
                         out_queue: "multiprocessing.Queue") -> None:
-    """Worker entry point: compile the queries, drain batches, report back."""
+    """Worker entry point: compile the queries, drain batches, report back.
+
+    The out queue carries tagged tuples: ``("ctrl", index, response)`` for
+    control-message answers mid-stream, ``("done", index, alerts, stats,
+    error)`` exactly once at the end.
+    """
     try:
-        scheduler = _build_scheduler(queries, enable_sharing)
+        scheduler = _build_scheduler(queries, enable_sharing,
+                                     track_agent_load)
         alerts: List[Alert] = []
         while True:
-            batch = in_queue.get()
-            if batch is None:
+            item = in_queue.get()
+            if item is None:
                 break
-            alerts.extend(scheduler.process_events(batch))
+            if isinstance(item, tuple):
+                out_queue.put(("ctrl", index,
+                               _answer_control(scheduler, item)))
+                continue
+            alerts.extend(scheduler.process_events(item))
         alerts.extend(scheduler.finish())
-        out_queue.put((index, alerts, scheduler.stats, None))
+        out_queue.put(("done", index, alerts, scheduler.stats, None))
     except BaseException as error:
-        out_queue.put((index, [], None,
+        out_queue.put(("done", index, [], None,
                        f"{type(error).__name__}: {error}"))
 
 
@@ -252,15 +411,16 @@ class ProcessShard:
     """Shard executed in a worker process, fed through a bounded queue."""
 
     def __init__(self, index: int, queries, enable_sharing: bool,
-                 context, out_queue):
+                 context, out_queue, track_agent_load: bool = False):
         self.index = index
         self._in_queue = context.Queue(maxsize=_QUEUE_DEPTH)
         self._out_queue = out_queue
         self._process = context.Process(
             target=_process_shard_main,
-            args=(index, list(queries), enable_sharing, self._in_queue,
-                  out_queue),
-            daemon=True)
+            args=(index, list(queries), enable_sharing, track_agent_load,
+                  self._in_queue, out_queue),
+            daemon=True,
+            name=f"saql-shard-{index}")
         self._process.start()
 
     def feed(self, batch: List[Event]) -> None:
@@ -270,6 +430,17 @@ class ProcessShard:
         while True:
             try:
                 self._in_queue.put(batch, timeout=0.1)
+                return
+            except queue.Full:
+                if not self._process.is_alive():
+                    raise RuntimeError(
+                        f"shard {self.index} worker exited mid-stream")
+
+    def request_control(self, message: Tuple) -> None:
+        """Enqueue a control message; the answer arrives on the out queue."""
+        while True:
+            try:
+                self._in_queue.put(message, timeout=0.1)
                 return
             except queue.Full:
                 if not self._process.is_alive():
@@ -287,11 +458,219 @@ class ProcessShard:
             except queue.Full:
                 continue
 
+    def shutdown(self) -> None:
+        """Force the worker down (abort path: its result will not be read).
+
+        A worker that already finished its stream blocks on putting its
+        result tuple until the parent reads it; when an error aborts the
+        run before collection, that put would otherwise pin the process
+        until interpreter exit.  Termination is safe here precisely
+        because the result is abandoned.
+        """
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=5.0)
+
     def is_alive(self) -> bool:
         return self._process.is_alive()
 
     def join(self) -> None:
         self._process.join()
+
+    def __enter__(self) -> "ProcessShard":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Mid-stream rebalancing (work stealing)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed agentid migration, for stats and benchmarks."""
+
+    agentid: str
+    source: int
+    target: int
+    cut: float
+    #: Events held in the handoff buffer until the donor drained.
+    events_held: int
+    #: False when the drain never confirmed mid-stream and the buffer was
+    #: flushed at end of stream instead (same alerts, later handoff).
+    completed_mid_stream: bool
+
+
+class _ActiveMigration:
+    """One in-flight steal: routing state between decision and handoff."""
+
+    __slots__ = ("agentid", "key", "source", "target", "cut", "buffer",
+                 "drain_pending")
+
+    def __init__(self, agentid: str, key: str, source: int, target: int,
+                 cut: float):
+        self.agentid = agentid
+        self.key = key                      # casefolded routing key
+        self.source = source
+        self.target = target
+        self.cut = cut
+        self.buffer: List[Event] = []       # the handoff buffer
+        self.drain_pending = False          # a drain request is in flight
+
+
+class _StealingCoordinator:
+    """Drives rebalance epochs and migrations for one ``execute`` run.
+
+    The feeding loop calls :meth:`maybe_hold` per event (capturing a
+    migrating victim's post-cut events into its handoff buffer) and
+    :meth:`after_batch` per batch (epoch accounting, control-channel I/O,
+    balancer planning, drain confirmation and handoff flushing).  Backend
+    differences are abstracted behind three callables: ``send(position,
+    message)`` posts a control message to a shard, ``poll()`` returns the
+    responses that have arrived, and ``flush(position, events)`` delivers
+    a drained handoff buffer to the thief *after* the thief's pending
+    normal events (so the thief's own groups never see a watermark jump
+    ahead of their earlier events).
+    """
+
+    def __init__(self, shard_count: int, interval: int,
+                 balancer: WorkStealingBalancer,
+                 eligibility: StealEligibility,
+                 stealable, send, poll, flush,
+                 resolve_route, purge_route,
+                 route_overrides: Dict[str, int]):
+        self._shard_count = shard_count
+        self._interval = interval
+        self._balancer = balancer
+        self._eligibility = eligibility
+        self._stealable = stealable
+        self._send = send
+        self._poll = poll
+        self._flush = flush
+        self._resolve_route = resolve_route
+        self._purge_route = purge_route
+        self._overrides = route_overrides
+        self._events_since_epoch = 0
+        self._watermark = float("-inf")
+        self._epoch = 0
+        self._awaiting_reports: set = set()
+        self._reports: Dict[int, ShardLoadReport] = {}
+        self._migrating: Dict[str, _ActiveMigration] = {}
+        self.records: List[MigrationRecord] = []
+
+    # -- feeding-loop hooks -------------------------------------------------
+
+    def maybe_hold(self, event: Event) -> bool:
+        """Capture a migrating victim's post-cut event; True when held."""
+        migrating = self._migrating
+        if not migrating:
+            return False
+        migration = migrating.get(event.agentid.casefold())
+        if migration is None or event.timestamp < migration.cut:
+            # Pre-cut stragglers keep flowing to the donor, whose windows
+            # cover everything below the cut.
+            return False
+        migration.buffer.append(event)
+        return True
+
+    def after_batch(self, batch: Sequence[Event]) -> None:
+        """Advance epoch accounting and pump the control channel."""
+        if batch:
+            self._events_since_epoch += len(batch)
+            tail = batch[-1].timestamp
+            if tail > self._watermark:
+                self._watermark = tail
+        for position, response in self._poll():
+            self._deliver(position, response)
+        self._request_drains()
+        if (self._events_since_epoch >= self._interval
+                and not self._awaiting_reports):
+            self._events_since_epoch = 0
+            self._epoch += 1
+            self._awaiting_reports = set(range(self._shard_count))
+            self._reports = {}
+            for position in range(self._shard_count):
+                self._send(position, ("load", self._epoch))
+
+    def finalize(self) -> None:
+        """Flush every unconfirmed handoff buffer at end of stream.
+
+        The donor's windows close during its own ``finish`` and the cut
+        still partitions the victim's events, so parity holds; only the
+        handoff happened later than a mid-stream drain would have.
+        """
+        for migration in self._migrating.values():
+            self._complete(migration, mid_stream=False)
+        self._migrating.clear()
+
+    # -- control-channel handling -------------------------------------------
+
+    def _request_drains(self) -> None:
+        for migration in self._migrating.values():
+            if not migration.drain_pending:
+                migration.drain_pending = True
+                self._send(migration.source,
+                           ("drain", migration.agentid, migration.cut))
+
+    def _deliver(self, position: int, response: Tuple) -> None:
+        kind = response[0]
+        if kind == "load":
+            _, epoch, report = response
+            if epoch == self._epoch and position in self._awaiting_reports:
+                self._awaiting_reports.discard(position)
+                self._reports[position] = report
+                if not self._awaiting_reports:
+                    self._plan_epoch()
+        elif kind == "drain":
+            _, agentid, cut, drained = response
+            migration = self._migrating.get(agentid.casefold())
+            if (migration is None or migration.source != position
+                    or migration.cut != cut):
+                return  # stale answer from a superseded migration
+            if drained:
+                self._complete(migration, mid_stream=True)
+                del self._migrating[migration.key]
+            else:
+                # Not drained yet: re-ask on the next batch boundary.
+                migration.drain_pending = False
+
+    def _plan_epoch(self) -> None:
+        loads = [dict(self._reports[position].events_by_agentid)
+                 for position in range(self._shard_count)]
+
+        def stealable(agentid: str) -> bool:
+            return (agentid.casefold() not in self._migrating
+                    and self._stealable(agentid))
+
+        for decision in self._balancer.plan(loads, stealable=stealable):
+            # The reports describe the closing epoch; only act when the
+            # victim still routes to the reported donor (a migration that
+            # completed mid-epoch splits its counts across two reports).
+            if self._resolve_route(decision.agentid) != decision.source:
+                continue
+            cut = self._eligibility.cut_after(self._watermark)
+            self._migrating[decision.agentid.casefold()] = _ActiveMigration(
+                agentid=decision.agentid,
+                key=decision.agentid.casefold(),
+                source=decision.source,
+                target=decision.target,
+                cut=cut)
+
+    def _complete(self, migration: _ActiveMigration,
+                  mid_stream: bool) -> None:
+        self._flush(migration.target, migration.buffer)
+        self._overrides[migration.key] = migration.target
+        self._purge_route(migration.key)
+        self.records.append(MigrationRecord(
+            agentid=migration.agentid,
+            source=migration.source,
+            target=migration.target,
+            cut=migration.cut,
+            events_held=len(migration.buffer),
+            completed_mid_stream=mid_stream))
+        migration.buffer = []
 
 
 # ---------------------------------------------------------------------------
@@ -320,7 +699,9 @@ class ShardedScheduler:
                  enable_sharing: bool = True,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  shard_map: Optional[Union[str, Mapping[str, int]]] = None,
-                 auto_prefix: int = DEFAULT_AUTO_PREFIX):
+                 auto_prefix: int = DEFAULT_AUTO_PREFIX,
+                 rebalance_interval: Optional[int] = None,
+                 rebalance_ratio: float = DEFAULT_REBALANCE_RATIO):
         if shards < 1:
             raise ValueError("shard count must be at least 1")
         if backend not in _BACKENDS:
@@ -330,11 +711,21 @@ class ShardedScheduler:
             raise ValueError("batch size must be at least 1")
         if auto_prefix < 1:
             raise ValueError("auto-map prefix must be at least 1 event")
+        if rebalance_interval is not None and rebalance_interval < 1:
+            raise ValueError("rebalance interval must be at least 1 event")
         self.shards = shards
         self.backend = backend
         self._sink = sink
         self._enable_sharing = enable_sharing
         self._batch_size = batch_size
+        # Mid-stream work stealing: None disables it; otherwise the number
+        # of routed events between load-report epochs.  The balancer is
+        # built per run so each execute() starts from clean epochs.
+        self._rebalance_interval = rebalance_interval
+        self._rebalance_ratio = rebalance_ratio
+        if rebalance_interval is not None:
+            # Validate the ratio eagerly (the balancer owns the rule).
+            WorkStealingBalancer(ratio=rebalance_ratio)
         # Load-aware assignment: None/"hash" = stable crc32 of the agentid;
         # "auto" = bin-pack by the event counts of a stream prefix at
         # execute() time; a mapping = explicit agentid -> shard overrides.
@@ -364,6 +755,11 @@ class ShardedScheduler:
         self._merged_stats = SchedulerStats()
         self.per_shard_stats: List[SchedulerStats] = []
         self.single_lane_stats: Optional[SchedulerStats] = None
+        #: Migrations the last run completed, in completion order.
+        self.migrations: List[MigrationRecord] = []
+        #: Whether (and why) the last run could steal at all; None until
+        #: a run with rebalancing enabled resolves it.
+        self.last_steal_eligibility: Optional[StealEligibility] = None
 
     # -- registration ------------------------------------------------------
 
@@ -539,7 +935,9 @@ class ShardedScheduler:
                 if pinned is None
                 or self._home_shard(pinned) == position]
 
-    def _make_router(self):
+    def _make_router(self, overrides: Optional[Dict[str, int]] = None,
+                     cache: Optional[Dict[str, int]] = None
+                     ) -> Callable[[str], int]:
         """Build the agentid -> shard routing function for one run.
 
         The default route is the stable hash (:func:`shard_index`), but a
@@ -556,15 +954,21 @@ class ShardedScheduler:
         partitioned at all and fails loudly.  Distinct agentids are few,
         so the equality checks amortize through a cache.
 
-        The default (non-pin) route consults the resolved shard map first
-        (load-aware or explicit assignment), then the stable hash.  Every
-        backend builds exactly ``self.shards`` lanes, which is what the
-        home-shard helper routes over.
+        The default (non-pin) route consults the work-stealing
+        ``overrides`` (casefolded agentid -> shard, installed when a
+        migration's handoff completes; pins outrank them, but the balancer
+        never steals a pin-satisfying agentid), then the resolved shard
+        map (load-aware or explicit assignment), then the stable hash.
+        ``cache`` may be passed in so the stealing coordinator can purge
+        a migrated agentid's stale entries.  Every backend builds exactly
+        ``self.shards`` lanes, which is what the home-shard helper routes
+        over.
         """
         pins = sorted({(pinned, self._home_shard(pinned))
                        for _, _, pinned, _ in self._sharded_queries
                        if pinned is not None})
-        cache: Dict[str, int] = {}
+        if cache is None:
+            cache = {}
 
         def route(agentid: str) -> int:
             position = cache.get(agentid)
@@ -579,6 +983,10 @@ class ShardedScheduler:
                         "disambiguate the host identifiers")
                 if targets:
                     position = targets.pop()
+                elif overrides:
+                    position = overrides.get(agentid.casefold())
+                    if position is None:
+                        position = self._home_shard(agentid)
                 else:
                     position = self._home_shard(agentid)
                 cache[agentid] = position
@@ -623,6 +1031,7 @@ class ShardedScheduler:
         size = batch_size if batch_size is not None else self._batch_size
         if size < 1:
             raise ValueError("batch size must be at least 1")
+        self.migrations = []
         # Resolve the auto map before shards are built: pinned-query
         # registration depends on where the map homes each pin.
         stream = self._resolve_auto_map(stream)
@@ -637,6 +1046,57 @@ class ShardedScheduler:
                 self._sink.emit(alert)
         return list(alerts)
 
+    # -- work-stealing setup ------------------------------------------------
+
+    def _resolve_steal_eligibility(self) -> Optional[StealEligibility]:
+        """Return the lane eligibility when this run should rebalance.
+
+        None when rebalancing is off, pointless (one shard, nothing
+        sharded) or vetoed by a steal-unsafe query; the veto verdict is
+        still published on :attr:`last_steal_eligibility`.
+        """
+        if (self._rebalance_interval is None or self.shards < 2
+                or not self._sharded_queries):
+            return None
+        eligibility = steal_eligibility(self.reports)
+        self.last_steal_eligibility = eligibility
+        return eligibility if eligibility.eligible else None
+
+    def _stealable_predicate(self) -> Callable[[str], bool]:
+        """Build the victim filter: pin-satisfying agentids stay put."""
+        pins = sorted({pinned for _, _, pinned, _ in self._sharded_queries
+                       if pinned is not None})
+
+        def stealable(agentid: str) -> bool:
+            return not any(compare_values("==", agentid, pin)
+                           for pin in pins)
+
+        return stealable
+
+    def _make_coordinator(self, eligibility: StealEligibility,
+                          lane_count: int, send, poll, flush,
+                          resolve_route, route_cache: Dict[str, int],
+                          overrides: Dict[str, int]
+                          ) -> _StealingCoordinator:
+        def purge_route(key: str) -> None:
+            # Drop every cached spelling of the migrated agentid so the
+            # next lookup consults the fresh override.
+            for cached in [spelling for spelling in route_cache
+                           if spelling.casefold() == key]:
+                del route_cache[cached]
+
+        assert self._rebalance_interval is not None
+        return _StealingCoordinator(
+            shard_count=lane_count,
+            interval=self._rebalance_interval,
+            balancer=WorkStealingBalancer(ratio=self._rebalance_ratio),
+            eligibility=eligibility,
+            stealable=self._stealable_predicate(),
+            send=send, poll=poll, flush=flush,
+            resolve_route=resolve_route,
+            purge_route=purge_route,
+            route_overrides=overrides)
+
     def _single_lane_scheduler(self) -> Optional[ConcurrentQueryScheduler]:
         if not self._single_lane_queries:
             return None
@@ -647,7 +1107,9 @@ class ShardedScheduler:
                                                       SchedulerStats]],
                   single_lane: Optional[ConcurrentQueryScheduler],
                   single_alerts: List[Alert],
-                  events_ingested: int) -> List[Alert]:
+                  events_ingested: int,
+                  sampled_peaks: Optional[Tuple[int, int]] = None
+                  ) -> List[Alert]:
         alerts: List[Alert] = []
         self.per_shard_stats = []
         for shard_alerts, shard_stats in shard_results:
@@ -660,6 +1122,14 @@ class ShardedScheduler:
             self.single_lane_stats = single_lane.stats
         self._merged_stats = merge_stats(self.per_shard_stats,
                                          self.single_lane_stats)
+        if sampled_peaks is not None:
+            # In-process backends sample a genuine concurrent peak across
+            # all lanes at batch boundaries; the summed per-lane figure
+            # stays available as peak_buffered_*_bound (merge_stats set
+            # it).  The process backend cannot sample across processes and
+            # keeps the peak equal to the bound.
+            self._merged_stats.peak_buffered_events = sampled_peaks[0]
+            self._merged_stats.peak_buffered_matches = sampled_peaks[1]
         # Each stream event is ingested once by the sharded runtime, even
         # when the single-shard lane observed it as well; queries and
         # groups are the exact logical counts (pinned-query routing makes
@@ -679,115 +1149,243 @@ class ShardedScheduler:
                             size: int) -> List[Alert]:
         """Run with the serial or thread backend (shards live in-process)."""
         shard_cls = ThreadShard if self.backend == "thread" else SerialShard
+        eligibility = self._resolve_steal_eligibility()
         shards: List[Any] = []
         active: List[bool] = []
         if self._sharded_queries:
             per_shard = [self._queries_for_shard(position)
                          for position in range(self.shards)]
-            shards = [shard_cls(queries, self._enable_sharing)
-                      for queries in per_shard]
+            shards = [shard_cls(queries, self._enable_sharing,
+                                eligibility is not None, position)
+                      for position, queries in enumerate(per_shard)]
             active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
         single_alerts: List[Alert] = []
         buffers: List[List[Event]] = [[] for _ in range(len(shards))]
-        route = self._make_router() if shards else None
+        overrides: Dict[str, int] = {}
+        route_cache: Dict[str, int] = {}
+        route = (self._make_router(overrides, route_cache)
+                 if shards else None)
+        coordinator: Optional[_StealingCoordinator] = None
+        if eligibility is not None and shards:
+
+            def flush_held(target: int, events: Sequence[Event]) -> None:
+                # The thief's pending normal events precede the handoff
+                # buffer, so its engines' watermarks never jump ahead of
+                # events still waiting in the routing buffer.
+                if buffers[target]:
+                    shards[target].feed(buffers[target])
+                    buffers[target] = []
+                if events and active[target]:
+                    shards[target].feed(list(events))
+
+            def send(position: int, message: Tuple) -> None:
+                shards[position].request_control(message)
+
+            def poll() -> List[Tuple[int, Tuple]]:
+                responses: List[Tuple[int, Tuple]] = []
+                for position, shard in enumerate(shards):
+                    for response in shard.poll_control():
+                        responses.append((position, response))
+                return responses
+
+            coordinator = self._make_coordinator(
+                eligibility, len(shards), send, poll, flush_held,
+                route, route_cache, overrides)
         events_ingested = 0
-        for batch in iter_batches(stream, size):
-            events_ingested += len(batch)
-            if single_lane is not None:
-                single_alerts.extend(single_lane.process_events(batch))
-            if not shards:
-                continue
-            for event in batch:
-                position = route(event.agentid)
-                # A shard every query was routed away from has nothing to
-                # do with its slice of the stream.
-                if active[position]:
-                    buffers[position].append(event)
+        sampled_peak_events = 0
+        sampled_peak_matches = 0
+        try:
+            for batch in iter_batches(stream, size):
+                events_ingested += len(batch)
+                if single_lane is not None:
+                    single_alerts.extend(single_lane.process_events(batch))
+                if shards:
+                    for event in batch:
+                        if (coordinator is not None
+                                and coordinator.maybe_hold(event)):
+                            continue
+                        position = route(event.agentid)
+                        # A shard every query was routed away from has
+                        # nothing to do with its slice of the stream.
+                        if active[position]:
+                            buffers[position].append(event)
+                    for position, buffer in enumerate(buffers):
+                        if len(buffer) >= size:
+                            shards[position].feed(buffer)
+                            buffers[position] = []
+                    if coordinator is not None:
+                        coordinator.after_batch(batch)
+                # Genuine concurrent retention sample across every lane at
+                # this batch boundary (exact for serial, a benign racy
+                # snapshot for threads); its running maximum replaces the
+                # summed per-lane peak bound in the merged stats.
+                sample_events = 0
+                sample_matches = 0
+                for shard in shards:
+                    buffered_events, buffered_matches = shard.buffer_sample()
+                    sample_events += buffered_events
+                    sample_matches += buffered_matches
+                if single_lane is not None:
+                    sample_events += single_lane.stats.buffered_events
+                    sample_matches += single_lane.stats.buffered_matches
+                if sample_events > sampled_peak_events:
+                    sampled_peak_events = sample_events
+                if sample_matches > sampled_peak_matches:
+                    sampled_peak_matches = sample_matches
             for position, buffer in enumerate(buffers):
-                if len(buffer) >= size:
+                if buffer:
                     shards[position].feed(buffer)
                     buffers[position] = []
-        for position, buffer in enumerate(buffers):
-            if buffer:
-                shards[position].feed(buffer)
-        results = [shard.finish() for shard in shards]
+            if coordinator is not None:
+                coordinator.finalize()
+                self.migrations = coordinator.records
+            results = [shard.finish() for shard in shards]
+        finally:
+            # A failure anywhere above (a poisoned batch, a dead worker, a
+            # raising stream iterator) must not leak live shard threads
+            # until interpreter exit; close() is idempotent after a clean
+            # finish and never raises.
+            for shard in shards:
+                shard.close()
         return self._finalize(results, single_lane, single_alerts,
-                              events_ingested)
+                              events_ingested,
+                              sampled_peaks=(sampled_peak_events,
+                                             sampled_peak_matches))
 
     def _execute_process(self, stream: Iterable[Event],
                          size: int) -> List[Alert]:
         """Run with the multiprocessing backend (one worker per shard)."""
         context = multiprocessing.get_context()
         out_queue = context.Queue()
+        eligibility = self._resolve_steal_eligibility()
         per_shard = [self._queries_for_shard(position)
                      for position in range(self.shards)]
         workers = [ProcessShard(position, queries, self._enable_sharing,
-                                context, out_queue)
+                                context, out_queue,
+                                track_agent_load=eligibility is not None)
                    for position, queries in enumerate(per_shard)]
         active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
         single_alerts: List[Alert] = []
         buffers: List[List[Event]] = [[] for _ in workers]
-        route = self._make_router()
+        overrides: Dict[str, int] = {}
+        route_cache: Dict[str, int] = {}
+        route = self._make_router(overrides, route_cache)
         events_ingested = 0
+        #: "done" tuples a worker posted before the collection phase (a
+        #: crash mid-stream) — replayed into the collection loop.
+        early_done: List[Tuple] = []
+        coordinator: Optional[_StealingCoordinator] = None
+        if eligibility is not None:
+
+            def flush_held(target: int, events: Sequence[Event]) -> None:
+                if buffers[target]:
+                    workers[target].feed(buffers[target])
+                    buffers[target] = []
+                if events and active[target]:
+                    workers[target].feed(list(events))
+
+            def send(position: int, message: Tuple) -> None:
+                workers[position].request_control(message)
+
+            def poll() -> List[Tuple[int, Tuple]]:
+                responses: List[Tuple[int, Tuple]] = []
+                while True:
+                    try:
+                        item = out_queue.get_nowait()
+                    except queue.Empty:
+                        return responses
+                    if item[0] == "ctrl":
+                        responses.append((item[1], item[2]))
+                    else:
+                        early_done.append(item)
+
+            coordinator = self._make_coordinator(
+                eligibility, len(workers), send, poll, flush_held,
+                route, route_cache, overrides)
         try:
-            for batch in iter_batches(stream, size):
-                events_ingested += len(batch)
-                if single_lane is not None:
-                    single_alerts.extend(single_lane.process_events(batch))
-                for event in batch:
-                    position = route(event.agentid)
-                    if active[position]:
-                        buffers[position].append(event)
+            try:
+                for batch in iter_batches(stream, size):
+                    events_ingested += len(batch)
+                    if single_lane is not None:
+                        single_alerts.extend(
+                            single_lane.process_events(batch))
+                    for event in batch:
+                        if (coordinator is not None
+                                and coordinator.maybe_hold(event)):
+                            continue
+                        position = route(event.agentid)
+                        if active[position]:
+                            buffers[position].append(event)
+                    for position, buffer in enumerate(buffers):
+                        if len(buffer) >= size:
+                            workers[position].feed(buffer)
+                            buffers[position] = []
+                    if coordinator is not None:
+                        coordinator.after_batch(batch)
                 for position, buffer in enumerate(buffers):
-                    if len(buffer) >= size:
+                    if buffer:
                         workers[position].feed(buffer)
                         buffers[position] = []
-            for position, buffer in enumerate(buffers):
-                if buffer:
-                    workers[position].feed(buffer)
-        finally:
-            for worker in workers:
-                worker.close()
-        # Collect results before joining: a worker blocks on its result put
-        # until the parent reads it.  The get is timed and paired with a
-        # liveness check so a worker that died without posting (OOM-kill,
-        # unpicklable result) fails the run instead of hanging it.
-        collected: Dict[int, Tuple[List[Alert], SchedulerStats]] = {}
-        failures: List[str] = []
-        remaining = set(range(len(workers)))
-        dead_patience = 0
-        while remaining:
-            try:
-                index, alerts, stats, error = out_queue.get(timeout=0.5)
-            except queue.Empty:
-                dead = [position for position in remaining
-                        if not workers[position].is_alive()]
-                if dead:
-                    # A dead worker's result may still sit in the pipe
-                    # buffer; give it a few more timed gets before
-                    # declaring the shard lost.
-                    dead_patience += 1
-                    if dead_patience >= 10:
-                        for position in dead:
-                            failures.append(f"shard {position}: worker "
-                                            "exited without posting a "
-                                            "result")
-                            remaining.discard(position)
-                continue
+                if coordinator is not None:
+                    coordinator.finalize()
+                    self.migrations = coordinator.records
+            finally:
+                for worker in workers:
+                    worker.close()
+            # Collect results before joining: a worker blocks on its
+            # result put until the parent reads it.  The get is timed and
+            # paired with a liveness check so a worker that died without
+            # posting (OOM-kill, unpicklable result) fails the run instead
+            # of hanging it.
+            collected: Dict[int, Tuple[List[Alert], SchedulerStats]] = {}
+            failures: List[str] = []
+            remaining = set(range(len(workers)))
             dead_patience = 0
-            remaining.discard(index)
-            if error is not None:
-                failures.append(f"shard {index}: {error}")
-            else:
-                collected[index] = (alerts, stats)
-        for worker in workers:
-            if worker.index in collected or not worker.is_alive():
-                worker.join()
-        if failures:
-            raise RuntimeError("sharded execution failed: "
-                               + "; ".join(sorted(failures)))
+            while remaining:
+                if early_done:
+                    item = early_done.pop(0)
+                else:
+                    try:
+                        item = out_queue.get(timeout=0.5)
+                    except queue.Empty:
+                        dead = [position for position in remaining
+                                if not workers[position].is_alive()]
+                        if dead:
+                            # A dead worker's result may still sit in the
+                            # pipe buffer; give it a few more timed gets
+                            # before declaring the shard lost.
+                            dead_patience += 1
+                            if dead_patience >= 10:
+                                for position in dead:
+                                    failures.append(
+                                        f"shard {position}: worker exited "
+                                        "without posting a result")
+                                    remaining.discard(position)
+                        continue
+                if item[0] == "ctrl":
+                    continue  # late answer from an already-settled drain
+                _, index, alerts, stats, error = item
+                dead_patience = 0
+                remaining.discard(index)
+                if error is not None:
+                    failures.append(f"shard {index}: {error}")
+                else:
+                    collected[index] = (alerts, stats)
+            for worker in workers:
+                if worker.index in collected or not worker.is_alive():
+                    worker.join()
+            if failures:
+                raise RuntimeError("sharded execution failed: "
+                                   + "; ".join(sorted(failures)))
+        except BaseException:
+            # Abandon the run without leaking children: a worker blocked
+            # on its unread result put — or still draining its in-queue —
+            # would otherwise survive until interpreter exit.
+            for worker in workers:
+                worker.shutdown()
+            raise
         results = [collected[position] for position in range(len(workers))]
         return self._finalize(results, single_lane, single_alerts,
                               events_ingested)

@@ -1,0 +1,182 @@
+"""Mid-stream shard rebalancing: the work-stealing balancer.
+
+The static ``shard_map="auto"`` assignment fixes skew that is visible in
+the observed stream prefix, but load that shifts *mid-stream* — a burst
+host, an attack scenario ramping up on one agent — still serializes on
+whatever shard the prefix assigned it to.  This module holds the policy
+half of the fix: at each rebalance epoch the sharded runtime collects one
+:class:`~repro.core.scheduler.concurrent.ShardLoadReport` per shard and
+asks :class:`WorkStealingBalancer` which agentids to migrate.  The
+balancer compares the shards' epoch loads, and when the hottest shard
+exceeds the configured ratio of the mean it proposes moving the hottest
+*stealable* agentids from the most- to the least-loaded shard, heaviest
+first, while each move still narrows the gap.
+
+The mechanics — window-aligned cut times, handoff buffers, and the
+drain-and-handoff confirmation protocol — live with the router in
+:mod:`repro.core.parallel.sharded`; whether any migration is legal at all
+is decided statically per query by
+:func:`repro.core.parallel.shardability.analyze_steal_safety`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from repro.core.parallel.shardability import ShardabilityReport
+
+#: Default imbalance trigger: rebalance once the hottest shard's epoch
+#: load exceeds this multiple of the mean shard load.
+DEFAULT_REBALANCE_RATIO = 1.25
+
+#: Epoch loads below this many events are ignored entirely — tiny epochs
+#: are routing noise, not a load signal worth migrating for.
+DEFAULT_MIN_EPOCH_EVENTS = 64
+
+
+@dataclass(frozen=True)
+class StealDecision:
+    """One planned migration: move ``agentid`` from ``source`` to ``target``.
+
+    ``observed_events`` is the victim's event count in the epoch that
+    motivated the steal (the balancer's estimate of the load being moved).
+    """
+
+    agentid: str
+    source: int
+    target: int
+    observed_events: int
+
+
+@dataclass(frozen=True)
+class StealEligibility:
+    """Whether a registered query set permits work stealing at all.
+
+    Stealing moves an agentid's events between shards, and every unpinned
+    sharded query observes every agentid — so a single steal-unsafe
+    unpinned query vetoes stealing for the whole sharded lane.  Pinned
+    queries never veto (they live only on their pin's shard and filter
+    other hosts); their pinned agentids are simply never chosen as
+    victims.  Single-shard-lane queries observe the full stream regardless
+    of routing and are never affected.
+
+    ``alignment`` is the cut-time granularity in seconds: migrations cut
+    at a common multiple of every steal-safe query's window hop, so no
+    window spans the cut.  ``None`` alignment (only stateless queries)
+    means any cut time is safe.
+    """
+
+    eligible: bool
+    reason: str
+    alignment: Optional[int] = None
+
+    def cut_after(self, watermark: float) -> float:
+        """Return the earliest safe cut time strictly aligned past ``watermark``.
+
+        With an alignment the cut is the next multiple strictly greater
+        than the watermark, so every already-routed event (all of which
+        carry timestamps at or below the watermark) stays below the cut.
+        Without one (stateless queries only) the watermark itself is safe:
+        same-timestamp ties may split across the cut, but stateless
+        queries alert per event, so the merged alert stream is unchanged.
+        """
+        if self.alignment is None:
+            return watermark
+        return (math.floor(watermark / self.alignment) + 1) * self.alignment
+
+
+def steal_eligibility(
+        reports: Mapping[str, ShardabilityReport]) -> StealEligibility:
+    """Combine per-query shardability reports into a lane-wide verdict."""
+    unpinned = {name: report for name, report in reports.items()
+                if report.shardable and report.pinned_agentid is None}
+    if not unpinned:
+        return StealEligibility(
+            eligible=False,
+            reason="no unpinned sharded queries: every shard's query set "
+                   "is host-pinned, so migrating an agentid would route "
+                   "its events to shards with nothing to run")
+    for name, report in unpinned.items():
+        if not report.steal_safe:
+            return StealEligibility(
+                eligible=False,
+                reason=f"query {name!r} is not steal-safe: "
+                       f"{report.steal_reason}")
+    alignments = [report.steal_alignment for report in unpinned.values()
+                  if report.steal_alignment is not None]
+    alignment = math.lcm(*alignments) if alignments else None
+    return StealEligibility(
+        eligible=True,
+        reason="every unpinned sharded query is steal-safe",
+        alignment=alignment)
+
+
+class WorkStealingBalancer:
+    """Plans migrations from per-shard epoch load reports.
+
+    Pure policy, no runtime state beyond configuration: given the epoch's
+    per-shard ``agentid -> event count`` loads it returns the migrations
+    to start (possibly none).  One donor/thief pair per epoch — the most-
+    and least-loaded shards — keeps decisions conservative; sustained skew
+    across several hosts resolves over successive epochs.
+    """
+
+    def __init__(self, ratio: float = DEFAULT_REBALANCE_RATIO,
+                 min_epoch_events: int = DEFAULT_MIN_EPOCH_EVENTS):
+        if ratio < 1.0:
+            raise ValueError("rebalance ratio must be at least 1.0")
+        if min_epoch_events < 0:
+            raise ValueError("minimum epoch events must be non-negative")
+        self.ratio = ratio
+        self.min_epoch_events = min_epoch_events
+
+    def plan(self, loads: Sequence[Mapping[str, int]],
+             stealable: Optional[Callable[[str], bool]] = None
+             ) -> List[StealDecision]:
+        """Return the migrations for one epoch.
+
+        ``loads[i]`` maps agentid -> events shard ``i`` ingested this
+        epoch.  ``stealable`` filters candidate victims (the sharded
+        runtime excludes pin-satisfying agentids and agentids already
+        migrating).  Moves are planned hottest-victim-first and only while
+        moving the victim still narrows the donor/thief gap, so a single
+        dominant host — which cannot be split below host granularity —
+        never ping-pongs between shards.
+        """
+        if len(loads) < 2:
+            return []
+        totals = [sum(load.values()) for load in loads]
+        total = sum(totals)
+        if total < self.min_epoch_events:
+            return []
+        mean = total / len(loads)
+        source = max(range(len(loads)), key=lambda i: (totals[i], -i))
+        target = min(range(len(loads)), key=lambda i: (totals[i], i))
+        if source == target or totals[source] <= self.ratio * mean:
+            return []
+        decisions: List[StealDecision] = []
+        donor_load = totals[source]
+        thief_load = totals[target]
+        # Hottest first; names break ties so plans are reproducible.
+        candidates = sorted(loads[source].items(),
+                            key=lambda item: (-item[1], item[0]))
+        for agentid, weight in candidates:
+            if weight <= 0:
+                break
+            if stealable is not None and not stealable(agentid):
+                continue
+            # Moving the victim must strictly narrow the gap: a victim
+            # heavier than half the gap would overshoot and invite the
+            # reverse steal next epoch.
+            if 2 * weight >= donor_load - thief_load:
+                continue
+            decisions.append(StealDecision(
+                agentid=agentid, source=source, target=target,
+                observed_events=weight))
+            donor_load -= weight
+            thief_load += weight
+            if donor_load <= self.ratio * mean:
+                break
+        return decisions

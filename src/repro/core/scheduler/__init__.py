@@ -16,6 +16,7 @@ from repro.core.scheduler.concurrent import (
     ConcurrentQueryScheduler,
     QueryGroup,
     SchedulerStats,
+    ShardLoadReport,
 )
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "ConcurrentQueryScheduler",
     "QueryGroup",
     "SchedulerStats",
+    "ShardLoadReport",
     "compatibility_signature",
     "pattern_signature",
 ]

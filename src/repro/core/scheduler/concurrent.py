@@ -16,10 +16,10 @@ evaluations were saved by reuse.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import (Any, Deque, Dict, Iterable, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Any, Deque, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.engine.error_reporter import ErrorReporter
@@ -63,6 +63,19 @@ class SchedulerStats:
     #: Sum of the per-engine peaks of retained state matches — an upper
     #: bound on the true simultaneous peak.
     peak_buffered_matches: int = 0
+    #: Only populated on merged sharded stats: sum of the per-lane
+    #: ``peak_buffered_events`` figures.  The per-lane peaks occur at
+    #: different stream positions, so this is an explicit *upper bound* on
+    #: the true simultaneous peak; the serial/thread backends additionally
+    #: sample the genuine concurrent figure into
+    #: :attr:`peak_buffered_events`, while the process backend (whose
+    #: shard buffers live in other processes) leaves the peak equal to
+    #: this bound.
+    peak_buffered_events_bound: int = 0
+    #: Only populated on merged sharded stats: sum of the per-lane
+    #: ``peak_buffered_matches`` figures (see
+    #: :attr:`peak_buffered_events_bound` for the bound-vs-sampled split).
+    peak_buffered_matches_bound: int = 0
 
     @property
     def data_copies(self) -> int:
@@ -73,6 +86,24 @@ class SchedulerStats:
     def data_copies_without_sharing(self) -> int:
         """Stream copies a copy-per-query execution would keep."""
         return self.queries
+
+
+@dataclass(frozen=True)
+class ShardLoadReport:
+    """One scheduler's ingest load since the previous report (one epoch).
+
+    The sharded runtime's work-stealing balancer collects one report per
+    shard at each rebalance epoch: ``events_by_agentid`` names the hosts
+    whose events this scheduler ingested and how many each contributed,
+    ``total_events`` is their sum, and ``watermark`` is the largest event
+    timestamp seen over the scheduler's whole run (not just the epoch).
+    Produced by :meth:`ConcurrentQueryScheduler.take_load_report`, which
+    resets the per-epoch counters.
+    """
+
+    events_by_agentid: Mapping[str, int]
+    total_events: int
+    watermark: float
 
 
 class QueryGroup:
@@ -372,7 +403,8 @@ class ConcurrentQueryScheduler:
 
     def __init__(self, sink: Optional[AlertSink] = None,
                  error_reporter: Optional[ErrorReporter] = None,
-                 enable_sharing: bool = True):
+                 enable_sharing: bool = True,
+                 track_agent_load: bool = False):
         self._sink = sink
         self._error_reporter = error_reporter or ErrorReporter()
         self._enable_sharing = enable_sharing
@@ -385,6 +417,12 @@ class ConcurrentQueryScheduler:
                                                  ...]]] = None
         self._fallback_entries: Tuple[Tuple[QueryGroup, bool], ...] = ()
         self.stats = SchedulerStats()
+        # Per-agentid ingest accounting for the work-stealing balancer.
+        # Off by default so the per-event hot path pays nothing; the
+        # sharded runtime switches it on when rebalancing is requested.
+        self._track_agent_load = track_agent_load
+        self._agent_loads: Counter = Counter()
+        self._load_watermark = float("-inf")
 
     # -- registration ------------------------------------------------------------
 
@@ -467,6 +505,10 @@ class ConcurrentQueryScheduler:
         latency as under unindexed dispatch.
         """
         self.stats.events_ingested += 1
+        if self._track_agent_load:
+            self._agent_loads[event.agentid] += 1
+            if event.timestamp > self._load_watermark:
+                self._load_watermark = event.timestamp
         index = self._op_index
         if index is None:
             index = self._rebuild_op_index()
@@ -499,6 +541,11 @@ class ConcurrentQueryScheduler:
             events = list(events)
         stats = self.stats
         stats.events_ingested += len(events)
+        if self._track_agent_load and events:
+            self._agent_loads.update(event.agentid for event in events)
+            # Batches are timestamp-ordered, so the tail carries the max.
+            if events[-1].timestamp > self._load_watermark:
+                self._load_watermark = events[-1].timestamp
         alerts: List[Alert] = []
         for group in self._groups.values():
             alerts.extend(group.process_events(events, stats))
@@ -531,6 +578,72 @@ class ConcurrentQueryScheduler:
         self.stats.alerts += len(alerts)
         self._refresh_match_stats()
         return alerts
+
+    # -- load reporting / drain signal (work-stealing support) --------------
+
+    def take_load_report(self) -> ShardLoadReport:
+        """Return the per-agentid ingest counts since the last report.
+
+        Requires ``track_agent_load=True`` at construction (the counters
+        are otherwise never filled).  Taking a report starts a new epoch:
+        the counters reset, the watermark (largest event timestamp seen)
+        does not.
+        """
+        if not self._track_agent_load:
+            raise RuntimeError(
+                "per-agentid load tracking is disabled; construct the "
+                "scheduler with track_agent_load=True")
+        report = ShardLoadReport(
+            events_by_agentid=dict(self._agent_loads),
+            total_events=sum(self._agent_loads.values()),
+            watermark=self._load_watermark,
+        )
+        self._agent_loads.clear()
+        return report
+
+    @property
+    def load_watermark(self) -> float:
+        """The largest event timestamp this scheduler has ingested.
+
+        ``-inf`` before any event.  Only maintained under
+        ``track_agent_load=True`` (the sharded runtime enables it whenever
+        rebalancing is on); it is the second half of the drain safe-point
+        — see :meth:`drained_through`.
+        """
+        return self._load_watermark
+
+    def open_window_deadline(self) -> Optional[float]:
+        """Return the earliest end time of any engine's open windows."""
+        deadline: Optional[float] = None
+        for engine in self._engines:
+            candidate = engine.open_window_deadline()
+            if candidate is not None and (deadline is None
+                                          or candidate < deadline):
+                deadline = candidate
+        return deadline
+
+    def drained_through(self, cut: float) -> bool:
+        """Return True when no open window ends at or before ``cut``.
+
+        This is half of the sharded runtime's safe-point signal for
+        migrating an agentid away from this scheduler: the victim's
+        pre-cut events can only land in windows ending at or before the
+        cut, so once those windows have closed (and alerted), the shard
+        holds no on-time state for the victim.  It is *not* sufficient on
+        its own — "no open window ends by the cut" is also true while the
+        shard simply has not seen the stream reach the cut yet (a quiet
+        spell, or an exempt pinned query's long window spanning it), and
+        a victim match arriving after this answer would then open a
+        pre-cut window here while later pre-cut events route to the
+        thief, splitting one window's aggregate across two shards.  The
+        runtime therefore also requires :attr:`load_watermark` ``>= cut``
+        (see ``_answer_control`` in the sharded module): past that point
+        any further pre-cut event is a *late* event on either shard,
+        handled by the same re-opened-bucket semantics as the
+        single-process oracle.
+        """
+        deadline = self.open_window_deadline()
+        return deadline is None or deadline > cut
 
     def execute(self, stream: Iterable[Event],
                 batch_size: Optional[int] = None) -> List[Alert]:

@@ -26,7 +26,8 @@ from repro.collection import Enterprise, EnterpriseConfig
 from repro.core import ConcurrentQueryScheduler, SAQLError, parse_query
 from repro.core.engine.alerts import Alert, CallbackSink
 from repro.core.language import format_query
-from repro.core.parallel import ShardedScheduler
+from repro.core.parallel import (DEFAULT_REBALANCE_RATIO,
+                                 ShardedScheduler)
 from repro.queries import DEMO_QUERIES, demo_query_names
 from repro.storage import EventDatabase, ReplaySpec, StreamReplayer
 
@@ -100,20 +101,47 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
                               "hosts by stable crc32, 'auto' observes a "
                               "stream prefix and bin-packs hosts onto "
                               "shards by event count")
+    command.add_argument("--rebalance-interval", type=int, default=0,
+                         help="events between work-stealing load-report "
+                              "epochs; 0 disables mid-stream rebalancing "
+                              "(requires --shards > 1)")
+    command.add_argument("--rebalance-ratio", type=float,
+                         default=DEFAULT_REBALANCE_RATIO,
+                         help="steal once the hottest shard's epoch load "
+                              "exceeds this multiple of the mean shard "
+                              "load (>= 1.0)")
 
 
 def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
     """Build the scheduler the execution options select."""
     if args.shards > 1:
+        interval = args.rebalance_interval
         return ShardedScheduler(shards=args.shards,
                                 backend=args.shard_backend, sink=sink,
                                 batch_size=args.batch_size,
-                                shard_map=args.shard_map)
+                                shard_map=args.shard_map,
+                                rebalance_interval=(interval
+                                                    if interval > 0
+                                                    else None),
+                                rebalance_ratio=args.rebalance_ratio)
     return ConcurrentQueryScheduler(sink=sink)
 
 
 def _print_alert(alert: Alert) -> None:
     print(f"ALERT {alert.describe()}")
+
+
+def _print_rebalance_summary(scheduler) -> None:
+    """Report what the work-stealing balancer did (sharded runs only)."""
+    migrations = getattr(scheduler, "migrations", None)
+    if migrations:
+        moves = ", ".join(f"{record.agentid}: {record.source}->"
+                          f"{record.target}" for record in migrations)
+        print(f"work stealing: {len(migrations)} migration(s) ({moves})")
+        return
+    eligibility = getattr(scheduler, "last_steal_eligibility", None)
+    if eligibility is not None and not eligibility.eligible:
+        print(f"work stealing disabled: {eligibility.reason}")
 
 
 def command_parse(args: argparse.Namespace) -> int:
@@ -158,6 +186,7 @@ def command_demo(args: argparse.Namespace) -> int:
     print(f"done: {len(alerts)} alerts, "
           f"{scheduler.stats.groups} query groups "
           f"(vs {scheduler.stats.queries} stream copies without sharing)")
+    _print_rebalance_summary(scheduler)
     _print_error_records(scheduler)
 
     if args.save_events:
@@ -196,6 +225,7 @@ def command_run(args: argparse.Namespace) -> int:
         alerts.extend(scheduler.finish())
     print(f"done: {replayer.events_replayed} events replayed, "
           f"{len(alerts)} alerts")
+    _print_rebalance_summary(scheduler)
     _print_error_records(scheduler)
     return 0
 

@@ -298,6 +298,71 @@ def test_pane_geometry_selection():
     assert _pane_geometry(spec(0.5, 0.3)) is None
 
 
+def test_pane_geometry_fallback_boundary_hop_half_vs_one():
+    """The exact fallback edge: hop=0.5 falls back, hop=1 shares panes.
+
+    Same window length, the only difference the integral-second rule —
+    the smallest change that flips the pane-sharing decision.
+    """
+    def spec(length, hop):
+        return ast.WindowSpec(kind="time", length=float(length), hop=hop)
+
+    assert _pane_geometry(spec(4, 0.5)) is None
+    assert _pane_geometry(spec(4, 1.0)) == (1.0, 1, 4)
+    # Length fractional with integral hop also falls back: both fields
+    # must be integral for boundaries to be float-exact.
+    assert _pane_geometry(spec(4.5, 1.0)) is None
+
+
+@pytest.mark.parametrize("window", ["#time(4, 0.5)", "#time(4, 1)"])
+def test_order_stats_on_all_missing_groups_at_fallback_boundary(window):
+    """median/percentile over all-missing groups: 3-mode parity either
+    side of the pane-sharing fallback edge (hop=0.5 vs hop=1).
+
+    ``idle.exe`` never carries the aggregated attribute, so its group's
+    order-statistic accumulators finalize over an empty value buffer —
+    ``agg_median``/``agg_percentile`` must produce the interpreter's 0.0,
+    not raise — while ``sql.exe`` interleaves at window-boundary
+    timestamps to stress the containment math on both paths.
+    """
+    text = stateful_query(window)
+    timestamps = [0.0, 0.5, 1.0, 2.0, 3.5, 4.0, 4.5, 8.0, 12.0]
+    events = []
+    for position, timestamp in enumerate(timestamps):
+        exe = "idle.exe" if position % 2 == 0 else "sql.exe"
+        extra = None if exe == "idle.exe" else position * 10
+        attrs = {} if extra is None else {"extra": extra}
+        events.append(make_event(make_process(exe, pid=1), Operation.WRITE,
+                                 make_connection("10.0.0.1"),
+                                 timestamp, **attrs))
+    incremental = run_engine(text, events)
+    assert incremental._state_maintainer.incremental
+    # hop=1 shares panes, hop=0.5 takes the per-window fallback: the
+    # parity claim is only meaningful if the modes actually differ.
+    assert incremental._state_maintainer.shares_panes == (window
+                                                          == "#time(4, 1)")
+    rows = alert_rows(incremental)
+    assert rows  # the all-missing idle.exe group must still emit
+    assert_rows_match(rows, alert_rows(run_engine(text, events,
+                                                  incremental=False)))
+    assert_rows_match(rows, alert_rows(run_engine(text, events,
+                                                  compiled=False)))
+
+
+def test_order_stat_accumulator_empty_buffer_matches_reducers():
+    """An all-missing group's order-stat accumulators mirror the empty-
+    sequence reducers exactly (0.0, not an error)."""
+    from repro.core.compile.accumulators import _OrderStatAcc
+    from repro.core.expr import functions
+
+    median_acc = _OrderStatAcc(None)
+    median_acc.add(None, 0)  # missing values never enter the buffer
+    assert median_acc.result() == functions.agg_median([]) == 0.0
+    percentile_acc = _OrderStatAcc(90.0)
+    percentile_acc.add(None, 0)
+    assert percentile_acc.result() == functions.agg_percentile([], 90.0) == 0.0
+
+
 def test_unstreamable_state_blocks_fall_back_to_buffered():
     indexed = parse_query(
         "proc p write ip i as evt #time(60)\n"

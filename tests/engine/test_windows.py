@@ -46,7 +46,33 @@ class TestTumblingTimeWindows:
         assert not WindowAssigner(None).is_windowed
 
     def test_no_spec_assigns_nothing(self):
-        assert WindowAssigner(None).assign(123.0) == []
+        assert WindowAssigner(None).assign(123.0) == ()
+
+    def test_tumbling_fast_path_result_is_immutable(self):
+        """The cached one-element result must not be caller-corruptible.
+
+        The tumbling fast path returns the *same* container to every call
+        that hits the same window.  When that container was a list, a
+        caller that mutated or retained-and-extended its result silently
+        corrupted every subsequent assignment into the window; a tuple
+        makes the aliasing harmless.
+        """
+        assigner = WindowAssigner(time_spec(600))
+        first = assigner.assign(650.0)
+        assert isinstance(first, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            first.append(WindowKey(index=9, start=0.0, end=1.0))  # type: ignore[attr-defined]
+        # The shared cache is untouched by the attempted mutation.
+        second = assigner.assign(660.0)
+        assert second is first          # the cache is the point
+        assert second == (WindowKey(index=1, start=600.0, end=1200.0),)
+
+    def test_all_paths_return_tuples(self):
+        assert isinstance(WindowAssigner(time_spec(600)).assign(1.0), tuple)
+        assert isinstance(WindowAssigner(time_spec(600, hop=300)).assign(650.0),
+                          tuple)
+        assert isinstance(WindowAssigner(count_spec(3)).assign(0.0), tuple)
+        assert isinstance(WindowAssigner(None).assign(0.0), tuple)
 
 
 class TestHoppingTimeWindows:

@@ -1,0 +1,118 @@
+"""Merged peak accounting: sampled concurrent peaks vs summed bounds.
+
+``merge_stats`` used to report the *sum* of per-lane peaks as
+``peak_buffered_events``/``peak_buffered_matches``, silently over-stating
+the true simultaneous peak (lanes peak at different stream positions).
+The sum now lives in the explicitly-named ``peak_buffered_*_bound``
+fields — each lane, including the single-stream fallback lane, counted
+exactly once — while the serial/thread backends overwrite the peak proper
+with a genuine concurrent sample taken across all lanes at batch
+boundaries.  The process backend cannot sample across processes and keeps
+peak == bound.
+"""
+
+from __future__ import annotations
+
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler, merge_stats
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+
+PER_HOST = ('proc p send ip i as evt #time(10)\n'
+            'state ss { t := sum(evt.amount) } group by evt.agentid\n'
+            'alert ss.t > 0\nreturn ss.t')
+#: Groups by destination IP: not host-local, runs on the single lane.
+PER_DST = ('proc p send ip i as evt #time(10)\n'
+           'state ss { t := sum(evt.amount) } group by i.dstip\n'
+           'alert ss.t > 0\nreturn ss.t')
+
+
+def _event(host, timestamp):
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                               dstport=443),
+        timestamp=timestamp, agentid=host, amount=100.0)
+
+
+def phase_disjoint_events():
+    """host-00 is loud early, host-01 late; a host-00 trickle in phase two
+    keeps its shard's buffer evicting, so the lanes' peaks never coincide."""
+    events = []
+    for position in range(500):
+        events.append(_event("host-00", position * 0.05))
+    for position in range(500):
+        timestamp = 1000 + position * 0.05
+        events.append(_event("host-01", timestamp))
+        if position % 3 == 0:
+            events.append(_event("host-00", timestamp))
+    events.sort(key=lambda event: event.timestamp)
+    return events
+
+
+def steady_events(count=1200, hosts=4):
+    return [_event(f"host-{position % hosts:02d}", position * 0.05)
+            for position in range(count)]
+
+
+def _run(queries, events, **kwargs):
+    scheduler = ShardedScheduler(**kwargs)
+    for position, text in enumerate(queries):
+        scheduler.add_query(text, name=f"q{position}")
+    scheduler.execute(ListStream(events, presorted=True))
+    return scheduler
+
+
+def test_bound_is_the_sum_of_per_lane_peaks_counted_once():
+    for backend in ("serial", "process"):
+        scheduler = _run([PER_HOST, PER_DST], steady_events(),
+                         shards=2, backend=backend, batch_size=64)
+        shard_peaks = sum(stats.peak_buffered_events
+                          for stats in scheduler.per_shard_stats)
+        single_peak = scheduler.single_lane_stats.peak_buffered_events
+        # The single lane contributes exactly once — a double count here
+        # would inflate the bound past the per-lane arithmetic.
+        assert (scheduler.stats.peak_buffered_events_bound
+                == shard_peaks + single_peak)
+        assert (scheduler.stats.peak_buffered_events
+                <= scheduler.stats.peak_buffered_events_bound)
+
+
+def test_in_process_backends_sample_a_genuine_concurrent_peak():
+    events = phase_disjoint_events()
+    for backend in ("serial", "thread"):
+        scheduler = _run([PER_HOST], events, shards=4, backend=backend,
+                         batch_size=8)
+        assert (scheduler.stats.peak_buffered_events
+                <= scheduler.stats.peak_buffered_events_bound)
+    # Deterministic claim on the serial backend: the lanes peak in
+    # different phases, so the sampled simultaneous figure must fall
+    # strictly below the summed bound.
+    scheduler = _run([PER_HOST], events, shards=4, backend="serial",
+                     batch_size=8)
+    assert (scheduler.stats.peak_buffered_events
+            < scheduler.stats.peak_buffered_events_bound)
+
+
+def test_process_backend_peak_stays_at_the_explicit_bound():
+    scheduler = _run([PER_HOST], steady_events(), shards=2,
+                     backend="process", batch_size=64)
+    assert (scheduler.stats.peak_buffered_events
+            == scheduler.stats.peak_buffered_events_bound)
+    assert (scheduler.stats.peak_buffered_matches
+            == scheduler.stats.peak_buffered_matches_bound)
+
+
+def test_merge_stats_populates_the_bound_fields():
+    scheduler = ConcurrentQueryScheduler()
+    scheduler.add_query(PER_HOST, name="q")
+    scheduler.execute(ListStream(steady_events(300), presorted=True),
+                      batch_size=32)
+    merged = merge_stats([scheduler.stats, scheduler.stats])
+    assert (merged.peak_buffered_events_bound
+            == 2 * scheduler.stats.peak_buffered_events)
+    assert merged.peak_buffered_events == merged.peak_buffered_events_bound
+    assert (merged.peak_buffered_matches_bound
+            == 2 * scheduler.stats.peak_buffered_matches)

@@ -1,0 +1,127 @@
+"""Shard worker lifecycle: no leaked threads/processes on failure.
+
+Before this suite's fixes, ``ShardedScheduler.execute`` relied on daemon
+threads/processes for cleanup: an exception in the feed loop (a poisoned
+batch, a raising stream iterator) left live shard workers behind until
+interpreter exit.  ``execute`` now closes every shard in a ``finally``
+and the shard classes implement the context-manager protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.core.parallel import ShardedScheduler
+from repro.core.parallel.sharded import SerialShard, ThreadShard
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+
+QUERY = ('proc p send ip i as evt #time(10)\n'
+         'state ss { t := sum(evt.amount) } group by evt.agentid\n'
+         'alert ss.t > 0\nreturn ss.t')
+
+HOSTS = ["host-00", "host-01", "host-02", "host-03"]
+
+
+def _event(host, timestamp):
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                               dstport=443),
+        timestamp=timestamp, agentid=host, amount=100.0)
+
+
+def _poisoned_stream(good: int = 400):
+    """A stream that raises mid-iteration, after some valid events."""
+    for position in range(good):
+        yield _event(HOSTS[position % len(HOSTS)], position * 0.05)
+    raise RuntimeError("stream source died mid-replay")
+
+
+def _shard_threads():
+    return [thread for thread in threading.enumerate()
+            if thread.name.startswith("saql-shard-")]
+
+
+def _shard_children():
+    return [child for child in multiprocessing.active_children()
+            if (child.name or "").startswith("saql-shard-")]
+
+
+def _wait_until_gone(probe, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while probe() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    return probe()
+
+
+def test_thread_backend_failure_leaves_no_alive_workers():
+    assert not _shard_threads()
+    scheduler = ShardedScheduler(shards=3, backend="thread", batch_size=32)
+    scheduler.add_query(QUERY, name="q")
+    with pytest.raises(RuntimeError, match="stream source died"):
+        scheduler.execute(_poisoned_stream())
+    assert not _wait_until_gone(_shard_threads)
+
+
+def test_process_backend_failure_leaves_no_alive_children():
+    assert not _shard_children()
+    scheduler = ShardedScheduler(shards=2, backend="process", batch_size=32)
+    scheduler.add_query(QUERY, name="q")
+    with pytest.raises(RuntimeError, match="stream source died"):
+        scheduler.execute(_poisoned_stream())
+    assert not _wait_until_gone(_shard_children)
+
+
+def test_thread_backend_poisoned_batch_cleans_up():
+    """A batch that kills a worker mid-stream still tears everything down."""
+    assert not _shard_threads()
+    scheduler = ShardedScheduler(shards=2, backend="thread", batch_size=8)
+    scheduler.add_query(QUERY, name="q")
+
+    def poisoned_events():
+        for position in range(64):
+            yield _event(HOSTS[position % len(HOSTS)], position * 0.05)
+        yield "not-an-event"  # type: ignore[misc]
+        for position in range(64, 4096):
+            yield _event(HOSTS[position % len(HOSTS)], position * 0.05)
+
+    with pytest.raises(Exception):
+        scheduler.execute(poisoned_events())
+    assert not _wait_until_gone(_shard_threads)
+
+
+def test_clean_run_also_leaves_no_workers():
+    for backend in ("thread", "process"):
+        scheduler = ShardedScheduler(shards=2, backend=backend,
+                                     batch_size=32)
+        scheduler.add_query(QUERY, name="q")
+        events = [_event(HOSTS[position % len(HOSTS)], position * 0.05)
+                  for position in range(300)]
+        alerts = scheduler.execute(iter(events))
+        assert alerts
+        assert not _wait_until_gone(_shard_threads)
+        assert not _wait_until_gone(_shard_children)
+
+
+def test_shards_support_the_context_manager_protocol():
+    with SerialShard([("q", QUERY)], enable_sharing=True) as shard:
+        shard.feed([_event("host-00", 1.0)])
+    with ThreadShard([("q", QUERY)], enable_sharing=True) as shard:
+        shard.feed([_event("host-00", 1.0)])
+    assert not _wait_until_gone(_shard_threads)
+
+
+def test_thread_shard_close_is_idempotent_and_safe_after_error():
+    shard = ThreadShard([("q", QUERY)], enable_sharing=True)
+    shard.feed(["not-an-event"])  # type: ignore[list-item]
+    # The worker dies on the poisoned batch; close() must neither hang
+    # nor raise, and repeated closes are harmless.
+    shard.close()
+    shard.close()
+    assert not shard._thread.is_alive()

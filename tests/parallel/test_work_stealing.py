@@ -1,0 +1,541 @@
+"""Mid-stream work stealing: eligibility, planning, and oracle parity.
+
+The steal-equivalence suite forces migrations (tiny epoch interval, low
+imbalance ratio, a mid-stream load shift) and proves the sharded runtime
+still reproduces the single-process :class:`ConcurrentQueryScheduler`'s
+alerts and statistics exactly — the dynamic rebalancer, like the static
+sharding before it, must be a pure scaling artifact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConcurrentQueryScheduler, parse_query
+from repro.core.parallel import (
+    ShardedScheduler,
+    StealEligibility,
+    WorkStealingBalancer,
+    analyze_shardability,
+    analyze_steal_safety,
+    steal_eligibility,
+)
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+from repro.queries.demo_queries import rule_c5_data_exfiltration
+
+#: Steal-safe workload: a tumbling per-host aggregation plus a stateless
+#: single-pattern rule query — both register on every shard unpinned.
+STEALABLE_QUERIES = [
+    ("per-host-volume", '''
+proc p send ip i as evt #time(10)
+state ss { total := sum(evt.amount) } group by evt.agentid
+alert ss.total > 1000
+return ss.total
+'''),
+    ("send-watch", '''
+proc p["%x.exe"] send ip i as evt
+alert evt.amount > 400
+return p, i.dstip
+'''),
+]
+
+HOSTS = [f"host-{n:02d}" for n in range(8)]
+
+
+def _event(host: str, timestamp: float, amount: float = 500.0) -> Event:
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                               dstport=443),
+        timestamp=timestamp,
+        agentid=host,
+        amount=amount,
+    )
+
+
+def shifting_skew_events(seed: int, count: int = 4000,
+                         burst_host: str = "host-00"):
+    """Uniform load that collapses onto one host mid-stream.
+
+    The shift happens after the first third — exactly the load a static
+    (prefix-observed) shard map cannot anticipate.
+    """
+    rng = random.Random(seed)
+    events = []
+    for position in range(count):
+        if position < count // 3:
+            host = HOSTS[position % len(HOSTS)]
+        elif rng.random() < 0.7:
+            host = burst_host
+        else:
+            host = rng.choice(HOSTS)
+        events.append(_event(host, position * 0.01))
+    return events
+
+
+def _fingerprints(alerts):
+    return sorted(
+        (alert.query_name, alert.timestamp, alert.data,
+         repr(alert.group_key), alert.window_start, alert.window_end,
+         alert.agentid, alert.model_kind)
+        for alert in alerts)
+
+
+def _run_plain(queries, events):
+    scheduler = ConcurrentQueryScheduler()
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    alerts = scheduler.execute(ListStream(events, presorted=True))
+    return scheduler, alerts
+
+
+def _run_stealing(queries, events, shards=2, backend="serial",
+                  batch_size=64, interval=200, ratio=1.05):
+    scheduler = ShardedScheduler(shards=shards, backend=backend,
+                                 batch_size=batch_size,
+                                 rebalance_interval=interval,
+                                 rebalance_ratio=ratio)
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    alerts = scheduler.execute(ListStream(events, presorted=True))
+    return scheduler, alerts
+
+
+# ---------------------------------------------------------------------------
+# Steal-equivalence: alert/stats parity with the serial oracle under
+# forced migrations
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_forced_steals_match_single_process_oracle(seed):
+    """Serial backend under forced steals: byte-identical alerts, stats."""
+    events = shifting_skew_events(seed)
+    plain, plain_alerts = _run_plain(STEALABLE_QUERIES, events)
+    sharded, alerts = _run_stealing(STEALABLE_QUERIES, events)
+    # The property is only meaningful if migrations actually happened.
+    assert sharded.migrations, "forced-steal workload produced no steals"
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    merged = sharded.stats
+    assert merged.events_ingested == plain.stats.events_ingested
+    assert merged.alerts == plain.stats.alerts
+    assert merged.pattern_evaluations == plain.stats.pattern_evaluations
+    assert (merged.pattern_evaluations_saved
+            == plain.stats.pattern_evaluations_saved)
+    assert merged.queries == plain.stats.queries
+    assert merged.groups == plain.stats.groups
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_forced_steals_across_shard_counts(seed):
+    events = shifting_skew_events(seed)
+    _, plain_alerts = _run_plain(STEALABLE_QUERIES, events)
+    reference = _fingerprints(plain_alerts)
+    for shards in (2, 3, 4):
+        sharded, alerts = _run_stealing(STEALABLE_QUERIES, events,
+                                        shards=shards)
+        assert _fingerprints(alerts) == reference
+
+
+def test_forced_steals_thread_backend_parity():
+    """Thread backend: migrations complete asynchronously, parity holds."""
+    events = shifting_skew_events(7)
+    _, plain_alerts = _run_plain(STEALABLE_QUERIES, events)
+    reference = _fingerprints(plain_alerts)
+    migrated = False
+    for attempt in range(3):
+        sharded, alerts = _run_stealing(STEALABLE_QUERIES, events,
+                                        backend="thread")
+        assert _fingerprints(alerts) == reference
+        if sharded.migrations:
+            migrated = True
+            break
+    assert migrated, "thread backend never completed a migration"
+
+
+def test_process_backend_parity_with_rebalancing_enabled():
+    """Process backend: control channel works, parity regardless of timing.
+
+    Whether a migration completes depends on control round-trip latency
+    versus stream length, so only parity (and a clean run) is asserted.
+    """
+    events = shifting_skew_events(11, count=3000)
+    _, plain_alerts = _run_plain(STEALABLE_QUERIES, events)
+    sharded, alerts = _run_stealing(STEALABLE_QUERIES, events,
+                                    backend="process")
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    assert sharded.stats.events_ingested == len(events)
+
+
+def test_out_of_order_stragglers_route_to_donor():
+    """Pre-cut events arriving after the cut decision stay with the donor.
+
+    The router cuts by timestamp, not by arrival: an event below the cut
+    still belongs to donor windows.  Inject slight disorder near the cut
+    and require oracle parity.
+    """
+    events = shifting_skew_events(5, count=3000)
+    # Swap neighbours here and there: stays within open windows.
+    for position in range(100, len(events) - 1, 97):
+        a, b = events[position], events[position + 1]
+        if a.agentid != b.agentid:
+            events[position], events[position + 1] = b, a
+    _, plain_alerts = _run_plain(STEALABLE_QUERIES, events)
+    sharded, alerts = _run_stealing(STEALABLE_QUERIES, events)
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+
+
+def test_pinned_agentids_are_never_stolen():
+    queries = STEALABLE_QUERIES + [
+        ("pinned", rule_c5_data_exfiltration(agent="host-00"))]
+    events = shifting_skew_events(3)
+    _, plain_alerts = _run_plain(queries, events)
+    sharded, alerts = _run_stealing(queries, events, shards=3)
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    assert all(record.agentid != "host-00"
+               for record in sharded.migrations)
+
+
+def test_migration_records_are_coherent():
+    events = shifting_skew_events(1)
+    sharded, _ = _run_stealing(STEALABLE_QUERIES, events)
+    assert sharded.migrations
+    eligibility = sharded.last_steal_eligibility
+    assert eligibility is not None and eligibility.eligible
+    assert eligibility.alignment == 10  # the tumbling window's hop
+    for record in sharded.migrations:
+        assert record.source != record.target
+        assert 0 <= record.source < 2 and 0 <= record.target < 2
+        assert record.cut % 10 == 0
+        assert record.events_held >= 0
+
+
+# ---------------------------------------------------------------------------
+# Static eligibility analysis
+# ---------------------------------------------------------------------------
+
+def _steal(query_text: str):
+    return analyze_steal_safety(parse_query(query_text))
+
+
+def test_steal_safety_per_query_shapes():
+    safe, _, alignment = _steal(STEALABLE_QUERIES[0][1])
+    assert safe and alignment == 10
+
+    safe, _, alignment = _steal(STEALABLE_QUERIES[1][1])
+    assert safe and alignment is None      # stateless: any cut works
+
+    # Gapped window (hop > length): hop multiples are still uncrossed.
+    safe, _, alignment = _steal('''
+proc p send ip i as evt #time(10, 15)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t''')
+    assert safe and alignment == 15
+
+    safe, reason, _ = _steal('''
+proc p send ip i as evt #time(20, 5)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t''')
+    assert not safe and "sliding" in reason
+
+    safe, reason, _ = _steal('''
+proc p send ip i as evt #count(100)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t''')
+    assert not safe and "count" in reason
+
+    safe, reason, _ = _steal('''
+proc p send ip i as evt #time(10)
+state[3] ss { t := sum(evt.amount) } group by evt.agentid
+alert ss[0].t > ss[1].t
+return ss[0].t''')
+    assert not safe and "history" in reason
+
+    safe, reason, _ = _steal('''
+proc p1["%cmd.exe"] start proc p2 as evt1
+proc p2 send ip i as evt2
+with evt1 -> evt2
+return p1, p2''')
+    assert not safe and "partial sequences" in reason
+
+    safe, reason, _ = _steal('''
+proc p send ip i as evt
+return distinct p''')
+    assert not safe and "seen-set" in reason
+
+    # Fractional hop: cut boundaries would not be float-exact.
+    safe, reason, _ = _steal('''
+proc p send ip i as evt #time(0.5)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t''')
+    assert not safe and "fractional" in reason
+
+
+def test_pinned_queries_do_not_veto_stealing():
+    report = analyze_shardability(parse_query(rule_c5_data_exfiltration()))
+    assert report.pinned_agentid is not None
+    assert report.steal_safe  # pins never veto; their host is never stolen
+
+
+def test_lane_eligibility_vetoes_on_one_unsafe_query():
+    reports = {
+        name: analyze_shardability(parse_query(text))
+        for name, text in STEALABLE_QUERIES
+    }
+    verdict = steal_eligibility(reports)
+    assert verdict.eligible and verdict.alignment == 10
+
+    reports["sliding"] = analyze_shardability(parse_query('''
+proc p send ip i as evt #time(20, 5)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t'''))
+    verdict = steal_eligibility(reports)
+    assert not verdict.eligible
+    assert "sliding" in verdict.reason
+
+
+def test_lane_eligibility_requires_unpinned_queries():
+    reports = {"pinned": analyze_shardability(
+        parse_query(rule_c5_data_exfiltration()))}
+    verdict = steal_eligibility(reports)
+    assert not verdict.eligible
+    assert "unpinned" in verdict.reason
+
+
+def test_lane_alignment_is_lcm_of_hops():
+    reports = {}
+    for hop in (10, 15):
+        reports[f"w{hop}"] = analyze_shardability(parse_query(f'''
+proc p send ip i as evt #time({hop})
+state ss {{ t := sum(evt.amount) }} group by evt.agentid
+alert ss.t > 0
+return ss.t'''))
+    verdict = steal_eligibility(reports)
+    assert verdict.eligible and verdict.alignment == 30
+
+
+def test_cut_alignment_is_strictly_past_the_watermark():
+    aligned = StealEligibility(eligible=True, reason="", alignment=10)
+    assert aligned.cut_after(25.0) == 30.0
+    assert aligned.cut_after(30.0) == 40.0  # strictly greater on multiples
+    free = StealEligibility(eligible=True, reason="", alignment=None)
+    assert free.cut_after(123.4) == 123.4
+
+
+# ---------------------------------------------------------------------------
+# The balancer policy
+# ---------------------------------------------------------------------------
+
+def test_balancer_moves_hottest_from_max_to_min_shard():
+    balancer = WorkStealingBalancer(ratio=1.1, min_epoch_events=0)
+    decisions = balancer.plan([
+        {"a": 500, "b": 120, "c": 80},
+        {"d": 100},
+    ])
+    assert decisions
+    assert all(d.source == 0 and d.target == 1 for d in decisions)
+    # "a" alone exceeds half the gap (2*500 >= 700-100) and stays put;
+    # the hottest movable victims go instead.
+    moved = [d.agentid for d in decisions]
+    assert "a" not in moved
+    assert moved[0] == "b"
+
+
+def test_balancer_quiesces_below_the_ratio():
+    balancer = WorkStealingBalancer(ratio=1.5, min_epoch_events=0)
+    assert balancer.plan([{"a": 110}, {"b": 100}]) == []
+
+
+def test_balancer_ignores_tiny_epochs():
+    balancer = WorkStealingBalancer(ratio=1.0, min_epoch_events=64)
+    assert balancer.plan([{"a": 40}, {}]) == []
+
+
+def test_balancer_honors_the_stealable_filter():
+    balancer = WorkStealingBalancer(ratio=1.0, min_epoch_events=0)
+    decisions = balancer.plan(
+        [{"pin": 300, "b": 100, "c": 90}, {"d": 50}],
+        stealable=lambda agentid: agentid != "pin")
+    assert decisions and all(d.agentid != "pin" for d in decisions)
+
+
+def test_balancer_single_shard_is_a_no_op():
+    balancer = WorkStealingBalancer(ratio=1.0, min_epoch_events=0)
+    assert balancer.plan([{"a": 1000}]) == []
+
+
+def test_balancer_validates_configuration():
+    with pytest.raises(ValueError):
+        WorkStealingBalancer(ratio=0.9)
+    with pytest.raises(ValueError):
+        WorkStealingBalancer(min_epoch_events=-1)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-side signals (load reports, drain)
+# ---------------------------------------------------------------------------
+
+def test_take_load_report_counts_and_resets():
+    scheduler = ConcurrentQueryScheduler(track_agent_load=True)
+    scheduler.add_query(STEALABLE_QUERIES[0][1], name="q")
+    scheduler.process_events([_event("host-00", 1.0),
+                              _event("host-00", 2.0),
+                              _event("host-01", 3.0)])
+    report = scheduler.take_load_report()
+    assert report.events_by_agentid == {"host-00": 2, "host-01": 1}
+    assert report.total_events == 3
+    assert report.watermark == 3.0
+    second = scheduler.take_load_report()
+    assert second.events_by_agentid == {}
+    assert second.watermark == 3.0  # the watermark survives epochs
+
+
+def test_take_load_report_requires_opt_in():
+    scheduler = ConcurrentQueryScheduler()
+    with pytest.raises(RuntimeError):
+        scheduler.take_load_report()
+
+
+def test_drained_through_tracks_open_windows():
+    scheduler = ConcurrentQueryScheduler()
+    scheduler.add_query(STEALABLE_QUERIES[0][1], name="q")  # #time(10)
+    assert scheduler.drained_through(1000.0)  # nothing open yet
+    scheduler.process_events([_event("host-00", 5.0)])
+    assert scheduler.drained_through(9.0)       # window [0, 10) ends past 9
+    assert not scheduler.drained_through(10.0)  # ...but not past 10
+    scheduler.process_events([_event("host-00", 11.0)])  # closes [0, 10)
+    assert scheduler.drained_through(10.0)
+
+
+def test_rule_only_scheduler_is_always_drained():
+    scheduler = ConcurrentQueryScheduler()
+    scheduler.add_query(STEALABLE_QUERIES[1][1], name="q")
+    scheduler.process_events([_event("host-00", 5.0)])
+    assert scheduler.open_window_deadline() is None
+    assert scheduler.drained_through(float("inf"))
+
+
+def test_drain_answer_requires_the_watermark_past_the_cut():
+    """A quiet shard must not confirm a drain it has not caught up to.
+
+    ``drained_through`` alone is also true while the shard simply has not
+    seen the stream reach the cut (no open windows during a quiet spell);
+    confirming then would complete the migration while a later pre-cut
+    victim match could still open a window on the donor, splitting one
+    window's aggregate across two shards.  The control answer therefore
+    also requires the shard's ingest watermark to have passed the cut.
+    """
+    from repro.core.parallel.sharded import _answer_control
+
+    scheduler = ConcurrentQueryScheduler(track_agent_load=True)
+    scheduler.add_query(STEALABLE_QUERIES[0][1], name="q")  # #time(10)
+
+    def drain(cut):
+        return _answer_control(scheduler, ("drain", "host-00", cut))[3]
+
+    # Nothing ingested: no open windows, but nothing drained either.
+    assert not drain(20.0)
+    # A non-matching event advances the watermark without opening a
+    # window; the cut is still ahead of everything the shard has seen.
+    quiet = Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host="host-00"),
+        operation=Operation.READ,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                               dstport=443),
+        timestamp=5.0, agentid="host-00", amount=1.0)
+    scheduler.process_events([quiet])
+    assert scheduler.drained_through(20.0)   # the half-signal says yes...
+    assert not drain(20.0)                   # ...the full answer says no
+    # Past the cut with the pre-cut windows closed: genuinely drained.
+    scheduler.process_events([_event("host-00", 21.0)])
+    assert drain(20.0)
+    # An open window ending by the cut still blocks even past it.
+    assert not drain(30.0)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_quiet_spell_steals_match_single_process_oracle(seed):
+    """Oracle parity when migrations race mid-stream quiet spells.
+
+    Skewed load punctuated by host silences and non-matching traffic —
+    the shape under which a stale "no open windows" drain answer used to
+    complete migrations early and split a window across two shards.
+    """
+    rng = random.Random(seed)
+    events = []
+    position = 0
+    for block in range(40):
+        hot = block % 3 != 2          # every third block is a quiet spell
+        for _ in range(100):
+            timestamp = position * 0.03
+            if not hot:
+                # Watermark keeps advancing, but nothing matches.
+                events.append(Event(
+                    subject=ProcessEntity.make("x.exe", pid=1,
+                                               host="host-07"),
+                    operation=Operation.READ,
+                    obj=NetworkEntity.make("10.0.1.2", "10.0.0.9",
+                                           srcport=5, dstport=443),
+                    timestamp=timestamp, agentid="host-07", amount=1.0))
+            elif rng.random() < 0.6:
+                events.append(_event("host-00", timestamp))
+            else:
+                events.append(_event(rng.choice(HOSTS), timestamp))
+            position += 1
+    plain, plain_alerts = _run_plain(STEALABLE_QUERIES, events)
+    sharded, alerts = _run_stealing(STEALABLE_QUERIES, events,
+                                    interval=150, ratio=1.05)
+    assert sharded.migrations, "quiet-spell workload produced no steals"
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    assert sharded.stats.events_ingested == plain.stats.events_ingested
+
+
+# ---------------------------------------------------------------------------
+# Configuration plumbing
+# ---------------------------------------------------------------------------
+
+def test_rebalance_configuration_validation():
+    with pytest.raises(ValueError):
+        ShardedScheduler(shards=2, rebalance_interval=0)
+    with pytest.raises(ValueError):
+        ShardedScheduler(shards=2, rebalance_interval=100,
+                         rebalance_ratio=0.5)
+
+
+def test_rebalancing_off_by_default():
+    events = shifting_skew_events(2, count=1500)
+    scheduler = ShardedScheduler(shards=2)
+    for name, text in STEALABLE_QUERIES:
+        scheduler.add_query(text, name=name)
+    scheduler.execute(ListStream(events, presorted=True))
+    assert scheduler.migrations == []
+    assert scheduler.last_steal_eligibility is None
+
+
+def test_veto_is_published_and_run_still_correct():
+    queries = STEALABLE_QUERIES + [("sliding", '''
+proc p send ip i as evt #time(20, 5)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t''')]
+    events = shifting_skew_events(9, count=1500)
+    _, plain_alerts = _run_plain(queries, events)
+    sharded, alerts = _run_stealing(queries, events)
+    assert sharded.migrations == []
+    assert sharded.last_steal_eligibility is not None
+    assert not sharded.last_steal_eligibility.eligible
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)

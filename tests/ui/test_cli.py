@@ -53,6 +53,35 @@ class TestDemoCommand:
     def test_demo_rejects_unknown_query(self, capsys):
         assert main(["demo", "--queries", "bogus"]) == 1
 
+    def test_demo_sharded_with_rebalancing(self, capsys):
+        """The rebalance flags reach the sharded scheduler; the demo's
+        host-pinned query set yields a published steal veto, not a crash."""
+        code = main(["demo", "--background-minutes", "10",
+                     "--attack-start", "300", "--seed", "3",
+                     "--shards", "2", "--shard-backend", "serial",
+                     "--rebalance-interval", "500",
+                     "--rebalance-ratio", "1.1",
+                     "--queries", "rule-c5-data-exfiltration",
+                     "timeseries-network-spike"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "work stealing disabled" in output
+
+    def test_rebalance_flags_build_a_stealing_scheduler(self):
+        import argparse
+
+        from repro.core.engine.alerts import CallbackSink
+        from repro.ui.cli import _make_scheduler, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["demo", "--shards", "2",
+                                  "--rebalance-interval", "250",
+                                  "--rebalance-ratio", "1.5"])
+        assert isinstance(args, argparse.Namespace)
+        scheduler = _make_scheduler(args, CallbackSink(lambda alert: None))
+        assert scheduler._rebalance_interval == 250
+        assert scheduler._rebalance_ratio == 1.5
+
 
 class TestRunCommand:
     def test_run_queries_against_saved_events(self, tmp_path, capsys):
