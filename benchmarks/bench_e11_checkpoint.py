@@ -1,0 +1,178 @@
+"""E11 — durable checkpointing overhead and recovery replay time.
+
+PR 5's snapshot subsystem gives the scheduler crash durability: every
+``checkpoint_interval`` events the full engine state (window accumulators,
+panes, histories, partial sequences, distinct seen-sets, alert ledgers)
+is serialized through the versioned JSON codecs and fsynced by the
+:class:`~repro.storage.CheckpointStore`.  Durability is only affordable
+if the steady-state cost is small, so this experiment measures three
+arms over the same multi-query, multi-host workload:
+
+* **baseline** — the scheduler with checkpointing disabled;
+* **checkpointed** — the same run writing checkpoints at the default CLI
+  interval (10k events); the headline assertion is **< 10% throughput
+  overhead** (at full scale — smoke runs are timing noise);
+* **recovery** — the run is killed at ~60% of the stream, a fresh
+  scheduler restores the latest checkpoint and replays the journal tail;
+  recorded as the rate of the *replay* phase, with alert-for-alert
+  equality against the uninterrupted run asserted.
+
+Rates land in ``benchmarks/BENCH_e11.json`` via the shared conftest hook
+(annotated with ``cpu_count``, as all trajectory files now are).
+"""
+
+import random
+import tempfile
+import time
+
+from benchmarks.conftest import (bench_scale, fresh_stream, print_table,
+                                 record_rate)
+from repro.core import ConcurrentQueryScheduler
+from repro.core.snapshot import resume_events
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.storage import CheckpointStore
+
+#: The default CLI checkpoint interval (events).
+CHECKPOINT_INTERVAL = 10000
+BATCH = 256
+HOSTS = [f"host-{n:02d}" for n in range(12)]
+
+#: A stateful mix: tumbling + sliding aggregation, a sequence and a
+#: distinct query, so the snapshot covers every engine component.
+QUERIES = [
+    ("volume-tumbling", '''
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount), n := count(evt.amount) } group by evt.agentid
+alert ss.t > 200000
+return ss.t, ss.n'''),
+    ("volume-sliding", '''
+proc p send ip i as evt #time(40, 10)
+state ss { t := sum(evt.amount), a := avg(evt.amount) } group by evt.agentid
+alert ss.t > 800000
+return ss.t, ss.a'''),
+    ("start-then-send", '''
+proc p1["%x.exe"] start proc p2 as evt1
+proc p2 send ip i as evt2 #time(30)
+with evt1 -> evt2
+return p1, p2'''),
+    ("distinct-peaks", '''
+proc p send ip i as evt #time(10)
+state ss { m := max(evt.amount) } group by evt.agentid
+alert ss.m > 990
+return distinct ss.m'''),
+]
+
+
+def checkpoint_events(count):
+    rng = random.Random(23)
+    events = []
+    for position in range(count):
+        host = HOSTS[rng.randrange(len(HOSTS))]
+        timestamp = position * 0.01
+        if position % 40 == 0:
+            events.append(Event(
+                subject=ProcessEntity.make("x.exe", pid=1, host=host),
+                operation=Operation.START,
+                obj=ProcessEntity.make("y.exe", pid=2, host=host),
+                timestamp=timestamp, agentid=host))
+        else:
+            events.append(Event(
+                subject=ProcessEntity.make("x.exe", pid=2, host=host),
+                operation=Operation.SEND,
+                obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", dstport=443),
+                timestamp=timestamp, agentid=host,
+                amount=float(rng.randrange(100, 1000))))
+    return events
+
+
+def _build(**kwargs):
+    scheduler = ConcurrentQueryScheduler(**kwargs)
+    for name, text in QUERIES:
+        scheduler.add_query(text, name=name)
+    return scheduler
+
+
+def _fingerprints(alerts):
+    return sorted((a.query_name, a.timestamp, a.data, repr(a.group_key),
+                   a.window_start, a.window_end, a.agentid) for a in alerts)
+
+
+def _timed_run(scheduler, events):
+    start = time.perf_counter()
+    scheduler.execute(fresh_stream(events), batch_size=BATCH)
+    return time.perf_counter() - start
+
+
+def test_e11_checkpoint_overhead_and_recovery():
+    count = int(80000 * bench_scale())
+    # Smoke runs shrink the stream; the interval shrinks with it so the
+    # checkpoint and recovery paths still execute.
+    interval = max(500, int(CHECKPOINT_INTERVAL * bench_scale()))
+    events = checkpoint_events(count)
+
+    baseline = _build()
+    baseline_seconds = _timed_run(baseline, events)
+    baseline_rate = count / baseline_seconds
+    oracle = _fingerprints(baseline.emitted_alerts())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp)
+        checkpointed = _build(checkpoint_store=store,
+                              checkpoint_interval=interval)
+        checkpointed_seconds = _timed_run(checkpointed, events)
+        checkpointed_rate = count / checkpointed_seconds
+        checkpoints = len(store)
+        assert _fingerprints(checkpointed.emitted_alerts()) == oracle
+
+    # Recovery: crash at ~60%, restore the latest checkpoint, replay.
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp)
+        crashed = _build(checkpoint_store=store,
+                         checkpoint_interval=interval)
+        crash_at = max(BATCH, int(count * 0.6))
+        position = 0
+        while position < crash_at:
+            crashed.process_events(
+                events[position:min(position + BATCH, crash_at)])
+            position = min(position + BATCH, crash_at)
+        recovered = _build()
+        start = time.perf_counter()
+        snapshot = store.latest()
+        assert snapshot is not None, "no checkpoint before the crash point"
+        recovered.restore_state(snapshot)
+        cursor = recovered.restored_cursor
+        replayed = count - cursor.events_ingested
+        recovered.execute(
+            fresh_stream([event for event in
+                          resume_events(events, cursor)]),
+            batch_size=BATCH)
+        recovery_seconds = time.perf_counter() - start
+        assert _fingerprints(recovered.emitted_alerts()) == oracle
+
+    overhead = (baseline_rate - checkpointed_rate) / baseline_rate
+    replay_rate = replayed / recovery_seconds if recovery_seconds else 0.0
+
+    print_table(
+        "E11: durable checkpointing (interval "
+        f"{interval} events, {count} events, "
+        f"{len(QUERIES)} queries)",
+        ["arm", "events/s", "notes"],
+        [
+            ["baseline", f"{baseline_rate:,.0f}", "checkpointing off"],
+            ["checkpointed", f"{checkpointed_rate:,.0f}",
+             f"{checkpoints} checkpoints kept, "
+             f"{overhead * 100:.1f}% overhead"],
+            ["recovery replay", f"{replay_rate:,.0f}",
+             f"restored + replayed {replayed} events in "
+             f"{recovery_seconds:.2f}s"],
+        ])
+
+    record_rate("e11", "baseline", baseline_rate)
+    record_rate("e11", "checkpointed", checkpointed_rate)
+    record_rate("e11", "recovery_replay", replay_rate)
+
+    if bench_scale() >= 1.0:
+        assert overhead < 0.10, (
+            f"checkpointing cost {overhead * 100:.1f}% throughput at the "
+            f"default interval (limit 10%)")

@@ -87,7 +87,12 @@ def pytest_sessionfinish(session, exitstatus):
             "unit": "events/second",
             "python": platform.python_version(),
             # Rates are machine-dependent; the fingerprint lets trajectory
-            # diffs distinguish a code regression from a machine change.
+            # diffs distinguish a code regression from a machine change —
+            # cpu_count is surfaced top-level because multi-core results
+            # (sharded scaling, work stealing) are only comparable between
+            # runs with the same core budget (the ROADMAP's
+            # multi-core-recording caveat).
+            "cpu_count": os.cpu_count(),
             "machine": {"cpus": os.cpu_count(),
                         "platform": platform.platform()},
             "rates": {scenario: round(rate, 1)

@@ -128,6 +128,32 @@ class InvariantMaintainer:
         """Return a copy of one group's current invariant values."""
         return self.group(group_key).snapshot()
 
+    # -- snapshots -----------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot every group's learned values and training progress."""
+        from repro.core.snapshot.codecs import encode_value
+        return {
+            "groups": [
+                [encode_value(group_key),
+                 [[name, encode_value(value)]
+                  for name, value in record.values.items()],
+                 record.windows_trained]
+                for group_key, record in self._groups.items()
+            ],
+        }
+
+    def restore_state(self, data: Dict[str, Any]) -> None:
+        """Restore :meth:`export_state` output into this maintainer."""
+        from repro.core.snapshot.codecs import decode_value
+        self._groups = {
+            decode_value(group_key): GroupInvariant(
+                values={name: decode_value(value)
+                        for name, value in values},
+                windows_trained=int(windows_trained))
+            for group_key, values, windows_trained in data["groups"]
+        }
+
     @property
     def group_count(self) -> int:
         """Return the number of groups with invariant state."""

@@ -198,3 +198,60 @@ class MultieventMatcher:
     def pending_sequences(self) -> int:
         """Return the number of in-progress partial sequences."""
         return len(self._partials)
+
+    # -- snapshots / state transfer ------------------------------------------
+
+    @staticmethod
+    def _encode_partial(partial: _PartialSequence):
+        from repro.core.snapshot.codecs import encode_float, encode_match
+        return {
+            "matches": [[alias, encode_match(match)]
+                        for alias, match in partial.matches.items()],
+            "started_at": encode_float(partial.started_at),
+        }
+
+    @staticmethod
+    def _decode_partial(data) -> _PartialSequence:
+        from repro.core.snapshot.codecs import decode_float, decode_match
+        return _PartialSequence(
+            matches={alias: decode_match(match)
+                     for alias, match in data["matches"]},
+            started_at=decode_float(data["started_at"]),
+        )
+
+    def export_state(self):
+        """Snapshot the in-flight partial sequences (wire form)."""
+        return {"partials": [self._encode_partial(partial)
+                             for partial in self._partials]}
+
+    def restore_state(self, state) -> None:
+        """Restore :meth:`export_state` output into this matcher."""
+        self._partials = [self._decode_partial(data)
+                          for data in state["partials"]]
+
+    def extract_partials(self, event_predicate):
+        """Remove and return (wire form) the partials of matching hosts.
+
+        ``event_predicate`` receives each partial's first matched event.
+        Host-connected queries (the only multi-pattern shape the sharded
+        runtime routes to shards) bind every pattern of a partial to one
+        host, so any match of the partial attributes it.
+        """
+        kept: List[_PartialSequence] = []
+        extracted: List[_PartialSequence] = []
+        for partial in self._partials:
+            first = next(iter(partial.matches.values()), None)
+            if first is not None and event_predicate(first.event):
+                extracted.append(partial)
+            else:
+                kept.append(partial)
+        self._partials = kept
+        return {"partials": [self._encode_partial(partial)
+                             for partial in extracted]}
+
+    def absorb_partials(self, state) -> None:
+        """Merge partials exported by :meth:`extract_partials` (thief side)."""
+        self._partials.extend(self._decode_partial(data)
+                              for data in state["partials"])
+        if len(self._partials) > self._max_partial:
+            self._partials = self._partials[-self._max_partial:]

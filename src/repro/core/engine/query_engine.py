@@ -253,6 +253,96 @@ class QueryEngine:
             self._error_reporter.report(self.name, error)
             return []
 
+    # -- snapshots / state transfer --------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot this engine's live state in the versioned wire form.
+
+        Covers the window assigner's count ordinal, the multievent
+        matcher's partial sequences, the state maintainer's buckets,
+        panes and histories, invariant training, the ``distinct``
+        seen-set, the counters, and the alert ledger (every alert emitted
+        so far) for exactly-once re-emission after recovery.
+        """
+        from repro.core.snapshot.codecs import encode_alert, encode_value
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "events_processed": self.events_processed,
+            "alerts_emitted": self.alerts_emitted,
+            "assigner": self._window_assigner.export_state(),
+            "matcher": self._matcher.export_state(),
+            "seen_distinct": [encode_value(entry)
+                              for entry in self._seen_distinct],
+            "alerts": [encode_alert(alert) for alert in self._collected],
+        }
+        if self._state_maintainer is not None:
+            data["state"] = self._state_maintainer.export_state()
+        if self._invariant is not None:
+            data["invariant"] = self._invariant.export_state()
+        return data
+
+    def restore_state(self, data: Dict[str, Any]) -> None:
+        """Restore :meth:`export_state` output into this (fresh) engine.
+
+        The engine must have been built for the same query under the same
+        execution configuration.  The restored alert ledger repopulates
+        :attr:`alerts`, so a recovered run's collected output is the
+        uninterrupted run's alerts — already-emitted alerts are not
+        re-derived (the resume cursor skips their events) and not lost.
+        """
+        from repro.core.snapshot.codecs import decode_alert, decode_value
+        if data["name"] != self.name:
+            raise ValueError(
+                f"snapshot belongs to query {data['name']!r}, not "
+                f"{self.name!r}; register the same queries before restoring")
+        self.events_processed = int(data["events_processed"])
+        self.alerts_emitted = int(data["alerts_emitted"])
+        self._window_assigner.restore_state(data["assigner"])
+        self._matcher.restore_state(data["matcher"])
+        self._seen_distinct = {decode_value(entry)
+                               for entry in data["seen_distinct"]}
+        self._collected = [decode_alert(alert) for alert in data["alerts"]]
+        if self._state_maintainer is not None:
+            self._state_maintainer.restore_state(data["state"])
+        if self._invariant is not None:
+            self._invariant.restore_state(data["invariant"])
+
+    def extract_agent_state(self, agentid_key: str) -> Dict[str, Any]:
+        """Remove and return one host's slice of this engine's state.
+
+        ``agentid_key`` is the casefolded agentid (the sharded router's
+        migration key).  The ``distinct`` seen-set is *copied*, not
+        removed: entries of other hosts can never collide with alerts the
+        importing shard emits (group keys are host-local on stealable
+        lanes), and the victim's entries must survive on both sides in
+        case of a later reverse migration.
+        """
+        from repro.core.snapshot.codecs import encode_value
+
+        def owns(event: Event) -> bool:
+            return event.agentid.casefold() == agentid_key
+
+        payload: Dict[str, Any] = {
+            "matcher": self._matcher.extract_partials(owns),
+        }
+        if self._state_maintainer is not None:
+            payload["state"] = self._state_maintainer.extract_agent_state(
+                lambda match: owns(match.event))
+        if self._query.returns is not None and self._query.returns.distinct:
+            payload["distinct"] = [encode_value(entry)
+                                   for entry in self._seen_distinct]
+        return payload
+
+    def import_agent_state(self, payload: Dict[str, Any]) -> None:
+        """Merge a donor engine's :meth:`extract_agent_state` slice."""
+        from repro.core.snapshot.codecs import decode_value
+        self._matcher.absorb_partials(payload["matcher"])
+        if "state" in payload and self._state_maintainer is not None:
+            self._state_maintainer.merge_agent_state(payload["state"])
+        if "distinct" in payload:
+            self._seen_distinct.update(decode_value(entry)
+                                       for entry in payload["distinct"])
+
     # -- rule-based path -------------------------------------------------------
 
     def _process_rule(self, event: Event,

@@ -43,6 +43,7 @@ from repro.core.compile.expressions import (
 )
 from repro.core.engine.matching import PatternMatch
 from repro.core.engine.windows import WindowKey
+from repro.core.errors import SAQLExecutionError
 from repro.core.expr.evaluator import ExpressionEvaluator
 from repro.core.language import ast
 from repro.events.entities import Entity
@@ -531,6 +532,18 @@ class StateMaintainer:
                     if bucket is None:
                         bucket = merged[group_key] = plan.new_group()
                     plan.merge(bucket, partial)
+            # A pane-open window may additionally carry an overlay bucket
+            # in _banks: contributions that bypass the shared panes, such
+            # as an imported migration slice.  Fold it in here so the
+            # window closes exactly once with everything it is owed.
+            overlay = self._banks.pop(window, None)
+            if overlay:
+                self.buffered_matches -= len(overlay)
+                for group_key, partial in overlay.items():
+                    bucket = merged.get(group_key)
+                    if bucket is None:
+                        bucket = merged[group_key] = plan.new_group()
+                    plan.merge(bucket, partial)
             # Panes no window after this one covers can go; windows close
             # in index order (uniform length), so the threshold only moves
             # forward.
@@ -607,6 +620,365 @@ class StateMaintainer:
             representative=matches[-1] if matches else None,
             match_count=len(matches),
         )
+
+    # -- snapshots / state transfer -------------------------------------------
+
+    def _encode_bucket(self, bucket: GroupAccumulator) -> Dict[str, Any]:
+        from repro.core.snapshot.codecs import (encode_optional_match,
+                                                encode_slots)
+        return {
+            "slots": [encode_slots(accumulator)
+                      for accumulator in bucket.slots],
+            "rep": encode_optional_match(bucket.rep),
+            "rep_seq": bucket.rep_seq,
+            "first_seq": bucket.first_seq,
+            "count": bucket.count,
+            "error": None if bucket.error is None else str(bucket.error),
+        }
+
+    def _decode_bucket(self, data: Dict[str, Any]) -> GroupAccumulator:
+        from repro.core.snapshot.codecs import (decode_optional_match,
+                                                restore_slots)
+        assert self._plan is not None
+        bucket = self._plan.new_group()
+        if len(bucket.slots) != len(data["slots"]):
+            raise ValueError(
+                "snapshot accumulator layout does not match this query's "
+                f"plan ({len(data['slots'])} slots vs {len(bucket.slots)})")
+        for accumulator, slot_data in zip(bucket.slots, data["slots"]):
+            restore_slots(accumulator, slot_data)
+        bucket.rep = decode_optional_match(data["rep"])
+        bucket.rep_seq = int(data["rep_seq"])
+        bucket.first_seq = int(data["first_seq"])
+        bucket.count = int(data["count"])
+        error = data["error"]
+        bucket.error = None if error is None else SAQLExecutionError(error)
+        return bucket
+
+    def _encode_group_buckets(self, groups: Dict[Any, GroupAccumulator]
+                              ) -> List[List[Any]]:
+        from repro.core.snapshot.codecs import encode_value
+        return [[encode_value(group_key), self._encode_bucket(bucket)]
+                for group_key, bucket in groups.items()]
+
+    def _decode_group_buckets(self, data) -> Dict[Any, GroupAccumulator]:
+        from repro.core.snapshot.codecs import decode_value
+        return {decode_value(group_key): self._decode_bucket(bucket)
+                for group_key, bucket in data}
+
+    @staticmethod
+    def _encode_window_state(state: WindowState) -> Dict[str, Any]:
+        from repro.core.snapshot.codecs import (encode_optional_match,
+                                                encode_value,
+                                                encode_window_key)
+        return {
+            "group_key": encode_value(state.group_key),
+            "window": encode_window_key(state.window),
+            "fields": [[name, encode_value(value)]
+                       for name, value in state.fields.items()],
+            "representative": encode_optional_match(state.representative),
+            "match_count": state.match_count,
+        }
+
+    @staticmethod
+    def _decode_window_state(data: Dict[str, Any]) -> WindowState:
+        from repro.core.snapshot.codecs import (decode_optional_match,
+                                                decode_value,
+                                                decode_window_key)
+        return WindowState(
+            group_key=decode_value(data["group_key"]),
+            window=decode_window_key(data["window"]),
+            fields={name: decode_value(value)
+                    for name, value in data["fields"]},
+            representative=decode_optional_match(data["representative"]),
+            match_count=int(data["match_count"]),
+        )
+
+    def _encode_history(self, history: StateHistory) -> List[Dict[str, Any]]:
+        # Iteration yields most-recent-first; the decoder pushes in reverse.
+        return [self._encode_window_state(state) for state in history]
+
+    def _decode_history(self, entries) -> StateHistory:
+        history = StateHistory(self._state.history)
+        for data in reversed(entries):
+            history.push(self._decode_window_state(data))
+        return history
+
+    @property
+    def _mode_tag(self) -> str:
+        return "incremental" if self._plan is not None else "buffered"
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot every open bucket, pane partial and group history."""
+        from repro.core.snapshot.codecs import (encode_match, encode_value,
+                                                encode_window_key)
+        data: Dict[str, Any] = {
+            "mode": self._mode_tag,
+            "panes": self._pane is not None,
+            "seq": self._seq,
+            "total_matches": self.total_matches,
+            "buffered_matches": self.buffered_matches,
+            "peak_buffered_matches": self.peak_buffered_matches,
+            "histories": [
+                [encode_value(group_key), self._encode_history(history)]
+                for group_key, history in self._histories.items()
+            ],
+        }
+        if self._plan is None:
+            data["pending"] = [
+                [encode_window_key(window),
+                 [[encode_value(group_key),
+                   [encode_match(match) for match in matches]]
+                  for group_key, matches in groups.items()]]
+                for window, groups in self._pending.items()
+            ]
+            return data
+        data["banks"] = [
+            [encode_window_key(window), self._encode_group_buckets(groups)]
+            for window, groups in self._banks.items()
+        ]
+        if self._pane is not None:
+            data["pane_groups"] = [
+                [pane, self._encode_group_buckets(groups)]
+                for pane, groups in self._pane_groups.items()
+            ]
+            data["open_indices"] = sorted(self._open_indices)
+            data["closed_frontier"] = self._closed_frontier
+            data["late_threshold"] = self._late_threshold
+        return data
+
+    def _check_mode(self, data: Dict[str, Any], what: str) -> None:
+        if data["mode"] != self._mode_tag or data["panes"] != (
+                self._pane is not None):
+            raise ValueError(
+                f"{what} was taken in {data['mode']} mode "
+                f"(panes={data['panes']}) but this maintainer runs "
+                f"{self._mode_tag} (panes={self._pane is not None}); "
+                "restore with the same compiled/incremental configuration")
+
+    def restore_state(self, data: Dict[str, Any]) -> None:
+        """Restore :meth:`export_state` output into this maintainer.
+
+        The maintainer must be freshly built for the same query with the
+        same execution mode; the deadline and pane heaps are rebuilt from
+        the restored open windows.
+        """
+        from repro.core.snapshot.codecs import (decode_match, decode_value,
+                                                decode_window_key)
+        self._check_mode(data, "state snapshot")
+        self._seq = int(data["seq"])
+        self.total_matches = int(data["total_matches"])
+        self.buffered_matches = int(data["buffered_matches"])
+        self.peak_buffered_matches = int(data["peak_buffered_matches"])
+        self._histories = {
+            decode_value(group_key): self._decode_history(entries)
+            for group_key, entries in data["histories"]
+        }
+        self._deadline_heap = []
+        self._heap_ties = itertools.count()
+        if self._plan is None:
+            self._pending = {}
+            for window_data, groups_data in data["pending"]:
+                window = decode_window_key(window_data)
+                self._pending[window] = {
+                    decode_value(group_key): [decode_match(match)
+                                              for match in matches]
+                    for group_key, matches in groups_data
+                }
+                self._push_deadline(window)
+            return
+        self._banks = {}
+        for window_data, groups_data in data["banks"]:
+            window = decode_window_key(window_data)
+            self._banks[window] = self._decode_group_buckets(groups_data)
+            self._push_deadline(window)
+        if self._pane is not None:
+            self._pane_groups = {
+                int(pane): self._decode_group_buckets(groups_data)
+                for pane, groups_data in data["pane_groups"]
+            }
+            self._pane_heap = sorted(self._pane_groups)
+            self._open_indices = set(int(index)
+                                     for index in data["open_indices"])
+            self._closed_frontier = int(data["closed_frontier"])
+            self._late_threshold = int(data["late_threshold"])
+            for index in sorted(self._open_indices):
+                self._push_deadline(self._window_for_index(index))
+
+    def extract_agent_state(self, match_predicate) -> Dict[str, Any]:
+        """Remove and return (wire form) one host's slice of the state.
+
+        ``match_predicate`` decides ownership per :class:`PatternMatch`.
+        Sound only for shardable queries, whose group keys are host-local:
+        every bucket and history then holds matches of exactly one host,
+        so the bucket's representative match attributes it.  The windows
+        and panes themselves (and the close frontier) are engine-global
+        and stay behind; a window left with no groups simply closes empty.
+        """
+        from repro.core.snapshot.codecs import (encode_match, encode_value,
+                                                encode_window_key)
+        payload: Dict[str, Any] = {
+            "mode": self._mode_tag,
+            "panes": self._pane is not None,
+            "max_seq": self._seq,
+        }
+        histories = []
+        for group_key, history in list(self._histories.items()):
+            representative = next(
+                (state.representative for state in history
+                 if state.representative is not None), None)
+            if representative is not None and match_predicate(representative):
+                histories.append([encode_value(group_key),
+                                  self._encode_history(history)])
+                del self._histories[group_key]
+        payload["histories"] = histories
+        if self._plan is None:
+            pending = []
+            for window, groups in list(self._pending.items()):
+                moved = []
+                for group_key, matches in list(groups.items()):
+                    if matches and match_predicate(matches[0]):
+                        moved.append([encode_value(group_key),
+                                      [encode_match(match)
+                                       for match in matches]])
+                        self.buffered_matches -= len(matches)
+                        del groups[group_key]
+                if moved:
+                    pending.append([encode_window_key(window), moved])
+                if not groups:
+                    del self._pending[window]
+            payload["pending"] = pending
+            return payload
+
+        def split(groups: Dict[Any, GroupAccumulator]) -> List[List[Any]]:
+            moved = []
+            for group_key, bucket in list(groups.items()):
+                if bucket.rep is not None and match_predicate(bucket.rep):
+                    moved.append([encode_value(group_key),
+                                  self._encode_bucket(bucket)])
+                    self.buffered_matches -= 1
+                    del groups[group_key]
+            return moved
+
+        banks = []
+        for window, groups in list(self._banks.items()):
+            moved = split(groups)
+            if moved:
+                banks.append([encode_window_key(window), moved])
+            if not groups:
+                del self._banks[window]
+        payload["banks"] = banks
+        if self._pane is not None:
+            pane_buckets = []
+            for pane, groups in list(self._pane_groups.items()):
+                moved = split(groups)
+                if moved:
+                    pane_buckets.append([pane, moved])
+                # Emptied panes stay registered in the pane heap; eviction
+                # tolerates panes with no groups.
+            payload["pane_buckets"] = pane_buckets
+            # Windows below this index already closed here *with* the
+            # pane partials merged in; the importer must credit each
+            # partial only to the windows this maintainer still owed it
+            # to, or those windows would alert twice.
+            payload["closed_frontier"] = self._closed_frontier
+        return payload
+
+    def merge_agent_state(self, payload: Dict[str, Any]) -> None:
+        """Fold a donor's :meth:`extract_agent_state` slice into this state.
+
+        The donor's ingest ordinals ride along so first/last ordering
+        inside the imported buckets survives; this maintainer's own
+        ordinal counter jumps past them, making every future local match
+        compare later — which is correct, because the migration protocol
+        holds the victim's events until after the import.  Imported pane
+        partials whose early covering windows have already closed here
+        re-open those windows through per-window buckets, exactly like
+        late events do.
+        """
+        from repro.core.snapshot.codecs import (decode_match, decode_value,
+                                                decode_window_key)
+        self._check_mode(payload, "transferred state")
+        max_seq = int(payload["max_seq"])
+        if max_seq >= self._seq:
+            self._seq = max_seq + 1
+        for group_key, entries in payload["histories"]:
+            self._histories[decode_value(group_key)] = (
+                self._decode_history(entries))
+        if self._plan is None:
+            for window_data, groups_data in payload["pending"]:
+                window = decode_window_key(window_data)
+                groups = self._pending.get(window)
+                if groups is None:
+                    groups = self._pending[window] = {}
+                    self._push_deadline(window)
+                for group_data, matches_data in groups_data:
+                    group_key = decode_value(group_data)
+                    matches = [decode_match(match)
+                               for match in matches_data]
+                    existing = groups.get(group_key)
+                    if existing is None:
+                        groups[group_key] = matches
+                    else:
+                        # Imported pre-cut matches precede local ones.
+                        groups[group_key] = matches + existing
+                    self._grew_buckets(len(matches))
+            return
+        for window_data, groups_data in payload["banks"]:
+            window = decode_window_key(window_data)
+            groups = self._banks.get(window)
+            if groups is None:
+                groups = self._banks[window] = {}
+                self._push_deadline(window)
+            for group_data, bucket_data in groups_data:
+                group_key = decode_value(group_data)
+                bucket = self._decode_bucket(bucket_data)
+                existing = groups.get(group_key)
+                if existing is None:
+                    groups[group_key] = bucket
+                    self._grew_buckets(1)
+                else:
+                    self._plan.merge(existing, bucket)
+        if self._pane is not None:
+            donor_frontier = int(payload.get("closed_frontier", 0))
+            for pane, groups_data in payload.get("pane_buckets", []):
+                for group_data, bucket_data in groups_data:
+                    self._merge_pane_partial(int(pane),
+                                             decode_value(group_data),
+                                             self._decode_bucket(bucket_data),
+                                             donor_frontier)
+
+    def _merge_pane_partial(self, pane: int, group_key: Any,
+                            partial: GroupAccumulator,
+                            donor_frontier: int) -> None:
+        """Credit an imported pane partial to the windows still owed it.
+
+        The donor already merged this pane's partial into every window it
+        closed (indices below ``donor_frontier``) — those alerts were
+        emitted there.  The windows the donor still owed the partial to
+        (covering indices at or past its frontier) are credited here as
+        per-window *overlay* buckets in ``_banks`` rather than through
+        the shared panes: this maintainer's own frontier may trail the
+        donor's, and a shared-pane install would re-credit windows the
+        donor already alerted.  The close path folds overlay buckets into
+        the pane merge, so each owed window alerts exactly once.
+        """
+        assert self._pane is not None and self._plan is not None
+        plan = self._plan
+        first, last = self._covering_range(pane)
+        if first < donor_frontier:
+            first = donor_frontier
+        for index in range(first, last + 1):
+            window = self._window_for_index(index)
+            groups = self._banks.get(window)
+            if groups is None:
+                groups = self._banks[window] = {}
+                self._push_deadline(window)
+            bucket = groups.get(group_key)
+            if bucket is None:
+                bucket = groups[group_key] = plan.new_group()
+                self._grew_buckets(1)
+            plan.merge(bucket, partial)
 
     # -- history access ---------------------------------------------------------
 

@@ -147,6 +147,22 @@ class WindowAssigner:
         """Return the closing time of a window (same as ``key.end``)."""
         return key.end
 
+    # -- snapshots -----------------------------------------------------------
+
+    def export_state(self):
+        """Snapshot the assigner's durable state (the count ordinal).
+
+        The cached last window/result pair is a pure optimization and is
+        rebuilt lazily after a restore.
+        """
+        return {"count_seen": self._count_seen}
+
+    def restore_state(self, state) -> None:
+        """Restore :meth:`export_state` output into this assigner."""
+        self._count_seen = int(state["count_seen"])
+        self._last_window = None
+        self._last_result = ()
+
     def closed_before(self, open_windows: Iterable[WindowKey],
                       watermark: float) -> List[WindowKey]:
         """Return the given windows whose end lies at or before ``watermark``."""

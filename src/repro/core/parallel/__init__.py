@@ -17,11 +17,12 @@ the originating host; bare event aliases and ``agentid`` attributes are
 host-local by construction),
 or — for rule queries — when shared host-scoped entity variables connect
 all of its patterns, forcing each matched sequence onto one host.  Queries
-that aggregate across hosts (cluster peer comparison, group-by over
+whose state is not host-local (cluster peer comparison, group-by over
 network-entity attributes, cross-host ``return distinct``, stateful queries
-without ``group by``) automatically fall back to a single-shard lane that
-observes the full stream, so sharded execution never changes any query's
-alerts.
+without ``group by``, count windows — whose boundaries follow the
+engine-global match ordinal) automatically fall back to a single-shard
+lane that observes the full stream, so sharded execution never changes
+any query's alerts.
 
 See :class:`ShardedScheduler` for the runtime and its serial / thread /
 process backends.

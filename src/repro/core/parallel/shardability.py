@@ -85,16 +85,24 @@ class ShardabilityReport:
     #: The host the query is pinned to, when rule 1 applied.
     pinned_agentid: Optional[str] = None
     #: True when an agentid feeding this query may migrate between shards
-    #: mid-stream at a window-aligned safe point (see
-    #: :func:`analyze_steal_safety`).  Meaningless when not shardable.
+    #: mid-stream (see :func:`analyze_steal_safety`).  Meaningless when
+    #: not shardable.
     steal_safe: bool = False
     #: Human-readable justification for :attr:`steal_safe`.
     steal_reason: str = ""
     #: Window-boundary granularity (seconds) a migration cut must align
     #: to for this query, or None when any cut time is safe (stateless
-    #: single-pattern rule queries).  The sharded runtime cuts at a common
-    #: multiple of every steal-safe query's alignment.
+    #: single-pattern rule queries).  Only meaningful in ``aligned`` mode;
+    #: the sharded runtime cuts at a common multiple of every aligned
+    #: query's alignment.
     steal_alignment: Optional[int] = None
+    #: How a migration stays correct for this query: ``"aligned"`` — a
+    #: window-aligned cut plus drain-and-wait suffices (no per-host state
+    #: spans the cut); ``"transfer"`` — the donor must export the
+    #: victim's state slice to the thief (sliding windows, state
+    #: histories, partial sequences, ``distinct`` seen-sets); ``None`` —
+    #: the host may not migrate at all.
+    steal_mode: Optional[str] = None
 
 
 def _pinned_agentid(query: ast.Query) -> Optional[str]:
@@ -186,77 +194,86 @@ def _patterns_host_connected(query: ast.Query) -> bool:
 
 
 def analyze_steal_safety(query: ast.Query
-                         ) -> Tuple[bool, str, Optional[int]]:
-    """Decide whether an agentid feeding this query may migrate mid-stream.
+                         ) -> Tuple[Optional[str], str, Optional[int]]:
+    """Decide whether (and how) a host feeding this query may migrate.
 
-    Work stealing moves an agentid from one shard to another at a *cut
-    time* ``C``: events below the cut stay with the donor, events at or
-    above it reach the thief (after the donor confirms its open windows
-    have drained).  That reproduces the single-scheduler alerts exactly
-    only when no per-host state spans the cut, which this function checks
-    statically.  Returns ``(steal_safe, reason, alignment)`` where
-    ``alignment`` is the window granularity (seconds) cut times must be a
-    multiple of (None when any cut is safe).
+    Work stealing moves an agentid from one shard to another at a *cut*:
+    events below the cut stay with the donor, events at or above it reach
+    the thief.  That reproduces the single-scheduler alerts exactly only
+    when no per-host state is marooned on the donor.  Two mechanisms
+    achieve it, decided statically here; the function returns
+    ``(mode, reason, alignment)``:
 
-    The rules:
-
-    * **Stateless single-pattern rule queries** hold no cross-event state
-      — any cut is safe.
-    * **Multi-pattern rule queries** keep partial sequences in flight; a
-      partial opened on the donor could only complete with events the
-      thief now observes, so such queries pin their hosts in place.
-    * **Stateful queries** are safe when their window is a time window
-      with ``hop >= length`` (tumbling or gapped: a cut at a hop multiple
-      is crossed by no window) and integral-second hop (hop multiples are
-      float-exact, so the router's cut comparison agrees bit-for-bit with
-      the assigner's window containment), the state history is 1 (``ss[k]``
-      history would be left behind on the donor), and there is no
-      invariant (training accumulates per group across windows) and no
-      ``return distinct`` (the seen-set stays on the donor).  Overlapping
-      sliding windows (hop < length) cover every instant, so no cut
-      avoids splitting a window; count windows close on per-engine match
-      ordinals, which a migration would split.
+    * ``"aligned"`` — no per-host state *spans* a suitably chosen cut, so
+      a window-aligned cut plus the drain-and-wait handoff suffices and
+      nothing is copied.  Holds for stateless single-pattern rule queries
+      (any cut; alignment ``None``) and for history-1 tumbling/gapped
+      integral-hop time windows (alignment = the hop: a cut at a hop
+      multiple is crossed by no window, and integral hops make the cut
+      comparison float-exact).
+    * ``"transfer"`` — per-host state necessarily spans every cut, but it
+      is *extractable*: on stealable (host-local) lanes every window
+      bucket, pane partial, state history and partial sequence belongs to
+      exactly one host, so the donor exports the victim's slice through
+      the snapshot codecs and the thief imports it before receiving the
+      victim's held events.  Covers overlapping sliding windows,
+      fractional hops, ``state[k]`` histories, multi-pattern sequences
+      and ``return distinct`` (the seen-set is copied; host-local group
+      keys make cross-host collisions impossible).
+    * ``None`` — the host may not migrate.  Count windows close on
+      per-engine match ordinals across *all* hosts of the shard, so the
+      victim's window boundaries depend on the donor's interleave and no
+      transferable slice reproduces them; invariant training and cluster
+      peer sets likewise couple a window's groups to engine-global
+      progress the thief cannot reproduce; a windowless state block never
+      closes at all.
     """
     if query.state is None:
         if len(query.patterns) > 1:
-            return (False, "multi-pattern rule query keeps partial "
-                           "sequences in flight across a cut", None)
-        if query.returns is not None and query.returns.distinct:
-            return (False, "return distinct keeps a per-engine seen-set "
-                           "that a migration would leave on the donor",
+            return ("transfer", "multi-pattern rule query keeps partial "
+                                "sequences in flight; the donor exports "
+                                "the victim's partials across the cut",
                     None)
-        return (True, "single-pattern rule query holds no cross-event "
-                      "state; any cut is safe", None)
+        if query.returns is not None and query.returns.distinct:
+            return ("transfer", "return distinct keeps a per-engine "
+                                "seen-set; the donor's entries are copied "
+                                "to the thief", None)
+        return ("aligned", "single-pattern rule query holds no "
+                           "cross-event state; any cut is safe", None)
 
     if query.invariant is not None:
-        return (False, "invariant models train per group across windows; "
-                       "a migration would split training", None)
+        return (None, "invariant models train per group across windows; "
+                      "a migration would split training", None)
     if query.cluster is not None:
-        return (False, "cluster clause peer-compares a window's groups; "
-                       "a migration would split the peer set", None)
-    if query.returns is not None and query.returns.distinct:
-        return (False, "return distinct keeps a per-engine seen-set that "
-                       "a migration would leave on the donor", None)
-    if query.state.history > 1:
-        return (False, f"state history of {query.state.history} windows "
-                       "reads past windows that would be left on the "
-                       "donor", None)
+        return (None, "cluster clause peer-compares a window's groups; "
+                      "a migration would split the peer set", None)
     window = query.window
     if window is None:
-        return (False, "stateful query without a window folds the whole "
-                       "stream into one never-closing state", None)
+        return (None, "stateful query without a window folds the whole "
+                      "stream into one never-closing state", None)
     if window.kind != "time":
-        return (False, "count windows close on per-engine match ordinals, "
-                       "which a migration would split", None)
+        return (None, "count windows close on per-engine match ordinals "
+                      "over every host of the shard; the victim's window "
+                      "boundaries cannot be reproduced on the thief", None)
     hop = window.effective_hop
+    needs_transfer = []
+    if query.returns is not None and query.returns.distinct:
+        needs_transfer.append("a distinct seen-set")
+    if query.state.history > 1:
+        needs_transfer.append(
+            f"a state history of {query.state.history} windows")
     if hop < window.length:
-        return (False, "overlapping sliding windows cover every instant; "
-                       "no cut time avoids splitting a window", None)
-    if not float(hop).is_integer():
-        return (False, "fractional-second hop has no float-exact cut "
-                       "boundary", None)
-    return (True, "tumbling/gapped time window with history 1: a cut at "
-                  "a hop multiple is crossed by no window",
+        needs_transfer.append("overlapping sliding windows that cover "
+                              "every instant")
+    elif not float(hop).is_integer():
+        needs_transfer.append("a fractional-second hop with no "
+                              "float-exact cut boundary")
+    if needs_transfer:
+        return ("transfer", "per-host state spans any cut ("
+                + "; ".join(needs_transfer)
+                + "); the donor exports the victim's slice", None)
+    return ("aligned", "tumbling/gapped time window with history 1: a "
+                       "cut at a hop multiple is crossed by no window",
             int(hop))
 
 
@@ -274,16 +291,27 @@ def analyze_shardability(query: ast.Query) -> ShardabilityReport:
             pinned_agentid=pinned,
             steal_safe=True,
             steal_reason="host-pinned: registered only on the pin's shard; "
-                         "migrations of other agentids cannot affect it")
+                         "migrations of other agentids cannot affect it",
+            steal_mode="aligned")
 
     if query.cluster is not None:
         return ShardabilityReport(
             shardable=False,
             reason="cluster clause peer-compares groups across hosts")
 
-    steal_safe, steal_reason, steal_alignment = analyze_steal_safety(query)
+    steal_mode, steal_reason, steal_alignment = analyze_steal_safety(query)
 
     if query.state is not None:
+        if query.window is not None and query.window.kind != "time":
+            # Count windows batch every N matches by the *engine-global*
+            # match ordinal: the events of every host on the shard advance
+            # one shared counter, so per-shard counters draw different
+            # window boundaries than the single scheduler and the window
+            # contents diverge (even with host-local groups).
+            return ShardabilityReport(
+                shardable=False,
+                reason="count windows close on the engine-global match "
+                       "ordinal, which per-shard execution would split")
         group_by = query.state.group_by
         if not group_by:
             return ShardabilityReport(
@@ -300,9 +328,10 @@ def analyze_shardability(query: ast.Query) -> ShardabilityReport:
             shardable=True,
             reason="every group-by key is host-local, so each group's "
                    "state lives on one shard",
-            steal_safe=steal_safe,
+            steal_safe=steal_mode is not None,
             steal_reason=steal_reason,
-            steal_alignment=steal_alignment)
+            steal_alignment=steal_alignment,
+            steal_mode=steal_mode)
 
     if query.returns is not None and query.returns.distinct:
         return ShardabilityReport(
@@ -314,9 +343,10 @@ def analyze_shardability(query: ast.Query) -> ShardabilityReport:
             shardable=True,
             reason="patterns are connected through shared host-scoped "
                    "entity variables, so sequences are host-local",
-            steal_safe=steal_safe,
+            steal_safe=steal_mode is not None,
             steal_reason=steal_reason,
-            steal_alignment=steal_alignment)
+            steal_alignment=steal_alignment,
+            steal_mode=steal_mode)
     return ShardabilityReport(
         shardable=False,
         reason="patterns are not linked by shared host-scoped variables; "

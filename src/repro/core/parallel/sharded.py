@@ -38,18 +38,37 @@ runs *rebalance epochs*: every ``interval`` events it collects one
 per-backend control channel (inline for ``serial``, through the feed queue
 for ``thread``/``process``) and asks the
 :class:`~repro.core.parallel.stealing.WorkStealingBalancer` whether load
-has skewed past the configured ratio.  A planned steal migrates one
-agentid from the most- to the least-loaded shard at a *safe point*: the
-cut time is the next window-aligned boundary, the victim's events at or
-past the cut are held in a handoff buffer, and only once the donor shard
-confirms (again over the control channel) that its open windows — all of
-which end at or before the cut — have closed is the buffer flushed to the
-thief and the route switched.  Pinned agentids are never stolen (their
-queries live only on the pin's shard), single-shard-lane queries observe
-the full stream regardless of routing, and a single steal-unsafe unpinned
-query (see :func:`~repro.core.parallel.shardability.analyze_steal_safety`)
-vetoes stealing for the whole lane, so the merged alert stream stays
-identical to single-process execution.
+has skewed past the configured ratio.  Migrations run one of two
+protocols, chosen statically per query set
+(:func:`~repro.core.parallel.shardability.analyze_steal_safety`):
+
+* **aligned** — every unpinned query tolerates a window-aligned cut:
+  the victim's events at or past the cut are held in a handoff buffer,
+  and only once the donor shard confirms (over the control channel) that
+  its open windows — all of which end at or before the cut — have closed
+  is the buffer flushed to the thief and the route switched.  Nothing is
+  copied.
+* **transfer** — at least one query keeps per-host state that spans
+  every cut (overlapping sliding windows, fractional hops, ``state[k]``
+  histories, multi-event sequences, stateful ``distinct``): both lanes
+  pause their intake, the donor *exports* the victim's state slice
+  through the snapshot codecs (:mod:`repro.core.snapshot`), the thief
+  *imports* it, and the held events are merged with the paused backlog
+  in journal order before both lanes resume.
+
+Pinned agentids are never stolen (their queries live only on the pin's
+shard), single-shard-lane queries observe the full stream regardless of
+routing, and a hard-vetoed unpinned query (count windows, invariants,
+clustering) disables stealing for the whole lane, so the merged alert
+stream stays identical to single-process execution.
+
+**Checkpointing.**  With a ``checkpoint_store`` configured, the router
+additionally takes parent-coordinated checkpoints: at due batch
+boundaries it flushes its routing buffers, collects one state snapshot
+per shard over the same control channel, and persists them together with
+the single-lane state, the route overrides and the global stream cursor;
+:meth:`ShardedScheduler.restore_state` resumes a crashed run from the
+latest checkpoint with exactly-once alert re-emission.
 """
 
 from __future__ import annotations
@@ -58,6 +77,7 @@ import itertools
 import multiprocessing
 import queue
 import threading
+import time
 import zlib
 from collections import Counter
 from dataclasses import dataclass
@@ -196,13 +216,22 @@ def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
 
 def _answer_control(scheduler: ConcurrentQueryScheduler,
                     message: Tuple) -> Tuple:
-    """Answer one work-stealing control message against a shard scheduler.
+    """Answer one control message against a shard scheduler.
 
-    Shared by all three backends so the protocol cannot drift: ``("load",
-    epoch)`` returns that epoch's :class:`ShardLoadReport`; ``("drain",
-    agentid, cut)`` reports whether the shard's open windows have drained
-    through the cut (see
-    :meth:`ConcurrentQueryScheduler.drained_through`).
+    Shared by all three backends so the protocol cannot drift:
+
+    * ``("load", epoch)`` returns that epoch's :class:`ShardLoadReport`;
+    * ``("drain", agentid, cut)`` reports whether the shard's open
+      windows have drained through the cut (aligned-mode stealing, see
+      :meth:`ConcurrentQueryScheduler.drained_through`);
+    * ``("export", agentid_key, cut)`` extracts and returns the victim's
+      state slice (transfer-mode stealing); because control messages are
+      processed in feed order, every previously routed victim event is
+      already folded in when the export runs;
+    * ``("import", agentid_key, payload)`` merges a donor's exported
+      slice (thief side) and acknowledges;
+    * ``("snapshot", sequence)`` returns the scheduler's full state
+      snapshot (parent-coordinated checkpointing).
     """
     kind = message[0]
     if kind == "load":
@@ -216,6 +245,14 @@ def _answer_control(scheduler: ConcurrentQueryScheduler,
         drained = (scheduler.load_watermark >= cut
                    and scheduler.drained_through(cut))
         return ("drain", message[1], cut, drained)
+    if kind == "export":
+        return ("export", message[1], message[2],
+                scheduler.extract_agent_state(message[1]))
+    if kind == "import":
+        scheduler.import_agent_state(message[2])
+        return ("import", message[1], True)
+    if kind == "snapshot":
+        return ("snapshot", message[1], scheduler.export_state())
     raise ValueError(f"unknown shard control message {message!r}")
 
 
@@ -227,11 +264,17 @@ class SerialShard:
     """In-process shard executed inline (deterministic test backend)."""
 
     def __init__(self, queries, enable_sharing: bool,
-                 track_agent_load: bool = False, index: int = 0):
+                 track_agent_load: bool = False, index: int = 0,
+                 restore=None):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
                                            track_agent_load)
         self._alerts: List[Alert] = []
+        if restore is not None:
+            # Seed the output with the restored alert ledger so the
+            # merged result equals the uninterrupted run's alerts.
+            self._scheduler.restore_state(restore)
+            self._alerts.extend(self._scheduler.emitted_alerts())
         self._responses: List[Tuple] = []
 
     def feed(self, batch: List[Event]) -> None:
@@ -275,11 +318,16 @@ class ThreadShard:
     """
 
     def __init__(self, queries, enable_sharing: bool,
-                 track_agent_load: bool = False, index: int = 0):
+                 track_agent_load: bool = False, index: int = 0,
+                 restore=None):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
                                            track_agent_load)
         self._alerts: List[Alert] = []
+        if restore is not None:
+            # Restored before the worker thread starts consuming.
+            self._scheduler.restore_state(restore)
+            self._alerts.extend(self._scheduler.emitted_alerts())
         self._queue: "queue.Queue[Optional[Union[List[Event], Tuple]]]" = (
             queue.Queue(maxsize=_QUEUE_DEPTH))
         self._responses: "queue.Queue[Tuple]" = queue.Queue()
@@ -380,17 +428,24 @@ def _process_shard_main(index: int,
                         enable_sharing: bool,
                         track_agent_load: bool,
                         in_queue: "multiprocessing.Queue",
-                        out_queue: "multiprocessing.Queue") -> None:
+                        out_queue: "multiprocessing.Queue",
+                        restore=None) -> None:
     """Worker entry point: compile the queries, drain batches, report back.
 
     The out queue carries tagged tuples: ``("ctrl", index, response)`` for
     control-message answers mid-stream, ``("done", index, alerts, stats,
-    error)`` exactly once at the end.
+    error)`` exactly once at the end.  ``restore`` is an optional
+    scheduler snapshot (plain JSON-friendly dicts, so it crosses the
+    process boundary without pickling engine objects) applied before any
+    batch is consumed.
     """
     try:
         scheduler = _build_scheduler(queries, enable_sharing,
                                      track_agent_load)
         alerts: List[Alert] = []
+        if restore is not None:
+            scheduler.restore_state(restore)
+            alerts.extend(scheduler.emitted_alerts())
         while True:
             item = in_queue.get()
             if item is None:
@@ -411,14 +466,15 @@ class ProcessShard:
     """Shard executed in a worker process, fed through a bounded queue."""
 
     def __init__(self, index: int, queries, enable_sharing: bool,
-                 context, out_queue, track_agent_load: bool = False):
+                 context, out_queue, track_agent_load: bool = False,
+                 restore=None):
         self.index = index
         self._in_queue = context.Queue(maxsize=_QUEUE_DEPTH)
         self._out_queue = out_queue
         self._process = context.Process(
             target=_process_shard_main,
             args=(index, list(queries), enable_sharing, track_agent_load,
-                  self._in_queue, out_queue),
+                  self._in_queue, out_queue, restore),
             daemon=True,
             name=f"saql-shard-{index}")
         self._process.start()
@@ -501,38 +557,66 @@ class MigrationRecord:
     #: False when the drain never confirmed mid-stream and the buffer was
     #: flushed at end of stream instead (same alerts, later handoff).
     completed_mid_stream: bool
+    #: True when the migration moved the victim's state slice through the
+    #: snapshot codecs (transfer-mode lanes: sliding windows, state
+    #: histories, sequences, ``distinct``) instead of draining.
+    transferred: bool = False
 
 
 class _ActiveMigration:
     """One in-flight steal: routing state between decision and handoff."""
 
     __slots__ = ("agentid", "key", "source", "target", "cut", "buffer",
-                 "drain_pending")
+                 "drain_pending", "transfer", "exported")
 
     def __init__(self, agentid: str, key: str, source: int, target: int,
-                 cut: float):
+                 cut: float, transfer: bool = False):
         self.agentid = agentid
         self.key = key                      # casefolded routing key
         self.source = source
         self.target = target
         self.cut = cut
         self.buffer: List[Event] = []       # the handoff buffer
-        self.drain_pending = False          # a drain request is in flight
+        self.drain_pending = False          # a drain/export request in flight
+        self.transfer = transfer            # state-transfer protocol?
+        self.exported = False               # transfer: import already sent?
 
 
 class _StealingCoordinator:
     """Drives rebalance epochs and migrations for one ``execute`` run.
 
     The feeding loop calls :meth:`maybe_hold` per event (capturing a
-    migrating victim's post-cut events into its handoff buffer) and
+    migrating victim's events into its handoff buffer) and
     :meth:`after_batch` per batch (epoch accounting, control-channel I/O,
-    balancer planning, drain confirmation and handoff flushing).  Backend
-    differences are abstracted behind three callables: ``send(position,
+    balancer planning, handoff confirmation and flushing).  Backend
+    differences are abstracted behind callables: ``send(position,
     message)`` posts a control message to a shard, ``poll()`` returns the
-    responses that have arrived, and ``flush(position, events)`` delivers
-    a drained handoff buffer to the thief *after* the thief's pending
-    normal events (so the thief's own groups never see a watermark jump
-    ahead of their earlier events).
+    responses that have arrived, ``flush(position, events)`` delivers a
+    handoff buffer to the thief *after* the thief's pending normal events
+    (so the thief's own groups never see a watermark jump ahead of their
+    earlier events), and ``flush_pending(position)`` pushes the parent's
+    routing buffer for one shard down its feed channel.
+
+    Two migration protocols, selected by the lane's
+    :class:`~repro.core.parallel.stealing.StealEligibility`:
+
+    * **aligned** — the cut is window-aligned; only the victim's events
+      at or past the cut are held, and the handoff completes once the
+      donor confirms (drain messages) that its open windows drained
+      through the cut.  No state moves.
+    * **transfer** — every victim event is held from the moment the
+      migration is planned, and *both* lanes of the migration pause their
+      intake (events keep accumulating in the parent's routing buffers),
+      freezing the donor's and the thief's watermarks at the planning
+      point so nothing closes a window mid-handoff.  The donor is asked
+      to *export* the victim's state slice (processed, like all control
+      messages, after every previously routed victim event), the slice
+      is sent to the thief as an *import*, and once every migration of
+      the group has exported, the held events — merged across victims in
+      journal order — flow to the thief ahead of the paused backlog.
+      Sliding windows, state histories, partial sequences and distinct
+      seen-sets migrate intact, and no held event can land behind the
+      thief's frontier.
     """
 
     def __init__(self, shard_count: int, interval: int,
@@ -540,15 +624,21 @@ class _StealingCoordinator:
                  eligibility: StealEligibility,
                  stealable, send, poll, flush,
                  resolve_route, purge_route,
-                 route_overrides: Dict[str, int]):
+                 route_overrides: Dict[str, int],
+                 flush_pending=None, feed_events=None,
+                 drain_pending=None):
         self._shard_count = shard_count
         self._interval = interval
         self._balancer = balancer
         self._eligibility = eligibility
+        self._transfer = eligibility.mode == "transfer"
         self._stealable = stealable
         self._send = send
         self._poll = poll
         self._flush = flush
+        self._flush_pending = flush_pending
+        self._feed_events = feed_events
+        self._drain_pending = drain_pending
         self._resolve_route = resolve_route
         self._purge_route = purge_route
         self._overrides = route_overrides
@@ -558,19 +648,32 @@ class _StealingCoordinator:
         self._awaiting_reports: set = set()
         self._reports: Dict[int, ShardLoadReport] = {}
         self._migrating: Dict[str, _ActiveMigration] = {}
+        #: position -> pause refcount (transfer mode: a migration pauses
+        #: both its lanes; the parent buffers their events meanwhile).
+        self._paused: Counter = Counter()
+        #: End-of-stream flag: no new migrations are planned during
+        #: finalize (their exports could never be requested in time).
+        self._closing = False
         self.records: List[MigrationRecord] = []
 
     # -- feeding-loop hooks -------------------------------------------------
 
     def maybe_hold(self, event: Event) -> bool:
-        """Capture a migrating victim's post-cut event; True when held."""
+        """Capture a migrating victim's event; True when held.
+
+        Aligned mode holds only events at or past the cut (pre-cut
+        stragglers keep flowing to the donor, whose windows cover
+        everything below the cut).  Transfer mode holds *everything*: the
+        export must be the last word on the victim's state, so no victim
+        event may reach the donor after the export request is enqueued.
+        """
         migrating = self._migrating
         if not migrating:
             return False
         migration = migrating.get(event.agentid.casefold())
-        if migration is None or event.timestamp < migration.cut:
-            # Pre-cut stragglers keep flowing to the donor, whose windows
-            # cover everything below the cut.
+        if migration is None:
+            return False
+        if not migration.transfer and event.timestamp < migration.cut:
             return False
         migration.buffer.append(event)
         return True
@@ -582,9 +685,8 @@ class _StealingCoordinator:
             tail = batch[-1].timestamp
             if tail > self._watermark:
                 self._watermark = tail
-        for position, response in self._poll():
-            self._deliver(position, response)
-        self._request_drains()
+        self.pump()
+        self._request_handoffs()
         if (self._events_since_epoch >= self._interval
                 and not self._awaiting_reports):
             self._events_since_epoch = 0
@@ -594,23 +696,57 @@ class _StealingCoordinator:
             for position in range(self._shard_count):
                 self._send(position, ("load", self._epoch))
 
-    def finalize(self) -> None:
-        """Flush every unconfirmed handoff buffer at end of stream.
+    def pump(self) -> None:
+        """Deliver every control response that has arrived."""
+        for position, response in self._poll():
+            self._deliver(position, response)
 
-        The donor's windows close during its own ``finish`` and the cut
-        still partitions the victim's events, so parity holds; only the
-        handoff happened later than a mid-stream drain would have.
+    def is_paused(self, position: int) -> bool:
+        """True while a transfer migration has frozen this lane's intake."""
+        return self._paused.get(position, 0) > 0
+
+    def finalize(self, deadline: float = 30.0) -> None:
+        """Settle every in-flight migration at end of stream.
+
+        Planning freezes first (a migration planned now could never
+        complete its handshake).  Aligned migrations flush their
+        unconfirmed handoff buffers — the donor's windows close during
+        its own ``finish`` and the cut still partitions the victim's
+        events, so parity holds; only the handoff happened later than a
+        mid-stream drain would have.  Transfer migrations must still
+        complete for real: the export requests are already in the donors'
+        FIFOs, so their answers are pumped out before the shards finish.
         """
+        self._closing = True
+        self._request_handoffs()
+        waited = 0.0
+        while any(migration.transfer
+                  for migration in self._migrating.values()):
+            self.pump()
+            if not any(migration.transfer
+                       for migration in self._migrating.values()):
+                break
+            if waited >= deadline:
+                raise RuntimeError(
+                    "state-transfer migration did not complete: donor "
+                    "shard never answered the export request")
+            time.sleep(0.005)
+            waited += 0.005
         for migration in self._migrating.values():
-            self._complete(migration, mid_stream=False)
+            self._complete_aligned(migration, mid_stream=False)
         self._migrating.clear()
 
     # -- control-channel handling -------------------------------------------
 
-    def _request_drains(self) -> None:
+    def _request_handoffs(self) -> None:
         for migration in self._migrating.values():
-            if not migration.drain_pending:
-                migration.drain_pending = True
+            if migration.drain_pending:
+                continue
+            migration.drain_pending = True
+            if migration.transfer:
+                self._send(migration.source,
+                           ("export", migration.key, migration.cut))
+            else:
                 self._send(migration.source,
                            ("drain", migration.agentid, migration.cut))
 
@@ -630,13 +766,80 @@ class _StealingCoordinator:
                     or migration.cut != cut):
                 return  # stale answer from a superseded migration
             if drained:
-                self._complete(migration, mid_stream=True)
+                self._complete_aligned(migration, mid_stream=True)
                 del self._migrating[migration.key]
             else:
                 # Not drained yet: re-ask on the next batch boundary.
                 migration.drain_pending = False
+        elif kind == "export":
+            _, key, cut, payload = response
+            migration = self._migrating.get(key)
+            if (migration is None or migration.source != position
+                    or migration.cut != cut or not migration.transfer
+                    or migration.exported):
+                return  # stale answer from a superseded migration
+            # Both lanes are paused, so importing now is safe: the state
+            # merges into a frozen thief whose frontier cannot advance
+            # past it.  The held events wait until the whole group has
+            # exported, then flow in one journal-ordered merge.
+            self._send(migration.target,
+                       ("import", migration.key, payload))
+            migration.exported = True
+            if all(m.exported for m in self._migrating.values()
+                   if m.transfer):
+                self._flush_transfer_group()
+        # "import" acknowledgements need no action: ordering is FIFO.
+
+    def _flush_transfer_group(self) -> None:
+        """Complete every exported transfer migration in one group.
+
+        The held buffers of all victims and the thief's paused backlog
+        cover the same stretch of the stream, so they are merged in
+        journal order before feeding — delivering them buffer-by-buffer
+        would let one buffer's newer events advance the thief's watermark
+        past another's older events, closing windows early and splitting
+        their alerts.  Then the routes switch and both lanes resume.
+        """
+        group = [migration for migration in self._migrating.values()
+                 if migration.transfer and migration.exported]
+        held: Dict[int, List[Event]] = {}
+        for migration in group:
+            held.setdefault(migration.target, []).extend(migration.buffer)
+        for target, events in held.items():
+            if self._drain_pending is not None:
+                events.extend(self._drain_pending(target))
+            events.sort(key=lambda event: (event.timestamp, event.event_id))
+            if self._feed_events is not None:
+                self._feed_events(target, events)
+        for migration in group:
+            self._overrides[migration.key] = migration.target
+            self._purge_route(migration.key)
+            self.records.append(MigrationRecord(
+                agentid=migration.agentid,
+                source=migration.source,
+                target=migration.target,
+                cut=migration.cut,
+                events_held=len(migration.buffer),
+                completed_mid_stream=not self._closing,
+                transferred=True))
+            migration.buffer = []
+            del self._migrating[migration.key]
+            self._paused[migration.source] -= 1
+            self._paused[migration.target] -= 1
+        if self._flush_pending is not None:
+            for position in sorted({m.source for m in group}
+                                   | {m.target for m in group}):
+                if not self.is_paused(position):
+                    self._flush_pending(position)
 
     def _plan_epoch(self) -> None:
+        if self._closing:
+            return
+        if self._transfer and self._migrating:
+            # One transfer group at a time: its lanes are paused, and a
+            # second group could overlap them inconsistently.  Sustained
+            # skew resolves over the following epochs.
+            return
         loads = [dict(self._reports[position].events_by_agentid)
                  for position in range(self._shard_count)]
 
@@ -644,6 +847,7 @@ class _StealingCoordinator:
             return (agentid.casefold() not in self._migrating
                     and self._stealable(agentid))
 
+        planned: List[_ActiveMigration] = []
         for decision in self._balancer.plan(loads, stealable=stealable):
             # The reports describe the closing epoch; only act when the
             # victim still routes to the reported donor (a migration that
@@ -651,15 +855,35 @@ class _StealingCoordinator:
             if self._resolve_route(decision.agentid) != decision.source:
                 continue
             cut = self._eligibility.cut_after(self._watermark)
-            self._migrating[decision.agentid.casefold()] = _ActiveMigration(
+            migration = _ActiveMigration(
                 agentid=decision.agentid,
                 key=decision.agentid.casefold(),
                 source=decision.source,
                 target=decision.target,
-                cut=cut)
+                cut=cut,
+                transfer=self._transfer)
+            self._migrating[migration.key] = migration
+            planned.append(migration)
+        if self._transfer:
+            for migration in planned:
+                # Freeze both lanes at the planning watermark: push the
+                # parent's pending buffers down (the export must see
+                # every already-routed victim event; the thief must not
+                # advance past the events about to be held), then stop
+                # feeding until the group completes.
+                if self._flush_pending is not None:
+                    self._flush_pending(migration.source)
+                    self._flush_pending(migration.target)
+                self._paused[migration.source] += 1
+                self._paused[migration.target] += 1
 
-    def _complete(self, migration: _ActiveMigration,
-                  mid_stream: bool) -> None:
+    @property
+    def migrations_in_flight(self) -> int:
+        """How many migrations are currently between decision and handoff."""
+        return len(self._migrating)
+
+    def _complete_aligned(self, migration: _ActiveMigration,
+                          mid_stream: bool) -> None:
         self._flush(migration.target, migration.buffer)
         self._overrides[migration.key] = migration.target
         self._purge_route(migration.key)
@@ -669,8 +893,175 @@ class _StealingCoordinator:
             target=migration.target,
             cut=migration.cut,
             events_held=len(migration.buffer),
-            completed_mid_stream=mid_stream))
+            completed_mid_stream=mid_stream,
+            transferred=migration.transfer))
         migration.buffer = []
+
+
+class _ShardCheckpointer:
+    """Parent-coordinated checkpointing for one sharded ``execute`` run.
+
+    At batch boundaries where a checkpoint is due (every ``interval``
+    routed events) and no migration is in flight, the parent flushes its
+    routing buffers, posts a ``("snapshot", seq)`` control message to
+    every shard, and blocks until all answers arrive — control messages
+    are processed in feed order, so each shard's snapshot reflects
+    exactly the events routed to it so far, and together with the
+    parent's stream cursor they form one consistent global checkpoint.
+    Responses for other subsystems that surface while waiting (load
+    reports, drain/export answers) are forwarded to the stealing
+    coordinator instead of being dropped.
+    """
+
+    def __init__(self, store, interval: int, shard_count: int,
+                 send, poll, flush_all, single_lane,
+                 overrides: Dict[str, int], resolved_map,
+                 resume_cursor=None, steal_coordinator=None):
+        self._store = store
+        self._interval = interval
+        self._shard_count = shard_count
+        self._send = send
+        self._poll = poll
+        self._flush_all = flush_all
+        self._single_lane = single_lane
+        self._overrides = overrides
+        self._resolved_map = resolved_map
+        self._coordinator = steal_coordinator
+        self._sequence = 0
+        self._events_since = 0
+        # A resumed run continues the crashed run's cursor — in
+        # particular the frontier ids at the watermark.  Starting from
+        # scratch instead would let a checkpoint written right after a
+        # resume carry only the post-resume ids of a tied timestamp, and
+        # a second recovery would re-deliver the pre-crash ties whose
+        # effects are already in the restored state.
+        self._events_total = (resume_cursor.events_ingested
+                              if resume_cursor is not None else 0)
+        self._watermark = (resume_cursor.watermark
+                           if resume_cursor is not None else float("-inf"))
+        self._last_event_id = (resume_cursor.last_event_id
+                               if resume_cursor is not None else 0)
+        self._frontier: set = (set(resume_cursor.frontier_ids)
+                               if resume_cursor is not None else set())
+        #: Checkpoints written during this run (for observability/tests).
+        self.checkpoints_written = 0
+
+    def observe_batch(self, batch: Sequence[Event]) -> None:
+        """Advance the global stream cursor over one routed batch."""
+        for event in batch:
+            timestamp = event.timestamp
+            if timestamp > self._watermark:
+                self._watermark = timestamp
+                self._frontier = {event.event_id}
+            elif timestamp == self._watermark:
+                self._frontier.add(event.event_id)
+            self._last_event_id = event.event_id
+        self._events_since += len(batch)
+        self._events_total += len(batch)
+
+    def maybe_checkpoint(self) -> None:
+        """Checkpoint when due; deferred while a migration is in flight.
+
+        A migration between decision and handoff keeps victim events in a
+        parent-side buffer no shard snapshot can see; waiting for the
+        handoff (at most a few batches) keeps the checkpoint a pure
+        function of the shards plus the cursor.
+        """
+        if self._events_since < self._interval:
+            return
+        if (self._coordinator is not None
+                and self._coordinator.migrations_in_flight):
+            return
+        self.checkpoint()
+
+    def checkpoint(self, deadline: float = 30.0) -> None:
+        """Collect one consistent snapshot from every lane and persist it."""
+        from repro.core.snapshot.codecs import SNAPSHOT_VERSION, encode_float
+        self._flush_all()
+        self._sequence += 1
+        for position in range(self._shard_count):
+            self._send(position, ("snapshot", self._sequence))
+        collected: Dict[int, Any] = {}
+        waited = 0.0
+        while len(collected) < self._shard_count:
+            progressed = False
+            for position, response in self._poll():
+                if response[0] == "snapshot":
+                    _, sequence, state = response
+                    if sequence == self._sequence:
+                        collected[position] = state
+                        progressed = True
+                elif self._coordinator is not None:
+                    self._coordinator._deliver(position, response)
+            if len(collected) >= self._shard_count:
+                break
+            if not progressed:
+                if waited >= deadline:
+                    raise RuntimeError(
+                        "checkpoint timed out: a shard never answered the "
+                        "snapshot request")
+                time.sleep(0.002)
+                waited += 0.002
+        snapshot = {
+            "version": SNAPSHOT_VERSION,
+            "kind": "sharded",
+            "shard_count": self._shard_count,
+            "shards": [collected[position]
+                       for position in range(self._shard_count)],
+            "single_lane": (self._single_lane.export_state()
+                            if self._single_lane is not None else None),
+            "overrides": dict(self._overrides),
+            "resolved_map": (dict(self._resolved_map)
+                             if self._resolved_map is not None else None),
+            "cursor": {
+                "watermark": encode_float(self._watermark),
+                "last_event_id": self._last_event_id,
+                "frontier_ids": sorted(self._frontier),
+                "events_ingested": self._events_total,
+            },
+        }
+        self._store.save(snapshot)
+        self.checkpoints_written += 1
+        self._events_since = 0
+
+
+
+def _lane_feeders(lanes, buffers: List[List["Event"]],
+                  active: Sequence[bool]):
+    """Build the parent-side routing-buffer plumbing for one backend.
+
+    All three lane classes expose ``feed``/``request_control``, so the
+    serial/thread and process execute paths share these closures instead
+    of maintaining drifting copies: ``flush_pending`` pushes one lane's
+    buffered events down its feed channel, ``flush_all_pending`` does so
+    for every lane (checkpoint barrier), ``drain_pending`` pops and
+    returns a lane's buffer (transfer-group journal merge),
+    ``feed_events`` delivers an explicit event list to an active lane,
+    and ``send`` posts a control message.
+    """
+
+    def flush_pending(position: int) -> None:
+        if buffers[position]:
+            lanes[position].feed(buffers[position])
+            buffers[position] = []
+
+    def flush_all_pending() -> None:
+        for position in range(len(buffers)):
+            flush_pending(position)
+
+    def drain_pending(position: int) -> List[Event]:
+        drained = buffers[position]
+        buffers[position] = []
+        return drained
+
+    def feed_events(position: int, events: Sequence[Event]) -> None:
+        if events and active[position]:
+            lanes[position].feed(list(events))
+
+    def send(position: int, message: Tuple) -> None:
+        lanes[position].request_control(message)
+
+    return flush_pending, flush_all_pending, drain_pending, feed_events, send
 
 
 # ---------------------------------------------------------------------------
@@ -701,7 +1092,9 @@ class ShardedScheduler:
                  shard_map: Optional[Union[str, Mapping[str, int]]] = None,
                  auto_prefix: int = DEFAULT_AUTO_PREFIX,
                  rebalance_interval: Optional[int] = None,
-                 rebalance_ratio: float = DEFAULT_REBALANCE_RATIO):
+                 rebalance_ratio: float = DEFAULT_REBALANCE_RATIO,
+                 checkpoint_store=None,
+                 checkpoint_interval: Optional[int] = None):
         if shards < 1:
             raise ValueError("shard count must be at least 1")
         if backend not in _BACKENDS:
@@ -713,6 +1106,11 @@ class ShardedScheduler:
             raise ValueError("auto-map prefix must be at least 1 event")
         if rebalance_interval is not None and rebalance_interval < 1:
             raise ValueError("rebalance interval must be at least 1 event")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint interval must be at least 1 event")
+        if checkpoint_store is not None and checkpoint_interval is None:
+            raise ValueError("a checkpoint store needs checkpoint_interval "
+                             "(events between checkpoints)")
         self.shards = shards
         self.backend = backend
         self._sink = sink
@@ -760,6 +1158,19 @@ class ShardedScheduler:
         #: Whether (and why) the last run could steal at all; None until
         #: a run with rebalancing enabled resolves it.
         self.last_steal_eligibility: Optional[StealEligibility] = None
+        # Durable checkpointing: the parent coordinates — it flushes its
+        # routing buffers, asks every shard for a state snapshot over the
+        # control channel, and persists the combined snapshot with the
+        # global stream cursor (see repro.core.snapshot).
+        self._checkpoint_store = checkpoint_store
+        self._checkpoint_interval = checkpoint_interval
+        #: Checkpoints the last run persisted.
+        self.checkpoints_written = 0
+        #: Snapshot installed by :meth:`restore_state`, consumed by the
+        #: next :meth:`execute` (shards restore before feeding starts).
+        self._restored: Optional[Dict[str, Any]] = None
+        #: Cursor restored by :meth:`restore_state` (None otherwise).
+        self.restored_cursor = None
 
     # -- registration ------------------------------------------------------
 
@@ -912,6 +1323,11 @@ class ShardedScheduler:
         actually being executed.
         """
         if self._shard_map == "auto":
+            if self._restored is not None:
+                # A restored run keeps the crashed run's resolved map —
+                # the shard states were partitioned under it, and the
+                # resumed stream's prefix is not the original prefix.
+                return stream
             iterator = iter(stream)
             prefix = list(itertools.islice(iterator, self._auto_prefix))
             counts = Counter(event.agentid for event in prefix)
@@ -1011,6 +1427,43 @@ class ShardedScheduler:
         """Names of the queries running on the full-stream fallback lane."""
         return [name for name, _ in self._single_lane_queries]
 
+    # -- checkpoint restore ------------------------------------------------
+
+    def restore_state(self, snapshot: Dict[str, Any]) -> None:
+        """Install a checkpoint for the next :meth:`execute` to resume from.
+
+        The scheduler must be configured identically to the crashed run
+        (same shard count, same queries in the same order); the per-shard
+        engine states are restored inside the shard workers before any
+        event is fed.  :attr:`restored_cursor` then names the journal
+        position to resume the stream from (see
+        :func:`repro.core.snapshot.recovery.resume_events`).
+        """
+        from repro.core.snapshot.codecs import check_version
+        from repro.core.snapshot.recovery import ResumeCursor
+        from repro.events.serialization import decode_float
+        check_version(snapshot, "sharded scheduler")
+        if snapshot.get("kind") != "sharded":
+            raise ValueError("not a sharded-scheduler snapshot; restore "
+                             "single-process checkpoints through "
+                             "ConcurrentQueryScheduler.restore_state")
+        if snapshot["shard_count"] != self.shards:
+            raise ValueError(
+                f"snapshot was taken with {snapshot['shard_count']} shards "
+                f"but this scheduler runs {self.shards}; shard state "
+                "cannot be re-partitioned on restore")
+        self._restored = snapshot
+        resolved = snapshot["resolved_map"]
+        self.resolved_shard_map = (dict(resolved) if resolved is not None
+                                   else None)
+        cursor = snapshot["cursor"]
+        self.restored_cursor = ResumeCursor(
+            watermark=decode_float(cursor["watermark"]),
+            last_event_id=int(cursor["last_event_id"]),
+            frontier_ids=frozenset(cursor["frontier_ids"]),
+            events_ingested=int(cursor["events_ingested"]),
+        )
+
     # -- results -----------------------------------------------------------
 
     @property
@@ -1076,8 +1529,10 @@ class ShardedScheduler:
     def _make_coordinator(self, eligibility: StealEligibility,
                           lane_count: int, send, poll, flush,
                           resolve_route, route_cache: Dict[str, int],
-                          overrides: Dict[str, int]
-                          ) -> _StealingCoordinator:
+                          overrides: Dict[str, int],
+                          flush_pending=None,
+                          feed_events=None,
+                          drain_pending=None) -> _StealingCoordinator:
         def purge_route(key: str) -> None:
             # Drop every cached spelling of the migrated agentid so the
             # next lookup consults the fresh override.
@@ -1095,7 +1550,29 @@ class ShardedScheduler:
             send=send, poll=poll, flush=flush,
             resolve_route=resolve_route,
             purge_route=purge_route,
-            route_overrides=overrides)
+            route_overrides=overrides,
+            flush_pending=flush_pending,
+            feed_events=feed_events,
+            drain_pending=drain_pending)
+
+    def _make_checkpointer(self, lane_count: int, send, poll, flush_all,
+                           single_lane, overrides: Dict[str, int],
+                           restored, coordinator
+                           ) -> Optional[_ShardCheckpointer]:
+        if self._checkpoint_store is None:
+            return None
+        assert self._checkpoint_interval is not None
+        return _ShardCheckpointer(
+            store=self._checkpoint_store,
+            interval=self._checkpoint_interval,
+            shard_count=lane_count,
+            send=send, poll=poll, flush_all=flush_all,
+            single_lane=single_lane,
+            overrides=overrides,
+            resolved_map=self.resolved_shard_map,
+            resume_cursor=(self.restored_cursor
+                           if restored is not None else None),
+            steal_coordinator=coordinator)
 
     def _single_lane_scheduler(self) -> Optional[ConcurrentQueryScheduler]:
         if not self._single_lane_queries:
@@ -1150,22 +1627,42 @@ class ShardedScheduler:
         """Run with the serial or thread backend (shards live in-process)."""
         shard_cls = ThreadShard if self.backend == "thread" else SerialShard
         eligibility = self._resolve_steal_eligibility()
+        restored = self._restored
+        self._restored = None
+        track_load = eligibility is not None
         shards: List[Any] = []
         active: List[bool] = []
         if self._sharded_queries:
             per_shard = [self._queries_for_shard(position)
                          for position in range(self.shards)]
             shards = [shard_cls(queries, self._enable_sharing,
-                                eligibility is not None, position)
+                                track_load, position,
+                                restore=(restored["shards"][position]
+                                         if restored is not None else None))
                       for position, queries in enumerate(per_shard)]
             active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
         single_alerts: List[Alert] = []
+        if single_lane is not None and restored is not None:
+            single_lane.restore_state(restored["single_lane"])
+            single_alerts.extend(single_lane.emitted_alerts())
         buffers: List[List[Event]] = [[] for _ in range(len(shards))]
-        overrides: Dict[str, int] = {}
+        overrides: Dict[str, int] = (dict(restored["overrides"])
+                                     if restored is not None else {})
         route_cache: Dict[str, int] = {}
         route = (self._make_router(overrides, route_cache)
                  if shards else None)
+
+        (flush_pending, flush_all_pending, drain_pending, feed_events,
+         send) = _lane_feeders(shards, buffers, active)
+
+        def poll() -> List[Tuple[int, Tuple]]:
+            responses: List[Tuple[int, Tuple]] = []
+            for position, shard in enumerate(shards):
+                for response in shard.poll_control():
+                    responses.append((position, response))
+            return responses
+
         coordinator: Optional[_StealingCoordinator] = None
         if eligibility is not None and shards:
 
@@ -1173,25 +1670,16 @@ class ShardedScheduler:
                 # The thief's pending normal events precede the handoff
                 # buffer, so its engines' watermarks never jump ahead of
                 # events still waiting in the routing buffer.
-                if buffers[target]:
-                    shards[target].feed(buffers[target])
-                    buffers[target] = []
-                if events and active[target]:
-                    shards[target].feed(list(events))
-
-            def send(position: int, message: Tuple) -> None:
-                shards[position].request_control(message)
-
-            def poll() -> List[Tuple[int, Tuple]]:
-                responses: List[Tuple[int, Tuple]] = []
-                for position, shard in enumerate(shards):
-                    for response in shard.poll_control():
-                        responses.append((position, response))
-                return responses
+                flush_pending(target)
+                feed_events(target, events)
 
             coordinator = self._make_coordinator(
                 eligibility, len(shards), send, poll, flush_held,
-                route, route_cache, overrides)
+                route, route_cache, overrides, flush_pending, feed_events,
+                drain_pending)
+        checkpointer = self._make_checkpointer(
+            len(shards), send, poll, flush_all_pending, single_lane,
+            overrides, restored, coordinator)
         events_ingested = 0
         sampled_peak_events = 0
         sampled_peak_matches = 0
@@ -1211,11 +1699,16 @@ class ShardedScheduler:
                         if active[position]:
                             buffers[position].append(event)
                     for position, buffer in enumerate(buffers):
-                        if len(buffer) >= size:
+                        if (len(buffer) >= size
+                                and not (coordinator is not None
+                                         and coordinator.is_paused(position))):
                             shards[position].feed(buffer)
                             buffers[position] = []
                     if coordinator is not None:
                         coordinator.after_batch(batch)
+                if checkpointer is not None:
+                    checkpointer.observe_batch(batch)
+                    checkpointer.maybe_checkpoint()
                 # Genuine concurrent retention sample across every lane at
                 # this batch boundary (exact for serial, a benign racy
                 # snapshot for threads); its running maximum replaces the
@@ -1233,13 +1726,17 @@ class ShardedScheduler:
                     sampled_peak_events = sample_events
                 if sample_matches > sampled_peak_matches:
                     sampled_peak_matches = sample_matches
+            # Migrations settle first: a paused lane's buffered backlog
+            # must reach its shard only after the held events it waits on.
+            if coordinator is not None:
+                coordinator.finalize()
+                self.migrations = coordinator.records
             for position, buffer in enumerate(buffers):
                 if buffer:
                     shards[position].feed(buffer)
                     buffers[position] = []
-            if coordinator is not None:
-                coordinator.finalize()
-                self.migrations = coordinator.records
+            self.checkpoints_written = (checkpointer.checkpoints_written
+                                        if checkpointer is not None else 0)
             results = [shard.finish() for shard in shards]
         finally:
             # A failure anywhere above (a poisoned batch, a dead worker, a
@@ -1248,6 +1745,11 @@ class ShardedScheduler:
             # finish and never raises.
             for shard in shards:
                 shard.close()
+        if restored is not None:
+            # Restored engines already carry the pre-crash ingestion in
+            # their stats; the parent-side once-per-event figure resumes
+            # from the checkpoint cursor.
+            events_ingested += restored["cursor"]["events_ingested"]
         return self._finalize(results, single_lane, single_alerts,
                               events_ingested,
                               sampled_peaks=(sampled_peak_events,
@@ -1259,51 +1761,61 @@ class ShardedScheduler:
         context = multiprocessing.get_context()
         out_queue = context.Queue()
         eligibility = self._resolve_steal_eligibility()
+        restored = self._restored
+        self._restored = None
         per_shard = [self._queries_for_shard(position)
                      for position in range(self.shards)]
         workers = [ProcessShard(position, queries, self._enable_sharing,
                                 context, out_queue,
-                                track_agent_load=eligibility is not None)
+                                track_agent_load=eligibility is not None,
+                                restore=(restored["shards"][position]
+                                         if restored is not None else None))
                    for position, queries in enumerate(per_shard)]
         active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
         single_alerts: List[Alert] = []
+        if single_lane is not None and restored is not None:
+            single_lane.restore_state(restored["single_lane"])
+            single_alerts.extend(single_lane.emitted_alerts())
         buffers: List[List[Event]] = [[] for _ in workers]
-        overrides: Dict[str, int] = {}
+        overrides: Dict[str, int] = (dict(restored["overrides"])
+                                     if restored is not None else {})
         route_cache: Dict[str, int] = {}
         route = self._make_router(overrides, route_cache)
         events_ingested = 0
         #: "done" tuples a worker posted before the collection phase (a
         #: crash mid-stream) — replayed into the collection loop.
         early_done: List[Tuple] = []
+
+        (flush_pending, flush_all_pending, drain_pending, feed_events,
+         send) = _lane_feeders(workers, buffers, active)
+
+        def poll() -> List[Tuple[int, Tuple]]:
+            responses: List[Tuple[int, Tuple]] = []
+            while True:
+                try:
+                    item = out_queue.get_nowait()
+                except queue.Empty:
+                    return responses
+                if item[0] == "ctrl":
+                    responses.append((item[1], item[2]))
+                else:
+                    early_done.append(item)
+
         coordinator: Optional[_StealingCoordinator] = None
         if eligibility is not None:
 
             def flush_held(target: int, events: Sequence[Event]) -> None:
-                if buffers[target]:
-                    workers[target].feed(buffers[target])
-                    buffers[target] = []
-                if events and active[target]:
-                    workers[target].feed(list(events))
-
-            def send(position: int, message: Tuple) -> None:
-                workers[position].request_control(message)
-
-            def poll() -> List[Tuple[int, Tuple]]:
-                responses: List[Tuple[int, Tuple]] = []
-                while True:
-                    try:
-                        item = out_queue.get_nowait()
-                    except queue.Empty:
-                        return responses
-                    if item[0] == "ctrl":
-                        responses.append((item[1], item[2]))
-                    else:
-                        early_done.append(item)
+                flush_pending(target)
+                feed_events(target, events)
 
             coordinator = self._make_coordinator(
                 eligibility, len(workers), send, poll, flush_held,
-                route, route_cache, overrides)
+                route, route_cache, overrides, flush_pending, feed_events,
+                drain_pending)
+        checkpointer = self._make_checkpointer(
+            len(workers), send, poll, flush_all_pending, single_lane,
+            overrides, restored, coordinator)
         try:
             try:
                 for batch in iter_batches(stream, size):
@@ -1319,18 +1831,27 @@ class ShardedScheduler:
                         if active[position]:
                             buffers[position].append(event)
                     for position, buffer in enumerate(buffers):
-                        if len(buffer) >= size:
+                        if (len(buffer) >= size
+                                and not (coordinator is not None
+                                         and coordinator.is_paused(
+                                             position))):
                             workers[position].feed(buffer)
                             buffers[position] = []
                     if coordinator is not None:
                         coordinator.after_batch(batch)
+                    if checkpointer is not None:
+                        checkpointer.observe_batch(batch)
+                        checkpointer.maybe_checkpoint()
+                if coordinator is not None:
+                    coordinator.finalize()
+                    self.migrations = coordinator.records
                 for position, buffer in enumerate(buffers):
                     if buffer:
                         workers[position].feed(buffer)
                         buffers[position] = []
-                if coordinator is not None:
-                    coordinator.finalize()
-                    self.migrations = coordinator.records
+                self.checkpoints_written = (
+                    checkpointer.checkpoints_written
+                    if checkpointer is not None else 0)
             finally:
                 for worker in workers:
                     worker.close()
@@ -1387,5 +1908,7 @@ class ShardedScheduler:
                 worker.shutdown()
             raise
         results = [collected[position] for position in range(len(workers))]
+        if restored is not None:
+            events_ingested += restored["cursor"]["events_ingested"]
         return self._finalize(results, single_lane, single_alerts,
                               events_ingested)

@@ -52,25 +52,36 @@ class StealDecision:
 
 @dataclass(frozen=True)
 class StealEligibility:
-    """Whether a registered query set permits work stealing at all.
+    """Whether (and how) a registered query set permits work stealing.
 
     Stealing moves an agentid's events between shards, and every unpinned
-    sharded query observes every agentid — so a single steal-unsafe
-    unpinned query vetoes stealing for the whole sharded lane.  Pinned
-    queries never veto (they live only on their pin's shard and filter
-    other hosts); their pinned agentids are simply never chosen as
-    victims.  Single-shard-lane queries observe the full stream regardless
-    of routing and are never affected.
+    sharded query observes every agentid — so a single hard-vetoed
+    unpinned query (count windows, invariants, clustering) disables
+    stealing for the whole sharded lane.  Pinned queries never veto (they
+    live only on their pin's shard and filter other hosts); their pinned
+    agentids are simply never chosen as victims.  Single-shard-lane
+    queries observe the full stream regardless of routing and are never
+    affected.
 
-    ``alignment`` is the cut-time granularity in seconds: migrations cut
-    at a common multiple of every steal-safe query's window hop, so no
-    window spans the cut.  ``None`` alignment (only stateless queries)
-    means any cut time is safe.
+    ``mode`` selects the lane's migration protocol: ``"aligned"`` (every
+    unpinned query tolerates a window-aligned cut with drain-and-wait —
+    nothing is copied) or ``"transfer"`` (at least one query keeps
+    per-host state that spans every cut — sliding windows, state
+    histories, partial sequences, ``distinct`` — so the donor exports the
+    victim's state slice and the thief imports it before the held events
+    flow).
+
+    ``alignment`` is the aligned-mode cut granularity in seconds:
+    migrations cut at a common multiple of every aligned query's window
+    hop, so no window spans the cut.  ``None`` alignment means any cut
+    time works (stateless queries, or transfer mode — where the exported
+    slice carries whatever spans the cut).
     """
 
     eligible: bool
     reason: str
     alignment: Optional[int] = None
+    mode: str = "aligned"
 
     def cut_after(self, watermark: float) -> float:
         """Return the earliest safe cut time strictly aligned past ``watermark``.
@@ -104,13 +115,27 @@ def steal_eligibility(
                 eligible=False,
                 reason=f"query {name!r} is not steal-safe: "
                        f"{report.steal_reason}")
+    if any(report.steal_mode == "transfer"
+           for report in unpinned.values()):
+        # One transfer-mode query switches the whole lane to the
+        # state-transfer protocol: the donor's export covers *every*
+        # engine's victim slice, so the aligned queries' cut alignment
+        # becomes unnecessary.
+        return StealEligibility(
+            eligible=True,
+            reason="every unpinned sharded query is steal-safe; at least "
+                   "one keeps cut-spanning state, so migrations use the "
+                   "state-transfer protocol",
+            alignment=None,
+            mode="transfer")
     alignments = [report.steal_alignment for report in unpinned.values()
                   if report.steal_alignment is not None]
     alignment = math.lcm(*alignments) if alignments else None
     return StealEligibility(
         eligible=True,
         reason="every unpinned sharded query is steal-safe",
-        alignment=alignment)
+        alignment=alignment,
+        mode="aligned")
 
 
 class WorkStealingBalancer:

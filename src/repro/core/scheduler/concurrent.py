@@ -17,9 +17,9 @@ evaluations were saved by reuse.
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import (Any, Deque, Dict, Iterable, List, Mapping, Optional,
-                    Sequence, Tuple, Union)
+                    Sequence, Set, Tuple, Union)
 
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.engine.error_reporter import ErrorReporter
@@ -404,7 +404,10 @@ class ConcurrentQueryScheduler:
     def __init__(self, sink: Optional[AlertSink] = None,
                  error_reporter: Optional[ErrorReporter] = None,
                  enable_sharing: bool = True,
-                 track_agent_load: bool = False):
+                 track_agent_load: bool = False,
+                 checkpoint_store=None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_watermark_interval: Optional[float] = None):
         self._sink = sink
         self._error_reporter = error_reporter or ErrorReporter()
         self._enable_sharing = enable_sharing
@@ -423,6 +426,34 @@ class ConcurrentQueryScheduler:
         self._track_agent_load = track_agent_load
         self._agent_loads: Counter = Counter()
         self._load_watermark = float("-inf")
+        # Durable checkpointing (see repro.core.snapshot): with a store
+        # configured, the scheduler snapshots its full state every
+        # ``checkpoint_interval`` ingested events and/or every
+        # ``checkpoint_watermark_interval`` seconds of event-time
+        # watermark advance, and tracks the resume cursor (last processed
+        # journal position) the recovery path replays from.
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint interval must be at least 1 event")
+        if (checkpoint_store is not None and checkpoint_interval is None
+                and checkpoint_watermark_interval is None):
+            raise ValueError("a checkpoint store needs an interval: pass "
+                             "checkpoint_interval (events) and/or "
+                             "checkpoint_watermark_interval (seconds)")
+        self._checkpoint_store = checkpoint_store
+        self._checkpoint_interval = checkpoint_interval
+        self._checkpoint_watermark_interval = checkpoint_watermark_interval
+        self._events_since_checkpoint = 0
+        self._watermark_at_checkpoint = float("-inf")
+        # The resume cursor: watermark (last processed event timestamp),
+        # the last processed event id, and the ids of every processed
+        # event *at* the watermark (so journal ties at the watermark are
+        # not re-delivered on resume).  Maintained whenever a checkpoint
+        # store is configured.
+        self._cursor_watermark = float("-inf")
+        self._cursor_last_id = 0
+        self._cursor_frontier: Set[int] = set()
+        #: Cursor restored by :meth:`restore_state` (None otherwise).
+        self.restored_cursor = None
 
     # -- registration ------------------------------------------------------------
 
@@ -524,6 +555,9 @@ class ConcurrentQueryScheduler:
         self.stats.peak_buffered_events = max(
             self.stats.peak_buffered_events, self.stats.buffered_events)
         self.stats.alerts += len(alerts)
+        if self._checkpoint_store is not None:
+            self._advance_cursor(event)
+            self._maybe_checkpoint()
         return alerts
 
     def process_events(self, events: Sequence[Event]) -> List[Alert]:
@@ -553,6 +587,10 @@ class ConcurrentQueryScheduler:
             stats.peak_buffered_events = stats.buffered_events
         stats.alerts += len(alerts)
         self._refresh_match_stats()
+        if self._checkpoint_store is not None:
+            for event in events:
+                self._advance_cursor(event)
+            self._maybe_checkpoint()
         return alerts
 
     def _refresh_match_stats(self) -> None:
@@ -578,6 +616,170 @@ class ConcurrentQueryScheduler:
         self.stats.alerts += len(alerts)
         self._refresh_match_stats()
         return alerts
+
+    # -- snapshots / checkpointing / recovery --------------------------------
+
+    def _advance_cursor(self, event: Event) -> None:
+        timestamp = event.timestamp
+        if timestamp > self._cursor_watermark:
+            self._cursor_watermark = timestamp
+            self._cursor_frontier = {event.event_id}
+        elif timestamp == self._cursor_watermark:
+            self._cursor_frontier.add(event.event_id)
+        self._cursor_last_id = event.event_id
+        self._events_since_checkpoint += 1
+
+    def _maybe_checkpoint(self) -> None:
+        interval = self._checkpoint_interval
+        due = (interval is not None
+               and self._events_since_checkpoint >= interval)
+        if not due and self._checkpoint_watermark_interval is not None:
+            due = (self._cursor_watermark - self._watermark_at_checkpoint
+                   >= self._checkpoint_watermark_interval)
+        if due:
+            self.checkpoint_now()
+
+    def checkpoint_now(self):
+        """Write one checkpoint through the configured store; returns it."""
+        if self._checkpoint_store is None:
+            raise RuntimeError("no checkpoint store configured")
+        snapshot = self.export_state()
+        self._checkpoint_store.save(snapshot)
+        self._events_since_checkpoint = 0
+        self._watermark_at_checkpoint = self._cursor_watermark
+        return snapshot
+
+    def emitted_alerts(self) -> List[Alert]:
+        """Every alert emitted over the scheduler's lifetime, per engine.
+
+        After a restore this includes the checkpointed alert ledgers, so
+        a recovered run's collected output is the uninterrupted run's
+        alert set (grouped by engine, in per-engine emission order).
+        """
+        alerts: List[Alert] = []
+        for engine in self._engines:
+            alerts.extend(engine.alerts)
+        return alerts
+
+    def export_state(self) -> Dict[str, Any]:
+        """Snapshot the scheduler in the versioned, JSON-friendly form.
+
+        Covers every engine's state (through
+        :meth:`QueryEngine.export_state`), the statistics, the
+        work-stealing load counters and the resume cursor.  The groups'
+        shared event buffers are deliberately *not* serialized: they are
+        pure retention bookkeeping (nothing re-reads the buffered events
+        — matching happens on arrival), and at tens of seconds of raw
+        stream they would dominate the checkpoint cost.  A restored
+        scheduler starts with empty buffers and rebuilds the
+        ``buffered_events`` figure as the resumed stream refills them.
+        The result round-trips through strict JSON.
+        """
+        from repro.core.snapshot.codecs import SNAPSHOT_VERSION, encode_float
+        return {
+            "version": SNAPSHOT_VERSION,
+            "kind": "scheduler",
+            "queries": [engine.name for engine in self._engines],
+            "engines": {engine.name: engine.export_state()
+                        for engine in self._engines},
+            "stats": asdict(self.stats),
+            "load": {
+                "agent_loads": dict(self._agent_loads),
+                "watermark": encode_float(self._load_watermark),
+            },
+            "cursor": {
+                "watermark": encode_float(self._cursor_watermark),
+                "last_event_id": self._cursor_last_id,
+                "frontier_ids": sorted(self._cursor_frontier),
+                "events_ingested": self.stats.events_ingested,
+            },
+        }
+
+    def restore_state(self, snapshot: Dict[str, Any]) -> None:
+        """Restore :meth:`export_state` output into this scheduler.
+
+        The same queries must have been registered (same names, same
+        order) on a scheduler that has processed nothing yet.  After the
+        restore, :attr:`restored_cursor` holds the journal position to
+        resume from (see :func:`repro.core.snapshot.recovery.resume_events`).
+        """
+        from repro.core.snapshot.codecs import check_version
+        from repro.core.snapshot.recovery import ResumeCursor
+        from repro.events.serialization import decode_float
+        check_version(snapshot, "scheduler")
+        if snapshot.get("kind") != "scheduler":
+            raise ValueError(
+                f"not a single-scheduler snapshot (kind="
+                f"{snapshot.get('kind')!r}); sharded checkpoints restore "
+                "through ShardedScheduler.restore_state with the same "
+                "shard count")
+        names = [engine.name for engine in self._engines]
+        if snapshot["queries"] != names:
+            raise ValueError(
+                f"snapshot was taken with queries {snapshot['queries']!r} "
+                f"but this scheduler registered {names!r}; register the "
+                "same queries in the same order before restoring")
+        for engine in self._engines:
+            engine.restore_state(snapshot["engines"][engine.name])
+        self.stats = SchedulerStats(**snapshot["stats"])
+        # Shared buffers are not checkpointed (see export_state): they
+        # start empty and the retention figure rebuilds from zero as the
+        # resumed stream refills them; the historical peak survives.
+        for group in self._groups.values():
+            group.shared_buffer = deque()
+        self.stats.buffered_events = 0
+        load = snapshot["load"]
+        self._agent_loads = Counter(load["agent_loads"])
+        self._load_watermark = decode_float(load["watermark"])
+        cursor = snapshot["cursor"]
+        self._cursor_watermark = decode_float(cursor["watermark"])
+        self._cursor_last_id = int(cursor["last_event_id"])
+        self._cursor_frontier = set(cursor["frontier_ids"])
+        self._watermark_at_checkpoint = self._cursor_watermark
+        self._events_since_checkpoint = 0
+        self.restored_cursor = ResumeCursor(
+            watermark=self._cursor_watermark,
+            last_event_id=self._cursor_last_id,
+            frontier_ids=frozenset(self._cursor_frontier),
+            events_ingested=int(cursor["events_ingested"]),
+        )
+
+    # -- per-host state transfer (work-stealing support) ---------------------
+
+    def extract_agent_state(self, agentid_key: str) -> Dict[str, Any]:
+        """Remove and return one host's slice of every engine's state.
+
+        ``agentid_key`` is the casefolded agentid.  Used by the sharded
+        runtime's state-transfer steals: the donor shard extracts the
+        victim's partial sequences, window buckets, pane partials, state
+        histories and distinct entries, and the thief merges them via
+        :meth:`import_agent_state` before receiving the victim's held
+        events.
+        """
+        from repro.core.snapshot.codecs import SNAPSHOT_VERSION
+        return {
+            "version": SNAPSHOT_VERSION,
+            "kind": "agent-state",
+            "engines": {engine.name: engine.extract_agent_state(agentid_key)
+                        for engine in self._engines},
+        }
+
+    def import_agent_state(self, payload: Dict[str, Any]) -> None:
+        """Merge a donor scheduler's :meth:`extract_agent_state` slice.
+
+        Engines the donor ran but this scheduler does not (host-pinned
+        queries routed elsewhere) contribute empty slices by construction
+        — the balancer never steals a pin-satisfying agentid — and are
+        skipped.
+        """
+        from repro.core.snapshot.codecs import check_version
+        check_version(payload, "agent-state")
+        by_name = {engine.name: engine for engine in self._engines}
+        for name, data in payload["engines"].items():
+            engine = by_name.get(name)
+            if engine is not None:
+                engine.import_agent_state(data)
+        self._refresh_match_stats()
 
     # -- load reporting / drain signal (work-stealing support) --------------
 

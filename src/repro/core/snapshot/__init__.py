@@ -1,0 +1,63 @@
+"""Durable state snapshots: checkpoint/recovery and state transfer.
+
+Long-running anomaly detection cannot afford to lose every open window,
+partial sequence and invariant on a crash, and the work-stealing runtime
+cannot migrate stateful lanes if "drain and wait" is the only way to move
+per-host state.  This package defines one versioned, pickle-free wire
+format — JSON-friendly dictionaries built on the event codecs in
+:mod:`repro.events.serialization` — that serves both needs:
+
+* **checkpointing** — :meth:`ConcurrentQueryScheduler.export_state`
+  captures every engine's live state (window accumulators and panes,
+  buffered match lists, state histories, partial sequences, invariant
+  training, distinct seen-sets, alert ledgers) plus the scheduler's
+  shared buffers, statistics and resume cursor; the
+  :class:`~repro.storage.checkpoints.CheckpointStore` persists it;
+* **recovery** — :func:`~repro.core.snapshot.recovery.resume_events`
+  replays the journal exactly after the checkpoint cursor and
+  ``restore_state`` rebuilds the schedulers, so a kill-and-restore run
+  emits exactly the alerts of an uninterrupted run (the restored alert
+  ledgers make re-emission exactly-once);
+* **state transfer** — the sharded runtime's work stealer uses the same
+  codecs to extract one agentid's slice of every engine's state on the
+  donor shard and merge it into the thief, which turns sliding windows,
+  state histories, multi-event sequences and ``distinct`` from static
+  steal vetoes into migratable lanes.
+
+The wire format is versioned via :data:`SNAPSHOT_VERSION`; loaders reject
+snapshots from a different version instead of guessing.
+"""
+
+from repro.core.snapshot.codecs import (
+    SNAPSHOT_VERSION,
+    decode_alert,
+    decode_match,
+    decode_value,
+    decode_window_key,
+    encode_alert,
+    encode_match,
+    encode_value,
+    encode_window_key,
+)
+from repro.core.snapshot.recovery import (
+    ResumeCursor,
+    recover_and_resume,
+    recover_scheduler,
+    resume_events,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "ResumeCursor",
+    "decode_alert",
+    "decode_match",
+    "decode_value",
+    "decode_window_key",
+    "encode_alert",
+    "encode_match",
+    "encode_value",
+    "encode_window_key",
+    "recover_and_resume",
+    "recover_scheduler",
+    "resume_events",
+]

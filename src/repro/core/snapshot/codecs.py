@@ -1,0 +1,238 @@
+"""Value codecs for the snapshot wire format.
+
+Everything a checkpoint (or a state-transfer payload) carries is reduced
+to JSON-friendly primitives: dicts with string keys, lists, strings,
+bools, ``None`` and finite numbers.  Container and domain types that JSON
+cannot express directly are tagged with a single-key marker dict:
+
+======================  =======================================
+runtime value           wire form
+======================  =======================================
+non-finite float        ``{"__float__": "nan" | "inf" | "-inf"}``
+tuple                   ``{"__tuple__": [...]}``
+set / frozenset         ``{"__set__": [...]}`` (sorted by repr)
+dict (any keys)         ``{"__dict__": [[key, value], ...]}``
+Entity                  ``{"__entity__": {...}}``
+Event                   ``{"__event__": {...}}``
+SAQLExecutionError      ``{"__error__": "message"}``
+======================  =======================================
+
+The codecs are deliberately pickle-free: snapshots written by one process
+must be loadable by a fresh interpreter (and inspectable by anything that
+reads JSON).  ``json.dumps(..., allow_nan=False)`` round-trips every
+encoded value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine.alerts import Alert
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.windows import WindowKey
+from repro.core.errors import SAQLExecutionError
+from repro.events.entities import Entity
+from repro.events.event import Event
+from repro.events.serialization import (
+    FLOAT_MARKER,
+    decode_entity_dict,
+    decode_float,
+    encode_float,
+    entity_to_dict,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: Version tag stamped on every snapshot; bumped when the wire format
+#: changes incompatibly.  Loaders refuse other versions.
+SNAPSHOT_VERSION = 1
+
+
+def check_version(snapshot: Dict[str, Any], kind: str) -> None:
+    """Reject a snapshot whose format version this code does not speak."""
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"cannot restore {kind} snapshot of format version {version!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}")
+
+
+# ---------------------------------------------------------------------------
+# Generic runtime values (group keys, aggregation results, alert payloads)
+# ---------------------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Encode an arbitrary engine runtime value into the wire form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return encode_float(value)
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        # Sets are unordered; sort by repr so equal sets encode identically
+        # (mixed element types make a plain sort unreliable).
+        return {"__set__": sorted((encode_value(item) for item in value),
+                                  key=repr)}
+    if isinstance(value, dict):
+        return {"__dict__": [[encode_value(key), encode_value(item)]
+                             for key, item in value.items()]}
+    if isinstance(value, Entity):
+        return {"__entity__": entity_to_dict(value)}
+    if isinstance(value, Event):
+        return {"__event__": event_to_dict(value)}
+    if isinstance(value, SAQLExecutionError):
+        return {"__error__": str(value)}
+    raise TypeError(f"cannot snapshot value of type {type(value).__name__}: "
+                    f"{value!r}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if FLOAT_MARKER in value:
+            return decode_float(value)
+        if "__tuple__" in value:
+            return tuple(decode_value(item) for item in value["__tuple__"])
+        if "__set__" in value:
+            return frozenset(decode_value(item)
+                             for item in value["__set__"])
+        if "__dict__" in value:
+            return {decode_value(key): decode_value(item)
+                    for key, item in value["__dict__"]}
+        if "__entity__" in value:
+            return decode_entity_dict(value["__entity__"])
+        if "__event__" in value:
+            return event_from_dict(value["__event__"])
+        if "__error__" in value:
+            return SAQLExecutionError(value["__error__"])
+        raise ValueError(f"unknown snapshot marker in {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Engine domain records
+# ---------------------------------------------------------------------------
+
+def encode_match(match: PatternMatch) -> Dict[str, Any]:
+    """Encode one pattern match (alias, event, entity bindings)."""
+    return {
+        "alias": match.alias,
+        "event": event_to_dict(match.event),
+        "bindings": [[name, entity_to_dict(entity)]
+                     for name, entity in match.bindings.items()],
+    }
+
+
+def decode_match(data: Dict[str, Any]) -> PatternMatch:
+    """Invert :func:`encode_match`."""
+    return PatternMatch(
+        alias=data["alias"],
+        event=event_from_dict(data["event"]),
+        bindings={name: decode_entity_dict(entity)
+                  for name, entity in data["bindings"]},
+    )
+
+
+def encode_optional_match(match: Optional[PatternMatch]) -> Any:
+    """Encode a possibly-absent pattern match."""
+    return None if match is None else encode_match(match)
+
+
+def decode_optional_match(data: Any) -> Optional[PatternMatch]:
+    """Invert :func:`encode_optional_match`."""
+    return None if data is None else decode_match(data)
+
+
+def encode_window_key(key: WindowKey) -> Dict[str, Any]:
+    """Encode one window identity."""
+    return {"index": key.index, "start": encode_float(key.start),
+            "end": encode_float(key.end)}
+
+
+def decode_window_key(data: Dict[str, Any]) -> WindowKey:
+    """Invert :func:`encode_window_key`."""
+    return WindowKey(index=int(data["index"]),
+                     start=decode_float(data["start"]),
+                     end=decode_float(data["end"]))
+
+
+def encode_alert(alert: Alert) -> Dict[str, Any]:
+    """Encode one emitted alert for the exactly-once re-emission ledger."""
+    return {
+        "query_name": alert.query_name,
+        "timestamp": encode_float(alert.timestamp),
+        "data": encode_value(alert.data),
+        "model_kind": alert.model_kind,
+        "group_key": encode_value(alert.group_key),
+        "window_start": (None if alert.window_start is None
+                         else encode_float(alert.window_start)),
+        "window_end": (None if alert.window_end is None
+                       else encode_float(alert.window_end)),
+        "agentid": alert.agentid,
+    }
+
+
+def decode_alert(data: Dict[str, Any]) -> Alert:
+    """Invert :func:`encode_alert`."""
+    return Alert(
+        query_name=data["query_name"],
+        timestamp=decode_float(data["timestamp"]),
+        data=decode_value(data["data"]),
+        model_kind=data["model_kind"],
+        group_key=decode_value(data["group_key"]),
+        window_start=(None if data["window_start"] is None
+                      else decode_float(data["window_start"])),
+        window_end=(None if data["window_end"] is None
+                    else decode_float(data["window_end"])),
+        agentid=data["agentid"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Streaming accumulators (slot objects with plain-value __slots__)
+# ---------------------------------------------------------------------------
+
+def _all_slots(obj: Any) -> List[str]:
+    """Every slot of an object, walking the MRO.
+
+    ``type(obj).__slots__`` alone misses inherited slots: a subclass like
+    ``_DistinctCountAcc`` declares ``__slots__ = ()`` and stores its state
+    in the parent's ``values`` slot, which a single-class walk would
+    silently drop from the snapshot.
+    """
+    slots: List[str] = []
+    for klass in reversed(type(obj).__mro__):
+        declared = getattr(klass, "__slots__", ())
+        if isinstance(declared, str):
+            declared = (declared,)
+        slots.extend(name for name in declared if name not in slots)
+    return slots
+
+
+def encode_slots(obj: Any) -> Dict[str, Any]:
+    """Encode a ``__slots__``-based accumulator's state generically."""
+    return {slot: encode_value(getattr(obj, slot))
+            for slot in _all_slots(obj)}
+
+
+def restore_slots(obj: Any, data: Dict[str, Any]) -> None:
+    """Load :func:`encode_slots` output back into a fresh accumulator.
+
+    The accumulator is created by its plan factory first (so constructor
+    parameters like a percentile rank are already right); this only fills
+    the mutable state.  Decoded containers are coerced back to the
+    mutable type the live accumulator uses (sets decode as frozensets).
+    """
+    for slot in _all_slots(obj):
+        value = decode_value(data[slot])
+        current = getattr(obj, slot, None)
+        if isinstance(current, set) and not isinstance(value, set):
+            value = set(value)
+        elif isinstance(current, list) and not isinstance(value, list):
+            value = list(value)
+        setattr(obj, slot, value)

@@ -23,6 +23,10 @@ from repro.events.entities import (
 )
 from repro.events.event import Event, EventType, Operation
 from repro.events.serialization import (
+    decode_entity_dict,
+    decode_float,
+    encode_float,
+    entity_to_dict,
     event_from_dict,
     event_from_json,
     event_to_dict,
@@ -53,7 +57,11 @@ __all__ = [
     "ProcessEntity",
     "StreamStats",
     "collect",
+    "decode_entity_dict",
+    "decode_float",
+    "encode_float",
     "entity_from_dict",
+    "entity_to_dict",
     "event_from_dict",
     "event_from_json",
     "event_to_dict",

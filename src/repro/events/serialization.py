@@ -1,37 +1,92 @@
 """Serialization of events to and from dictionaries, JSON, and JSON-lines.
 
-The data-collection agents, the event database and the stream replayer all
-exchange events in the dictionary form produced here, so that a stored day
-of monitoring data round-trips exactly.
+The data-collection agents, the event database, the stream replayer and
+the checkpoint/snapshot subsystem all exchange events in the dictionary
+form produced here, so that a stored day of monitoring data round-trips
+exactly.
+
+Non-finite floats (``nan``/``inf``) are not representable in standard
+JSON — Python's ``json`` module emits the non-standard ``NaN`` /
+``Infinity`` tokens, which strict parsers (and any non-Python consumer)
+reject.  The dictionary form therefore encodes them as tagged markers
+(``{"__float__": "nan"}``) via :func:`encode_float` /
+:func:`decode_float`, which the snapshot codecs reuse, and
+:func:`event_to_json` refuses to fall back to the non-standard tokens.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Union
 
 from repro.events.entities import Entity, entity_from_dict
 from repro.events.event import Event, Operation
 
+#: Marker key tagging a non-finite float in the JSON-friendly dict form.
+FLOAT_MARKER = "__float__"
+
+
+def encode_float(value: float) -> Any:
+    """Return a strict-JSON-safe form of a float (markers for nan/inf)."""
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return {FLOAT_MARKER: "nan"}
+    return {FLOAT_MARKER: "inf" if value > 0 else "-inf"}
+
+
+def decode_float(value: Any) -> float:
+    """Invert :func:`encode_float` (plain numbers pass through)."""
+    if isinstance(value, dict) and FLOAT_MARKER in value:
+        return float(value[FLOAT_MARKER])
+    return float(value)
+
+
+def _encode_attr(value: Any) -> Any:
+    """Encode one free-form attribute value (entity attrs, event attrs)."""
+    if isinstance(value, float):
+        return encode_float(value)
+    return value
+
+
+def _decode_attr(value: Any) -> Any:
+    if isinstance(value, dict) and FLOAT_MARKER in value:
+        return decode_float(value)
+    return value
+
 
 def entity_to_dict(entity: Entity) -> Dict[str, Any]:
     """Serialize an entity, including its ``type`` discriminator."""
-    return entity.attributes()
+    return {key: _encode_attr(value)
+            for key, value in entity.attributes().items()}
 
 
 def event_to_dict(event: Event) -> Dict[str, Any]:
     """Serialize an event to a JSON-compatible dictionary."""
     return {
         "event_id": event.event_id,
-        "timestamp": event.timestamp,
+        "timestamp": encode_float(event.timestamp),
         "agentid": event.agentid,
         "operation": event.operation.value,
-        "amount": event.amount,
+        "amount": encode_float(event.amount),
         "subject": entity_to_dict(event.subject),
         "object": entity_to_dict(event.obj),
-        "attrs": dict(event.attrs),
+        "attrs": {key: _encode_attr(value)
+                  for key, value in event.attrs.items()},
     }
+
+
+def decode_entity_dict(data: Dict[str, Any]) -> Entity:
+    """Reconstruct an entity from the wire form of :func:`entity_to_dict`.
+
+    Unlike :func:`~repro.events.entities.entity_from_dict` (which consumes
+    raw ``attributes()`` dictionaries), this decodes the tagged non-finite
+    float markers the wire form uses.
+    """
+    return entity_from_dict({key: _decode_attr(value)
+                             for key, value in data.items()})
 
 
 def event_from_dict(data: Dict[str, Any]) -> Event:
@@ -41,10 +96,10 @@ def event_from_dict(data: Dict[str, Any]) -> Event:
         ValueError: if a required key is missing or malformed.
     """
     try:
-        subject = entity_from_dict(data["subject"])
-        obj = entity_from_dict(data["object"])
+        subject = decode_entity_dict(data["subject"])
+        obj = decode_entity_dict(data["object"])
         operation = Operation.from_keyword(data["operation"])
-        timestamp = float(data["timestamp"])
+        timestamp = decode_float(data["timestamp"])
     except KeyError as exc:
         raise ValueError(f"event dictionary is missing key {exc}") from exc
     return Event(
@@ -53,15 +108,21 @@ def event_from_dict(data: Dict[str, Any]) -> Event:
         obj=obj,
         timestamp=timestamp,
         agentid=str(data.get("agentid", "")),
-        amount=float(data.get("amount", 0.0)),
+        amount=decode_float(data.get("amount", 0.0)),
         event_id=int(data.get("event_id", 0)) or Event.__dataclass_fields__["event_id"].default_factory(),  # type: ignore[misc]
-        attrs=dict(data.get("attrs", {})),
+        attrs={key: _decode_attr(value)
+               for key, value in data.get("attrs", {}).items()},
     )
 
 
 def event_to_json(event: Event) -> str:
-    """Serialize an event to a single JSON string."""
-    return json.dumps(event_to_dict(event), sort_keys=True)
+    """Serialize an event to a single strict-JSON string.
+
+    ``allow_nan=False`` guards the compliance contract: non-finite floats
+    must have been marker-encoded by :func:`event_to_dict`, never emitted
+    as the non-standard ``NaN``/``Infinity`` tokens.
+    """
+    return json.dumps(event_to_dict(event), sort_keys=True, allow_nan=False)
 
 
 def event_from_json(text: str) -> Event:

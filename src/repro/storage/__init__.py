@@ -8,13 +8,18 @@ queries.  This package provides:
 * :class:`EventDatabase` — an embedded, indexed event store with range
   queries by time, host and event type, and JSON-lines persistence;
 * :class:`StreamReplayer` — replays a stored slice as an event stream,
-  optionally throttled to a real-time speed factor.
+  optionally throttled to a real-time speed factor;
+* :class:`CheckpointStore` — crash-safe storage for the scheduler state
+  snapshots the checkpoint/recovery subsystem writes
+  (:mod:`repro.core.snapshot`).
 """
 
+from repro.storage.checkpoints import CheckpointStore
 from repro.storage.database import DatabaseStats, EventDatabase
 from repro.storage.replayer import ReplaySpec, StreamReplayer
 
 __all__ = [
+    "CheckpointStore",
     "DatabaseStats",
     "EventDatabase",
     "ReplaySpec",

@@ -1,0 +1,101 @@
+"""Durable checkpoint storage for scheduler state snapshots.
+
+A :class:`CheckpointStore` persists the JSON snapshots produced by
+``ConcurrentQueryScheduler.export_state`` / ``ShardedScheduler`` so a
+crashed run can restore its engines and resume the journal from the
+checkpoint cursor (see :mod:`repro.core.snapshot`).
+
+Writes are crash-safe: each checkpoint lands in a temporary file that is
+atomically renamed into place, so :meth:`latest` never observes a torn
+snapshot — a crash mid-write leaves only the previous checkpoints.  The
+store keeps a bounded history (``keep`` most recent) and skips unreadable
+files on load, so one corrupted checkpoint degrades recovery to the one
+before it instead of failing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+_CHECKPOINT_PATTERN = re.compile(r"^checkpoint-(\d{8})\.json$")
+
+
+class CheckpointStore:
+    """Stores versioned scheduler snapshots as numbered JSON files."""
+
+    def __init__(self, directory: Union[str, Path], keep: int = 3):
+        if keep < 1:
+            raise ValueError("checkpoint store must keep at least 1 snapshot")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._keep = keep
+
+    def _sequence_numbers(self) -> List[int]:
+        numbers = []
+        for entry in self.directory.iterdir():
+            match = _CHECKPOINT_PATTERN.match(entry.name)
+            if match:
+                numbers.append(int(match.group(1)))
+        return sorted(numbers)
+
+    def _path_for(self, sequence: int) -> Path:
+        return self.directory / f"checkpoint-{sequence:08d}.json"
+
+    def paths(self) -> List[Path]:
+        """Return the stored checkpoint files, oldest first."""
+        return [self._path_for(sequence)
+                for sequence in self._sequence_numbers()]
+
+    def __len__(self) -> int:
+        return len(self._sequence_numbers())
+
+    def save(self, snapshot: Dict[str, Any]) -> Path:
+        """Persist one snapshot; returns its path.
+
+        ``allow_nan=False`` enforces the wire-format contract: every
+        non-finite float must have been marker-encoded by the snapshot
+        codecs, so the stored file is strict JSON.
+        """
+        numbers = self._sequence_numbers()
+        sequence = (numbers[-1] + 1) if numbers else 1
+        path = self._path_for(sequence)
+        temporary = path.with_suffix(".json.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, allow_nan=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+        for stale in numbers[:max(0, len(numbers) + 1 - self._keep)]:
+            try:
+                self._path_for(stale).unlink()
+            except OSError:
+                pass  # pruning is best-effort; a leftover file is harmless
+        return path
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        """Return the newest readable snapshot (None when the store is empty).
+
+        Unreadable or truncated files (a disk that lied about the fsync,
+        manual tampering) are skipped in favour of the next-older
+        checkpoint, trading recovery freshness for recovery success.
+        """
+        for sequence in reversed(self._sequence_numbers()):
+            try:
+                with open(self._path_for(sequence), "r",
+                          encoding="utf-8") as handle:
+                    return json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+        return None
+
+    def clear(self) -> None:
+        """Delete every stored checkpoint."""
+        for path in self.paths():
+            try:
+                path.unlink()
+            except OSError:
+                pass

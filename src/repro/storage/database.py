@@ -30,63 +30,104 @@ class DatabaseStats:
 
 
 class EventDatabase:
-    """Stores monitoring events and answers host/time range queries."""
+    """Stores monitoring events and answers host/time range queries.
+
+    The canonical store order is ``(timestamp, event_id)`` — a total order
+    over any journal, which the checkpoint/recovery subsystem relies on to
+    resume a replay exactly after the last checkpointed event.  Both
+    ingestion paths maintain it incrementally: :meth:`insert` bisects into
+    place, :meth:`insert_many` sorts only the incoming batch and merges it
+    with the (already sorted) store — appending outright when the batch
+    starts at or past the store's tail, the common journal-append case —
+    and the per-host/per-type indexes are updated per event instead of
+    being cleared and rebuilt.
+    """
 
     def __init__(self, events: Iterable[Event] = ()):
         self._events: List[Event] = []
-        self._timestamps: List[float] = []
-        self._by_host: Dict[str, List[int]] = {}
+        #: Sort keys parallel to ``_events`` (bisect cannot take a key
+        #: argument on the stored objects cheaply before 3.10's key=).
+        self._keys: List[tuple] = []
+        self._by_host: Dict[str, int] = {}
         self._by_type: Dict[str, int] = {}
         self.insert_many(events)
+
+    @staticmethod
+    def _key(event: Event) -> tuple:
+        return (event.timestamp, event.event_id)
+
+    def _index_event(self, event: Event) -> None:
+        self._by_host[event.agentid] = self._by_host.get(event.agentid,
+                                                         0) + 1
+        type_key = event.event_type.value
+        self._by_type[type_key] = self._by_type.get(type_key, 0) + 1
 
     # -- ingestion ---------------------------------------------------------------
 
     def insert(self, event: Event) -> None:
-        """Insert one event, keeping the time order and indexes consistent."""
-        position = bisect.bisect_right(self._timestamps, event.timestamp)
-        self._timestamps.insert(position, event.timestamp)
-        self._events.insert(position, event)
-        # Positional host indexes are rebuilt lazily; mark them stale.
-        self._by_host.clear()
-        type_key = event.event_type.value
-        self._by_type[type_key] = self._by_type.get(type_key, 0) + 1
+        """Insert one event, keeping the store order and indexes consistent."""
+        key = self._key(event)
+        if not self._keys or key >= self._keys[-1]:
+            self._keys.append(key)
+            self._events.append(event)
+        else:
+            position = bisect.bisect_right(self._keys, key)
+            self._keys.insert(position, key)
+            self._events.insert(position, event)
+        self._index_event(event)
 
     def insert_many(self, events: Iterable[Event]) -> int:
-        """Insert many events at once (faster than repeated single inserts)."""
-        events = list(events)
-        if not events:
+        """Insert many events at once (faster than repeated single inserts).
+
+        The incoming batch is sorted alone (``O(k log k)``) and merged
+        with the store in one linear pass, instead of re-sorting the whole
+        store per call.
+        """
+        incoming = sorted(events, key=self._key)
+        if not incoming:
             return 0
-        self._events.extend(events)
-        self._events.sort(key=lambda event: (event.timestamp, event.event_id))
-        self._timestamps = [event.timestamp for event in self._events]
-        self._by_host.clear()
-        for event in events:
-            type_key = event.event_type.value
-            self._by_type[type_key] = self._by_type.get(type_key, 0) + 1
-        return len(events)
+        for event in incoming:
+            self._index_event(event)
+        if not self._events or self._key(incoming[0]) >= self._keys[-1]:
+            # Pure append: the batch lies entirely at or past the tail.
+            self._events.extend(incoming)
+            self._keys.extend(self._key(event) for event in incoming)
+            return len(incoming)
+        merged: List[Event] = []
+        keys: List[tuple] = []
+        existing = self._events
+        position = 0
+        total = len(existing)
+        for event in incoming:
+            key = self._key(event)
+            while position < total and self._keys[position] <= key:
+                merged.append(existing[position])
+                keys.append(self._keys[position])
+                position += 1
+            merged.append(event)
+            keys.append(key)
+        merged.extend(existing[position:])
+        keys.extend(self._keys[position:])
+        self._events = merged
+        self._keys = keys
+        return len(incoming)
 
     def __len__(self) -> int:
         return len(self._events)
 
     # -- queries ---------------------------------------------------------------------
 
-    def _host_index(self) -> Dict[str, List[int]]:
-        if not self._by_host and self._events:
-            for position, event in enumerate(self._events):
-                self._by_host.setdefault(event.agentid, []).append(position)
-        return self._by_host
-
     @property
     def hosts(self) -> List[str]:
         """Return the distinct host identifiers present in the store."""
-        return sorted(self._host_index().keys())
+        return sorted(self._by_host.keys())
 
     @property
     def time_range(self) -> Optional[tuple]:
         """Return (first, last) timestamps, or None when empty."""
         if not self._events:
             return None
-        return (self._timestamps[0], self._timestamps[-1])
+        return (self._keys[0][0], self._keys[-1][0])
 
     def query(self, start_time: Optional[float] = None,
               end_time: Optional[float] = None,
@@ -100,10 +141,13 @@ class EventDatabase:
         """
         low = 0
         high = len(self._events)
+        # A one-element tuple compares below every (timestamp, event_id)
+        # key sharing its timestamp, so these bisects behave exactly like
+        # bisect_left over a plain timestamp list.
         if start_time is not None:
-            low = bisect.bisect_left(self._timestamps, start_time)
+            low = bisect.bisect_left(self._keys, (start_time,))
         if end_time is not None:
-            high = bisect.bisect_left(self._timestamps, end_time)
+            high = bisect.bisect_left(self._keys, (end_time,))
         host_filter: Optional[Set[str]] = set(hosts) if hosts else None
         type_filter: Optional[Set[str]] = (set(event_types) if event_types
                                            else None)

@@ -17,9 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Iterator, List, Optional
-
-from repro.events.event import Event
+from typing import List, Optional
 
 from repro.attack import APTScenario
 from repro.collection import Enterprise, EnterpriseConfig
@@ -28,8 +26,11 @@ from repro.core.engine.alerts import Alert, CallbackSink
 from repro.core.language import format_query
 from repro.core.parallel import (DEFAULT_REBALANCE_RATIO,
                                  ShardedScheduler)
+from repro.core.snapshot import resume_events
+from repro.events.stream import iter_batches
 from repro.queries import DEMO_QUERIES, demo_query_names
-from repro.storage import EventDatabase, ReplaySpec, StreamReplayer
+from repro.storage import (CheckpointStore, EventDatabase, ReplaySpec,
+                           StreamReplayer)
 
 #: Default events per ingestion batch for the demo/run commands.
 DEFAULT_CLI_BATCH = 256
@@ -74,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay start timestamp")
     run_cmd.add_argument("--end", type=float, default=None,
                          help="replay end timestamp")
+    run_cmd.add_argument("--resume", action="store_true",
+                         help="restore from the latest checkpoint in "
+                              "--checkpoint-dir and replay the journal "
+                              "from the checkpoint cursor (exactly-once: "
+                              "already-emitted alerts are not re-derived)")
     _add_execution_options(run_cmd)
 
     list_cmd = subparsers.add_parser(
@@ -110,21 +116,43 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
                          help="steal once the hottest shard's epoch load "
                               "exceeds this multiple of the mean shard "
                               "load (>= 1.0)")
+    command.add_argument("--checkpoint-dir", default=None,
+                         help="directory for durable state checkpoints; "
+                              "enables periodic snapshots of all engine "
+                              "state for crash recovery")
+    command.add_argument("--checkpoint-interval", type=int, default=10000,
+                         help="events between checkpoints (with "
+                              "--checkpoint-dir)")
+
+
+def _checkpoint_store(args: argparse.Namespace):
+    """Build the checkpoint store the flags select (None when disabled)."""
+    if not getattr(args, "checkpoint_dir", None):
+        return None
+    if args.checkpoint_interval < 1:
+        raise SystemExit("--checkpoint-interval must be at least 1")
+    return CheckpointStore(args.checkpoint_dir)
 
 
 def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
     """Build the scheduler the execution options select."""
+    store = _checkpoint_store(args)
+    interval = args.checkpoint_interval if store is not None else None
     if args.shards > 1:
-        interval = args.rebalance_interval
+        rebalance = args.rebalance_interval
         return ShardedScheduler(shards=args.shards,
                                 backend=args.shard_backend, sink=sink,
                                 batch_size=args.batch_size,
                                 shard_map=args.shard_map,
-                                rebalance_interval=(interval
-                                                    if interval > 0
+                                rebalance_interval=(rebalance
+                                                    if rebalance > 0
                                                     else None),
-                                rebalance_ratio=args.rebalance_ratio)
-    return ConcurrentQueryScheduler(sink=sink)
+                                rebalance_ratio=args.rebalance_ratio,
+                                checkpoint_store=store,
+                                checkpoint_interval=interval)
+    return ConcurrentQueryScheduler(sink=sink,
+                                    checkpoint_store=store,
+                                    checkpoint_interval=interval)
 
 
 def _print_alert(alert: Alert) -> None:
@@ -212,27 +240,56 @@ def command_run(args: argparse.Namespace) -> int:
             print(f"error in {path}: {error}", file=sys.stderr)
             return 1
 
+    # Crash recovery: restore engine state from the latest checkpoint and
+    # replay the journal exactly after the checkpoint cursor.  Restored
+    # (already-emitted) alerts are not re-printed — re-emission is
+    # exactly-once.
+    cursor = None
+    if args.resume:
+        store = _checkpoint_store(args)
+        if store is None:
+            print("error: --resume requires --checkpoint-dir",
+                  file=sys.stderr)
+            return 1
+        snapshot = store.latest()
+        if snapshot is None:
+            print("no checkpoint found; running from the start")
+        else:
+            try:
+                scheduler.restore_state(snapshot)
+            except ValueError as error:
+                print(f"error: cannot resume: {error}", file=sys.stderr)
+                return 1
+            cursor = scheduler.restored_cursor
+            print(f"restored checkpoint at watermark "
+                  f"t={cursor.watermark:.0f} "
+                  f"({cursor.events_ingested} events already processed)")
+
     # Replay in batches so the replayer, the batch ingestion path and the
     # sharded runtime all share one chunked code path.
+    source = (iter(replayer) if cursor is None
+              else resume_events(replayer, cursor))
     alerts: List[Alert] = []
     if args.shards > 1:
-        alerts = scheduler.execute(
-            _flatten_batches(replayer.iter_batches(args.batch_size)),
-            batch_size=args.batch_size)
+        # The sharded scheduler returns (and emits) the *complete* run:
+        # its merged output seeds the restored alert ledgers, so on a
+        # resumed run the checkpointed alerts are printed again as part
+        # of the deterministic merged stream.
+        alerts = scheduler.execute(source, batch_size=args.batch_size)
+        summary = (f"{len(alerts)} alerts (complete run, including "
+                   "checkpointed alerts)" if cursor is not None
+                   else f"{len(alerts)} alerts")
     else:
-        for batch in replayer.iter_batches(args.batch_size):
+        for batch in iter_batches(source, args.batch_size):
             alerts.extend(scheduler.process_events(batch))
         alerts.extend(scheduler.finish())
-    print(f"done: {replayer.events_replayed} events replayed, "
-          f"{len(alerts)} alerts")
+        summary = (f"{len(alerts)} alerts (this run; checkpointed alerts "
+                   "were not re-emitted)" if cursor is not None
+                   else f"{len(alerts)} alerts")
+    print(f"done: {replayer.events_replayed} events replayed, {summary}")
     _print_rebalance_summary(scheduler)
     _print_error_records(scheduler)
     return 0
-
-
-def _flatten_batches(batches) -> "Iterator[Event]":
-    for batch in batches:
-        yield from batch
 
 
 def _print_error_records(scheduler) -> None:

@@ -78,3 +78,77 @@ class TestJsonl:
         with open(path, "a", encoding="utf-8") as handle:
             handle.write("\n\n")
         assert len(list(read_events_jsonl(path))) == 1
+
+
+class TestEdgeCaseRoundTrips:
+    """Payload edge cases the snapshot subsystem relies on being lossless."""
+
+    def _round_trip(self, event):
+        import json
+        # Through *strict* JSON: the snapshot store rejects the
+        # non-standard NaN/Infinity tokens, so the dict form must be
+        # fully JSON-compliant.
+        return event_from_dict(
+            json.loads(json.dumps(event_to_dict(event), allow_nan=False)))
+
+    def test_non_finite_amounts_round_trip(self):
+        import math
+        proc = ProcessEntity.make("x.exe", 1, host="h")
+        conn = NetworkEntity.make("1.2.3.4", "5.6.7.8")
+        for value in (float("inf"), float("nan")):
+            event = Event(subject=proc, operation=Operation.SEND, obj=conn,
+                          timestamp=1.0, agentid="h", amount=value)
+            rebuilt = self._round_trip(event)
+            if math.isnan(value):
+                assert math.isnan(rebuilt.amount)
+            else:
+                assert rebuilt.amount == value
+
+    def test_non_finite_attr_values_round_trip(self):
+        import math
+        proc = ProcessEntity.make("x.exe", 1, host="h")
+        event = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/tmp/f", host="h"),
+                      timestamp=1.0,
+                      attrs={"ratio": float("-inf"), "score": float("nan"),
+                             "plain": 1.5})
+        rebuilt = self._round_trip(event)
+        assert rebuilt.attrs["ratio"] == float("-inf")
+        assert math.isnan(rebuilt.attrs["score"])
+        assert rebuilt.attrs["plain"] == 1.5
+
+    def test_unicode_attribute_names_and_values_round_trip(self):
+        proc = ProcessEntity.make("café.exe", 7, host="hôst-ü")
+        event = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/tmp/☃", host="hôst-ü"),
+                      timestamp=2.0, agentid="hôst-ü",
+                      attrs={"région": "łódź", "数": 7})
+        rebuilt = self._round_trip(event)
+        assert rebuilt.subject == proc
+        assert rebuilt.agentid == "hôst-ü"
+        assert rebuilt.attrs == {"région": "łódź", "数": 7}
+
+    def test_empty_entities_round_trip(self):
+        event = Event(subject=ProcessEntity(entity_id=""),
+                      operation=Operation.WRITE,
+                      obj=FileEntity(entity_id=""),
+                      timestamp=0.0)
+        rebuilt = self._round_trip(event)
+        assert rebuilt.subject == event.subject
+        assert rebuilt.obj == event.obj
+
+    def test_event_id_round_trips(self):
+        proc = ProcessEntity.make("x.exe", 1, host="h")
+        event = Event(subject=proc, operation=Operation.WRITE,
+                      obj=FileEntity.make("/f", host="h"), timestamp=1.0)
+        assert self._round_trip(event).event_id == event.event_id
+
+    def test_event_to_json_is_strict_json(self):
+        import json
+        proc = ProcessEntity.make("x.exe", 1, host="h")
+        event = Event(subject=proc, operation=Operation.SEND,
+                      obj=NetworkEntity.make("1.2.3.4", "5.6.7.8"),
+                      timestamp=1.0, amount=float("inf"))
+        text = event_to_json(event)
+        assert "Infinity" not in text  # marker-encoded, not the NaN token
+        assert event_from_json(text).amount == float("inf")

@@ -45,6 +45,19 @@ return p, i.dstip
 '''),
 ]
 
+#: Shardable (host-local groups) but hard steal-vetoed: invariant models
+#: train per group across windows, which no migration can reproduce.
+INVARIANT_VETO = '''
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount) } group by evt.agentid
+invariant[2][offline] {
+  a := 0
+  a = ss.t
+}
+alert ss.t > a
+return ss.t
+'''
+
 HOSTS = [f"host-{n:02d}" for n in range(8)]
 
 
@@ -219,6 +232,148 @@ def test_migration_records_are_coherent():
 
 
 # ---------------------------------------------------------------------------
+# State-transfer steals: lanes the static analysis used to veto outright
+# (sliding windows, state histories, sequences, distinct) now migrate by
+# exporting the victim's state slice through the snapshot codecs.
+# ---------------------------------------------------------------------------
+
+TRANSFER_QUERIES = [
+    ("sliding-volume", '''
+proc p send ip i as evt #time(20, 5)
+state ss { total := sum(evt.amount) } group by evt.agentid
+alert ss.total > 1000
+return ss.total'''),
+    ("history-trend", '''
+proc p send ip i as evt #time(10)
+state[3] ss { t := sum(evt.amount) } group by evt.agentid
+alert ss[0].t > ss[1].t
+return ss[0].t'''),
+    ("seq-start-send", '''
+proc p1["%x.exe"] start proc p2 as evt1
+proc p2 send ip i as evt2
+with evt1 -> evt2
+return p1, p2'''),
+    ("distinct-max", '''
+proc p send ip i as evt #time(10)
+state ss { m := max(evt.amount) } group by evt.agentid
+alert ss.m > 400
+return distinct ss.m'''),
+]
+
+
+def transfer_skew_events(seed: int, count: int = 3000):
+    """The shifting-skew shape plus start events to feed the sequences."""
+    rng = random.Random(seed)
+    events = []
+    for position in range(count):
+        if position < count // 3:
+            host = HOSTS[position % len(HOSTS)]
+        elif rng.random() < 0.7:
+            host = "host-00"
+        else:
+            host = rng.choice(HOSTS)
+        timestamp = position * 0.01
+        if rng.random() < 0.08:
+            events.append(Event(
+                subject=ProcessEntity.make("x.exe", pid=1, host=host),
+                operation=Operation.START,
+                obj=ProcessEntity.make("y.exe", pid=2, host=host),
+                timestamp=timestamp, agentid=host))
+        else:
+            exe = "x.exe" if rng.random() < 0.5 else "y.exe"
+            events.append(Event(
+                subject=ProcessEntity.make(exe, pid=2, host=host),
+                operation=Operation.SEND,
+                obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                                       dstport=443),
+                timestamp=timestamp, agentid=host,
+                amount=float(rng.randrange(100, 600))))
+    return events
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_forced_transfer_steals_match_single_process_oracle(seed):
+    """Serial backend, transfer lanes: byte-identical alerts under steals."""
+    events = transfer_skew_events(seed)
+    plain, plain_alerts = _run_plain(TRANSFER_QUERIES, events)
+    sharded, alerts = _run_stealing(TRANSFER_QUERIES, events,
+                                    batch_size=32, interval=150)
+    assert sharded.last_steal_eligibility is not None
+    assert sharded.last_steal_eligibility.mode == "transfer"
+    assert sharded.migrations, "transfer workload produced no steals"
+    assert all(record.transferred for record in sharded.migrations)
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    assert sharded.stats.events_ingested == plain.stats.events_ingested
+    assert sharded.stats.alerts == plain.stats.alerts
+
+
+def test_transfer_steals_thread_backend_parity():
+    """Thread backend: exports/imports complete asynchronously."""
+    events = transfer_skew_events(7)
+    _, plain_alerts = _run_plain(TRANSFER_QUERIES, events)
+    reference = _fingerprints(plain_alerts)
+    migrated = False
+    for attempt in range(4):
+        sharded, alerts = _run_stealing(TRANSFER_QUERIES, events,
+                                        backend="thread", batch_size=32,
+                                        interval=150)
+        assert _fingerprints(alerts) == reference
+        if sharded.migrations:
+            migrated = True
+            break
+    assert migrated, "thread backend never completed a transfer steal"
+
+
+def test_transfer_steals_process_backend_parity():
+    """Process backend: the state slice crosses a process boundary."""
+    events = transfer_skew_events(11, count=2500)
+    _, plain_alerts = _run_plain(TRANSFER_QUERIES, events)
+    sharded, alerts = _run_stealing(TRANSFER_QUERIES, events,
+                                    backend="process", batch_size=32,
+                                    interval=150)
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    assert sharded.stats.events_ingested == len(events)
+
+
+def test_transfer_steals_across_shard_counts():
+    events = transfer_skew_events(3)
+    _, plain_alerts = _run_plain(TRANSFER_QUERIES, events)
+    reference = _fingerprints(plain_alerts)
+    for shards in (2, 3):
+        sharded, alerts = _run_stealing(TRANSFER_QUERIES, events,
+                                        shards=shards, batch_size=32,
+                                        interval=150)
+        assert _fingerprints(alerts) == reference
+
+
+def test_transfer_steals_with_pinned_query_in_the_mix():
+    """Pinned engines live only on the pin's shard; the thief skips their
+    (empty by construction) slices on import, and the pinned host is
+    never chosen as a victim."""
+    queries = TRANSFER_QUERIES + [
+        ("pinned", rule_c5_data_exfiltration(agent="host-00"))]
+    events = transfer_skew_events(5, count=2500)
+    _, plain_alerts = _run_plain(queries, events)
+    sharded, alerts = _run_stealing(queries, events, shards=3,
+                                    batch_size=32, interval=150)
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+    assert all(record.agentid != "host-00"
+               for record in sharded.migrations)
+
+
+def test_transfer_records_are_coherent():
+    events = transfer_skew_events(1)
+    sharded, _ = _run_stealing(TRANSFER_QUERIES, events, batch_size=32,
+                               interval=150)
+    assert sharded.migrations
+    for record in sharded.migrations:
+        assert record.transferred
+        assert record.source != record.target
+        assert record.events_held >= 0
+
+
+# ---------------------------------------------------------------------------
 # Static eligibility analysis
 # ---------------------------------------------------------------------------
 
@@ -227,60 +382,76 @@ def _steal(query_text: str):
 
 
 def test_steal_safety_per_query_shapes():
-    safe, _, alignment = _steal(STEALABLE_QUERIES[0][1])
-    assert safe and alignment == 10
+    mode, _, alignment = _steal(STEALABLE_QUERIES[0][1])
+    assert mode == "aligned" and alignment == 10
 
-    safe, _, alignment = _steal(STEALABLE_QUERIES[1][1])
-    assert safe and alignment is None      # stateless: any cut works
+    mode, _, alignment = _steal(STEALABLE_QUERIES[1][1])
+    assert mode == "aligned" and alignment is None  # stateless: any cut
 
     # Gapped window (hop > length): hop multiples are still uncrossed.
-    safe, _, alignment = _steal('''
+    mode, _, alignment = _steal('''
 proc p send ip i as evt #time(10, 15)
 state ss { t := sum(evt.amount) } group by evt.agentid
 alert ss.t > 0
 return ss.t''')
-    assert safe and alignment == 15
+    assert mode == "aligned" and alignment == 15
 
-    safe, reason, _ = _steal('''
+    # Cut-spanning state migrates through the snapshot transfer.
+    mode, reason, _ = _steal('''
 proc p send ip i as evt #time(20, 5)
 state ss { t := sum(evt.amount) } group by evt.agentid
 alert ss.t > 0
 return ss.t''')
-    assert not safe and "sliding" in reason
+    assert mode == "transfer" and "sliding" in reason
 
-    safe, reason, _ = _steal('''
-proc p send ip i as evt #count(100)
-state ss { t := sum(evt.amount) } group by evt.agentid
-alert ss.t > 0
-return ss.t''')
-    assert not safe and "count" in reason
-
-    safe, reason, _ = _steal('''
+    mode, reason, _ = _steal('''
 proc p send ip i as evt #time(10)
 state[3] ss { t := sum(evt.amount) } group by evt.agentid
 alert ss[0].t > ss[1].t
 return ss[0].t''')
-    assert not safe and "history" in reason
+    assert mode == "transfer" and "history" in reason
 
-    safe, reason, _ = _steal('''
+    mode, reason, _ = _steal('''
 proc p1["%cmd.exe"] start proc p2 as evt1
 proc p2 send ip i as evt2
 with evt1 -> evt2
 return p1, p2''')
-    assert not safe and "partial sequences" in reason
+    assert mode == "transfer" and "partial sequences" in reason
 
-    safe, reason, _ = _steal('''
+    mode, reason, _ = _steal('''
 proc p send ip i as evt
 return distinct p''')
-    assert not safe and "seen-set" in reason
+    assert mode == "transfer" and "seen-set" in reason
 
-    # Fractional hop: cut boundaries would not be float-exact.
-    safe, reason, _ = _steal('''
+    # Fractional hop: no float-exact aligned cut, but transfer carries
+    # whatever spans the cut.
+    mode, reason, _ = _steal('''
 proc p send ip i as evt #time(0.5)
 state ss { t := sum(evt.amount) } group by evt.agentid
 alert ss.t > 0
 return ss.t''')
-    assert not safe and "fractional" in reason
+    assert mode == "transfer" and "fractional" in reason
+
+    # Hard vetoes: state the thief cannot reproduce at all.
+    mode, reason, _ = _steal('''
+proc p send ip i as evt #count(100)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t''')
+    assert mode is None and "count" in reason
+
+    mode, reason, _ = _steal('''
+proc p1 start proc p2 as evt #time(10)
+state ss {
+  set_proc := set(p2.exe_name)
+} group by p1
+invariant[2][offline] {
+  a := empty_set
+  a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1''')
+    assert mode is None and "invariant" in reason
 
 
 def test_pinned_queries_do_not_veto_stealing():
@@ -296,15 +467,27 @@ def test_lane_eligibility_vetoes_on_one_unsafe_query():
     }
     verdict = steal_eligibility(reports)
     assert verdict.eligible and verdict.alignment == 10
+    assert verdict.mode == "aligned"
 
+    # One transfer-mode query flips the whole lane to state transfer
+    # (its state spans every cut, so alignment no longer helps).
     reports["sliding"] = analyze_shardability(parse_query('''
 proc p send ip i as evt #time(20, 5)
 state ss { t := sum(evt.amount) } group by evt.agentid
 alert ss.t > 0
 return ss.t'''))
     verdict = steal_eligibility(reports)
+    assert verdict.eligible
+    assert verdict.mode == "transfer"
+    assert verdict.alignment is None
+
+    # A hard veto (invariant training) still disables the lane entirely.
+    reports["invariant"] = analyze_shardability(parse_query(INVARIANT_VETO))
+    assert reports["invariant"].shardable
+    assert not reports["invariant"].steal_safe
+    verdict = steal_eligibility(reports)
     assert not verdict.eligible
-    assert "sliding" in verdict.reason
+    assert "invariant" in verdict.reason
 
 
 def test_lane_eligibility_requires_unpinned_queries():
@@ -526,12 +709,31 @@ def test_rebalancing_off_by_default():
     assert scheduler.last_steal_eligibility is None
 
 
-def test_veto_is_published_and_run_still_correct():
-    queries = STEALABLE_QUERIES + [("sliding", '''
-proc p send ip i as evt #time(20, 5)
+def test_count_windows_fall_back_to_the_single_lane():
+    """Count windows close on the engine-global match ordinal: per-shard
+    counters would draw different window boundaries than the oracle, so
+    such queries must observe the full stream."""
+    report = analyze_shardability(parse_query('''
+proc p send ip i as evt #count(100)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t'''))
+    assert not report.shardable
+    assert "ordinal" in report.reason
+    queries = STEALABLE_QUERIES + [("counted", '''
+proc p send ip i as evt #count(10)
 state ss { t := sum(evt.amount) } group by evt.agentid
 alert ss.t > 0
 return ss.t''')]
+    events = shifting_skew_events(13, count=1500)
+    _, plain_alerts = _run_plain(queries, events)
+    sharded, alerts = _run_stealing(queries, events)
+    assert sharded.single_lane_query_names == ["counted"]
+    assert _fingerprints(alerts) == _fingerprints(plain_alerts)
+
+
+def test_veto_is_published_and_run_still_correct():
+    queries = STEALABLE_QUERIES + [("invariant", INVARIANT_VETO)]
     events = shifting_skew_events(9, count=1500)
     _, plain_alerts = _run_plain(queries, events)
     sharded, alerts = _run_stealing(queries, events)

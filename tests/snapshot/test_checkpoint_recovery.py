@@ -1,0 +1,410 @@
+"""Crash-injection suite: kill a scheduler mid-stream, restore, compare.
+
+The contract under test is kill-and-restore equivalence: a run that is
+killed at an arbitrary batch boundary (or mid-batch, for the sharded
+process backend: a SIGKILLed worker) and then recovered from its latest
+checkpoint must emit exactly the alerts of an uninterrupted run — no
+loss, no duplicates — across every stateful shape the engine supports:
+tumbling, sliding, gapped and count windows, state histories, multi-event
+sequences, ``distinct`` and invariant training.  Crash points are
+randomized hypothesis-style, mirroring the property suites in
+``tests/engine/test_incremental_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler
+from repro.core.snapshot import recover_and_resume, resume_events
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+from repro.storage import CheckpointStore
+
+HOSTS = [f"host-{n}" for n in range(5)]
+
+#: One query per stateful shape the snapshot format must cover.
+QUERIES = [
+    ("tumbling", '''
+proc p send ip i as evt #time(10)
+state ss {
+  t := sum(evt.amount),
+  n := count(evt.amount),
+  d := distinct_count(evt.amount)
+} group by evt.agentid
+alert ss.t > 500
+return ss.t, ss.n, ss.d'''),
+    ("sliding", '''
+proc p send ip i as evt #time(20, 5)
+state ss { t := sum(evt.amount), a := avg(evt.amount) } group by evt.agentid
+alert ss.t > 500
+return ss.t, ss.a'''),
+    ("gapped", '''
+proc p send ip i as evt #time(10, 15)
+state ss { m := max(evt.amount) } group by evt.agentid
+alert ss.m > 100
+return ss.m'''),
+    ("counted", '''
+proc p send ip i as evt #count(7)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 0
+return ss.t'''),
+    ("history", '''
+proc p send ip i as evt #time(10)
+state[3] ss { t := sum(evt.amount) } group by evt.agentid
+alert ss[0].t > ss[1].t
+return ss[0].t'''),
+    ("sequence", '''
+proc p1["%x.exe"] start proc p2 as evt1
+proc p2 send ip i as evt2
+with evt1 -> evt2
+return p1, p2'''),
+    ("distinct", '''
+proc p send ip i as evt #time(10)
+state ss { m := max(evt.amount) } group by evt.agentid
+alert ss.m > 300
+return distinct ss.m'''),
+    ("invariant", '''
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount) } group by evt.agentid
+invariant[2][offline] {
+  a := 0
+  a = ss.t
+}
+alert ss.t > a
+return ss.t'''),
+]
+
+
+def make_events(seed: int, count: int = 1500):
+    rng = random.Random(seed)
+    events = []
+    for position in range(count):
+        host = HOSTS[rng.randrange(len(HOSTS))]
+        # Three-way timestamp ties: the resume cursor's frontier-id set
+        # (which journal events *at* the watermark were processed) is
+        # only exercised when checkpoints can land mid-tie.
+        timestamp = (position // 3) * 0.06
+        if rng.random() < 0.08:
+            events.append(Event(
+                subject=ProcessEntity.make("x.exe", pid=1, host=host),
+                operation=Operation.START,
+                obj=ProcessEntity.make("y.exe", pid=2, host=host),
+                timestamp=timestamp, agentid=host))
+        else:
+            exe = "x.exe" if rng.random() < 0.5 else "y.exe"
+            events.append(Event(
+                subject=ProcessEntity.make(exe, pid=2, host=host),
+                operation=Operation.SEND,
+                obj=NetworkEntity.make("10.0.0.1", "10.0.0.2", dstport=443),
+                timestamp=timestamp, agentid=host,
+                amount=float(rng.randrange(10, 500))))
+    return events
+
+
+def fingerprints(alerts):
+    return sorted(
+        (alert.query_name, alert.timestamp, alert.data,
+         repr(alert.group_key), alert.window_start, alert.window_end,
+         alert.agentid) for alert in alerts)
+
+
+def build_scheduler(**kwargs) -> ConcurrentQueryScheduler:
+    scheduler = ConcurrentQueryScheduler(**kwargs)
+    for name, text in QUERIES:
+        scheduler.add_query(text, name=name)
+    return scheduler
+
+
+def oracle_alerts(events):
+    return fingerprints(build_scheduler().execute(
+        ListStream(events, presorted=True)))
+
+
+# ---------------------------------------------------------------------------
+# Single-scheduler kill-and-restore equivalence
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       crash_fraction=st.floats(min_value=0.05, max_value=0.98))
+def test_kill_and_restore_matches_uninterrupted_run(tmp_path_factory, seed,
+                                                    crash_fraction):
+    events = make_events(seed)
+    oracle = oracle_alerts(events)
+    store = CheckpointStore(tmp_path_factory.mktemp("ckpt"))
+    crashed = build_scheduler(checkpoint_store=store, checkpoint_interval=64)
+    crash_at = max(1, int(len(events) * crash_fraction))
+    position = 0
+    while position < crash_at:
+        crashed.process_events(events[position:min(position + 48, crash_at)])
+        position = min(position + 48, crash_at)
+    # The "crash": the scheduler object is dropped on the floor; only the
+    # checkpoint files survive into the recovered scheduler below.
+    recovered = build_scheduler()
+    alerts = recover_and_resume(recovered, store,
+                                ListStream(events, presorted=True),
+                                batch_size=32)
+    assert fingerprints(alerts) == oracle
+
+
+def test_recovery_with_empty_store_runs_from_scratch(tmp_path):
+    events = make_events(3, count=400)
+    oracle = oracle_alerts(events)
+    store = CheckpointStore(tmp_path)
+    scheduler = build_scheduler()
+    alerts = recover_and_resume(scheduler, store,
+                                ListStream(events, presorted=True))
+    assert fingerprints(alerts) == oracle
+
+
+def test_restored_stats_continue_from_checkpoint(tmp_path):
+    events = make_events(5, count=600)
+    oracle = build_scheduler()
+    oracle.execute(ListStream(events, presorted=True))
+    store = CheckpointStore(tmp_path)
+    crashed = build_scheduler(checkpoint_store=store, checkpoint_interval=50)
+    crashed.process_events(events[:300])
+    recovered = build_scheduler()
+    recovered.restore_state(store.latest())
+    cursor = recovered.restored_cursor
+    assert cursor is not None and cursor.events_ingested > 0
+    recovered.execute(resume_events(events, cursor))
+    assert recovered.stats.events_ingested == oracle.stats.events_ingested
+    assert recovered.stats.alerts == oracle.stats.alerts
+    assert (recovered.stats.pattern_evaluations
+            == oracle.stats.pattern_evaluations)
+
+
+def test_restore_rejects_mismatched_queries(tmp_path):
+    events = make_events(1, count=200)
+    store = CheckpointStore(tmp_path)
+    crashed = build_scheduler(checkpoint_store=store, checkpoint_interval=50)
+    crashed.process_events(events)
+    other = ConcurrentQueryScheduler()
+    other.add_query(QUERIES[0][1], name="tumbling")
+    with pytest.raises(ValueError):
+        other.restore_state(store.latest())
+
+
+def test_watermark_interval_triggers_checkpoints(tmp_path):
+    events = make_events(2, count=500)
+    store = CheckpointStore(tmp_path)
+    scheduler = build_scheduler(checkpoint_store=store,
+                                checkpoint_watermark_interval=2.0)
+    for start in range(0, len(events), 25):
+        scheduler.process_events(events[start:start + 25])
+    # 500 events at 0.02s spacing span 10s of event time: watermark-driven
+    # checkpoints land every ~2s (the store keeps the last 3).
+    assert len(store) >= 2
+
+
+def test_checkpoint_configuration_validation(tmp_path):
+    with pytest.raises(ValueError):
+        ConcurrentQueryScheduler(checkpoint_store=CheckpointStore(tmp_path))
+    with pytest.raises(ValueError):
+        ConcurrentQueryScheduler(
+            checkpoint_store=CheckpointStore(tmp_path),
+            checkpoint_interval=0)
+
+
+# ---------------------------------------------------------------------------
+# The checkpoint store
+# ---------------------------------------------------------------------------
+
+class TestCheckpointStore:
+    def test_save_and_latest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.latest() is None
+        store.save({"version": 1, "n": 1})
+        store.save({"version": 1, "n": 2})
+        assert store.latest()["n"] == 2
+
+    def test_bounded_history(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for n in range(5):
+            store.save({"n": n})
+        assert len(store) == 2
+        assert store.latest()["n"] == 4
+
+    def test_corrupt_latest_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        path = store.save({"n": 2})
+        path.write_text("{ truncated", encoding="utf-8")
+        assert store.latest()["n"] == 1
+
+    def test_rejects_non_finite_floats(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save({"bad": float("nan")})
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"n": 1})
+        store.clear()
+        assert store.latest() is None
+
+
+# ---------------------------------------------------------------------------
+# Sharded kill-and-restore equivalence
+# ---------------------------------------------------------------------------
+
+def build_sharded(store, backend="serial", **kwargs) -> ShardedScheduler:
+    scheduler = ShardedScheduler(shards=2, backend=backend, batch_size=32,
+                                 checkpoint_store=store,
+                                 checkpoint_interval=128, **kwargs)
+    for name, text in QUERIES:
+        scheduler.add_query(text, name=name)
+    return scheduler
+
+
+class _PoisonedStream:
+    """A stream that raises mid-iteration — the crash injector."""
+
+    def __init__(self, events, crash_at):
+        self._events = events
+        self._crash_at = crash_at
+
+    def __iter__(self):
+        for position, event in enumerate(self._events):
+            if position >= self._crash_at:
+                raise RuntimeError("injected crash")
+            yield event
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6),
+       crash_fraction=st.floats(min_value=0.2, max_value=0.95))
+def test_sharded_kill_and_restore_matches_oracle(tmp_path_factory, seed,
+                                                 crash_fraction):
+    events = make_events(seed)
+    oracle = oracle_alerts(events)
+    store = CheckpointStore(tmp_path_factory.mktemp("ckpt"))
+    crashed = build_sharded(store)
+    crash_at = max(64, int(len(events) * crash_fraction))
+    with pytest.raises(RuntimeError, match="injected crash"):
+        crashed.execute(_PoisonedStream(events, crash_at))
+    recovered = build_sharded(store=None)
+    snapshot = store.latest()
+    if snapshot is not None:
+        recovered.restore_state(snapshot)
+        stream = resume_events(events, recovered.restored_cursor)
+    else:
+        stream = iter(events)  # crashed before the first checkpoint
+    alerts = recovered.execute(stream)
+    assert fingerprints(alerts) == oracle
+
+
+def test_double_crash_with_timestamp_ties_matches_oracle(tmp_path):
+    """Crash, resume *with checkpointing still on*, crash again, resume.
+
+    The second run's checkpoints must carry the union of frontier ids at
+    a tied watermark — a checkpointer that restarted its cursor from
+    scratch would re-deliver the first run's tie events on the second
+    recovery, double-counting their window contributions.
+    """
+    events = make_events(29)
+    oracle = oracle_alerts(events)
+    store = CheckpointStore(tmp_path)
+    first = build_sharded(store)
+    with pytest.raises(RuntimeError, match="injected crash"):
+        first.execute(_PoisonedStream(events, 700))
+    assert store.latest() is not None
+
+    ingested_at_first_crash = store.latest()["cursor"]["events_ingested"]
+    second = build_sharded(store)  # checkpointing stays enabled
+    second.restore_state(store.latest())
+    remainder = list(resume_events(events, second.restored_cursor))
+    with pytest.raises(RuntimeError, match="injected crash"):
+        second.execute(_PoisonedStream(remainder, 400))
+    # The second run checkpointed past the first run's cursor.
+    assert (store.latest()["cursor"]["events_ingested"]
+            > ingested_at_first_crash)
+
+    third = build_sharded(store=None)
+    third.restore_state(store.latest())
+    alerts = third.execute(resume_events(events, third.restored_cursor))
+    assert fingerprints(alerts) == oracle
+    assert third.stats.events_ingested == len(events)
+
+
+def test_sharded_recovery_keeps_exact_event_accounting(tmp_path):
+    events = make_events(11)
+    store = CheckpointStore(tmp_path)
+    crashed = build_sharded(store)
+    with pytest.raises(RuntimeError):
+        crashed.execute(_PoisonedStream(events, 700))
+    assert store.latest() is not None
+    recovered = build_sharded(store=None)
+    recovered.restore_state(store.latest())
+    recovered.execute(resume_events(events, recovered.restored_cursor))
+    assert recovered.stats.events_ingested == len(events)
+
+
+def test_process_backend_worker_sigkill_then_restore(tmp_path):
+    """SIGKILL an actual worker process mid-stream, then recover.
+
+    The parent surfaces the dead shard as a RuntimeError; the checkpoints
+    written before the kill drive an exact recovery (restored on the
+    serial backend — shard snapshots are backend-agnostic).
+    """
+    import multiprocessing
+
+    events = make_events(17, count=2500)
+    oracle = oracle_alerts(events)
+    store = CheckpointStore(tmp_path)
+    crashed = build_sharded(store, backend="process")
+
+    def slow_stream():
+        for position, event in enumerate(events):
+            if position and position % 200 == 0:
+                time.sleep(0.05)  # give the killer thread a window
+            yield event
+
+    state = {"error": None, "killed": False}
+
+    def run():
+        try:
+            crashed.execute(slow_stream())
+        except BaseException as error:  # noqa: BLE001 - recorded for assert
+            state["error"] = error
+
+    runner = threading.Thread(target=run)
+    runner.start()
+    deadline = time.time() + 30.0
+    victim = None
+    while time.time() < deadline and victim is None:
+        children = multiprocessing.active_children()
+        if children and len(store) > 0:
+            victim = children[0]
+        else:
+            time.sleep(0.02)
+    if victim is not None:
+        os.kill(victim.pid, signal.SIGKILL)
+        state["killed"] = True
+    # Generous: the parent may sit out a checkpoint collection deadline
+    # (30s) against the dead worker before surfacing the failure.
+    runner.join(timeout=120.0)
+    assert not runner.is_alive(), "sharded run hung after the worker kill"
+    if not state["killed"]:
+        pytest.skip("stream finished before a worker could be killed")
+    assert state["error"] is not None
+
+    recovered = build_sharded(store=None)  # restore onto the serial backend
+    snapshot = store.latest()
+    assert snapshot is not None
+    recovered.restore_state(snapshot)
+    alerts = recovered.execute(resume_events(events,
+                                             recovered.restored_cursor))
+    assert fingerprints(alerts) == oracle

@@ -1,0 +1,130 @@
+"""Unit tests for the snapshot wire-format codecs.
+
+Every value the engines put into a snapshot must survive
+``encode -> strict JSON -> decode`` unchanged; the checkpoint store
+enforces strict JSON (``allow_nan=False``), so these tests round-trip
+through ``json.dumps``/``loads`` rather than comparing dicts directly.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.engine.alerts import Alert
+from repro.core.engine.matching import PatternMatch
+from repro.core.engine.windows import WindowKey
+from repro.core.errors import SAQLExecutionError
+from repro.core.snapshot import (
+    decode_alert,
+    decode_match,
+    decode_value,
+    decode_window_key,
+    encode_alert,
+    encode_match,
+    encode_value,
+    encode_window_key,
+)
+from repro.core.snapshot.codecs import check_version
+from repro.events.entities import FileEntity, NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+
+
+def _json_round_trip(encoded):
+    return json.loads(json.dumps(encoded, allow_nan=False))
+
+
+def _round_trip(value):
+    return decode_value(_json_round_trip(encode_value(value)))
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 3.5, "text", "üñïçødé",
+        (1, "two", 3.0), ("nested", (1, (2,))),
+        [1, 2, 3], [("a", 1), ("b", 2)],
+        frozenset({1, 2, 3}), frozenset({("k", 1), ("k", 2)}),
+        {"plain": 1, "nested": (1, 2)},
+    ])
+    def test_plain_values_round_trip(self, value):
+        assert _round_trip(value) == value
+
+    def test_sets_decode_as_frozensets(self):
+        assert _round_trip({1, 2}) == frozenset({1, 2})
+
+    def test_non_finite_floats_round_trip(self):
+        assert _round_trip(float("inf")) == float("inf")
+        assert _round_trip(float("-inf")) == float("-inf")
+        assert math.isnan(_round_trip(float("nan")))
+
+    def test_non_string_dict_keys_round_trip(self):
+        value = {("a", 1): "x", 7: "y"}
+        assert _round_trip(value) == value
+
+    def test_entities_round_trip(self):
+        for entity in (ProcessEntity.make("x.exe", 5, host="h1"),
+                       FileEntity.make("/tmp/f", host="h2"),
+                       NetworkEntity.make("1.2.3.4", "5.6.7.8", dstport=443)):
+            assert _round_trip(entity) == entity
+
+    def test_execution_errors_round_trip(self):
+        decoded = _round_trip(SAQLExecutionError("bad value"))
+        assert isinstance(decoded, SAQLExecutionError)
+        assert str(decoded) == "bad value"
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_unknown_marker_raises(self):
+        with pytest.raises(ValueError):
+            decode_value({"__mystery__": 1})
+
+
+class TestDomainCodecs:
+    def _match(self):
+        subject = ProcessEntity.make("x.exe", 5, host="h1")
+        obj = NetworkEntity.make("10.0.0.1", "10.0.0.2")
+        event = Event(subject=subject, operation=Operation.SEND, obj=obj,
+                      timestamp=12.5, agentid="h1", amount=100.0,
+                      attrs={"flow": float("nan")})
+        return PatternMatch(alias="evt", event=event,
+                            bindings={"p": subject, "i": obj})
+
+    def test_match_round_trip(self):
+        match = self._match()
+        decoded = decode_match(_json_round_trip(encode_match(match)))
+        assert decoded.alias == match.alias
+        assert decoded.event.event_id == match.event.event_id
+        assert decoded.event.subject == match.event.subject
+        assert decoded.bindings == match.bindings
+        assert math.isnan(decoded.event.attrs["flow"])
+
+    def test_window_key_round_trip(self):
+        key = WindowKey(index=3, start=15.0, end=35.0)
+        assert decode_window_key(
+            _json_round_trip(encode_window_key(key))) == key
+
+    def test_alert_round_trip(self):
+        alert = Alert(query_name="q", timestamp=20.0,
+                      data=(("ss.total", 1234), ("hosts", ("a", "b"))),
+                      model_kind="rule", group_key=("h1", 7),
+                      window_start=0.0, window_end=20.0, agentid="h1")
+        assert decode_alert(_json_round_trip(encode_alert(alert))) == alert
+
+    def test_rule_alert_without_window_round_trips(self):
+        alert = Alert(query_name="q", timestamp=3.0, data=(),
+                      window_start=None, window_end=None)
+        assert decode_alert(_json_round_trip(encode_alert(alert))) == alert
+
+
+class TestVersioning:
+    def test_matching_version_passes(self):
+        from repro.core.snapshot import SNAPSHOT_VERSION
+        check_version({"version": SNAPSHOT_VERSION}, "test")
+
+    def test_mismatched_version_rejected(self):
+        with pytest.raises(ValueError):
+            check_version({"version": 999}, "test")
+        with pytest.raises(ValueError):
+            check_version({}, "test")

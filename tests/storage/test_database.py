@@ -99,3 +99,62 @@ class TestPersistence:
         assert len(loaded) == 15
         assert loaded.hosts == database.hosts
         assert loaded.time_range == database.time_range
+
+
+class TestIncrementalIngestion:
+    """Order and index consistency under interleaved insert/insert_many."""
+
+    def test_interleaved_inserts_keep_canonical_order(self):
+        events = _events()
+        database = EventDatabase()
+        database.insert(events[7])
+        database.insert_many(events[0:4])
+        database.insert(events[12])
+        database.insert_many(events[4:7] + events[8:12])
+        database.insert_many(events[13:])
+        assert len(database) == len(events)
+        keys = [(event.timestamp, event.event_id)
+                for event in database.scan()]
+        assert keys == sorted(keys)
+
+    def test_interleaved_inserts_keep_indexes_consistent(self):
+        events = _events()
+        database = EventDatabase()
+        for position, event in enumerate(events):
+            if position % 3 == 0:
+                database.insert(event)
+            elif position % 3 == 1:
+                database.insert_many([event])
+        database.insert_many(events[2::3])
+        # Host index vs a scan-derived ground truth.
+        assert database.hosts == sorted({event.agentid for event in events})
+        stats = database.stats()
+        by_type = {}
+        for event in database.scan():
+            key = event.event_type.value
+            by_type[key] = by_type.get(key, 0) + 1
+        assert stats.by_type == by_type
+        assert stats.total_events == len(events)
+
+    def test_append_heavy_batches_merge_with_out_of_order_tail(self):
+        events = _events()
+        database = EventDatabase(events[:5])
+        # A batch that straddles the existing range forces a real merge.
+        database.insert_many(list(reversed(events[5:])))
+        keys = [(event.timestamp, event.event_id)
+                for event in database.scan()]
+        assert keys == sorted(keys)
+        assert database.query(start_time=20.0, end_time=50.0)
+
+    def test_queries_agree_after_mixed_ingestion(self):
+        events = _events()
+        reference = EventDatabase(events)
+        mixed = EventDatabase()
+        mixed.insert_many(events[8:])
+        for event in events[:8]:
+            mixed.insert(event)
+        for hosts in (None, ["db-server"]):
+            left = reference.query(start_time=10.0, end_time=80.0,
+                                   hosts=hosts)
+            right = mixed.query(start_time=10.0, end_time=80.0, hosts=hosts)
+            assert [e.event_id for e in left] == [e.event_id for e in right]
