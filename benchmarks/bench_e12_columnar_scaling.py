@@ -1,0 +1,197 @@
+"""E12 — columnar batch execution and cross-query predicate sharing.
+
+PR 3 made a *single* query's window maintenance incremental and E8 opened
+the multi-core axis, but `BENCH_e8.json` showed single-process throughput
+halving from 12 to 24 concurrent queries: every event was still pushed
+through every query's compiled closures, so concurrency bought nothing
+past a dozen queries.  This experiment measures the columnar fast path:
+each ingest batch pivots into a struct-of-arrays
+:class:`~repro.core.compile.columnar.ColumnBlock`, structurally-equal
+predicates across all registered queries are canonicalized into a shared
+index, and each distinct predicate is evaluated column-at-a-time once per
+batch.
+
+The E8-style workload (the E4 query triple deployed host-by-host, in
+equal thirds per kind) is executed single-process at 12/24/48 queries in
+both modes — ``columnar`` (the default) and the per-event
+compiled-closure ``oracle`` (``columnar=False``) — over a 16-host
+enterprise stream with a fixed 8-host watched set, so the arms differ
+only in query count.  Alert parity between the modes is asserted at
+every scale; the scaling assertions (24-query columnar holds >= 0.75x
+its 12-query arm and beats the 24-query oracle >= 1.5x) only fire on
+full-sized streams (``SAQL_BENCH_SCALE >= 1``), so CI's smoke run
+validates dispatch and parity without timing noise.
+
+Rates land in ``benchmarks/BENCH_e12.json`` via the shared conftest hook,
+with per-arm query counts and distinct-predicate counts under ``"arms"``
+so the sharing win is attributable from the trajectory file alone.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.bench_e8_sharded_scaling import _fingerprints
+from benchmarks.conftest import (bench_scale, fresh_stream, print_table,
+                                 record_rate)
+from repro.collection import Enterprise, EnterpriseConfig
+from repro.core import ConcurrentQueryScheduler
+from repro.queries.demo_queries import (outlier_exfiltration,
+                                        rule_c5_data_exfiltration,
+                                        timeseries_network_spike)
+
+#: Query counts for the scaling arms.
+QUERY_COUNTS = (12, 24, 48)
+#: Events per ingest batch; the acceptance bar applies at batch >= 64.
+BATCH_SIZE = 512
+#: Hosts the query arms watch.  Fixed across arms — each arm deploys the
+#: same kind mix over the same hosts, so the arms isolate query-count
+#: scaling from workload growth (more hosts watched would mean more
+#: matched events, not more queries per event).
+WATCHED_HOSTS = 8
+
+
+def _workload_arm(hosts, count):
+    """``count`` queries: equal thirds of the E4 triple over ``hosts``.
+
+    Kind-major assignment (all rule-C5 slots first, then timeseries, then
+    outlier) keeps every arm at exactly one third of each query kind, so
+    doubling the count doubles each kind's population instead of shifting
+    the mix toward the stateful kinds.
+    """
+    queries = []
+    per_kind = count // 3
+    for index in range(count):
+        kind = min(index // per_kind, 2)
+        host = hosts[index % len(hosts)]
+        if kind == 0:
+            text = rule_c5_data_exfiltration(agent=host)
+        elif kind == 1:
+            text = timeseries_network_spike(floor_bytes=500000 + index,
+                                            agent=host)
+        else:
+            text = outlier_exfiltration(floor_bytes=5000000 + index,
+                                        agent=host)
+        queries.append((f"q{index:02d}-{host}", text))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def wide_enterprise():
+    """Sixteen hosts; the arms watch 8, so global filters stay selective."""
+    return Enterprise(EnterpriseConfig(seed=7, extra_desktops=9,
+                                       extra_web_servers=3))
+
+
+@pytest.fixture(scope="module")
+def wide_events(wide_enterprise):
+    """Thirty minutes of background events across all 16 hosts."""
+    return wide_enterprise.background_events(0.0, 1800.0 * bench_scale())
+
+
+def _run_mode(queries, events, columnar, repeats=3):
+    """Best-of-N events/second for one execution mode.
+
+    Query parsing and registration happen outside the timed region — the
+    experiment measures steady-state stream execution, and both modes pay
+    identical registration cost anyway.
+    """
+    best, alerts, stats = 0.0, None, None
+    for _ in range(repeats):
+        scheduler = ConcurrentQueryScheduler(columnar=columnar)
+        for name, text in queries:
+            scheduler.add_query(text, name=name)
+        stream = fresh_stream(events)
+        started = time.perf_counter()
+        result = scheduler.execute(stream, batch_size=BATCH_SIZE)
+        elapsed = time.perf_counter() - started
+        rate = len(events) / elapsed if elapsed > 0 else float("inf")
+        if rate > best:
+            best, alerts, stats = rate, result, scheduler.stats
+    return best, alerts, stats
+
+
+def test_e12_columnar_scaling(benchmark, wide_events, wide_enterprise):
+    """Events/second for 12/24/48 queries, columnar vs closure oracle."""
+    hosts = wide_enterprise.hosts
+    full_scale = bench_scale() >= 1.0
+    rows = []
+    columnar_rates = {}
+    oracle_rates = {}
+    for query_count in QUERY_COUNTS:
+        queries = _workload_arm(hosts[:WATCHED_HOSTS], query_count)
+
+        probe = ConcurrentQueryScheduler()
+        for name, text in queries:
+            probe.add_query(text, name=name)
+        distinct = probe.distinct_predicate_count()
+        arm = {"queries": query_count, "distinct_predicates": distinct}
+
+        oracle_rate, oracle_alerts, _ = _run_mode(
+            queries, wide_events, columnar=False)
+        oracle_rates[query_count] = oracle_rate
+        record_rate("e12", f"oracle-{query_count}-queries", oracle_rate,
+                    mode="oracle", **arm)
+
+        columnar_rate, columnar_alerts, stats = _run_mode(
+            queries, wide_events, columnar=True)
+        columnar_rates[query_count] = columnar_rate
+        record_rate("e12", f"columnar-{query_count}-queries", columnar_rate,
+                    mode="columnar",
+                    predicate_evaluations=stats.predicate_evaluations,
+                    predicate_evaluations_saved=(
+                        stats.predicate_evaluations_saved),
+                    **arm)
+
+        # Alert-for-alert parity between the modes, at every scale.
+        assert _fingerprints(columnar_alerts) == _fingerprints(oracle_alerts)
+        # The shared index must actually dedupe: the round-robin workload
+        # reuses the same predicate shapes across hosts, so the distinct
+        # count stays well below the naive per-query atom total.
+        assert 0 < distinct < 4 * query_count
+        assert stats.column_blocks_built > 0
+        assert stats.predicate_evaluations_saved > 0
+
+        rows.append((query_count, distinct,
+                     f"{oracle_rate:,.0f}", f"{columnar_rate:,.0f}",
+                     f"{columnar_rate / oracle_rate:.2f}x"))
+
+    if full_scale:
+        # Concurrency must no longer halve throughput: doubling the query
+        # count keeps >= 0.75x of the 12-query columnar rate...
+        assert columnar_rates[24] >= 0.75 * columnar_rates[12]
+        # ...and the shared index must beat per-event closures outright.
+        assert columnar_rates[24] >= 1.5 * oracle_rates[24]
+
+    print_table(
+        "E12: columnar batch execution and predicate sharing "
+        f"({len(wide_events)} events, {len(hosts)} hosts, "
+        f"batch={BATCH_SIZE})",
+        ("queries", "distinct preds", "oracle ev/s", "columnar ev/s",
+         "speedup"),
+        rows)
+
+    queries = _workload_arm(hosts[:WATCHED_HOSTS], 24)
+    benchmark.pedantic(
+        lambda: _run_mode(queries, wide_events, columnar=True),
+        rounds=1, iterations=1)
+
+
+def test_e12_sharing_report(wide_enterprise, wide_events):
+    """The per-predicate report exposes sharing and selectivity."""
+    queries = _workload_arm(wide_enterprise.hosts[:WATCHED_HOSTS], 24)
+    scheduler = ConcurrentQueryScheduler()
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    scheduler.execute(fresh_stream(wide_events[:4096]),
+                      batch_size=BATCH_SIZE)
+    report = scheduler.shared_predicate_report()
+    assert report
+    # The workload reuses the E4 triple per host: at least one canonical
+    # predicate is subscribed by several query slots.
+    assert max(entry["subscribers"] for entry in report) >= 2
+    for entry in report:
+        assert 0.0 <= entry["selectivity"] <= 1.0
+        assert entry["rows_selected"] <= entry["rows_evaluated"]
+    assert (scheduler.stats.distinct_predicates
+            == scheduler.distinct_predicate_count() == len(report))

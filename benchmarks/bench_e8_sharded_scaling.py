@@ -83,6 +83,14 @@ def _fingerprints(alerts):
                         a.agentid, a.model_kind)) for a in alerts)
 
 
+def _distinct_predicates(queries):
+    """Distinct predicate atoms the workload compiles to (shared index)."""
+    scheduler = ConcurrentQueryScheduler()
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    return scheduler.distinct_predicate_count()
+
+
 def _best_rate(run, events, repeats=3):
     """Best-of-N events/second (reduces scheduler-noise on small machines)."""
     best, result = 0.0, None
@@ -123,11 +131,13 @@ def test_e8_batch_ingestion_and_sharded_scaling(benchmark, multi_host_events,
     rows = []
     for query_count in (12, 24):
         queries = _workload(hosts[:max(4, query_count // 3)], query_count)
+        arm = {"queries": query_count,
+               "distinct_predicates": _distinct_predicates(queries)}
 
         perevent_rate, perevent_alerts = _run_single(
             queries, multi_host_events, batch_size=None)
         record_rate("e8", f"single-perevent-{query_count}-queries",
-                    perevent_rate)
+                    perevent_rate, **arm)
         reference = _fingerprints(perevent_alerts)
         rows.append((query_count, "single, per-event", 1,
                      f"{perevent_rate:,.0f}", "1.00x"))
@@ -138,7 +148,7 @@ def test_e8_batch_ingestion_and_sharded_scaling(benchmark, multi_host_events,
                                        batch_size=batch_size)
             batch_rates[batch_size] = rate
             record_rate("e8", f"single-batch-{batch_size}-{query_count}"
-                              "-queries", rate)
+                              "-queries", rate, **arm)
             rows.append((query_count, f"single, batch={batch_size}", 1,
                          f"{rate:,.0f}", f"{rate / perevent_rate:.2f}x"))
             assert _fingerprints(alerts) == reference
@@ -148,7 +158,7 @@ def test_e8_batch_ingestion_and_sharded_scaling(benchmark, multi_host_events,
             rate, alerts = _run_sharded(queries, multi_host_events, workers)
             sharded_rates[workers] = rate
             record_rate("e8", f"sharded-process-{workers}w-{query_count}"
-                              "-queries", rate)
+                              "-queries", rate, **arm)
             rows.append((query_count, "sharded, batch="
                          f"{SHARD_BATCH}", workers,
                          f"{rate:,.0f}", f"{rate / perevent_rate:.2f}x"))

@@ -44,32 +44,47 @@ def bench_scale() -> float:
 #: experiment -> scenario -> events/second, filled by record_rate().
 _RECORDED_RATES: Dict[str, Dict[str, float]] = {}
 
+#: experiment -> scenario -> arm metadata (query counts, distinct
+#: predicates, ...), filled by record_rate(**details).
+_RECORDED_ARMS: Dict[str, Dict[str, Dict[str, object]]] = {}
+
 
 def record_rate(experiment: str, scenario: str,
-                events_per_second: float) -> None:
-    """Record one scenario's throughput for the end-of-session JSON dump."""
+                events_per_second: float, **details) -> None:
+    """Record one scenario's throughput for the end-of-session JSON dump.
+
+    Keyword ``details`` (e.g. ``queries=24, distinct_predicates=11``)
+    are written alongside the rate under the payload's ``"arms"`` key, so
+    sharing/scaling wins stay attributable from the trajectory files
+    alone.
+    """
     _RECORDED_RATES.setdefault(experiment, {})[scenario] = float(
         events_per_second)
+    if details:
+        _RECORDED_ARMS.setdefault(experiment, {})[scenario] = dict(details)
 
 
-def _all_recorded_rates() -> Dict[str, Dict[str, float]]:
-    """Merge the rates recorded under every import of this module.
+def _merged_records(attribute: str) -> Dict[str, Dict]:
+    """Merge one record dict across every import of this module.
 
     pytest loads this file as its own ``conftest`` plugin module while the
     benchmark modules import it as ``benchmarks.conftest``; both copies can
-    hold recorded rates, so the session hook merges them.
+    hold records, so the session hook merges them.
     """
-    merged: Dict[str, Dict[str, float]] = {}
+    merged: Dict[str, Dict] = {}
     seen = set()
     for module_name in (__name__, "benchmarks.conftest", "conftest"):
         module = sys.modules.get(module_name)
         if module is None or id(module) in seen:
             continue
         seen.add(id(module))
-        for experiment, rates in getattr(module, "_RECORDED_RATES",
-                                         {}).items():
-            merged.setdefault(experiment, {}).update(rates)
+        for experiment, records in getattr(module, attribute, {}).items():
+            merged.setdefault(experiment, {}).update(records)
     return merged
+
+
+def _all_recorded_rates() -> Dict[str, Dict[str, float]]:
+    return _merged_records("_RECORDED_RATES")
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -81,6 +96,7 @@ def pytest_sessionfinish(session, exitstatus):
     if bench_scale() != 1.0:
         return
     directory = Path(__file__).resolve().parent
+    arms = _merged_records("_RECORDED_ARMS")
     for experiment, rates in sorted(_all_recorded_rates().items()):
         payload = {
             "experiment": experiment,
@@ -98,6 +114,10 @@ def pytest_sessionfinish(session, exitstatus):
             "rates": {scenario: round(rate, 1)
                       for scenario, rate in sorted(rates.items())},
         }
+        experiment_arms = arms.get(experiment)
+        if experiment_arms:
+            payload["arms"] = {scenario: details for scenario, details
+                               in sorted(experiment_arms.items())}
         path = directory / f"BENCH_{experiment}.json"
         path.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -27,6 +27,11 @@ and hands the engine plain Python closures:
   maintainer.
 * **Query plans** (:mod:`.plan`) — :func:`compile_query` bundles the
   artifacts above into one :class:`CompiledQuery` per engine.
+* **Columnar batches** (:mod:`.columnar`) — ingest batches pivot into a
+  struct-of-arrays :class:`ColumnBlock`, compiled predicate atoms are
+  canonicalized into a cross-query :class:`SharedPredicateIndex`, and
+  each distinct atom is evaluated column-at-a-time once per batch,
+  producing selection bitmaps shared by every subscribing query.
 
 **Fast path / slow path.**  The engine runs the compiled artifacts by
 default; passing ``compiled=False`` to :class:`QueryEngine` (and to
@@ -57,19 +62,30 @@ from repro.core.compile.expressions import (
     compile_scalar,
     compile_state_definitions,
 )
+from repro.core.compile.columnar import (
+    BatchPredicateContext,
+    ColumnBlock,
+    PredicateAtom,
+    SharedPredicateIndex,
+)
 from repro.core.compile.plan import CompiledQuery, compile_query
 from repro.core.compile.predicates import (
     CompiledPattern,
     CompiledPatternSet,
     compile_entity_predicate,
     compile_global_constraints,
+    compile_type_check,
 )
 
 __all__ = [
     "AccumulatorPlan",
+    "BatchPredicateContext",
+    "ColumnBlock",
     "CompiledPattern",
     "CompiledPatternSet",
     "CompiledQuery",
+    "PredicateAtom",
+    "SharedPredicateIndex",
     "compile_accumulator_plan",
     "compile_aggregation",
     "compile_entity_predicate",
@@ -79,4 +95,5 @@ __all__ = [
     "compile_record",
     "compile_scalar",
     "compile_state_definitions",
+    "compile_type_check",
 ]

@@ -142,17 +142,16 @@ def _compile_value_check(op: str, expected) -> Callable[[object], bool]:
     return check_compare
 
 
-def compile_entity_predicate(decl: ast.EntityDeclaration) -> EntityPredicate:
-    """Compile an entity declaration into one ``entity -> bool`` closure.
+def compile_type_check(entity_type: str) -> EntityPredicate:
+    """Compile a declared entity-type keyword into an ``entity -> bool`` test.
 
-    Equivalent to :func:`repro.core.engine.matching.entity_matches`: the
-    entity type must match and every attribute constraint must hold.
+    The declared keyword maps to one concrete entity class, so the type
+    test compiles to an isinstance check (with the string comparison kept
+    as a fallback for exotic Entity subclasses).  Shared by the closure
+    path below and the columnar type-check kernel
+    (:mod:`repro.core.compile.columnar`), so the two modes cannot drift.
     """
-    entity_type = decl.entity_type
     try:
-        # The declared keyword maps to one concrete entity class, so the
-        # type test compiles to an isinstance check (with the string
-        # comparison kept as a fallback for exotic Entity subclasses).
         entity_cls: Optional[type] = entity_class_for(
             EntityType.from_keyword(entity_type))
     except ValueError:
@@ -162,6 +161,17 @@ def compile_entity_predicate(decl: ast.EntityDeclaration) -> EntityPredicate:
         if entity_cls is not None and isinstance(entity, entity_cls):
             return True
         return entity.entity_type.value == entity_type
+
+    return type_ok
+
+
+def compile_entity_predicate(decl: ast.EntityDeclaration) -> EntityPredicate:
+    """Compile an entity declaration into one ``entity -> bool`` closure.
+
+    Equivalent to :func:`repro.core.engine.matching.entity_matches`: the
+    entity type must match and every attribute constraint must hold.
+    """
+    type_ok = compile_type_check(decl.entity_type)
 
     checks: List[Tuple[Optional[str], Callable[[object], bool]]] = [
         (constraint.attr, _compile_value_check(constraint.op, constraint.value))

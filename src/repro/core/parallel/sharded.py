@@ -171,6 +171,12 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
         merged.peak_buffered_events += stats.peak_buffered_events
         merged.buffered_matches += stats.buffered_matches
         merged.peak_buffered_matches += stats.peak_buffered_matches
+        merged.predicate_evaluations += stats.predicate_evaluations
+        merged.predicate_evaluations_saved += (
+            stats.predicate_evaluations_saved)
+        merged.column_blocks_built += stats.column_blocks_built
+        _merge_predicate_sharing(merged.predicate_sharing,
+                                 stats.predicate_sharing)
     if per_shard:
         merged.queries = max(stats.queries for stats in per_shard)
         merged.groups = max(stats.groups for stats in per_shard)
@@ -184,11 +190,38 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
         merged.peak_buffered_events += single_lane.peak_buffered_events
         merged.buffered_matches += single_lane.buffered_matches
         merged.peak_buffered_matches += single_lane.peak_buffered_matches
+        merged.predicate_evaluations += single_lane.predicate_evaluations
+        merged.predicate_evaluations_saved += (
+            single_lane.predicate_evaluations_saved)
+        merged.column_blocks_built += single_lane.column_blocks_built
+        _merge_predicate_sharing(merged.predicate_sharing,
+                                 single_lane.predicate_sharing)
         merged.queries += single_lane.queries
         merged.groups += single_lane.groups
+    merged.distinct_predicates = len(merged.predicate_sharing)
     merged.peak_buffered_events_bound = merged.peak_buffered_events
     merged.peak_buffered_matches_bound = merged.peak_buffered_matches
     return merged
+
+
+def _merge_predicate_sharing(into: Dict[str, Dict[str, int]],
+                             contribution: Dict[str, Dict[str, int]]) -> None:
+    """Fold one lane's predicate-sharing report into the aggregate.
+
+    Row counters sum across lanes (each lane scanned its own column
+    cells); ``subscribers`` counts the *logical* query slots behind one
+    canonical predicate, so the maximum across lanes is taken — pinned
+    routing gives each shard a subset of the subscribing queries, making
+    the per-lane figures subsets of the registration-time count.
+    """
+    for label, entry in contribution.items():
+        merged = into.setdefault(label, {"subscribers": 0,
+                                         "rows_evaluated": 0,
+                                         "rows_selected": 0})
+        merged["subscribers"] = max(merged["subscribers"],
+                                    entry["subscribers"])
+        merged["rows_evaluated"] += entry["rows_evaluated"]
+        merged["rows_selected"] += entry["rows_selected"]
 
 
 def _alert_sort_key(alert: Alert) -> Tuple:
@@ -205,10 +238,12 @@ def _alert_sort_key(alert: Alert) -> Tuple:
 
 def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
                      enable_sharing: bool,
-                     track_agent_load: bool = False
+                     track_agent_load: bool = False,
+                     columnar: bool = True
                      ) -> ConcurrentQueryScheduler:
     scheduler = ConcurrentQueryScheduler(enable_sharing=enable_sharing,
-                                         track_agent_load=track_agent_load)
+                                         track_agent_load=track_agent_load,
+                                         columnar=columnar)
     for name, source in queries:
         scheduler.add_query(source, name=name)
     return scheduler
@@ -265,10 +300,10 @@ class SerialShard:
 
     def __init__(self, queries, enable_sharing: bool,
                  track_agent_load: bool = False, index: int = 0,
-                 restore=None):
+                 restore=None, columnar: bool = True):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
-                                           track_agent_load)
+                                           track_agent_load, columnar)
         self._alerts: List[Alert] = []
         if restore is not None:
             # Seed the output with the restored alert ledger so the
@@ -319,10 +354,10 @@ class ThreadShard:
 
     def __init__(self, queries, enable_sharing: bool,
                  track_agent_load: bool = False, index: int = 0,
-                 restore=None):
+                 restore=None, columnar: bool = True):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
-                                           track_agent_load)
+                                           track_agent_load, columnar)
         self._alerts: List[Alert] = []
         if restore is not None:
             # Restored before the worker thread starts consuming.
@@ -429,7 +464,7 @@ def _process_shard_main(index: int,
                         track_agent_load: bool,
                         in_queue: "multiprocessing.Queue",
                         out_queue: "multiprocessing.Queue",
-                        restore=None) -> None:
+                        restore=None, columnar: bool = True) -> None:
     """Worker entry point: compile the queries, drain batches, report back.
 
     The out queue carries tagged tuples: ``("ctrl", index, response)`` for
@@ -441,7 +476,7 @@ def _process_shard_main(index: int,
     """
     try:
         scheduler = _build_scheduler(queries, enable_sharing,
-                                     track_agent_load)
+                                     track_agent_load, columnar)
         alerts: List[Alert] = []
         if restore is not None:
             scheduler.restore_state(restore)
@@ -467,14 +502,14 @@ class ProcessShard:
 
     def __init__(self, index: int, queries, enable_sharing: bool,
                  context, out_queue, track_agent_load: bool = False,
-                 restore=None):
+                 restore=None, columnar: bool = True):
         self.index = index
         self._in_queue = context.Queue(maxsize=_QUEUE_DEPTH)
         self._out_queue = out_queue
         self._process = context.Process(
             target=_process_shard_main,
             args=(index, list(queries), enable_sharing, track_agent_load,
-                  self._in_queue, out_queue, restore),
+                  self._in_queue, out_queue, restore, columnar),
             daemon=True,
             name=f"saql-shard-{index}")
         self._process.start()
@@ -1094,7 +1129,8 @@ class ShardedScheduler:
                  rebalance_interval: Optional[int] = None,
                  rebalance_ratio: float = DEFAULT_REBALANCE_RATIO,
                  checkpoint_store=None,
-                 checkpoint_interval: Optional[int] = None):
+                 checkpoint_interval: Optional[int] = None,
+                 columnar: bool = True):
         if shards < 1:
             raise ValueError("shard count must be at least 1")
         if backend not in _BACKENDS:
@@ -1115,6 +1151,7 @@ class ShardedScheduler:
         self.backend = backend
         self._sink = sink
         self._enable_sharing = enable_sharing
+        self._columnar = columnar
         self._batch_size = batch_size
         # Mid-stream work stealing: None disables it; otherwise the number
         # of routed events between load-report epochs.  The balancer is
@@ -1578,7 +1615,8 @@ class ShardedScheduler:
         if not self._single_lane_queries:
             return None
         return _build_scheduler(self._single_lane_queries,
-                                self._enable_sharing)
+                                self._enable_sharing,
+                                columnar=self._columnar)
 
     def _finalize(self, shard_results: Sequence[Tuple[List[Alert],
                                                       SchedulerStats]],
@@ -1638,7 +1676,8 @@ class ShardedScheduler:
             shards = [shard_cls(queries, self._enable_sharing,
                                 track_load, position,
                                 restore=(restored["shards"][position]
-                                         if restored is not None else None))
+                                         if restored is not None else None),
+                                columnar=self._columnar)
                       for position, queries in enumerate(per_shard)]
             active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
@@ -1769,7 +1808,8 @@ class ShardedScheduler:
                                 context, out_queue,
                                 track_agent_load=eligibility is not None,
                                 restore=(restored["shards"][position]
-                                         if restored is not None else None))
+                                         if restored is not None else None),
+                                columnar=self._columnar)
                    for position, queries in enumerate(per_shard)]
         active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()

@@ -21,6 +21,12 @@ from dataclasses import asdict, dataclass, field
 from typing import (Any, Deque, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple, Union)
 
+from repro.core.compile.columnar import (
+    BatchPredicateContext,
+    ColumnBlock,
+    SharedPredicateIndex,
+    build_group_plan,
+)
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.engine.error_reporter import ErrorReporter
 from repro.core.engine.matching import PatternMatch
@@ -37,6 +43,13 @@ from repro.events.stream import iter_batches
 #: Default retention (seconds) of the per-group shared event buffer when the
 #: group's queries declare no window.
 DEFAULT_BUFFER_SECONDS = 600.0
+
+#: Default smallest batch the columnar path will pivot into a
+#: :class:`~repro.core.compile.columnar.ColumnBlock`.  Below this, block
+#: construction and bitmap bookkeeping cost more than the per-event
+#: closures they replace (the batch_size=1 degenerate case would pay a
+#: block build per event), so tiny batches fall back to the closure path.
+DEFAULT_COLUMNAR_MIN_BATCH = 16
 
 
 @dataclass
@@ -76,6 +89,27 @@ class SchedulerStats:
     #: ``peak_buffered_matches`` figures (see
     #: :attr:`peak_buffered_events_bound` for the bound-vs-sampled split).
     peak_buffered_matches_bound: int = 0
+    #: Distinct predicates in the shared predicate index (columnar mode):
+    #: structurally-equal predicates across all registered queries
+    #: canonicalize to one entry each.  0 until the columnar plans build
+    #: (first columnar batch) and under ``columnar=False``.
+    distinct_predicates: int = 0
+    #: Column cells actually evaluated by the shared predicate kernels.
+    predicate_evaluations: int = 0
+    #: Column cells *not* evaluated because the predicate's selection
+    #: vector is shared: an atom with k subscribing query slots is
+    #: evaluated once per batch, saving (k-1) evaluations per cell.
+    predicate_evaluations_saved: int = 0
+    #: Column blocks built (one per columnar-processed batch; tiny batches
+    #: below the columnar threshold fall back to the closure path and
+    #: build none).
+    column_blocks_built: int = 0
+    #: Per-predicate sharing/selectivity detail, refreshed at batch
+    #: boundaries and finish: label -> {subscribers, rows_evaluated,
+    #: rows_selected}.  Merged across shards by summing rows (subscribers:
+    #: max across shards, summed with the single lane's).
+    predicate_sharing: Dict[str, Dict[str, int]] = field(
+        default_factory=dict)
 
     @property
     def data_copies(self) -> int:
@@ -146,6 +180,10 @@ class QueryGroup:
         self._buffer_seconds = buffer_seconds
         #: The group's single shared copy of the (filtered) stream data.
         self.shared_buffer: Deque[Event] = deque()
+        #: Columnar execution plan, built lazily against the scheduler's
+        #: shared predicate index and invalidated (released) by the
+        #: scheduler whenever the group's membership changes.
+        self.columnar_plan = None
 
     @property
     def engines(self) -> List[QueryEngine]:
@@ -165,6 +203,21 @@ class QueryGroup:
             plan.append((pattern, shared, pattern_operations,
                          _compiled_pattern_for(engine, pattern)))
         self._dependent_plans.append(tuple(plan))
+        self.operations = frozenset(operations)
+
+    def remove_dependent(self, engine: QueryEngine) -> None:
+        """Drop one dependent query (and its plan) from the group."""
+        position = next(index for index, dependent
+                        in enumerate(self.dependents)
+                        if dependent is engine)
+        del self.dependents[position]
+        del self._dependent_plans[position]
+        operations = set(
+            operation for entry in self._master_plan
+            for operation in entry[2])
+        for plan in self._dependent_plans:
+            for entry in plan:
+                operations.update(entry[2])
         self.operations = frozenset(operations)
 
     # -- execution ------------------------------------------------------------
@@ -344,6 +397,102 @@ class QueryGroup:
             alerts.extend(engine.process_match_batch(pairs))
         return alerts
 
+    def process_events_columnar(self, block: ColumnBlock,
+                                context: BatchPredicateContext,
+                                stats: SchedulerStats) -> List[Alert]:
+        """Process one column block through the group (columnar fast path).
+
+        Behaviourally identical to :meth:`process_events` over
+        ``block.events`` — same alerts, same per-engine alert order, same
+        retention and same ``pattern_evaluations``/``_saved`` accounting
+        (the counters keep their *logical* per-pattern meaning so the two
+        modes stay comparable; the physical work is tracked by the
+        ``predicate_*`` counters) — but predicates are evaluated through
+        the batch context's shared selection vectors: each distinct
+        predicate once per batch, across every query of every group.
+        """
+        plan = self.columnar_plan
+        events = block.events
+        global_bitmap = context.global_filter(plan)
+        operations = self.operations
+        # Accepted events (passing globals) in batch order, mirroring the
+        # closure path's skeleton: rows whose operation no pattern of the
+        # group accepts carry None instead of a signature dict, so
+        # dependents skip them (the watermark-advance shape).
+        accepted: List[Tuple[Event, List[PatternMatch],
+                             Optional[Dict[Tuple, PatternMatch]]]] = []
+        entry_for_row: List[Optional[int]] = [None] * block.size
+        retained = 0
+        operation_values = block.operation_values
+        for row in context.selected_rows(plan, global_bitmap):
+            event = events[row]
+            retained += self._retain(event)
+            if operation_values[row] in operations:
+                entry_for_row[row] = len(accepted)
+                accepted.append((event, [], {}))
+            else:
+                accepted.append((event, [], None))
+        stats.buffered_events += retained
+        if not accepted:
+            return []
+
+        evaluations = 0
+        for pattern_plan in plan.master:
+            evaluations += len(context.candidate_rows(
+                pattern_plan.operations, plan, global_bitmap))
+            alias = pattern_plan.alias
+            subject_var = pattern_plan.subject_var
+            object_var = pattern_plan.object_var
+            signature = pattern_plan.signature
+            for row in context.pattern_rows(pattern_plan, plan,
+                                            global_bitmap):
+                event = events[row]
+                match = PatternMatch(
+                    alias=alias, event=event,
+                    bindings={subject_var: event.subject,
+                              object_var: event.obj})
+                entry = accepted[entry_for_row[row]]
+                entry[1].append(match)
+                entry[2][signature] = match
+        stats.pattern_evaluations += evaluations
+
+        alerts = self.master.process_match_batch(
+            [(event, matches) for event, matches, _ in accepted])
+        for engine, dependent_plan in zip(self.dependents, plan.dependents):
+            pairs: List[Tuple[Event, List[PatternMatch]]] = [
+                (event, []) for event, _, _ in accepted]
+            saved = 0
+            evaluations = 0
+            for pattern_plan in dependent_plan:
+                candidates = context.candidate_rows(
+                    pattern_plan.operations, plan, global_bitmap)
+                if pattern_plan.shared is not None:
+                    saved += len(candidates)
+                    shared = pattern_plan.shared
+                    pattern = pattern_plan.pattern
+                    for row in candidates:
+                        position = entry_for_row[row]
+                        match = accepted[position][2].get(shared)
+                        if match is not None:
+                            pairs[position][1].append(
+                                _rebind(match, pattern))
+                    continue
+                evaluations += len(candidates)
+                alias = pattern_plan.alias
+                subject_var = pattern_plan.subject_var
+                object_var = pattern_plan.object_var
+                for row in context.pattern_rows(pattern_plan, plan,
+                                                global_bitmap):
+                    event = events[row]
+                    pairs[entry_for_row[row]][1].append(PatternMatch(
+                        alias=alias, event=event,
+                        bindings={subject_var: event.subject,
+                                  object_var: event.obj}))
+            stats.pattern_evaluations_saved += saved
+            stats.pattern_evaluations += evaluations
+            alerts.extend(engine.process_match_batch(pairs))
+        return alerts
+
     def finish(self) -> List[Alert]:
         """Flush every engine of the group at end of stream."""
         alerts: List[Alert] = []
@@ -407,12 +556,34 @@ class ConcurrentQueryScheduler:
                  track_agent_load: bool = False,
                  checkpoint_store=None,
                  checkpoint_interval: Optional[int] = None,
-                 checkpoint_watermark_interval: Optional[float] = None):
+                 checkpoint_watermark_interval: Optional[float] = None,
+                 columnar: bool = True,
+                 columnar_min_batch: int = DEFAULT_COLUMNAR_MIN_BATCH):
         self._sink = sink
         self._error_reporter = error_reporter or ErrorReporter()
         self._enable_sharing = enable_sharing
         self._groups: Dict[Any, QueryGroup] = {}
         self._engines: List[QueryEngine] = []
+        # Columnar batch execution: batches of at least
+        # ``columnar_min_batch`` events are pivoted into a ColumnBlock and
+        # filtered through the shared predicate index; smaller batches
+        # (and the per-event path) use the compiled closures, which also
+        # remain the ``columnar=False`` equivalence oracle.
+        if columnar_min_batch < 1:
+            raise ValueError("columnar batch threshold must be at least 1")
+        self._columnar = columnar
+        self._columnar_min_batch = columnar_min_batch
+        self._predicate_index = SharedPredicateIndex()
+        # Per-predicate row counters restored from a checkpoint (the live
+        # index restarts from zero after a restore; reports add these).
+        self._predicate_baseline: Dict[str, Dict[str, int]] = {}
+        # True when the predicate index changed since the last stats
+        # sample (columnar batch processed, plan built or released), so
+        # closure-path batches skip the per-atom report rebuild.
+        self._predicate_stats_dirty = False
+        # Monotonic key counter for sharing-disabled groups (never reused,
+        # so removal cannot alias a later registration onto a dead key).
+        self._isolated_serial = 0
         # Operation keyword -> (group, can_match) in registration order,
         # rebuilt lazily after registrations.  can_match decides between
         # full pattern dispatch and the cheap watermark-advance path.
@@ -471,7 +642,8 @@ class ConcurrentQueryScheduler:
         else:
             # Without sharing every query is its own group (the baseline
             # behaviour of general-purpose stream engines in Section I).
-            group_key = ("isolated", len(self._engines))
+            self._isolated_serial += 1
+            group_key = ("isolated", self._isolated_serial)
 
         group = self._groups.get(group_key)
         if group is None:
@@ -481,11 +653,73 @@ class ConcurrentQueryScheduler:
             self._groups[group_key] = QueryGroup(signature, engine)
         else:
             group.add(engine)
+            # Membership changed: the columnar plan (and its predicate
+            # subscriptions) must rebuild for the next columnar batch.
+            self._invalidate_group_plan(group)
         self._op_index = None
 
         self.stats.queries = len(self._engines)
         self.stats.groups = len(self._groups)
         return engine
+
+    def remove_query(self, query: Union[str, QueryEngine]) -> QueryEngine:
+        """Unregister one query at runtime; returns its (live) engine.
+
+        ``query`` is an engine previously returned by :meth:`add_query`
+        or a unique engine name.  The engine keeps its state (open
+        windows are abandoned, not flushed — call ``engine.finish()`` on
+        the returned engine to drain them); the scheduler's dispatch
+        plans, compatibility groups and the shared predicate index update
+        incrementally: a removed dependent leaves its group, a removed
+        master promotes its first dependent (the group's shared buffer
+        carries over), and the last member dissolves the group.  Every
+        subsequent batch runs against the rebuilt plans, so registration
+        and removal are safe between any two batches of a live stream.
+        """
+        if isinstance(query, QueryEngine):
+            engine = query
+            if engine not in self._engines:
+                raise KeyError(f"engine {engine.name!r} is not registered")
+        else:
+            named = [candidate for candidate in self._engines
+                     if candidate.name == query]
+            if not named:
+                raise KeyError(f"no registered query named {query!r}")
+            if len(named) > 1:
+                raise KeyError(f"query name {query!r} is ambiguous "
+                               f"({len(named)} engines); pass the engine")
+            engine = named[0]
+        group_key, group = next(
+            (key, candidate) for key, candidate in self._groups.items()
+            if engine is candidate.master or engine in candidate.dependents)
+        self._engines.remove(engine)
+        self._invalidate_group_plan(group)
+        if engine is group.master:
+            if not group.dependents:
+                del self._groups[group_key]
+                self.stats.buffered_events -= len(group.shared_buffer)
+            else:
+                promoted = QueryGroup(group.signature, group.dependents[0])
+                # The shared stream copy survives the master hand-off.
+                promoted.shared_buffer = group.shared_buffer
+                for dependent in group.dependents[1:]:
+                    promoted.add(dependent)
+                self._groups[group_key] = promoted
+        else:
+            group.remove_dependent(engine)
+        self._op_index = None
+        self.stats.queries = len(self._engines)
+        self.stats.groups = len(self._groups)
+        self._refresh_match_stats()
+        return engine
+
+    def _invalidate_group_plan(self, group: QueryGroup) -> None:
+        """Release a group's columnar plan (it rebuilds on the next batch)."""
+        plan = group.columnar_plan
+        if plan is not None:
+            plan.release(self._predicate_index)
+            group.columnar_plan = None
+            self._predicate_stats_dirty = True
 
     def add_queries(self, queries: Iterable[Union[str, ast.Query]]) -> None:
         """Register several queries at once."""
@@ -581,8 +815,30 @@ class ConcurrentQueryScheduler:
             if events[-1].timestamp > self._load_watermark:
                 self._load_watermark = events[-1].timestamp
         alerts: List[Alert] = []
-        for group in self._groups.values():
-            alerts.extend(group.process_events(events, stats))
+        if (self._columnar and self._groups
+                and len(events) >= self._columnar_min_batch):
+            # Columnar fast path: pivot the batch once, evaluate each
+            # distinct predicate once, then run the per-match engine path
+            # only for surviving rows.
+            block = ColumnBlock(events)
+            stats.column_blocks_built += 1
+            context = BatchPredicateContext(block)
+            # Every group plan must exist before any bitmap is evaluated:
+            # plan construction is what subscribes each group's operations
+            # to the shared atoms, and an atom's selection vector is only
+            # computed over its subscribers' operation rows.  Interleaving
+            # build with evaluation would freeze an atom's operation set at
+            # whatever the first subscriber declared.
+            self._ensure_columnar_plans()
+            for group in self._groups.values():
+                alerts.extend(group.process_events_columnar(block, context,
+                                                            stats))
+            stats.predicate_evaluations += context.rows_evaluated
+            stats.predicate_evaluations_saved += context.rows_saved
+            self._predicate_stats_dirty = True
+        else:
+            for group in self._groups.values():
+                alerts.extend(group.process_events(events, stats))
         if stats.buffered_events > stats.peak_buffered_events:
             stats.peak_buffered_events = stats.buffered_events
         stats.alerts += len(alerts)
@@ -607,6 +863,74 @@ class ConcurrentQueryScheduler:
             peak += engine.state_peak_buffered_matches
         self.stats.buffered_matches = buffered
         self.stats.peak_buffered_matches = peak
+        if self._columnar and self._predicate_stats_dirty:
+            self._refresh_predicate_stats()
+
+    def _refresh_predicate_stats(self) -> None:
+        """Sample the shared predicate index into the stats.
+
+        Like the match-retention figures, sampled at batch boundaries and
+        finish.  Counters restored from a checkpoint are kept as a
+        baseline (the live index restarts from zero after a restore).
+        """
+        report: Dict[str, Dict[str, int]] = {
+            label: dict(entry)
+            for label, entry in self._predicate_baseline.items()
+        }
+        atoms = self._predicate_index.atoms()
+        for atom in atoms:
+            entry = report.setdefault(
+                atom.label, {"subscribers": 0, "rows_evaluated": 0,
+                             "rows_selected": 0})
+            entry["subscribers"] = atom.refcount
+            entry["rows_evaluated"] += atom.rows_evaluated
+            entry["rows_selected"] += atom.rows_selected
+        self.stats.predicate_sharing = report
+        self.stats.distinct_predicates = len(atoms)
+        self._predicate_stats_dirty = False
+
+    def _ensure_columnar_plans(self) -> None:
+        """Build every group's columnar plan that is missing or stale."""
+        for group in self._groups.values():
+            if group.columnar_plan is None:
+                group.columnar_plan = build_group_plan(
+                    group, self._predicate_index)
+                self._predicate_stats_dirty = True
+
+    def distinct_predicate_count(self) -> int:
+        """Distinct predicates across all registered queries (columnar).
+
+        Forces the lazy columnar plans to build, so the figure is
+        available before the first batch (benchmarks report it per arm).
+        Returns 0 under ``columnar=False``.
+        """
+        if not self._columnar:
+            return 0
+        self._ensure_columnar_plans()
+        return self._predicate_index.distinct_count
+
+    def shared_predicate_report(self) -> List[Dict[str, Any]]:
+        """Per-predicate sharing and selectivity, heaviest scanners first.
+
+        Each row names one canonical predicate, how many query slots
+        subscribe to it, how many column cells it actually scanned and
+        selected over the run, and the resulting selectivity.
+        """
+        self._refresh_predicate_stats()
+        rows = []
+        for label, entry in self.stats.predicate_sharing.items():
+            evaluated = entry["rows_evaluated"]
+            rows.append({
+                "predicate": label,
+                "subscribers": entry["subscribers"],
+                "rows_evaluated": evaluated,
+                "rows_selected": entry["rows_selected"],
+                "selectivity": (entry["rows_selected"] / evaluated
+                                if evaluated else 0.0),
+            })
+        rows.sort(key=lambda row: (-row["rows_evaluated"],
+                                   row["predicate"]))
+        return rows
 
     def finish(self) -> List[Alert]:
         """Flush every group at end of stream."""
@@ -722,6 +1046,14 @@ class ConcurrentQueryScheduler:
         for engine in self._engines:
             engine.restore_state(snapshot["engines"][engine.name])
         self.stats = SchedulerStats(**snapshot["stats"])
+        # The live predicate index restarts from zero (plans rebuild on
+        # the next columnar batch); keep the checkpointed per-predicate
+        # row counters as the reporting baseline.
+        self._predicate_baseline = {
+            label: {key: int(value) for key, value in entry.items()}
+            for label, entry in self.stats.predicate_sharing.items()
+        }
+        self._predicate_stats_dirty = True
         # Shared buffers are not checkpointed (see export_state): they
         # start empty and the retention figure rebuilds from zero as the
         # resumed stream refills them; the historical peak survives.

@@ -123,6 +123,11 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--checkpoint-interval", type=int, default=10000,
                          help="events between checkpoints (with "
                               "--checkpoint-dir)")
+    command.add_argument("--no-columnar", action="store_true",
+                         help="disable columnar batch execution and the "
+                              "shared predicate index; evaluate per-event "
+                              "compiled closures instead (the reference "
+                              "oracle path)")
 
 
 def _checkpoint_store(args: argparse.Namespace):
@@ -138,6 +143,7 @@ def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
     """Build the scheduler the execution options select."""
     store = _checkpoint_store(args)
     interval = args.checkpoint_interval if store is not None else None
+    columnar = not getattr(args, "no_columnar", False)
     if args.shards > 1:
         rebalance = args.rebalance_interval
         return ShardedScheduler(shards=args.shards,
@@ -149,10 +155,12 @@ def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
                                                     else None),
                                 rebalance_ratio=args.rebalance_ratio,
                                 checkpoint_store=store,
-                                checkpoint_interval=interval)
+                                checkpoint_interval=interval,
+                                columnar=columnar)
     return ConcurrentQueryScheduler(sink=sink,
                                     checkpoint_store=store,
-                                    checkpoint_interval=interval)
+                                    checkpoint_interval=interval,
+                                    columnar=columnar)
 
 
 def _print_alert(alert: Alert) -> None:
