@@ -1,0 +1,195 @@
+"""E13 — shard supervision overhead and in-run crash recovery latency.
+
+PR 7's shard supervisor keeps a sharded run alive through worker
+failures: liveness probes detect dead/hung shards, a per-shard backlog
+journal makes the lost batches replayable, and recovery either restarts
+the shard from its last checkpoint or migrates its hosts to the
+survivors through the snapshot transfer codecs — either way finishing
+with the alerts of a fault-free run.  Supervision is only affordable if
+the fault-free cost is small, so this experiment measures four arms over
+the same multi-query, multi-host workload on the process backend:
+
+* **unsupervised** — the plain sharded run (the PR-6 baseline);
+* **supervised** — the same run with the default
+  :class:`~repro.core.parallel.SupervisionPolicy`; the headline
+  assertion is **<= 5% throughput overhead** (at full scale — smoke
+  runs are timing noise);
+* **kill -> restart** — shard 1 is SIGKILLed mid-stream (an injected
+  OOM kill) with a checkpoint store configured; the supervisor restarts
+  it from the last checkpoint and replays the journalled backlog.
+  Recorded with the recovery latency and replay volume from the run's
+  :class:`~repro.core.parallel.RecoveryRecord`, with alert-for-alert
+  equality against the fault-free oracle asserted;
+* **kill -> migrate** — the same kill with no checkpoint store: the
+  dead shard's hosts are re-homed onto the survivors via snapshot
+  transfer, again with alert parity asserted.
+
+Rates land in ``benchmarks/BENCH_e13.json`` via the shared conftest
+hook (annotated with recovery latency and events replayed, so the
+trajectory keeps recovery cost visible alongside throughput).
+"""
+
+import random
+import tempfile
+import time
+
+from benchmarks.conftest import (bench_scale, fresh_stream, print_table,
+                                 record_rate)
+from repro.core.parallel import ShardedScheduler, SupervisionPolicy
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.storage import CheckpointStore
+from repro.testing import FaultPlan, FaultSpec
+
+SHARDS = 3
+BATCH = 256
+HOSTS = [f"host-{n:02d}" for n in range(12)]
+
+#: Stateful, shardable (and steal-safe) queries: tumbling and sliding
+#: aggregation per host, so restart replay and migrate transfer both
+#: move real window state.
+QUERIES = [
+    ("volume-tumbling", '''
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount), n := count(evt.amount) } group by evt.agentid
+alert ss.t > 200000
+return ss.t, ss.n'''),
+    ("volume-sliding", '''
+proc p send ip i as evt #time(40, 10)
+state ss { t := sum(evt.amount), a := avg(evt.amount) } group by evt.agentid
+alert ss.t > 800000
+return ss.t, ss.a'''),
+]
+
+
+def fault_events(count):
+    rng = random.Random(31)
+    events = []
+    for position in range(count):
+        host = HOSTS[rng.randrange(len(HOSTS))]
+        events.append(Event(
+            subject=ProcessEntity.make("x.exe", pid=2, host=host),
+            operation=Operation.SEND,
+            obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", dstport=443),
+            timestamp=position * 0.01, agentid=host,
+            amount=float(rng.randrange(100, 1000))))
+    return events
+
+
+def _build(**kwargs):
+    scheduler = ShardedScheduler(shards=SHARDS, backend="process",
+                                 batch_size=BATCH, **kwargs)
+    for name, text in QUERIES:
+        scheduler.add_query(text, name=name)
+    return scheduler
+
+
+def _fingerprints(alerts):
+    return sorted((a.query_name, a.timestamp, a.data, repr(a.group_key),
+                   a.window_start, a.window_end, a.agentid) for a in alerts)
+
+
+def _timed_run(scheduler, source):
+    start = time.perf_counter()
+    alerts = scheduler.execute(source)
+    return time.perf_counter() - start, alerts
+
+
+def _paced(events, every=BATCH, delay=0.004):
+    """Pace the parent's feed so the workers keep up with it.
+
+    The fault arms need the worker to actually *reach* its kill point
+    while the parent is still mid-stream (an unpaced parent can finish
+    feeding the whole smoke-scale stream before the lagging worker dies,
+    pushing detection into the collection phase).  The pacing cost is
+    part of the measured wall-clock, so the fault-arm rates understate
+    throughput slightly; the latency/replay numbers are the signal.
+    """
+    for position, event in enumerate(events):
+        if position and position % every == 0:
+            time.sleep(delay)
+        yield event
+
+
+def test_e13_supervision_overhead_and_recovery():
+    count = int(80000 * bench_scale())
+    # after_events counts the *target lane's* stream (~count / SHARDS
+    # events), so this kills shard 1 about a quarter into its share —
+    # early enough that the paced parent is still mid-stream when the
+    # worker reaches the kill point, keeping detection in-run.
+    kill_at = max(BATCH, count // (4 * SHARDS))
+    interval = max(500, int(10000 * bench_scale()))
+    events = fault_events(count)
+
+    unsupervised = _build()
+    unsupervised_seconds, alerts = _timed_run(unsupervised,
+                                              fresh_stream(events))
+    unsupervised_rate = count / unsupervised_seconds
+    oracle = _fingerprints(alerts)
+
+    supervised = _build(supervision=SupervisionPolicy())
+    supervised_seconds, alerts = _timed_run(supervised,
+                                            fresh_stream(events))
+    supervised_rate = count / supervised_seconds
+    assert supervised.recoveries == []
+    assert _fingerprints(alerts) == oracle
+    overhead = (unsupervised_rate - supervised_rate) / unsupervised_rate
+
+    # Kill -> restart: a checkpoint store exists, so the supervisor
+    # rebuilds the dead shard from its last snapshot and replays the
+    # backlog journal.
+    plan = FaultPlan([FaultSpec("kill", shard=1, after_events=kill_at)])
+    with tempfile.TemporaryDirectory() as tmp:
+        restart = _build(supervision=SupervisionPolicy(),
+                         checkpoint_store=CheckpointStore(tmp),
+                         checkpoint_interval=interval, fault_plan=plan)
+        restart_seconds, alerts = _timed_run(restart, _paced(events))
+        restart_rate = count / restart_seconds
+        assert len(restart.recoveries) == 1
+        restart_record = restart.recoveries[0]
+        assert restart_record.mode == "restart"
+        assert restart_record.restored_checkpoint
+        assert _fingerprints(alerts) == oracle
+
+    # Kill -> migrate: no checkpoint store, so the dead shard's hosts
+    # move to the survivors through the snapshot transfer codecs.
+    migrate = _build(supervision=SupervisionPolicy(), fault_plan=plan)
+    migrate_seconds, alerts = _timed_run(migrate, _paced(events))
+    migrate_rate = count / migrate_seconds
+    assert len(migrate.recoveries) == 1
+    migrate_record = migrate.recoveries[0]
+    assert migrate_record.mode == "migrate"
+    assert migrate_record.migrated_agentids
+    assert _fingerprints(alerts) == oracle
+
+    print_table(
+        f"E13: shard supervision ({SHARDS} process shards, {count} "
+        f"events, kill at {kill_at})",
+        ["arm", "events/s", "notes"],
+        [
+            ["unsupervised", f"{unsupervised_rate:,.0f}",
+             "the PR-6 baseline"],
+            ["supervised", f"{supervised_rate:,.0f}",
+             f"{overhead * 100:.1f}% overhead, 0 recoveries"],
+            ["kill -> restart", f"{restart_rate:,.0f}",
+             f"recovered in {restart_record.latency:.2f}s, "
+             f"{restart_record.events_replayed} events replayed"],
+            ["kill -> migrate", f"{migrate_rate:,.0f}",
+             f"recovered in {migrate_record.latency:.2f}s, "
+             f"{len(migrate_record.migrated_agentids)} hosts migrated"],
+        ])
+
+    record_rate("e13", "unsupervised", unsupervised_rate)
+    record_rate("e13", "supervised", supervised_rate,
+                overhead_percent=round(overhead * 100, 2))
+    record_rate("e13", "kill_restart", restart_rate,
+                recovery_latency_seconds=round(restart_record.latency, 4),
+                events_replayed=restart_record.events_replayed)
+    record_rate("e13", "kill_migrate", migrate_rate,
+                recovery_latency_seconds=round(migrate_record.latency, 4),
+                hosts_migrated=len(migrate_record.migrated_agentids))
+
+    if bench_scale() >= 1.0:
+        assert overhead <= 0.05, (
+            f"supervision cost {overhead * 100:.1f}% throughput on a "
+            f"fault-free run (limit 5%)")

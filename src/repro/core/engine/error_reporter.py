@@ -3,13 +3,25 @@
 During concurrent query execution one misbehaving query must not take the
 whole stream down; runtime errors are captured as :class:`ErrorRecord`
 entries that the CLI and the scheduler surface to the analyst.
+
+Two classes of error are distinguished: *evaluation* errors (SAQL-level —
+a type mismatch in an alert expression, a malformed attribute access)
+skip one alert and are business as usual, while *fatal* errors (a
+compiled closure or columnar plan raising a non-SAQL exception) indicate
+a broken query.  The reporter keeps per-query counters for both so the
+scheduler's quarantine circuit-breaker — and anyone reading
+``SchedulerStats`` — can tell *which* queries are degraded, how badly,
+and over what stretch of event time, without scanning the bounded record
+list (which drops entries once ``max_records`` is reached; the counters
+never do).
 """
 
 from __future__ import annotations
 
 import traceback
-from dataclasses import dataclass, field
-from typing import List, Optional
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -20,11 +32,15 @@ class ErrorRecord:
     message: str
     timestamp: Optional[float] = None
     details: str = ""
+    #: True for non-SAQL failures (crashing closures/plans) — the class
+    #: of error the quarantine circuit-breaker budgets.
+    fatal: bool = False
 
     def describe(self) -> str:
         """Render a one-line description of the error."""
         when = f" t={self.timestamp:.0f}" if self.timestamp is not None else ""
-        return f"[{self.query_name}]{when} ERROR: {self.message}"
+        kind = "FATAL" if self.fatal else "ERROR"
+        return f"[{self.query_name}]{when} {kind}: {self.message}"
 
 
 class ErrorReporter:
@@ -34,9 +50,15 @@ class ErrorReporter:
         self._records: List[ErrorRecord] = []
         self._max_records = max_records
         self._dropped = 0
+        self._counts: Counter = Counter()
+        self._fatal_counts: Counter = Counter()
+        #: query -> (first event-time timestamp, last event-time timestamp)
+        self._spans: Dict[str, List[Optional[float]]] = {}
+        self._last: Dict[str, ErrorRecord] = {}
 
     def report(self, query_name: str, error: Exception,
-               timestamp: Optional[float] = None) -> ErrorRecord:
+               timestamp: Optional[float] = None,
+               fatal: bool = False) -> ErrorRecord:
         """Record an exception and return the stored record."""
         record = ErrorRecord(
             query_name=query_name,
@@ -44,11 +66,22 @@ class ErrorReporter:
             timestamp=timestamp,
             details="".join(traceback.format_exception_only(type(error),
                                                             error)).strip(),
+            fatal=fatal,
         )
         if len(self._records) < self._max_records:
             self._records.append(record)
         else:
             self._dropped += 1
+        self._counts[query_name] += 1
+        if fatal:
+            self._fatal_counts[query_name] += 1
+        span = self._spans.setdefault(query_name, [timestamp, timestamp])
+        if timestamp is not None:
+            if span[0] is None or timestamp < span[0]:
+                span[0] = timestamp
+            if span[1] is None or timestamp > span[1]:
+                span[1] = timestamp
+        self._last[query_name] = record
         return record
 
     @property
@@ -63,9 +96,75 @@ class ErrorReporter:
 
     def has_errors(self) -> bool:
         """Return True when at least one error was reported."""
-        return bool(self._records)
+        return bool(self._counts)
+
+    # -- per-query accounting ----------------------------------------------
+
+    def count(self, query_name: str) -> int:
+        """Total errors recorded against one query (never truncated)."""
+        return self._counts.get(query_name, 0)
+
+    def fatal_count(self, query_name: str) -> int:
+        """Fatal (non-SAQL) errors recorded against one query."""
+        return self._fatal_counts.get(query_name, 0)
+
+    def counts(self) -> Dict[str, int]:
+        """Per-query total error counts."""
+        return dict(self._counts)
+
+    def fatal_counts(self) -> Dict[str, int]:
+        """Per-query fatal error counts."""
+        return dict(self._fatal_counts)
+
+    def last_error(self, query_name: str) -> Optional[ErrorRecord]:
+        """The most recent record for one query (survives truncation)."""
+        return self._last.get(query_name)
+
+    def per_query(self) -> List[Dict[str, Any]]:
+        """Per-query error summary, worst offenders first.
+
+        Each row carries the total and fatal counts, the event-time span
+        the errors covered, the per-event-time-second rate over that span
+        (0.0 when the span is empty or timestamps were never supplied)
+        and the latest message — enough for the CLI and
+        ``SchedulerStats`` consumers to say *why* a query is degraded.
+        """
+        rows: List[Dict[str, Any]] = []
+        for name in self._counts:
+            first, last = self._spans.get(name, [None, None])
+            span = ((last - first)
+                    if first is not None and last is not None else 0.0)
+            count = self._counts[name]
+            record = self._last.get(name)
+            rows.append({
+                "query": name,
+                "errors": count,
+                "fatal_errors": self._fatal_counts.get(name, 0),
+                "first_timestamp": first,
+                "last_timestamp": last,
+                "errors_per_second": (count / span if span > 0 else 0.0),
+                "last_message": record.message if record is not None else "",
+            })
+        rows.sort(key=lambda row: (-row["fatal_errors"], -row["errors"],
+                                   row["query"]))
+        return rows
+
+    def clear_query(self, query_name: str) -> None:
+        """Forget one query's counters (re-arming a quarantined query).
+
+        The bounded record list keeps its history — the analyst can still
+        see what happened — but the circuit-breaker's budget restarts.
+        """
+        self._counts.pop(query_name, None)
+        self._fatal_counts.pop(query_name, None)
+        self._spans.pop(query_name, None)
+        self._last.pop(query_name, None)
 
     def clear(self) -> None:
         """Discard all captured errors."""
         self._records.clear()
         self._dropped = 0
+        self._counts.clear()
+        self._fatal_counts.clear()
+        self._spans.clear()
+        self._last.clear()

@@ -50,17 +50,27 @@ from repro.core.parallel.stealing import (
     WorkStealingBalancer,
     steal_eligibility,
 )
+from repro.core.parallel.supervision import (
+    BackoffPolicy,
+    RecoveryRecord,
+    ShardFailure,
+    SupervisionPolicy,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_REBALANCE_RATIO",
     "MigrationRecord",
     "ProcessShard",
+    "RecoveryRecord",
     "SerialShard",
+    "ShardFailure",
     "ShardabilityReport",
     "ShardedScheduler",
     "StealDecision",
     "StealEligibility",
+    "SupervisionPolicy",
     "ThreadShard",
     "WorkStealingBalancer",
     "analyze_shardability",

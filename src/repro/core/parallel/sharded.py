@@ -69,6 +69,19 @@ per shard over the same control channel, and persists them together with
 the single-lane state, the route overrides and the global stream cursor;
 :meth:`ShardedScheduler.restore_state` resumes a crashed run from the
 latest checkpoint with exactly-once alert re-emission.
+
+**Supervision.**  With ``supervision`` enabled, a :class:`_ShardSupervisor`
+watches the lanes during the run: liveness probes (``("ping", seq)``
+control messages answered in feed order), per-send deadlines and a
+per-batch liveness scan detect dead and hung workers, and the supervisor
+recovers *in-run* instead of aborting — it rebuilds the lane from the
+last per-shard checkpoint slice and replays the event/control backlog it
+journals between checkpoints, or, when no checkpoint exists, migrates
+the dead shard's agentids to the surviving lanes through the snapshot
+transfer codecs and retires the lane.  Either path reproduces the lost
+lane's alerts exactly (the restored alert ledger covers everything up to
+the checkpoint; the replay regenerates the rest), so the merged stream
+matches a fault-free run.  See :class:`SupervisionPolicy` for the knobs.
 """
 
 from __future__ import annotations
@@ -95,6 +108,13 @@ from repro.core.parallel.stealing import (
     StealEligibility,
     WorkStealingBalancer,
     steal_eligibility,
+)
+from repro.core.parallel.supervision import (
+    DEFAULT_BACKOFF,
+    Backoff,
+    RecoveryRecord,
+    ShardFailure,
+    SupervisionPolicy,
 )
 from repro.core.expr.values import compare_values
 from repro.core.scheduler.compatibility import compatibility_signature
@@ -177,6 +197,9 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
         merged.column_blocks_built += stats.column_blocks_built
         _merge_predicate_sharing(merged.predicate_sharing,
                                  stats.predicate_sharing)
+        for name, count in stats.quarantined.items():
+            merged.quarantined[name] = max(merged.quarantined.get(name, 0),
+                                           count)
     if per_shard:
         merged.queries = max(stats.queries for stats in per_shard)
         merged.groups = max(stats.groups for stats in per_shard)
@@ -196,6 +219,9 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
         merged.column_blocks_built += single_lane.column_blocks_built
         _merge_predicate_sharing(merged.predicate_sharing,
                                  single_lane.predicate_sharing)
+        for name, count in single_lane.quarantined.items():
+            merged.quarantined[name] = max(merged.quarantined.get(name, 0),
+                                           count)
         merged.queries += single_lane.queries
         merged.groups += single_lane.groups
     merged.distinct_predicates = len(merged.predicate_sharing)
@@ -239,11 +265,13 @@ def _alert_sort_key(alert: Alert) -> Tuple:
 def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
                      enable_sharing: bool,
                      track_agent_load: bool = False,
-                     columnar: bool = True
+                     columnar: bool = True,
+                     quarantine_errors: Optional[int] = None
                      ) -> ConcurrentQueryScheduler:
     scheduler = ConcurrentQueryScheduler(enable_sharing=enable_sharing,
                                          track_agent_load=track_agent_load,
-                                         columnar=columnar)
+                                         columnar=columnar,
+                                         quarantine_errors=quarantine_errors)
     for name, source in queries:
         scheduler.add_query(source, name=name)
     return scheduler
@@ -266,9 +294,15 @@ def _answer_control(scheduler: ConcurrentQueryScheduler,
     * ``("import", agentid_key, payload)`` merges a donor's exported
       slice (thief side) and acknowledges;
     * ``("snapshot", sequence)`` returns the scheduler's full state
-      snapshot (parent-coordinated checkpointing).
+      snapshot (parent-coordinated checkpointing);
+    * ``("ping", sequence)`` echoes the sequence — a liveness probe that,
+      because control messages are processed in feed order, also bounds
+      how far the shard lags behind its queue (the supervisor's hang
+      detector keys on unanswered probes).
     """
     kind = message[0]
+    if kind == "ping":
+        return ("ping", message[1])
     if kind == "load":
         return ("load", message[1], scheduler.take_load_report())
     if kind == "drain":
@@ -300,24 +334,35 @@ class SerialShard:
 
     def __init__(self, queries, enable_sharing: bool,
                  track_agent_load: bool = False, index: int = 0,
-                 restore=None, columnar: bool = True):
+                 restore=None, columnar: bool = True,
+                 quarantine_errors: Optional[int] = None,
+                 fault_plan=None):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
-                                           track_agent_load, columnar)
+                                           track_agent_load, columnar,
+                                           quarantine_errors)
         self._alerts: List[Alert] = []
         if restore is not None:
             # Seed the output with the restored alert ledger so the
             # merged result equals the uninterrupted run's alerts.
             self._scheduler.restore_state(restore)
             self._alerts.extend(self._scheduler.emitted_alerts())
+        if fault_plan is not None:
+            fault_plan.install(self._scheduler, index, in_worker=False)
         self._responses: List[Tuple] = []
 
-    def feed(self, batch: List[Event]) -> None:
+    def feed(self, batch: List[Event],
+             timeout: Optional[float] = None) -> None:
         self._alerts.extend(self._scheduler.process_events(batch))
 
-    def request_control(self, message: Tuple) -> None:
+    def request_control(self, message: Tuple,
+                        timeout: Optional[float] = None) -> None:
         """Answer a control message (inline, so immediately)."""
         self._responses.append(_answer_control(self._scheduler, message))
+
+    def is_alive(self) -> bool:
+        """Inline execution cannot die silently; failures raise in feed."""
+        return True
 
     def poll_control(self) -> List[Tuple]:
         """Return (and clear) the pending control responses."""
@@ -329,7 +374,8 @@ class SerialShard:
         stats = self._scheduler.stats
         return stats.buffered_events, stats.buffered_matches
 
-    def finish(self) -> Tuple[List[Alert], SchedulerStats]:
+    def finish(self, timeout: Optional[float] = None
+               ) -> Tuple[List[Alert], SchedulerStats]:
         self._alerts.extend(self._scheduler.finish())
         return self._alerts, self._scheduler.stats
 
@@ -354,15 +400,20 @@ class ThreadShard:
 
     def __init__(self, queries, enable_sharing: bool,
                  track_agent_load: bool = False, index: int = 0,
-                 restore=None, columnar: bool = True):
+                 restore=None, columnar: bool = True,
+                 quarantine_errors: Optional[int] = None,
+                 fault_plan=None):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
-                                           track_agent_load, columnar)
+                                           track_agent_load, columnar,
+                                           quarantine_errors)
         self._alerts: List[Alert] = []
         if restore is not None:
             # Restored before the worker thread starts consuming.
             self._scheduler.restore_state(restore)
             self._alerts.extend(self._scheduler.emitted_alerts())
+        if fault_plan is not None:
+            fault_plan.install(self._scheduler, index, in_worker=False)
         self._queue: "queue.Queue[Optional[Union[List[Event], Tuple]]]" = (
             queue.Queue(maxsize=_QUEUE_DEPTH))
         self._responses: "queue.Queue[Tuple]" = queue.Queue()
@@ -385,28 +436,43 @@ class ThreadShard:
         except BaseException as error:  # surfaced by feed()/finish()
             self._error = error
 
-    def _put(self, item: Optional[Union[List[Event], Tuple]]) -> None:
+    def _put(self, item: Optional[Union[List[Event], Tuple]],
+             timeout: Optional[float] = None) -> None:
         # A blocking put against a dead consumer would hang the stream
         # loop forever once the bounded queue fills, so surface the
-        # thread's failure instead of waiting on it.
+        # thread's failure instead of waiting on it.  With a timeout a
+        # *live but unresponsive* worker (blocked mid-batch) is reported
+        # as hung instead of stalling the parent indefinitely.
+        waiter = DEFAULT_BACKOFF.waiter(timeout, seed=self.index)
         while True:
             try:
-                self._queue.put(item, timeout=0.1)
+                self._queue.put(item, timeout=waiter.interval())
                 return
             except queue.Full:
                 if self._error is not None:
                     raise self._error
                 if not self._thread.is_alive():
-                    raise RuntimeError("shard thread exited mid-stream")
+                    raise ShardFailure(self.index, "dead",
+                                       "shard thread exited mid-stream")
+                if waiter.expired:
+                    raise ShardFailure(
+                        self.index, "hung",
+                        f"shard {self.index} thread stopped consuming its "
+                        f"queue (blocked for over {timeout:.1f}s)")
 
-    def feed(self, batch: List[Event]) -> None:
+    def feed(self, batch: List[Event],
+             timeout: Optional[float] = None) -> None:
         if self._error is not None:
             raise self._error
-        self._put(batch)
+        self._put(batch, timeout)
 
-    def request_control(self, message: Tuple) -> None:
+    def request_control(self, message: Tuple,
+                        timeout: Optional[float] = None) -> None:
         """Enqueue a control message; answered in feed order."""
-        self._put(message)
+        self._put(message, timeout)
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
 
     def poll_control(self) -> List[Tuple]:
         """Return the control responses posted so far (non-blocking)."""
@@ -427,14 +493,33 @@ class ThreadShard:
         stats = self._scheduler.stats
         return stats.buffered_events, stats.buffered_matches
 
-    def finish(self) -> Tuple[List[Alert], SchedulerStats]:
+    def finish(self, timeout: Optional[float] = None
+               ) -> Tuple[List[Alert], SchedulerStats]:
         if self._thread.is_alive():
-            self._put(None)
-        self._thread.join()
+            self._put(None, timeout)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ShardFailure(
+                self.index, "hung",
+                f"shard {self.index} thread did not finish its stream "
+                f"within {timeout:.1f}s")
         if self._error is not None:
             raise self._error
         self._alerts.extend(self._scheduler.finish())
         return self._alerts, self._scheduler.stats
+
+    def abandon(self) -> None:
+        """Drop a hung worker without waiting for it (supervised teardown).
+
+        The daemon thread may be blocked mid-batch; joining it would
+        stall the supervisor for the length of the hang, so the sentinel
+        is posted best-effort and the thread is simply abandoned — its
+        scheduler and alert list die with this object's references.
+        """
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
 
     def close(self) -> None:
         """Stop the worker thread without requiring a clean finish.
@@ -464,36 +549,45 @@ def _process_shard_main(index: int,
                         track_agent_load: bool,
                         in_queue: "multiprocessing.Queue",
                         out_queue: "multiprocessing.Queue",
-                        restore=None, columnar: bool = True) -> None:
+                        restore=None, columnar: bool = True,
+                        generation: int = 0,
+                        quarantine_errors: Optional[int] = None,
+                        fault_plan=None) -> None:
     """Worker entry point: compile the queries, drain batches, report back.
 
-    The out queue carries tagged tuples: ``("ctrl", index, response)`` for
-    control-message answers mid-stream, ``("done", index, alerts, stats,
-    error)`` exactly once at the end.  ``restore`` is an optional
+    The out queue carries tagged tuples: ``("ctrl", index, generation,
+    response)`` for control-message answers mid-stream, ``("done", index,
+    generation, alerts, stats, error)`` exactly once at the end.  The
+    ``generation`` stamp lets a supervised parent discard late output
+    from a worker it already replaced.  ``restore`` is an optional
     scheduler snapshot (plain JSON-friendly dicts, so it crosses the
     process boundary without pickling engine objects) applied before any
     batch is consumed.
     """
     try:
         scheduler = _build_scheduler(queries, enable_sharing,
-                                     track_agent_load, columnar)
+                                     track_agent_load, columnar,
+                                     quarantine_errors)
         alerts: List[Alert] = []
         if restore is not None:
             scheduler.restore_state(restore)
             alerts.extend(scheduler.emitted_alerts())
+        if fault_plan is not None:
+            fault_plan.install(scheduler, index, in_worker=True)
         while True:
             item = in_queue.get()
             if item is None:
                 break
             if isinstance(item, tuple):
-                out_queue.put(("ctrl", index,
+                out_queue.put(("ctrl", index, generation,
                                _answer_control(scheduler, item)))
                 continue
             alerts.extend(scheduler.process_events(item))
         alerts.extend(scheduler.finish())
-        out_queue.put(("done", index, alerts, scheduler.stats, None))
+        out_queue.put(("done", index, generation, alerts, scheduler.stats,
+                       None))
     except BaseException as error:
-        out_queue.put(("done", index, [], None,
+        out_queue.put(("done", index, generation, [], None,
                        f"{type(error).__name__}: {error}"))
 
 
@@ -502,41 +596,51 @@ class ProcessShard:
 
     def __init__(self, index: int, queries, enable_sharing: bool,
                  context, out_queue, track_agent_load: bool = False,
-                 restore=None, columnar: bool = True):
+                 restore=None, columnar: bool = True, generation: int = 0,
+                 quarantine_errors: Optional[int] = None, fault_plan=None):
         self.index = index
+        self.generation = generation
         self._in_queue = context.Queue(maxsize=_QUEUE_DEPTH)
         self._out_queue = out_queue
         self._process = context.Process(
             target=_process_shard_main,
             args=(index, list(queries), enable_sharing, track_agent_load,
-                  self._in_queue, out_queue, restore, columnar),
+                  self._in_queue, out_queue, restore, columnar, generation,
+                  quarantine_errors, fault_plan),
             daemon=True,
             name=f"saql-shard-{index}")
         self._process.start()
 
-    def feed(self, batch: List[Event]) -> None:
+    def _put(self, item, timeout: Optional[float] = None) -> None:
         # Same liveness rule as ThreadShard: a worker that died mid-stream
         # (its error tuple sits on the out queue) must not deadlock the
-        # parent's feed loop once the bounded in-queue fills.
+        # parent's feed loop once the bounded in-queue fills; a *live*
+        # worker that stopped consuming (SIGSTOP, a wedged batch) is
+        # reported as hung once the supervised timeout passes.
+        waiter = DEFAULT_BACKOFF.waiter(timeout, seed=self.index)
         while True:
             try:
-                self._in_queue.put(batch, timeout=0.1)
+                self._in_queue.put(item, timeout=waiter.interval())
                 return
             except queue.Full:
                 if not self._process.is_alive():
-                    raise RuntimeError(
+                    raise ShardFailure(
+                        self.index, "dead",
                         f"shard {self.index} worker exited mid-stream")
+                if waiter.expired:
+                    raise ShardFailure(
+                        self.index, "hung",
+                        f"shard {self.index} worker stopped consuming its "
+                        f"queue (blocked for over {timeout:.1f}s)")
 
-    def request_control(self, message: Tuple) -> None:
+    def feed(self, batch: List[Event],
+             timeout: Optional[float] = None) -> None:
+        self._put(batch, timeout)
+
+    def request_control(self, message: Tuple,
+                        timeout: Optional[float] = None) -> None:
         """Enqueue a control message; the answer arrives on the out queue."""
-        while True:
-            try:
-                self._in_queue.put(message, timeout=0.1)
-                return
-            except queue.Full:
-                if not self._process.is_alive():
-                    raise RuntimeError(
-                        f"shard {self.index} worker exited mid-stream")
+        self._put(message, timeout)
 
     def close(self) -> None:
         # The sentinel must actually arrive: silently dropping it on a
@@ -561,6 +665,22 @@ class ProcessShard:
         if self._process.is_alive():
             self._process.terminate()
         self._process.join(timeout=5.0)
+
+    def kill(self) -> None:
+        """Hard-kill the worker (supervised teardown of a dead/hung shard).
+
+        SIGKILL, not SIGTERM: a SIGSTOPped worker leaves SIGTERM pending
+        (delivered only on SIGCONT, i.e. never), while SIGKILL takes a
+        stopped process down immediately.
+        """
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(timeout=5.0)
+        # The in-queue's feeder thread may be blocked writing into a pipe
+        # nobody will ever read again; without cancel_join_thread the
+        # queue's exit-time finalizer would join that thread forever.
+        self._in_queue.cancel_join_thread()
+        self._in_queue.close()
 
     def is_alive(self) -> bool:
         return self._process.is_alive()
@@ -740,7 +860,7 @@ class _StealingCoordinator:
         """True while a transfer migration has frozen this lane's intake."""
         return self._paused.get(position, 0) > 0
 
-    def finalize(self, deadline: float = 30.0) -> None:
+    def finalize(self, deadline: float = 30.0, liveness=None) -> None:
         """Settle every in-flight migration at end of stream.
 
         Planning freezes first (a migration planned now could never
@@ -751,25 +871,68 @@ class _StealingCoordinator:
         mid-stream drain would have.  Transfer migrations must still
         complete for real: the export requests are already in the donors'
         FIFOs, so their answers are pumped out before the shards finish.
+
+        ``liveness(pending, stalled)`` — supplied by the shard supervisor
+        — may raise :class:`ShardFailure` when a donor the wait depends
+        on is found dead or silent, turning a full-deadline stall into a
+        prompt recovery.
         """
         self._closing = True
         self._request_handoffs()
-        waited = 0.0
+        waiter = DEFAULT_BACKOFF.waiter(deadline)
         while any(migration.transfer
                   for migration in self._migrating.values()):
+            before = len(self._migrating)
             self.pump()
             if not any(migration.transfer
                        for migration in self._migrating.values()):
                 break
-            if waited >= deadline:
+            if len(self._migrating) != before:
+                waiter.reset()
+                continue
+            if liveness is not None:
+                liveness({migration.source
+                          for migration in self._migrating.values()
+                          if migration.transfer}, waiter.elapsed)
+            if not waiter.wait():
                 raise RuntimeError(
                     "state-transfer migration did not complete: donor "
                     "shard never answered the export request")
-            time.sleep(0.005)
-            waited += 0.005
         for migration in self._migrating.values():
             self._complete_aligned(migration, mid_stream=False)
         self._migrating.clear()
+
+    # -- supervisor hooks ----------------------------------------------------
+
+    def disable_planning(self) -> None:
+        """Permanently stop planning migrations (a lane was retired).
+
+        A retired lane reports near-zero load, so the balancer would
+        happily pick it as a thief — and events fed to it would vanish.
+        After a migrate recovery the remaining lanes keep their routes
+        for the rest of the run.
+        """
+        self._closing = True
+
+    def on_recovery(self, position: int) -> None:
+        """Reset control-channel expectations after a shard was rebuilt.
+
+        The dead worker's un-answered messages fall into two classes:
+        state-bearing requests (export/import) are journaled by the
+        supervisor and re-answered during replay, while ephemeral ones
+        must be re-asked — pending aligned drains are re-armed here, and
+        an epoch stuck waiting on the dead shard's load report is
+        abandoned (the next interval starts a fresh one; late answers
+        carry a stale epoch and are ignored).
+        """
+        if self._awaiting_reports:
+            self._awaiting_reports.clear()
+            self._reports = {}
+            self._events_since_epoch = 0
+        for migration in self._migrating.values():
+            if (migration.source == position and not migration.transfer
+                    and migration.drain_pending):
+                migration.drain_pending = False
 
     # -- control-channel handling -------------------------------------------
 
@@ -951,8 +1114,11 @@ class _ShardCheckpointer:
     def __init__(self, store, interval: int, shard_count: int,
                  send, poll, flush_all, single_lane,
                  overrides: Dict[str, int], resolved_map,
-                 resume_cursor=None, steal_coordinator=None):
+                 resume_cursor=None, steal_coordinator=None,
+                 liveness=None, on_checkpoint=None):
         self._store = store
+        self._liveness = liveness
+        self._on_checkpoint = on_checkpoint
         self._interval = interval
         self._shard_count = shard_count
         self._send = send
@@ -1017,7 +1183,7 @@ class _ShardCheckpointer:
         for position in range(self._shard_count):
             self._send(position, ("snapshot", self._sequence))
         collected: Dict[int, Any] = {}
-        waited = 0.0
+        waiter = DEFAULT_BACKOFF.waiter(deadline)
         while len(collected) < self._shard_count:
             progressed = False
             for position, response in self._poll():
@@ -1030,13 +1196,21 @@ class _ShardCheckpointer:
                     self._coordinator._deliver(position, response)
             if len(collected) >= self._shard_count:
                 break
-            if not progressed:
-                if waited >= deadline:
-                    raise RuntimeError(
-                        "checkpoint timed out: a shard never answered the "
-                        "snapshot request")
-                time.sleep(0.002)
-                waited += 0.002
+            if progressed:
+                waiter.reset()
+                continue
+            if self._liveness is not None:
+                # The supervisor raises ShardFailure for a dead or silent
+                # lane; this checkpoint attempt aborts (its sequence is
+                # burned, late answers are filtered) and the next due
+                # batch retries against the recovered lane.
+                self._liveness(
+                    set(range(self._shard_count)) - set(collected),
+                    waiter.elapsed)
+            if not waiter.wait():
+                raise RuntimeError(
+                    "checkpoint timed out: a shard never answered the "
+                    "snapshot request")
         snapshot = {
             "version": SNAPSHOT_VERSION,
             "kind": "sharded",
@@ -1058,11 +1232,17 @@ class _ShardCheckpointer:
         self._store.save(snapshot)
         self.checkpoints_written += 1
         self._events_since = 0
+        if self._on_checkpoint is not None:
+            # The supervisor adopts the snapshot as the new recovery base
+            # and drops its event/control backlog (everything journaled
+            # so far is contained in the snapshot: the buffers were
+            # flushed above and control messages run in feed order).
+            self._on_checkpoint(snapshot)
 
 
 
 def _lane_feeders(lanes, buffers: List[List["Event"]],
-                  active: Sequence[bool]):
+                  active: Sequence[bool], feed=None, send=None):
     """Build the parent-side routing-buffer plumbing for one backend.
 
     All three lane classes expose ``feed``/``request_control``, so the
@@ -1073,12 +1253,26 @@ def _lane_feeders(lanes, buffers: List[List["Event"]],
     returns a lane's buffer (transfer-group journal merge),
     ``feed_events`` delivers an explicit event list to an active lane,
     and ``send`` posts a control message.
+
+    ``feed(position, batch)`` / ``send(position, message)`` default to
+    direct lane calls; a supervised run passes the supervisor's wrappers
+    so every delivery is journaled and failure-recovered.  The routing
+    buffer is detached *before* feeding: a supervised feed may recover
+    the lane mid-call (replaying the journaled batch), and the buffer
+    re-flushing afterwards would deliver it twice.
     """
+    if feed is None:
+        def feed(position: int, batch: List[Event]) -> None:
+            lanes[position].feed(batch)
+    if send is None:
+        def send(position: int, message: Tuple) -> None:
+            lanes[position].request_control(message)
 
     def flush_pending(position: int) -> None:
         if buffers[position]:
-            lanes[position].feed(buffers[position])
+            batch = buffers[position]
             buffers[position] = []
+            feed(position, batch)
 
     def flush_all_pending() -> None:
         for position in range(len(buffers)):
@@ -1091,12 +1285,532 @@ def _lane_feeders(lanes, buffers: List[List["Event"]],
 
     def feed_events(position: int, events: Sequence[Event]) -> None:
         if events and active[position]:
-            lanes[position].feed(list(events))
-
-    def send(position: int, message: Tuple) -> None:
-        lanes[position].request_control(message)
+            feed(position, list(events))
 
     return flush_pending, flush_all_pending, drain_pending, feed_events, send
+
+
+# ---------------------------------------------------------------------------
+# Shard supervision (in-run crash/hang recovery)
+# ---------------------------------------------------------------------------
+
+class _RetiredLane:
+    """Placeholder for a shard whose state migrated to the survivors.
+
+    After a migrate recovery the position's traffic is re-routed at the
+    source (overrides for known agentids, :meth:`_ShardSupervisor.reroute`
+    for fresh ones), but the control protocol still addresses every
+    position — checkpoints snapshot all lanes, epochs collect all load
+    reports — so the retired slot answers control messages inline against
+    the drained salvage scheduler and contributes its salvaged alerts at
+    finish.  It reports itself alive (there is no worker to die) and
+    refuses event feeds loudly: any feed reaching it is a routing bug.
+    """
+
+    def __init__(self, index: int, scheduler: ConcurrentQueryScheduler,
+                 alerts: List[Alert]):
+        self.index = index
+        self.generation = -1
+        self._scheduler = scheduler
+        self._alerts = alerts
+        self._responses: List[Tuple] = []
+
+    def feed(self, batch: List[Event],
+             timeout: Optional[float] = None) -> None:
+        raise ShardFailure(
+            self.index, "retired",
+            f"shard {self.index} was retired after state migration; its "
+            "events must re-route to the survivors")
+
+    def request_control(self, message: Tuple,
+                        timeout: Optional[float] = None) -> None:
+        self._responses.append(_answer_control(self._scheduler, message))
+
+    def poll_control(self) -> List[Tuple]:
+        responses, self._responses = self._responses, []
+        return responses
+
+    def buffer_sample(self) -> Tuple[int, int]:
+        return (0, 0)
+
+    def is_alive(self) -> bool:
+        return True
+
+    def finish(self, timeout: Optional[float] = None
+               ) -> Tuple[List[Alert], SchedulerStats]:
+        return self._alerts, self._scheduler.stats
+
+    def close(self) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+    def join(self) -> None:
+        pass
+
+
+class _ShardSupervisor:
+    """Detects dead/hung shard lanes and recovers them without aborting.
+
+    One supervisor lives for one ``execute`` run.  It interposes on every
+    delivery to the lanes (the supervised ``feed``/``send`` closures of
+    :func:`_lane_feeders`), journaling a per-shard backlog of event
+    batches and state-bearing control messages (export/import) since the
+    last completed checkpoint.  Failures surface three ways: a delivery
+    raises :class:`ShardFailure` (dead worker, enqueue deadline passed),
+    the per-batch liveness scan finds a worker gone, or a ``("ping",
+    seq)`` probe ages past ``probe_timeout``.  Recovery then either
+
+    * **restarts** the lane — rebuild it from the last checkpoint slice
+      (None at run start) and replay the journaled backlog; the restored
+      alert ledger reproduces pre-checkpoint alerts and the replay
+      regenerates the rest, so the merged stream matches a fault-free
+      run (a crashed worker never shipped its partial output: process
+      lanes report alerts only at end of stream, in-process lanes' alert
+      lists die with the replaced object); or
+    * **migrates** — when no checkpoint exists, the backlog (which then
+      spans the whole run) is replayed into a parent-side salvage
+      scheduler, every agentid observed is exported through the snapshot
+      codecs and imported into a surviving lane (journaled there, so a
+      survivor crash replays it too), routes are overridden, and the
+      position is retired.  Requires a state-transfer-eligible lane
+      (same analysis as stealing), no pinned queries homed to the
+      position, at least one survivor, and no migration in flight; any
+      miss falls back to restart (with no checkpoint the backlog covers
+      the run from its start, so a from-scratch replay is always
+      available).  Stat counters for replayed work are counted by the
+      replaying lane, so merged work counters may exceed a fault-free
+      run's — the alert stream is what is guaranteed identical.
+
+    ``max_recoveries`` bounds recoveries per shard: a deterministic
+    poison batch would otherwise crash-replay-crash forever.
+    """
+
+    _JOURNALED_CONTROL = ("export", "import")
+
+    def __init__(self, policy: SupervisionPolicy, backend: str,
+                 lanes: List[Any], active: List[bool], rebuild,
+                 restored: Optional[Dict[str, Any]],
+                 overrides: Dict[str, int],
+                 route_cache: Dict[str, int],
+                 build_spare=None, allow_migrate: bool = False,
+                 pinned_positions: frozenset = frozenset()):
+        self._policy = policy
+        self._backend = backend
+        self._lanes = lanes            # mutated in place on recovery
+        self._active = active          # mutated in place on retirement
+        self._rebuild = rebuild
+        self._snapshot = restored      # latest sharded snapshot (or None)
+        self._overrides = overrides
+        self._route_cache = route_cache
+        self._build_spare = build_spare
+        self._allow_migrate = allow_migrate
+        self._pinned_positions = pinned_positions
+        self._backlogs: List[List[Tuple[str, Any]]] = [[] for _ in lanes]
+        self._generations: List[int] = [0] * len(lanes)
+        self._recovery_counts: Counter = Counter()
+        self._retired: set = set()
+        self._survivors: Dict[int, Tuple[int, ...]] = {}
+        self._pings: Dict[int, Tuple[int, float]] = {}
+        self._ping_seq = 0
+        self._events_since_probe = 0
+        self._closing = False
+        self._poll = None
+        self._coordinator = None
+        self._drain_parent = None
+        self._requeue = None
+        self._standalone_pump = True
+        #: Completed recoveries, in order (observability, benchmarks).
+        self.records: List[RecoveryRecord] = []
+
+    def bind(self, coordinator=None, drain_parent=None,
+             requeue=None) -> None:
+        """Late-bind run plumbing built after the supervisor."""
+        self._coordinator = coordinator
+        self._drain_parent = drain_parent
+        self._requeue = requeue
+        # With a stealing coordinator, its per-batch pump drains the
+        # control channel (and our poll wrapper skims the pongs); without
+        # one the supervisor pumps itself or probes would never age out.
+        self._standalone_pump = coordinator is None
+
+    # -- supervised delivery -------------------------------------------------
+
+    def generation(self, position: int) -> int:
+        return self._generations[position]
+
+    def feed(self, position: int, batch: List[Event]) -> None:
+        """Deliver one event batch, journaling it first."""
+        if position in self._retired:
+            if self._requeue is not None:
+                self._requeue(batch)
+            return
+        if not self._active[position]:
+            return
+        self._backlogs[position].append(("events", batch))
+        self._operate(
+            position,
+            lambda lane: lane.feed(batch,
+                                   timeout=self._policy.feed_timeout),
+            journaled=True)
+
+    def send(self, position: int, message: Tuple) -> None:
+        """Deliver one control message (journaled when state-bearing)."""
+        journaled = message[0] in self._JOURNALED_CONTROL
+        if journaled and position not in self._retired:
+            self._backlogs[position].append(("ctrl", message))
+        self._operate(
+            position,
+            lambda lane: lane.request_control(
+                message, timeout=self._policy.feed_timeout),
+            journaled=journaled)
+
+    def _operate(self, position: int, operation, journaled: bool) -> None:
+        """Run one delivery, recovering the lane on failure.
+
+        A journaled delivery is not retried after recovery — the backlog
+        replay already carried it into the replacement.  A non-journaled
+        one (ping, snapshot, load, drain) is retried so the request
+        actually reaches the rebuilt lane.
+        """
+        while True:
+            try:
+                operation(self._lanes[position])
+                return
+            except ShardFailure as failure:
+                if failure.reason == "retired":
+                    return
+                self.recover(position, failure.reason, str(failure))
+            except Exception as error:
+                self.recover(position, "error",
+                             f"{type(error).__name__}: {error}")
+            if journaled or position in self._retired:
+                return
+
+    # -- detection -----------------------------------------------------------
+
+    def wrap_poll(self, poll):
+        """Wrap a backend's control poll: skim pongs, drain retired lanes.
+
+        The process backend's poll reads the shared out-queue only, so a
+        retired slot's inline answers (snapshots, load reports) are
+        collected here; the in-process backends iterate the lane list
+        and pick them up natively.
+        """
+        drain_retired = self._backend == "process"
+
+        def supervised_poll() -> List[Tuple[int, Tuple]]:
+            responses: List[Tuple[int, Tuple]] = []
+            for position, response in poll():
+                if response and response[0] == "ping":
+                    self._pings.pop(position, None)
+                else:
+                    responses.append((position, response))
+            if drain_retired:
+                for position in sorted(self._retired):
+                    for response in self._lanes[position].poll_control():
+                        if response and response[0] == "ping":
+                            continue
+                        responses.append((position, response))
+            return responses
+
+        self._poll = supervised_poll
+        return supervised_poll
+
+    def after_batch(self, routed_events: int) -> None:
+        """Per-batch supervision: liveness scan, probe aging, new probes."""
+        if self._standalone_pump and self._poll is not None:
+            # Nobody else drains the control channel this run; skim the
+            # pongs and drop anything else (it can only be a stale answer
+            # from an aborted checkpoint attempt).
+            self._poll()
+        now = time.monotonic()
+        for position, lane in enumerate(self._lanes):
+            if position in self._retired or not self._active[position]:
+                continue
+            alive = getattr(lane, "is_alive", None)
+            if alive is not None and not alive():
+                self.recover(position, "dead",
+                             f"shard {position} worker found dead by the "
+                             "liveness scan")
+                continue
+            pending = self._pings.get(position)
+            if (pending is not None
+                    and now - pending[1] > self._policy.probe_timeout):
+                del self._pings[position]
+                self.recover(position, "hung",
+                             f"shard {position} did not answer liveness "
+                             f"probe {pending[0]} within "
+                             f"{self._policy.probe_timeout:.1f}s")
+        self._events_since_probe += routed_events
+        if self._events_since_probe < self._policy.probe_interval:
+            return
+        self._events_since_probe = 0
+        self._ping_seq += 1
+        for position in range(len(self._lanes)):
+            if (position in self._retired or not self._active[position]
+                    or position in self._pings):
+                continue
+            self._pings[position] = (self._ping_seq, now)
+            self._operate(
+                position,
+                lambda lane, seq=self._ping_seq: lane.request_control(
+                    ("ping", seq), timeout=self._policy.feed_timeout),
+                journaled=False)
+
+    def liveness(self, pending, stalled: float) -> None:
+        """Raise for a dead/silent lane the parent is waiting on.
+
+        Passed to the checkpointer's collection loop and the stealing
+        coordinator's finalize so a mid-handshake crash surfaces as a
+        recoverable :class:`ShardFailure` instead of a deadline timeout.
+        """
+        for position in sorted(pending):
+            if position in self._retired or not self._active[position]:
+                continue
+            lane = self._lanes[position]
+            alive = getattr(lane, "is_alive", None)
+            if alive is not None and not alive():
+                raise ShardFailure(
+                    position, "dead",
+                    f"shard {position} worker died while the parent "
+                    "awaited its control answer")
+        if stalled > self._policy.probe_timeout:
+            for position in sorted(pending):
+                if (position not in self._retired
+                        and self._active[position]):
+                    raise ShardFailure(
+                        position, "hung",
+                        f"shard {position} went silent for "
+                        f"{stalled:.1f}s during a control round")
+
+    def attempt(self, operation) -> bool:
+        """Run a parent-side control round; False when it was cut short
+        by a shard failure (the lane is recovered, the caller retries)."""
+        try:
+            operation()
+            return True
+        except ShardFailure as failure:
+            if failure.reason == "retired":
+                return True
+            self.recover(failure.position, failure.reason, str(failure))
+            return False
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self, position: int, reason: str, detail: str) -> None:
+        """Recover one failed lane (restart or migrate); raises once the
+        shard exhausts its recovery budget."""
+        start = time.monotonic()
+        self._pings.pop(position, None)
+        self._teardown(self._lanes[position])
+        self._recovery_counts[position] += 1
+        if self._recovery_counts[position] > self._policy.max_recoveries:
+            raise ShardFailure(
+                position, reason,
+                f"shard {position} exceeded its recovery budget "
+                f"({self._policy.max_recoveries}) — last failure: {detail}")
+        slice_ = self._snapshot_slice(position)
+        mode = self._policy.recovery
+        if mode == "auto":
+            mode = "restart" if slice_ is not None else "migrate"
+        if mode == "migrate" and (slice_ is not None
+                                  or not self._can_migrate(position)):
+            # With a checkpoint, hosts absent from the backlog have state
+            # only the slice knows about; they cannot be re-homed, so
+            # restart is the sound path.
+            mode = "restart"
+        if mode == "migrate":
+            self.records.append(self._migrate(position, reason, start))
+        else:
+            # _restart appends its own record *before* recursing on a
+            # replay failure, so completed recoveries stay recorded even
+            # when a later nested one exhausts the budget and raises.
+            self._restart(position, reason, slice_, start)
+        if self._coordinator is not None:
+            self._coordinator.on_recovery(position)
+
+    def _teardown(self, lane) -> None:
+        """Release a failed lane's worker without waiting on it."""
+        for method in ("kill", "abandon", "close"):
+            teardown = getattr(lane, method, None)
+            if teardown is not None:
+                try:
+                    teardown()
+                except Exception:
+                    pass
+                return
+
+    def _snapshot_slice(self, position: int) -> Optional[Dict[str, Any]]:
+        if self._snapshot is None:
+            return None
+        return self._snapshot["shards"][position]
+
+    def _restart(self, position: int, reason: str,
+                 slice_: Optional[Dict[str, Any]],
+                 start: float) -> None:
+        generation = self._generations[position] + 1
+        self._generations[position] = generation
+        lane = self._rebuild(position, generation, slice_)
+        self._lanes[position] = lane
+        replayed = 0
+        timeout = self._policy.feed_timeout
+        replay_failure: Optional[Tuple[str, str]] = None
+        for kind, payload in list(self._backlogs[position]):
+            try:
+                if kind == "events":
+                    replayed += len(payload)
+                    lane.feed(payload, timeout=timeout)
+                else:
+                    lane.request_control(payload, timeout=timeout)
+            except ShardFailure as failure:
+                replay_failure = (failure.reason, str(failure))
+                break
+            except Exception as error:
+                replay_failure = ("error",
+                                  f"{type(error).__name__}: {error}")
+                break
+        self.records.append(RecoveryRecord(
+            position=position, reason=reason, mode="restart",
+            events_replayed=replayed,
+            latency=time.monotonic() - start,
+            backend=self._backend,
+            restored_checkpoint=slice_ is not None))
+        if replay_failure is not None:
+            # The replacement failed too (the backlog holds a poison
+            # batch, or the fault plan re-armed): recurse — the nested
+            # recovery replays the whole backlog itself, and the budget
+            # bounds the recursion.
+            self.recover(position, replay_failure[0], replay_failure[1])
+
+    def _can_migrate(self, position: int) -> bool:
+        if not self._allow_migrate or self._closing:
+            return False
+        if position in self._pinned_positions or self._build_spare is None:
+            return False
+        if (self._coordinator is not None
+                and self._coordinator.migrations_in_flight):
+            return False
+        return any(p != position and self._active[p]
+                   and p not in self._retired
+                   for p in range(len(self._lanes)))
+
+    def _migrate(self, position: int, reason: str,
+                 start: float) -> RecoveryRecord:
+        # No checkpoint exists (checked by the caller), so the backlog
+        # spans the run from its start: replaying it into a fresh salvage
+        # scheduler reproduces the dead lane's full state and every alert
+        # it emitted but never shipped.
+        salvage = self._build_spare(position)
+        salvaged: List[Alert] = []
+        replayed = 0
+        keys: List[str] = []
+        seen: set = set()
+        for kind, payload in self._backlogs[position]:
+            if kind == "events":
+                replayed += len(payload)
+                salvaged.extend(salvage.process_events(payload))
+                for event in payload:
+                    key = event.agentid.casefold()
+                    if key not in seen:
+                        seen.add(key)
+                        keys.append(key)
+            else:
+                # Re-run journaled exports/imports so the salvage state
+                # matches the dead lane's exactly: a replayed export
+                # removes state a completed steal moved away, a replayed
+                # import restores state stolen *to* this lane (and its
+                # agentid then migrates onward with the rest).
+                _answer_control(salvage, payload)
+                if payload[0] == "import" and payload[1] not in seen:
+                    seen.add(payload[1])
+                    keys.append(payload[1])
+        survivors = tuple(p for p in range(len(self._lanes))
+                          if p != position and self._active[p]
+                          and p not in self._retired)
+        moved: List[str] = []
+        for key in keys:
+            payload = salvage.extract_agent_state(key)
+            target = survivors[zlib.crc32(key.encode("utf-8"))
+                               % len(survivors)]
+            self.send(target, ("import", key, payload))
+            self._overrides[key] = target
+            self._purge_route(key)
+            moved.append(key)
+        salvaged.extend(salvage.finish())
+        self._lanes[position] = _RetiredLane(position, salvage, salvaged)
+        self._retired.add(position)
+        self._active[position] = False
+        self._survivors[position] = survivors
+        self._backlogs[position] = []
+        if self._coordinator is not None:
+            self._coordinator.disable_planning()
+        if self._drain_parent is not None and self._requeue is not None:
+            # The parent's routing buffer for the dead lane re-routes to
+            # the survivors (through the overrides just installed).
+            self._requeue(self._drain_parent(position))
+        return RecoveryRecord(
+            position=position, reason=reason, mode="migrate",
+            events_replayed=replayed,
+            latency=time.monotonic() - start,
+            backend=self._backend,
+            restored_checkpoint=False,
+            migrated_agentids=tuple(moved))
+
+    def _purge_route(self, key: str) -> None:
+        for cached in [spelling for spelling in self._route_cache
+                       if spelling.casefold() == key]:
+            del self._route_cache[cached]
+
+    # -- routing and lifecycle ----------------------------------------------
+
+    def reroute(self, agentid: str, position: int) -> int:
+        """Redirect traffic for retired positions to their survivors.
+
+        Known agentids were redirected through the overrides during the
+        migration; an agentid first seen afterwards still hashes to the
+        retired slot and is re-homed here — deterministically, and the
+        override is installed so checkpoints persist the route.
+        """
+        if position not in self._retired:
+            return position
+        key = agentid.casefold()
+        target = self._overrides.get(key)
+        if target is None or target in self._retired:
+            survivors = self._survivors[position]
+            target = survivors[zlib.crc32(key.encode("utf-8"))
+                               % len(survivors)]
+            self._overrides[key] = target
+            self._purge_route(key)
+        return target
+
+    def note_checkpoint(self, snapshot: Dict[str, Any]) -> None:
+        """Adopt a completed checkpoint as the recovery base."""
+        self._snapshot = snapshot
+        self._backlogs = [[] for _ in self._lanes]
+
+    def set_closing(self) -> None:
+        """Enter the result-collection phase: migrate recoveries are off
+        (the survivors' feed channels already carry their stop sentinel,
+        so an import could never reach them)."""
+        self._closing = True
+
+    def finish_lane(self, position: int
+                    ) -> Tuple[List[Alert], SchedulerStats]:
+        """Finish one in-process lane, recovering (and re-finishing) on
+        failure; the replacement's replayed state finishes in its place."""
+        while True:
+            lane = self._lanes[position]
+            try:
+                return lane.finish(timeout=self._policy.probe_timeout)
+            except ShardFailure as failure:
+                if failure.reason == "retired":
+                    return lane.finish()
+                self.recover(position, failure.reason, str(failure))
+            except Exception as error:
+                self.recover(position, "error",
+                             f"{type(error).__name__}: {error}")
 
 
 # ---------------------------------------------------------------------------
@@ -1130,7 +1844,10 @@ class ShardedScheduler:
                  rebalance_ratio: float = DEFAULT_REBALANCE_RATIO,
                  checkpoint_store=None,
                  checkpoint_interval: Optional[int] = None,
-                 columnar: bool = True):
+                 columnar: bool = True,
+                 supervision: Union[bool, SupervisionPolicy, None] = None,
+                 quarantine_errors: Optional[int] = None,
+                 fault_plan=None):
         if shards < 1:
             raise ValueError("shard count must be at least 1")
         if backend not in _BACKENDS:
@@ -1138,6 +1855,8 @@ class ShardedScheduler:
                              f"expected one of {_BACKENDS}")
         if batch_size < 1:
             raise ValueError("batch size must be at least 1")
+        if quarantine_errors is not None and quarantine_errors < 1:
+            raise ValueError("quarantine budget must be at least 1 error")
         if auto_prefix < 1:
             raise ValueError("auto-map prefix must be at least 1 event")
         if rebalance_interval is not None and rebalance_interval < 1:
@@ -1203,6 +1922,26 @@ class ShardedScheduler:
         self._checkpoint_interval = checkpoint_interval
         #: Checkpoints the last run persisted.
         self.checkpoints_written = 0
+        # Shard supervision: None/False runs fail-fast (historical
+        # behaviour), True enables the default policy, or pass a tuned
+        # SupervisionPolicy.
+        if supervision is True:
+            supervision = SupervisionPolicy()
+        elif supervision is False:
+            supervision = None
+        if (supervision is not None
+                and not isinstance(supervision, SupervisionPolicy)):
+            raise ValueError("supervision must be True/False/None or a "
+                             "SupervisionPolicy")
+        self._supervision: Optional[SupervisionPolicy] = supervision
+        #: Per-query fatal-error budget forwarded to every lane's
+        #: scheduler (query quarantine circuit-breaker); None disables it.
+        self._quarantine_errors = quarantine_errors
+        #: Fault-injection plan (repro.testing.faults) installed into
+        #: every lane's scheduler; None outside tests/benchmarks.
+        self._fault_plan = fault_plan
+        #: In-run shard recoveries the last supervised run performed.
+        self.recoveries: List[RecoveryRecord] = []
         #: Snapshot installed by :meth:`restore_state`, consumed by the
         #: next :meth:`execute` (shards restore before feeding starts).
         self._restored: Optional[Dict[str, Any]] = None
@@ -1522,6 +2261,7 @@ class ShardedScheduler:
         if size < 1:
             raise ValueError("batch size must be at least 1")
         self.migrations = []
+        self.recoveries = []
         # Resolve the auto map before shards are built: pinned-query
         # registration depends on where the map homes each pin.
         stream = self._resolve_auto_map(stream)
@@ -1594,7 +2334,7 @@ class ShardedScheduler:
 
     def _make_checkpointer(self, lane_count: int, send, poll, flush_all,
                            single_lane, overrides: Dict[str, int],
-                           restored, coordinator
+                           restored, coordinator, supervisor=None
                            ) -> Optional[_ShardCheckpointer]:
         if self._checkpoint_store is None:
             return None
@@ -1609,14 +2349,44 @@ class ShardedScheduler:
             resolved_map=self.resolved_shard_map,
             resume_cursor=(self.restored_cursor
                            if restored is not None else None),
-            steal_coordinator=coordinator)
+            steal_coordinator=coordinator,
+            liveness=(supervisor.liveness if supervisor is not None
+                      else None),
+            on_checkpoint=(supervisor.note_checkpoint
+                           if supervisor is not None else None))
+
+    def _make_supervisor(self, lanes: List[Any], active: List[bool],
+                         rebuild, restored, overrides: Dict[str, int],
+                         route_cache: Dict[str, int],
+                         track_load: bool) -> Optional[_ShardSupervisor]:
+        if self._supervision is None or not lanes:
+            return None
+        pinned = {self._home_shard(pin)
+                  for _, _, pin, _ in self._sharded_queries
+                  if pin is not None}
+        eligibility = (steal_eligibility(self.reports)
+                       if self._sharded_queries else None)
+        allow_migrate = (self.shards > 1 and eligibility is not None
+                         and eligibility.eligible)
+
+        def build_spare(position: int) -> ConcurrentQueryScheduler:
+            return _build_scheduler(
+                self._queries_for_shard(position), self._enable_sharing,
+                track_load, self._columnar, self._quarantine_errors)
+
+        return _ShardSupervisor(
+            self._supervision, self.backend, lanes, active, rebuild,
+            restored, overrides, route_cache,
+            build_spare=build_spare, allow_migrate=allow_migrate,
+            pinned_positions=frozenset(pinned))
 
     def _single_lane_scheduler(self) -> Optional[ConcurrentQueryScheduler]:
         if not self._single_lane_queries:
             return None
         return _build_scheduler(self._single_lane_queries,
                                 self._enable_sharing,
-                                columnar=self._columnar)
+                                columnar=self._columnar,
+                                quarantine_errors=self._quarantine_errors)
 
     def _finalize(self, shard_results: Sequence[Tuple[List[Alert],
                                                       SchedulerStats]],
@@ -1670,6 +2440,7 @@ class ShardedScheduler:
         track_load = eligibility is not None
         shards: List[Any] = []
         active: List[bool] = []
+        per_shard: List[List[Tuple[str, Union[str, ast.Query]]]] = []
         if self._sharded_queries:
             per_shard = [self._queries_for_shard(position)
                          for position in range(self.shards)]
@@ -1677,7 +2448,9 @@ class ShardedScheduler:
                                 track_load, position,
                                 restore=(restored["shards"][position]
                                          if restored is not None else None),
-                                columnar=self._columnar)
+                                columnar=self._columnar,
+                                quarantine_errors=self._quarantine_errors,
+                                fault_plan=self._fault_plan)
                       for position, queries in enumerate(per_shard)]
             active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
@@ -1692,8 +2465,24 @@ class ShardedScheduler:
         route = (self._make_router(overrides, route_cache)
                  if shards else None)
 
+        def rebuild(position: int, generation: int, restore):
+            plan = self._fault_plan
+            rearm = plan if getattr(plan, "rearm_on_restart", False) else None
+            return shard_cls(per_shard[position], self._enable_sharing,
+                             track_load, position, restore=restore,
+                             columnar=self._columnar,
+                             quarantine_errors=self._quarantine_errors,
+                             fault_plan=rearm)
+
+        supervisor = self._make_supervisor(shards, active, rebuild,
+                                           restored, overrides, route_cache,
+                                           track_load)
+
         (flush_pending, flush_all_pending, drain_pending, feed_events,
-         send) = _lane_feeders(shards, buffers, active)
+         send) = _lane_feeders(
+             shards, buffers, active,
+             feed=supervisor.feed if supervisor is not None else None,
+             send=supervisor.send if supervisor is not None else None)
 
         def poll() -> List[Tuple[int, Tuple]]:
             responses: List[Tuple[int, Tuple]] = []
@@ -1701,6 +2490,9 @@ class ShardedScheduler:
                 for response in shard.poll_control():
                     responses.append((position, response))
             return responses
+
+        if supervisor is not None:
+            poll = supervisor.wrap_poll(poll)
 
         coordinator: Optional[_StealingCoordinator] = None
         if eligibility is not None and shards:
@@ -1716,9 +2508,20 @@ class ShardedScheduler:
                 eligibility, len(shards), send, poll, flush_held,
                 route, route_cache, overrides, flush_pending, feed_events,
                 drain_pending)
+        if supervisor is not None:
+
+            def requeue(events: Sequence[Event]) -> None:
+                for event in events:
+                    position = supervisor.reroute(event.agentid,
+                                                  route(event.agentid))
+                    if active[position]:
+                        buffers[position].append(event)
+
+            supervisor.bind(coordinator=coordinator,
+                            drain_parent=drain_pending, requeue=requeue)
         checkpointer = self._make_checkpointer(
             len(shards), send, poll, flush_all_pending, single_lane,
-            overrides, restored, coordinator)
+            overrides, restored, coordinator, supervisor)
         events_ingested = 0
         sampled_peak_events = 0
         sampled_peak_matches = 0
@@ -1733,6 +2536,9 @@ class ShardedScheduler:
                                 and coordinator.maybe_hold(event)):
                             continue
                         position = route(event.agentid)
+                        if supervisor is not None:
+                            position = supervisor.reroute(event.agentid,
+                                                          position)
                         # A shard every query was routed away from has
                         # nothing to do with its slice of the stream.
                         if active[position]:
@@ -1741,13 +2547,20 @@ class ShardedScheduler:
                         if (len(buffer) >= size
                                 and not (coordinator is not None
                                          and coordinator.is_paused(position))):
-                            shards[position].feed(buffer)
-                            buffers[position] = []
+                            flush_pending(position)
                     if coordinator is not None:
                         coordinator.after_batch(batch)
+                    if supervisor is not None:
+                        supervisor.after_batch(len(batch))
                 if checkpointer is not None:
                     checkpointer.observe_batch(batch)
-                    checkpointer.maybe_checkpoint()
+                    if supervisor is not None:
+                        # A shard failure mid-collection aborts this
+                        # attempt (recovered; retried at the next due
+                        # batch) instead of failing the run.
+                        supervisor.attempt(checkpointer.maybe_checkpoint)
+                    else:
+                        checkpointer.maybe_checkpoint()
                 # Genuine concurrent retention sample across every lane at
                 # this batch boundary (exact for serial, a benign racy
                 # snapshot for threads); its running maximum replaces the
@@ -1768,15 +2581,24 @@ class ShardedScheduler:
             # Migrations settle first: a paused lane's buffered backlog
             # must reach its shard only after the held events it waits on.
             if coordinator is not None:
-                coordinator.finalize()
+                if supervisor is not None:
+                    while not supervisor.attempt(
+                            lambda: coordinator.finalize(
+                                liveness=supervisor.liveness)):
+                        pass
+                else:
+                    coordinator.finalize()
                 self.migrations = coordinator.records
-            for position, buffer in enumerate(buffers):
-                if buffer:
-                    shards[position].feed(buffer)
-                    buffers[position] = []
+            for position in range(len(buffers)):
+                flush_pending(position)
             self.checkpoints_written = (checkpointer.checkpoints_written
                                         if checkpointer is not None else 0)
-            results = [shard.finish() for shard in shards]
+            if supervisor is not None:
+                supervisor.set_closing()
+                results = [supervisor.finish_lane(position)
+                           for position in range(len(shards))]
+            else:
+                results = [shard.finish() for shard in shards]
         finally:
             # A failure anywhere above (a poisoned batch, a dead worker, a
             # raising stream iterator) must not leak live shard threads
@@ -1784,6 +2606,8 @@ class ShardedScheduler:
             # finish and never raises.
             for shard in shards:
                 shard.close()
+            if supervisor is not None:
+                self.recoveries = supervisor.records
         if restored is not None:
             # Restored engines already carry the pre-crash ingestion in
             # their stats; the parent-side once-per-event figure resumes
@@ -1809,7 +2633,9 @@ class ShardedScheduler:
                                 track_agent_load=eligibility is not None,
                                 restore=(restored["shards"][position]
                                          if restored is not None else None),
-                                columnar=self._columnar)
+                                columnar=self._columnar,
+                                quarantine_errors=self._quarantine_errors,
+                                fault_plan=self._fault_plan)
                    for position, queries in enumerate(per_shard)]
         active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
@@ -1827,8 +2653,26 @@ class ShardedScheduler:
         #: crash mid-stream) — replayed into the collection loop.
         early_done: List[Tuple] = []
 
+        def rebuild(position: int, generation: int, restore):
+            plan = self._fault_plan
+            rearm = plan if getattr(plan, "rearm_on_restart", False) else None
+            return ProcessShard(position, per_shard[position],
+                                self._enable_sharing, context, out_queue,
+                                track_agent_load=eligibility is not None,
+                                restore=restore, columnar=self._columnar,
+                                generation=generation,
+                                quarantine_errors=self._quarantine_errors,
+                                fault_plan=rearm)
+
+        supervisor = self._make_supervisor(workers, active, rebuild,
+                                           restored, overrides, route_cache,
+                                           eligibility is not None)
+
         (flush_pending, flush_all_pending, drain_pending, feed_events,
-         send) = _lane_feeders(workers, buffers, active)
+         send) = _lane_feeders(
+             workers, buffers, active,
+             feed=supervisor.feed if supervisor is not None else None,
+             send=supervisor.send if supervisor is not None else None)
 
         def poll() -> List[Tuple[int, Tuple]]:
             responses: List[Tuple[int, Tuple]] = []
@@ -1838,9 +2682,17 @@ class ShardedScheduler:
                 except queue.Empty:
                     return responses
                 if item[0] == "ctrl":
-                    responses.append((item[1], item[2]))
+                    _, index, generation, response = item
+                    # A replaced worker's late answers carry its old
+                    # generation and are dropped.
+                    if generation == getattr(workers[index],
+                                             "generation", 0):
+                        responses.append((index, response))
                 else:
                     early_done.append(item)
+
+        if supervisor is not None:
+            poll = supervisor.wrap_poll(poll)
 
         coordinator: Optional[_StealingCoordinator] = None
         if eligibility is not None:
@@ -1853,9 +2705,20 @@ class ShardedScheduler:
                 eligibility, len(workers), send, poll, flush_held,
                 route, route_cache, overrides, flush_pending, feed_events,
                 drain_pending)
+        if supervisor is not None:
+
+            def requeue(events: Sequence[Event]) -> None:
+                for event in events:
+                    position = supervisor.reroute(event.agentid,
+                                                  route(event.agentid))
+                    if active[position]:
+                        buffers[position].append(event)
+
+            supervisor.bind(coordinator=coordinator,
+                            drain_parent=drain_pending, requeue=requeue)
         checkpointer = self._make_checkpointer(
             len(workers), send, poll, flush_all_pending, single_lane,
-            overrides, restored, coordinator)
+            overrides, restored, coordinator, supervisor)
         try:
             try:
                 for batch in iter_batches(stream, size):
@@ -1868,6 +2731,9 @@ class ShardedScheduler:
                                 and coordinator.maybe_hold(event)):
                             continue
                         position = route(event.agentid)
+                        if supervisor is not None:
+                            position = supervisor.reroute(event.agentid,
+                                                          position)
                         if active[position]:
                             buffers[position].append(event)
                     for position, buffer in enumerate(buffers):
@@ -1875,24 +2741,37 @@ class ShardedScheduler:
                                 and not (coordinator is not None
                                          and coordinator.is_paused(
                                              position))):
-                            workers[position].feed(buffer)
-                            buffers[position] = []
+                            flush_pending(position)
                     if coordinator is not None:
                         coordinator.after_batch(batch)
+                    if supervisor is not None:
+                        supervisor.after_batch(len(batch))
                     if checkpointer is not None:
                         checkpointer.observe_batch(batch)
-                        checkpointer.maybe_checkpoint()
+                        if supervisor is not None:
+                            supervisor.attempt(
+                                checkpointer.maybe_checkpoint)
+                        else:
+                            checkpointer.maybe_checkpoint()
                 if coordinator is not None:
-                    coordinator.finalize()
+                    if supervisor is not None:
+                        while not supervisor.attempt(
+                                lambda: coordinator.finalize(
+                                    liveness=supervisor.liveness)):
+                            pass
+                    else:
+                        coordinator.finalize()
                     self.migrations = coordinator.records
-                for position, buffer in enumerate(buffers):
-                    if buffer:
-                        workers[position].feed(buffer)
-                        buffers[position] = []
+                for position in range(len(buffers)):
+                    flush_pending(position)
                 self.checkpoints_written = (
                     checkpointer.checkpoints_written
                     if checkpointer is not None else 0)
             finally:
+                if supervisor is not None:
+                    # Result collection starts: migrate recoveries are
+                    # off (the stop sentinel below races any import).
+                    supervisor.set_closing()
                 for worker in workers:
                     worker.close()
             # Collect results before joining: a worker blocks on its
@@ -1903,36 +2782,82 @@ class ShardedScheduler:
             collected: Dict[int, Tuple[List[Alert], SchedulerStats]] = {}
             failures: List[str] = []
             remaining = set(range(len(workers)))
-            dead_patience = 0
+            if supervisor is not None:
+                # Retired positions have no worker; their salvaged
+                # alerts live parent-side.
+                for position in list(remaining):
+                    if isinstance(workers[position], _RetiredLane):
+                        collected[position] = workers[position].finish()
+                        remaining.discard(position)
+            policy = self._supervision
+            grace_budget = (policy.result_grace if policy is not None
+                            else 5.0)
+            waiter = DEFAULT_BACKOFF.waiter()
+            grace: Optional[Backoff] = None
             while remaining:
                 if early_done:
                     item = early_done.pop(0)
                 else:
                     try:
-                        item = out_queue.get(timeout=0.5)
+                        item = out_queue.get(timeout=waiter.interval())
                     except queue.Empty:
                         dead = [position for position in remaining
                                 if not workers[position].is_alive()]
-                        if dead:
-                            # A dead worker's result may still sit in the
-                            # pipe buffer; give it a few more timed gets
-                            # before declaring the shard lost.
-                            dead_patience += 1
-                            if dead_patience >= 10:
-                                for position in dead:
-                                    failures.append(
-                                        f"shard {position}: worker exited "
-                                        "without posting a result")
-                                    remaining.discard(position)
+                        if not dead:
+                            if (supervisor is not None
+                                    and waiter.elapsed
+                                    > policy.probe_timeout + grace_budget):
+                                # Alive but silent past every deadline: a
+                                # wedged worker at end of stream.
+                                for position in sorted(remaining):
+                                    supervisor.recover(
+                                        position, "hung",
+                                        f"shard {position} did not post "
+                                        "its result within "
+                                        f"{waiter.elapsed:.1f}s")
+                                    workers[position].close()
+                                waiter.reset()
+                            continue
+                        # A dead worker's result may still sit in the
+                        # pipe buffer; grant it a bounded grace to
+                        # surface before declaring the shard lost.
+                        if grace is None:
+                            grace = DEFAULT_BACKOFF.waiter(grace_budget)
+                        if not grace.expired:
+                            continue
+                        grace = None
+                        for position in dead:
+                            if supervisor is not None:
+                                supervisor.recover(
+                                    position, "dead",
+                                    f"shard {position} worker exited "
+                                    "before posting its result")
+                                workers[position].close()
+                            else:
+                                failures.append(
+                                    f"shard {position}: worker exited "
+                                    "without posting a result")
+                                remaining.discard(position)
+                        waiter.reset()
                         continue
                 if item[0] == "ctrl":
                     continue  # late answer from an already-settled drain
-                _, index, alerts, stats, error = item
-                dead_patience = 0
-                remaining.discard(index)
+                _, index, generation, alerts, stats, error = item
+                if (index not in remaining
+                        or generation != getattr(workers[index],
+                                                 "generation", 0)):
+                    continue  # stale result from a replaced worker
+                waiter.reset()
+                grace = None
                 if error is not None:
+                    if supervisor is not None:
+                        supervisor.recover(index, "error", error)
+                        workers[index].close()
+                        continue
                     failures.append(f"shard {index}: {error}")
+                    remaining.discard(index)
                 else:
+                    remaining.discard(index)
                     collected[index] = (alerts, stats)
             for worker in workers:
                 if worker.index in collected or not worker.is_alive():
@@ -1947,6 +2872,9 @@ class ShardedScheduler:
             for worker in workers:
                 worker.shutdown()
             raise
+        finally:
+            if supervisor is not None:
+                self.recoveries = supervisor.records
         results = [collected[position] for position in range(len(workers))]
         if restored is not None:
             events_ingested += restored["cursor"]["events_ingested"]

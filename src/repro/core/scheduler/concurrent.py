@@ -110,6 +110,16 @@ class SchedulerStats:
     #: max across shards, summed with the single lane's).
     predicate_sharing: Dict[str, Dict[str, int]] = field(
         default_factory=dict)
+    #: Queries quarantined by the fault-isolation circuit-breaker:
+    #: query name -> fatal error count when the breaker tripped.  Empty
+    #: unless the scheduler was built with ``quarantine_errors``; merged
+    #: across shards by union (max count on collision).
+    quarantined: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def quarantined_queries(self) -> int:
+        """How many queries the circuit-breaker has quarantined."""
+        return len(self.quarantined)
 
     @property
     def data_copies(self) -> int:
@@ -493,6 +503,275 @@ class QueryGroup:
             alerts.extend(engine.process_match_batch(pairs))
         return alerts
 
+    # -- execution under quarantine (fault isolation) -------------------------
+
+    def process_events_guarded(self, events: Sequence[Event],
+                               stats: SchedulerStats,
+                               guard: "_QuarantineGuard") -> List[Alert]:
+        """:meth:`process_events` with the quarantine circuit-breaker armed.
+
+        A separate method so the fault-free dispatch loops stay free of
+        try/except bookkeeping.  Failures are attributed per engine: a
+        master whose compiled pattern (or global-constraint closure)
+        raises loses that evaluation — dependents sharing the failed
+        signature fall back to their own compiled pattern — and an
+        engine whose batch processing raises loses only its own alerts
+        for the batch; every other engine of the group is unaffected.
+        """
+        master = self.master
+        master_matcher = master.matcher.pattern_matcher
+        passes = master_matcher.passes_global_constraints
+        operations = self.operations
+        accepted: List[Tuple[Event, List[PatternMatch],
+                             Optional[Dict[Tuple, PatternMatch]]]] = []
+        # Master signatures whose evaluation raised at least once this
+        # batch: dependents stop reusing them and evaluate their own
+        # pattern instead (equivalent result when the master *did*
+        # match; the only way to any result when it raised).
+        failed_signatures: Set[Tuple] = set()
+        evaluations = 0
+        for event in events:
+            try:
+                ok = passes(event)
+            except Exception as error:
+                guard.record(master, error, event.timestamp)
+                continue
+            if not ok:
+                continue
+            stats.buffered_events += self._retain(event)
+            operation = event.operation.value
+            if operation not in operations:
+                accepted.append((event, [], None))
+                continue
+            master_matches: List[PatternMatch] = []
+            matched_by_signature: Dict[Tuple, PatternMatch] = {}
+            for pattern, signature, pattern_operations, compiled in (
+                    self._master_plan):
+                if operation not in pattern_operations:
+                    continue
+                evaluations += 1
+                try:
+                    if compiled is not None:
+                        match = compiled.match_accepted_operation(event)
+                    else:
+                        match = master_matcher.match_pattern(event, pattern)
+                except Exception as error:
+                    guard.record(master, error, event.timestamp)
+                    failed_signatures.add(signature)
+                    continue
+                if match is not None:
+                    master_matches.append(match)
+                    matched_by_signature[signature] = match
+            accepted.append((event, master_matches, matched_by_signature))
+        stats.pattern_evaluations += evaluations
+        if not accepted:
+            return []
+
+        try:
+            alerts = master.process_match_batch(
+                [(event, matches) for event, matches, _ in accepted])
+        except Exception as error:
+            guard.record(master, error, accepted[-1][0].timestamp)
+            alerts = []
+        for engine, plan in zip(self.dependents, self._dependent_plans):
+            engine_matcher = engine.matcher.pattern_matcher
+            pairs: List[Tuple[Event, List[PatternMatch]]] = []
+            saved = 0
+            evaluations = 0
+            for event, _, matched_by_signature in accepted:
+                dependent_matches: List[PatternMatch] = []
+                if matched_by_signature is not None:
+                    operation = event.operation.value
+                    for pattern, shared, pattern_operations, compiled in plan:
+                        if operation not in pattern_operations:
+                            continue
+                        if (shared is not None
+                                and shared not in failed_signatures):
+                            saved += 1
+                            match = matched_by_signature.get(shared)
+                            if match is not None:
+                                dependent_matches.append(
+                                    _rebind(match, pattern))
+                            continue
+                        evaluations += 1
+                        try:
+                            if compiled is not None:
+                                match = compiled.match_accepted_operation(
+                                    event)
+                            else:
+                                match = engine_matcher.match_pattern(
+                                    event, pattern)
+                        except Exception as error:
+                            guard.record(engine, error, event.timestamp)
+                            continue
+                        if match is not None:
+                            dependent_matches.append(match)
+                pairs.append((event, dependent_matches))
+            stats.pattern_evaluations_saved += saved
+            stats.pattern_evaluations += evaluations
+            try:
+                alerts.extend(engine.process_match_batch(pairs))
+            except Exception as error:
+                guard.record(engine, error, pairs[-1][0].timestamp)
+        return alerts
+
+    def process_events_columnar_guarded(
+            self, block: ColumnBlock, context: BatchPredicateContext,
+            stats: SchedulerStats,
+            guard: "_QuarantineGuard") -> List[Alert]:
+        """:meth:`process_events_columnar` with the circuit-breaker armed.
+
+        The group's shared columnar work (the global filter) is
+        attributed to the master — when it raises, the whole group skips
+        the batch (there is no per-engine way to filter without it) and
+        the master's budget absorbs the failure.  Per-pattern and
+        per-engine work is attributed to the owning engine, with
+        dependents falling back to their own compiled pattern when the
+        master's side of a shared signature fails.
+        """
+        plan = self.columnar_plan
+        events = block.events
+        tail_timestamp = events[-1].timestamp if events else None
+        try:
+            global_bitmap = context.global_filter(plan)
+        except Exception as error:
+            guard.record(self.master, error, tail_timestamp)
+            return []
+        operations = self.operations
+        accepted: List[Tuple[Event, List[PatternMatch],
+                             Optional[Dict[Tuple, PatternMatch]]]] = []
+        entry_for_row: List[Optional[int]] = [None] * block.size
+        retained = 0
+        operation_values = block.operation_values
+        for row in context.selected_rows(plan, global_bitmap):
+            event = events[row]
+            retained += self._retain(event)
+            if operation_values[row] in operations:
+                entry_for_row[row] = len(accepted)
+                accepted.append((event, [], {}))
+            else:
+                accepted.append((event, [], None))
+        stats.buffered_events += retained
+        if not accepted:
+            return []
+
+        failed_signatures: Set[Tuple] = set()
+        evaluations = 0
+        for pattern_plan in plan.master:
+            try:
+                candidates = context.candidate_rows(
+                    pattern_plan.operations, plan, global_bitmap)
+                rows = list(context.pattern_rows(pattern_plan, plan,
+                                                 global_bitmap))
+            except Exception as error:
+                guard.record(self.master, error, tail_timestamp)
+                failed_signatures.add(pattern_plan.signature)
+                continue
+            evaluations += len(candidates)
+            alias = pattern_plan.alias
+            subject_var = pattern_plan.subject_var
+            object_var = pattern_plan.object_var
+            signature = pattern_plan.signature
+            for row in rows:
+                event = events[row]
+                match = PatternMatch(
+                    alias=alias, event=event,
+                    bindings={subject_var: event.subject,
+                              object_var: event.obj})
+                entry = accepted[entry_for_row[row]]
+                entry[1].append(match)
+                entry[2][signature] = match
+        stats.pattern_evaluations += evaluations
+
+        try:
+            alerts = self.master.process_match_batch(
+                [(event, matches) for event, matches, _ in accepted])
+        except Exception as error:
+            guard.record(self.master, error, tail_timestamp)
+            alerts = []
+        for engine, dependent_plan, plan_entries in zip(
+                self.dependents, plan.dependents, self._dependent_plans):
+            # The dependent's own compiled patterns, keyed by pattern
+            # identity, for the shared-signature fallback path.
+            compiled_for = {id(entry[0]): entry[3] for entry in plan_entries}
+            engine_matcher = engine.matcher.pattern_matcher
+            pairs: List[Tuple[Event, List[PatternMatch]]] = [
+                (event, []) for event, _, _ in accepted]
+            saved = 0
+            evaluations = 0
+            for pattern_plan in dependent_plan:
+                try:
+                    candidates = context.candidate_rows(
+                        pattern_plan.operations, plan, global_bitmap)
+                except Exception as error:
+                    guard.record(engine, error, tail_timestamp)
+                    continue
+                shared = pattern_plan.shared
+                pattern = pattern_plan.pattern
+                if shared is not None and shared not in failed_signatures:
+                    saved += len(candidates)
+                    for row in candidates:
+                        position = entry_for_row[row]
+                        match = accepted[position][2].get(shared)
+                        if match is not None:
+                            pairs[position][1].append(
+                                _rebind(match, pattern))
+                    continue
+                if shared is not None:
+                    # Master's side of the shared signature failed: run
+                    # this engine's own compiled pattern over the
+                    # candidate rows instead of reusing nothing.
+                    compiled = compiled_for.get(id(pattern))
+                    evaluations += len(candidates)
+                    for row in candidates:
+                        event = events[row]
+                        try:
+                            if compiled is not None:
+                                match = compiled.match_accepted_operation(
+                                    event)
+                            else:
+                                match = engine_matcher.match_pattern(
+                                    event, pattern)
+                        except Exception as error:
+                            guard.record(engine, error, event.timestamp)
+                            continue
+                        if match is not None:
+                            pairs[entry_for_row[row]][1].append(match)
+                    continue
+                try:
+                    rows = list(context.pattern_rows(pattern_plan, plan,
+                                                     global_bitmap))
+                except Exception as error:
+                    guard.record(engine, error, tail_timestamp)
+                    continue
+                evaluations += len(candidates)
+                alias = pattern_plan.alias
+                subject_var = pattern_plan.subject_var
+                object_var = pattern_plan.object_var
+                for row in rows:
+                    event = events[row]
+                    pairs[entry_for_row[row]][1].append(PatternMatch(
+                        alias=alias, event=event,
+                        bindings={subject_var: event.subject,
+                                  object_var: event.obj}))
+            stats.pattern_evaluations_saved += saved
+            stats.pattern_evaluations += evaluations
+            try:
+                alerts.extend(engine.process_match_batch(pairs))
+            except Exception as error:
+                guard.record(engine, error, tail_timestamp)
+        return alerts
+
+    def finish_guarded(self, guard: "_QuarantineGuard") -> List[Alert]:
+        """:meth:`finish` with per-engine fault isolation."""
+        alerts: List[Alert] = []
+        for engine in self.engines:
+            try:
+                alerts.extend(engine.finish())
+            except Exception as error:
+                guard.record(engine, error, None)
+        return alerts
+
     def finish(self) -> List[Alert]:
         """Flush every engine of the group at end of stream."""
         alerts: List[Alert] = []
@@ -547,6 +826,51 @@ def _rebind(match: PatternMatch,
     )
 
 
+class _QuarantineGuard:
+    """Error-budget circuit-breaker for query fault isolation.
+
+    Every non-SAQL exception the guarded dispatch paths catch is
+    recorded here as a *fatal* error against the owning engine (SAQL
+    evaluation errors never reach the guard — the engines catch and
+    report those themselves, non-fatally).  Once an engine's fatal count
+    reaches the budget the breaker trips; the scheduler removes the
+    engine from dispatch at the next :meth:`take_tripped` (batch
+    boundary), so one broken query stops burning its group's batches
+    while every other query keeps alerting.  Re-registering the query
+    (``add_query``) re-arms the breaker with a fresh budget.
+    """
+
+    def __init__(self, reporter: ErrorReporter, budget: int):
+        self._reporter = reporter
+        self._budget = budget
+        self._tripped: Set[str] = set()
+        self._pending: List[QueryEngine] = []
+
+    def record(self, engine: QueryEngine, error: Exception,
+               timestamp: Optional[float] = None) -> None:
+        """Charge one fatal error against an engine's budget."""
+        name = engine.name
+        self._reporter.report(name, error, timestamp=timestamp, fatal=True)
+        if (name not in self._tripped
+                and self._reporter.fatal_count(name) >= self._budget):
+            self._tripped.add(name)
+            self._pending.append(engine)
+
+    def tripped(self, name: str) -> bool:
+        """True when the named query's breaker has tripped."""
+        return name in self._tripped
+
+    def take_tripped(self) -> List[QueryEngine]:
+        """Drain the engines that tripped since the last call."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def rearm(self, name: str) -> None:
+        """Reset one query's breaker (its error counters reset too)."""
+        self._tripped.discard(name)
+        self._reporter.clear_query(name)
+
+
 class ConcurrentQueryScheduler:
     """Executes many SAQL queries over one stream with result sharing."""
 
@@ -558,7 +882,8 @@ class ConcurrentQueryScheduler:
                  checkpoint_interval: Optional[int] = None,
                  checkpoint_watermark_interval: Optional[float] = None,
                  columnar: bool = True,
-                 columnar_min_batch: int = DEFAULT_COLUMNAR_MIN_BATCH):
+                 columnar_min_batch: int = DEFAULT_COLUMNAR_MIN_BATCH,
+                 quarantine_errors: Optional[int] = None):
         self._sink = sink
         self._error_reporter = error_reporter or ErrorReporter()
         self._enable_sharing = enable_sharing
@@ -625,6 +950,20 @@ class ConcurrentQueryScheduler:
         self._cursor_frontier: Set[int] = set()
         #: Cursor restored by :meth:`restore_state` (None otherwise).
         self.restored_cursor = None
+        # Query fault isolation: with a budget configured, non-SAQL
+        # exceptions from one query's compiled closures / columnar plan /
+        # engine are caught, charged against that query, and the query is
+        # quarantined (removed from dispatch) once the budget is spent —
+        # instead of today's fail-fast abort poisoning every co-grouped
+        # query.  Off by default: the fault-free hot paths are untouched.
+        if quarantine_errors is not None and quarantine_errors < 1:
+            raise ValueError("quarantine error budget must be at least 1")
+        self._quarantine: Optional[_QuarantineGuard] = (
+            _QuarantineGuard(self._error_reporter, quarantine_errors)
+            if quarantine_errors is not None else None)
+        #: Quarantined queries: name -> {"errors", "last_error",
+        #: "timestamp"} detail for operators (stats carry the counts).
+        self.quarantined: Dict[str, Dict[str, Any]] = {}
 
     # -- registration ------------------------------------------------------------
 
@@ -636,6 +975,13 @@ class ConcurrentQueryScheduler:
         engine = QueryEngine(query, name=name, sink=self._sink,
                              error_reporter=self._error_reporter)
         self._engines.append(engine)
+
+        # Re-registering a quarantined query re-arms its circuit-breaker
+        # with a fresh error budget (and a clean error-rate slate).
+        if self._quarantine is not None and engine.name in self.quarantined:
+            del self.quarantined[engine.name]
+            self.stats.quarantined.pop(engine.name, None)
+            self._quarantine.rearm(engine.name)
 
         if self._enable_sharing:
             group_key: Any = compatibility_signature(query)
@@ -774,18 +1120,27 @@ class ConcurrentQueryScheduler:
             self._agent_loads[event.agentid] += 1
             if event.timestamp > self._load_watermark:
                 self._load_watermark = event.timestamp
-        index = self._op_index
-        if index is None:
-            index = self._rebuild_op_index()
-        entries = index.get(event.operation.value)
-        if entries is None:
-            entries = self._fallback_entries
         alerts: List[Alert] = []
-        for group, can_match in entries:
-            if can_match:
-                alerts.extend(group.process_event(event, self.stats))
-            else:
-                alerts.extend(group.advance_watermark(event, self.stats))
+        if self._quarantine is not None:
+            # Guarded dispatch (no op-index shortcut): the batch path's
+            # guarded variant handles both matching and watermark
+            # advance, and one event is just a batch of one.
+            for group in list(self._groups.values()):
+                alerts.extend(group.process_events_guarded(
+                    [event], self.stats, self._quarantine))
+            self._apply_quarantine()
+        else:
+            index = self._op_index
+            if index is None:
+                index = self._rebuild_op_index()
+            entries = index.get(event.operation.value)
+            if entries is None:
+                entries = self._fallback_entries
+            for group, can_match in entries:
+                if can_match:
+                    alerts.extend(group.process_event(event, self.stats))
+                else:
+                    alerts.extend(group.advance_watermark(event, self.stats))
         self.stats.peak_buffered_events = max(
             self.stats.peak_buffered_events, self.stats.buffered_events)
         self.stats.alerts += len(alerts)
@@ -830,15 +1185,28 @@ class ConcurrentQueryScheduler:
             # build with evaluation would freeze an atom's operation set at
             # whatever the first subscriber declared.
             self._ensure_columnar_plans()
-            for group in self._groups.values():
-                alerts.extend(group.process_events_columnar(block, context,
-                                                            stats))
+            guard = self._quarantine
+            if guard is not None:
+                for group in list(self._groups.values()):
+                    alerts.extend(group.process_events_columnar_guarded(
+                        block, context, stats, guard))
+            else:
+                for group in self._groups.values():
+                    alerts.extend(group.process_events_columnar(
+                        block, context, stats))
             stats.predicate_evaluations += context.rows_evaluated
             stats.predicate_evaluations_saved += context.rows_saved
             self._predicate_stats_dirty = True
         else:
-            for group in self._groups.values():
-                alerts.extend(group.process_events(events, stats))
+            guard = self._quarantine
+            if guard is not None:
+                for group in list(self._groups.values()):
+                    alerts.extend(group.process_events_guarded(
+                        events, stats, guard))
+            else:
+                for group in self._groups.values():
+                    alerts.extend(group.process_events(events, stats))
+        self._apply_quarantine()
         if stats.buffered_events > stats.peak_buffered_events:
             stats.peak_buffered_events = stats.buffered_events
         stats.alerts += len(alerts)
@@ -935,11 +1303,44 @@ class ConcurrentQueryScheduler:
     def finish(self) -> List[Alert]:
         """Flush every group at end of stream."""
         alerts: List[Alert] = []
-        for group in self._groups.values():
-            alerts.extend(group.finish())
+        guard = self._quarantine
+        for group in list(self._groups.values()):
+            if guard is not None:
+                alerts.extend(group.finish_guarded(guard))
+            else:
+                alerts.extend(group.finish())
+        self._apply_quarantine()
         self.stats.alerts += len(alerts)
         self._refresh_match_stats()
         return alerts
+
+    def _apply_quarantine(self) -> None:
+        """Remove engines whose circuit-breaker tripped this batch.
+
+        Runs at batch boundaries (dispatch plans only change between
+        batches).  The quarantined engine leaves dispatch through
+        :meth:`remove_query` — co-grouped queries keep running, a
+        removed master promotes its first dependent — and the trip is
+        recorded in :attr:`quarantined` and ``stats.quarantined``.
+        """
+        guard = self._quarantine
+        if guard is None:
+            return
+        for engine in guard.take_tripped():
+            try:
+                self.remove_query(engine)
+            except KeyError:
+                continue
+            name = engine.name
+            record = self._error_reporter.last_error(name)
+            count = self._error_reporter.fatal_count(name)
+            self.quarantined[name] = {
+                "errors": count,
+                "last_error": record.message if record is not None else "",
+                "timestamp": (record.timestamp if record is not None
+                              else None),
+            }
+            self.stats.quarantined[name] = count
 
     # -- snapshots / checkpointing / recovery --------------------------------
 

@@ -11,10 +11,21 @@ snapshot — a crash mid-write leaves only the previous checkpoints.  The
 store keeps a bounded history (``keep`` most recent) and skips unreadable
 files on load, so one corrupted checkpoint degrades recovery to the one
 before it instead of failing it.
+
+On-disk format (since format 2) wraps the snapshot in a checksummed
+container — ``{"format": 2, "checksum": "sha256:...", "snapshot": ...}``
+— where the digest covers the canonical JSON encoding of the snapshot.
+A file that parses as JSON but whose content was silently damaged
+(bit rot, a partial overwrite that still happens to parse, a filesystem
+that reordered writes across a crash) therefore fails verification and
+:meth:`latest` falls back to the previous checkpoint, exactly like a
+parse error.  Checksum-less files written before format 2 (a bare
+snapshot dict) are still read.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -22,6 +33,25 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 _CHECKPOINT_PATTERN = re.compile(r"^checkpoint-(\d{8})\.json$")
+
+#: On-disk container format version (bare, checksum-less snapshots
+#: predate the field and load as "format 1").
+CHECKPOINT_FORMAT = 2
+
+
+def _canonical_encoding(snapshot: Dict[str, Any]) -> bytes:
+    """The byte string the checksum covers: canonical strict JSON."""
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
+
+
+def snapshot_checksum(snapshot: Dict[str, Any]) -> str:
+    """Return the content checksum recorded alongside a snapshot."""
+    return "sha256:" + hashlib.sha256(_canonical_encoding(snapshot)).hexdigest()
+
+
+class CorruptCheckpoint(ValueError):
+    """A checkpoint file parsed but failed content verification."""
 
 
 class CheckpointStore:
@@ -54,7 +84,7 @@ class CheckpointStore:
         return len(self._sequence_numbers())
 
     def save(self, snapshot: Dict[str, Any]) -> Path:
-        """Persist one snapshot; returns its path.
+        """Persist one snapshot (checksummed container); returns its path.
 
         ``allow_nan=False`` enforces the wire-format contract: every
         non-finite float must have been marker-encoded by the snapshot
@@ -64,8 +94,13 @@ class CheckpointStore:
         sequence = (numbers[-1] + 1) if numbers else 1
         path = self._path_for(sequence)
         temporary = path.with_suffix(".json.tmp")
+        container = {
+            "format": CHECKPOINT_FORMAT,
+            "checksum": snapshot_checksum(snapshot),
+            "snapshot": snapshot,
+        }
         with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(snapshot, handle, allow_nan=False)
+            json.dump(container, handle, allow_nan=False)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temporary, path)
@@ -77,20 +112,44 @@ class CheckpointStore:
         return path
 
     def latest(self) -> Optional[Dict[str, Any]]:
-        """Return the newest readable snapshot (None when the store is empty).
+        """Return the newest verified snapshot (None when the store is empty).
 
-        Unreadable or truncated files (a disk that lied about the fsync,
-        manual tampering) are skipped in favour of the next-older
-        checkpoint, trading recovery freshness for recovery success.
+        Unreadable, truncated *or checksum-mismatched* files (a disk
+        that lied about the fsync, bit rot, manual tampering, a partial
+        write that still parses as JSON) are skipped in favour of the
+        next-older checkpoint, trading recovery freshness for recovery
+        success.
         """
         for sequence in reversed(self._sequence_numbers()):
             try:
                 with open(self._path_for(sequence), "r",
                           encoding="utf-8") as handle:
-                    return json.load(handle)
-            except (OSError, json.JSONDecodeError):
+                    return self._verify(json.load(handle))
+            except (OSError, json.JSONDecodeError, CorruptCheckpoint):
                 continue
         return None
+
+    @staticmethod
+    def _verify(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Unwrap a stored container, verifying its content checksum.
+
+        Pre-format-2 files are a bare snapshot dict with no checksum to
+        verify; they pass through unchanged (the snapshot codecs still
+        version-check the content itself).
+        """
+        if not isinstance(payload, dict):
+            raise CorruptCheckpoint("checkpoint payload is not an object")
+        if "format" not in payload:
+            return payload
+        snapshot = payload.get("snapshot")
+        if not isinstance(snapshot, dict):
+            raise CorruptCheckpoint("checkpoint container has no snapshot")
+        recorded = payload.get("checksum")
+        if recorded != snapshot_checksum(snapshot):
+            raise CorruptCheckpoint(
+                f"checkpoint content does not match its recorded checksum "
+                f"({recorded!r})")
+        return snapshot
 
     def clear(self) -> None:
         """Delete every stored checkpoint."""

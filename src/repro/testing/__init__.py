@@ -1,0 +1,21 @@
+"""Test and benchmark support utilities (fault injection)."""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    corrupt_checkpoint,
+    parse_fault_spec,
+    truncate_checkpoint,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "corrupt_checkpoint",
+    "parse_fault_spec",
+    "truncate_checkpoint",
+]

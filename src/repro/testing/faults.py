@@ -1,0 +1,245 @@
+"""Deterministic fault injection for the sharded runtime.
+
+The supervision work (shard supervisor, query quarantine, checksummed
+checkpoints) needs faults that are *reproducible*: a test or benchmark
+must kill the same shard after the same event count on every run, or its
+oracle comparison is meaningless.  This module provides that as data —
+a :class:`FaultPlan` of frozen :class:`FaultSpec` entries that travels
+with the scheduler configuration (picklable, so it crosses the process
+backend's spawn boundary) and fires inside the target lane's scheduler
+at an exact point in its event stream.
+
+Supported fault kinds:
+
+* ``"crash"`` — raise :class:`InjectedCrash` out of ``process_events``
+  (a poison batch; surfaces as an in-process lane error or a worker
+  ``done``-with-error tuple).
+* ``"kill"`` — ``SIGKILL`` the worker process from inside (process
+  backend; mirrors an OOM kill).  In-process lanes cannot survive
+  killing the interpreter, so there it degrades to a crash.
+* ``"hang"`` — block ``process_events`` for ``duration`` seconds once
+  (a wedged batch; trips the supervisor's probe/feed deadlines when the
+  duration exceeds them).
+* ``"query-error"`` — make one registered query's evaluation raise on
+  every batch (exercises the quarantine circuit-breaker rather than the
+  shard supervisor).
+
+Checkpoint damage is a separate axis: :func:`truncate_checkpoint` and
+:func:`corrupt_checkpoint` vandalize stored checkpoint files so recovery
+tests can prove the store's checksum verification falls back to the
+previous snapshot.
+
+Faults fire once per plan installation by default; a supervised restart
+builds a *new* lane scheduler, which re-installs the plan only when
+``rearm_on_restart`` is set (that is how tests exhaust the recovery
+budget on purpose).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+FAULT_KINDS = ("crash", "kill", "hang", "query-error")
+
+
+class InjectedCrash(RuntimeError):
+    """The exception an injected ``"crash"`` fault raises."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, pinned to a shard and a stream position.
+
+    ``shard`` of ``None`` targets every lane the plan is installed into;
+    ``after_events`` counts events the target lane has processed before
+    the fault fires (0 = first batch).  ``query``/``duration`` qualify
+    the ``query-error``/``hang`` kinds.
+    """
+
+    kind: str
+    shard: Optional[int] = None
+    after_events: int = 0
+    duration: float = 0.0
+    query: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if self.after_events < 0:
+            raise ValueError("after_events must be non-negative")
+        if self.kind == "hang" and self.duration <= 0:
+            raise ValueError("a hang fault needs a positive duration")
+        if self.kind == "query-error" and not self.query:
+            raise ValueError("a query-error fault names the query it "
+                             "poisons")
+
+    def describe(self) -> str:
+        where = ("every shard" if self.shard is None
+                 else f"shard {self.shard}")
+        extra = ""
+        if self.kind == "hang":
+            extra = f" for {self.duration:.1f}s"
+        elif self.kind == "query-error":
+            extra = f" in query {self.query!r}"
+        return f"{self.kind} on {where} after {self.after_events} events{extra}"
+
+
+class _ArmedFault:
+    """One spec's live trigger state inside one lane's scheduler."""
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.fired = False
+
+    def due(self, seen_events: int) -> bool:
+        return not self.fired and seen_events >= self.spec.after_events
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of faults, installable into lane schedulers.
+
+    The sharded runtime calls :meth:`install` on every lane it builds
+    (``in_worker`` tells the plan whether SIGKILL is survivable: only a
+    process-backend worker can be killed without taking the parent
+    down).  Installation wraps the scheduler's ``process_events`` so the
+    due fault fires after the batch that crosses its event threshold is
+    *about to be* processed — deterministically, independent of batch
+    boundaries chosen by the parent.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    #: Re-install into replacement lanes built by a supervised restart
+    #: (used to exhaust the recovery budget on purpose).
+    rearm_on_restart: bool = False
+
+    def __init__(self, specs=(), rearm_on_restart: bool = False):
+        object.__setattr__(self, "specs", tuple(specs))
+        object.__setattr__(self, "rearm_on_restart", bool(rearm_on_restart))
+
+    def for_shard(self, position: int) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.specs
+                     if spec.shard is None or spec.shard == position)
+
+    def install(self, scheduler, position: int,
+                in_worker: bool = False) -> None:
+        """Arm this plan's faults inside one lane's scheduler."""
+        specs = self.for_shard(position)
+        if not specs:
+            return
+        armed = [_ArmedFault(spec) for spec in specs]
+        for fault in armed:
+            spec = fault.spec
+            if spec.kind == "query-error":
+                _poison_query(scheduler, spec.query)
+                fault.fired = True
+        state = {"seen": 0}
+        inner = scheduler.process_events
+
+        def injected_process_events(events):
+            state["seen"] += len(events)
+            for fault in armed:
+                if not fault.due(state["seen"]):
+                    continue
+                fault.fired = True
+                _fire(fault.spec, position, in_worker)
+            return inner(events)
+
+        scheduler.process_events = injected_process_events
+
+    def describe(self) -> str:
+        return "; ".join(spec.describe() for spec in self.specs) or "no-op"
+
+
+def _fire(spec: FaultSpec, position: int, in_worker: bool) -> None:
+    if spec.kind == "kill" and in_worker:
+        # Mirror an OOM kill: the worker vanishes without unwinding,
+        # flushing queues, or posting its result tuple.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if spec.kind in ("kill", "crash"):
+        # In-process lanes cannot survive killing the interpreter; the
+        # kill degrades to a crash the lane reports as its error.
+        raise InjectedCrash(
+            f"injected {spec.kind} on shard {position} after "
+            f"{spec.after_events} events")
+    if spec.kind == "hang":
+        time.sleep(spec.duration)
+
+
+def _poison_query(scheduler, query_name: str) -> None:
+    """Make one registered query's batch evaluation raise every time.
+
+    Wraps the engine's ``process_match_batch`` — the per-engine hook the
+    quarantine-guarded dispatch attributes failures through — so the
+    circuit-breaker sees a fatal error per batch and trips once the
+    budget is spent, while sibling queries keep alerting.
+    """
+    for engine in getattr(scheduler, "engines", []):
+        if engine.name == query_name:
+            def raiser(*_args, **_kwargs):
+                raise InjectedCrash(
+                    f"injected query-error in {query_name!r}")
+            engine.process_match_batch = raiser
+            return
+    raise ValueError(f"fault plan targets unknown query {query_name!r}")
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a CLI fault spec: ``kind[:key=value,...]``.
+
+    Examples: ``kill:shard=1,after=5000``, ``hang:shard=0,after=100,
+    duration=30``, ``query-error:query=exfil``, ``crash``.
+    """
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    kwargs = {}
+    if rest.strip():
+        for pair in rest.split(","):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            if not eq:
+                raise ValueError(f"malformed fault option {pair!r} "
+                                 "(expected key=value)")
+            value = value.strip()
+            if key == "shard":
+                kwargs["shard"] = int(value)
+            elif key in ("after", "after_events"):
+                kwargs["after_events"] = int(value)
+            elif key == "duration":
+                kwargs["duration"] = float(value)
+            elif key == "query":
+                kwargs["query"] = value
+            else:
+                raise ValueError(f"unknown fault option {key!r}")
+    return FaultSpec(kind=kind, **kwargs)
+
+
+# -- checkpoint vandalism ----------------------------------------------------
+
+def truncate_checkpoint(path: Union[str, Path],
+                        keep_bytes: int = 64) -> None:
+    """Truncate a stored checkpoint file (simulates a torn write that
+    bypassed the atomic rename, e.g. a copied backup)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(keep_bytes)
+
+
+def corrupt_checkpoint(path: Union[str, Path]) -> None:
+    """Flip stored snapshot content without breaking its JSON syntax,
+    so only checksum verification can catch the damage."""
+    raw = Path(path).read_text(encoding="utf-8")
+    for digit in "0123456789":
+        flipped = str((int(digit) + 1) % 10)
+        candidate = raw.replace(f": {digit}", f": {flipped}", 1)
+        if candidate == raw:
+            candidate = raw.replace(f":{digit}", f":{flipped}", 1)
+        if candidate != raw:
+            Path(path).write_text(candidate, encoding="utf-8")
+            return
+    raise ValueError(f"could not find a digit to corrupt in {path}")

@@ -25,12 +25,13 @@ from repro.core import ConcurrentQueryScheduler, SAQLError, parse_query
 from repro.core.engine.alerts import Alert, CallbackSink
 from repro.core.language import format_query
 from repro.core.parallel import (DEFAULT_REBALANCE_RATIO,
-                                 ShardedScheduler)
+                                 ShardedScheduler, SupervisionPolicy)
 from repro.core.snapshot import resume_events
 from repro.events.stream import iter_batches
 from repro.queries import DEMO_QUERIES, demo_query_names
 from repro.storage import (CheckpointStore, EventDatabase, ReplaySpec,
                            StreamReplayer)
+from repro.testing import FaultPlan, parse_fault_spec
 
 #: Default events per ingestion batch for the demo/run commands.
 DEFAULT_CLI_BATCH = 256
@@ -128,6 +129,34 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
                               "shared predicate index; evaluate per-event "
                               "compiled closures instead (the reference "
                               "oracle path)")
+    command.add_argument("--supervise", action="store_true",
+                         help="supervise shard workers (requires --shards "
+                              "> 1): probe liveness, detect dead/hung "
+                              "shards and recover in-run by restarting "
+                              "from the last checkpoint (with "
+                              "--checkpoint-dir) or migrating the dead "
+                              "shard's hosts to survivors")
+    command.add_argument("--max-recoveries", type=int, default=3,
+                         help="per-shard recovery budget before a "
+                              "supervised run gives up (with --supervise)")
+    command.add_argument("--recovery", default="auto",
+                         choices=["auto", "restart", "migrate"],
+                         help="supervised recovery mode: 'auto' restarts "
+                              "from a checkpoint when one exists and "
+                              "migrates otherwise")
+    command.add_argument("--quarantine-errors", type=int, default=None,
+                         metavar="N",
+                         help="quarantine a query after N fatal errors "
+                              "instead of failing the run; other queries "
+                              "keep alerting")
+    command.add_argument("--inject-fault", action="append", default=None,
+                         metavar="SPEC", dest="inject_fault",
+                         help="inject a fault for testing supervision "
+                              "(repeatable). SPEC is KIND[:KEY=VALUE,...] "
+                              "with KIND in crash|kill|hang|query-error "
+                              "and keys shard=, after=, duration=, "
+                              "query= — e.g. 'kill:shard=1,after=5000' "
+                              "or 'query-error:query=exfil'")
 
 
 def _checkpoint_store(args: argparse.Namespace):
@@ -139,11 +168,38 @@ def _checkpoint_store(args: argparse.Namespace):
     return CheckpointStore(args.checkpoint_dir)
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Parse the repeatable ``--inject-fault`` specs (None when absent)."""
+    specs = getattr(args, "inject_fault", None)
+    if not specs:
+        return None
+    try:
+        return FaultPlan([parse_fault_spec(spec) for spec in specs])
+    except ValueError as error:
+        raise SystemExit(f"--inject-fault: {error}")
+
+
+def _supervision_policy(args: argparse.Namespace):
+    """Build the supervision policy ``--supervise`` selects (or None)."""
+    if not getattr(args, "supervise", False):
+        return None
+    if args.shards <= 1:
+        raise SystemExit("--supervise requires --shards > 1")
+    try:
+        return SupervisionPolicy(max_recoveries=args.max_recoveries,
+                                 recovery=args.recovery)
+    except ValueError as error:
+        raise SystemExit(f"--supervise: {error}")
+
+
 def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
     """Build the scheduler the execution options select."""
     store = _checkpoint_store(args)
     interval = args.checkpoint_interval if store is not None else None
     columnar = not getattr(args, "no_columnar", False)
+    quarantine = getattr(args, "quarantine_errors", None)
+    plan = _fault_plan(args)
+    supervision = _supervision_policy(args)
     if args.shards > 1:
         rebalance = args.rebalance_interval
         return ShardedScheduler(shards=args.shards,
@@ -156,11 +212,31 @@ def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
                                 rebalance_ratio=args.rebalance_ratio,
                                 checkpoint_store=store,
                                 checkpoint_interval=interval,
-                                columnar=columnar)
+                                columnar=columnar,
+                                supervision=supervision,
+                                quarantine_errors=quarantine,
+                                fault_plan=plan)
     return ConcurrentQueryScheduler(sink=sink,
                                     checkpoint_store=store,
                                     checkpoint_interval=interval,
-                                    columnar=columnar)
+                                    columnar=columnar,
+                                    quarantine_errors=quarantine)
+
+
+def _arm_faults(args: argparse.Namespace, scheduler) -> None:
+    """Install ``--inject-fault`` specs into a single-process scheduler.
+
+    Called after queries are registered (query-error faults poison a
+    registered engine).  The sharded scheduler instead receives the plan
+    at construction and installs it into each lane it builds.
+    """
+    plan = _fault_plan(args)
+    if plan is None or isinstance(scheduler, ShardedScheduler):
+        return
+    try:
+        plan.install(scheduler, position=0)
+    except ValueError as error:
+        raise SystemExit(f"--inject-fault: {error}")
 
 
 def _print_alert(alert: Alert) -> None:
@@ -178,6 +254,27 @@ def _print_rebalance_summary(scheduler) -> None:
     eligibility = getattr(scheduler, "last_steal_eligibility", None)
     if eligibility is not None and not eligibility.eligible:
         print(f"work stealing disabled: {eligibility.reason}")
+
+
+def _print_supervision_summary(scheduler) -> None:
+    """Report in-run recoveries and quarantined queries, when any."""
+    for record in getattr(scheduler, "recoveries", []) or []:
+        print(f"recovered shard {record.position} ({record.reason}) via "
+              f"{record.mode} in {record.latency:.2f}s: "
+              f"{record.events_replayed} events replayed"
+              + (f", hosts migrated: "
+                 f"{', '.join(record.migrated_agentids)}"
+                 if record.migrated_agentids else ""))
+    quarantined = getattr(scheduler, "quarantined", None) or {}
+    for name, detail in sorted(quarantined.items()):
+        print(f"quarantined query {name!r} after {detail['errors']} "
+              f"fatal errors: {detail['last_error']}", file=sys.stderr)
+    stats = getattr(scheduler, "stats", None)
+    if stats is not None and not quarantined:
+        for name, errors in sorted(getattr(stats, "quarantined",
+                                           {}).items()):
+            print(f"quarantined query {name!r} after {errors} "
+                  "fatal errors", file=sys.stderr)
 
 
 def command_parse(args: argparse.Namespace) -> int:
@@ -207,6 +304,7 @@ def command_demo(args: argparse.Namespace) -> int:
             print(f"error: unknown demo query {name!r}", file=sys.stderr)
             return 1
         scheduler.add_query(DEMO_QUERIES[name], name=name)
+    _arm_faults(args, scheduler)
 
     print(f"deployed {len(names)} queries over "
           f"{len(list(stream.events))} events "
@@ -223,6 +321,7 @@ def command_demo(args: argparse.Namespace) -> int:
           f"{scheduler.stats.groups} query groups "
           f"(vs {scheduler.stats.queries} stream copies without sharing)")
     _print_rebalance_summary(scheduler)
+    _print_supervision_summary(scheduler)
     _print_error_records(scheduler)
 
     if args.save_events:
@@ -247,6 +346,7 @@ def command_run(args: argparse.Namespace) -> int:
         except SAQLError as error:
             print(f"error in {path}: {error}", file=sys.stderr)
             return 1
+    _arm_faults(args, scheduler)
 
     # Crash recovery: restore engine state from the latest checkpoint and
     # replay the journal exactly after the checkpoint cursor.  Restored
@@ -296,6 +396,7 @@ def command_run(args: argparse.Namespace) -> int:
                    else f"{len(alerts)} alerts")
     print(f"done: {replayer.events_replayed} events replayed, {summary}")
     _print_rebalance_summary(scheduler)
+    _print_supervision_summary(scheduler)
     _print_error_records(scheduler)
     return 0
 

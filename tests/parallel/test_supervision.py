@@ -1,0 +1,277 @@
+"""Shard supervision: in-run crash/hang recovery with alert parity.
+
+The contract under test is *fault transparency*: a supervised run whose
+shard worker is SIGKILLed, SIGSTOPped, wedged in a batch or crashed by a
+poison event must finish on its own — no abort, no re-run — and emit
+exactly the alerts of a fault-free run.  Both recovery paths are
+exercised: restart-from-checkpoint with backlog replay (a checkpoint
+store is configured) and migrate-to-survivors through the snapshot
+transfer codecs (no checkpoint exists).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.parallel import ShardedScheduler, SupervisionPolicy
+from repro.core.parallel.supervision import (
+    BackoffPolicy,
+    ShardFailure,
+)
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.storage import CheckpointStore
+from repro.testing import FaultPlan, FaultSpec, InjectedCrash
+
+HOSTS = [f"host-{n:02d}" for n in range(8)]
+
+QUERY = ('proc p send ip i as evt #time(10)\n'
+         'state ss { t := sum(evt.amount), n := count(evt.amount) } '
+         'group by evt.agentid\n'
+         'alert ss.t > 0\nreturn ss.t, ss.n')
+
+#: A sliding window plus a sequence: state the snapshot codecs must move
+#: intact for the migrate path to stay alert-identical.
+SLIDING = ('proc p send ip i as evt #time(20, 5)\n'
+           'state ss { t := sum(evt.amount) } group by evt.agentid\n'
+           'alert ss.t > 400\nreturn ss.t')
+
+#: Tuned way down from the defaults so hangs resolve in test time.
+POLICY = SupervisionPolicy(probe_interval=256, probe_timeout=2.0,
+                           feed_timeout=2.0, result_grace=3.0)
+
+
+def _event(host, timestamp, amount=100.0):
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", srcport=5,
+                               dstport=443),
+        timestamp=timestamp, agentid=host, amount=amount)
+
+
+def make_events(count=4000):
+    return [_event(HOSTS[position % len(HOSTS)], position * 0.05)
+            for position in range(count)]
+
+
+def fingerprints(alerts):
+    return sorted((alert.query_name, alert.timestamp, alert.data,
+                   repr(alert.group_key), alert.window_start,
+                   alert.window_end, alert.agentid) for alert in alerts)
+
+
+def oracle_fingerprints(queries=((("q", QUERY)),), events=None):
+    scheduler = ShardedScheduler(shards=3, backend="serial", batch_size=64)
+    for name, text in queries:
+        scheduler.add_query(text, name=name)
+    return fingerprints(scheduler.execute(iter(events or make_events())))
+
+
+def build(backend, **kwargs):
+    scheduler = ShardedScheduler(shards=3, backend=backend, batch_size=64,
+                                 supervision=kwargs.pop("supervision",
+                                                        POLICY),
+                                 **kwargs)
+    scheduler.add_query(QUERY, name="q")
+    return scheduler
+
+
+# -- the two recovery paths (the acceptance scenarios) -----------------------
+
+def test_process_sigkill_restarts_from_checkpoint_with_parity(tmp_path):
+    expected = oracle_fingerprints()
+    store = CheckpointStore(tmp_path / "ckpt")
+    plan = FaultPlan([FaultSpec("kill", shard=1, after_events=600)])
+    scheduler = build("process", checkpoint_store=store,
+                      checkpoint_interval=500, fault_plan=plan)
+    alerts = scheduler.execute(iter(make_events()))
+    assert len(scheduler.recoveries) == 1
+    record = scheduler.recoveries[0]
+    assert record.mode == "restart"
+    assert record.reason == "dead"
+    assert record.position == 1
+    assert record.restored_checkpoint
+    assert record.events_replayed > 0
+    assert record.latency < POLICY.probe_timeout + POLICY.result_grace + 10
+    assert fingerprints(alerts) == expected
+
+
+def test_process_sigkill_migrates_to_survivors_with_parity():
+    expected = oracle_fingerprints()
+    plan = FaultPlan([FaultSpec("kill", shard=1, after_events=600)])
+    scheduler = build("process", fault_plan=plan)
+    alerts = scheduler.execute(iter(make_events()))
+    assert len(scheduler.recoveries) == 1
+    record = scheduler.recoveries[0]
+    assert record.mode == "migrate"
+    assert record.reason == "dead"
+    assert not record.restored_checkpoint
+    assert record.migrated_agentids  # the dead shard's hosts moved
+    assert fingerprints(alerts) == expected
+
+
+def test_migrated_state_survives_through_transfer_codecs():
+    """Sliding-window state crosses the migration intact (not just counts)."""
+    events = make_events()
+    expected = oracle_fingerprints(queries=[("s", SLIDING)], events=events)
+    plan = FaultPlan([FaultSpec("kill", shard=1, after_events=900)])
+    scheduler = ShardedScheduler(shards=3, backend="process", batch_size=64,
+                                 supervision=POLICY, fault_plan=plan)
+    scheduler.add_query(SLIDING, name="s")
+    alerts = scheduler.execute(iter(events))
+    assert scheduler.recoveries and scheduler.recoveries[0].mode == "migrate"
+    assert fingerprints(alerts) == expected
+
+
+# -- hung workers (SIGSTOP / wedged batch) -----------------------------------
+
+def _stopping_stream(events, stop_after, shard_name, pace=0.02):
+    """Yield events; at ``stop_after``, SIGSTOP the named shard worker and
+    pace the rest of the stream so supervision gets wall-clock time."""
+    stopped = False
+    for position, event in enumerate(events):
+        if position == stop_after and not stopped:
+            stopped = True
+            victims = [child for child in multiprocessing.active_children()
+                       if (child.name or "") == shard_name]
+            assert victims, "shard worker not found to SIGSTOP"
+            os.kill(victims[0].pid, signal.SIGSTOP)
+        if stopped and position % 64 == 0:
+            time.sleep(pace)
+        yield event
+
+
+def test_process_sigstop_is_detected_and_recovered_with_parity():
+    expected = oracle_fingerprints()
+    scheduler = build("process")
+    alerts = scheduler.execute(
+        _stopping_stream(make_events(), 600, "saql-shard-1"))
+    assert scheduler.recoveries
+    assert scheduler.recoveries[0].reason == "hung"
+    assert scheduler.recoveries[0].position == 1
+    assert fingerprints(alerts) == expected
+
+
+def test_thread_shard_wedged_batch_is_recovered_with_parity():
+    """A thread lane sleep-blocked mid-batch is abandoned and replaced."""
+    expected = oracle_fingerprints()
+    plan = FaultPlan([FaultSpec("hang", shard=1, after_events=600,
+                                duration=8.0)])
+    scheduler = build("thread", fault_plan=plan)
+    alerts = scheduler.execute(iter(make_events()))
+    assert scheduler.recoveries
+    assert scheduler.recoveries[0].position == 1
+    assert fingerprints(alerts) == expected
+
+
+# -- crashes (poison batches) ------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_injected_crash_is_recovered_on_every_backend(backend, tmp_path):
+    expected = oracle_fingerprints()
+    store = CheckpointStore(tmp_path / f"ckpt-{backend}")
+    plan = FaultPlan([FaultSpec("crash", shard=0, after_events=900)])
+    scheduler = build(backend, checkpoint_store=store,
+                      checkpoint_interval=400, fault_plan=plan)
+    alerts = scheduler.execute(iter(make_events()))
+    assert len(scheduler.recoveries) == 1
+    assert scheduler.recoveries[0].mode == "restart"
+    assert scheduler.recoveries[0].restored_checkpoint
+    assert fingerprints(alerts) == expected
+
+
+def test_unsupervised_run_still_fails_fast():
+    plan = FaultPlan([FaultSpec("crash", shard=0, after_events=600)])
+    scheduler = ShardedScheduler(shards=3, backend="thread", batch_size=64,
+                                 fault_plan=plan)
+    scheduler.add_query(QUERY, name="q")
+    with pytest.raises(RuntimeError):
+        scheduler.execute(iter(make_events()))
+
+
+def test_recovery_budget_exhaustion_fails_the_run():
+    """A deterministic poison batch must not crash-replay-crash forever."""
+    plan = FaultPlan([FaultSpec("crash", shard=0, after_events=600)],
+                     rearm_on_restart=True)
+    policy = SupervisionPolicy(probe_interval=256, probe_timeout=2.0,
+                               feed_timeout=2.0, max_recoveries=2,
+                               recovery="restart")
+    scheduler = ShardedScheduler(shards=3, backend="serial", batch_size=64,
+                                 supervision=policy, fault_plan=plan)
+    scheduler.add_query(QUERY, name="q")
+    with pytest.raises(ShardFailure, match="recovery budget"):
+        scheduler.execute(iter(make_events()))
+    assert len(scheduler.recoveries) == policy.max_recoveries
+
+
+def test_supervised_clean_run_is_identical_and_records_nothing():
+    expected = oracle_fingerprints()
+    for backend in ("serial", "thread", "process"):
+        scheduler = build(backend)
+        alerts = scheduler.execute(iter(make_events()))
+        assert scheduler.recoveries == []
+        assert fingerprints(alerts) == expected
+
+
+# -- policy and backoff plumbing ---------------------------------------------
+
+def test_supervision_policy_validation():
+    with pytest.raises(ValueError):
+        SupervisionPolicy(probe_interval=0)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(probe_timeout=0.0)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(max_recoveries=0)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(recovery="reboot")
+    with pytest.raises(ValueError):
+        ShardedScheduler(supervision="yes")
+    with pytest.raises(ValueError):
+        ShardedScheduler(quarantine_errors=0)
+
+
+def test_backoff_waiter_deadline_and_reset():
+    policy = BackoffPolicy(initial=0.001, maximum=0.004, factor=2.0,
+                           jitter=0.0)
+    waiter = policy.waiter(deadline=0.05)
+    assert not waiter.expired
+    quanta = [waiter.interval() for _ in range(4)]
+    assert quanta[0] == pytest.approx(0.001)
+    assert quanta[-1] <= 0.004 + 1e-9
+    time.sleep(0.06)
+    assert waiter.expired
+    assert waiter.wait() is False
+    waiter.reset()
+    assert not waiter.expired
+    with pytest.raises(ValueError):
+        BackoffPolicy(initial=0.0)
+    with pytest.raises(ValueError):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ValueError):
+        BackoffPolicy(jitter=1.5)
+
+
+def test_fault_spec_parsing_and_validation():
+    from repro.testing import parse_fault_spec
+    spec = parse_fault_spec("kill:shard=1,after=5000")
+    assert spec.kind == "kill" and spec.shard == 1
+    assert spec.after_events == 5000
+    spec = parse_fault_spec("hang:duration=30,after=100")
+    assert spec.duration == 30.0
+    spec = parse_fault_spec("query-error:query=exfil")
+    assert spec.query == "exfil"
+    assert parse_fault_spec("crash").shard is None
+    with pytest.raises(ValueError):
+        parse_fault_spec("melt")
+    with pytest.raises(ValueError):
+        parse_fault_spec("kill:patience=3")
+    with pytest.raises(ValueError):
+        FaultSpec("hang")  # needs a duration
+    with pytest.raises(ValueError):
+        FaultSpec("query-error")  # needs a query name

@@ -1,0 +1,90 @@
+"""Checkpoint content verification: checksummed containers.
+
+The store's atomic rename already rules out torn writes through its own
+API, but a file that was silently damaged *after* landing (bit rot, a
+partial overwrite by a backup tool, a filesystem reordering writes
+across a crash) can still parse as JSON.  Format 2 wraps every snapshot
+in a checksummed container so such damage fails verification and
+``latest`` falls back to the previous checkpoint — same degradation as
+a parse error, instead of restoring silently-wrong state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.storage.checkpoints import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    CorruptCheckpoint,
+    snapshot_checksum,
+)
+from repro.testing import corrupt_checkpoint, truncate_checkpoint
+
+
+def snap(n):
+    return {"version": 1, "kind": "test", "value": n,
+            "nested": {"hosts": [f"host-{i}" for i in range(n)]}}
+
+
+def test_save_writes_a_checksummed_container(tmp_path):
+    store = CheckpointStore(tmp_path)
+    path = store.save(snap(3))
+    container = json.loads(path.read_text(encoding="utf-8"))
+    assert container["format"] == CHECKPOINT_FORMAT
+    assert container["checksum"] == snapshot_checksum(snap(3))
+    assert container["checksum"].startswith("sha256:")
+    assert container["snapshot"] == snap(3)
+    assert store.latest() == snap(3)
+
+
+def test_checksum_is_canonical_over_key_order():
+    assert snapshot_checksum({"a": 1, "b": 2}) == \
+        snapshot_checksum({"b": 2, "a": 1})
+    assert snapshot_checksum({"a": 1}) != snapshot_checksum({"a": 2})
+
+
+def test_corrupted_content_falls_back_to_previous_checkpoint(tmp_path):
+    store = CheckpointStore(tmp_path, keep=3)
+    store.save(snap(1))
+    newest = store.save(snap(2))
+    # Damage the newest file's content without breaking its JSON syntax:
+    # only the checksum can catch this.
+    corrupt_checkpoint(newest)
+    assert json.loads(newest.read_text(encoding="utf-8"))  # still parses
+    assert store.latest() == snap(1)
+
+
+def test_truncated_file_falls_back_to_previous_checkpoint(tmp_path):
+    store = CheckpointStore(tmp_path, keep=3)
+    store.save(snap(1))
+    newest = store.save(snap(2))
+    truncate_checkpoint(newest, keep_bytes=40)
+    assert store.latest() == snap(1)
+
+
+def test_all_checkpoints_damaged_means_empty_store(tmp_path):
+    store = CheckpointStore(tmp_path, keep=3)
+    for n in (1, 2):
+        corrupt_checkpoint(store.save(snap(n)))
+    assert store.latest() is None
+
+
+def test_pre_format2_bare_snapshots_still_load(tmp_path):
+    store = CheckpointStore(tmp_path)
+    path = tmp_path / "checkpoint-00000001.json"
+    path.write_text(json.dumps(snap(5)), encoding="utf-8")
+    assert store.latest() == snap(5)
+
+
+def test_verify_rejects_malformed_containers():
+    with pytest.raises(CorruptCheckpoint):
+        CheckpointStore._verify({"format": 2, "snapshot": "not-a-dict",
+                                 "checksum": "sha256:0"})
+    with pytest.raises(CorruptCheckpoint):
+        CheckpointStore._verify({"format": 2, "snapshot": {"a": 1},
+                                 "checksum": "sha256:wrong"})
+    with pytest.raises(CorruptCheckpoint):
+        CheckpointStore._verify(["not", "an", "object"])
