@@ -1,0 +1,225 @@
+"""E14 — always-on service: ingest throughput, alert latency, drain/restart.
+
+PR 8 wraps the scheduler in a long-running service: a bounded ingestion
+queue feeds a background pump, alerts leave through a retrying dispatcher
+with a durable delivery ledger, and SIGTERM drains to a checkpoint that a
+restarted service resumes from without duplicating or losing alerts.
+The service is only worth running always-on if the front door is cheap,
+so this experiment measures four arms over the same multi-host workload:
+
+* **direct batch** — ``ConcurrentQueryScheduler.process_events`` over the
+  whole stream (the PR-6 baseline the service wraps);
+* **service fault-free** — the same stream pushed through
+  :class:`~repro.service.SAQLService` (bounded queue, background pump,
+  dispatcher delivery).  The headline assertion is **<= 10% throughput
+  overhead** vs direct batch (at full scale — smoke runs are noise).
+  End-to-end alert latency (event submission -> sink delivery) is
+  recorded as p50/p99;
+* **drain** — mid-stream SIGTERM-style drain: stop admissions, drain the
+  queue, checkpoint, flush the dispatcher.  Recorded as wall seconds;
+* **restart** — a fresh service resuming that state dir (manifest ->
+  queries, checkpoint -> window state, ledger -> delivery dedupe), then
+  finishing the stream with alert parity asserted against the oracle.
+
+Rates land in ``benchmarks/BENCH_e14.json`` via the shared conftest hook
+(annotated with latency percentiles and drain/restart seconds, so the
+trajectory keeps the service tax visible alongside raw throughput).
+"""
+
+import json
+import math
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale, print_table, record_rate
+from repro.core.engine.alerts import CollectingSink
+from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+from repro.core.snapshot.codecs import encode_alert
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.service import CallbackDeliverySink, SAQLService, ServiceConfig
+
+HOSTS = [f"host-{n:02d}" for n in range(12)]
+DT = 0.01  # stream seconds per event
+
+QUERIES = {
+    "ops/volume-tumbling": '''
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount), n := count(evt.amount) } group by evt.agentid
+alert ss.t > 30000
+return ss.t, ss.n''',
+    "ops/volume-sliding": '''
+proc p send ip i as evt #time(40, 10)
+state ss { t := sum(evt.amount), a := avg(evt.amount) } group by evt.agentid
+alert ss.t > 150000
+return ss.t, ss.a''',
+}
+
+SERVICE_CONFIG = dict(queue_capacity=8192, queue_policy="block",
+                      batch_size=512, max_batch_delay=0.005,
+                      checkpoint_interval=100000)
+
+
+def service_events(count):
+    rng = random.Random(47)
+    events = []
+    for position in range(count):
+        host = HOSTS[rng.randrange(len(HOSTS))]
+        events.append(Event(
+            subject=ProcessEntity.make("x.exe", pid=2, host=host),
+            operation=Operation.SEND,
+            obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", dstport=443),
+            timestamp=position * DT, agentid=host,
+            amount=float(rng.randrange(100, 1000)),
+            event_id=position + 1))
+    return events
+
+
+def batch_oracle(events):
+    sink = CollectingSink()
+    scheduler = ConcurrentQueryScheduler(sink=sink)
+    for name, text in QUERIES.items():
+        scheduler.add_query(text, name=name)
+    started = time.perf_counter()
+    scheduler.process_events(events)
+    scheduler.finish()
+    elapsed = time.perf_counter() - started
+    return elapsed, sorted(json.dumps(encode_alert(a), sort_keys=True)
+                           for a in sink)
+
+
+def build_service(state_dir=None, sinks=None):
+    tenant_names = {}
+    service = SAQLService(state_dir=state_dir, sinks=sinks or [],
+                          config=ServiceConfig(**SERVICE_CONFIG))
+    service.start(resume=False)
+    for scoped, text in QUERIES.items():
+        tenant, name = scoped.split("/", 1)
+        service.register_query(tenant, name, text)
+        tenant_names[scoped] = (tenant, name)
+    return service
+
+
+def settle(service, ingested, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = service.stats()
+        if (stats["scheduler"]["events_ingested"] >= ingested
+                and stats["queue"]["depth"] == 0
+                and stats["sinks"]["lag"] == 0):
+            return
+        time.sleep(0.005)
+    raise AssertionError("service did not settle in time")
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def test_e14_service_overhead_latency_and_restart():
+    count = int(60000 * bench_scale())
+    events = service_events(count)
+
+    batch_seconds, oracle = batch_oracle(events)
+    batch_rate = count / batch_seconds
+    assert oracle, "workload must actually alert"
+
+    # --- Arm 2: fault-free service run, end-to-end alert latency. ----
+    # An alert's window can close only once the first event at or past
+    # its window_end has been submitted; latency is delivery wall time
+    # minus that submission's wall time.
+    submit_walls = [0.0] * count
+    deliveries = []  # (wall_time, window_end)
+    fault_free_alerts = []
+
+    def on_delivery(alert):
+        deliveries.append((time.perf_counter(), alert.window_end))
+        fault_free_alerts.append(alert)
+
+    service = build_service(sinks=[CallbackDeliverySink(on_delivery)])
+    started = time.perf_counter()
+    for position, event in enumerate(events):
+        submit_walls[position] = time.perf_counter()
+        service.submit_event(event)
+    settle(service, count)
+    service_seconds = time.perf_counter() - started
+    service_rate = count / service_seconds
+    service.drain(finish_stream=True, reason="eof")
+    assert sorted(json.dumps(encode_alert(a), sort_keys=True)
+                  for a in fault_free_alerts) == oracle
+
+    latencies = sorted(
+        wall - submit_walls[trigger]
+        for wall, window_end in deliveries
+        for trigger in (int(math.ceil(window_end / DT)),)
+        if trigger < count)  # drain-flushed alerts have no trigger event
+    p50 = percentile(latencies, 0.50)
+    p99 = percentile(latencies, 0.99)
+    overhead = (batch_rate - service_rate) / batch_rate
+
+    # --- Arms 3+4: mid-stream drain, then resume and finish. ---------
+    cutover = count // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = Path(tmp) / "state"
+        delivered = []
+        first = build_service(state_dir=state_dir,
+                              sinks=[CallbackDeliverySink(
+                                  lambda a: delivered.append(a))])
+        first.submit_events(events[:cutover])
+        settle(first, cutover)
+        drain_started = time.perf_counter()
+        first.drain(reason="sigterm")
+        drain_seconds = time.perf_counter() - drain_started
+
+        restart_started = time.perf_counter()
+        second = SAQLService(state_dir=state_dir,
+                             sinks=[CallbackDeliverySink(
+                                 lambda a: delivered.append(a))],
+                             config=ServiceConfig(**SERVICE_CONFIG))
+        second.start(resume=True)
+        restart_seconds = time.perf_counter() - restart_started
+        second.submit_events(events)  # full re-send: cursor drops dupes
+        settle(second, count)
+        second.drain(finish_stream=True, reason="eof")
+
+        fingerprints = sorted(json.dumps(encode_alert(a), sort_keys=True)
+                              for a in delivered)
+        assert fingerprints == oracle, (
+            "drain/restart lost or duplicated alerts")
+
+    print_table(
+        f"E14: always-on service ({len(QUERIES)} queries, {count} events, "
+        f"{len(HOSTS)} hosts)",
+        ["arm", "events/s", "notes"],
+        [
+            ["direct batch", f"{batch_rate:,.0f}", "the PR-6 baseline"],
+            ["service fault-free", f"{service_rate:,.0f}",
+             f"{overhead * 100:.1f}% overhead, alert latency "
+             f"p50 {p50 * 1000:.1f}ms / p99 {p99 * 1000:.1f}ms"],
+            ["drain", "-", f"{drain_seconds:.3f}s to checkpoint + flush"],
+            ["restart", "-",
+             f"{restart_seconds:.3f}s to resume {cutover} events of "
+             f"state; alert parity held"],
+        ])
+
+    record_rate("e14", "direct_batch", batch_rate)
+    record_rate("e14", "service_fault_free", service_rate,
+                overhead_percent=round(overhead * 100, 2),
+                alert_latency_p50_ms=round(p50 * 1000, 3),
+                alert_latency_p99_ms=round(p99 * 1000, 3))
+    record_rate("e14", "drain", count / max(drain_seconds, 1e-9),
+                drain_seconds=round(drain_seconds, 4))
+    record_rate("e14", "restart", count / max(restart_seconds, 1e-9),
+                restart_seconds=round(restart_seconds, 4),
+                resumed_events=cutover)
+
+    if bench_scale() >= 1.0:
+        assert overhead <= 0.10, (
+            f"service front door cost {overhead * 100:.1f}% throughput "
+            f"on a fault-free run (limit 10%)")

@@ -1,0 +1,134 @@
+"""The always-on SAQL service: ingest, faults, drain, resume — exactly once.
+
+This example runs the full PR-8 service lifecycle in one process:
+
+1. start a :class:`~repro.service.SAQLService` with a durable state dir,
+   a file sink and a *flaky* webhook sink (every delivery fails twice
+   before succeeding, exercising the retry/backoff path);
+2. serve it over the JSON-lines TCP transport and drive it with
+   :class:`~repro.service.ServiceClient` — register per-tenant queries,
+   ingest events, read live stats;
+3. drain mid-stream (what the ``saql serve`` SIGTERM handler does):
+   admissions stop, the queue drains, window state is checkpointed,
+   in-flight alerts flush;
+4. restart with ``resume=True`` and re-send the *entire* stream — the
+   resume cursor drops the already-processed half, the delivery ledger
+   suppresses re-delivery, and the drained file ends up identical to a
+   fault-free batch run.
+
+Run with::
+
+    python examples/always_on_service.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import ConcurrentQueryScheduler
+from repro.core.engine.alerts import CollectingSink
+from repro.core.snapshot.codecs import encode_alert
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.serialization import event_to_dict
+from repro.service import (FileSink, SAQLService, ServiceClient,
+                           ServiceConfig, ServiceTransport, WebhookSink,
+                           read_alert_file)
+from repro.testing import FlakySinkTransport
+
+EXFIL_QUERY = """
+proc p send ip i as evt #time(10)
+state ss { sent := sum(evt.amount) } group by evt.agentid
+alert ss.sent > 100
+return ss.sent"""
+
+
+def make_stream(count):
+    """A deterministic two-host stream of network sends."""
+    return [Event(subject=ProcessEntity.make("x.exe", pid=2,
+                                             host=("web", "db")[i % 2]),
+                  operation=Operation.SEND,
+                  obj=NetworkEntity.make("10.0.0.1", "10.0.0.2",
+                                         dstport=443),
+                  timestamp=float(i), agentid=("web", "db")[i % 2],
+                  amount=50.0, event_id=i + 1)
+            for i in range(count)]
+
+
+def batch_oracle(events):
+    """What a fault-free batch run of the same query produces."""
+    sink = CollectingSink()
+    scheduler = ConcurrentQueryScheduler(sink=sink)
+    scheduler.add_query(EXFIL_QUERY, name="secops/exfil")
+    scheduler.process_events(events)
+    scheduler.finish()
+    return [encode_alert(alert) for alert in sink]
+
+
+def build(state_dir, alert_file, flaky):
+    service = SAQLService(
+        state_dir=state_dir,
+        sinks=[FileSink(alert_file),
+               WebhookSink("http://alerts.example/hook", transport=flaky)],
+        config=ServiceConfig(batch_size=32, max_batch_delay=0.01,
+                             checkpoint_interval=50))
+    return service
+
+
+def main() -> None:
+    events = make_stream(120)
+    oracle = batch_oracle(events)
+    print(f"stream: {len(events)} events; fault-free batch oracle: "
+          f"{len(oracle)} alerts\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        state_dir = Path(tmp) / "state"
+        alert_file = Path(tmp) / "alerts.jsonl"
+        flaky = FlakySinkTransport(fail_first=2)  # every alert retries twice
+
+        # ---- Run 1: serve, ingest 70 of 120 events, drain. ----------
+        service = build(state_dir, alert_file, flaky).start()
+        transport = ServiceTransport(service).start()
+        host, port = transport.address
+        print(f"run 1: serving on {host}:{port}")
+
+        with ServiceClient(host, port) as client:
+            scoped = client.check("register", tenant="secops",
+                                  name="exfil", query=EXFIL_QUERY)["scoped"]
+            print(f"run 1: registered {scoped!r}")
+            counts = client.ingest_many(
+                [event_to_dict(e) for e in events[:70]])
+            print(f"run 1: ingested {counts}")
+            stats = client.check("stats")["stats"]
+            print(f"run 1: sink metrics {json.dumps(stats['sinks'])}")
+
+        transport.shutdown()
+        report = service.drain(reason="sigterm")  # mid-stream: no finish
+        print(f"run 1: drained in {report.duration_seconds:.2f}s, "
+              f"{report.delivered} deliveries, checkpoint written\n")
+
+        # ---- Run 2: resume, re-send EVERYTHING, finish the stream. --
+        service = build(state_dir, alert_file, flaky)
+        service.start(resume=True)  # manifest + checkpoint + ledger
+        counts = service.submit_events([event_to_dict(e) for e in events])
+        print(f"run 2: full re-send -> {counts} "
+              "(the resume cursor dropped run 1's events)")
+        report = service.drain(finish_stream=True, reason="eof")
+        print(f"run 2: drained in {report.duration_seconds:.2f}s, "
+              f"{report.delivered} deliveries\n")
+
+        # ---- Exactly-once parity. -----------------------------------
+        delivered = read_alert_file(alert_file)
+        assert delivered == oracle, "alert parity broken!"
+        webhook = sorted(json.dumps(e, sort_keys=True)
+                         for e in flaky.delivered)
+        assert webhook == sorted(json.dumps(e, sort_keys=True)
+                                 for e in oracle)
+        print(f"parity: {len(delivered)} alerts in the file sink — "
+              "identical to the fault-free batch run, duplicate-free,")
+        print(f"parity: the flaky webhook ({flaky.attempts} attempts) "
+              "converged to the same alert set.")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,22 @@ class Alert:
 
 
 class AlertSink:
-    """Receives alerts as the engine produces them."""
+    """Receives alerts as the engine produces them.
+
+    :meth:`emit` may raise: sinks talk to files, webhooks and user
+    callbacks, all of which can fail.  A failed ``emit`` never loses the
+    alert — the engine has already recorded it in its ledger before
+    emitting — and never aborts the stream: engines with an error
+    reporter route the failure through it (feeding the quarantine
+    circuit-breaker's counters) and keep processing.  The service layer
+    (:mod:`repro.service`) additionally wraps delivery sinks in
+    retry/backoff with a dead-letter ledger.
+    """
+
+    @property
+    def name(self) -> str:
+        """A stable identifier for delivery accounting (ledger keys)."""
+        return type(self).__name__
 
     def emit(self, alert: Alert) -> None:
         """Handle one alert."""
@@ -64,7 +79,12 @@ class CollectingSink(AlertSink):
 
 
 class CallbackSink(AlertSink):
-    """An alert sink that invokes a callback for each alert."""
+    """An alert sink that invokes a callback for each alert.
+
+    The callback is user code; if it raises, the failure follows the
+    :class:`AlertSink` contract — reported against the emitting query,
+    never fatal to the stream (the alert stays in the engine's ledger).
+    """
 
     def __init__(self, callback) -> None:
         self._callback = callback

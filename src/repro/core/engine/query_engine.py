@@ -516,7 +516,19 @@ class QueryEngine:
         self.alerts_emitted += 1
         self._collected.append(alert)
         if self._sink is not None:
-            self._sink.emit(alert)
+            # A broken sink must not take the stream down: the alert is
+            # already in the ledger (checkpointed, re-deliverable), so a
+            # raising sink is reported against this query — feeding the
+            # quarantine circuit-breaker's counters — and the run goes
+            # on.  Without a reporter there is no error path to route
+            # through, so the failure propagates as before.
+            try:
+                self._sink.emit(alert)
+            except Exception as error:
+                if self._error_reporter is None:
+                    raise
+                self._error_reporter.report(self.name, error,
+                                            timestamp=timestamp, fatal=True)
         return alert
 
     def _project_returns(self, context: GroupContext

@@ -1,18 +1,15 @@
-"""Shard supervision policy and the shared deadline/backoff helper.
+"""Shard supervision policy (crash/hang detection and in-run recovery).
 
 The sharded runtime (:mod:`repro.core.parallel.sharded`) waits on other
 workers in several places: the stealing coordinator's end-of-stream
 handshake, the checkpointer's snapshot collection, the process backend's
 result collection, and — with supervision enabled — liveness probes and
-in-run recovery.  Historically each of those sites carried its own
-fixed-sleep polling loop with its own hard-coded patience constant; this
-module centralizes them behind one tunable policy:
+in-run recovery.  Every one of those wait loops paces itself through the
+shared deadline/backoff waiter in :mod:`repro.core.retry` (hoisted there
+so the always-on service's sink retries reuse it; ``BackoffPolicy`` /
+``Backoff`` / ``DEFAULT_BACKOFF`` are re-exported here for
+compatibility).  This module keeps the supervision-specific pieces:
 
-* :class:`BackoffPolicy` / :class:`Backoff` — a deadline-aware waiter
-  with exponential backoff and deterministic jitter.  Every wait loop in
-  the sharded runtime paces itself through one of these, so hang
-  detection and crash detection share a single knob instead of a zoo of
-  sleep constants.
 * :class:`SupervisionPolicy` — the shard supervisor's tunables: probe
   cadence, hang/feed deadlines, the per-shard recovery budget and the
   recovery mode (checkpoint restart vs. migrate-to-survivors).
@@ -25,10 +22,10 @@ module centralizes them behind one tunable policy:
 
 from __future__ import annotations
 
-import random
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
+
+from repro.core.retry import DEFAULT_BACKOFF, Backoff, BackoffPolicy
 
 #: Reasons a shard failure can carry (ShardFailure.reason).
 FAILURE_REASONS = ("dead", "hung", "error", "retired")
@@ -50,111 +47,6 @@ class ShardFailure(RuntimeError):
         super().__init__(message)
         self.position = position
         self.reason = reason
-
-
-@dataclass(frozen=True)
-class BackoffPolicy:
-    """Tunables for one family of wait loops.
-
-    ``initial`` is the first sleep quantum, growing by ``factor`` up to
-    ``maximum``; ``jitter`` spreads each quantum by up to +/- that
-    fraction so many parents polling the same queues do not phase-lock.
-    The jitter stream is seeded per waiter, keeping runs reproducible.
-    """
-
-    initial: float = 0.002
-    maximum: float = 0.25
-    factor: float = 2.0
-    jitter: float = 0.25
-
-    def __post_init__(self):
-        if self.initial <= 0 or self.maximum < self.initial:
-            raise ValueError("backoff needs 0 < initial <= maximum")
-        if self.factor < 1.0:
-            raise ValueError("backoff factor must be at least 1.0")
-        if not 0.0 <= self.jitter < 1.0:
-            raise ValueError("backoff jitter must be in [0, 1)")
-
-    def waiter(self, deadline: Optional[float] = None,
-               seed: int = 0) -> "Backoff":
-        """Build a fresh waiter; ``deadline`` is seconds from now (None =
-        no deadline, the waiter never expires)."""
-        return Backoff(self, deadline, seed)
-
-
-class Backoff:
-    """One wait loop's pacing state: deadline tracking plus backoff.
-
-    Use :meth:`interval` to time a blocking ``get(timeout=...)``, or
-    :meth:`wait` to sleep in a pure polling loop; call :meth:`reset` when
-    the loop observes progress so the next wait starts short again.
-    """
-
-    def __init__(self, policy: BackoffPolicy, deadline: Optional[float],
-                 seed: int = 0):
-        self._policy = policy
-        self._deadline = deadline
-        self._started = time.monotonic()
-        self._interval = policy.initial
-        self._random = random.Random(seed)
-
-    @property
-    def elapsed(self) -> float:
-        """Seconds since the waiter was created or last reset."""
-        return time.monotonic() - self._started
-
-    def remaining(self) -> Optional[float]:
-        """Seconds until the deadline (None when there is no deadline)."""
-        if self._deadline is None:
-            return None
-        return self._deadline - self.elapsed
-
-    @property
-    def expired(self) -> bool:
-        """True once the deadline has passed (never, without one)."""
-        remaining = self.remaining()
-        return remaining is not None and remaining <= 0.0
-
-    def reset(self) -> None:
-        """Restart both the deadline clock and the backoff ramp.
-
-        Call on observed progress: the waited-for peer is alive, so the
-        deadline should measure silence, not total elapsed time.
-        """
-        self._started = time.monotonic()
-        self._interval = self._policy.initial
-
-    def interval(self) -> float:
-        """Return the next wait quantum (jittered, deadline-capped).
-
-        Advances the backoff ramp.  Returns a small positive value even
-        at the deadline edge so ``Queue.get(timeout=...)`` callers never
-        pass zero; pair with :attr:`expired` to decide when to give up.
-        """
-        base = self._interval
-        self._interval = min(self._interval * self._policy.factor,
-                             self._policy.maximum)
-        spread = self._policy.jitter * (2.0 * self._random.random() - 1.0)
-        quantum = base * (1.0 + spread)
-        remaining = self.remaining()
-        if remaining is not None:
-            quantum = min(quantum, max(remaining, 0.0))
-        return max(quantum, 1e-4)
-
-    def wait(self) -> bool:
-        """Sleep one backoff quantum; False when the deadline has passed.
-
-        The caller's loop shape is ``while not done: if not waiter.wait():
-        raise Timeout``; the sleep never overshoots the deadline.
-        """
-        if self.expired:
-            return False
-        time.sleep(self.interval())
-        return True
-
-
-#: The default pacing shared by every wait loop in the sharded runtime.
-DEFAULT_BACKOFF = BackoffPolicy()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,171 @@
+"""Shared retry/backoff pacing: one implementation for every wait loop.
+
+Grown out of :mod:`repro.core.parallel.supervision` (whose wait loops it
+still paces — the names are re-exported there for compatibility), this
+module is the single home for backoff in the codebase: the sharded
+runtime's liveness probes and result collection, the always-on service's
+alert-sink delivery retries, and any future polling loop all share the
+same deadline-aware, deterministically-jittered waiter instead of each
+growing its own sleep constants.
+
+* :class:`BackoffPolicy` / :class:`Backoff` — a deadline-aware waiter
+  with exponential backoff and deterministic jitter.
+* :class:`RetryPolicy` — an attempt-bounded retry loop's tunables
+  (attempts, per-attempt timeout, inter-attempt backoff), used by the
+  service's alert sinks; :meth:`RetryPolicy.delays` yields the jittered
+  sleep before each retry.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Tunables for one family of wait loops.
+
+    ``initial`` is the first sleep quantum, growing by ``factor`` up to
+    ``maximum``; ``jitter`` spreads each quantum by up to +/- that
+    fraction so many parents polling the same queues do not phase-lock.
+    The jitter stream is seeded per waiter, keeping runs reproducible.
+    """
+
+    initial: float = 0.002
+    maximum: float = 0.25
+    factor: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.initial <= 0 or self.maximum < self.initial:
+            raise ValueError("backoff needs 0 < initial <= maximum")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be at least 1.0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("backoff jitter must be in [0, 1)")
+
+    def waiter(self, deadline: Optional[float] = None,
+               seed: int = 0) -> "Backoff":
+        """Build a fresh waiter; ``deadline`` is seconds from now (None =
+        no deadline, the waiter never expires)."""
+        return Backoff(self, deadline, seed)
+
+
+class Backoff:
+    """One wait loop's pacing state: deadline tracking plus backoff.
+
+    Use :meth:`interval` to time a blocking ``get(timeout=...)``, or
+    :meth:`wait` to sleep in a pure polling loop; call :meth:`reset` when
+    the loop observes progress so the next wait starts short again.
+    """
+
+    def __init__(self, policy: BackoffPolicy, deadline: Optional[float],
+                 seed: int = 0):
+        self._policy = policy
+        self._deadline = deadline
+        self._started = time.monotonic()
+        self._interval = policy.initial
+        self._random = random.Random(seed)
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the waiter was created or last reset."""
+        return time.monotonic() - self._started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (None when there is no deadline)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline has passed (never, without one)."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def reset(self) -> None:
+        """Restart both the deadline clock and the backoff ramp.
+
+        Call on observed progress: the waited-for peer is alive, so the
+        deadline should measure silence, not total elapsed time.
+        """
+        self._started = time.monotonic()
+        self._interval = self._policy.initial
+
+    def interval(self) -> float:
+        """Return the next wait quantum (jittered, deadline-capped).
+
+        Advances the backoff ramp.  Returns a small positive value even
+        at the deadline edge so ``Queue.get(timeout=...)`` callers never
+        pass zero; pair with :attr:`expired` to decide when to give up.
+        """
+        base = self._interval
+        self._interval = min(self._interval * self._policy.factor,
+                             self._policy.maximum)
+        spread = self._policy.jitter * (2.0 * self._random.random() - 1.0)
+        quantum = base * (1.0 + spread)
+        remaining = self.remaining()
+        if remaining is not None:
+            quantum = min(quantum, max(remaining, 0.0))
+        return max(quantum, 1e-4)
+
+    def wait(self) -> bool:
+        """Sleep one backoff quantum; False when the deadline has passed.
+
+        The caller's loop shape is ``while not done: if not waiter.wait():
+        raise Timeout``; the sleep never overshoots the deadline.
+        """
+        if self.expired:
+            return False
+        time.sleep(self.interval())
+        return True
+
+
+#: The default pacing shared by every wait loop in the sharded runtime.
+DEFAULT_BACKOFF = BackoffPolicy()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Tunables for an attempt-bounded retry loop (alert-sink delivery).
+
+    ``max_attempts`` counts the first try: 3 means one try plus up to two
+    retries.  ``timeout`` bounds each individual attempt (passed to the
+    transport; ``None`` leaves the transport's own default).  ``backoff``
+    paces the sleep between attempts — the first retry waits roughly
+    ``backoff.initial`` seconds, growing by ``backoff.factor`` with the
+    policy's jitter applied, capped at ``backoff.maximum``.
+    """
+
+    max_attempts: int = 5
+    timeout: Optional[float] = None
+    backoff: BackoffPolicy = field(default_factory=lambda: BackoffPolicy(
+        initial=0.05, maximum=2.0, factor=2.0, jitter=0.25))
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("retry attempt timeout must be positive")
+
+    def delays(self, seed: int = 0) -> Iterator[float]:
+        """Yield the jittered sleep before each retry (attempts 2..N).
+
+        Yields ``max_attempts - 1`` values; deterministic under a fixed
+        ``seed`` so tests and fault-injection runs reproduce exactly.
+        """
+        waiter = self.backoff.waiter(seed=seed)
+        for _ in range(self.max_attempts - 1):
+            yield waiter.interval()
+
+
+__all__ = [
+    "Backoff",
+    "BackoffPolicy",
+    "DEFAULT_BACKOFF",
+    "RetryPolicy",
+]

@@ -856,6 +856,23 @@ class _QuarantineGuard:
             self._tripped.add(name)
             self._pending.append(engine)
 
+    def sweep(self, engines: Iterable[QueryEngine]) -> None:
+        """Trip breakers for budget-exhausted engines the guard never saw.
+
+        Engines report some fatal errors internally (a raising alert
+        sink, for one) instead of raising through the guarded dispatch
+        paths; those land in the shared reporter without a
+        :meth:`record` call.  Sweeping at batch boundaries folds them
+        into the same budget, so a persistently failing sink quarantines
+        its query exactly like a crashing closure would.
+        """
+        for engine in engines:
+            name = engine.name
+            if (name not in self._tripped
+                    and self._reporter.fatal_count(name) >= self._budget):
+                self._tripped.add(name)
+                self._pending.append(engine)
+
     def tripped(self, name: str) -> bool:
         """True when the named query's breaker has tripped."""
         return name in self._tripped
@@ -1326,6 +1343,7 @@ class ConcurrentQueryScheduler:
         guard = self._quarantine
         if guard is None:
             return
+        guard.sweep(self._engines)
         for engine in guard.take_tripped():
             try:
                 self.remove_query(engine)

@@ -1,0 +1,46 @@
+"""The always-on SAQL service (PR 8).
+
+Turns the batch scheduler into a long-running server: a backpressured
+ingestion front door (:mod:`repro.service.queue`), runtime multi-tenant
+query management (:mod:`repro.service.tenants`), retrying exactly-once
+alert delivery (:mod:`repro.service.sinks`), the drain/resume service
+core (:mod:`repro.service.server`) and a JSON-lines TCP transport
+(:mod:`repro.service.transport`).  The CLI front end is ``saql serve``.
+"""
+
+from repro.service.queue import QUEUE_POLICIES, IngestionQueue, QueueClosed
+from repro.service.server import (SERVICE_STATES, DrainReport, SAQLService,
+                                  ServiceClosed, ServiceConfig, ServiceError)
+from repro.service.sinks import (CallbackDeliverySink, DeliveryLedger,
+                                 FileSink, SinkDeliveryError, SinkDispatcher,
+                                 WebhookSink, alert_key, read_alert_file)
+from repro.service.tenants import (QuotaExceeded, TenantQuery, TenantQuota,
+                                   TenantRegistry, UnknownQuery)
+from repro.service.transport import (ServiceClient, ServiceTransport)
+
+__all__ = [
+    "QUEUE_POLICIES",
+    "IngestionQueue",
+    "QueueClosed",
+    "SERVICE_STATES",
+    "DrainReport",
+    "SAQLService",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "CallbackDeliverySink",
+    "DeliveryLedger",
+    "FileSink",
+    "SinkDeliveryError",
+    "SinkDispatcher",
+    "WebhookSink",
+    "alert_key",
+    "read_alert_file",
+    "QuotaExceeded",
+    "TenantQuery",
+    "TenantQuota",
+    "TenantRegistry",
+    "UnknownQuery",
+    "ServiceClient",
+    "ServiceTransport",
+]

@@ -1,0 +1,213 @@
+"""The bounded ingestion queue: the service's backpressure front door.
+
+A live SAQL service sits between network producers (many, bursty) and
+one scheduler pump (steady).  Without an explicit bound the gap between
+the two turns into unbounded memory; with a naive bound it turns into
+silent drops.  :class:`IngestionQueue` makes the gap a first-class,
+observable object:
+
+* **bounded** — at most ``capacity`` events are ever held;
+* **explicit policy** — a full queue either *blocks* the producer
+  (``policy="block"``, optionally bounded by ``block_timeout`` so a dead
+  pump cannot wedge producers forever) or *sheds* the newest event
+  (``policy="shed"``), and every admission outcome is counted;
+* **observable** — depth, high-water mark, accepted/shed/offered
+  counts, total producer blocked time and slow-consumer detection
+  (the pump letting the queue sit full for longer than
+  ``slow_consumer_after`` seconds) surface through :meth:`metrics` into
+  the service's health endpoint.
+
+The consumer side (:meth:`get_batch`) collects up to a batch worth of
+events, waiting briefly for the first one, which gives the scheduler
+pump its batch-ingestion amortization without adding latency when the
+stream idles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: Admission policies a queue can be built with.
+QUEUE_POLICIES = ("block", "shed")
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`IngestionQueue.put` after :meth:`close`."""
+
+
+class IngestionQueue:
+    """A bounded MPSC event queue with explicit backpressure accounting."""
+
+    def __init__(self, capacity: int = 4096, policy: str = "block",
+                 block_timeout: Optional[float] = None,
+                 slow_consumer_after: float = 1.0):
+        if capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(f"unknown queue policy {policy!r}; expected "
+                             f"one of {QUEUE_POLICIES}")
+        if block_timeout is not None and block_timeout <= 0:
+            raise ValueError("block timeout must be positive")
+        if slow_consumer_after <= 0:
+            raise ValueError("slow-consumer threshold must be positive")
+        self.capacity = capacity
+        self.policy = policy
+        self._block_timeout = block_timeout
+        self._slow_after = slow_consumer_after
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        # Admission accounting (all under the lock).
+        self._offered = 0
+        self._accepted = 0
+        self._shed = 0
+        self._high_water = 0
+        self._blocked_waits = 0
+        self._blocked_seconds = 0.0
+        # Slow-consumer detection: how long the queue has been sitting at
+        # capacity.  ``_full_since`` is the monotonic time the queue
+        # *became* full (None while it has room); a full spell longer
+        # than the threshold counts one stall when it ends — and
+        # :meth:`metrics` reports an ongoing overlong spell live.
+        self._full_since: Optional[float] = None
+        self._stalls = 0
+        self._longest_stall = 0.0
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, item: Any) -> bool:
+        """Offer one event; True when admitted, False when shed.
+
+        Under ``policy="block"`` a full queue blocks until the pump makes
+        room (or ``block_timeout`` elapses, after which the event is shed
+        so a dead consumer degrades to counted shedding instead of a
+        producer deadlock).  Under ``policy="shed"`` a full queue sheds
+        immediately.  Raises :class:`QueueClosed` once the service is
+        draining.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("ingestion queue is closed (draining)")
+            self._offered += 1
+            if len(self._items) >= self.capacity:
+                self._note_full_locked()
+                if self.policy == "shed":
+                    self._shed += 1
+                    return False
+                if not self._wait_for_room_locked():
+                    self._shed += 1
+                    return False
+            self._items.append(item)
+            depth = len(self._items)
+            if depth > self._high_water:
+                self._high_water = depth
+            if depth >= self.capacity:
+                self._note_full_locked()
+            self._accepted += 1
+            self._not_empty.notify()
+            return True
+
+    def _wait_for_room_locked(self) -> bool:
+        """Block until the queue has room; False on timeout/close."""
+        self._blocked_waits += 1
+        started = time.monotonic()
+        deadline = (started + self._block_timeout
+                    if self._block_timeout is not None else None)
+        try:
+            while len(self._items) >= self.capacity and not self._closed:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._not_full.wait(timeout=remaining)
+            if self._closed:
+                raise QueueClosed("ingestion queue closed while blocked")
+            return True
+        finally:
+            self._blocked_seconds += time.monotonic() - started
+
+    # -- consumer side -------------------------------------------------------
+
+    def get_batch(self, max_events: int,
+                  timeout: Optional[float] = 0.05) -> List[Any]:
+        """Collect up to ``max_events`` queued events.
+
+        Waits up to ``timeout`` seconds for the first event (so an idle
+        stream costs one short wait per loop, not a spin), then drains
+        whatever is immediately available up to the cap.  Returns an
+        empty list on timeout — callers distinguish idle from done via
+        :attr:`closed` and :meth:`__len__`.
+        """
+        if max_events < 1:
+            raise ValueError("batch size must be at least 1")
+        with self._lock:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout=timeout)
+            batch: List[Any] = []
+            while self._items and len(batch) < max_events:
+                batch.append(self._items.popleft())
+            if batch:
+                self._note_room_locked()
+                self._not_full.notify_all()
+            return batch
+
+    # -- lifecycle / introspection -------------------------------------------
+
+    def close(self) -> None:
+        """Stop admissions; blocked producers wake with :class:`QueueClosed`.
+
+        Already-queued events stay for the pump to drain.
+        """
+        with self._lock:
+            self._closed = True
+            self._note_room_locked()
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def _note_full_locked(self) -> None:
+        if self._full_since is None:
+            self._full_since = time.monotonic()
+
+    def _note_room_locked(self) -> None:
+        if self._full_since is not None:
+            spell = time.monotonic() - self._full_since
+            if spell >= self._slow_after:
+                self._stalls += 1
+            if spell > self._longest_stall:
+                self._longest_stall = spell
+            self._full_since = None
+
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot the admission/backpressure counters (JSON-safe)."""
+        with self._lock:
+            full_for = (time.monotonic() - self._full_since
+                        if self._full_since is not None else 0.0)
+            return {
+                "capacity": self.capacity,
+                "policy": self.policy,
+                "depth": len(self._items),
+                "high_water": self._high_water,
+                "offered": self._offered,
+                "accepted": self._accepted,
+                "shed": self._shed,
+                "blocked_waits": self._blocked_waits,
+                "blocked_seconds": self._blocked_seconds,
+                "consumer_stalls": self._stalls,
+                "longest_stall_seconds": max(self._longest_stall, full_for),
+                "slow_consumer": (full_for >= self._slow_after),
+                "closed": self._closed,
+            }

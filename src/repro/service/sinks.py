@@ -1,0 +1,420 @@
+"""Alert delivery: retrying sinks, the delivery ledger, dead letters.
+
+The engine's :class:`~repro.core.engine.alerts.AlertSink` contract is
+synchronous and best-effort; a live service needs more: delivery to
+flaky external systems (files on full disks, webhooks behind load
+balancers) with **retry + timeout + jittered exponential backoff**, a
+**dead-letter ledger** for alerts that exhaust their retry budget, and
+**exactly-once delivery across restarts**.
+
+Exactly-once is the composition of two ledgers:
+
+* the engines' *alert ledgers* (PR 5) travel inside every checkpoint, so
+  a restarted service knows every alert the pre-restart run emitted;
+* the service's :class:`DeliveryLedger` durably records every
+  ``(sink, alert)`` pair actually delivered.
+
+On resume the service replays the checkpointed alert ledgers through the
+dispatcher; the delivery ledger filters out what already reached each
+sink, leaving exactly the undelivered remainder — no duplicates, no
+losses, per-query order preserved (the dispatcher delivers serially in
+emission order).
+
+Alerts are identified by :func:`alert_key`, the sha256 of their
+canonical snapshot encoding, so identity survives the
+checkpoint/restore round-trip byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from pathlib import Path
+from typing import (Any, Callable, Deque, Dict, Iterable, List, Optional,
+                    Sequence, Set, Tuple, Union)
+
+from repro.core.engine.alerts import Alert, AlertSink
+from repro.core.retry import RetryPolicy
+from repro.core.snapshot.codecs import encode_alert
+
+
+def alert_key(alert: Alert) -> str:
+    """A stable content identity for one alert (sha256 over canonical JSON).
+
+    Built on the snapshot codec, so the key of a live alert equals the
+    key of the same alert restored from a checkpoint ledger.
+    """
+    canonical = json.dumps(encode_alert(alert), sort_keys=True,
+                           separators=(",", ":"), allow_nan=False)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SinkDeliveryError(RuntimeError):
+    """A (possibly transient) delivery failure the dispatcher may retry."""
+
+
+class DeliveryLedger:
+    """Durable record of every ``(sink, alert)`` pair delivered so far.
+
+    Backed by an append-only JSON-lines file (one ``{"sink": ..., "key":
+    ...}`` object per delivery, flushed per record); without a path the
+    ledger is in-memory only — delivery is still deduplicated within the
+    process, but a restart cannot tell what the previous run delivered.
+    Unparseable tail lines (a torn write from a hard kill) are skipped
+    on load: the worst case is re-delivering the torn record's alert,
+    i.e. graceful drains are exactly-once and hard kills degrade to
+    at-least-once, never to loss.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self._path = Path(path) if path is not None else None
+        self._seen: Set[Tuple[str, str]] = set()
+        self._handle = None
+        if self._path is not None:
+            if self._path.exists():
+                with open(self._path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            entry = json.loads(line)
+                            self._seen.add((entry["sink"], entry["key"]))
+                        except (json.JSONDecodeError, KeyError, TypeError):
+                            continue
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def delivered(self, sink_name: str, key: str) -> bool:
+        """True when this sink already received this alert."""
+        with self._lock:
+            return (sink_name, key) in self._seen
+
+    def record(self, sink_name: str, key: str) -> None:
+        """Durably mark one delivery (flushed before returning)."""
+        with self._lock:
+            if (sink_name, key) in self._seen:
+                return
+            self._seen.add((sink_name, key))
+            if self._handle is not None:
+                self._handle.write(json.dumps(
+                    {"sink": sink_name, "key": key}) + "\n")
+                self._handle.flush()
+
+    def sync(self) -> None:
+        """fsync the ledger file (drain-time durability barrier)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._handle.close()
+                self._handle = None
+
+
+# -- concrete delivery sinks --------------------------------------------------
+
+class FileSink(AlertSink):
+    """Appends one JSON line per alert (the snapshot encoding)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return f"file:{self._path}"
+
+    def emit(self, alert: Alert) -> None:
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self._handle = open(self._path, "a", encoding="utf-8")
+                self._handle.write(json.dumps(encode_alert(alert),
+                                              allow_nan=False) + "\n")
+                self._handle.flush()
+            except OSError as error:
+                raise SinkDeliveryError(
+                    f"file sink {self._path} failed: {error}") from error
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_alert_file(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a :class:`FileSink` output file back (for tests/operators)."""
+    alerts = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                alerts.append(json.loads(line))
+    return alerts
+
+
+#: A webhook transport: (url, payload_bytes, timeout) -> None, raising on
+#: failure.  Injectable so tests (and the fault harness) can simulate
+#: timeouts and 5xx responses without a live HTTP server.
+WebhookTransport = Callable[[str, bytes, Optional[float]], None]
+
+
+def _urllib_transport(url: str, payload: bytes,
+                      timeout: Optional[float]) -> None:
+    request = urllib.request.Request(
+        url, data=payload, headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            status = getattr(response, "status", 200)
+            if status >= 300:
+                raise SinkDeliveryError(f"webhook returned {status}")
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        raise SinkDeliveryError(f"webhook {url} failed: {error}") from error
+
+
+class WebhookSink(AlertSink):
+    """POSTs each alert as JSON to an HTTP endpoint.
+
+    ``transport`` defaults to a stdlib urllib POST; tests inject a
+    callable (see ``repro.testing.FlakySinkTransport``) to exercise the
+    retry path deterministically.
+    """
+
+    def __init__(self, url: str, timeout: Optional[float] = 5.0,
+                 transport: Optional[WebhookTransport] = None):
+        self._url = url
+        self._timeout = timeout
+        self._transport = transport or _urllib_transport
+
+    @property
+    def name(self) -> str:
+        return f"webhook:{self._url}"
+
+    def emit(self, alert: Alert) -> None:
+        payload = json.dumps(encode_alert(alert),
+                             allow_nan=False).encode("utf-8")
+        self._transport(self._url, payload, self._timeout)
+
+
+class CallbackDeliverySink(AlertSink):
+    """Adapts a plain callable into a named delivery sink."""
+
+    def __init__(self, callback: Callable[[Alert], None],
+                 name: str = "callback"):
+        self._callback = callback
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return f"callback:{self._name}"
+
+    def emit(self, alert: Alert) -> None:
+        self._callback(alert)
+
+
+# -- the dispatcher -----------------------------------------------------------
+
+class SinkDispatcher:
+    """Serial, retrying, exactly-once delivery of alerts to every sink.
+
+    One daemon thread drains a FIFO of emitted alerts; each alert is
+    offered to each sink in turn under the :class:`RetryPolicy` (jittered
+    exponential backoff between attempts, deterministic per alert key),
+    skipping sinks the :class:`DeliveryLedger` shows already have it.
+    Exhausted retries dead-letter the alert for that sink — recorded to
+    the dead-letter file *without* marking the ledger, so the next
+    resume pass retries it — and delivery moves on; one dead sink never
+    blocks the others or the scheduler.
+
+    Serial delivery is deliberate: it preserves per-query emission order
+    per sink, which the exactly-once contract promises.
+    """
+
+    def __init__(self, sinks: Sequence[AlertSink],
+                 ledger: Optional[DeliveryLedger] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 dead_letter_path: Optional[Union[str, Path]] = None):
+        self._sinks = list(sinks)
+        self._ledger = ledger if ledger is not None else DeliveryLedger()
+        self._retry = retry or RetryPolicy()
+        self._dead_letter_path = (Path(dead_letter_path)
+                                  if dead_letter_path is not None else None)
+        self._queue: Deque[Tuple[Alert, str, float]] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._stopping = False
+        self._in_flight = False
+        self._thread: Optional[threading.Thread] = None
+        # Delivery accounting (lock-protected).
+        self._submitted = 0
+        self._delivered = 0
+        self._duplicates_skipped = 0
+        self._retries = 0
+        self._dead_lettered = 0
+        self._last_delivery_wall: Optional[float] = None
+
+    @property
+    def ledger(self) -> DeliveryLedger:
+        return self._ledger
+
+    @property
+    def sinks(self) -> List[AlertSink]:
+        return list(self._sinks)
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._run,
+                                        name="saql-sink-dispatcher",
+                                        daemon=True)
+        self._thread.start()
+
+    def submit(self, alert: Alert) -> None:
+        """Enqueue one alert for delivery (non-blocking; emission order)."""
+        entry = (alert, alert_key(alert), time.monotonic())
+        with self._lock:
+            self._submitted += 1
+            self._queue.append(entry)
+            self._wake.notify()
+
+    def resubmit(self, alerts: Iterable[Alert]) -> int:
+        """Replay a checkpoint's alert ledger through delivery (resume).
+
+        Already-delivered alerts are skipped per sink via the delivery
+        ledger; returns how many alerts were enqueued.
+        """
+        count = 0
+        for alert in alerts:
+            self.submit(alert)
+            count += 1
+        return count
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued alert has been attempted (or timeout)."""
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with self._lock:
+            while self._queue or self._in_flight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+            return True
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop the dispatcher thread (pending alerts stay queued)."""
+        with self._lock:
+            self._stopping = True
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopping:
+                    self._wake.wait(timeout=0.25)
+                if self._stopping and not self._queue:
+                    self._idle.notify_all()
+                    return
+                alert, key, enqueued = self._queue.popleft()
+                self._in_flight = True
+            try:
+                self._deliver(alert, key)
+            finally:
+                with self._lock:
+                    self._in_flight = False
+                    if not self._queue:
+                        self._idle.notify_all()
+
+    def _deliver(self, alert: Alert, key: str) -> None:
+        for sink in self._sinks:
+            if self._ledger.delivered(sink.name, key):
+                with self._lock:
+                    self._duplicates_skipped += 1
+                continue
+            # Deterministic per-alert jitter stream: the retry cadence of
+            # a given alert reproduces across runs and restarts.
+            delays = self._retry.delays(seed=int(key[:8], 16))
+            last_error: Optional[Exception] = None
+            for attempt in range(self._retry.max_attempts):
+                try:
+                    sink.emit(alert)
+                    self._ledger.record(sink.name, key)
+                    with self._lock:
+                        self._delivered += 1
+                        self._last_delivery_wall = time.monotonic()
+                    last_error = None
+                    break
+                except Exception as error:
+                    last_error = error
+                    delay = next(delays, None)
+                    if delay is None:
+                        break
+                    with self._lock:
+                        self._retries += 1
+                    time.sleep(delay)
+            if last_error is not None:
+                self._dead_letter(alert, key, sink, last_error)
+
+    def _dead_letter(self, alert: Alert, key: str, sink: AlertSink,
+                     error: Exception) -> None:
+        with self._lock:
+            self._dead_lettered += 1
+        if self._dead_letter_path is None:
+            return
+        entry = {
+            "sink": sink.name,
+            "key": key,
+            "error": str(error),
+            "alert": encode_alert(alert),
+        }
+        self._dead_letter_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._dead_letter_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, allow_nan=False) + "\n")
+            handle.flush()
+
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot the delivery counters (JSON-safe).
+
+        ``lag`` is the number of alerts accepted but not yet attempted —
+        the health endpoint's "sink lag"; ``oldest_pending_seconds`` ages
+        the head of that backlog.
+        """
+        with self._lock:
+            now = time.monotonic()
+            oldest = (now - self._queue[0][2]) if self._queue else 0.0
+            return {
+                "sinks": [sink.name for sink in self._sinks],
+                "submitted": self._submitted,
+                "delivered": self._delivered,
+                "duplicates_skipped": self._duplicates_skipped,
+                "retries": self._retries,
+                "dead_lettered": self._dead_lettered,
+                "lag": len(self._queue) + (1 if self._in_flight else 0),
+                "oldest_pending_seconds": oldest,
+                "ledger_entries": len(self._ledger),
+            }

@@ -1,0 +1,190 @@
+"""Multi-tenant query registry: scoped names, quotas, manifest persistence.
+
+A tenant is a client of the always-on service: it owns a set of
+registered queries, bounded by a :class:`TenantQuota`, and is isolated
+from other tenants' failures — each query registers under the scoped
+name ``"tenant/name"``, so the scheduler's per-query quarantine
+circuit-breaker (PR 7) trips per tenant query and the service can
+report quarantine state grouped by tenant.
+
+The registry also remembers *registration order*, which matters twice:
+checkpoint restore requires re-registering the same queries in the same
+order, and the manifest file (persisted next to the checkpoints) is how
+a restarted server knows what to re-register before it resumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: The scoped-name separator (tenant names may not contain it).
+SCOPE_SEPARATOR = "/"
+
+#: Manifest file format version.
+MANIFEST_VERSION = 1
+
+
+class QuotaExceeded(RuntimeError):
+    """A tenant tried to register more queries than its quota allows."""
+
+
+class UnknownQuery(KeyError):
+    """A control-plane operation named a query the tenant never registered."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource bounds enforced at the control plane."""
+
+    #: Maximum concurrently registered queries for the tenant.
+    max_queries: int = 16
+
+    def __post_init__(self):
+        if self.max_queries < 1:
+            raise ValueError("tenant quota must allow at least one query")
+
+
+def scoped_name(tenant: str, name: str) -> str:
+    """The scheduler-facing name of one tenant's query."""
+    return f"{tenant}{SCOPE_SEPARATOR}{name}"
+
+
+def split_scoped(scoped: str) -> Tuple[str, str]:
+    """Invert :func:`scoped_name` (first separator wins)."""
+    tenant, _, name = scoped.partition(SCOPE_SEPARATOR)
+    return tenant, name
+
+
+@dataclass(frozen=True)
+class TenantQuery:
+    """One registered query: who owns it, what it is called, its text."""
+
+    tenant: str
+    name: str
+    query: str
+
+    @property
+    def scoped(self) -> str:
+        return scoped_name(self.tenant, self.name)
+
+
+class TenantRegistry:
+    """Tracks tenants, their queries, and enforces quotas.
+
+    The registry is pure bookkeeping — the service wires registrations
+    into the scheduler; this class answers "may this tenant register
+    another query?" and "what must a restarted server re-register, in
+    what order?".
+    """
+
+    def __init__(self, default_quota: Optional[TenantQuota] = None):
+        self._default_quota = default_quota or TenantQuota()
+        self._quotas: Dict[str, TenantQuota] = {}
+        #: Registration order over all tenants (restore order).
+        self._ordered: List[TenantQuery] = []
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Override one tenant's quota (before or after registrations)."""
+        self._quotas[tenant] = quota
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self._default_quota)
+
+    def _validate_names(self, tenant: str, name: str) -> None:
+        if not tenant or SCOPE_SEPARATOR in tenant:
+            raise ValueError(
+                f"invalid tenant name {tenant!r} (non-empty, no "
+                f"{SCOPE_SEPARATOR!r})")
+        if not name:
+            raise ValueError("query name must be non-empty")
+
+    def register(self, tenant: str, name: str, query: str) -> TenantQuery:
+        """Record one registration (quota- and collision-checked)."""
+        self._validate_names(tenant, name)
+        mine = self.queries(tenant)
+        if any(entry.name == name for entry in mine):
+            raise ValueError(f"tenant {tenant!r} already registered a "
+                             f"query named {name!r}")
+        limit = self.quota(tenant).max_queries
+        if len(mine) >= limit:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} is at its quota of {limit} queries")
+        entry = TenantQuery(tenant=tenant, name=name, query=query)
+        self._ordered.append(entry)
+        return entry
+
+    def remove(self, tenant: str, name: str) -> TenantQuery:
+        """Forget one registration; returns the removed entry."""
+        for index, entry in enumerate(self._ordered):
+            if entry.tenant == tenant and entry.name == name:
+                del self._ordered[index]
+                return entry
+        raise UnknownQuery(f"tenant {tenant!r} has no query named {name!r}")
+
+    def queries(self, tenant: str) -> List[TenantQuery]:
+        """One tenant's registrations, oldest first."""
+        return [entry for entry in self._ordered if entry.tenant == tenant]
+
+    def tenants(self) -> List[str]:
+        """Every tenant with at least one registration (first-seen order)."""
+        seen: List[str] = []
+        for entry in self._ordered:
+            if entry.tenant not in seen:
+                seen.append(entry.tenant)
+        return seen
+
+    def entries(self) -> List[TenantQuery]:
+        """Every registration, in registration (= restore) order."""
+        return list(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    # -- manifest persistence -------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        """The JSON-safe restart manifest (registration order preserved)."""
+        return {
+            "version": MANIFEST_VERSION,
+            "queries": [{"tenant": entry.tenant, "name": entry.name,
+                         "query": entry.query}
+                        for entry in self._ordered],
+        }
+
+    def save_manifest(self, path: Union[str, Path]) -> None:
+        """Atomically persist the manifest (tmp + rename, like checkpoints)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.with_suffix(path.suffix + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(self.manifest(), handle, allow_nan=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+
+    @classmethod
+    def load_manifest(cls, path: Union[str, Path],
+                      default_quota: Optional[TenantQuota] = None
+                      ) -> "TenantRegistry":
+        """Rebuild a registry from :meth:`save_manifest` output.
+
+        Quota checks are *not* re-applied to manifest entries: they were
+        enforced at original registration time, and a shrunk quota must
+        not make a restart drop live queries.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {payload.get('version')!r} "
+                f"(expected {MANIFEST_VERSION})")
+        registry = cls(default_quota=default_quota)
+        for item in payload["queries"]:
+            entry = TenantQuery(tenant=item["tenant"], name=item["name"],
+                                query=item["query"])
+            registry._ordered.append(entry)
+        return registry

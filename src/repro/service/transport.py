@@ -1,0 +1,263 @@
+"""The service's socket front door: a JSON-lines TCP control/data plane.
+
+One protocol carries both planes: each request is a single JSON object
+on its own line (``{"op": ..., ...}``), each response a single JSON line
+(``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``).  Line
+framing keeps the protocol scriptable (``nc``/telnet work) and makes the
+failure modes legible: a torn line is one lost request, never a wedged
+parser.
+
+Ops::
+
+    ingest        {"event": {...}}            -> {"result": "accepted"|"shed"|"duplicate"}
+    ingest_batch  {"events": [{...}, ...]}    -> {"counts": {...}}
+    register      {"tenant","name","query"}   -> {"scoped": "tenant/name"}
+    remove        {"tenant","name"}           -> {"flushed_alerts": n}
+    queries       {"tenant"?}                 -> {"queries": [...]}
+    stats         {}                          -> {"stats": {...}}
+    health        {}                          -> {"health": {...}}
+    drain         {"finish_stream"?}          -> {"draining": true}
+    ping          {}                          -> {"pong": true}
+
+Robustness posture: every client runs in its own daemon thread with a
+receive timeout (a hung client holds one thread, never the service), a
+mid-batch disconnect loses only the unacknowledged tail of that client's
+requests (ingestion is idempotent across reconnects thanks to the
+service's resume-cursor duplicate filter), and a malformed line gets an
+error response instead of a dropped connection.  The ``drain`` op only
+*requests* the drain — the serve loop owns the actual shutdown, exactly
+as it does for SIGTERM — so a network client and a signal race cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import SAQLError
+from repro.service.server import SAQLService, ServiceClosed, ServiceError
+from repro.service.tenants import QuotaExceeded, UnknownQuery
+
+#: Longest accepted request line (a malformed producer cannot balloon
+#: one handler's memory; normal events are a few hundred bytes).
+MAX_LINE_BYTES = 1 << 20
+
+#: Seconds a handler waits for the next request line before checking
+#: whether the service is draining (and bailing out if so).
+CLIENT_RECV_TIMEOUT = 1.0
+
+
+def _error(message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": message}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connected client; requests handled strictly in order."""
+
+    #: StreamRequestHandler applies this to the connection in setup().
+    timeout = CLIENT_RECV_TIMEOUT
+
+    def handle(self) -> None:
+        service: SAQLService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except socket.timeout:
+                # Idle client: keep the connection unless we're draining,
+                # in which case let the client reconnect after restart.
+                if service.state in ("draining", "stopped"):
+                    return
+                continue
+            except (ConnectionError, OSError):
+                return  # client went away mid-request; nothing to unwind
+            if not line:
+                return  # orderly EOF
+            if len(line) > MAX_LINE_BYTES:
+                self._respond(_error("request line too long"))
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                if not self._respond(_error(f"malformed JSON: {error}")):
+                    return
+                continue
+            if not self._respond(self._dispatch(service, request)):
+                return
+
+    def _respond(self, payload: Dict[str, Any]) -> bool:
+        """Write one response line; False when the client disconnected."""
+        try:
+            self.wfile.write(json.dumps(payload, allow_nan=False)
+                             .encode("utf-8") + b"\n")
+            self.wfile.flush()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    def _dispatch(self, service: SAQLService,
+                  request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict) or "op" not in request:
+            return _error('requests are objects with an "op" field')
+        op = request["op"]
+        try:
+            if op == "ingest":
+                return {"ok": True,
+                        "result": service.submit_event(request["event"])}
+            if op == "ingest_batch":
+                events = request.get("events", [])
+                if not isinstance(events, list):
+                    return _error('"events" must be a list')
+                return {"ok": True,
+                        "counts": service.submit_events(events)}
+            if op == "register":
+                scoped = service.register_query(
+                    request["tenant"], request["name"], request["query"])
+                return {"ok": True, "scoped": scoped}
+            if op == "remove":
+                alerts = service.remove_query(request["tenant"],
+                                              request["name"])
+                return {"ok": True, "flushed_alerts": len(alerts)}
+            if op == "queries":
+                tenant = request.get("tenant")
+                entries = (service.registry.queries(tenant)
+                           if tenant is not None
+                           else service.registry.entries())
+                return {"ok": True,
+                        "queries": [{"tenant": entry.tenant,
+                                     "name": entry.name,
+                                     "query": entry.query}
+                                    for entry in entries]}
+            if op == "stats":
+                return {"ok": True, "stats": service.stats()}
+            if op == "health":
+                return {"ok": True, "health": service.health()}
+            if op == "drain":
+                service.request_drain(
+                    finish_stream=bool(request.get("finish_stream", False)))
+                return {"ok": True, "draining": True}
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            return _error(f"unknown op {op!r}")
+        except ServiceClosed as error:
+            return {"ok": False, "error": str(error), "draining": True}
+        except (KeyError, ValueError, TypeError, QuotaExceeded,
+                UnknownQuery, ServiceError, SAQLError) as error:
+            return _error(f"{type(error).__name__}: {error}")
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SAQLService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class ServiceTransport:
+    """Binds a :class:`SAQLService` to a TCP endpoint.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound endpoint either way.  The transport only moves requests —
+    lifecycle stays with the caller: run :meth:`serve_forever` (or
+    :meth:`start` for a background thread), watch
+    ``service.wait_for_drain_request()``, then :meth:`shutdown` and
+    ``service.drain()``.
+    """
+
+    def __init__(self, service: SAQLService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self._server = _Server((host, port), service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "ServiceTransport":
+        """Serve in a background thread (in-process tests, the CLI)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="saql-service-transport", daemon=True)
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting connections (open handlers drain via timeout)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+class ServiceClient:
+    """A minimal blocking client for the JSON-lines protocol.
+
+    Used by the CLI, the benchmarks and the tests; external producers
+    can speak the protocol with any line-oriented socket tool.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request; returns the decoded response object."""
+        payload = {"op": op}
+        payload.update(fields)
+        self._writer.write(json.dumps(payload, allow_nan=False) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def check(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """:meth:`request`, raising :class:`RuntimeError` on ``ok=False``."""
+        response = self.request(op, **fields)
+        if not response.get("ok"):
+            raise RuntimeError(response.get("error", "request failed"))
+        return response
+
+    def ingest_many(self, events: Iterable[Dict[str, Any]],
+                    batch_size: int = 256) -> Dict[str, int]:
+        """Stream events via ``ingest_batch`` requests; summed counts."""
+        totals = {"accepted": 0, "shed": 0, "duplicate": 0}
+        batch: List[Dict[str, Any]] = []
+        for event in events:
+            batch.append(event)
+            if len(batch) >= batch_size:
+                for key, value in self.check(
+                        "ingest_batch", events=batch)["counts"].items():
+                    totals[key] += value
+                batch = []
+        if batch:
+            for key, value in self.check(
+                    "ingest_batch", events=batch)["counts"].items():
+                totals[key] += value
+        return totals
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._writer.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

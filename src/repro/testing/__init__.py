@@ -9,11 +9,14 @@ from repro.testing.faults import (
     parse_fault_spec,
     truncate_checkpoint,
 )
+from repro.testing.sinks import FailingSink, FlakySinkTransport
 
 __all__ = [
     "FAULT_KINDS",
+    "FailingSink",
     "FaultPlan",
     "FaultSpec",
+    "FlakySinkTransport",
     "InjectedCrash",
     "corrupt_checkpoint",
     "parse_fault_spec",

@@ -1,0 +1,70 @@
+"""Deterministic sink-fault helpers for tests, benchmarks and CI smoke.
+
+:class:`FlakySinkTransport` plugs into
+:class:`repro.service.sinks.WebhookSink` (its ``transport`` parameter)
+and fails a configurable number of attempts per distinct payload before
+succeeding — exercising the dispatcher's retry/backoff path without a
+network.  :class:`FailingSink` is the always-broken end of the spectrum
+for dead-letter tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.core.engine.alerts import Alert, AlertSink
+
+
+class FlakySinkTransport:
+    """A webhook transport failing the first N attempts per payload.
+
+    ``fail_first`` attempts of each distinct payload raise; subsequent
+    attempts succeed and record the decoded payload in ``delivered``
+    (delivery order preserved).  Thread-safe, so it can be shared
+    between a dispatcher thread and test assertions.
+    """
+
+    def __init__(self, fail_first: int = 2,
+                 error: Optional[Exception] = None):
+        if fail_first < 0:
+            raise ValueError("fail_first must be non-negative")
+        self.fail_first = fail_first
+        self._error = error
+        self._attempts: Dict[bytes, int] = {}
+        self.delivered: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def attempts(self) -> int:
+        with self._lock:
+            return sum(self._attempts.values())
+
+    def __call__(self, url: str, payload: bytes,
+                 timeout: Optional[float]) -> None:
+        with self._lock:
+            seen = self._attempts.get(payload, 0)
+            self._attempts[payload] = seen + 1
+            if seen < self.fail_first:
+                raise (self._error if self._error is not None
+                       else ConnectionError(
+                           f"injected failure {seen + 1}/{self.fail_first} "
+                           f"for {url}"))
+            self.delivered.append(json.loads(payload.decode("utf-8")))
+
+
+class FailingSink(AlertSink):
+    """An alert sink whose every emit raises (dead-letter path tests)."""
+
+    def __init__(self, name: str = "failing"):
+        self._name = name
+        self.attempts = 0
+
+    @property
+    def name(self) -> str:
+        return f"failing:{self._name}"
+
+    def emit(self, alert: Alert) -> None:
+        self.attempts += 1
+        raise ConnectionError(f"sink {self._name} is down")

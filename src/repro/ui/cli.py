@@ -9,12 +9,17 @@ Sub-commands:
   and print the alerts in detection order;
 * ``saql run --database EVENTS.jsonl QUERY_FILE...`` — run one or more
   query files against a stored event database (written by
-  ``EventDatabase.save`` or the quickstart example).
+  ``EventDatabase.save`` or the quickstart example);
+* ``saql serve --state-dir DIR`` — run the always-on service: a
+  JSON-lines TCP endpoint accepting event ingestion and runtime query
+  registration, with backpressure, retrying exactly-once alert sinks
+  and graceful SIGTERM drain/``--resume`` restart.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -28,7 +33,10 @@ from repro.core.parallel import (DEFAULT_REBALANCE_RATIO,
                                  ShardedScheduler, SupervisionPolicy)
 from repro.core.snapshot import resume_events
 from repro.events.stream import iter_batches
+from repro.core.retry import BackoffPolicy, RetryPolicy
 from repro.queries import DEMO_QUERIES, demo_query_names
+from repro.service import (FileSink, SAQLService, ServiceConfig,
+                           ServiceTransport, TenantQuota, WebhookSink)
 from repro.storage import (CheckpointStore, EventDatabase, ReplaySpec,
                            StreamReplayer)
 from repro.testing import FaultPlan, parse_fault_spec
@@ -87,6 +95,67 @@ def build_parser() -> argparse.ArgumentParser:
         "queries", help="list the built-in demo queries")
     list_cmd.add_argument("--show", default=None,
                           help="print the SAQL text of one demo query")
+
+    serve_cmd = subparsers.add_parser(
+        "serve", help="run the always-on SAQL service (JSON-lines TCP "
+                      "ingestion + runtime query control plane)")
+    serve_cmd.add_argument("--state-dir", default=None,
+                           help="directory for checkpoints, the delivery "
+                                "ledger, dead letters and the query "
+                                "manifest; required for --resume")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address")
+    serve_cmd.add_argument("--port", type=int, default=7699,
+                           help="bind port (0 = ephemeral; the bound "
+                                "port is printed on startup)")
+    serve_cmd.add_argument("--resume", action="store_true",
+                           help="restore the previous run from --state-dir "
+                                "(manifest + latest checkpoint + delivery "
+                                "ledger) before serving")
+    serve_cmd.add_argument("--query", action="append", default=None,
+                           metavar="TENANT/NAME=FILE", dest="queries",
+                           help="register a query at startup (repeatable): "
+                                "tenant/name=path/to/query.saql")
+    serve_cmd.add_argument("--sink-file", action="append", default=None,
+                           metavar="PATH",
+                           help="deliver alerts to this JSON-lines file "
+                                "(repeatable)")
+    serve_cmd.add_argument("--sink-webhook", action="append", default=None,
+                           metavar="URL",
+                           help="POST alerts to this HTTP endpoint "
+                                "(repeatable)")
+    serve_cmd.add_argument("--queue-capacity", type=int, default=4096,
+                           help="bounded ingestion queue capacity")
+    serve_cmd.add_argument("--queue-policy", default="block",
+                           choices=["block", "shed"],
+                           help="admission policy when the queue is full: "
+                                "block the producer or shed the event")
+    serve_cmd.add_argument("--block-timeout", type=float, default=None,
+                           help="cap on producer blocking (seconds) under "
+                                "--queue-policy block; past it the event "
+                                "sheds (counted)")
+    serve_cmd.add_argument("--batch-size", type=int, default=DEFAULT_CLI_BATCH,
+                           help="events per scheduler batch")
+    serve_cmd.add_argument("--checkpoint-interval", type=int, default=10000,
+                           help="events between checkpoints (with "
+                                "--state-dir)")
+    serve_cmd.add_argument("--quarantine-errors", type=int, default=3,
+                           metavar="N",
+                           help="per-query fatal-error budget before "
+                                "quarantine (0 disables quarantine: the "
+                                "first query error fails the service)")
+    serve_cmd.add_argument("--retry-attempts", type=int, default=5,
+                           help="delivery attempts per alert per sink "
+                                "before dead-lettering")
+    serve_cmd.add_argument("--retry-timeout", type=float, default=5.0,
+                           help="per-attempt sink timeout (seconds; "
+                                "webhook sinks)")
+    serve_cmd.add_argument("--max-queries-per-tenant", type=int, default=16,
+                           help="default tenant quota")
+    serve_cmd.add_argument("--finish-on-drain", action="store_true",
+                           help="treat a drain as end-of-stream: flush "
+                                "open windows before stopping (default "
+                                "keeps them checkpointed for --resume)")
     return parser
 
 
@@ -332,7 +401,22 @@ def command_demo(args: argparse.Namespace) -> int:
 
 
 def command_run(args: argparse.Namespace) -> int:
-    """Implement ``saql run``."""
+    """Implement ``saql run``.
+
+    Single-process runs catch SIGINT/SIGTERM for the whole command (the
+    database load included — long loads are exactly when operators hit
+    ctrl-C) and stop at the next batch boundary; sharded runs keep the
+    default signal disposition, since their workers own checkpointing.
+    """
+    interrupted = _InterruptFlag()
+    if args.shards == 1:
+        with interrupted.armed():
+            return _run_body(args, interrupted)
+    return _run_body(args, interrupted)
+
+
+def _run_body(args: argparse.Namespace,
+              interrupted: "_InterruptFlag") -> int:
     database = EventDatabase.load(args.database)
     spec = ReplaySpec(hosts=args.hosts, start_time=args.start,
                       end_time=args.end)
@@ -388,9 +472,29 @@ def command_run(args: argparse.Namespace) -> int:
                    "checkpointed alerts)" if cursor is not None
                    else f"{len(alerts)} alerts")
     else:
+        # Graceful interrupt: SIGINT/SIGTERM stop the replay at the next
+        # batch boundary instead of killing the process mid-state; with
+        # a checkpoint store a final checkpoint makes the interruption
+        # resumable (never lose a long replay to a ctrl-C).
         for batch in iter_batches(source, args.batch_size):
             alerts.extend(scheduler.process_events(batch))
-        alerts.extend(scheduler.finish())
+            if interrupted:
+                break
+        if not interrupted:
+            alerts.extend(scheduler.finish())
+        if interrupted:
+            if getattr(args, "checkpoint_dir", None):
+                scheduler.checkpoint_now()
+                print(f"interrupted by {interrupted.name}: wrote final "
+                      f"checkpoint after {replayer.events_replayed} events")
+                print(f"resume with: saql run --resume --checkpoint-dir "
+                      f"{args.checkpoint_dir} --database {args.database} "
+                      + " ".join(args.query_files))
+            else:
+                print(f"interrupted by {interrupted.name} after "
+                      f"{replayer.events_replayed} events (no "
+                      "--checkpoint-dir: nothing to resume from)")
+            return 0
         summary = (f"{len(alerts)} alerts (this run; checkpointed alerts "
                    "were not re-emitted)" if cursor is not None
                    else f"{len(alerts)} alerts")
@@ -399,6 +503,46 @@ def command_run(args: argparse.Namespace) -> int:
     _print_supervision_summary(scheduler)
     _print_error_records(scheduler)
     return 0
+
+
+class _InterruptFlag:
+    """Arms SIGINT/SIGTERM as a checked flag for batch-boundary stops."""
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self):
+        self._signum: Optional[int] = None
+        self._previous = {}
+
+    def __bool__(self) -> bool:
+        return self._signum is not None
+
+    @property
+    def name(self) -> str:
+        return (signal.Signals(self._signum).name
+                if self._signum is not None else "")
+
+    def _handle(self, signum, frame) -> None:
+        self._signum = signum
+
+    def armed(self):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def _armed():
+            for signum in self.SIGNALS:
+                try:
+                    self._previous[signum] = signal.signal(signum,
+                                                           self._handle)
+                except ValueError:  # non-main thread (tests): stay unarmed
+                    pass
+            try:
+                yield self
+            finally:
+                for signum, previous in self._previous.items():
+                    signal.signal(signum, previous)
+                self._previous.clear()
+        return _armed()
 
 
 def _print_error_records(scheduler) -> None:
@@ -411,6 +555,98 @@ def _print_error_records(scheduler) -> None:
     if reporter is not None and reporter.has_errors():
         for record in reporter.records:
             print(record.describe(), file=sys.stderr)
+
+
+def _parse_query_flag(spec: str):
+    """Parse one ``--query TENANT/NAME=FILE`` startup registration."""
+    scoped, separator, path = spec.partition("=")
+    tenant, slash, name = scoped.partition("/")
+    if not separator or not slash or not tenant or not name or not path:
+        raise SystemExit(f"--query: expected TENANT/NAME=FILE, got {spec!r}")
+    return tenant, name, Path(path)
+
+
+def _build_service(args: argparse.Namespace) -> SAQLService:
+    """Construct the :class:`SAQLService` the ``serve`` flags select."""
+    sinks = []
+    for path in args.sink_file or []:
+        sinks.append(FileSink(path))
+    for url in args.sink_webhook or []:
+        sinks.append(WebhookSink(url, timeout=args.retry_timeout))
+    if args.retry_attempts < 1:
+        raise SystemExit("--retry-attempts must be at least 1")
+    config = ServiceConfig(
+        queue_capacity=args.queue_capacity,
+        queue_policy=args.queue_policy,
+        block_timeout=args.block_timeout,
+        batch_size=args.batch_size,
+        checkpoint_interval=args.checkpoint_interval,
+        quarantine_errors=(args.quarantine_errors
+                           if args.quarantine_errors > 0 else None),
+        retry=RetryPolicy(max_attempts=args.retry_attempts,
+                          timeout=args.retry_timeout,
+                          backoff=BackoffPolicy(initial=0.05, maximum=2.0,
+                                                factor=2.0, jitter=0.25)),
+        default_quota=TenantQuota(max_queries=args.max_queries_per_tenant),
+    )
+    return SAQLService(state_dir=args.state_dir, sinks=sinks, config=config)
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """Implement ``saql serve``: run the service until drained.
+
+    The loop is signal-driven: SIGTERM/SIGINT (or a client ``drain`` op)
+    request a graceful drain; the service then stops admissions, drains
+    the queue, checkpoints, flushes alert delivery and exits 0.  With
+    ``--state-dir`` a subsequent ``saql serve --resume`` continues with
+    no duplicated and no lost alerts.
+    """
+    if args.resume and not args.state_dir:
+        print("error: --resume requires --state-dir", file=sys.stderr)
+        return 1
+    try:
+        service = _build_service(args)
+    except ValueError as error:
+        raise SystemExit(f"serve: {error}")
+    service.start(resume=args.resume)
+    registered = {(entry.tenant, entry.name)
+                  for entry in service.registry.entries()}
+    for spec in args.queries or []:
+        tenant, name, path = _parse_query_flag(spec)
+        if (tenant, name) in registered:
+            continue  # already in the resumed manifest
+        try:
+            service.register_query(tenant, name,
+                                   path.read_text(encoding="utf-8"))
+        except (SAQLError, ValueError) as error:
+            print(f"error in --query {spec}: {error}", file=sys.stderr)
+            return 1
+    transport = ServiceTransport(service, host=args.host,
+                                 port=args.port).start()
+    host, port = transport.address
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(
+            signum,
+            lambda *_: service.request_drain(
+                finish_stream=args.finish_on_drain))
+    print(f"serving on {host}:{port} "
+          f"({len(service.registry)} queries"
+          + (f", state dir {args.state_dir}" if args.state_dir else "")
+          + (", resumed" if args.resume else "") + ")", flush=True)
+    try:
+        while not service.wait_for_drain_request(timeout=1.0):
+            pass
+    finally:
+        transport.shutdown()
+        report = service.drain(reason="signal")
+    print(f"drained in {report.duration_seconds:.2f}s: "
+          f"{report.delivered} alerts delivered, "
+          f"{report.dead_lettered} dead-lettered, "
+          f"checkpoint {'written' if report.checkpointed else 'skipped'}")
+    if args.state_dir and not report.finished_stream:
+        print(f"resume with: saql serve --resume --state-dir "
+              f"{args.state_dir}")
+    return 0
 
 
 def command_queries(args: argparse.Namespace) -> int:
@@ -436,6 +672,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": command_demo,
         "run": command_run,
         "queries": command_queries,
+        "serve": command_serve,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,126 @@
+"""The shared retry/backoff module (hoisted from the supervision module).
+
+The jitter contract under test: deterministic under a seeded RNG, the
+ramp stays within the policy's cap (jitter included), deadline-capped
+intervals never overshoot, and the supervision re-exports keep old
+import paths working.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.retry import DEFAULT_BACKOFF, Backoff, BackoffPolicy, RetryPolicy
+
+
+class TestBackoffPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial=0.5, maximum=0.1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+
+    def test_seeded_jitter_is_deterministic(self):
+        policy = BackoffPolicy(initial=0.01, maximum=1.0, jitter=0.25)
+        first = [policy.waiter(seed=42).interval() for _ in range(1)]
+        runs = [[policy.waiter(seed=42).interval() for _ in range(1)][0]
+                for _ in range(3)]
+        assert all(value == first[0] for value in runs)
+        sequence_a = _intervals(policy.waiter(seed=7), 8)
+        sequence_b = _intervals(policy.waiter(seed=7), 8)
+        assert sequence_a == sequence_b
+
+    def test_different_seeds_dephase(self):
+        policy = BackoffPolicy(initial=0.01, maximum=1.0, jitter=0.25)
+        assert (_intervals(policy.waiter(seed=1), 6)
+                != _intervals(policy.waiter(seed=2), 6))
+
+    def test_cap_respected_with_jitter(self):
+        policy = BackoffPolicy(initial=0.001, maximum=0.05, factor=3.0,
+                               jitter=0.25)
+        for seed in range(20):
+            for quantum in _intervals(policy.waiter(seed=seed), 12):
+                assert quantum <= policy.maximum * (1.0 + policy.jitter)
+                assert quantum > 0.0
+
+    def test_ramp_grows_toward_cap(self):
+        policy = BackoffPolicy(initial=0.001, maximum=0.064, factor=2.0,
+                               jitter=0.0)
+        quanta = _intervals(policy.waiter(seed=0), 10)
+        assert quanta[:7] == pytest.approx(
+            [0.001 * 2 ** i for i in range(7)])
+        assert all(q == pytest.approx(policy.maximum) for q in quanta[7:])
+
+
+class TestBackoffDeadline:
+    def test_deadline_monotonic_and_capped(self):
+        policy = BackoffPolicy(initial=0.01, maximum=0.5, jitter=0.25)
+        waiter = policy.waiter(deadline=0.2, seed=3)
+        while not waiter.expired:
+            remaining = waiter.remaining()
+            quantum = waiter.interval()
+            # Never sleep past the deadline (modulo the positive floor).
+            assert quantum <= max(remaining, 1e-4) + 1e-9
+            time.sleep(quantum)
+        assert waiter.remaining() <= 0.0
+        assert not waiter.wait()
+
+    def test_no_deadline_never_expires(self):
+        waiter = DEFAULT_BACKOFF.waiter()
+        assert waiter.remaining() is None
+        assert not waiter.expired
+
+    def test_reset_restarts_ramp_and_clock(self):
+        policy = BackoffPolicy(initial=0.001, maximum=1.0, factor=8.0,
+                               jitter=0.0)
+        waiter = policy.waiter(deadline=60.0, seed=0)
+        ramped = [waiter.interval() for _ in range(4)]
+        assert ramped[-1] > ramped[0]
+        waiter.reset()
+        assert waiter.interval() == pytest.approx(policy.initial)
+        assert waiter.elapsed < 1.0
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+    def test_delays_count_and_determinism(self):
+        policy = RetryPolicy(max_attempts=5)
+        delays = list(policy.delays(seed=9))
+        assert len(delays) == policy.max_attempts - 1
+        assert delays == list(policy.delays(seed=9))
+        assert delays != list(policy.delays(seed=10))
+
+    def test_single_attempt_yields_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_delays_respect_backoff_cap(self):
+        policy = RetryPolicy(
+            max_attempts=12,
+            backoff=BackoffPolicy(initial=0.001, maximum=0.01, jitter=0.2))
+        for delay in policy.delays(seed=5):
+            assert delay <= 0.01 * 1.2
+
+
+def test_supervision_reexports_are_the_same_objects():
+    from repro.core.parallel import supervision
+
+    assert supervision.BackoffPolicy is BackoffPolicy
+    assert supervision.Backoff is Backoff
+    assert supervision.DEFAULT_BACKOFF is DEFAULT_BACKOFF
+    # The policy type embedded in SupervisionPolicy is the shared one.
+    assert isinstance(supervision.SupervisionPolicy().backoff, BackoffPolicy)
+
+
+def _intervals(waiter: Backoff, count: int):
+    return [waiter.interval() for _ in range(count)]

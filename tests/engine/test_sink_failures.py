@@ -1,0 +1,116 @@
+"""Alert-sink failure hardening: a raising sink must not kill the run.
+
+The contract (PR 8 satellite): a sink callback that raises is routed
+through the error-reporting path — recorded as a fatal error against
+the emitting query, alert preserved in the engine's ledger — and, under
+a scheduler with a quarantine budget, a persistently failing sink trips
+the same circuit-breaker a crashing closure would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine.alerts import CallbackSink, CollectingSink
+from repro.core.engine.error_reporter import ErrorReporter
+from repro.core.engine.query_engine import QueryEngine
+from repro.core.language import parse_query
+from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+
+QUERY = """
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 100
+return ss.t"""
+
+
+def send_event(index: int, host: str = "h1") -> Event:
+    return Event(subject=ProcessEntity.make("x.exe", pid=2, host=host),
+                 operation=Operation.SEND,
+                 obj=NetworkEntity.make("10.0.0.1", "10.0.0.2", dstport=443),
+                 timestamp=float(index), agentid=host, amount=50.0,
+                 event_id=index + 1)
+
+
+def raising_sink() -> CallbackSink:
+    def boom(alert):
+        raise RuntimeError("sink exploded")
+    return CallbackSink(boom)
+
+
+class TestEngineSinkFailure:
+    def test_reported_not_raised_with_reporter(self):
+        reporter = ErrorReporter()
+        engine = QueryEngine(parse_query(QUERY), name="q",
+                             sink=raising_sink(), error_reporter=reporter)
+        for index in range(40):
+            engine.process_event(send_event(index))
+        engine.finish()
+        # The stream survived, the alerts are all in the ledger, and
+        # every failed emission was recorded as fatal against the query.
+        assert len(engine.alerts) >= 3
+        assert reporter.fatal_count("q") == len(engine.alerts)
+        assert all(record.fatal for record in reporter.records)
+
+    def test_raises_without_reporter(self):
+        engine = QueryEngine(parse_query(QUERY), name="q",
+                             sink=raising_sink())
+        with pytest.raises(RuntimeError, match="sink exploded"):
+            for index in range(40):
+                engine.process_event(send_event(index))
+
+    def test_alert_ledger_keeps_alert_despite_sink_failure(self):
+        reporter = ErrorReporter()
+        engine = QueryEngine(parse_query(QUERY), name="q",
+                             sink=raising_sink(), error_reporter=reporter)
+        for index in range(40):
+            engine.process_event(send_event(index))
+        healthy = CollectingSink()
+        for alert in engine.alerts:
+            healthy.emit(alert)  # the ledger makes redelivery possible
+        assert len(healthy) == len(engine.alerts)
+
+
+class TestSchedulerSinkQuarantine:
+    def test_persistent_sink_failure_trips_quarantine(self):
+        scheduler = ConcurrentQueryScheduler(sink=raising_sink(),
+                                             quarantine_errors=2)
+        scheduler.add_query(QUERY, name="q")
+        events = [send_event(index) for index in range(80)]
+        for start in range(0, len(events), 8):
+            scheduler.process_events(events[start:start + 8])
+        assert "q" in scheduler.quarantined
+        assert scheduler.quarantined["q"]["errors"] >= 2
+        assert scheduler.stats.quarantined["q"] >= 2
+
+    def test_sink_failures_do_not_quarantine_without_budget(self):
+        scheduler = ConcurrentQueryScheduler(sink=raising_sink())
+        scheduler.add_query(QUERY, name="q")
+        events = [send_event(index) for index in range(40)]
+        scheduler.process_events(events)
+        assert scheduler.quarantined == {}
+        assert scheduler.error_reporter.fatal_count("q") >= 1
+
+    def test_healthy_queries_keep_alerting_after_sink_quarantine(self):
+        """One query with a poisoned sink; the other keeps delivering."""
+        collected = CollectingSink()
+
+        def selective_boom(alert):
+            if alert.query_name == "poisoned":
+                raise RuntimeError("sink rejects this query")
+            collected.emit(alert)
+
+        scheduler = ConcurrentQueryScheduler(sink=CallbackSink(selective_boom),
+                                             quarantine_errors=2)
+        scheduler.add_query(QUERY, name="poisoned")
+        scheduler.add_query(QUERY, name="healthy")
+        events = [send_event(index) for index in range(120)]
+        for start in range(0, len(events), 8):
+            scheduler.process_events(events[start:start + 8])
+        scheduler.finish()
+        assert "poisoned" in scheduler.quarantined
+        assert "healthy" not in scheduler.quarantined
+        assert all(alert.query_name == "healthy" for alert in collected)
+        assert len(collected) >= 3

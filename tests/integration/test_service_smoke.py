@@ -1,0 +1,166 @@
+"""End-to-end smoke test for ``saql serve``: the CI robustness scenario.
+
+Spawns the real CLI as a subprocess, feeds it events over the TCP
+transport, SIGTERMs it mid-stream, restarts it with ``--resume``,
+re-sends the whole stream (the resume cursor must drop the duplicates)
+and asserts the delivered alert file is exactly the fault-free batch
+oracle — duplicate-free, nothing lost across the restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.engine.alerts import CollectingSink
+from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+from repro.core.snapshot.codecs import encode_alert
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.serialization import event_to_dict
+from repro.service import ServiceClient, read_alert_file
+
+SUM_QUERY = """
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 100
+return ss.t"""
+
+STREAM_LEN = 120
+CUTOVER = 70  # events delivered before the mid-stream SIGTERM
+
+SERVING = re.compile(r"serving on ([\d.]+):(\d+)")
+
+
+def make_stream(count):
+    return [Event(subject=ProcessEntity.make("x.exe", pid=2,
+                                             host=("h1", "h2")[i % 2]),
+                  operation=Operation.SEND,
+                  obj=NetworkEntity.make("10.0.0.1", "10.0.0.2", dstport=443),
+                  timestamp=float(i), agentid=("h1", "h2")[i % 2],
+                  amount=50.0, event_id=i + 1)
+            for i in range(count)]
+
+
+def batch_reference(events):
+    sink = CollectingSink()
+    scheduler = ConcurrentQueryScheduler(sink=sink)
+    scheduler.add_query(SUM_QUERY, name="acme/sum")
+    scheduler.process_events(events)
+    scheduler.finish()
+    return [encode_alert(alert) for alert in sink]
+
+
+def spawn_serve(tmp_path, *extra):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    args = [sys.executable, "-m", "repro.ui.cli", "serve",
+            "--state-dir", str(tmp_path / "state"),
+            "--port", "0",
+            "--sink-file", str(tmp_path / "alerts.jsonl"),
+            "--batch-size", "8",
+            "--checkpoint-interval", "10",
+            *extra]
+    return subprocess.Popen(args, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+
+
+def wait_serving(proc):
+    """Read serve's stdout until the readiness line; return (host, port)."""
+    deadline = time.monotonic() + 30.0
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = SERVING.search(line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise AssertionError(f"serve never became ready; output: {lines!r}")
+
+
+def settle(client, ingested, timeout=15.0):
+    """Poll stats until the scheduler and sinks have caught up."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = client.check("stats")["stats"]
+        if (stats["scheduler"]["events_ingested"] == ingested
+                and stats["queue"]["depth"] == 0
+                and stats["sinks"]["lag"] == 0):
+            return stats
+        time.sleep(0.05)
+    raise AssertionError("service did not settle in time")
+
+
+def finish(proc, timeout=30.0):
+    """Collect remaining output and the exit code."""
+    try:
+        output, _ = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    return proc.returncode, output
+
+
+class TestServeSmoke:
+    def test_sigterm_midstream_then_resume_is_exactly_once(self, tmp_path):
+        query_file = tmp_path / "sum.saql"
+        query_file.write_text(SUM_QUERY)
+        events = make_stream(STREAM_LEN)
+        wire = [event_to_dict(event) for event in events]
+        reference = batch_reference(events)
+        assert len(reference) >= 3, "stream must actually alert"
+
+        # Run 1: register via --query, ingest the first part of the
+        # stream, then SIGTERM mid-stream.
+        first = spawn_serve(tmp_path, "--query", f"acme/sum={query_file}")
+        try:
+            host, port = wait_serving(first)
+            with ServiceClient(host, port, timeout=10.0) as client:
+                counts = client.ingest_many(wire[:CUTOVER], batch_size=16)
+                assert counts["accepted"] == CUTOVER
+                settle(client, CUTOVER)
+            first.send_signal(signal.SIGTERM)
+            code, output = finish(first)
+        finally:
+            if first.poll() is None:
+                first.kill()
+        assert code == 0, output
+        assert "drained" in output
+        assert "resume with:" in output
+
+        # Run 2: resume from the manifest + checkpoint (no --query flags
+        # needed), re-send the WHOLE stream, drain finishing the stream.
+        second = spawn_serve(tmp_path, "--resume")
+        try:
+            host, port = wait_serving(second)
+            with ServiceClient(host, port, timeout=10.0) as client:
+                counts = client.ingest_many(wire, batch_size=16)
+                assert counts["duplicate"] == CUTOVER
+                assert counts["accepted"] == STREAM_LEN - CUTOVER
+                # The restored checkpoint carries the first run's stats,
+                # so the counter continues from CUTOVER.
+                settle(client, STREAM_LEN)
+                client.check("drain", finish_stream=True)
+            code, output = finish(second)
+        finally:
+            if second.poll() is None:
+                second.kill()
+        assert code == 0, output
+
+        # Exactly-once parity: the delivered file equals the fault-free
+        # batch oracle — in order, nothing duplicated, nothing lost.
+        delivered = read_alert_file(tmp_path / "alerts.jsonl")
+        assert delivered == reference
+        serialized = [json.dumps(entry, sort_keys=True)
+                      for entry in delivered]
+        assert len(serialized) == len(set(serialized))

@@ -1,0 +1,10 @@
+"""Shared fixtures for the always-on service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return tmp_path / "state"

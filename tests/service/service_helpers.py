@@ -1,0 +1,66 @@
+"""Shared helpers for the always-on service tests."""
+
+from __future__ import annotations
+
+from repro.core.engine.alerts import CollectingSink
+from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+from repro.core.snapshot.codecs import encode_alert
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.serialization import event_to_dict
+
+#: A tumbling-window aggregation: alerts once a host's sent bytes in a
+#: 10-second window exceed 100 — stateful enough that open windows and
+#: drain/resume semantics matter.
+SUM_QUERY = """
+proc p send ip i as evt #time(10)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 100
+return ss.t"""
+
+#: A second query over the same stream shape (different threshold), so
+#: multi-query/multi-tenant tests exercise the shared dispatch path.
+BIG_QUERY = """
+proc p send ip i as evt #time(20)
+state ss { t := sum(evt.amount) } group by evt.agentid
+alert ss.t > 300
+return ss.t"""
+
+
+def make_send_event(index: int, host: str = "h1",
+                    amount: float = 50.0) -> Event:
+    """One deterministic network-send event per call (1-based ids)."""
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=2, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.0.1", "10.0.0.2", dstport=443),
+        timestamp=float(index), agentid=host, amount=amount,
+        event_id=index + 1)
+
+
+def make_stream(count: int, hosts=("h1", "h2")) -> list:
+    """A deterministic multi-host event stream (timestamp-ordered)."""
+    return [make_send_event(index, host=hosts[index % len(hosts)])
+            for index in range(count)]
+
+
+def event_dicts(events) -> list:
+    """The wire (JSON-dict) form of a list of events."""
+    return [event_to_dict(event) for event in events]
+
+
+def batch_reference(events, queries) -> list:
+    """The fault-free batch run's encoded alerts (the parity oracle).
+
+    ``queries`` maps scheduler-facing names to query text; the reference
+    scheduler processes the whole stream then finishes, exactly what a
+    service fed the same events and drained with ``finish_stream`` must
+    reproduce.
+    """
+    sink = CollectingSink()
+    scheduler = ConcurrentQueryScheduler(sink=sink)
+    for name, text in queries.items():
+        scheduler.add_query(text, name=name)
+    scheduler.process_events(events)
+    scheduler.finish()
+    return [encode_alert(alert) for alert in sink]

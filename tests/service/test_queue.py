@@ -1,0 +1,166 @@
+"""The bounded ingestion queue: backpressure policies and accounting.
+
+The acceptance contract: queue depth stays bounded under load, the
+chosen policy is honored (block vs shed), nothing is dropped silently
+(every admission outcome is counted) and a stalled consumer is detected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import IngestionQueue, QueueClosed
+
+
+class TestAdmission:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IngestionQueue(capacity=0)
+        with pytest.raises(ValueError):
+            IngestionQueue(policy="drop-oldest")
+        with pytest.raises(ValueError):
+            IngestionQueue(block_timeout=0.0)
+        with pytest.raises(ValueError):
+            IngestionQueue(slow_consumer_after=0.0)
+
+    def test_depth_never_exceeds_capacity(self):
+        queue = IngestionQueue(capacity=8, policy="shed")
+        for item in range(50):
+            queue.put(item)
+        metrics = queue.metrics()
+        assert metrics["depth"] == 8
+        assert metrics["high_water"] == 8
+        assert metrics["accepted"] == 8
+        assert metrics["shed"] == 42
+
+    def test_shed_policy_rejects_immediately_and_counts(self):
+        queue = IngestionQueue(capacity=2, policy="shed")
+        assert queue.put("a") and queue.put("b")
+        started = time.monotonic()
+        assert queue.put("c") is False
+        assert time.monotonic() - started < 0.1
+        metrics = queue.metrics()
+        assert metrics["offered"] == metrics["accepted"] + metrics["shed"]
+
+    def test_block_policy_waits_for_room(self):
+        queue = IngestionQueue(capacity=1, policy="block")
+        queue.put("a")
+        admitted = []
+
+        def producer():
+            admitted.append(queue.put("b"))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.1)
+        assert not admitted, "producer should be blocked on a full queue"
+        assert queue.get_batch(1) == ["a"]
+        thread.join(timeout=2.0)
+        assert admitted == [True]
+        assert queue.metrics()["blocked_waits"] == 1
+        assert queue.metrics()["blocked_seconds"] > 0.0
+
+    def test_block_timeout_degrades_to_counted_shed(self):
+        queue = IngestionQueue(capacity=1, policy="block",
+                               block_timeout=0.05)
+        queue.put("a")
+        started = time.monotonic()
+        assert queue.put("b") is False
+        elapsed = time.monotonic() - started
+        assert 0.04 <= elapsed < 1.0
+        assert queue.metrics()["shed"] == 1
+
+    def test_many_blocking_producers_stay_bounded(self):
+        queue = IngestionQueue(capacity=4, policy="block")
+        produced = 64
+        threads = [threading.Thread(target=queue.put, args=(i,))
+                   for i in range(produced)]
+        for thread in threads:
+            thread.start()
+        collected = []
+        while len(collected) < produced:
+            collected.extend(queue.get_batch(8, timeout=0.5))
+        for thread in threads:
+            thread.join(timeout=2.0)
+        metrics = queue.metrics()
+        assert sorted(collected) == list(range(produced))
+        assert metrics["accepted"] == produced
+        assert metrics["shed"] == 0
+        assert metrics["high_water"] <= queue.capacity
+
+
+class TestConsumer:
+    def test_get_batch_caps_and_preserves_order(self):
+        queue = IngestionQueue(capacity=16)
+        for item in range(10):
+            queue.put(item)
+        assert queue.get_batch(4) == [0, 1, 2, 3]
+        assert queue.get_batch(100) == [4, 5, 6, 7, 8, 9]
+
+    def test_get_batch_times_out_empty(self):
+        queue = IngestionQueue(capacity=4)
+        started = time.monotonic()
+        assert queue.get_batch(4, timeout=0.05) == []
+        assert time.monotonic() - started >= 0.04
+
+    def test_get_batch_validates(self):
+        with pytest.raises(ValueError):
+            IngestionQueue().get_batch(0)
+
+
+class TestLifecycle:
+    def test_put_after_close_raises(self):
+        queue = IngestionQueue(capacity=4)
+        queue.put("a")
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("b")
+        # Queued work survives the close for the pump to drain.
+        assert queue.get_batch(4) == ["a"]
+
+    def test_close_wakes_blocked_producer(self):
+        queue = IngestionQueue(capacity=1, policy="block")
+        queue.put("a")
+        outcome = []
+
+        def producer():
+            try:
+                queue.put("b")
+                outcome.append("admitted")
+            except QueueClosed:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.1)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert outcome == ["closed"]
+
+
+class TestSlowConsumer:
+    def test_full_spell_past_threshold_flags_slow_consumer(self):
+        queue = IngestionQueue(capacity=2, policy="shed",
+                               slow_consumer_after=0.05)
+        queue.put("a")
+        queue.put("b")
+        time.sleep(0.1)
+        live = queue.metrics()
+        assert live["slow_consumer"] is True
+        assert live["longest_stall_seconds"] >= 0.05
+        queue.get_batch(2)
+        drained = queue.metrics()
+        assert drained["consumer_stalls"] == 1
+        assert drained["slow_consumer"] is False
+
+    def test_fast_consumer_never_flags(self):
+        queue = IngestionQueue(capacity=4, slow_consumer_after=5.0)
+        for item in range(4):
+            queue.put(item)
+        queue.get_batch(4)
+        metrics = queue.metrics()
+        assert metrics["consumer_stalls"] == 0
+        assert metrics["slow_consumer"] is False

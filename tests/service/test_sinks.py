@@ -1,0 +1,193 @@
+"""Alert delivery: keys, the delivery ledger, retrying dispatch, dead letters."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.engine.alerts import Alert
+from repro.core.retry import BackoffPolicy, RetryPolicy
+from repro.core.snapshot.codecs import decode_alert, encode_alert
+from repro.service import (CallbackDeliverySink, DeliveryLedger, FileSink,
+                           SinkDispatcher, WebhookSink, alert_key,
+                           read_alert_file)
+from repro.testing import FailingSink, FlakySinkTransport
+
+#: Fast retries for tests: 3 attempts, millisecond backoff.
+FAST_RETRY = RetryPolicy(max_attempts=3,
+                         backoff=BackoffPolicy(initial=0.001, maximum=0.002,
+                                               jitter=0.0))
+
+
+def make_alert(index: int, query: str = "q") -> Alert:
+    return Alert(query_name=query, timestamp=float(index),
+                 data=(("value", index),), group_key=f"g{index % 2}",
+                 window_start=float(index), window_end=float(index + 10),
+                 agentid="h1")
+
+
+class TestAlertKey:
+    def test_stable_across_snapshot_roundtrip(self):
+        alert = make_alert(3)
+        restored = decode_alert(encode_alert(alert))
+        assert alert_key(alert) == alert_key(restored)
+
+    def test_distinct_alerts_distinct_keys(self):
+        keys = {alert_key(make_alert(i)) for i in range(50)}
+        assert len(keys) == 50
+
+
+class TestDeliveryLedger:
+    def test_in_memory_dedupes(self):
+        ledger = DeliveryLedger()
+        assert not ledger.delivered("s", "k")
+        ledger.record("s", "k")
+        assert ledger.delivered("s", "k")
+        assert not ledger.delivered("other", "k")
+        assert len(ledger) == 1
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = DeliveryLedger(path)
+        first.record("s", "k1")
+        first.record("s", "k2")
+        first.close()
+        second = DeliveryLedger(path)
+        assert second.delivered("s", "k1")
+        assert second.delivered("s", "k2")
+        second.record("s", "k2")  # idempotent: no duplicate line
+        second.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = DeliveryLedger(path)
+        ledger.record("s", "k1")
+        ledger.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"sink": "s", "key": "k2')  # torn write
+        reopened = DeliveryLedger(path)
+        assert reopened.delivered("s", "k1")
+        assert not reopened.delivered("s", "k2")
+        reopened.close()
+
+
+class TestFileSink:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        sink = FileSink(path)
+        alerts = [make_alert(i) for i in range(3)]
+        for alert in alerts:
+            sink.emit(alert)
+        sink.close()
+        assert read_alert_file(path) == [encode_alert(a) for a in alerts]
+
+    def test_name_is_path_scoped(self, tmp_path):
+        assert str(tmp_path) in FileSink(tmp_path / "a.jsonl").name
+
+
+class TestWebhookSink:
+    def test_flaky_transport_retries_then_delivers(self):
+        transport = FlakySinkTransport(fail_first=2)
+        sink = WebhookSink("http://example.test/hook", transport=transport)
+        dispatcher = SinkDispatcher([sink], retry=FAST_RETRY)
+        dispatcher.start()
+        dispatcher.submit(make_alert(1))
+        assert dispatcher.flush(timeout=5.0)
+        dispatcher.stop()
+        metrics = dispatcher.metrics()
+        assert metrics["delivered"] == 1
+        assert metrics["retries"] == 2
+        assert metrics["dead_lettered"] == 0
+        assert transport.delivered == [encode_alert(make_alert(1))]
+
+    def test_exhausted_retries_dead_letter(self, tmp_path):
+        transport = FlakySinkTransport(fail_first=10)  # > retry budget
+        sink = WebhookSink("http://example.test/hook", transport=transport)
+        ledger = DeliveryLedger()
+        dispatcher = SinkDispatcher([sink], ledger=ledger, retry=FAST_RETRY,
+                                    dead_letter_path=tmp_path / "dead.jsonl")
+        dispatcher.start()
+        dispatcher.submit(make_alert(1))
+        assert dispatcher.flush(timeout=5.0)
+        dispatcher.stop()
+        metrics = dispatcher.metrics()
+        assert metrics["delivered"] == 0
+        assert metrics["dead_lettered"] == 1
+        # Dead letters are NOT marked delivered: a later resume retries.
+        assert len(ledger) == 0
+        entries = [json.loads(line) for line in
+                   (tmp_path / "dead.jsonl").read_text().splitlines()]
+        assert entries[0]["sink"] == sink.name
+        assert entries[0]["alert"] == encode_alert(make_alert(1))
+
+
+class TestDispatcher:
+    def test_serial_delivery_preserves_order(self):
+        received = []
+        dispatcher = SinkDispatcher(
+            [CallbackDeliverySink(received.append)], retry=FAST_RETRY)
+        dispatcher.start()
+        alerts = [make_alert(i) for i in range(20)]
+        for alert in alerts:
+            dispatcher.submit(alert)
+        assert dispatcher.flush(timeout=5.0)
+        dispatcher.stop()
+        assert received == alerts
+
+    def test_ledger_skips_duplicates_on_resubmit(self):
+        received = []
+        ledger = DeliveryLedger()
+        dispatcher = SinkDispatcher(
+            [CallbackDeliverySink(received.append)], ledger=ledger,
+            retry=FAST_RETRY)
+        dispatcher.start()
+        alerts = [make_alert(i) for i in range(5)]
+        for alert in alerts:
+            dispatcher.submit(alert)
+        dispatcher.flush(timeout=5.0)
+        assert dispatcher.resubmit(alerts) == 5  # a resume-style replay
+        dispatcher.flush(timeout=5.0)
+        dispatcher.stop()
+        assert received == alerts  # no re-delivery
+        assert dispatcher.metrics()["duplicates_skipped"] == 5
+
+    def test_one_dead_sink_does_not_block_the_other(self, tmp_path):
+        received = []
+        dispatcher = SinkDispatcher(
+            [FailingSink(), CallbackDeliverySink(received.append)],
+            retry=FAST_RETRY, dead_letter_path=tmp_path / "dead.jsonl")
+        dispatcher.start()
+        alerts = [make_alert(i) for i in range(4)]
+        for alert in alerts:
+            dispatcher.submit(alert)
+        assert dispatcher.flush(timeout=5.0)
+        dispatcher.stop()
+        assert received == alerts
+        metrics = dispatcher.metrics()
+        assert metrics["delivered"] == 4  # the healthy sink's deliveries
+        assert metrics["dead_lettered"] == 4
+
+    def test_lag_reflects_backlog(self):
+        blocker = lambda alert: time.sleep(0.2)
+        dispatcher = SinkDispatcher([CallbackDeliverySink(blocker)],
+                                    retry=FAST_RETRY)
+        dispatcher.start()
+        for index in range(3):
+            dispatcher.submit(make_alert(index))
+        time.sleep(0.05)
+        lagging = dispatcher.metrics()
+        assert lagging["lag"] >= 1
+        assert lagging["oldest_pending_seconds"] >= 0.0
+        assert dispatcher.flush(timeout=10.0)
+        dispatcher.stop()
+        assert dispatcher.metrics()["lag"] == 0
+
+    def test_retry_cadence_deterministic_per_alert(self):
+        policy = RetryPolicy(max_attempts=4)
+        key = alert_key(make_alert(1))
+        seed = int(key[:8], 16)
+        assert (list(policy.delays(seed=seed))
+                == list(policy.delays(seed=seed)))

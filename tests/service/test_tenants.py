@@ -1,0 +1,95 @@
+"""Tenant scoping, quotas and the restart manifest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (QuotaExceeded, TenantQuota, TenantRegistry,
+                           UnknownQuery)
+from repro.service.tenants import scoped_name, split_scoped
+
+
+class TestScoping:
+    def test_scoped_name_roundtrip(self):
+        assert scoped_name("acme", "burst") == "acme/burst"
+        assert split_scoped("acme/burst") == ("acme", "burst")
+        # Query names may themselves contain the separator.
+        assert split_scoped("acme/team/burst") == ("acme", "team/burst")
+
+    def test_invalid_names_rejected(self):
+        registry = TenantRegistry()
+        with pytest.raises(ValueError):
+            registry.register("", "q", "text")
+        with pytest.raises(ValueError):
+            registry.register("a/b", "q", "text")
+        with pytest.raises(ValueError):
+            registry.register("acme", "", "text")
+
+
+class TestQuotas:
+    def test_default_quota_enforced(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_queries=2))
+        registry.register("acme", "q1", "text")
+        registry.register("acme", "q2", "text")
+        with pytest.raises(QuotaExceeded):
+            registry.register("acme", "q3", "text")
+        # Quotas are per tenant: another tenant is unaffected.
+        registry.register("beta", "q1", "text")
+
+    def test_per_tenant_override(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_queries=1))
+        registry.set_quota("acme", TenantQuota(max_queries=3))
+        for name in ("q1", "q2", "q3"):
+            registry.register("acme", name, "text")
+        registry.register("beta", "q1", "text")
+        with pytest.raises(QuotaExceeded):
+            registry.register("beta", "q2", "text")
+
+    def test_name_collision_rejected(self):
+        registry = TenantRegistry()
+        registry.register("acme", "q1", "text")
+        with pytest.raises(ValueError):
+            registry.register("acme", "q1", "other")
+
+    def test_remove_frees_quota(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_queries=1))
+        registry.register("acme", "q1", "text")
+        registry.remove("acme", "q1")
+        registry.register("acme", "q2", "text")
+        with pytest.raises(UnknownQuery):
+            registry.remove("acme", "q1")
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_queries=0)
+
+
+class TestManifest:
+    def test_roundtrip_preserves_registration_order(self, tmp_path):
+        registry = TenantRegistry()
+        order = [("b", "q2"), ("a", "q1"), ("b", "q1"), ("c", "q9")]
+        for tenant, name in order:
+            registry.register(tenant, name, f"query {tenant}/{name}")
+        path = tmp_path / "manifest.json"
+        registry.save_manifest(path)
+        restored = TenantRegistry.load_manifest(path)
+        assert [(e.tenant, e.name) for e in restored.entries()] == order
+        assert [e.query for e in restored.entries()] == [
+            f"query {tenant}/{name}" for tenant, name in order]
+        assert restored.tenants() == ["b", "a", "c"]
+
+    def test_shrunk_quota_does_not_drop_live_queries(self, tmp_path):
+        registry = TenantRegistry(default_quota=TenantQuota(max_queries=4))
+        for name in ("q1", "q2", "q3"):
+            registry.register("acme", name, "text")
+        path = tmp_path / "manifest.json"
+        registry.save_manifest(path)
+        restored = TenantRegistry.load_manifest(
+            path, default_quota=TenantQuota(max_queries=1))
+        assert len(restored.queries("acme")) == 3
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text('{"version": 99, "queries": []}')
+        with pytest.raises(ValueError):
+            TenantRegistry.load_manifest(path)

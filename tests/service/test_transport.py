@@ -1,0 +1,140 @@
+"""The JSON-lines TCP front door: ops, malformed input, flaky clients."""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+import pytest
+
+from service_helpers import SUM_QUERY, event_dicts, make_stream
+from repro.core.retry import BackoffPolicy, RetryPolicy
+from repro.service import (SAQLService, ServiceClient, ServiceConfig,
+                           ServiceTransport)
+
+FAST = ServiceConfig(batch_size=8, max_batch_delay=0.01,
+                     retry=RetryPolicy(max_attempts=2,
+                                       backoff=BackoffPolicy(initial=0.001,
+                                                             maximum=0.002)))
+
+
+@pytest.fixture
+def served():
+    service = SAQLService(config=FAST).start()
+    transport = ServiceTransport(service).start()
+    yield service, transport.address
+    transport.shutdown()
+    if service.state != "stopped":
+        service.drain()
+
+
+def client_for(address) -> ServiceClient:
+    return ServiceClient(address[0], address[1], timeout=5.0)
+
+
+class TestOps:
+    def test_full_control_plane_roundtrip(self, served):
+        service, address = served
+        with client_for(address) as client:
+            assert client.check("ping")["pong"] is True
+            assert client.check("health")["health"]["state"] == "serving"
+            scoped = client.check("register", tenant="acme", name="sum",
+                                  query=SUM_QUERY)["scoped"]
+            assert scoped == "acme/sum"
+            listed = client.check("queries", tenant="acme")["queries"]
+            assert [q["name"] for q in listed] == ["sum"]
+
+            counts = client.ingest_many(event_dicts(make_stream(30)),
+                                        batch_size=10)
+            assert counts["accepted"] == 30
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                stats = client.check("stats")["stats"]
+                if stats["scheduler"]["events_ingested"] == 30:
+                    break
+                time.sleep(0.02)
+            assert stats["scheduler"]["events_ingested"] == 30
+            assert stats["queue"]["accepted"] == 30
+
+            removed = client.check("remove", tenant="acme", name="sum")
+            assert removed["flushed_alerts"] >= 1
+
+    def test_single_event_ingest_op(self, served):
+        service, address = served
+        with client_for(address) as client:
+            client.check("register", tenant="t", name="q", query=SUM_QUERY)
+            event = event_dicts(make_stream(1))[0]
+            assert client.check("ingest", event=event)["result"] == "accepted"
+
+    def test_errors_are_responses_not_disconnects(self, served):
+        service, address = served
+        with client_for(address) as client:
+            unknown = client.request("frobnicate")
+            assert unknown["ok"] is False and "unknown op" in unknown["error"]
+            missing = client.request("register", tenant="t")
+            assert missing["ok"] is False
+            bad_query = client.request("register", tenant="t", name="q",
+                                       query="not saql")
+            assert bad_query["ok"] is False
+            bad_event = client.request("ingest", event={"nope": 1})
+            assert bad_event["ok"] is False
+            # The connection survived all four errors.
+            assert client.check("ping")["pong"] is True
+
+    def test_drain_op_requests_graceful_drain(self, served):
+        service, address = served
+        with client_for(address) as client:
+            assert client.check("drain")["draining"] is True
+        assert service.wait_for_drain_request(timeout=2.0)
+        service.drain(reason="client")
+        assert service.state == "stopped"
+
+
+class TestRawProtocol:
+    def test_malformed_json_line_gets_error_response(self, served):
+        service, address = served
+        with socket.create_connection(address, timeout=5.0) as raw:
+            raw.sendall(b"this is not json\n")
+            response = json.loads(raw.makefile().readline())
+            assert response["ok"] is False
+            assert "malformed JSON" in response["error"]
+
+    def test_non_object_request_rejected(self, served):
+        service, address = served
+        with socket.create_connection(address, timeout=5.0) as raw:
+            raw.sendall(b"[1, 2, 3]\n")
+            response = json.loads(raw.makefile().readline())
+            assert response["ok"] is False
+
+    def test_midline_disconnect_does_not_kill_the_service(self, served):
+        service, address = served
+        flaky = socket.create_connection(address, timeout=5.0)
+        flaky.sendall(b'{"op": "ingest", "event":')  # half a request
+        flaky.close()
+        # The service keeps serving other clients.
+        with client_for(address) as client:
+            assert client.check("ping")["pong"] is True
+
+    def test_hung_client_does_not_block_others(self, served):
+        service, address = served
+        hung = socket.create_connection(address, timeout=5.0)
+        try:
+            # Says nothing, reads nothing — the per-client recv timeout
+            # keeps its handler thread parked without wedging anyone.
+            for _ in range(3):
+                with client_for(address) as client:
+                    assert client.check("ping")["pong"] is True
+        finally:
+            hung.close()
+
+    def test_ingest_while_draining_reports_draining(self, served):
+        service, address = served
+        with client_for(address) as client:
+            client.check("register", tenant="t", name="q", query=SUM_QUERY)
+            client.check("drain")
+            service.drain(reason="test")
+            event = event_dicts(make_stream(1))[0]
+            response = client.request("ingest", event=event)
+            assert response["ok"] is False
+            assert response.get("draining") is True
