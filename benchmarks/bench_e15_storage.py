@@ -1,0 +1,286 @@
+"""E15 — segment-store seeks and differential checkpoint size.
+
+PR 9 replaced both durability layers that scaled with *stream length*:
+the in-memory event list became a segment store (append-only journal
+sealed into immutable indexed segments) and checkpoints became
+differential (deltas against a periodic full base).  This experiment
+measures the three claims that refactor makes:
+
+* **resume: seek vs scan** — replay after a checkpoint at ~95% of a
+  long history.  The cursor-seek path must read only a sliver of the
+  pre-cursor history (>= 90% of pre-cursor events never touched) and
+  beat the filter-a-full-scan oracle; both paths must yield identical
+  events.
+* **checkpoint bytes: full vs diff** — a scheduler-shaped snapshot
+  written 24 times at three churn levels in both modes.  At low churn
+  the diff chain must be >= 3x smaller per checkpoint than full dumps;
+  at total churn the writer falls back to fulls and costs parity, never
+  more.
+* **range-scan throughput** — a narrow host+time selection over a
+  sealed store vs a linear scan-and-filter of the same data, with the
+  indexed path pruning whole segments.
+
+Oracle parity rides along: a legacy JSON-lines database file and
+format-1/2 checkpoint files must restore bit-identically through the
+new stack.  Rates land in ``benchmarks/BENCH_e15.json`` via the shared
+conftest hook.
+"""
+
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import bench_scale, print_table, record_rate
+from repro.core.snapshot import ResumeCursor, resume_events
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.storage import CheckpointStore, EventDatabase, StreamReplayer
+from repro.storage.checkpoints import snapshot_checksum
+from repro.storage.segments import event_key
+
+HOSTS = [f"host-{n:02d}" for n in range(16)]
+
+
+def storage_events(count):
+    rng = random.Random(41)
+    events = []
+    for position in range(count):
+        host = HOSTS[rng.randrange(len(HOSTS))]
+        timestamp = position * 0.01
+        if position % 17 == 0:
+            events.append(Event(
+                subject=ProcessEntity.make("etl.exe", pid=3, host=host),
+                operation=Operation.WRITE,
+                obj=ProcessEntity.make("child.exe", pid=4, host=host),
+                timestamp=timestamp, agentid=host))
+        else:
+            events.append(Event(
+                subject=ProcessEntity.make("svc.exe", pid=2, host=host),
+                operation=Operation.SEND,
+                obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", dstport=443),
+                timestamp=timestamp, agentid=host,
+                amount=float(rng.randrange(100, 1000))))
+    return events
+
+
+def _canonical(value):
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def scheduler_snapshot(step, hosts, churn):
+    """A snapshot shaped like the scheduler's export: assoc pair-lists
+    of per-host window state plus append-only alert/distinct ledgers.
+    ``churn`` is the fraction of hosts whose state changed this step."""
+    moving = max(1, int(hosts * churn))
+    return {
+        "version": 1, "kind": "scheduler",
+        "queries": ["exfil", "priv-esc", "beacon"],
+        "engines": {
+            "exfil": {
+                "alerts": [f"alert-{index}" for index in range(step)],
+                "histories": [
+                    [["host", index],
+                     {"count": (step * 7 + index if index < moving else 13),
+                      "panes": [[1.0, 2.0], [3.0, 4.0]],
+                      "blob": "s" * 64}]
+                    for index in range(hosts)
+                ],
+            },
+            "priv-esc": {
+                "banks": [
+                    [[index, "seq"],
+                     {"partial": (step if index < moving else 0)}]
+                    for index in range(hosts)
+                ],
+                "seen_distinct": [f"v-{index}" for index in range(step * 3)],
+            },
+            "beacon": {"alerts": [], "watermark": float(step)},
+        },
+        "cursor": {"watermark": float(step), "last_event_id": step * 100,
+                   "frontier_ids": [step * 100],
+                   "events_ingested": step * 5000},
+    }
+
+
+def test_e15_resume_seek_vs_scan(tmp_path):
+    count = int(120000 * bench_scale())
+    events = storage_events(count)
+    database = EventDatabase.open(tmp_path / "db", segment_events=4096)
+    database.insert_many(events)
+    database.store.seal_tail()
+
+    ordered = sorted(events, key=event_key)
+    cut = int(count * 0.95)
+    cursor = ResumeCursor(
+        watermark=ordered[cut - 1].timestamp,
+        last_event_id=ordered[cut - 1].event_id,
+        frontier_ids=frozenset(
+            event.event_id for event in ordered
+            if event.timestamp == ordered[cut - 1].timestamp),
+        events_ingested=cut)
+
+    # Scan oracle: replay the whole stored history and filter through
+    # the cursor — what resume cost before the store could seek.
+    start = time.perf_counter()
+    scanned = [event for event in database.scan()
+               if not cursor.covers(event)]
+    scan_seconds = time.perf_counter() - start
+
+    # Seek path: the replayer resumes through the segment indexes.
+    replayer = StreamReplayer(database)
+    rows_before = database.store.stats().rows_read
+    start = time.perf_counter()
+    sought = list(resume_events(replayer, cursor))
+    seek_seconds = time.perf_counter() - start
+    rows_read = database.store.stats().rows_read - rows_before
+
+    assert sought == scanned, "seek and scan resume disagree"
+    pre_cursor_rows_touched = max(0, rows_read - len(sought))
+    skipped_fraction = 1.0 - (pre_cursor_rows_touched / cut)
+
+    scan_rate = count / scan_seconds if scan_seconds else 0.0
+    seek_rate = count / seek_seconds if seek_seconds else 0.0
+
+    print_table(
+        f"E15a: resume at 95% of {count} events (seek vs scan)",
+        ["arm", "events/s (of history)", "notes"],
+        [
+            ["scan+filter", f"{scan_rate:,.0f}",
+             f"reads all {count} events"],
+            ["cursor seek", f"{seek_rate:,.0f}",
+             f"read {rows_read} rows for {len(sought)} resumed events; "
+             f"skipped {skipped_fraction * 100:.1f}% of pre-cursor "
+             "history"],
+        ])
+    record_rate("e15", "resume_scan", scan_rate)
+    record_rate("e15", "resume_seek", seek_rate,
+                resumed_events=len(sought), rows_read=rows_read,
+                pre_cursor_skipped_fraction=round(skipped_fraction, 4))
+
+    # The seek contract holds at every scale: it is structural (index
+    # pruning), not a timing ratio.
+    assert skipped_fraction >= 0.90, (
+        f"cursor seek touched {pre_cursor_rows_touched} of {cut} "
+        f"pre-cursor events (must skip >= 90%)")
+
+
+def test_e15_checkpoint_bytes_full_vs_diff():
+    checkpoints = 24
+    hosts = max(8, int(200 * min(1.0, bench_scale())))
+    rows = []
+    ratios = {}
+    for label, churn in (("low", 0.01), ("medium", 0.25), ("total", 1.0)):
+        sizes = {}
+        for mode in ("full", "diff"):
+            with tempfile.TemporaryDirectory() as tmp:
+                store = CheckpointStore(tmp, mode=mode, rebase_interval=8)
+                start = time.perf_counter()
+                for step in range(checkpoints):
+                    store.save(scheduler_snapshot(step, hosts, churn))
+                seconds = time.perf_counter() - start
+                sizes[mode] = store.bytes_written
+                if mode == "diff":
+                    deltas = store.delta_writes
+                # Both modes must recover the final snapshot exactly.
+                assert _canonical(store.latest()) == _canonical(
+                    scheduler_snapshot(checkpoints - 1, hosts, churn))
+        ratio = sizes["full"] / sizes["diff"]
+        ratios[label] = ratio
+        rows.append([label, f"{sizes['full']:,}", f"{sizes['diff']:,}",
+                     f"{ratio:.1f}x", f"{deltas}/{checkpoints}"])
+        record_rate("e15", f"checkpoint_bytes_ratio_{label}_churn", ratio,
+                    full_bytes=sizes["full"], diff_bytes=sizes["diff"],
+                    checkpoints=checkpoints, hosts=hosts, churn=churn)
+
+    print_table(
+        f"E15b: checkpoint bytes, {checkpoints} checkpoints, "
+        f"{hosts} hosts of state",
+        ["churn", "full bytes", "diff bytes", "full/diff", "deltas"],
+        rows)
+
+    # Structural contracts, asserted at every scale: diff wins big at
+    # low churn and never loses at total churn.
+    assert ratios["low"] >= 3.0, (
+        f"diff checkpoints only {ratios['low']:.1f}x smaller than full "
+        "at low churn (required >= 3x)")
+    assert ratios["total"] >= 0.9, (
+        "diff mode cost more than full dumps at total churn "
+        f"({ratios['total']:.2f}x) — the full-fallback guard regressed")
+
+
+def test_e15_segment_pruned_range_scan(tmp_path):
+    count = int(120000 * bench_scale())
+    events = storage_events(count)
+    database = EventDatabase.open(tmp_path / "db", segment_events=4096)
+    database.insert_many(events)
+    database.store.seal_tail()
+
+    span_start = events[-1].timestamp * 0.70
+    span_end = events[-1].timestamp * 0.72
+    hosts = HOSTS[:2]
+
+    start = time.perf_counter()
+    scanned = [event for event in sorted(events, key=event_key)
+               if span_start <= event.timestamp < span_end
+               and event.agentid in set(hosts)]
+    scan_seconds = time.perf_counter() - start
+
+    rows_before = database.store.stats().rows_read
+    start = time.perf_counter()
+    selected = database.query(span_start, span_end, hosts=hosts)
+    seek_seconds = time.perf_counter() - start
+    rows_read = database.store.stats().rows_read - rows_before
+    stats = database.store.stats()
+
+    assert selected == scanned, "indexed selection and scan disagree"
+
+    scan_rate = count / scan_seconds if scan_seconds else 0.0
+    seek_rate = count / seek_seconds if seek_seconds else 0.0
+    print_table(
+        f"E15c: 2%-of-history, 2-host range scan over {count} events",
+        ["arm", "events/s (of history)", "notes"],
+        [
+            ["scan+filter", f"{scan_rate:,.0f}", "reads everything"],
+            ["segment-pruned", f"{seek_rate:,.0f}",
+             f"{len(selected)} results from {rows_read} rows read; "
+             f"{stats.segments_pruned} segments pruned, "
+             f"{stats.segments_consulted} consulted"],
+        ])
+    record_rate("e15", "range_scan_linear", scan_rate)
+    record_rate("e15", "range_scan_indexed", seek_rate,
+                results=len(selected), rows_read=rows_read,
+                segments_pruned=stats.segments_pruned)
+
+    assert rows_read < count / 4, (
+        f"indexed range scan read {rows_read} of {count} rows — "
+        "segment pruning is not engaging")
+
+
+def test_e15_legacy_format_oracle_parity(tmp_path):
+    # Legacy JSON-lines database: the new stack must reload it and
+    # rewrite it bit-identically.
+    events = storage_events(int(4000 * min(1.0, bench_scale())))
+    legacy = tmp_path / "legacy.jsonl"
+    EventDatabase(events).save(legacy)
+    rewritten = tmp_path / "rewritten.jsonl"
+    EventDatabase.load(legacy).save(rewritten)
+    assert legacy.read_bytes() == rewritten.read_bytes()
+
+    # Format-1 (bare) and format-2 (checksummed) checkpoints must
+    # restore bit-identically through the format-3 store in both modes.
+    snapshot = scheduler_snapshot(5, hosts=20, churn=0.1)
+    for fmt, payload in (
+            (1, snapshot),
+            (2, {"format": 2, "checksum": snapshot_checksum(snapshot),
+                 "snapshot": snapshot})):
+        directory = tmp_path / f"fmt{fmt}"
+        directory.mkdir()
+        (directory / "checkpoint-00000001.json").write_text(
+            json.dumps(payload), encoding="utf-8")
+        for mode in ("full", "diff"):
+            loaded = CheckpointStore(directory, mode=mode).latest()
+            assert _canonical(loaded) == _canonical(snapshot), (
+                f"format-{fmt} checkpoint did not restore bit-identically "
+                f"in {mode} mode")

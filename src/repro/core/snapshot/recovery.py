@@ -52,9 +52,18 @@ def resume_events(events: Iterable[Event],
     for the cursor to name a clean prefix; ``EventDatabase``/
     ``StreamReplayer`` streams do.  A ``None`` cursor passes everything
     through (no checkpoint: run from the start).
+
+    Sources that can *seek* — ``StreamReplayer`` and ``EventDatabase``
+    expose ``events_from_cursor`` backed by the segment indexes — skip
+    the pre-cursor history without reading it; anything else falls back
+    to filtering the full iterable.
     """
     if cursor is None:
         yield from events
+        return
+    seek = getattr(events, "events_from_cursor", None)
+    if seek is not None:
+        yield from seek(cursor)
         return
     for event in events:
         if not cursor.covers(event):

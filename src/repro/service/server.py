@@ -86,6 +86,11 @@ class ServiceConfig:
     quarantine_errors: Optional[int] = 3
     #: Events between checkpoints (with a state directory).
     checkpoint_interval: int = 10000
+    #: Checkpoint record format: "full" dumps every time, "diff" writes
+    #: deltas against a periodic full base (cost tracks state churn).
+    checkpoint_mode: str = "full"
+    #: Deltas between full-base rebases in diff mode.
+    checkpoint_rebase: int = 8
     #: Sink delivery retry policy (attempts, timeout, backoff).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Default per-tenant quota.
@@ -100,6 +105,10 @@ class ServiceConfig:
             raise ValueError("max batch delay must be positive")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint interval must be at least 1")
+        if self.checkpoint_mode not in ("full", "diff"):
+            raise ValueError("checkpoint mode must be 'full' or 'diff'")
+        if self.checkpoint_rebase < 1:
+            raise ValueError("checkpoint rebase interval must be at least 1")
         if self.drain_timeout <= 0:
             raise ValueError("drain timeout must be positive")
 
@@ -130,7 +139,10 @@ class SAQLService:
         ledger_path = dead_letter_path = None
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
-            self._store = CheckpointStore(self.state_dir / "checkpoints")
+            self._store = CheckpointStore(
+                self.state_dir / "checkpoints",
+                mode=self.config.checkpoint_mode,
+                rebase_interval=self.config.checkpoint_rebase)
             ledger_path = self.state_dir / "delivery-ledger.jsonl"
             dead_letter_path = self.state_dir / "dead-letters.jsonl"
         self._registry = TenantRegistry(

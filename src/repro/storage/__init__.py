@@ -6,22 +6,31 @@ stream, so the same attack data can be reused to showcase different
 queries.  This package provides:
 
 * :class:`EventDatabase` — an embedded, indexed event store with range
-  queries by time, host and event type, and JSON-lines persistence;
+  queries by time, host and event type; in-memory or persisted as a
+  segment store (JSON-lines file persistence also still supported);
+* :class:`SegmentStore` — the backing store: an append-only journal
+  sealed into immutable indexed segments, with crash recovery and
+  compaction (:mod:`repro.storage.segments`);
 * :class:`StreamReplayer` — replays a stored slice as an event stream,
-  optionally throttled to a real-time speed factor;
+  optionally throttled to a real-time speed factor, with index-backed
+  seek to a checkpoint cursor;
 * :class:`CheckpointStore` — crash-safe storage for the scheduler state
   snapshots the checkpoint/recovery subsystem writes
-  (:mod:`repro.core.snapshot`).
+  (:mod:`repro.core.snapshot`), full or differential.
 """
 
 from repro.storage.checkpoints import CheckpointStore
 from repro.storage.database import DatabaseStats, EventDatabase
 from repro.storage.replayer import ReplaySpec, StreamReplayer
+from repro.storage.segments import SegmentFooter, SegmentStore, StoreStats
 
 __all__ = [
     "CheckpointStore",
     "DatabaseStats",
     "EventDatabase",
     "ReplaySpec",
+    "SegmentFooter",
+    "SegmentStore",
+    "StoreStats",
     "StreamReplayer",
 ]

@@ -8,19 +8,36 @@ checkpoint cursor (see :mod:`repro.core.snapshot`).
 Writes are crash-safe: each checkpoint lands in a temporary file that is
 atomically renamed into place, so :meth:`latest` never observes a torn
 snapshot — a crash mid-write leaves only the previous checkpoints.  The
-store keeps a bounded history (``keep`` most recent) and skips unreadable
-files on load, so one corrupted checkpoint degrades recovery to the one
-before it instead of failing it.
+store keeps a bounded history and skips unreadable files on load, so one
+corrupted checkpoint degrades recovery to the one before it instead of
+failing it.
 
-On-disk format (since format 2) wraps the snapshot in a checksummed
-container — ``{"format": 2, "checksum": "sha256:...", "snapshot": ...}``
-— where the digest covers the canonical JSON encoding of the snapshot.
-A file that parses as JSON but whose content was silently damaged
-(bit rot, a partial overwrite that still happens to parse, a filesystem
-that reordered writes across a crash) therefore fails verification and
-:meth:`latest` falls back to the previous checkpoint, exactly like a
-parse error.  Checksum-less files written before format 2 (a bare
-snapshot dict) are still read.
+On-disk formats:
+
+* **format 1** — a bare snapshot dict (pre-checksum files); still read.
+* **format 2** — a checksummed container
+  ``{"format": 2, "checksum": "sha256:...", "snapshot": ...}`` where the
+  digest covers the canonical JSON encoding of the snapshot; still read.
+* **format 3** — the same container shape for *full* snapshots
+  (``"kind": "full"``), plus *differential* records
+  (``"kind": "delta"``) holding only the structural difference against
+  the previous checkpoint: ``{"format": 3, "kind": "delta", "base": B,
+  "parent": P, "checksum": ..., "delta": [ops]}``.  ``base`` names the
+  chain's full snapshot, ``parent`` the immediately preceding record,
+  and ``checksum`` always covers the *reconstructed full snapshot* —
+  so a damaged delta anywhere in a chain is detected exactly like a
+  damaged full dump.
+
+Differential mode (``mode="diff"``) writes a full base snapshot, then
+deltas keyed off the snapshot codecs' stable keys (dict fields and the
+``[[encoded_key, value], ...]`` association pair-lists the per-engine /
+per-host state exports use), rebases to a fresh full snapshot every
+``rebase_interval`` deltas, and verifies every delta *before* writing it
+by applying it to the previous snapshot — a delta that would not
+round-trip byte-identically falls back to a full write.  :meth:`latest`
+reconstructs the newest chain and falls back chain-by-chain on checksum
+or parse failure; pruning counts *restorable chains* (a base plus its
+deltas), never orphaning a base some live delta still needs.
 """
 
 from __future__ import annotations
@@ -30,16 +47,19 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 _CHECKPOINT_PATTERN = re.compile(r"^checkpoint-(\d{8})\.json$")
 
 #: On-disk container format version (bare, checksum-less snapshots
 #: predate the field and load as "format 1").
-CHECKPOINT_FORMAT = 2
+CHECKPOINT_FORMAT = 3
+
+#: Default number of deltas between full-base rebases in diff mode.
+DEFAULT_REBASE_INTERVAL = 8
 
 
-def _canonical_encoding(snapshot: Dict[str, Any]) -> bytes:
+def _canonical_encoding(snapshot: Any) -> bytes:
     """The byte string the checksum covers: canonical strict JSON."""
     return json.dumps(snapshot, sort_keys=True, separators=(",", ":"),
                       allow_nan=False).encode("utf-8")
@@ -54,15 +74,243 @@ class CorruptCheckpoint(ValueError):
     """A checkpoint file parsed but failed content verification."""
 
 
-class CheckpointStore:
-    """Stores versioned scheduler snapshots as numbered JSON files."""
+# ---------------------------------------------------------------------------
+# Structural snapshot deltas
+# ---------------------------------------------------------------------------
+#
+# A delta is a list of ops ``{"p": path, "o": op, "v": value}``:
+#
+# * path steps are dict keys (strings) or ``[key]`` — a one-element list
+#   naming an entry of an *association pair-list* (``[[key, value], ...]``
+#   with structurally unique keys, the shape the snapshot codecs emit
+#   for non-string-keyed maps and the engines emit for per-host state)
+#   by its key's canonical JSON;
+# * ``"set"`` writes a value at the path (creating dict keys /
+#   appending association entries), ``"del"`` removes it, ``"ext"``
+#   extends the *list at* the path with a suffix (append-only ledgers:
+#   alert lists, distinct-ledgers).
 
-    def __init__(self, directory: Union[str, Path], keep: int = 3):
+
+def _json_equal(a: Any, b: Any) -> bool:
+    """Structural equality that distinguishes what canonical JSON does.
+
+    Plain ``==`` would call ``True == 1`` and ``1 == 1.0`` equal, but
+    their canonical encodings (and so the snapshot checksums) differ —
+    a delta built on ``==`` could drop a real change.
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        if a.keys() != b.keys():
+            return False
+        return all(_json_equal(value, b[key]) for key, value in a.items())
+    if isinstance(a, list):
+        return len(a) == len(b) and all(map(_json_equal, a, b))
+    return a == b
+
+
+def _assoc_keys(value: Any) -> Optional[List[str]]:
+    """If ``value`` is an association pair-list, its canonical keys."""
+    if not isinstance(value, list) or not value:
+        return None
+    keys: List[str] = []
+    seen = set()
+    for item in value:
+        if not (isinstance(item, list) and len(item) == 2):
+            return None
+        try:
+            key = json.dumps(item[0], sort_keys=True, separators=(",", ":"),
+                             allow_nan=False)
+        except (TypeError, ValueError):
+            return None
+        if key in seen:
+            return None
+        seen.add(key)
+        keys.append(key)
+    return keys
+
+
+def snapshot_delta(old: Any, new: Any) -> List[Dict[str, Any]]:
+    """Structural difference turning ``old`` into ``new`` (op list)."""
+    ops: List[Dict[str, Any]] = []
+    _diff(old, new, [], ops)
+    return ops
+
+
+def _diff(old: Any, new: Any, path: List[Any],
+          ops: List[Dict[str, Any]]) -> None:
+    if _json_equal(old, new):
+        return
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in old:
+            if key not in new:
+                ops.append({"p": path + [key], "o": "del"})
+        for key, value in new.items():
+            if key not in old:
+                ops.append({"p": path + [key], "o": "set", "v": value})
+            else:
+                _diff(old[key], value, path + [key], ops)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        old_keys = _assoc_keys(old)
+        new_keys = _assoc_keys(new)
+        if old_keys is not None and new_keys is not None:
+            new_set = set(new_keys)
+            old_map = dict(zip(old_keys, (item[1] for item in old)))
+            for key in old_keys:
+                if key not in new_set:
+                    ops.append({"p": path + [[json.loads(key)]], "o": "del"})
+            for key, item in zip(new_keys, new):
+                if key not in old_map:
+                    ops.append({"p": path + [[item[0]]], "o": "set",
+                                "v": item[1]})
+                else:
+                    _diff(old_map[key], item[1], path + [[item[0]]], ops)
+            return
+        if (len(new) > len(old)
+                and _json_equal(old, new[:len(old)])):
+            ops.append({"p": path, "o": "ext", "v": new[len(old):]})
+            return
+    ops.append({"p": path, "o": "set", "v": new})
+
+
+def apply_delta(snapshot: Any, ops: List[Dict[str, Any]]) -> Any:
+    """Apply a delta to a snapshot, returning the new snapshot.
+
+    The input is not mutated.  Raises :class:`CorruptCheckpoint` when an
+    op does not fit the snapshot's structure (a damaged delta record).
+    """
+    result = json.loads(json.dumps(snapshot, allow_nan=False))
+    for op in ops:
+        try:
+            result = _apply_op(result, op)
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            raise CorruptCheckpoint(
+                f"delta op does not fit snapshot: {error}") from error
+    return result
+
+
+def _assoc_index(node: List[Any], key: Any) -> Optional[int]:
+    wanted = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    for index, item in enumerate(node):
+        if (isinstance(item, list) and len(item) == 2
+                and json.dumps(item[0], sort_keys=True,
+                               separators=(",", ":")) == wanted):
+            return index
+    return None
+
+
+def _apply_op(root: Any, op: Dict[str, Any]) -> Any:
+    path = op["p"]
+    kind = op["o"]
+    if not path:
+        if kind == "set":
+            return op["v"]
+        if kind == "ext":
+            if not isinstance(root, list):
+                raise CorruptCheckpoint("ext op targets a non-list root")
+            return root + list(op["v"])
+        raise CorruptCheckpoint(f"op {kind!r} cannot target the root")
+    node = root
+    for step in path[:-1]:
+        node = _step_into(node, step)
+    last = path[-1]
+    if kind == "ext":
+        target = _step_into(node, last)
+        if not isinstance(target, list):
+            raise CorruptCheckpoint("ext op targets a non-list")
+        target.extend(op["v"])
+        return root
+    if isinstance(last, str):
+        if not isinstance(node, dict):
+            raise CorruptCheckpoint("string path step into a non-dict")
+        if kind == "set":
+            node[last] = op["v"]
+        elif kind == "del":
+            del node[last]
+        else:
+            raise CorruptCheckpoint(f"unknown delta op {kind!r}")
+        return root
+    if isinstance(last, list) and len(last) == 1:
+        if not isinstance(node, list):
+            raise CorruptCheckpoint("association path step into a non-list")
+        index = _assoc_index(node, last[0])
+        if kind == "set":
+            if index is None:
+                node.append([last[0], op["v"]])
+            else:
+                node[index][1] = op["v"]
+        elif kind == "del":
+            if index is None:
+                raise CorruptCheckpoint("del of a missing association key")
+            del node[index]
+        else:
+            raise CorruptCheckpoint(f"unknown delta op {kind!r}")
+        return root
+    raise CorruptCheckpoint(f"malformed delta path step {last!r}")
+
+
+def _step_into(node: Any, step: Any) -> Any:
+    if isinstance(step, str):
+        if not isinstance(node, dict):
+            raise CorruptCheckpoint("string path step into a non-dict")
+        return node[step]
+    if isinstance(step, list) and len(step) == 1:
+        if not isinstance(node, list):
+            raise CorruptCheckpoint("association path step into a non-list")
+        index = _assoc_index(node, step[0])
+        if index is None:
+            raise CorruptCheckpoint("path names a missing association key")
+        return node[index][1]
+    raise CorruptCheckpoint(f"malformed delta path step {step!r}")
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+class CheckpointStore:
+    """Stores versioned scheduler snapshots as numbered JSON files.
+
+    ``mode="full"`` (the default) writes every snapshot as a standalone
+    checksummed container — each file is its own restorable chain, so
+    ``keep`` behaves as a plain file count.  ``mode="diff"`` writes a
+    full base then per-checkpoint deltas, rebasing every
+    ``rebase_interval`` deltas; ``keep`` then counts restorable
+    *chains*, and pruning only ever drops whole chains.
+    """
+
+    def __init__(self, directory: Union[str, Path], keep: int = 3,
+                 mode: str = "full",
+                 rebase_interval: int = DEFAULT_REBASE_INTERVAL):
         if keep < 1:
             raise ValueError("checkpoint store must keep at least 1 snapshot")
+        if mode not in ("full", "diff"):
+            raise ValueError(f"unknown checkpoint mode {mode!r}")
+        if rebase_interval < 1:
+            raise ValueError("rebase interval must be at least 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._keep = keep
+        self.mode = mode
+        self._rebase_interval = rebase_interval
+        #: Writer-side chain state: sequence + normalized snapshot of the
+        #: last record written/loaded, and how many deltas the open chain
+        #: holds.  ``None`` until the first save (or disk probe).
+        self._chain: Optional[Dict[str, Any]] = None
+        self._chain_probed = False
+        #: Classification cache (checkpoint files are immutable):
+        #: sequence -> ("full" | "delta" | "opaque", base sequence).
+        self._kinds: Dict[int, Tuple[str, Optional[int]]] = {}
+        #: Cumulative container bytes written by this instance, and a
+        #: breakdown of how each save landed — the benchmark/soak
+        #: observability for "checkpoint cost tracks churn".
+        self.bytes_written = 0
+        self.full_writes = 0
+        self.delta_writes = 0
+        self.delta_fallbacks = 0
+        #: Details of the most recent save: sequence, path, kind, bytes.
+        self.last_save: Optional[Dict[str, Any]] = None
 
     def _sequence_numbers(self) -> List[int]:
         numbers = []
@@ -83,55 +331,266 @@ class CheckpointStore:
     def __len__(self) -> int:
         return len(self._sequence_numbers())
 
+    # -- writing -------------------------------------------------------------
+
     def save(self, snapshot: Dict[str, Any]) -> Path:
-        """Persist one snapshot (checksummed container); returns its path.
+        """Persist one snapshot; returns its path.
+
+        In diff mode the record written is a delta against the previous
+        checkpoint whenever that is both smaller and provably exact —
+        the delta is applied back onto the previous snapshot before
+        anything hits disk, and any mismatch with the canonical encoding
+        of ``snapshot`` (or a delta bigger than the full dump) falls
+        back to a full write.
 
         ``allow_nan=False`` enforces the wire-format contract: every
         non-finite float must have been marker-encoded by the snapshot
         codecs, so the stored file is strict JSON.
         """
+        # Normalize through the canonical encoding so the writer diffs
+        # exactly what a reader will reconstruct (tuples become lists,
+        # non-string dict keys would fail loudly here, not at recovery).
+        normalized = json.loads(_canonical_encoding(snapshot))
         numbers = self._sequence_numbers()
         sequence = (numbers[-1] + 1) if numbers else 1
+        checksum = snapshot_checksum(normalized)
+        container = self._build_container(normalized, checksum, sequence)
         path = self._path_for(sequence)
         temporary = path.with_suffix(".json.tmp")
-        container = {
-            "format": CHECKPOINT_FORMAT,
-            "checksum": snapshot_checksum(snapshot),
-            "snapshot": snapshot,
-        }
+        payload = json.dumps(container, allow_nan=False)
         with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(container, handle, allow_nan=False)
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temporary, path)
-        for stale in numbers[:max(0, len(numbers) + 1 - self._keep)]:
-            try:
-                self._path_for(stale).unlink()
-            except OSError:
-                pass  # pruning is best-effort; a leftover file is harmless
+        self._kinds[sequence] = (container.get("kind", "full"),
+                                 container.get("base"))
+        if container.get("kind") == "delta":
+            self._chain["tip"] = sequence
+            self._chain["deltas"] += 1
+            self.delta_writes += 1
+        else:
+            self._chain = {"base": sequence, "tip": sequence, "deltas": 0}
+            self.full_writes += 1
+        self._chain["snapshot"] = normalized
+        self._chain_probed = True
+        self.bytes_written += len(payload)
+        self.last_save = {
+            "sequence": sequence,
+            "path": path,
+            "kind": container.get("kind", "full"),
+            "bytes": len(payload),
+            "base": container.get("base", sequence),
+        }
+        self._prune(numbers + [sequence])
         return path
+
+    def _build_container(self, normalized: Dict[str, Any], checksum: str,
+                         sequence: int) -> Dict[str, Any]:
+        full = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "full",
+            "checksum": checksum,
+            "snapshot": normalized,
+        }
+        if self.mode != "diff":
+            return full
+        chain = self._writer_chain()
+        if chain is None or chain["deltas"] >= self._rebase_interval:
+            return full  # first record of a fresh chain, or a rebase
+        ops = snapshot_delta(chain["snapshot"], normalized)
+        delta_container = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "delta",
+            "base": chain["base"],
+            "parent": chain["tip"],
+            "checksum": checksum,
+            "delta": ops,
+        }
+        if (len(_canonical_encoding(delta_container))
+                >= len(_canonical_encoding(full))):
+            return full  # high churn: the delta would not be smaller
+        # Prove the delta reconstructs the snapshot byte-identically
+        # before committing to it; association reordering or exotic
+        # structure differences fall back to a full dump.
+        try:
+            rebuilt = apply_delta(chain["snapshot"], ops)
+        except CorruptCheckpoint:
+            rebuilt = None
+        if (rebuilt is None
+                or _canonical_encoding(rebuilt) !=
+                _canonical_encoding(normalized)):
+            self.delta_fallbacks += 1
+            return full
+        return delta_container
+
+    def _writer_chain(self) -> Optional[Dict[str, Any]]:
+        """The open chain to extend, probing the directory once.
+
+        A fresh store instance pointed at an existing directory resumes
+        the chain on disk when its tip reconstructs; anything damaged or
+        unreadable starts a new chain with a full write instead.
+        """
+        if self._chain is not None or self._chain_probed:
+            return self._chain
+        self._chain_probed = True
+        numbers = self._sequence_numbers()
+        if not numbers:
+            return None
+        tip = numbers[-1]
+        try:
+            snapshot = self._reconstruct(tip, set())
+        except (OSError, json.JSONDecodeError, CorruptCheckpoint,
+                RecursionError):
+            return None
+        kind, base = self._classify(tip)
+        if kind == "opaque":
+            return None
+        if kind != "delta" or base is None:
+            base = tip
+        self._chain = {"base": base, "tip": tip,
+                       "deltas": max(0, tip - base),
+                       "snapshot": snapshot}
+        return self._chain
+
+    # -- pruning -------------------------------------------------------------
+
+    def _classify(self, sequence: int) -> Tuple[str, Optional[int]]:
+        """Return ``(kind, base)`` for a stored file (cached; immutable).
+
+        ``kind`` is "full" (standalone record: format 1/2/3-full),
+        "delta", or "opaque" (unreadable/unparseable — never counted as
+        a restorable chain).
+        """
+        cached = self._kinds.get(sequence)
+        if cached is not None:
+            return cached
+        try:
+            with open(self._path_for(sequence), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            result = ("opaque", None)
+        else:
+            if not isinstance(payload, dict):
+                result = ("opaque", None)
+            elif payload.get("kind") == "delta":
+                base = payload.get("base")
+                result = ("delta", base if isinstance(base, int) else None)
+            else:
+                result = ("full", None)
+        self._kinds[sequence] = result
+        return result
+
+    def _chains(self, numbers: List[int]) -> List[List[int]]:
+        """Group stored files into restorable chains, oldest first.
+
+        A chain is a full record plus the deltas based on it.  Deltas
+        whose base is missing (already orphaned) and opaque files attach
+        to the preceding group so pruning treats them as dead weight of
+        that era, not as restorable history.
+        """
+        groups: List[List[int]] = []
+        base_of: Dict[int, int] = {}
+        for sequence in numbers:
+            kind, base = self._classify(sequence)
+            if kind == "full":
+                base_of[sequence] = sequence
+                groups.append([sequence])
+                continue
+            if (kind == "delta" and base is not None and groups
+                    and base_of.get(groups[-1][0]) == base):
+                groups[-1].append(sequence)
+                continue
+            if groups:
+                groups[-1].append(sequence)
+            else:
+                groups.append([sequence])
+        return groups
+
+    def _restorable(self, group: List[int]) -> bool:
+        return self._classify(group[0])[0] == "full"
+
+    def _prune(self, numbers: List[int]) -> None:
+        """Drop the oldest chains beyond ``keep`` restorable ones.
+
+        Only whole chains are deleted — a delta's base (and every link
+        between the base and that delta) survives as long as the delta
+        does, so everything kept stays reconstructable.
+        """
+        groups = self._chains(numbers)
+        restorable = [group for group in groups if self._restorable(group)]
+        if len(restorable) <= self._keep:
+            kept_oldest = restorable[0][0] if restorable else None
+        else:
+            kept_oldest = restorable[-self._keep][0]
+        if kept_oldest is None:
+            return
+        for group in groups:
+            if group[0] >= kept_oldest:
+                continue
+            for sequence in group:
+                if sequence >= kept_oldest:
+                    continue
+                try:
+                    self._path_for(sequence).unlink()
+                except OSError:
+                    pass  # pruning is best-effort; a leftover is harmless
+                self._kinds.pop(sequence, None)
+
+    # -- reading -------------------------------------------------------------
 
     def latest(self) -> Optional[Dict[str, Any]]:
         """Return the newest verified snapshot (None when the store is empty).
 
-        Unreadable, truncated *or checksum-mismatched* files (a disk
+        Unreadable, truncated *or checksum-mismatched* records (a disk
         that lied about the fsync, bit rot, manual tampering, a partial
         write that still parses as JSON) are skipped in favour of the
-        next-older checkpoint, trading recovery freshness for recovery
-        success.
+        next-older checkpoint; a damaged delta mid-chain drops the
+        records after it but recovers the state just before it, and a
+        damaged base drops its whole chain in favour of the previous
+        one — trading recovery freshness for recovery success.
         """
         for sequence in reversed(self._sequence_numbers()):
             try:
-                with open(self._path_for(sequence), "r",
-                          encoding="utf-8") as handle:
-                    return self._verify(json.load(handle))
+                return self._reconstruct(sequence, set())
             except (OSError, json.JSONDecodeError, CorruptCheckpoint):
                 continue
         return None
 
+    def _reconstruct(self, sequence: int,
+                     visiting: set) -> Dict[str, Any]:
+        """Rebuild the full snapshot a stored record represents."""
+        if sequence in visiting:
+            raise CorruptCheckpoint(
+                f"delta parent cycle at sequence {sequence}")
+        visiting.add(sequence)
+        with open(self._path_for(sequence), "r",
+                  encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise CorruptCheckpoint("checkpoint payload is not an object")
+        if payload.get("kind") != "delta":
+            return self._verify(payload)
+        parent = payload.get("parent")
+        if not isinstance(parent, int) or parent >= sequence:
+            raise CorruptCheckpoint(
+                f"delta record has invalid parent {parent!r}")
+        base_snapshot = self._reconstruct(parent, visiting)
+        ops = payload.get("delta")
+        if not isinstance(ops, list):
+            raise CorruptCheckpoint("delta record has no op list")
+        snapshot = apply_delta(base_snapshot, ops)
+        recorded = payload.get("checksum")
+        if recorded != snapshot_checksum(snapshot):
+            raise CorruptCheckpoint(
+                f"reconstructed snapshot does not match the recorded "
+                f"checksum ({recorded!r})")
+        return snapshot
+
     @staticmethod
     def _verify(payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Unwrap a stored container, verifying its content checksum.
+        """Unwrap a stored full container, verifying its content checksum.
 
         Pre-format-2 files are a bare snapshot dict with no checksum to
         verify; they pass through unchanged (the snapshot codecs still
@@ -158,3 +617,6 @@ class CheckpointStore:
                 path.unlink()
             except OSError:
                 pass
+        self._chain = None
+        self._chain_probed = False
+        self._kinds.clear()

@@ -1,21 +1,31 @@
 """An embedded event database for collected monitoring data.
 
-Events are kept sorted by timestamp with secondary indexes by host
-(``agentid``) and by event type, supporting the range scans the stream
-replayer needs (host set + time range).  The store persists to JSON-lines
-files via :mod:`repro.events.serialization`, so a captured day of data can
-be saved and replayed later.
+Since PR 9 the database is a facade over the segment-based store in
+:mod:`repro.storage.segments`: events live in an append-only journal
+tail that seals into immutable, index-footed segments, and every range
+scan (host set + time range) is a segment-pruned index seek instead of
+a list scan.  Constructed without a directory the store is purely
+in-memory (the historical behavior); :meth:`EventDatabase.open` puts it
+on disk, where resident memory is bounded by the journal tail, crash
+recovery truncates torn tails, and replay-after-checkpoint seeks
+straight to the resume cursor via :meth:`events_from_cursor`.
+
+Persistence keeps both shapes: :meth:`save`/:meth:`load` with a file
+path speak the original plain JSON-lines format (a captured day of data
+stays portable), and with a directory path they speak the segment-store
+layout.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Union)
 
 from repro.events.event import Event
 from repro.events.serialization import read_events_jsonl, write_events_jsonl
+from repro.storage.segments import SegmentStore, StoreStats
 
 
 @dataclass
@@ -27,6 +37,9 @@ class DatabaseStats:
     first_timestamp: Optional[float] = None
     last_timestamp: Optional[float] = None
     by_type: Dict[str, int] = field(default_factory=dict)
+    #: Segment-level layout (sealed segment count, rows read, pruning
+    #: counters); None only for stats objects built by old callers.
+    storage: Optional[StoreStats] = None
 
 
 class EventDatabase:
@@ -34,100 +47,82 @@ class EventDatabase:
 
     The canonical store order is ``(timestamp, event_id)`` — a total order
     over any journal, which the checkpoint/recovery subsystem relies on to
-    resume a replay exactly after the last checkpointed event.  Both
-    ingestion paths maintain it incrementally: :meth:`insert` bisects into
-    place, :meth:`insert_many` sorts only the incoming batch and merges it
-    with the (already sorted) store — appending outright when the batch
-    starts at or past the store's tail, the common journal-append case —
-    and the per-host/per-type indexes are updated per event instead of
-    being cleared and rebuilt.
+    resume a replay exactly after the last checkpointed event.  The
+    backing :class:`~repro.storage.segments.SegmentStore` maintains it
+    across the sorted journal tail and the sealed segments; queries merge
+    the two back into global order.
     """
 
-    def __init__(self, events: Iterable[Event] = ()):
-        self._events: List[Event] = []
-        #: Sort keys parallel to ``_events`` (bisect cannot take a key
-        #: argument on the stored objects cheaply before 3.10's key=).
-        self._keys: List[tuple] = []
-        self._by_host: Dict[str, int] = {}
-        self._by_type: Dict[str, int] = {}
+    def __init__(self, events: Iterable[Event] = (),
+                 store: Optional[SegmentStore] = None):
+        self._store = store if store is not None else SegmentStore()
         self.insert_many(events)
 
-    @staticmethod
-    def _key(event: Event) -> tuple:
-        return (event.timestamp, event.event_id)
+    # -- construction ------------------------------------------------------------
 
-    def _index_event(self, event: Event) -> None:
-        self._by_host[event.agentid] = self._by_host.get(event.agentid,
-                                                         0) + 1
-        type_key = event.event_type.value
-        self._by_type[type_key] = self._by_type.get(type_key, 0) + 1
+    @classmethod
+    def open(cls, directory: Union[str, Path], *,
+             segment_bytes: Optional[int] = None,
+             segment_events: Optional[int] = None) -> "EventDatabase":
+        """Open (or create) a persistent segment-store database.
+
+        Re-opening an existing directory recovers it: torn journal tails
+        are truncated, orphaned segment files from a crashed seal are
+        removed, and missing index sidecars are rebuilt.
+        """
+        options: Dict[str, int] = {}
+        if segment_bytes is not None:
+            options["segment_bytes"] = segment_bytes
+        if segment_events is not None:
+            options["segment_events"] = segment_events
+        return cls(store=SegmentStore(directory, **options))
+
+    @property
+    def store(self) -> SegmentStore:
+        """The backing segment store (indexes, compaction, counters)."""
+        return self._store
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """Where the store persists, or None for an in-memory database."""
+        return self._store.directory
 
     # -- ingestion ---------------------------------------------------------------
 
     def insert(self, event: Event) -> None:
         """Insert one event, keeping the store order and indexes consistent."""
-        key = self._key(event)
-        if not self._keys or key >= self._keys[-1]:
-            self._keys.append(key)
-            self._events.append(event)
-        else:
-            position = bisect.bisect_right(self._keys, key)
-            self._keys.insert(position, key)
-            self._events.insert(position, event)
-        self._index_event(event)
+        self._store.append(event)
 
     def insert_many(self, events: Iterable[Event]) -> int:
-        """Insert many events at once (faster than repeated single inserts).
+        """Insert many events at once (faster than repeated single inserts)."""
+        return self._store.append_many(events)
 
-        The incoming batch is sorted alone (``O(k log k)``) and merged
-        with the store in one linear pass, instead of re-sorting the whole
-        store per call.
-        """
-        incoming = sorted(events, key=self._key)
-        if not incoming:
-            return 0
-        for event in incoming:
-            self._index_event(event)
-        if not self._events or self._key(incoming[0]) >= self._keys[-1]:
-            # Pure append: the batch lies entirely at or past the tail.
-            self._events.extend(incoming)
-            self._keys.extend(self._key(event) for event in incoming)
-            return len(incoming)
-        merged: List[Event] = []
-        keys: List[tuple] = []
-        existing = self._events
-        position = 0
-        total = len(existing)
-        for event in incoming:
-            key = self._key(event)
-            while position < total and self._keys[position] <= key:
-                merged.append(existing[position])
-                keys.append(self._keys[position])
-                position += 1
-            merged.append(event)
-            keys.append(key)
-        merged.extend(existing[position:])
-        keys.extend(self._keys[position:])
-        self._events = merged
-        self._keys = keys
-        return len(incoming)
+    def flush(self) -> None:
+        """Make appended events durable (disk-backed stores; no-op in memory)."""
+        self._store.flush()
+
+    def close(self) -> None:
+        """Flush and release the journal handle (disk-backed stores)."""
+        self._store.close()
+
+    def compact(self) -> int:
+        """Merge undersized/overlapping segments; returns merges performed."""
+        return self._store.compact()
 
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._store)
 
     # -- queries ---------------------------------------------------------------------
 
     @property
     def hosts(self) -> List[str]:
         """Return the distinct host identifiers present in the store."""
-        return sorted(self._by_host.keys())
+        return self._store.hosts
 
     @property
     def time_range(self) -> Optional[tuple]:
         """Return (first, last) timestamps, or None when empty."""
-        if not self._events:
-            return None
-        return (self._keys[0][0], self._keys[-1][0])
+        return self._store.time_range
 
     def query(self, start_time: Optional[float] = None,
               end_time: Optional[float] = None,
@@ -137,52 +132,104 @@ class EventDatabase:
 
         All filters are optional; omitted filters select everything.
         ``event_types`` accepts the category names ``process``, ``file``,
-        ``network``.
+        ``network``.  Selection is index-backed: whole segments outside
+        the range are pruned, surviving ones are read through their
+        host/type/time indexes.
         """
-        low = 0
-        high = len(self._events)
-        # A one-element tuple compares below every (timestamp, event_id)
-        # key sharing its timestamp, so these bisects behave exactly like
-        # bisect_left over a plain timestamp list.
-        if start_time is not None:
-            low = bisect.bisect_left(self._keys, (start_time,))
-        if end_time is not None:
-            high = bisect.bisect_left(self._keys, (end_time,))
-        host_filter: Optional[Set[str]] = set(hosts) if hosts else None
-        type_filter: Optional[Set[str]] = (set(event_types) if event_types
-                                           else None)
-        results: List[Event] = []
-        for event in self._events[low:high]:
-            if host_filter is not None and event.agentid not in host_filter:
-                continue
-            if (type_filter is not None
-                    and event.event_type.value not in type_filter):
-                continue
-            results.append(event)
-        return results
+        return self._store.query(start_time, end_time, hosts, event_types)
+
+    def iter_query(self, start_time: Optional[float] = None,
+                   end_time: Optional[float] = None,
+                   hosts: Optional[Sequence[str]] = None,
+                   event_types: Optional[Sequence[str]] = None
+                   ) -> Iterator[Event]:
+        """Streaming form of :meth:`query` (lazy over disk segments)."""
+        return self._store.iter_query(start_time, end_time, hosts,
+                                      event_types)
+
+    def events_for_host(self, host: str,
+                        start_time: Optional[float] = None,
+                        end_time: Optional[float] = None) -> List[Event]:
+        """Return one host's events (optionally time-bounded), index-backed."""
+        return self._store.query(start_time, end_time, hosts=[host])
+
+    def events_between(self, start_time: float,
+                       end_time: float,
+                       hosts: Optional[Sequence[str]] = None) -> List[Event]:
+        """Return events in ``[start_time, end_time)``, index-backed."""
+        return self._store.query(start_time, end_time, hosts=hosts)
+
+    def events_from_cursor(self, cursor) -> Iterator[Event]:
+        """Stream the events *after* a checkpoint's resume cursor.
+
+        Seeks to ``cursor.watermark`` through the segment indexes —
+        whole segments before the watermark are pruned unread — and
+        drops the frontier ties the checkpointed run had already
+        processed.  Equivalent to filtering a full scan through
+        ``cursor.covers`` but without reading the pre-cursor history.
+        """
+        if cursor is None:
+            return self.scan()
+        return (event
+                for event in self._store.iter_query(
+                    start_time=cursor.watermark)
+                if not cursor.covers(event))
 
     def scan(self) -> Iterator[Event]:
         """Iterate every stored event in time order."""
-        return iter(self._events)
+        return self._store.scan()
 
     def stats(self) -> DatabaseStats:
         """Return summary statistics of the stored data."""
         time_range = self.time_range
         return DatabaseStats(
-            total_events=len(self._events),
+            total_events=len(self._store),
             hosts=self.hosts,
             first_timestamp=time_range[0] if time_range else None,
             last_timestamp=time_range[1] if time_range else None,
-            by_type=dict(self._by_type),
+            by_type=self._store.type_counts(),
+            storage=self._store.stats(),
         )
 
     # -- persistence ---------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> int:
-        """Persist the store to a JSON-lines file; returns the event count."""
-        return write_events_jsonl(self._events, path)
+        """Persist the store; returns the event count.
+
+        A path with a file suffix (``captured.jsonl``) writes the
+        original plain JSON-lines format; an existing directory — or a
+        suffix-less path, which is created as one — writes a segment
+        store (journal sealed, ready for :meth:`open`).
+        """
+        path = Path(path)
+        if path.is_dir() or not path.suffix:
+            return self.save_segments(path)
+        return write_events_jsonl(self.scan(), path)
+
+    def save_segments(self, directory: Union[str, Path]) -> int:
+        """Persist the store as a segment directory; returns the count."""
+        directory = Path(directory)
+        if self.directory is not None and directory == self.directory:
+            self._store.seal_tail()
+            self._store.flush()
+            return len(self._store)
+        target = SegmentStore(directory,
+                              segment_events=self._store.segment_events,
+                              segment_bytes=self._store.segment_bytes)
+        count = target.append_many(self.scan())
+        target.seal_tail()
+        target.close()
+        return count
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "EventDatabase":
-        """Load a store previously written by :meth:`save`."""
+    def load(cls, path: Union[str, Path],
+             **open_options) -> "EventDatabase":
+        """Load a store previously written by :meth:`save`.
+
+        A plain JSON-lines file loads into memory (the legacy format);
+        a directory opens as a persistent segment store.
+        """
+        path = Path(path)
+        if path.is_dir():
+            return cls.open(path, **open_options)
         return cls(read_events_jsonl(path))

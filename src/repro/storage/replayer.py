@@ -5,12 +5,19 @@ and start/end time — back into an event stream, so the attack data can be
 replayed repeatedly to showcase different queries.  A speed factor allows
 throttled ("real-time x N") replay; the default replays as fast as the
 consumer can read, which is what the benchmarks use.
+
+Selection is index-backed: the database prunes whole segments outside
+the host/time slice and seeks inside the survivors, so replaying a
+narrow slice of a long history reads a correspondingly narrow part of
+the store.  :meth:`StreamReplayer.events_from_cursor` extends the same
+pruning to checkpoint resume — replay starts *at* the cursor's
+watermark instead of scanning the pre-cursor history.
 """
 
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
 from repro.events.event import Event
@@ -53,17 +60,44 @@ class StreamReplayer(EventStream):
 
     def selected_events(self) -> List[Event]:
         """Return the stored events selected by the replay specification."""
-        return self._database.query(
+        return list(self.iter_selected())
+
+    def iter_selected(self) -> Iterator[Event]:
+        """Stream the selected slice lazily (disk segments stay on disk)."""
+        return self._database.iter_query(
             start_time=self._spec.start_time,
             end_time=self._spec.end_time,
             hosts=self._spec.hosts,
         )
 
-    def __iter__(self) -> Iterator[Event]:
+    def events_from_cursor(self, cursor) -> Iterator[Event]:
+        """Stream the selected slice from a checkpoint cursor onward.
+
+        This is the seek path :func:`repro.core.snapshot.resume_events`
+        uses when the journal is a replayer: the replay starts at
+        ``max(spec.start_time, cursor.watermark)`` through the segment
+        indexes — pre-cursor history is pruned, not scanned — and the
+        cursor's frontier ties are dropped exactly as a filtered full
+        replay would drop them.
+        """
+        if cursor is None:
+            return iter(self)
+        start = cursor.watermark
+        if self._spec.start_time is not None:
+            start = max(start, self._spec.start_time)
+        selected = self._database.iter_query(
+            start_time=start,
+            end_time=self._spec.end_time,
+            hosts=self._spec.hosts,
+        )
+        return self._paced(event for event in selected
+                           if not cursor.covers(event))
+
+    def _paced(self, events: Iterator[Event]) -> Iterator[Event]:
         self.events_replayed = 0
         previous_timestamp: Optional[float] = None
         speed = self._spec.speed
-        for event in self.selected_events():
+        for event in events:
             if speed is not None and previous_timestamp is not None:
                 gap = (event.timestamp - previous_timestamp) / speed
                 if gap > 0:
@@ -71,6 +105,9 @@ class StreamReplayer(EventStream):
             previous_timestamp = event.timestamp
             self.events_replayed += 1
             yield event
+
+    def __iter__(self) -> Iterator[Event]:
+        return self._paced(self.iter_selected())
 
     def iter_batches(self, size: int) -> Iterator[List[Event]]:
         """Replay the selected slice in timestamp-ordered batches.
@@ -85,7 +122,7 @@ class StreamReplayer(EventStream):
         self.events_replayed = 0
         previous_timestamp: Optional[float] = None
         speed = self._spec.speed
-        for batch in iter_batches(self.selected_events(), size):
+        for batch in iter_batches(self.iter_selected(), size):
             if speed is not None:
                 if previous_timestamp is None:
                     previous_timestamp = batch[0].timestamp

@@ -1,0 +1,1043 @@
+"""Segment-based historical event store (the durable-state scale layer).
+
+The event journal is organized the way log-structured stores organize
+theirs: an append-only JSON-lines *journal* holds the most recent
+arrivals, and once the journal exceeds a size or event bound it is
+*sealed* into an immutable, internally ``(timestamp, event_id)``-sorted
+segment with an index sidecar (the *footer*).  The footer carries
+
+* the segment's min/max timestamp (whole-segment time pruning),
+* per-host and per-type row lists (a hash index: ``agentid`` -> rows),
+* a sparse time index (one ``[timestamp, row]`` entry per
+  ``time_index_stride`` rows, so a time-range scan seeks near its start
+  row instead of reading the segment from row 0), and
+* per-row byte offsets (disk mode), so indexed rows are fetched with
+  ``seek`` instead of a sequential scan.
+
+Range scans (``events_between``, host-set + time-range selection) prune
+whole segments by footer, bound the row window inside each surviving
+segment via the sparse time index, intersect the host/type row lists,
+and k-way merge the per-segment results back into global
+``(timestamp, event_id)`` order.  A :meth:`SegmentStore.compact` pass
+merges runs of undersized or time-overlapping segments (out-of-order
+arrivals land in overlapping segments) into full-sized sorted ones.
+
+Two backings share all of this logic:
+
+* ``directory=None`` — in-memory segments (sealed lists of events).
+  This bounds the *sort* cost of ingestion and exercises the exact
+  pruned query paths, but memory still holds every event — it is the
+  compatibility mode behind :class:`~repro.storage.EventDatabase`'s
+  historical constructor.
+* ``directory=...`` — disk segments.  Memory holds only the bounded
+  journal tail plus a small per-segment summary (count, time range,
+  per-host counts); the row-level indexes live in the footer sidecars
+  and are loaded on demand (LRU-bounded), so resident memory tracks the
+  *tail*, not the stream length.
+
+Crash safety:
+
+* sealed segment data files and footers are written to a temporary name,
+  fsynced and atomically renamed;
+* a ``MANIFEST.json`` (also atomically replaced) names the live
+  segments; segment files not in the manifest are leftovers of a crash
+  mid-seal/mid-compaction and are deleted on open;
+* the journal's torn tail (a crash mid-append) is truncated at the last
+  intact line on open;
+* a crash *between* manifest commit and journal truncation would leave
+  the freshly sealed events duplicated in the journal — on open,
+  journal events whose ``event_id`` already appears in the newest
+  sealed segment are dropped;
+* a missing or unreadable footer sidecar is rebuilt from the segment
+  data file.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+from repro.events.event import Event
+from repro.events.serialization import event_from_json, event_to_json
+
+#: Default journal size (bytes) at which the tail seals into a segment.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+#: Default journal length (events) at which the tail seals.
+DEFAULT_SEGMENT_EVENTS = 8192
+#: Sparse time index density: one entry per this many rows.
+DEFAULT_TIME_INDEX_STRIDE = 64
+#: Footer sidecars kept resident at once (disk mode).
+FOOTER_CACHE_SEGMENTS = 8
+#: On-disk names inside a store directory.
+MANIFEST_NAME = "MANIFEST.json"
+JOURNAL_NAME = "journal.jsonl"
+SEGMENT_SUBDIR = "segments"
+FOOTER_SUFFIX = ".idx.json"
+#: Version stamped on manifests and footers.
+STORE_FORMAT = 1
+
+
+def event_key(event: Event) -> Tuple[float, int]:
+    """The store's canonical total order: ``(timestamp, event_id)``."""
+    return (event.timestamp, event.event_id)
+
+
+# ---------------------------------------------------------------------------
+# Footer (the index sidecar) and the in-memory segment summary
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SegmentFooter:
+    """The full row-level index of one sealed segment.
+
+    Rows are positions in the segment's ``(timestamp, event_id)``-sorted
+    data; ``byte_offsets`` (disk segments only) maps each row to its byte
+    position in the data file.
+    """
+
+    count: int
+    min_timestamp: float
+    max_timestamp: float
+    host_rows: Dict[str, List[int]]
+    type_rows: Dict[str, List[int]]
+    time_index: List[List[float]]  # [timestamp, row] pairs, sparse
+    stride: int
+    data_bytes: int = 0
+    byte_offsets: Optional[List[int]] = None
+
+    @classmethod
+    def build(cls, events: Sequence[Event], stride: int,
+              byte_offsets: Optional[List[int]] = None,
+              data_bytes: int = 0) -> "SegmentFooter":
+        host_rows: Dict[str, List[int]] = {}
+        type_rows: Dict[str, List[int]] = {}
+        time_index: List[List[float]] = []
+        for row, event in enumerate(events):
+            host_rows.setdefault(event.agentid, []).append(row)
+            type_rows.setdefault(event.event_type.value, []).append(row)
+            if row % stride == 0:
+                time_index.append([event.timestamp, row])
+        return cls(
+            count=len(events),
+            min_timestamp=events[0].timestamp if events else 0.0,
+            max_timestamp=events[-1].timestamp if events else 0.0,
+            host_rows=host_rows,
+            type_rows=type_rows,
+            time_index=time_index,
+            stride=stride,
+            data_bytes=data_bytes,
+            byte_offsets=byte_offsets,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        data = {
+            "format": STORE_FORMAT,
+            "count": self.count,
+            "min_timestamp": self.min_timestamp,
+            "max_timestamp": self.max_timestamp,
+            "host_rows": self.host_rows,
+            "type_rows": self.type_rows,
+            "time_index": self.time_index,
+            "stride": self.stride,
+            "data_bytes": self.data_bytes,
+        }
+        if self.byte_offsets is not None:
+            data["byte_offsets"] = self.byte_offsets
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "SegmentFooter":
+        if data.get("format") != STORE_FORMAT:
+            raise ValueError(
+                f"unknown segment footer format {data.get('format')!r}")
+        return cls(
+            count=int(data["count"]),
+            min_timestamp=float(data["min_timestamp"]),
+            max_timestamp=float(data["max_timestamp"]),
+            host_rows={host: [int(row) for row in rows]
+                       for host, rows in data["host_rows"].items()},
+            type_rows={kind: [int(row) for row in rows]
+                       for kind, rows in data["type_rows"].items()},
+            time_index=[[float(ts), int(row)]
+                        for ts, row in data["time_index"]],
+            stride=int(data["stride"]),
+            data_bytes=int(data.get("data_bytes", 0)),
+            byte_offsets=([int(offset) for offset in data["byte_offsets"]]
+                          if "byte_offsets" in data else None),
+        )
+
+    def row_window(self, start_time: Optional[float],
+                   end_time: Optional[float]) -> Tuple[int, int]:
+        """Conservative ``[low, high)`` row bounds for a time range.
+
+        Rows are timestamp-sorted; the sparse index narrows the scan to
+        at most one stride of slack on each side, and the caller's exact
+        per-event filter trims the rest.
+        """
+        low, high = 0, self.count
+        timestamps = [entry[0] for entry in self.time_index]
+        if start_time is not None:
+            position = bisect.bisect_left(timestamps, start_time)
+            if position > 0:
+                low = int(self.time_index[position - 1][1])
+        if end_time is not None:
+            position = bisect.bisect_left(timestamps, end_time)
+            if position < len(self.time_index):
+                high = int(self.time_index[position][1])
+        return low, high
+
+
+@dataclass
+class SegmentSummary:
+    """The bounded per-segment state a store keeps resident (disk mode).
+
+    Enough for whole-segment pruning (time range, host presence) and the
+    store-level listings; the row-level indexes stay in the sidecar.
+    """
+
+    count: int
+    min_timestamp: float
+    max_timestamp: float
+    host_counts: Dict[str, int]
+    type_counts: Dict[str, int]
+    data_bytes: int
+
+    @classmethod
+    def of(cls, footer: SegmentFooter) -> "SegmentSummary":
+        return cls(
+            count=footer.count,
+            min_timestamp=footer.min_timestamp,
+            max_timestamp=footer.max_timestamp,
+            host_counts={host: len(rows)
+                         for host, rows in footer.host_rows.items()},
+            type_counts={kind: len(rows)
+                         for kind, rows in footer.type_rows.items()},
+            data_bytes=footer.data_bytes,
+        )
+
+    def may_match(self, start_time: Optional[float],
+                  end_time: Optional[float],
+                  hosts: Optional[Set[str]],
+                  event_types: Optional[Set[str]]) -> bool:
+        """Whole-segment pruning check (False = skip the segment)."""
+        if self.count == 0:
+            return False
+        if start_time is not None and self.max_timestamp < start_time:
+            return False
+        if end_time is not None and self.min_timestamp >= end_time:
+            return False
+        if hosts is not None and not any(host in self.host_counts
+                                         for host in hosts):
+            return False
+        if event_types is not None and not any(kind in self.type_counts
+                                               for kind in event_types):
+            return False
+        return True
+
+
+def _candidate_rows(footer: SegmentFooter,
+                    start_time: Optional[float],
+                    end_time: Optional[float],
+                    hosts: Optional[Set[str]],
+                    event_types: Optional[Set[str]]) -> List[int]:
+    """Index-select the rows a filtered scan must read (sorted)."""
+    low, high = footer.row_window(start_time, end_time)
+    if low >= high:
+        return []
+    type_rows: Optional[Set[int]] = None
+    if event_types is not None:
+        type_rows = set()
+        for kind in event_types:
+            type_rows.update(footer.type_rows.get(kind, ()))
+    if hosts is not None:
+        # Host row lists are disjoint (each row has one host), so a heap
+        # merge yields the sorted union directly.
+        merged = heapq.merge(*(footer.host_rows.get(host, [])
+                               for host in hosts))
+        return [row for row in merged
+                if low <= row < high
+                and (type_rows is None or row in type_rows)]
+    if type_rows is not None:
+        return [row for row in sorted(type_rows) if low <= row < high]
+    return list(range(low, high))
+
+
+class _SealedSegment:
+    """Common selection logic over one immutable sorted segment."""
+
+    sequence: int
+
+    @property
+    def summary(self) -> SegmentSummary:
+        raise NotImplementedError
+
+    def footer(self) -> SegmentFooter:
+        raise NotImplementedError
+
+    def iter_events(self) -> Iterator[Event]:
+        """Sequentially iterate the whole segment in stored order."""
+        raise NotImplementedError
+
+    def events_at(self, rows: List[int]) -> List[Event]:
+        """Fetch the given (sorted) rows."""
+        raise NotImplementedError
+
+    def select(self, start_time: Optional[float],
+               end_time: Optional[float],
+               hosts: Optional[Set[str]],
+               event_types: Optional[Set[str]]) -> List[Event]:
+        """Index-pruned selection; result is in stored (sorted) order."""
+        rows = _candidate_rows(self.footer(), start_time, end_time,
+                               hosts, event_types)
+        if not rows:
+            return []
+        events = self.events_at(rows)
+        if start_time is None and end_time is None:
+            return events
+        return [event for event in events
+                if (start_time is None or event.timestamp >= start_time)
+                and (end_time is None or event.timestamp < end_time)]
+
+
+class MemorySegment(_SealedSegment):
+    """A sealed segment whose rows live in memory (directory-less mode)."""
+
+    def __init__(self, events: List[Event], sequence: int, stride: int):
+        self.sequence = sequence
+        self._events = events
+        self._footer = SegmentFooter.build(events, stride=stride)
+        self._summary = SegmentSummary.of(self._footer)
+        self.rows_read = 0
+
+    @property
+    def summary(self) -> SegmentSummary:
+        return self._summary
+
+    def footer(self) -> SegmentFooter:
+        return self._footer
+
+    def iter_events(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events_at(self, rows: List[int]) -> List[Event]:
+        self.rows_read += len(rows)
+        return [self._events[row] for row in rows]
+
+
+class DiskSegment(_SealedSegment):
+    """A sealed segment backed by a JSONL data file + footer sidecar."""
+
+    def __init__(self, path: Path, summary: SegmentSummary, sequence: int,
+                 stride: int, footer: Optional[SegmentFooter] = None):
+        self.path = path
+        self.sequence = sequence
+        self._stride = stride
+        self._summary = summary
+        self._footer = footer
+        self.rows_read = 0
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def footer_path(path: Path) -> Path:
+        return path.with_name(path.name + FOOTER_SUFFIX)
+
+    @classmethod
+    def seal(cls, events: List[Event], path: Path, sequence: int,
+             stride: int) -> "DiskSegment":
+        """Atomically write a sorted segment + sidecar for ``events``."""
+        lines = [event_to_json(event) + "\n" for event in events]
+        offsets: List[int] = []
+        position = 0
+        for line in lines:
+            offsets.append(position)
+            position += len(line.encode("utf-8"))
+        temporary = path.with_name(path.name + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, path)
+        footer = SegmentFooter.build(events, stride=stride,
+                                     byte_offsets=offsets,
+                                     data_bytes=position)
+        cls._write_footer(path, footer)
+        return cls(path, SegmentSummary.of(footer), sequence, stride,
+                   footer=footer)
+
+    @staticmethod
+    def _write_footer(path: Path, footer: SegmentFooter) -> None:
+        sidecar = DiskSegment.footer_path(path)
+        temporary = sidecar.with_name(sidecar.name + ".tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(footer.to_json(), handle, allow_nan=False)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, sidecar)
+
+    @classmethod
+    def open(cls, path: Path, sequence: int,
+             stride: int) -> Tuple["DiskSegment", bool]:
+        """Open a sealed segment; returns ``(segment, footer_rebuilt)``.
+
+        A missing, unreadable or wrong-format sidecar is rebuilt from
+        the data file (and rewritten), so losing an index never loses
+        data.
+        """
+        sidecar = cls.footer_path(path)
+        try:
+            with open(sidecar, "r", encoding="utf-8") as handle:
+                footer = SegmentFooter.from_json(json.load(handle))
+            return cls(path, SegmentSummary.of(footer), sequence, stride,
+                       footer=footer), False
+        except (OSError, ValueError, KeyError, TypeError):
+            footer = cls._rebuild_footer(path, stride)
+            cls._write_footer(path, footer)
+            return cls(path, SegmentSummary.of(footer), sequence, stride,
+                       footer=footer), True
+
+    @classmethod
+    def _rebuild_footer(cls, path: Path, stride: int) -> SegmentFooter:
+        events: List[Event] = []
+        offsets: List[int] = []
+        position = 0
+        with open(path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail in a copied/damaged segment file
+                stripped = raw.strip()
+                if stripped:
+                    try:
+                        event = event_from_json(stripped.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        break
+                    events.append(event)
+                    offsets.append(position)
+                position += len(raw)
+        if any(event_key(events[i]) > event_key(events[i + 1])
+               for i in range(len(events) - 1)):
+            # Foreign/hand-edited data: re-sort and rewrite so the
+            # sparse time index stays valid.
+            events.sort(key=event_key)
+            segment = cls.seal(events, path, sequence=0, stride=stride)
+            return segment.footer()
+        return SegmentFooter.build(events, stride=stride,
+                                   byte_offsets=offsets, data_bytes=position)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def summary(self) -> SegmentSummary:
+        return self._summary
+
+    def footer(self) -> SegmentFooter:
+        if self._footer is None:
+            sidecar = self.footer_path(self.path)
+            try:
+                with open(sidecar, "r", encoding="utf-8") as handle:
+                    self._footer = SegmentFooter.from_json(json.load(handle))
+            except (OSError, ValueError, KeyError, TypeError):
+                self._footer = self._rebuild_footer(self.path, self._stride)
+                self._write_footer(self.path, self._footer)
+        return self._footer
+
+    def drop_footer(self) -> None:
+        """Release the resident row-level index (summary stays)."""
+        self._footer = None
+
+    def iter_events(self) -> Iterator[Event]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    self.rows_read += 1
+                    yield event_from_json(line)
+
+    def events_at(self, rows: List[int]) -> List[Event]:
+        offsets = self.footer().byte_offsets
+        events: List[Event] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            if (offsets is None
+                    or rows == list(range(rows[0], rows[-1] + 1))):
+                # Contiguous row window (the common time-range shape):
+                # one seek, then a sequential read.
+                if offsets is not None:
+                    handle.seek(offsets[rows[0]])
+                    wanted = len(rows)
+                    for line in handle:
+                        if len(events) >= wanted:
+                            break
+                        line = line.strip()
+                        if line:
+                            events.append(event_from_json(line))
+                else:  # no offsets recorded: sequential scan fallback
+                    want = set(rows)
+                    for row, event in enumerate(self.iter_events()):
+                        if row in want:
+                            events.append(event)
+            else:
+                for row in rows:
+                    handle.seek(offsets[row])
+                    events.append(event_from_json(handle.readline()))
+        self.rows_read += len(events)
+        return events
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StoreStats:
+    """Observability counters for one :class:`SegmentStore`."""
+
+    sealed_segments: int = 0
+    sealed_events: int = 0
+    tail_events: int = 0
+    total_events: int = 0
+    seals: int = 0
+    compactions: int = 0
+    rows_read: int = 0
+    segments_pruned: int = 0
+    segments_consulted: int = 0
+    torn_bytes_truncated: int = 0
+    footers_rebuilt: int = 0
+    orphan_segments_removed: int = 0
+    journal_duplicates_dropped: int = 0
+
+
+class SegmentStore:
+    """An event store of immutable sorted segments plus a journal tail.
+
+    ``directory=None`` keeps everything in memory (sealing still bounds
+    per-insert sort cost and exercises the indexed query paths); with a
+    directory the journal and segments persist, queries are index seeks,
+    and resident memory is bounded by the tail plus per-segment
+    summaries.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 segment_events: int = DEFAULT_SEGMENT_EVENTS,
+                 time_index_stride: int = DEFAULT_TIME_INDEX_STRIDE):
+        if segment_bytes < 1:
+            raise ValueError("segment_bytes must be positive")
+        if segment_events < 1:
+            raise ValueError("segment_events must be positive")
+        if time_index_stride < 1:
+            raise ValueError("time_index_stride must be positive")
+        self.directory = Path(directory) if directory is not None else None
+        self._segment_bytes = segment_bytes
+        self._segment_events = segment_events
+        self._stride = time_index_stride
+        self._segments: List[_SealedSegment] = []
+        self._next_sequence = 1
+        # The journal tail, kept (timestamp, event_id)-sorted in memory;
+        # the on-disk journal file is in arrival order and re-sorts on
+        # open.
+        self._tail: List[Event] = []
+        self._tail_keys: List[Tuple[float, int]] = []
+        self._tail_bytes = 0
+        self._tail_host_counts: Dict[str, int] = {}
+        self._tail_type_counts: Dict[str, int] = {}
+        self._journal = None
+        self._footer_residency: List[DiskSegment] = []
+        # Counters behind stats() (rows_read et al. accumulate across
+        # segment instances, so compaction does not reset them).
+        self._counters = StoreStats()
+        if self.directory is not None:
+            self._open_directory()
+
+    # -- directory lifecycle -------------------------------------------------
+
+    @property
+    def _segment_dir(self) -> Path:
+        return self.directory / SEGMENT_SUBDIR
+
+    def _segment_path(self, sequence: int) -> Path:
+        return self._segment_dir / f"segment-{sequence:08d}.jsonl"
+
+    def _manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": STORE_FORMAT,
+            "segments": [segment.path.name for segment in self._segments],
+            "next_sequence": self._next_sequence,
+        }
+        temporary = self._manifest_path().with_suffix(".json.tmp")
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, self._manifest_path())
+
+    def _open_directory(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._segment_dir.mkdir(parents=True, exist_ok=True)
+        names = self._adopt_manifest()
+        for name in names:
+            path = self._segment_dir / name
+            if not path.exists():
+                continue  # listed but gone: nothing recoverable
+            sequence = self._sequence_of(name)
+            segment, rebuilt = DiskSegment.open(path, sequence, self._stride)
+            if rebuilt:
+                self._counters.footers_rebuilt += 1
+            self._segments.append(segment)
+            self._next_sequence = max(self._next_sequence, sequence + 1)
+        self._load_journal()
+        self._journal = open(self.directory / JOURNAL_NAME, "a",
+                             encoding="utf-8")
+
+    @staticmethod
+    def _sequence_of(name: str) -> int:
+        stem = name.split(".")[0]
+        try:
+            return int(stem.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    def _adopt_manifest(self) -> List[str]:
+        """Read the manifest; delete segment files it does not name.
+
+        A data file without a manifest entry is a leftover of a crash
+        mid-seal or mid-compaction — its events are still in the journal
+        (seal truncates the journal only *after* the manifest commit), so
+        deleting it is the lossless choice.  A directory with no manifest
+        (foreign or hand-built) adopts every segment file it finds.
+        """
+        on_disk = sorted(path.name for path in self._segment_dir.glob("*.jsonl")
+                         if not path.name.endswith(".tmp"))
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            names = [str(name) for name in manifest.get("segments", [])]
+            self._next_sequence = max(
+                self._next_sequence, int(manifest.get("next_sequence", 1)))
+        except (OSError, ValueError, TypeError):
+            return on_disk
+        live = set(names)
+        for name in on_disk:
+            if name not in live:
+                for stale in (self._segment_dir / name,
+                              DiskSegment.footer_path(self._segment_dir
+                                                      / name)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+                self._counters.orphan_segments_removed += 1
+        return names
+
+    def _load_journal(self) -> None:
+        """Replay the journal into the tail, truncating a torn tail.
+
+        Every line must parse as one event; the first torn or corrupt
+        line (a crash mid-append) and everything after it is truncated —
+        a journal append is only durable once its newline hit the disk.
+        """
+        journal = self.directory / JOURNAL_NAME
+        if not journal.exists():
+            return
+        events: List[Event] = []
+        valid_bytes = 0
+        total_bytes = journal.stat().st_size
+        with open(journal, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break
+                stripped = raw.strip()
+                if stripped:
+                    try:
+                        events.append(event_from_json(
+                            stripped.decode("utf-8")))
+                    except (ValueError, UnicodeDecodeError):
+                        break
+                valid_bytes += len(raw)
+        if valid_bytes < total_bytes:
+            self._counters.torn_bytes_truncated += total_bytes - valid_bytes
+            with open(journal, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        events = self._drop_resealed(events)
+        events.sort(key=event_key)
+        self._tail = events
+        self._tail_keys = [event_key(event) for event in events]
+        self._tail_bytes = valid_bytes
+        for event in events:
+            self._count_tail_event(event)
+
+    def _drop_resealed(self, events: List[Event]) -> List[Event]:
+        """Drop journal events already sealed into the newest segment.
+
+        Covers the crash window between the seal's manifest commit and
+        its journal truncation: the sealed events would otherwise load
+        twice.  Only the newest segment can overlap (seals always drain
+        the whole journal), and only when its key range overlaps the
+        journal's do we pay one segment read to compare ids.
+        """
+        if not events or not self._segments:
+            return events
+        newest = self._segments[-1]
+        low = min(event.timestamp for event in events)
+        if low > newest.summary.max_timestamp:
+            return events
+        sealed_ids = {event.event_id for event in newest.iter_events()}
+        kept = [event for event in events
+                if event.event_id not in sealed_ids]
+        self._counters.journal_duplicates_dropped += len(events) - len(kept)
+        return kept
+
+    def flush(self) -> None:
+        """Flush (and fsync) the journal so appended events are durable."""
+        if self._journal is not None:
+            self._journal.flush()
+            os.fsync(self._journal.fileno())
+
+    def close(self) -> None:
+        """Flush and release the journal handle (the store stays usable
+        for reads; appends reopen nothing and will fail)."""
+        if self._journal is not None:
+            self.flush()
+            self._journal.close()
+            self._journal = None
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _count_tail_event(self, event: Event) -> None:
+        self._tail_host_counts[event.agentid] = (
+            self._tail_host_counts.get(event.agentid, 0) + 1)
+        kind = event.event_type.value
+        self._tail_type_counts[kind] = (
+            self._tail_type_counts.get(kind, 0) + 1)
+
+    def append(self, event: Event) -> None:
+        """Append one event (journaled, sealed once the tail fills)."""
+        self.append_many((event,))
+
+    def append_many(self, events: Iterable[Event]) -> int:
+        """Append a batch; returns the number appended.
+
+        The batch is journaled in arrival order, merged into the sorted
+        tail (append-fast when it lands at or past the tail's end, the
+        common live-stream case), and the tail seals into a segment when
+        it crosses the size/length bound.  Batches larger than one
+        segment are folded in segment-sized chunks so the size bound
+        holds (a bulk load becomes several segments, not one giant one).
+        """
+        incoming = sorted(events, key=event_key)
+        if not incoming:
+            return 0
+        chunk = self._segment_events
+        if len(incoming) > chunk:
+            for start in range(0, len(incoming), chunk):
+                self._append_sorted(incoming[start:start + chunk])
+        else:
+            self._append_sorted(incoming)
+        return len(incoming)
+
+    def _append_sorted(self, incoming: List[Event]) -> None:
+        if self._journal is not None:
+            lines = [event_to_json(event) + "\n" for event in incoming]
+            self._journal.writelines(lines)
+            self._journal.flush()
+            self._tail_bytes += sum(len(line.encode("utf-8"))
+                                    for line in lines)
+        for event in incoming:
+            self._count_tail_event(event)
+        if (not self._tail
+                or event_key(incoming[0]) >= self._tail_keys[-1]):
+            self._tail.extend(incoming)
+            self._tail_keys.extend(event_key(event) for event in incoming)
+        else:
+            merged: List[Event] = []
+            keys: List[Tuple[float, int]] = []
+            position, total = 0, len(self._tail)
+            for event in incoming:
+                key = event_key(event)
+                while (position < total
+                       and self._tail_keys[position] <= key):
+                    merged.append(self._tail[position])
+                    keys.append(self._tail_keys[position])
+                    position += 1
+                merged.append(event)
+                keys.append(key)
+            merged.extend(self._tail[position:])
+            keys.extend(self._tail_keys[position:])
+            self._tail = merged
+            self._tail_keys = keys
+        self._maybe_seal()
+
+    def _maybe_seal(self) -> None:
+        if len(self._tail) >= self._segment_events:
+            self.seal_tail()
+        elif (self.directory is not None
+              and self._tail_bytes >= self._segment_bytes):
+            self.seal_tail()
+
+    def seal_tail(self) -> Optional[_SealedSegment]:
+        """Seal the journal tail into an immutable sorted segment."""
+        if not self._tail:
+            return None
+        events = self._tail
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        if self.directory is None:
+            segment: _SealedSegment = MemorySegment(events, sequence,
+                                                    self._stride)
+            self._segments.append(segment)
+        else:
+            path = self._segment_path(sequence)
+            segment = DiskSegment.seal(events, path, sequence, self._stride)
+            self._segments.append(segment)
+            self._note_footer_resident(segment)
+            # Commit order matters: manifest first, then journal
+            # truncation — a crash in between duplicates events into the
+            # journal, which _drop_resealed undoes on the next open
+            # (truncating first would *lose* them instead).
+            self._write_manifest()
+            self._journal.flush()
+            self._journal.truncate(0)
+            self._journal.seek(0)
+        self._tail = []
+        self._tail_keys = []
+        self._tail_bytes = 0
+        self._tail_host_counts = {}
+        self._tail_type_counts = {}
+        self._counters.seals += 1
+        return segment
+
+    def _note_footer_resident(self, segment: DiskSegment) -> None:
+        """LRU-bound how many row-level footers stay in memory."""
+        if segment in self._footer_residency:
+            self._footer_residency.remove(segment)
+        self._footer_residency.append(segment)
+        while len(self._footer_residency) > FOOTER_CACHE_SEGMENTS:
+            self._footer_residency.pop(0).drop_footer()
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> int:
+        """Merge runs of undersized or time-overlapping segments.
+
+        Out-of-order arrivals seal into segments whose time ranges
+        overlap; merging them restores disjoint ranges so time pruning
+        regains its bite, and folding undersized segments (early seals,
+        previous compactions' leftovers) keeps the segment count — and
+        with it every query's pruning pass — bounded.  Returns the
+        number of merges performed.
+        """
+        merges = 0
+        while True:
+            group = self._next_compaction_group()
+            if group is None:
+                return merges
+            start, length = group
+            self._merge_segments(start, length)
+            merges += 1
+            self._counters.compactions += 1
+
+    def _next_compaction_group(self) -> Optional[Tuple[int, int]]:
+        segments = self._segments
+        for start in range(len(segments) - 1):
+            count = segments[start].summary.count
+            length = 1
+            for follower in segments[start + 1:]:
+                summary = follower.summary
+                overlapping = (summary.min_timestamp
+                               <= segments[start + length - 1]
+                               .summary.max_timestamp)
+                undersized = (summary.count < self._segment_events // 2
+                              and count < self._segment_events)
+                if not (overlapping or undersized):
+                    break
+                if count + summary.count > self._segment_events * 4:
+                    break
+                count += summary.count
+                length += 1
+            if length > 1:
+                return start, length
+        return None
+
+    def _merge_segments(self, start: int, length: int) -> None:
+        group = self._segments[start:start + length]
+        merged_iter = heapq.merge(*(segment.iter_events()
+                                    for segment in group), key=event_key)
+        events = list(merged_iter)
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        if self.directory is None:
+            replacement: _SealedSegment = MemorySegment(events, sequence,
+                                                        self._stride)
+            self._segments[start:start + length] = [replacement]
+            return
+        path = self._segment_path(sequence)
+        replacement = DiskSegment.seal(events, path, sequence, self._stride)
+        self._segments[start:start + length] = [replacement]
+        self._note_footer_resident(replacement)
+        self._write_manifest()  # commit point: the merged segment is live
+        for segment in group:
+            if segment in self._footer_residency:
+                self._footer_residency.remove(segment)
+            for stale in (segment.path,
+                          DiskSegment.footer_path(segment.path)):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass  # manifest no longer names it; open() cleans up
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(segment.summary.count
+                   for segment in self._segments) + len(self._tail)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def segment_events(self) -> int:
+        return self._segment_events
+
+    @property
+    def segment_bytes(self) -> int:
+        return self._segment_bytes
+
+    @property
+    def hosts(self) -> List[str]:
+        names: Set[str] = set(self._tail_host_counts)
+        for segment in self._segments:
+            names.update(segment.summary.host_counts)
+        return sorted(names)
+
+    def host_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = dict(self._tail_host_counts)
+        for segment in self._segments:
+            for host, count in segment.summary.host_counts.items():
+                counts[host] = counts.get(host, 0) + count
+        return counts
+
+    def type_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = dict(self._tail_type_counts)
+        for segment in self._segments:
+            for kind, count in segment.summary.type_counts.items():
+                counts[kind] = counts.get(kind, 0) + count
+        return counts
+
+    @property
+    def time_range(self) -> Optional[Tuple[float, float]]:
+        lows: List[float] = []
+        highs: List[float] = []
+        for segment in self._segments:
+            if segment.summary.count:
+                lows.append(segment.summary.min_timestamp)
+                highs.append(segment.summary.max_timestamp)
+        if self._tail:
+            lows.append(self._tail_keys[0][0])
+            highs.append(self._tail_keys[-1][0])
+        if not lows:
+            return None
+        return (min(lows), max(highs))
+
+    def _select_tail(self, start_time: Optional[float],
+                     end_time: Optional[float],
+                     hosts: Optional[Set[str]],
+                     event_types: Optional[Set[str]]) -> List[Event]:
+        low, high = 0, len(self._tail)
+        if start_time is not None:
+            low = bisect.bisect_left(self._tail_keys, (start_time,))
+        if end_time is not None:
+            high = bisect.bisect_left(self._tail_keys, (end_time,))
+        selected = []
+        for event in self._tail[low:high]:
+            if hosts is not None and event.agentid not in hosts:
+                continue
+            if (event_types is not None
+                    and event.event_type.value not in event_types):
+                continue
+            selected.append(event)
+        self._counters.rows_read += high - low
+        return selected
+
+    def iter_query(self, start_time: Optional[float] = None,
+                   end_time: Optional[float] = None,
+                   hosts: Optional[Sequence[str]] = None,
+                   event_types: Optional[Sequence[str]] = None
+                   ) -> Iterator[Event]:
+        """Stream events in ``[start_time, end_time)`` for the given
+        hosts/types, in global ``(timestamp, event_id)`` order.
+
+        Whole segments outside the time range (or containing none of the
+        hosts/types) are pruned by summary; surviving segments are read
+        through their row indexes; the per-segment results merge with
+        the tail.
+        """
+        host_filter = set(hosts) if hosts else None
+        type_filter = set(event_types) if event_types else None
+        unfiltered = (start_time is None and end_time is None
+                      and host_filter is None and type_filter is None)
+        sources: List[Iterable[Event]] = []
+        for segment in self._segments:
+            if not segment.summary.may_match(start_time, end_time,
+                                             host_filter, type_filter):
+                self._counters.segments_pruned += 1
+                continue
+            self._counters.segments_consulted += 1
+            if unfiltered:
+                sources.append(segment.iter_events())
+            else:
+                selected = segment.select(start_time, end_time,
+                                          host_filter, type_filter)
+                if selected:
+                    sources.append(selected)
+        tail = self._select_tail(start_time, end_time, host_filter,
+                                 type_filter)
+        if tail:
+            sources.append(tail)
+        if not sources:
+            return iter(())
+        if len(sources) == 1:
+            return iter(sources[0])
+        return heapq.merge(*sources, key=event_key)
+
+    def query(self, start_time: Optional[float] = None,
+              end_time: Optional[float] = None,
+              hosts: Optional[Sequence[str]] = None,
+              event_types: Optional[Sequence[str]] = None) -> List[Event]:
+        """Materialized form of :meth:`iter_query`."""
+        return list(self.iter_query(start_time, end_time, hosts,
+                                    event_types))
+
+    def scan(self) -> Iterator[Event]:
+        """Iterate every stored event in global order."""
+        return self.iter_query()
+
+    def stats(self) -> StoreStats:
+        """Return a snapshot of the store's observability counters."""
+        rows_read = self._counters.rows_read + sum(
+            getattr(segment, "rows_read", 0) for segment in self._segments)
+        sealed = sum(segment.summary.count for segment in self._segments)
+        return StoreStats(
+            sealed_segments=len(self._segments),
+            sealed_events=sealed,
+            tail_events=len(self._tail),
+            total_events=sealed + len(self._tail),
+            seals=self._counters.seals,
+            compactions=self._counters.compactions,
+            rows_read=rows_read,
+            segments_pruned=self._counters.segments_pruned,
+            segments_consulted=self._counters.segments_consulted,
+            torn_bytes_truncated=self._counters.torn_bytes_truncated,
+            footers_rebuilt=self._counters.footers_rebuilt,
+            orphan_segments_removed=self._counters.orphan_segments_removed,
+            journal_duplicates_dropped=(
+                self._counters.journal_duplicates_dropped),
+        )

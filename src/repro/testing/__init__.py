@@ -7,6 +7,7 @@ from repro.testing.faults import (
     InjectedCrash,
     corrupt_checkpoint,
     parse_fault_spec,
+    tear_journal_tail,
     truncate_checkpoint,
 )
 from repro.testing.sinks import FailingSink, FlakySinkTransport
@@ -20,5 +21,6 @@ __all__ = [
     "InjectedCrash",
     "corrupt_checkpoint",
     "parse_fault_spec",
+    "tear_journal_tail",
     "truncate_checkpoint",
 ]

@@ -230,6 +230,19 @@ def truncate_checkpoint(path: Union[str, Path],
         handle.truncate(keep_bytes)
 
 
+def tear_journal_tail(path: Union[str, Path],
+                      cut_bytes: int = 17) -> int:
+    """Cut the last ``cut_bytes`` off a JSONL journal/segment file
+    (simulates a crash mid-append: the final record has no terminating
+    newline or is mid-JSON).  Returns the resulting file size."""
+    path = Path(path)
+    size = path.stat().st_size
+    kept = max(0, size - cut_bytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(kept)
+    return kept
+
+
 def corrupt_checkpoint(path: Union[str, Path]) -> None:
     """Flip stored snapshot content without breaking its JSON syntax,
     so only checksum verification can catch the damage."""

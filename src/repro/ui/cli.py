@@ -68,8 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo_cmd.add_argument("--queries", nargs="*", default=None,
                           help="subset of demo query names to deploy")
     demo_cmd.add_argument("--save-events", default=None,
-                          help="also save the generated stream to this "
-                               "JSON-lines file")
+                          help="also save the generated stream: a .jsonl "
+                               "path writes the plain JSON-lines file, a "
+                               "suffix-less path writes an indexed segment "
+                               "store directory")
     _add_execution_options(demo_cmd)
 
     run_cmd = subparsers.add_parser(
@@ -77,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("query_files", nargs="+",
                          help="paths to .saql query files")
     run_cmd.add_argument("--database", required=True,
-                         help="JSON-lines event file to query")
+                         help="stored events to query: a JSON-lines file "
+                              "or a segment-store directory (written by "
+                              "demo --save-events)")
     run_cmd.add_argument("--hosts", nargs="*", default=None,
                          help="restrict the replay to these hosts")
     run_cmd.add_argument("--start", type=float, default=None,
@@ -139,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--checkpoint-interval", type=int, default=10000,
                            help="events between checkpoints (with "
                                 "--state-dir)")
+    serve_cmd.add_argument("--checkpoint-mode", default="full",
+                           choices=["full", "diff"],
+                           help="checkpoint record format: 'full' dumps "
+                                "all state every time, 'diff' writes "
+                                "deltas against a periodic full base so "
+                                "checkpoint bytes track state churn")
+    serve_cmd.add_argument("--checkpoint-rebase", type=int, default=8,
+                           metavar="N",
+                           help="deltas between full-base rebases (with "
+                                "--checkpoint-mode diff)")
     serve_cmd.add_argument("--quarantine-errors", type=int, default=3,
                            metavar="N",
                            help="per-query fatal-error budget before "
@@ -193,6 +207,22 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--checkpoint-interval", type=int, default=10000,
                          help="events between checkpoints (with "
                               "--checkpoint-dir)")
+    command.add_argument("--checkpoint-mode", default="full",
+                         choices=["full", "diff"],
+                         help="checkpoint record format: 'full' dumps all "
+                              "state every time, 'diff' writes deltas "
+                              "against a periodic full base so checkpoint "
+                              "bytes track state churn")
+    command.add_argument("--checkpoint-rebase", type=int, default=8,
+                         metavar="N",
+                         help="deltas between full-base rebases (with "
+                              "--checkpoint-mode diff)")
+    command.add_argument("--segment-bytes", type=int, default=None,
+                         metavar="BYTES",
+                         help="segment-store journal size at which the "
+                              "tail seals into an indexed segment "
+                              "(directory databases / --save-events "
+                              "directories; default 4 MiB)")
     command.add_argument("--no-columnar", action="store_true",
                          help="disable columnar batch execution and the "
                               "shared predicate index; evaluate per-event "
@@ -234,7 +264,10 @@ def _checkpoint_store(args: argparse.Namespace):
         return None
     if args.checkpoint_interval < 1:
         raise SystemExit("--checkpoint-interval must be at least 1")
-    return CheckpointStore(args.checkpoint_dir)
+    return CheckpointStore(
+        args.checkpoint_dir,
+        mode=getattr(args, "checkpoint_mode", "full") or "full",
+        rebase_interval=getattr(args, "checkpoint_rebase", None) or 8)
 
 
 def _fault_plan(args: argparse.Namespace):
@@ -394,9 +427,20 @@ def command_demo(args: argparse.Namespace) -> int:
     _print_error_records(scheduler)
 
     if args.save_events:
-        database = EventDatabase(stream)
-        database.save(args.save_events)
-        print(f"saved {len(database)} events to {args.save_events}")
+        target = Path(args.save_events)
+        if target.is_dir() or not target.suffix:
+            database = EventDatabase.open(
+                target, segment_bytes=args.segment_bytes)
+            database.insert_many(stream)
+            database.store.seal_tail()
+            database.close()
+            layout = "segment store"
+        else:
+            database = EventDatabase(stream)
+            database.save(target)
+            layout = "JSON-lines file"
+        print(f"saved {len(database)} events to {args.save_events} "
+              f"({layout})")
     return 0
 
 
@@ -417,7 +461,12 @@ def command_run(args: argparse.Namespace) -> int:
 
 def _run_body(args: argparse.Namespace,
               interrupted: "_InterruptFlag") -> int:
-    database = EventDatabase.load(args.database)
+    database_path = Path(args.database)
+    if database_path.is_dir():
+        database = EventDatabase.open(database_path,
+                                      segment_bytes=args.segment_bytes)
+    else:
+        database = EventDatabase.load(database_path)
     spec = ReplaySpec(hosts=args.hosts, start_time=args.start,
                       end_time=args.end)
     replayer = StreamReplayer(database, spec)
@@ -581,6 +630,8 @@ def _build_service(args: argparse.Namespace) -> SAQLService:
         block_timeout=args.block_timeout,
         batch_size=args.batch_size,
         checkpoint_interval=args.checkpoint_interval,
+        checkpoint_mode=args.checkpoint_mode,
+        checkpoint_rebase=args.checkpoint_rebase,
         quarantine_errors=(args.quarantine_errors
                            if args.quarantine_errors > 0 else None),
         retry=RetryPolicy(max_attempts=args.retry_attempts,

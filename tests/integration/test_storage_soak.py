@@ -1,0 +1,144 @@
+"""Bounded soak: a long stream through ``saql serve`` with small
+segment/rebase thresholds, asserting the two curves PR 9 flattened.
+
+The always-on service's durability cost must track *working state*, not
+stream length: resident memory plateaus once the engines' windows are
+warm, and in diff mode the per-checkpoint bytes plateau at the delta
+size instead of growing with the alert ledger and state history.  The
+stream length scales with ``SAQL_BENCH_SCALE`` so CI can run a shorter
+soak than a local full-scale one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine.alerts import CollectingSink
+from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
+from repro.core.snapshot.codecs import encode_alert
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.serialization import event_to_dict
+from repro.service import ServiceClient, read_alert_file
+from tests.integration.test_service_smoke import (finish, spawn_serve,
+                                                  wait_serving)
+
+SOAK_QUERY = """
+proc p send ip i as evt #time(50)
+state ss { t := sum(evt.amount), n := count(evt.amount) }
+group by evt.agentid
+alert ss.t > 100
+return ss.t, ss.n"""
+
+HOSTS = ["h1", "h2", "h3", "h4"]
+
+
+def _scale() -> float:
+    return float(os.environ.get("SAQL_BENCH_SCALE", "1.0"))
+
+
+def make_stream(count):
+    return [Event(subject=ProcessEntity.make("x.exe", pid=2,
+                                             host=HOSTS[i % len(HOSTS)]),
+                  operation=Operation.SEND,
+                  obj=NetworkEntity.make("10.0.0.1", "10.0.0.2",
+                                         dstport=443),
+                  timestamp=float(i), agentid=HOSTS[i % len(HOSTS)],
+                  amount=10.0, event_id=i + 1)
+            for i in range(count)]
+
+
+def rss_kilobytes(pid):
+    with open(f"/proc/{pid}/status", "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise AssertionError("no VmRSS in /proc status")
+
+
+def settle_ingested(client, ingested, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = client.check("stats")["stats"]
+        if (stats["scheduler"]["events_ingested"] == ingested
+                and stats["queue"]["depth"] == 0
+                and stats["sinks"]["lag"] == 0):
+            return stats
+        time.sleep(0.05)
+    raise AssertionError("service did not settle in time")
+
+
+@pytest.mark.skipif(not Path("/proc").exists(),
+                    reason="needs /proc for RSS sampling")
+class TestStorageSoak:
+    def test_rss_and_checkpoint_bytes_plateau(self, tmp_path):
+        count = max(900, int(3000 * _scale()))
+        events = make_stream(count)
+        wire = [event_to_dict(event) for event in events]
+        query_file = tmp_path / "soak.saql"
+        query_file.write_text(SOAK_QUERY)
+
+        proc = spawn_serve(
+            tmp_path,
+            "--query", f"acme/soak={query_file}",
+            "--checkpoint-mode", "diff",
+            "--checkpoint-rebase", "6",
+        )
+        rss_samples = []
+        try:
+            host, port = wait_serving(proc)
+            thirds = [count // 3, 2 * count // 3, count]
+            sent = 0
+            with ServiceClient(host, port, timeout=30.0) as client:
+                for edge in thirds:
+                    client.ingest_many(wire[sent:edge], batch_size=64)
+                    sent = edge
+                    settle_ingested(client, sent)
+                    rss_samples.append(rss_kilobytes(proc.pid))
+                client.check("drain", finish_stream=True)
+            code, output = finish(proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert code == 0, output
+
+        # RSS plateau: the last third must not keep climbing the way the
+        # first third did while the process warmed up.  Bounded state
+        # means growth between the 2/3 and 3/3 samples is noise, not a
+        # stream-length trend (generous slack for allocator jitter).
+        warm, later, last = rss_samples
+        assert last - later <= max(20 * 1024, (later - warm) + 8 * 1024), (
+            f"RSS still climbing through the soak: {rss_samples} kB")
+
+        # Checkpoint-bytes plateau: the surviving chains must be mostly
+        # deltas, and the median delta must be far smaller than a full
+        # dump — per-checkpoint cost has detached from history length.
+        checkpoint_dir = tmp_path / "state" / "checkpoints"
+        kinds = {"full": [], "delta": []}
+        for path in sorted(checkpoint_dir.glob("checkpoint-*.json")):
+            payload = json.loads(path.read_text())
+            kinds[payload.get("kind", "full")].append(
+                path.stat().st_size)
+        assert kinds["delta"], "diff mode never wrote a delta"
+        median_delta = sorted(kinds["delta"])[len(kinds["delta"]) // 2]
+        assert kinds["full"], "diff mode never wrote a base"
+        assert median_delta < min(kinds["full"]) / 3, (
+            f"deltas ({kinds['delta']}) are not materially smaller than "
+            f"full dumps ({kinds['full']})")
+
+        # And the soak changed no answers: the delivered alert file
+        # matches the fault-free batch oracle exactly.
+        sink = CollectingSink()
+        scheduler = ConcurrentQueryScheduler(sink=sink)
+        scheduler.add_query(SOAK_QUERY, name="acme/soak")
+        scheduler.process_events(events)
+        scheduler.finish()
+        reference = [encode_alert(alert) for alert in sink]
+        assert reference, "soak stream must actually alert"
+        delivered = read_alert_file(tmp_path / "alerts.jsonl")
+        assert delivered == reference

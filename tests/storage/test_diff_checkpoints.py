@@ -1,0 +1,270 @@
+"""Tests for format-3 differential checkpoints.
+
+Contract: a diff-mode store recovers exactly the snapshot a full-mode
+store would, under chain growth, rebase, process restart, and damage
+anywhere in a chain — and pruning counts restorable *chains*, never
+orphaning a base some delta still needs.  Old format-1 (bare dict) and
+format-2 (checksummed container) files restore bit-identically.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.checkpoints import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    CorruptCheckpoint,
+    apply_delta,
+    snapshot_checksum,
+    snapshot_delta,
+)
+from repro.testing import corrupt_checkpoint, truncate_checkpoint
+
+
+def _canonical(value):
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def make_snap(step, hosts=20, churn=1):
+    """A scheduler-shaped snapshot: assoc pair-lists + growing ledgers.
+
+    ``churn`` hosts change per step; the rest of the state is static —
+    the regime differential checkpoints exist for.
+    """
+    return {
+        "version": 1,
+        "kind": "scheduler",
+        "queries": ["exfil", "priv-esc"],
+        "engines": {
+            "exfil": {
+                "alerts": [f"alert-{index}" for index in range(step)],
+                "histories": [
+                    [["host", index],
+                     {"count": (step if index < churn else 3),
+                      "window": [1.0, 2.0], "blob": "x" * 40}]
+                    for index in range(hosts)
+                ],
+                "seen_distinct": [f"value-{index}"
+                                  for index in range(step * 2)],
+            },
+            "priv-esc": {"alerts": [], "watermark": 100.0 + step},
+        },
+        "cursor": {"watermark": 100.0 + step,
+                   "last_event_id": step * 10,
+                   "frontier_ids": [step * 10],
+                   "events_ingested": step * 1000},
+    }
+
+
+class TestDeltaPrimitives:
+    def test_round_trip_dicts_and_assoc_lists(self):
+        old = make_snap(3)
+        new = make_snap(4)
+        ops = snapshot_delta(old, new)
+        assert ops  # something changed
+        rebuilt = apply_delta(old, ops)
+        assert _canonical(rebuilt) == _canonical(new)
+
+    def test_identical_snapshots_produce_empty_delta(self):
+        snap = make_snap(5)
+        assert snapshot_delta(snap, json.loads(json.dumps(snap))) == []
+
+    def test_bool_int_distinction_not_dropped(self):
+        # True == 1 in Python but not in canonical JSON; the delta must
+        # record the change.
+        ops = snapshot_delta({"flag": True}, {"flag": 1})
+        assert ops
+        assert _canonical(apply_delta({"flag": True}, ops)) == '{"flag":1}'
+
+    def test_append_only_ledger_becomes_ext_op(self):
+        old = {"alerts": ["a", "b"]}
+        new = {"alerts": ["a", "b", "c", "d"]}
+        ops = snapshot_delta(old, new)
+        assert ops == [{"p": ["alerts"], "o": "ext", "v": ["c", "d"]}]
+        assert apply_delta(old, ops) == new
+
+    def test_assoc_key_removal_and_addition(self):
+        old = {"m": [[["k", 1], "one"], [["k", 2], "two"]]}
+        new = {"m": [[["k", 2], "two"], [["k", 3], "three"]]}
+        ops = snapshot_delta(old, new)
+        rebuilt = apply_delta(old, ops)
+        # Entry order may differ (append-at-end), but the mapping and
+        # every value must match.
+        assert sorted(map(_canonical, rebuilt["m"])) == sorted(
+            map(_canonical, new["m"]))
+
+    def test_apply_delta_rejects_misfit_ops(self):
+        with pytest.raises(CorruptCheckpoint):
+            apply_delta({"a": 1}, [{"p": ["missing", "deep"], "o": "set",
+                                    "v": 2}])
+
+    def test_input_not_mutated(self):
+        old = {"alerts": ["a"], "n": 1}
+        ops = snapshot_delta(old, {"alerts": ["a", "b"], "n": 2})
+        apply_delta(old, ops)
+        assert old == {"alerts": ["a"], "n": 1}
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(),
+                  st.integers(min_value=-1000, max_value=1000),
+                  st.text(max_size=8)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=6), children, max_size=4)),
+        max_leaves=12), st.data())
+    def test_any_json_pair_round_trips(self, old, data):
+        new = data.draw(st.recursive(
+            st.one_of(st.none(), st.booleans(),
+                      st.integers(min_value=-1000, max_value=1000),
+                      st.text(max_size=8)),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=6), children, max_size=4)),
+            max_leaves=12))
+        ops = snapshot_delta(old, new)
+        rebuilt = apply_delta(old, ops)
+        assert _canonical(rebuilt) == _canonical(new)
+
+
+class TestDiffChains:
+    def _store(self, directory, **kwargs):
+        options = {"keep": 3, "mode": "diff", "rebase_interval": 4}
+        options.update(kwargs)
+        return CheckpointStore(directory, **options)
+
+    def test_chain_shape_and_latest_parity(self, tmp_path):
+        store = self._store(tmp_path)
+        snaps = [make_snap(step) for step in range(10)]
+        for snap in snaps:
+            store.save(snap)
+        assert store.full_writes >= 2  # base + at least one rebase
+        assert store.delta_writes > store.full_writes
+        assert _canonical(store.latest()) == _canonical(snaps[-1])
+
+    def test_fresh_instance_resumes_the_chain(self, tmp_path):
+        store = self._store(tmp_path)
+        for step in range(3):
+            store.save(make_snap(step))
+        resumed = self._store(tmp_path)
+        assert _canonical(resumed.latest()) == _canonical(make_snap(2))
+        resumed.save(make_snap(3))
+        assert resumed.last_save["kind"] == "delta"
+        assert _canonical(resumed.latest()) == _canonical(make_snap(3))
+
+    def test_corrupt_delta_mid_chain_falls_back_before_it(self, tmp_path):
+        store = self._store(tmp_path, rebase_interval=50)  # one long chain
+        snaps = [make_snap(step) for step in range(8)]
+        for snap in snaps:
+            store.save(snap)
+        paths = store.paths()
+        # Damage the 5th record (a delta): recovery must surface the 4th
+        # snapshot, not fail and not return anything after the damage.
+        corrupt_checkpoint(paths[4])
+        recovered = CheckpointStore(tmp_path, mode="diff").latest()
+        assert _canonical(recovered) == _canonical(snaps[3])
+
+    def test_corrupt_base_falls_back_to_previous_chain(self, tmp_path):
+        store = self._store(tmp_path, rebase_interval=3)
+        snaps = [make_snap(step) for step in range(8)]
+        for snap in snaps:
+            store.save(snap)
+        # Find the newest full record (the open chain's base) and
+        # destroy it: every delta above it is unrecoverable, so latest()
+        # must fall back to the previous chain's tip.
+        paths = store.paths()
+        kinds = {path: json.loads(path.read_text()).get("kind")
+                 for path in paths}
+        newest_full = [path for path in paths
+                       if kinds[path] == "full"][-1]
+        truncate_checkpoint(newest_full)
+        recovered = CheckpointStore(tmp_path, mode="diff").latest()
+        assert recovered is not None
+        base_seq = int(newest_full.stem.split("-")[1])
+        expected_tip = max(int(path.stem.split("-")[1]) for path in paths
+                           if int(path.stem.split("-")[1]) < base_seq)
+        assert _canonical(recovered) == _canonical(
+            snaps[expected_tip - 1])  # sequences are 1-based
+
+    def test_pruning_counts_chains_not_files(self, tmp_path):
+        store = self._store(tmp_path, keep=2, rebase_interval=3)
+        for step in range(14):
+            store.save(make_snap(step))
+        paths = store.paths()
+        payloads = [json.loads(path.read_text()) for path in paths]
+        # Every surviving delta's base must also survive.
+        sequences = {int(path.stem.split("-")[1]) for path in paths}
+        for payload in payloads:
+            if payload.get("kind") == "delta":
+                assert payload["base"] in sequences
+        # Exactly `keep` restorable chains remain.
+        fulls = [payload for payload in payloads
+                 if payload.get("kind") == "full"]
+        assert len(fulls) == 2
+        assert _canonical(store.latest()) == _canonical(make_snap(13))
+
+    def test_high_churn_falls_back_to_full_records(self, tmp_path):
+        store = self._store(tmp_path)
+        # Every field changes every step: a delta would be as big as the
+        # full dump, so the writer must keep writing fulls.
+        for step in range(4):
+            store.save(make_snap(step, hosts=4, churn=4))
+        assert store.delta_writes == 0 or store.full_writes >= 1
+        assert _canonical(store.latest()) == _canonical(
+            make_snap(3, hosts=4, churn=4))
+
+    def test_diff_mode_is_smaller_at_low_churn(self, tmp_path):
+        diff_store = self._store(tmp_path / "diff", rebase_interval=8)
+        full_store = CheckpointStore(tmp_path / "full", mode="full")
+        for step in range(10):
+            snap = make_snap(step, hosts=60, churn=1)
+            diff_store.save(snap)
+            full_store.save(snap)
+        assert diff_store.bytes_written < full_store.bytes_written / 2
+        assert _canonical(diff_store.latest()) == _canonical(
+            full_store.latest())
+
+
+class TestFormatCompat:
+    def test_format1_bare_snapshot_restores_bit_identically(self, tmp_path):
+        snapshot = make_snap(4)
+        path = tmp_path / "checkpoint-00000001.json"
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        for mode in ("full", "diff"):
+            loaded = CheckpointStore(tmp_path, mode=mode).latest()
+            assert _canonical(loaded) == _canonical(snapshot)
+
+    def test_format2_container_restores_bit_identically(self, tmp_path):
+        snapshot = make_snap(6)
+        container = {"format": 2,
+                     "checksum": snapshot_checksum(snapshot),
+                     "snapshot": snapshot}
+        path = tmp_path / "checkpoint-00000001.json"
+        path.write_text(json.dumps(container), encoding="utf-8")
+        for mode in ("full", "diff"):
+            loaded = CheckpointStore(tmp_path, mode=mode).latest()
+            assert _canonical(loaded) == _canonical(snapshot)
+
+    def test_diff_chain_can_grow_on_top_of_format2_history(self, tmp_path):
+        old = make_snap(2)
+        container = {"format": 2,
+                     "checksum": snapshot_checksum(old),
+                     "snapshot": old}
+        (tmp_path / "checkpoint-00000001.json").write_text(
+            json.dumps(container), encoding="utf-8")
+        store = CheckpointStore(tmp_path, mode="diff", rebase_interval=4)
+        store.save(make_snap(3))
+        assert _canonical(store.latest()) == _canonical(make_snap(3))
+
+    def test_full_mode_still_writes_plain_containers(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        snapshot = make_snap(1)
+        path = store.save(snapshot)
+        container = json.loads(path.read_text())
+        assert container["format"] == CHECKPOINT_FORMAT
+        assert container["kind"] == "full"
+        assert container["checksum"] == snapshot_checksum(snapshot)
+        assert _canonical(container["snapshot"]) == _canonical(snapshot)

@@ -1,0 +1,390 @@
+"""Crash-injection and parity tests for the segment-based event store.
+
+The store's contract: any sequence of appends, seals, compactions,
+process restarts, torn journal tails, lost index sidecars and
+mid-seal crashes yields exactly the events a plain sorted list would
+hold, in the canonical ``(timestamp, event_id)`` order, for every
+host/time/type selection — while narrow selections read only a
+correspondingly narrow part of the store.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.snapshot.recovery import ResumeCursor, resume_events
+from repro.events.event import Operation
+from repro.storage import EventDatabase, ReplaySpec, SegmentStore, StreamReplayer
+from repro.storage.segments import DiskSegment, event_key
+from repro.testing import tear_journal_tail
+from tests.conftest import make_connection, make_event, make_file, make_process
+
+HOSTS = ["web-01", "db-server", "client-01", "build-07"]
+
+
+def _event(timestamp, host, index):
+    """One deterministic event; cycles through the three entity types."""
+    process = make_process("worker.exe", 100 + index, host=host)
+    if index % 3 == 0:
+        obj = make_file(f"/var/log/{index}", host=host)
+    elif index % 3 == 1:
+        obj = make_connection("203.0.113.9")
+    else:
+        obj = make_process("child.exe", 200 + index, host=host)
+    return make_event(process, Operation.WRITE, obj, float(timestamp),
+                      agentid=host, amount=float(index))
+
+
+def _stream(count, stride=1.0, shuffle_seed=None):
+    events = [_event(index * stride, HOSTS[index % len(HOSTS)], index)
+              for index in range(count)]
+    if shuffle_seed is not None:
+        import random
+        random.Random(shuffle_seed).shuffle(events)
+    return events
+
+
+def _oracle(events, start=None, end=None, hosts=None, types=None):
+    selected = [event for event in sorted(events, key=event_key)
+                if (start is None or event.timestamp >= start)
+                and (end is None or event.timestamp < end)
+                and (hosts is None or event.agentid in hosts)
+                and (types is None or event.event_type.value in types)]
+    return selected
+
+
+class TestMemoryStore:
+    def test_seals_and_stays_query_equivalent(self):
+        store = SegmentStore(segment_events=16)
+        events = _stream(100)
+        store.append_many(events)
+        assert store.stats().sealed_segments >= 5
+        assert store.query() == _oracle(events)
+        assert store.query(start_time=20.0, end_time=60.0) == _oracle(
+            events, start=20.0, end=60.0)
+
+    def test_out_of_order_appends_keep_global_order(self):
+        store = SegmentStore(segment_events=8)
+        events = _stream(64, shuffle_seed=3)
+        for event in events:
+            store.append(event)
+        keys = [event_key(event) for event in store.scan()]
+        assert keys == sorted(keys)
+        assert len(store) == 64
+
+    def test_compaction_preserves_contents(self):
+        store = SegmentStore(segment_events=8)
+        events = _stream(60, shuffle_seed=11)
+        store.append_many(events[:30])
+        store.append_many(events[30:])
+        before = store.query()
+        segments_before = store.segment_count
+        merges = store.compact()
+        assert merges >= 1
+        assert store.segment_count < segments_before
+        assert store.query() == before
+
+    def test_type_filter_uses_type_index(self):
+        store = SegmentStore(segment_events=16)
+        events = _stream(90)
+        store.append_many(events)
+        assert store.query(event_types=["network"]) == _oracle(
+            events, types={"network"})
+
+
+class TestDiskStore:
+    def test_reopen_round_trip(self, tmp_path):
+        events = _stream(120)
+        store = SegmentStore(tmp_path / "db", segment_events=32)
+        store.append_many(events)
+        store.close()
+        reopened = SegmentStore(tmp_path / "db", segment_events=32)
+        assert reopened.query() == _oracle(events)
+        assert reopened.hosts == sorted(set(HOSTS))
+
+    def test_journal_tail_survives_without_seal(self, tmp_path):
+        events = _stream(10)  # below every seal threshold
+        store = SegmentStore(tmp_path / "db", segment_events=1000)
+        store.append_many(events)
+        store.close()
+        reopened = SegmentStore(tmp_path / "db", segment_events=1000)
+        assert reopened.stats().sealed_segments == 0
+        assert reopened.query() == _oracle(events)
+
+    def test_narrow_query_prunes_segments_and_rows(self, tmp_path):
+        events = _stream(400)
+        store = SegmentStore(tmp_path / "db", segment_events=50)
+        store.append_many(events)
+        store.seal_tail()
+        selected = store.query(start_time=300.0, end_time=320.0)
+        assert selected == _oracle(events, start=300.0, end=320.0)
+        stats = store.stats()
+        assert stats.segments_pruned > 0
+        # An indexed seek reads a small multiple of the answer, never
+        # the whole store.
+        assert stats.rows_read < len(events) / 2
+
+    def test_host_query_reads_only_that_hosts_rows(self, tmp_path):
+        events = _stream(300)
+        store = SegmentStore(tmp_path / "db", segment_events=64)
+        store.append_many(events)
+        store.seal_tail()
+        host = HOSTS[1]
+        selected = store.query(hosts=[host])
+        assert selected == _oracle(events, hosts={host})
+        assert store.stats().rows_read <= len(selected) * 2
+
+    def test_compaction_survives_reopen(self, tmp_path):
+        events = _stream(90, shuffle_seed=5)
+        store = SegmentStore(tmp_path / "db", segment_events=16)
+        store.append_many(events)
+        store.seal_tail()
+        store.compact()
+        store.close()
+        reopened = SegmentStore(tmp_path / "db", segment_events=16)
+        assert reopened.query() == _oracle(events)
+
+
+class TestCrashRecovery:
+    def test_torn_journal_tail_truncated_on_open(self, tmp_path):
+        events = _stream(20)
+        store = SegmentStore(tmp_path / "db", segment_events=1000)
+        store.append_many(events)
+        store.close()
+        tear_journal_tail(tmp_path / "db" / "journal.jsonl", cut_bytes=13)
+        reopened = SegmentStore(tmp_path / "db", segment_events=1000)
+        stats = reopened.stats()
+        assert stats.torn_bytes_truncated > 0
+        recovered = reopened.query()
+        # The torn record (and only a tail) is lost; the prefix survives
+        # intact and the journal stays appendable.
+        assert 0 < len(recovered) < len(events)
+        assert recovered == _oracle(events)[:len(recovered)]
+        reopened.append(_event(999.0, "web-01", 999))
+        assert len(reopened) == len(recovered) + 1
+
+    def test_missing_footer_rebuilt_from_segment_data(self, tmp_path):
+        events = _stream(80)
+        store = SegmentStore(tmp_path / "db", segment_events=32)
+        store.append_many(events)
+        store.close()
+        sidecars = list((tmp_path / "db" / "segments").glob("*.idx.json"))
+        assert sidecars
+        for sidecar in sidecars:
+            sidecar.unlink()
+        reopened = SegmentStore(tmp_path / "db", segment_events=32)
+        assert reopened.stats().footers_rebuilt == len(sidecars)
+        assert reopened.query() == _oracle(events)
+        # The rebuilt sidecars are persisted, and indexed selection
+        # works off them.
+        host = HOSTS[0]
+        assert reopened.query(hosts=[host]) == _oracle(events, hosts={host})
+
+    def test_corrupt_footer_rebuilt(self, tmp_path):
+        events = _stream(80)
+        store = SegmentStore(tmp_path / "db", segment_events=32)
+        store.append_many(events)
+        store.close()
+        sidecar = next((tmp_path / "db" / "segments").glob("*.idx.json"))
+        sidecar.write_text("{not json", encoding="utf-8")
+        reopened = SegmentStore(tmp_path / "db", segment_events=32)
+        assert reopened.stats().footers_rebuilt == 1
+        assert reopened.query() == _oracle(events)
+
+    def test_orphan_segment_from_crashed_seal_removed(self, tmp_path):
+        events = _stream(60)
+        store = SegmentStore(tmp_path / "db", segment_events=16)
+        store.append_many(events)
+        store.close()
+        # A crash between segment write and manifest commit leaves a
+        # data file the manifest does not name.
+        segment_dir = tmp_path / "db" / "segments"
+        source = next(segment_dir.glob("segment-*.jsonl"))
+        orphan = segment_dir / "segment-00000099.jsonl"
+        orphan.write_bytes(source.read_bytes())
+        reopened = SegmentStore(tmp_path / "db", segment_events=16)
+        assert reopened.stats().orphan_segments_removed == 1
+        assert not orphan.exists()
+        assert reopened.query() == _oracle(events)  # nothing double-counted
+
+    def test_crash_between_manifest_and_journal_truncate(self, tmp_path):
+        events = _stream(40)
+        store = SegmentStore(tmp_path / "db", segment_events=16)
+        store.append_many(events)
+        store.seal_tail()
+        store.close()
+        # Re-append the newest sealed segment's lines to the journal:
+        # exactly the state a crash after the manifest commit but before
+        # the journal truncation leaves behind.
+        segment_dir = tmp_path / "db" / "segments"
+        newest = sorted(segment_dir.glob("segment-*.jsonl"))[-1]
+        journal = tmp_path / "db" / "journal.jsonl"
+        journal.write_bytes(journal.read_bytes() + newest.read_bytes())
+        reopened = SegmentStore(tmp_path / "db", segment_events=16)
+        assert reopened.stats().journal_duplicates_dropped > 0
+        assert reopened.query() == _oracle(events)
+
+    def test_unsorted_foreign_segment_data_is_normalized(self, tmp_path):
+        # A hand-edited (or foreign) segment file in arrival order must
+        # not poison sorted-order assumptions after a footer rebuild.
+        events = _stream(30, shuffle_seed=9)
+        path = tmp_path / "seg.jsonl"
+        from repro.events.serialization import event_to_json
+        path.write_text("".join(event_to_json(event) + "\n"
+                                for event in events), encoding="utf-8")
+        segment, rebuilt = DiskSegment.open(path, sequence=1, stride=4)
+        assert rebuilt
+        keys = [event_key(event) for event in segment.iter_events()]
+        assert keys == sorted(keys)
+
+
+class TestResumeSeek:
+    def _database_and_cursor(self, tmp_path, count=500):
+        events = _stream(count)
+        database = EventDatabase.open(tmp_path / "db", segment_events=50)
+        database.insert_many(events)
+        database.store.seal_tail()
+        ordered = _oracle(events)
+        cut = int(count * 0.95)
+        cursor = ResumeCursor(
+            watermark=ordered[cut - 1].timestamp,
+            last_event_id=ordered[cut - 1].event_id,
+            frontier_ids=frozenset(
+                event.event_id for event in ordered
+                if event.timestamp == ordered[cut - 1].timestamp),
+            events_ingested=cut,
+        )
+        return database, events, ordered, cursor, cut
+
+    def test_cursor_seek_matches_full_replay_filter(self, tmp_path):
+        database, events, ordered, cursor, cut = self._database_and_cursor(
+            tmp_path)
+        expected = [event for event in ordered if not cursor.covers(event)]
+        assert list(database.events_from_cursor(cursor)) == expected
+
+    def test_cursor_seek_skips_pre_cursor_rows(self, tmp_path):
+        database, events, ordered, cursor, cut = self._database_and_cursor(
+            tmp_path)
+        baseline = database.store.stats().rows_read
+        resumed = list(database.events_from_cursor(cursor))
+        rows_read = database.store.stats().rows_read - baseline
+        # The seek must touch only a sliver of the pre-cursor history:
+        # >= 90% of the events before the cursor are never read.
+        assert rows_read <= len(resumed) + 0.1 * cut
+
+    def test_replayer_resume_uses_seek(self, tmp_path):
+        database, events, ordered, cursor, cut = self._database_and_cursor(
+            tmp_path)
+        replayer = StreamReplayer(database)
+        expected = [event for event in ordered if not cursor.covers(event)]
+        assert list(resume_events(replayer, cursor)) == expected
+        assert replayer.events_replayed == len(expected)
+
+    def test_replayer_spec_composes_with_cursor(self, tmp_path):
+        database, events, ordered, cursor, cut = self._database_and_cursor(
+            tmp_path)
+        host = HOSTS[2]
+        replayer = StreamReplayer(database, ReplaySpec(hosts=[host]))
+        expected = [event for event in ordered
+                    if event.agentid == host and not cursor.covers(event)]
+        assert list(resume_events(replayer, cursor)) == expected
+
+    def test_none_cursor_replays_everything(self, tmp_path):
+        database, events, ordered, cursor, cut = self._database_and_cursor(
+            tmp_path, count=100)
+        replayer = StreamReplayer(database)
+        assert list(resume_events(replayer, None)) == ordered
+
+
+class TestDatabaseFacade:
+    def test_legacy_jsonl_round_trip_bit_identical(self, tmp_path):
+        events = _stream(50)
+        database = EventDatabase(events)
+        first = tmp_path / "capture.jsonl"
+        database.save(first)
+        reloaded = EventDatabase.load(first)
+        second = tmp_path / "again.jsonl"
+        reloaded.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_directory_save_and_load(self, tmp_path):
+        events = _stream(70)
+        database = EventDatabase(events)
+        target = tmp_path / "segmented"
+        written = database.save(target)
+        assert written == len(events)
+        assert (target / "MANIFEST.json").exists()
+        reloaded = EventDatabase.load(target)
+        assert reloaded.query() == _oracle(events)
+
+    def test_events_for_host_and_between(self, tmp_path):
+        events = _stream(80)
+        database = EventDatabase(events)
+        host = HOSTS[3]
+        assert database.events_for_host(host) == _oracle(events,
+                                                         hosts={host})
+        assert database.events_between(10.0, 30.0) == _oracle(
+            events, start=10.0, end=30.0)
+
+    def test_stats_carry_storage_counters(self):
+        database = EventDatabase(_stream(40))
+        stats = database.stats()
+        assert stats.total_events == 40
+        assert stats.storage is not None
+        assert stats.storage.total_events == 40
+
+
+@st.composite
+def _batches(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    batches = []
+    index = 0
+    for _ in range(count):
+        size = draw(st.integers(min_value=1, max_value=20))
+        batch = []
+        for _ in range(size):
+            timestamp = draw(st.integers(min_value=0, max_value=50))
+            host = draw(st.sampled_from(HOSTS))
+            batch.append(_event(float(timestamp), host, index))
+            index += 1
+        batches.append(batch)
+    return batches
+
+
+class TestStoreOracleProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(batches=_batches(),
+           start=st.one_of(st.none(),
+                           st.integers(min_value=0, max_value=50)),
+           span=st.integers(min_value=1, max_value=30),
+           host=st.one_of(st.none(), st.sampled_from(HOSTS)))
+    def test_query_matches_sorted_list_oracle(self, batches, start, span,
+                                              host):
+        store = SegmentStore(segment_events=16)
+        everything = []
+        for batch in batches:
+            store.append_many(batch)
+            everything.extend(batch)
+        end = None if start is None else float(start + span)
+        begin = None if start is None else float(start)
+        hosts = None if host is None else [host]
+        expected = _oracle(everything, start=begin, end=end,
+                           hosts=None if host is None else {host})
+        assert store.query(begin, end, hosts) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(batches=_batches())
+    def test_disk_reopen_matches_oracle(self, batches, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("segstore")
+        store = SegmentStore(directory, segment_events=12)
+        everything = []
+        for batch in batches:
+            store.append_many(batch)
+            everything.extend(batch)
+        store.close()
+        reopened = SegmentStore(directory, segment_events=12)
+        assert reopened.query() == _oracle(everything)
+        reopened.compact()
+        assert reopened.query() == _oracle(everything)
