@@ -14,7 +14,10 @@ This example runs the full PR-8 service lifecycle in one process:
 4. restart with ``resume=True`` and re-send the *entire* stream — the
    resume cursor drops the already-processed half, the delivery ledger
    suppresses re-delivery, and the drained file ends up identical to a
-   fault-free batch run.
+   fault-free batch run;
+5. on the final drain, print the per-stage latency summary from the
+   service's shared metrics registry (PR 10's ``repro.obs``) — the
+   same series the ``metrics`` transport op exposes to scrapers.
 
 Run with::
 
@@ -75,6 +78,34 @@ def build(state_dir, alert_file, flaky):
     return service
 
 
+def _percentile(bounds, series, quantile):
+    """Upper-bound percentile from snapshot bucket counts (Prometheus
+    style: the answer is the bucket bound the quantile falls under)."""
+    target = quantile * series["count"]
+    cumulative = 0
+    for bound, bucket in zip(bounds, series["buckets"]):
+        cumulative += bucket
+        if cumulative >= target:
+            return bound
+    return series["max"]  # overflow bucket: report the observed max
+
+
+def print_stage_summary(snapshot) -> None:
+    """Per-stage latency table from a metrics snapshot."""
+    family = snapshot["families"].get("saql_stage_seconds")
+    if not family:
+        return
+    print("per-stage latency (seconds):")
+    print(f"  {'stage':<20}{'count':>7}{'p50':>12}{'p99':>12}{'max':>12}")
+    for series in sorted(family["series"],
+                         key=lambda entry: entry["labels"]["stage"]):
+        p50 = _percentile(family["bounds"], series, 0.50)
+        p99 = _percentile(family["bounds"], series, 0.99)
+        print(f"  {series['labels']['stage']:<20}"
+              f"{series['count']:>7}{p50:>12.6f}{p99:>12.6f}"
+              f"{series['max']:>12.6f}")
+
+
 def main() -> None:
     events = make_stream(120)
     oracle = batch_oracle(events)
@@ -116,6 +147,8 @@ def main() -> None:
         report = service.drain(finish_stream=True, reason="eof")
         print(f"run 2: drained in {report.duration_seconds:.2f}s, "
               f"{report.delivered} deliveries\n")
+        print_stage_summary(service.metrics_snapshot())
+        print()
 
         # ---- Exactly-once parity. -----------------------------------
         delivered = read_alert_file(alert_file)

@@ -46,6 +46,7 @@ parity between the two modes.
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple,
                     Union)
 
@@ -507,9 +508,9 @@ class BatchPredicateContext:
 
     __slots__ = ("block", "_bitmaps", "_atom_rows", "_global_filters",
                  "_selected_rows", "_candidates", "_conjunctions",
-                 "rows_evaluated", "rows_saved")
+                 "rows_evaluated", "rows_saved", "timed", "eval_seconds")
 
-    def __init__(self, block: ColumnBlock):
+    def __init__(self, block: ColumnBlock, timed: bool = False):
         self.block = block
         self._bitmaps: Dict[int, bytearray] = {}
         self._atom_rows: Dict[int, List[int]] = {}
@@ -522,12 +523,19 @@ class BatchPredicateContext:
         #: Cells *not* evaluated because the atom's selection is shared:
         #: with k subscribers, k-1 of them ride the one evaluation.
         self.rows_saved = 0
+        #: When ``timed``, wall seconds spent in first-time atom
+        #: evaluations accumulate in ``eval_seconds`` (cache hits pay
+        #: nothing) — the scheduler's metrics observe the figure once per
+        #: batch as the ``predicate_eval`` stage.
+        self.timed = timed
+        self.eval_seconds = 0.0
 
     def bitmap(self, atom: PredicateAtom) -> bytearray:
         """The atom's selection bitmap, evaluated at most once per batch."""
         cached = self._bitmaps.get(id(atom))
         if cached is not None:
             return cached
+        started = perf_counter() if self.timed else 0.0
         block = self.block
         operations = atom.operations()
         check = atom.check
@@ -575,6 +583,8 @@ class BatchPredicateContext:
         if atom.refcount > 1:
             self.rows_saved += evaluated * (atom.refcount - 1)
         self._bitmaps[id(atom)] = bitmap
+        if self.timed:
+            self.eval_seconds += perf_counter() - started
         return bitmap
 
     def global_filter(self, plan: GroupColumnarPlan) -> Optional[bytearray]:

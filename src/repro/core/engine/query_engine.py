@@ -11,7 +11,9 @@ the concurrent query scheduler.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from time import perf_counter
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.core.compile.expressions import CompiledExpr, compile_scalar
 from repro.core.engine.alerts import Alert, AlertSink
@@ -43,7 +45,8 @@ class QueryEngine:
                  error_reporter: Optional[ErrorReporter] = None,
                  sequence_horizon: Optional[float] = None,
                  compiled: bool = True,
-                 incremental: Optional[bool] = None):
+                 incremental: Optional[bool] = None,
+                 close_timer: Optional[Callable[[float], None]] = None):
         if isinstance(query, str):
             query = parse_query(query)
         self._query = query
@@ -86,6 +89,11 @@ class QueryEngine:
         self._cluster: Optional[ClusterEvaluator] = None
         if query.cluster is not None and query.state is not None:
             self._cluster = ClusterEvaluator(query.cluster, query.state.name)
+
+        # Optional stage-timing hook (seconds spent closing windows);
+        # None keeps the batch tail clock-free.  Only the batch paths
+        # time closes — the per-event path stays untouched.
+        self._close_timer = close_timer
 
         self._seen_distinct: set = set()
         self.events_processed = 0
@@ -214,7 +222,13 @@ class QueryEngine:
         if last_event is None:
             return []
         try:
-            return self._close_windows(self._current_watermark(last_event))
+            watermark = self._current_watermark(last_event)
+            if self._close_timer is None:
+                return self._close_windows(watermark)
+            started = perf_counter()
+            alerts = self._close_windows(watermark)
+            self._close_timer(perf_counter() - started)
+            return alerts
         except SAQLError as error:
             if self._error_reporter is None:
                 raise
@@ -246,7 +260,12 @@ class QueryEngine:
         if self._state_maintainer is None:
             return []
         try:
-            return self._close_windows(watermark=float("inf"))
+            if self._close_timer is None:
+                return self._close_windows(watermark=float("inf"))
+            started = perf_counter()
+            alerts = self._close_windows(watermark=float("inf"))
+            self._close_timer(perf_counter() - started)
+            return alerts
         except SAQLError as error:
             if self._error_reporter is None:
                 raise

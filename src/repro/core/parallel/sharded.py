@@ -125,6 +125,7 @@ from repro.core.scheduler.concurrent import (
 )
 from repro.events.event import Event
 from repro.events.stream import iter_batches
+from repro.obs import MetricRegistry, merge_snapshots
 
 #: Default number of events per feed batch.
 DEFAULT_BATCH_SIZE = 256
@@ -227,6 +228,16 @@ def merge_stats(per_shard: Sequence[SchedulerStats],
     merged.distinct_predicates = len(merged.predicate_sharing)
     merged.peak_buffered_events_bound = merged.peak_buffered_events
     merged.peak_buffered_matches_bound = merged.peak_buffered_matches
+    # One coherent metrics view across every lane: counters summed,
+    # gauges maxed/lasted (per-shard-labeled series keep their own
+    # identity), histogram buckets added — the fixed boundaries make the
+    # merge exact (see repro.obs).  None when every lane ran disabled.
+    contributions = [stats.metrics_snapshot for stats in per_shard
+                     if stats.metrics_snapshot is not None]
+    if single_lane is not None and single_lane.metrics_snapshot is not None:
+        contributions.append(single_lane.metrics_snapshot)
+    merged.metrics_snapshot = (merge_snapshots(contributions)
+                               if contributions else None)
     return merged
 
 
@@ -266,12 +277,20 @@ def _build_scheduler(queries: Sequence[Tuple[str, Union[str, ast.Query]]],
                      enable_sharing: bool,
                      track_agent_load: bool = False,
                      columnar: bool = True,
-                     quarantine_errors: Optional[int] = None
-                     ) -> ConcurrentQueryScheduler:
+                     quarantine_errors: Optional[int] = None,
+                     metrics: bool = True,
+                     shard_id: int = 0) -> ConcurrentQueryScheduler:
+    # Each lane owns its registry (no cross-lane locking; registries are
+    # not picklable, so process workers build theirs worker-side from the
+    # ``metrics`` bool).  The shard id labels the per-shard series
+    # (watermark lag); everything else merges across lanes by name.
     scheduler = ConcurrentQueryScheduler(enable_sharing=enable_sharing,
                                          track_agent_load=track_agent_load,
                                          columnar=columnar,
-                                         quarantine_errors=quarantine_errors)
+                                         quarantine_errors=quarantine_errors,
+                                         metrics=MetricRegistry(
+                                             enabled=metrics),
+                                         shard_id=shard_id)
     for name, source in queries:
         scheduler.add_query(source, name=name)
     return scheduler
@@ -295,6 +314,10 @@ def _answer_control(scheduler: ConcurrentQueryScheduler,
       slice (thief side) and acknowledges;
     * ``("snapshot", sequence)`` returns the scheduler's full state
       snapshot (parent-coordinated checkpointing);
+    * ``("metrics", sequence)`` returns the scheduler's live metrics
+      registry snapshot (mid-run scrape piggybacked on the control
+      round — answered at a batch boundary, in feed order, like every
+      other control message);
     * ``("ping", sequence)`` echoes the sequence — a liveness probe that,
       because control messages are processed in feed order, also bounds
       how far the shard lags behind its queue (the supervisor's hang
@@ -322,6 +345,8 @@ def _answer_control(scheduler: ConcurrentQueryScheduler,
         return ("import", message[1], True)
     if kind == "snapshot":
         return ("snapshot", message[1], scheduler.export_state())
+    if kind == "metrics":
+        return ("metrics", message[1], scheduler.metrics_snapshot())
     raise ValueError(f"unknown shard control message {message!r}")
 
 
@@ -336,11 +361,12 @@ class SerialShard:
                  track_agent_load: bool = False, index: int = 0,
                  restore=None, columnar: bool = True,
                  quarantine_errors: Optional[int] = None,
-                 fault_plan=None):
+                 fault_plan=None, metrics: bool = True):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
                                            track_agent_load, columnar,
-                                           quarantine_errors)
+                                           quarantine_errors,
+                                           metrics=metrics, shard_id=index)
         self._alerts: List[Alert] = []
         if restore is not None:
             # Seed the output with the restored alert ledger so the
@@ -402,11 +428,12 @@ class ThreadShard:
                  track_agent_load: bool = False, index: int = 0,
                  restore=None, columnar: bool = True,
                  quarantine_errors: Optional[int] = None,
-                 fault_plan=None):
+                 fault_plan=None, metrics: bool = True):
         self.index = index
         self._scheduler = _build_scheduler(queries, enable_sharing,
                                            track_agent_load, columnar,
-                                           quarantine_errors)
+                                           quarantine_errors,
+                                           metrics=metrics, shard_id=index)
         self._alerts: List[Alert] = []
         if restore is not None:
             # Restored before the worker thread starts consuming.
@@ -552,7 +579,7 @@ def _process_shard_main(index: int,
                         restore=None, columnar: bool = True,
                         generation: int = 0,
                         quarantine_errors: Optional[int] = None,
-                        fault_plan=None) -> None:
+                        fault_plan=None, metrics: bool = True) -> None:
     """Worker entry point: compile the queries, drain batches, report back.
 
     The out queue carries tagged tuples: ``("ctrl", index, generation,
@@ -567,7 +594,8 @@ def _process_shard_main(index: int,
     try:
         scheduler = _build_scheduler(queries, enable_sharing,
                                      track_agent_load, columnar,
-                                     quarantine_errors)
+                                     quarantine_errors,
+                                     metrics=metrics, shard_id=index)
         alerts: List[Alert] = []
         if restore is not None:
             scheduler.restore_state(restore)
@@ -597,7 +625,8 @@ class ProcessShard:
     def __init__(self, index: int, queries, enable_sharing: bool,
                  context, out_queue, track_agent_load: bool = False,
                  restore=None, columnar: bool = True, generation: int = 0,
-                 quarantine_errors: Optional[int] = None, fault_plan=None):
+                 quarantine_errors: Optional[int] = None, fault_plan=None,
+                 metrics: bool = True):
         self.index = index
         self.generation = generation
         self._in_queue = context.Queue(maxsize=_QUEUE_DEPTH)
@@ -606,7 +635,7 @@ class ProcessShard:
             target=_process_shard_main,
             args=(index, list(queries), enable_sharing, track_agent_load,
                   self._in_queue, out_queue, restore, columnar, generation,
-                  quarantine_errors, fault_plan),
+                  quarantine_errors, fault_plan, metrics),
             daemon=True,
             name=f"saql-shard-{index}")
         self._process.start()
@@ -1338,6 +1367,12 @@ class _RetiredLane:
 
     def finish(self, timeout: Optional[float] = None
                ) -> Tuple[List[Alert], SchedulerStats]:
+        # The salvage scheduler replayed the dead lane's backlog, so its
+        # registry carries that work; snapshot directly (its finish() is
+        # never called — the migrated state flushes on the survivors).
+        if self._scheduler.metrics.enabled:
+            self._scheduler.stats.metrics_snapshot = (
+                self._scheduler.metrics.snapshot())
         return self._alerts, self._scheduler.stats
 
     def close(self) -> None:
@@ -1847,7 +1882,7 @@ class ShardedScheduler:
                  columnar: bool = True,
                  supervision: Union[bool, SupervisionPolicy, None] = None,
                  quarantine_errors: Optional[int] = None,
-                 fault_plan=None):
+                 fault_plan=None, metrics: bool = True):
         if shards < 1:
             raise ValueError("shard count must be at least 1")
         if backend not in _BACKENDS:
@@ -1934,6 +1969,10 @@ class ShardedScheduler:
             raise ValueError("supervision must be True/False/None or a "
                              "SupervisionPolicy")
         self._supervision: Optional[SupervisionPolicy] = supervision
+        #: Whether every lane runs with a live metrics registry; the
+        #: merged snapshot lands on ``stats.metrics_snapshot`` (and
+        #: :meth:`metrics_snapshot`) after a run.
+        self._metrics_enabled = metrics
         #: Per-query fatal-error budget forwarded to every lane's
         #: scheduler (query quarantine circuit-breaker); None disables it.
         self._quarantine_errors = quarantine_errors
@@ -2252,6 +2291,16 @@ class ShardedScheduler:
         """Return the merged aggregate statistics of the last run."""
         return self._merged_stats
 
+    def metrics_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The merged cross-lane metrics snapshot of the last run.
+
+        Counters summed, gauges maxed/lasted, histogram buckets added
+        across every shard lane and the full-stream lane (see
+        ``repro.obs``); ``None`` before the first run or when the
+        scheduler was built with ``metrics=False``.
+        """
+        return self._merged_stats.metrics_snapshot
+
     # -- execution ---------------------------------------------------------
 
     def execute(self, stream: Iterable[Event],
@@ -2372,7 +2421,8 @@ class ShardedScheduler:
         def build_spare(position: int) -> ConcurrentQueryScheduler:
             return _build_scheduler(
                 self._queries_for_shard(position), self._enable_sharing,
-                track_load, self._columnar, self._quarantine_errors)
+                track_load, self._columnar, self._quarantine_errors,
+                metrics=self._metrics_enabled, shard_id=position)
 
         return _ShardSupervisor(
             self._supervision, self.backend, lanes, active, rebuild,
@@ -2383,10 +2433,14 @@ class ShardedScheduler:
     def _single_lane_scheduler(self) -> Optional[ConcurrentQueryScheduler]:
         if not self._single_lane_queries:
             return None
+        # The full-stream lane labels its watermark series after the last
+        # shard position so it never collides with a sharded lane's.
         return _build_scheduler(self._single_lane_queries,
                                 self._enable_sharing,
                                 columnar=self._columnar,
-                                quarantine_errors=self._quarantine_errors)
+                                quarantine_errors=self._quarantine_errors,
+                                metrics=self._metrics_enabled,
+                                shard_id=self.shards)
 
     def _finalize(self, shard_results: Sequence[Tuple[List[Alert],
                                                       SchedulerStats]],
@@ -2450,7 +2504,8 @@ class ShardedScheduler:
                                          if restored is not None else None),
                                 columnar=self._columnar,
                                 quarantine_errors=self._quarantine_errors,
-                                fault_plan=self._fault_plan)
+                                fault_plan=self._fault_plan,
+                                metrics=self._metrics_enabled)
                       for position, queries in enumerate(per_shard)]
             active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
@@ -2472,7 +2527,8 @@ class ShardedScheduler:
                              track_load, position, restore=restore,
                              columnar=self._columnar,
                              quarantine_errors=self._quarantine_errors,
-                             fault_plan=rearm)
+                             fault_plan=rearm,
+                             metrics=self._metrics_enabled)
 
         supervisor = self._make_supervisor(shards, active, rebuild,
                                            restored, overrides, route_cache,
@@ -2635,7 +2691,8 @@ class ShardedScheduler:
                                          if restored is not None else None),
                                 columnar=self._columnar,
                                 quarantine_errors=self._quarantine_errors,
-                                fault_plan=self._fault_plan)
+                                fault_plan=self._fault_plan,
+                                metrics=self._metrics_enabled)
                    for position, queries in enumerate(per_shard)]
         active = [bool(queries) for queries in per_shard]
         single_lane = self._single_lane_scheduler()
@@ -2662,7 +2719,8 @@ class ShardedScheduler:
                                 restore=restore, columnar=self._columnar,
                                 generation=generation,
                                 quarantine_errors=self._quarantine_errors,
-                                fault_plan=rearm)
+                                fault_plan=rearm,
+                                metrics=self._metrics_enabled)
 
         supervisor = self._make_supervisor(workers, active, rebuild,
                                            restored, overrides, route_cache,

@@ -16,8 +16,10 @@ evaluations were saved by reuse.
 
 from __future__ import annotations
 
+import time
 from collections import Counter, deque
 from dataclasses import asdict, dataclass, field
+from time import perf_counter
 from typing import (Any, Deque, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Set, Tuple, Union)
 
@@ -39,6 +41,7 @@ from repro.core.scheduler.compatibility import (
 )
 from repro.events.event import Event
 from repro.events.stream import iter_batches
+from repro.obs import MetricRegistry, StageTimers
 
 #: Default retention (seconds) of the per-group shared event buffer when the
 #: group's queries declare no window.
@@ -50,6 +53,14 @@ DEFAULT_BUFFER_SECONDS = 600.0
 #: closures they replace (the batch_size=1 degenerate case would pay a
 #: block build per event), so tiny batches fall back to the closure path.
 DEFAULT_COLUMNAR_MIN_BATCH = 16
+
+#: Per-group batch times at or above this (seconds) enter the ring-buffered
+#: slow-query log (``slow_queries()``; the service surfaces it in
+#: ``stats()``).  Pass ``slow_query_threshold=None`` to disable the log.
+DEFAULT_SLOW_QUERY_THRESHOLD = 0.25
+
+#: Entries the slow-query ring buffer retains (oldest evicted first).
+SLOW_QUERY_LOG_DEPTH = 64
 
 
 @dataclass
@@ -115,6 +126,16 @@ class SchedulerStats:
     #: unless the scheduler was built with ``quarantine_errors``; merged
     #: across shards by union (max count on collision).
     quarantined: Dict[str, int] = field(default_factory=dict)
+    #: Registry snapshot (``repro.obs``) piggybacked on the existing stats
+    #: rounds: set by :meth:`ConcurrentQueryScheduler.finish` (shard
+    #: lanes' ``finish()``/"done" messages already ship their stats, so
+    #: the metrics ride along) and merged across lanes by
+    #: :func:`repro.core.parallel.sharded.merge_stats`.  ``None`` when
+    #: metrics are disabled; deliberately stripped from durable
+    #: checkpoints (timing histograms are nondeterministic and would
+    #: break snapshot round-trip determinism).
+    metrics_snapshot: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def quarantined_queries(self) -> int:
@@ -900,7 +921,11 @@ class ConcurrentQueryScheduler:
                  checkpoint_watermark_interval: Optional[float] = None,
                  columnar: bool = True,
                  columnar_min_batch: int = DEFAULT_COLUMNAR_MIN_BATCH,
-                 quarantine_errors: Optional[int] = None):
+                 quarantine_errors: Optional[int] = None,
+                 metrics: Optional[MetricRegistry] = None,
+                 shard_id: int = 0,
+                 slow_query_threshold: Optional[float] =
+                 DEFAULT_SLOW_QUERY_THRESHOLD):
         self._sink = sink
         self._error_reporter = error_reporter or ErrorReporter()
         self._enable_sharing = enable_sharing
@@ -981,6 +1006,45 @@ class ConcurrentQueryScheduler:
         #: Quarantined queries: name -> {"errors", "last_error",
         #: "timestamp"} detail for operators (stats carry the counts).
         self.quarantined: Dict[str, Dict[str, Any]] = {}
+        # Unified observability (repro.obs): one registry per scheduler.
+        # Sharded lanes receive their own registries (watermark lag keeps
+        # a per-shard series via the shard label) and the parent merges
+        # the snapshots; a disabled registry turns every hook into a
+        # no-op and the batch path skips its clock reads entirely.
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._stage_timers = StageTimers(self.metrics)
+        registry = self.metrics
+        self._metric_events = registry.counter(
+            "saql_events_total", "Events ingested by the scheduler.")
+        self._metric_batches = registry.counter(
+            "saql_batches_total", "Ingest batches processed.")
+        self._metric_batch_seconds = registry.histogram(
+            "saql_batch_seconds",
+            "Whole-batch processing latency (excludes checkpoint writes, "
+            "which time under saql_stage_seconds{stage=checkpoint_write}).")
+        self._metric_watermark_lag = registry.gauge(
+            "saql_watermark_lag_seconds",
+            "Processing-time minus event-time at the last batch tail "
+            "(meaningful when event timestamps are wall-clock epochs).",
+            shard=str(shard_id))
+        self._metric_alert_e2e = registry.histogram(
+            "saql_alert_e2e_seconds",
+            "Event timestamp to alert-milestone latency; point=emit is "
+            "recorded here, point=sink_ack by the service's dispatcher.",
+            point="emit")
+        # Per-query children resolved once and cached (label lookups stay
+        # off the batch path).
+        self._metric_alert_counters: Dict[str, Any] = {}
+        self._metric_alert_spans: Dict[str, Any] = {}
+        self._group_timers: Dict[str, Any] = {}
+        self._close_timer = (self._observe_window_close
+                             if self.metrics.enabled else None)
+        if slow_query_threshold is not None and slow_query_threshold <= 0:
+            raise ValueError("slow-query threshold must be positive "
+                             "(or None to disable the log)")
+        self._slow_query_threshold = slow_query_threshold
+        self._slow_queries: Deque[Dict[str, Any]] = deque(
+            maxlen=SLOW_QUERY_LOG_DEPTH)
 
     # -- registration ------------------------------------------------------------
 
@@ -990,7 +1054,8 @@ class ConcurrentQueryScheduler:
         if isinstance(query, str):
             query = parse_query(query)
         engine = QueryEngine(query, name=name, sink=self._sink,
-                             error_reporter=self._error_reporter)
+                             error_reporter=self._error_reporter,
+                             close_timer=self._close_timer)
         self._engines.append(engine)
 
         # Re-registering a quarantined query re-arms its circuit-breaker
@@ -1181,6 +1246,8 @@ class ConcurrentQueryScheduler:
             events = list(events)
         stats = self.stats
         stats.events_ingested += len(events)
+        metrics_on = self.metrics.enabled
+        batch_started = perf_counter() if metrics_on else 0.0
         if self._track_agent_load and events:
             self._agent_loads.update(event.agentid for event in events)
             # Batches are timestamp-ordered, so the tail carries the max.
@@ -1192,9 +1259,10 @@ class ConcurrentQueryScheduler:
             # Columnar fast path: pivot the batch once, evaluate each
             # distinct predicate once, then run the per-match engine path
             # only for surviving rows.
+            pivot_started = perf_counter() if metrics_on else 0.0
             block = ColumnBlock(events)
             stats.column_blocks_built += 1
-            context = BatchPredicateContext(block)
+            context = BatchPredicateContext(block, timed=metrics_on)
             # Every group plan must exist before any bitmap is evaluated:
             # plan construction is what subscribes each group's operations
             # to the shared atoms, and an atom's selection vector is only
@@ -1202,37 +1270,149 @@ class ConcurrentQueryScheduler:
             # build with evaluation would freeze an atom's operation set at
             # whatever the first subscriber declared.
             self._ensure_columnar_plans()
+            if metrics_on:
+                # Pivot covers block + context construction and any lazy
+                # plan (re)builds; steady state is block construction.
+                dispatch_started = perf_counter()
+                self._stage_timers.observe("columnar_pivot",
+                                           dispatch_started - pivot_started)
             guard = self._quarantine
             if guard is not None:
                 for group in list(self._groups.values()):
+                    group_started = perf_counter() if metrics_on else 0.0
                     alerts.extend(group.process_events_columnar_guarded(
                         block, context, stats, guard))
+                    if metrics_on:
+                        self._observe_group(
+                            group, perf_counter() - group_started,
+                            len(events))
             else:
                 for group in self._groups.values():
+                    group_started = perf_counter() if metrics_on else 0.0
                     alerts.extend(group.process_events_columnar(
                         block, context, stats))
+                    if metrics_on:
+                        self._observe_group(
+                            group, perf_counter() - group_started,
+                            len(events))
             stats.predicate_evaluations += context.rows_evaluated
             stats.predicate_evaluations_saved += context.rows_saved
             self._predicate_stats_dirty = True
+            if metrics_on:
+                # predicate_eval and window_close are nested inside the
+                # pattern_match dispatch span (see docs/observability.md).
+                self._stage_timers.observe("predicate_eval",
+                                           context.eval_seconds)
+                self._stage_timers.observe(
+                    "pattern_match", perf_counter() - dispatch_started)
         else:
+            dispatch_started = perf_counter() if metrics_on else 0.0
             guard = self._quarantine
             if guard is not None:
                 for group in list(self._groups.values()):
+                    group_started = perf_counter() if metrics_on else 0.0
                     alerts.extend(group.process_events_guarded(
                         events, stats, guard))
+                    if metrics_on:
+                        self._observe_group(
+                            group, perf_counter() - group_started,
+                            len(events))
             else:
                 for group in self._groups.values():
+                    group_started = perf_counter() if metrics_on else 0.0
                     alerts.extend(group.process_events(events, stats))
+                    if metrics_on:
+                        self._observe_group(
+                            group, perf_counter() - group_started,
+                            len(events))
+            if metrics_on:
+                self._stage_timers.observe(
+                    "pattern_match", perf_counter() - dispatch_started)
         self._apply_quarantine()
         if stats.buffered_events > stats.peak_buffered_events:
             stats.peak_buffered_events = stats.buffered_events
         stats.alerts += len(alerts)
         self._refresh_match_stats()
+        if metrics_on:
+            self._note_alerts(alerts)
+            self._metric_events.inc(len(events))
+            self._metric_batches.inc()
+            self._metric_batch_seconds.observe(perf_counter() - batch_started)
+            if events:
+                self._metric_watermark_lag.set(
+                    time.time() - events[-1].timestamp)
         if self._checkpoint_store is not None:
             for event in events:
                 self._advance_cursor(event)
             self._maybe_checkpoint()
         return alerts
+
+    def _observe_window_close(self, seconds: float) -> None:
+        """Engine hook: window-close time inside the batch dispatch."""
+        self._stage_timers.observe("window_close", seconds)
+
+    def _observe_group(self, group: QueryGroup, seconds: float,
+                       batch_events: int) -> None:
+        """Per-group batch timing: per-query histogram + slow-query log.
+
+        The compatibility group is the dispatch unit, so its time is
+        attributed to the *master* query's name (dependents ride the
+        master's matching; a promoted dependent inherits the series).
+        """
+        name = group.master.name
+        histogram = self._group_timers.get(name)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                "saql_query_batch_seconds",
+                "Per-query (group master) batch execution latency.",
+                query=name)
+            self._group_timers[name] = histogram
+        histogram.observe(seconds)
+        threshold = self._slow_query_threshold
+        if threshold is not None and seconds >= threshold:
+            self._slow_queries.append({
+                "query": name,
+                "seconds": seconds,
+                "events": batch_events,
+                "p99_seconds": histogram.percentile(0.99),
+            })
+
+    def _note_alerts(self, alerts: List[Alert]) -> None:
+        """Per-alert metrics: counters, window span, emit-point latency."""
+        if not alerts:
+            return
+        now = time.time()
+        for alert in alerts:
+            name = alert.query_name
+            counter = self._metric_alert_counters.get(name)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "saql_alerts_total", "Alerts emitted.", query=name)
+                self._metric_alert_counters[name] = counter
+            counter.inc()
+            span = self._metric_alert_spans.get(name)
+            if span is None:
+                span = self.metrics.histogram(
+                    "saql_alert_window_span_seconds",
+                    "Alert timestamp minus window start, in event time "
+                    "(deterministic: identical across backends).",
+                    query=name)
+                self._metric_alert_spans[name] = span
+            start = alert.window_start
+            span.observe(alert.timestamp - start
+                         if start is not None else 0.0)
+            # Event-time to emission in wall clock; meaningful when event
+            # timestamps are wall-clock epochs (the always-on service),
+            # clamped at zero for synthetic/replayed streams.
+            self._metric_alert_e2e.observe(max(0.0, now - alert.timestamp))
+
+    def slow_queries(self) -> List[Dict[str, Any]]:
+        """The ring-buffered slow-query log, oldest first (bounded)."""
+        return list(self._slow_queries)
+
+    def metrics_snapshot(self) -> Optional[Dict[str, Any]]:
+        """Snapshot the live registry (``None`` with metrics disabled)."""
+        return self.metrics.snapshot() if self.metrics.enabled else None
 
     def _refresh_match_stats(self) -> None:
         """Sample the engines' state-match retention into the stats.
@@ -1329,6 +1509,11 @@ class ConcurrentQueryScheduler:
         self._apply_quarantine()
         self.stats.alerts += len(alerts)
         self._refresh_match_stats()
+        if self.metrics.enabled:
+            self._note_alerts(alerts)
+            # End of stream is the stats round every backend already
+            # ships to the sharded parent; the registry snapshot rides it.
+            self.stats.metrics_snapshot = self.metrics.snapshot()
         return alerts
 
     def _apply_quarantine(self) -> None:
@@ -1386,8 +1571,9 @@ class ConcurrentQueryScheduler:
         """Write one checkpoint through the configured store; returns it."""
         if self._checkpoint_store is None:
             raise RuntimeError("no checkpoint store configured")
-        snapshot = self.export_state()
-        self._checkpoint_store.save(snapshot)
+        with self._stage_timers.time("checkpoint_write"):
+            snapshot = self.export_state()
+            self._checkpoint_store.save(snapshot)
         self._events_since_checkpoint = 0
         self._watermark_at_checkpoint = self._cursor_watermark
         return snapshot
@@ -1419,13 +1605,18 @@ class ConcurrentQueryScheduler:
         The result round-trips through strict JSON.
         """
         from repro.core.snapshot.codecs import SNAPSHOT_VERSION, encode_float
+        stats = asdict(self.stats)
+        # Live metrics piggyback on stats *rounds*, never on durable
+        # checkpoints: timing histograms are nondeterministic across runs
+        # and would break snapshot round-trip/diff determinism.
+        stats.pop("metrics_snapshot", None)
         return {
             "version": SNAPSHOT_VERSION,
             "kind": "scheduler",
             "queries": [engine.name for engine in self._engines],
             "engines": {engine.name: engine.export_state()
                         for engine in self._engines},
-            "stats": asdict(self.stats),
+            "stats": stats,
             "load": {
                 "agent_loads": dict(self._agent_loads),
                 "watermark": encode_float(self._load_watermark),
@@ -1462,6 +1653,7 @@ class ConcurrentQueryScheduler:
                 f"snapshot was taken with queries {snapshot['queries']!r} "
                 f"but this scheduler registered {names!r}; register the "
                 "same queries in the same order before restoring")
+        restore_started = perf_counter()
         for engine in self._engines:
             engine.restore_state(snapshot["engines"][engine.name])
         self.stats = SchedulerStats(**snapshot["stats"])
@@ -1494,6 +1686,8 @@ class ConcurrentQueryScheduler:
             frontier_ids=frozenset(self._cursor_frontier),
             events_ingested=int(cursor["events_ingested"]),
         )
+        self._stage_timers.observe("checkpoint_restore",
+                                   perf_counter() - restore_started)
 
     # -- per-host state transfer (work-stealing support) ---------------------
 

@@ -1,0 +1,34 @@
+"""`repro.obs` — unified metrics, stage timing, and exposition.
+
+One registry design serves every layer: shard schedulers, the parallel
+backends, the always-on service, sinks, and the segment store all record
+into :class:`MetricRegistry` instances whose snapshots merge
+deterministically (counters summed, gauges maxed/lasted, histogram
+buckets added — boundaries are fixed, so merges are exact).  Exposition
+is Prometheus text or JSON via :mod:`repro.obs.exposition`.
+
+See ``docs/observability.md`` for the catalog of exported metrics.
+"""
+
+from .exposition import (PROMETHEUS_CONTENT_TYPE, parse_json,
+                         parse_prometheus, render_json, render_prometheus)
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      MetricRegistry, merge_snapshots)
+from .spans import STAGE_HISTOGRAM, Span, StageTimers
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "merge_snapshots",
+    "STAGE_HISTOGRAM",
+    "Span",
+    "StageTimers",
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "render_json",
+    "parse_json",
+]

@@ -1,0 +1,183 @@
+"""Exposition: render registry snapshots as Prometheus text or JSON.
+
+The text renderer follows the Prometheus exposition format (text
+version 0.0.4): ``# HELP``/``# TYPE`` headers, one sample per line,
+histogram families expanded into cumulative ``_bucket{le=...}`` samples
+plus ``_sum``/``_count``, and label values escaped per the spec
+(backslash, double quote, newline).  A matching minimal parser lives
+here too so tests and the CI smoke scrape can assert on structure
+instead of string-matching raw text.
+
+The JSON form is simply the snapshot dict — already JSON-safe — wrapped
+by :func:`render_json`/:func:`parse_json` for symmetric round-trips.
+"""
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "render_json",
+    "parse_json",
+    "PROMETHEUS_CONTENT_TYPE",
+]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(,|$)')
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            follow = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(follow,
+                                                            "\\" + follow))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+def _label_block(labels: Mapping[str, str],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(key, str(value)) for key, value in sorted(labels.items())]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"'
+                    for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines: List[str] = []
+    families = snapshot.get("families", {})
+    for name in sorted(families):
+        family = families[name]
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        kind = family["type"]
+        help_text = family.get("help") or name
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family["series"]:
+            labels = entry["labels"]
+            if kind == "histogram":
+                bounds = list(family["bounds"] or []) + [float("inf")]
+                cumulative = 0
+                for bound, count in zip(bounds, entry["buckets"]):
+                    cumulative += count
+                    block = _label_block(labels,
+                                         (("le", _format_le(bound)),))
+                    lines.append(f"{name}_bucket{block} {cumulative}")
+                block = _label_block(labels)
+                lines.append(f"{name}_sum{block} "
+                             f"{_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{block} {entry['count']}")
+            else:
+                block = _label_block(labels)
+                lines.append(f"{name}{block} "
+                             f"{_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(body):
+        match = _LABEL_RE.match(body, index)
+        if match is None:
+            raise ValueError(f"malformed label block at {body[index:]!r}")
+        labels[match.group("key")] = _unescape_label(match.group("value"))
+        index = match.end()
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Parse exposition text into ``{"types": ..., "samples": ...}``.
+
+    ``samples`` maps each sample name (including the expanded
+    ``_bucket``/``_sum``/``_count`` names) to a list of
+    ``(labels, value)`` pairs.  Raises ``ValueError`` on malformed
+    names, label blocks, or values — the test suite and the CI scrape
+    use this as the format conformance check.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}")
+            types[name] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line {line!r}")
+        labels = (_parse_labels(match.group("labels"))
+                  if match.group("labels") is not None else {})
+        samples.setdefault(match.group("name"), []).append(
+            (labels, _parse_value(match.group("value"))))
+    return {"types": types, "samples": samples}
+
+
+def render_json(snapshot: Mapping[str, Any], indent: int = None) -> str:
+    """Serialize a snapshot as JSON (``Infinity``-free: bounds are
+    finite; the +Inf bucket is positional, never a JSON value)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True,
+                      allow_nan=False)
+
+
+def parse_json(text: str) -> Dict[str, Any]:
+    return json.loads(text)

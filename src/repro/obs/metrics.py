@@ -1,0 +1,332 @@
+"""Dependency-free metrics core: counters, gauges, histograms, registry.
+
+The pipeline spans several execution domains (shard threads, worker
+processes, the service pump, sink-dispatcher threads), so the primitives
+here are built around one constraint: **snapshots must merge
+deterministically**.  Counters merge by summation, gauges by an explicit
+``max``/``last`` mode, and histograms use *fixed* log-scale bucket
+boundaries shared by every instance — merging is plain bucket-wise
+addition, so the merged view across N shards is bucket-for-bucket
+identical to a single instance that observed the same values.
+
+Everything is JSON-safe: :meth:`MetricRegistry.snapshot` produces plain
+dicts/lists/numbers that cross process boundaries (the sharded runtime
+piggybacks them on its existing stats rounds) and serialize straight
+into the service's wire protocol.
+
+A disabled registry hands out no-op metric singletons and reports
+``enabled=False`` so hot paths can skip ``perf_counter`` calls entirely;
+the per-batch cost of disabled metrics is one attribute check.
+"""
+
+from bisect import bisect_left
+from threading import Lock
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "merge_snapshots",
+]
+
+#: Fixed log-scale (power-of-two) latency bucket upper bounds, in seconds:
+#: ~1 microsecond (2**-20) through ~68 minutes (2**12), plus the implicit
+#: +Inf bucket.  Fixed boundaries are what make cross-shard histogram
+#: merges exact — every instance bins identically, so merged buckets are
+#: sums, never re-interpolations.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(2.0 ** e for e in range(-20, 13))
+
+
+def _canonical_labels(labels: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic counter; merges by summation."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Point-in-time value with an explicit cross-shard merge mode.
+
+    ``merge="max"`` keeps the largest value across lanes (peaks);
+    ``merge="last"`` keeps the most recently merged value — lanes that
+    need their own series should label it (e.g. ``shard=``) instead of
+    relying on ``last``.
+    """
+
+    __slots__ = ("value", "merge", "_lock")
+
+    def __init__(self, merge: str = "last") -> None:
+        if merge not in ("last", "max"):
+            raise ValueError(f"unknown gauge merge mode {merge!r}")
+        self.value = 0.0
+        self.merge = merge
+        self._lock = Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram (Prometheus ``le`` semantics).
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; the final slot
+    counts the +Inf overflow.  ``sum``/``count``/``min``/``max`` ride
+    along for exact averages and range reporting.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be sorted and distinct")
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.buckets[index] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile (0 < q <= 1).
+
+        Returns the bucket boundary at or above the quantile rank — an
+        upper bound, which is the conservative direction for latency
+        reporting.  The overflow bucket reports the observed maximum.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.buckets):
+            cumulative += bucket
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max if self.max is not None else float("inf")
+        return self.max if self.max is not None else float("inf")
+
+
+class _NoopMetric:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    bounds: Tuple[float, ...] = ()
+    buckets: List[int] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+
+_NOOP = _NoopMetric()
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric family: shared type/help plus labeled children."""
+
+    __slots__ = ("name", "kind", "help", "merge", "bounds", "series")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 merge: str = "last",
+                 bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.merge = merge
+        self.bounds = bounds
+        self.series: Dict[Tuple[Tuple[str, str], ...], Any] = {}
+
+    def child(self, labels: Mapping[str, Any]):
+        key = _canonical_labels(labels)
+        metric = self.series.get(key)
+        if metric is None:
+            if self.kind == "counter":
+                metric = Counter()
+            elif self.kind == "gauge":
+                metric = Gauge(self.merge)
+            else:
+                metric = Histogram(self.bounds)
+            self.series[key] = metric
+        return metric
+
+
+class MetricRegistry:
+    """Labeled registry of counters/gauges/histograms.
+
+    Accessors are get-or-create and cached by ``(name, labels)``; callers
+    on hot paths should hold on to the returned child rather than
+    re-resolving per event.  When ``enabled`` is false every accessor
+    returns the shared no-op metric, and callers can consult
+    ``registry.enabled`` to skip clock reads altogether.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, _Family] = {}
+        self._lock = Lock()
+
+    # -- accessors -------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str,
+                merge: str = "last",
+                bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, merge, bounds)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}")
+            return family
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        return self._family(name, "counter", help_text).child(labels)
+
+    def gauge(self, name: str, help_text: str = "", merge: str = "last",
+              **labels) -> Gauge:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        return self._family(name, "gauge", help_text, merge).child(labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  bounds: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        return self._family(name, "histogram", help_text,
+                            bounds=tuple(float(b) for b in bounds)
+                            ).child(labels)
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe point-in-time copy of every family and series."""
+        families: Dict[str, Any] = {}
+        with self._lock:
+            items = list(self._families.items())
+        for name, family in items:
+            series = []
+            for key, metric in list(family.series.items()):
+                entry: Dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    with metric._lock:
+                        entry.update(buckets=list(metric.buckets),
+                                     count=metric.count, sum=metric.sum,
+                                     min=metric.min, max=metric.max)
+                else:
+                    entry["value"] = metric.value
+                series.append(entry)
+            families[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "merge": family.merge,
+                "bounds": list(family.bounds)
+                if family.kind == "histogram" else None,
+                "series": series,
+            }
+        return {"families": families}
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a shard worker) into this registry.
+
+        Counters add, gauges apply their merge mode, histograms add
+        bucket-for-bucket.  Unknown families/series are created, so a
+        fresh registry merged with N lane snapshots equals the lane-wise
+        aggregate.
+        """
+        for name, family in snapshot.get("families", {}).items():
+            kind = family["type"]
+            merge = family.get("merge", "last")
+            bounds = tuple(family["bounds"]) if family.get("bounds") \
+                else DEFAULT_BUCKETS
+            target = self._family(name, kind, family.get("help", ""),
+                                  merge, bounds)
+            for entry in family["series"]:
+                metric = target.child(entry["labels"])
+                if kind == "counter":
+                    metric.inc(entry["value"])
+                elif kind == "gauge":
+                    with metric._lock:
+                        if merge == "max":
+                            metric.value = max(metric.value, entry["value"])
+                        else:
+                            metric.value = float(entry["value"])
+                else:
+                    if tuple(bounds) != metric.bounds:
+                        raise ValueError(
+                            f"histogram {name!r} bucket boundaries differ; "
+                            "snapshots are not mergeable")
+                    with metric._lock:
+                        for index, count in enumerate(entry["buckets"]):
+                            metric.buckets[index] += count
+                        metric.count += entry["count"]
+                        metric.sum += entry["sum"]
+                        for bound, pick in ((entry.get("min"), min),
+                                            (entry.get("max"), max)):
+                            if bound is None:
+                                continue
+                            current = (metric.min if pick is min
+                                       else metric.max)
+                            merged = (bound if current is None
+                                      else pick(current, bound))
+                            if pick is min:
+                                metric.min = merged
+                            else:
+                                metric.max = merged
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]
+                    ) -> Dict[str, Any]:
+    """Merge snapshot dicts into one (counters summed, gauges by mode,
+    histogram buckets added) without needing a live registry."""
+    registry = MetricRegistry(enabled=True)
+    for snapshot in snapshots:
+        if snapshot:
+            registry.merge_snapshot(snapshot)
+    return registry.snapshot()

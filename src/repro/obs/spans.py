@@ -1,0 +1,91 @@
+"""Lightweight span/stage-timing API over the metrics registry.
+
+Stages across the pipeline (columnar pivot, predicate evaluation,
+pattern match, window close, checkpoint write/restore, segment-store
+seal/compact/scan, service pump) all record into one histogram family,
+``saql_stage_seconds{stage=...}``, so a single scrape answers "where
+does the time go" layer by layer.
+
+Two usage shapes:
+
+* ``timers.time("window_close")`` — a context manager for code where a
+  ``with`` block reads naturally;
+* ``timers.observe("pattern_match", seconds)`` — direct observation for
+  hot paths that already hold ``perf_counter`` stamps (pairs with
+  ``registry.enabled`` checks so disabled metrics skip the clock
+  entirely).
+
+Timers cache the per-stage histogram children, so steady-state cost is
+one dict hit plus the histogram observe.
+"""
+
+from time import perf_counter
+from typing import Dict
+
+from .metrics import Histogram, MetricRegistry
+
+__all__ = ["STAGE_HISTOGRAM", "StageTimers", "Span"]
+
+#: The shared per-stage latency family name.
+STAGE_HISTOGRAM = "saql_stage_seconds"
+
+
+class Span:
+    """One timed region; observes its duration on exit."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(perf_counter() - self._started)
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class StageTimers:
+    """Per-stage timing facade bound to one registry."""
+
+    __slots__ = ("enabled", "_registry", "_stages")
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self.enabled = registry.enabled
+        self._registry = registry
+        self._stages: Dict[str, Histogram] = {}
+
+    def _histogram(self, stage: str) -> Histogram:
+        histogram = self._stages.get(stage)
+        if histogram is None:
+            histogram = self._registry.histogram(
+                STAGE_HISTOGRAM,
+                "Per-stage pipeline latency in seconds.", stage=stage)
+            self._stages[stage] = histogram
+        return histogram
+
+    def time(self, stage: str):
+        """Context manager timing one stage occurrence."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self._histogram(stage))
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record an externally measured stage duration."""
+        if self.enabled:
+            self._histogram(stage).observe(seconds)

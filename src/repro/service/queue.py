@@ -30,6 +30,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
+from repro.obs import MetricRegistry
+
 #: Admission policies a queue can be built with.
 QUEUE_POLICIES = ("block", "shed")
 
@@ -43,7 +45,8 @@ class IngestionQueue:
 
     def __init__(self, capacity: int = 4096, policy: str = "block",
                  block_timeout: Optional[float] = None,
-                 slow_consumer_after: float = 1.0):
+                 slow_consumer_after: float = 1.0,
+                 metrics: Optional[MetricRegistry] = None):
         if capacity < 1:
             raise ValueError("queue capacity must be at least 1")
         if policy not in QUEUE_POLICIES:
@@ -77,6 +80,12 @@ class IngestionQueue:
         self._full_since: Optional[float] = None
         self._stalls = 0
         self._longest_stall = 0.0
+        # Only blocked admissions are observed, so the histogram reads as
+        # "when backpressure bites, how long do producers wait".
+        self._wait_histogram = (metrics.histogram(
+            "saql_queue_admission_wait_seconds",
+            "Seconds producers spent blocked on a full ingestion queue.")
+            if metrics is not None and metrics.enabled else None)
 
     # -- producer side -------------------------------------------------------
 
@@ -130,7 +139,10 @@ class IngestionQueue:
                 raise QueueClosed("ingestion queue closed while blocked")
             return True
         finally:
-            self._blocked_seconds += time.monotonic() - started
+            waited = time.monotonic() - started
+            self._blocked_seconds += waited
+            if self._wait_histogram is not None:
+                self._wait_histogram.observe(waited)
 
     # -- consumer side -------------------------------------------------------
 

@@ -37,6 +37,7 @@ import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core import SAQLError
@@ -45,11 +46,13 @@ from repro.core.retry import RetryPolicy
 from repro.core.scheduler.concurrent import ConcurrentQueryScheduler
 from repro.events.event import Event
 from repro.events.serialization import event_from_dict
+from repro.obs import MetricRegistry, StageTimers
 from repro.service.queue import IngestionQueue, QueueClosed
 from repro.service.sinks import DeliveryLedger, SinkDispatcher
 from repro.service.tenants import (TenantQuota, TenantRegistry, scoped_name,
                                    split_scoped)
 from repro.storage.checkpoints import CheckpointStore
+from repro.storage.segments import SegmentStore
 
 #: Service lifecycle states (monotonic).
 SERVICE_STATES = ("created", "serving", "draining", "stopped")
@@ -97,6 +100,13 @@ class ServiceConfig:
     default_quota: TenantQuota = field(default_factory=TenantQuota)
     #: Seconds drain waits for the pump and then the sink flush.
     drain_timeout: float = 30.0
+    #: Metrics collection (PR 10): one shared registry spans scheduler,
+    #: queue, sinks and the pump; off hands out no-op metrics.
+    metrics: bool = True
+    #: Journal ingested events into a :class:`SegmentStore` (under
+    #: ``state_dir/events``, or in memory without a state directory),
+    #: surfacing the store's :class:`StoreStats` in ``stats()``.
+    journal_events: bool = False
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -147,21 +157,35 @@ class SAQLService:
             dead_letter_path = self.state_dir / "dead-letters.jsonl"
         self._registry = TenantRegistry(
             default_quota=self.config.default_quota)
+        # One registry spans every service component, so the `metrics`
+        # transport op exposes scheduler stages, queue waits, sink
+        # delivery and pump batches as one coherent snapshot.
+        self.metrics = MetricRegistry(enabled=self.config.metrics)
+        self._stage_timers = StageTimers(self.metrics)
+        self._event_store: Optional[SegmentStore] = None
+        if self.config.journal_events:
+            store_dir = (self.state_dir / "events"
+                         if self.state_dir is not None else None)
+            self._event_store = SegmentStore(store_dir,
+                                             metrics=self.metrics)
         self._dispatcher = SinkDispatcher(
             sinks, ledger=DeliveryLedger(ledger_path),
-            retry=self.config.retry, dead_letter_path=dead_letter_path)
+            retry=self.config.retry, dead_letter_path=dead_letter_path,
+            metrics=self.metrics)
         self._queue = IngestionQueue(
             capacity=self.config.queue_capacity,
             policy=self.config.queue_policy,
             block_timeout=self.config.block_timeout,
-            slow_consumer_after=self.config.slow_consumer_after)
+            slow_consumer_after=self.config.slow_consumer_after,
+            metrics=self.metrics)
         self._scheduler = ConcurrentQueryScheduler(
             sink=CallbackSink(self._dispatcher.submit),
             checkpoint_store=self._store,
             checkpoint_interval=(self.config.checkpoint_interval
                                  if self._store is not None else None),
             columnar=self.config.columnar,
-            quarantine_errors=self.config.quarantine_errors)
+            quarantine_errors=self.config.quarantine_errors,
+            metrics=self.metrics)
         #: Guards every scheduler access (the pump holds it per batch, so
         #: control-plane changes land exactly at batch boundaries).
         self._scheduler_lock = threading.RLock()
@@ -326,16 +350,23 @@ class SAQLService:
     def _pump(self) -> None:
         batch_size = self.config.batch_size
         delay = self.config.max_batch_delay
+        metrics_on = self.metrics.enabled
         while True:
             batch = self._queue.get_batch(batch_size, timeout=delay)
             if batch:
+                pump_started = perf_counter() if metrics_on else 0.0
                 # The engines expect timestamp order within a batch;
                 # network arrival is only roughly ordered.  Cross-batch
                 # disorder remains and takes the late-event path.
                 batch.sort(key=lambda event: (event.timestamp,
                                               event.event_id))
+                if self._event_store is not None:
+                    self._event_store.append_many(batch)
                 with self._scheduler_lock:
                     self._scheduler.process_events(batch)
+                if metrics_on:
+                    self._stage_timers.observe(
+                        "pump_batch", perf_counter() - pump_started)
             elif self._queue.closed and not len(self._queue):
                 return
 
@@ -387,6 +418,10 @@ class SAQLService:
                 self._scheduler.checkpoint_now()
                 checkpointed = True
             self._persist_manifest()
+        if self._event_store is not None:
+            # Seal so a restart replays segments, not a long journal.
+            self._event_store.seal_tail()
+            self._event_store.close()
         self._dispatcher.flush(timeout=self.config.drain_timeout)
         self._dispatcher.stop()
         self._dispatcher.ledger.sync()
@@ -409,12 +444,26 @@ class SAQLService:
 
     def health(self) -> Dict[str, Any]:
         """The cheap liveness answer."""
-        return {
+        payload = {
             "ok": self._state in ("serving", "draining"),
             "state": self._state,
             "uptime_seconds": (time.monotonic() - self._started_at
                                if self._started_at is not None else 0.0),
+            "dead_letter_depth": self._dispatcher.dead_letter_depth(),
         }
+        if self._event_store is not None:
+            store = self._event_store.stats()
+            payload["event_store"] = {
+                "total_events": store.total_events,
+                "sealed_segments": store.sealed_segments,
+            }
+        return payload
+
+    def metrics_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The shared registry's snapshot, or None when metrics are off."""
+        if not self.metrics.enabled:
+            return None
+        return self.metrics.snapshot()
 
     def stats(self) -> Dict[str, Any]:
         """The full health/stats payload (JSON-safe).
@@ -426,8 +475,12 @@ class SAQLService:
         """
         with self._scheduler_lock:
             scheduler_stats = asdict(self._scheduler.stats)
+            # Metric snapshots have their own exposition op; keep the
+            # stats payload lean.
+            scheduler_stats.pop("metrics_snapshot", None)
             quarantined = dict(self._scheduler.quarantined)
             error_rows = self._scheduler.error_reporter.per_query()
+            slow_queries = self._scheduler.slow_queries()
         tenants: Dict[str, Dict[str, Any]] = {}
         for entry in self._registry.entries():
             info = tenants.setdefault(entry.tenant,
@@ -450,6 +503,9 @@ class SAQLService:
             "queue": self._queue.metrics(),
             "sinks": self._dispatcher.metrics(),
             "scheduler": scheduler_stats,
+            "slow_queries": slow_queries,
+            "event_store": (asdict(self._event_store.stats())
+                            if self._event_store is not None else None),
             "quarantined": {name: detail.get("errors", 0)
                             for name, detail in quarantined.items()},
             "query_errors": error_rows,

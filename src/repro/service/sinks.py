@@ -36,12 +36,14 @@ import urllib.error
 import urllib.request
 from collections import deque
 from pathlib import Path
+from time import perf_counter
 from typing import (Any, Callable, Deque, Dict, Iterable, List, Optional,
                     Sequence, Set, Tuple, Union)
 
 from repro.core.engine.alerts import Alert, AlertSink
 from repro.core.retry import RetryPolicy
 from repro.core.snapshot.codecs import encode_alert
+from repro.obs import MetricRegistry
 
 
 def alert_key(alert: Alert) -> str:
@@ -252,12 +254,31 @@ class SinkDispatcher:
     def __init__(self, sinks: Sequence[AlertSink],
                  ledger: Optional[DeliveryLedger] = None,
                  retry: Optional[RetryPolicy] = None,
-                 dead_letter_path: Optional[Union[str, Path]] = None):
+                 dead_letter_path: Optional[Union[str, Path]] = None,
+                 metrics: Optional[MetricRegistry] = None):
         self._sinks = list(sinks)
         self._ledger = ledger if ledger is not None else DeliveryLedger()
         self._retry = retry or RetryPolicy()
         self._dead_letter_path = (Path(dead_letter_path)
                                   if dead_letter_path is not None else None)
+        self._metrics = (metrics if metrics is not None
+                         else MetricRegistry(enabled=False))
+        # End-to-end alert latency terminating at the sink acknowledgement
+        # (the scheduler records the companion ``point="emit"`` series).
+        self._metric_e2e_ack = self._metrics.histogram(
+            "saql_alert_e2e_seconds",
+            "End-to-end alert latency from event time to the named point.",
+            point="sink_ack")
+        self._sink_metric_cache: Dict[str, Tuple[Any, Any, Any]] = {}
+        # Dead-letter ledger depth survives restarts: the file persists,
+        # so seed the count from what previous runs left behind.
+        self._dead_letter_depth = 0
+        if (self._dead_letter_path is not None
+                and self._dead_letter_path.exists()):
+            with open(self._dead_letter_path, "r",
+                      encoding="utf-8") as handle:
+                self._dead_letter_depth = sum(
+                    1 for line in handle if line.strip())
         self._queue: Deque[Tuple[Alert, str, float]] = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -350,30 +371,62 @@ class SinkDispatcher:
                     if not self._queue:
                         self._idle.notify_all()
 
+    def _sink_metrics(self, sink_name: str) -> Tuple[Any, Any, Any]:
+        cached = self._sink_metric_cache.get(sink_name)
+        if cached is None:
+            cached = (
+                self._metrics.histogram(
+                    "saql_sink_delivery_seconds",
+                    "Per-attempt sink delivery latency (failures included).",
+                    sink=sink_name),
+                self._metrics.counter(
+                    "saql_sink_retries_total",
+                    "Delivery attempts retried after a sink failure.",
+                    sink=sink_name),
+                self._metrics.counter(
+                    "saql_sink_dead_letters_total",
+                    "Alerts dead-lettered after exhausting the retry budget.",
+                    sink=sink_name),
+            )
+            self._sink_metric_cache[sink_name] = cached
+        return cached
+
     def _deliver(self, alert: Alert, key: str) -> None:
+        metrics_on = self._metrics.enabled
         for sink in self._sinks:
             if self._ledger.delivered(sink.name, key):
                 with self._lock:
                     self._duplicates_skipped += 1
                 continue
+            delivery_seconds, retry_counter, _ = self._sink_metrics(
+                sink.name)
             # Deterministic per-alert jitter stream: the retry cadence of
             # a given alert reproduces across runs and restarts.
             delays = self._retry.delays(seed=int(key[:8], 16))
             last_error: Optional[Exception] = None
             for attempt in range(self._retry.max_attempts):
+                attempt_started = perf_counter() if metrics_on else 0.0
                 try:
                     sink.emit(alert)
+                    delivery_seconds.observe(
+                        perf_counter() - attempt_started)
                     self._ledger.record(sink.name, key)
                     with self._lock:
                         self._delivered += 1
                         self._last_delivery_wall = time.monotonic()
+                    if metrics_on:
+                        self._metric_e2e_ack.observe(
+                            max(0.0, time.time() - alert.timestamp))
                     last_error = None
                     break
                 except Exception as error:
+                    delivery_seconds.observe(
+                        perf_counter() - attempt_started)
                     last_error = error
                     delay = next(delays, None)
                     if delay is None:
                         break
+                    retry_counter.inc()
                     with self._lock:
                         self._retries += 1
                     time.sleep(delay)
@@ -384,6 +437,8 @@ class SinkDispatcher:
                      error: Exception) -> None:
         with self._lock:
             self._dead_lettered += 1
+            self._dead_letter_depth += 1
+        self._sink_metrics(sink.name)[2].inc()
         if self._dead_letter_path is None:
             return
         entry = {
@@ -397,12 +452,18 @@ class SinkDispatcher:
             handle.write(json.dumps(entry, allow_nan=False) + "\n")
             handle.flush()
 
+    def dead_letter_depth(self) -> int:
+        """Entries in the dead-letter ledger, prior runs included."""
+        with self._lock:
+            return self._dead_letter_depth
+
     def metrics(self) -> Dict[str, Any]:
         """Snapshot the delivery counters (JSON-safe).
 
         ``lag`` is the number of alerts accepted but not yet attempted —
         the health endpoint's "sink lag"; ``oldest_pending_seconds`` ages
-        the head of that backlog.
+        the head of that backlog.  ``dead_lettered`` counts this run;
+        ``dead_letter_depth`` is the persistent ledger's total.
         """
         with self._lock:
             now = time.monotonic()
@@ -414,6 +475,7 @@ class SinkDispatcher:
                 "duplicates_skipped": self._duplicates_skipped,
                 "retries": self._retries,
                 "dead_lettered": self._dead_lettered,
+                "dead_letter_depth": self._dead_letter_depth,
                 "lag": len(self._queue) + (1 if self._in_flight else 0),
                 "oldest_pending_seconds": oldest,
                 "ledger_entries": len(self._ledger),

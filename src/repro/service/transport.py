@@ -16,11 +16,14 @@ Ops::
     queries       {"tenant"?}                 -> {"queries": [...]}
     stats         {}                          -> {"stats": {...}}
     health        {}                          -> {"health": {...}}
+    metrics       {"format"?: "prometheus"|"json"}
+                                              -> {"body": text, "content_type": ...}
+                                                 | {"metrics": snapshot}
     drain         {"finish_stream"?}          -> {"draining": true}
     ping          {}                          -> {"pong": true}
 
-Robustness posture: every client runs in its own daemon thread with a
-receive timeout (a hung client holds one thread, never the service), a
+Robustness posture: every client runs in its own daemon thread with an
+idle poll (a hung client holds one thread, never the service), a
 mid-batch disconnect loses only the unacknowledged tail of that client's
 requests (ingestion is idempotent across reconnects thanks to the
 service's resume-cursor duplicate filter), and a malformed line gets an
@@ -32,12 +35,14 @@ as it does for SIGTERM — so a network client and a signal race cleanly.
 from __future__ import annotations
 
 import json
+import select
 import socket
 import socketserver
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import SAQLError
+from repro.obs import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.server import SAQLService, ServiceClosed, ServiceError
 from repro.service.tenants import QuotaExceeded, UnknownQuery
 
@@ -57,20 +62,27 @@ def _error(message: str) -> Dict[str, Any]:
 class _Handler(socketserver.StreamRequestHandler):
     """One connected client; requests handled strictly in order."""
 
-    #: StreamRequestHandler applies this to the connection in setup().
-    timeout = CLIENT_RECV_TIMEOUT
-
     def handle(self) -> None:
         service: SAQLService = self.server.service  # type: ignore[attr-defined]
         while True:
+            # Idleness is detected with select, not a recv timeout: a
+            # timeout mid-read leaves the buffered reader unusable (the
+            # next readline raises), which silently dropped any client
+            # idle for longer than the timeout.  select keeps the
+            # connection intact until data actually arrives, while the
+            # drain check below still lets a shutting-down service shed
+            # idle clients.
             try:
-                line = self.rfile.readline(MAX_LINE_BYTES + 1)
-            except socket.timeout:
-                # Idle client: keep the connection unless we're draining,
-                # in which case let the client reconnect after restart.
+                ready, _, _ = select.select([self.connection], [], [],
+                                            CLIENT_RECV_TIMEOUT)
+            except (OSError, ValueError):
+                return  # socket already closed under us
+            if not ready:
                 if service.state in ("draining", "stopped"):
                     return
                 continue
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
             except (ConnectionError, OSError):
                 return  # client went away mid-request; nothing to unwind
             if not line:
@@ -137,6 +149,18 @@ class _Handler(socketserver.StreamRequestHandler):
                 return {"ok": True, "stats": service.stats()}
             if op == "health":
                 return {"ok": True, "health": service.health()}
+            if op == "metrics":
+                fmt = request.get("format", "prometheus")
+                snapshot = service.metrics_snapshot()
+                if snapshot is None:
+                    return _error("metrics are disabled on this service")
+                if fmt == "prometheus":
+                    return {"ok": True,
+                            "content_type": PROMETHEUS_CONTENT_TYPE,
+                            "body": render_prometheus(snapshot)}
+                if fmt == "json":
+                    return {"ok": True, "metrics": snapshot}
+                return _error(f"unknown metrics format {fmt!r}")
             if op == "drain":
                 service.request_drain(
                     finish_stream=bool(request.get("finish_stream", False)))

@@ -60,11 +60,13 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
                     Set, Tuple, Union)
 
 from repro.events.event import Event
 from repro.events.serialization import event_from_json, event_to_json
+from repro.obs import MetricRegistry, StageTimers
 
 #: Default journal size (bytes) at which the tail seals into a segment.
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
@@ -525,7 +527,8 @@ class SegmentStore:
     def __init__(self, directory: Optional[Union[str, Path]] = None,
                  segment_bytes: int = DEFAULT_SEGMENT_BYTES,
                  segment_events: int = DEFAULT_SEGMENT_EVENTS,
-                 time_index_stride: int = DEFAULT_TIME_INDEX_STRIDE):
+                 time_index_stride: int = DEFAULT_TIME_INDEX_STRIDE,
+                 metrics: Optional[MetricRegistry] = None):
         if segment_bytes < 1:
             raise ValueError("segment_bytes must be positive")
         if segment_events < 1:
@@ -551,6 +554,11 @@ class SegmentStore:
         # Counters behind stats() (rows_read et al. accumulate across
         # segment instances, so compaction does not reset them).
         self._counters = StoreStats()
+        # Stage timings (seal/compact/scan) land in the shared registry
+        # as ``saql_stage_seconds{stage=store_*}`` when one is attached.
+        self._timers = (StageTimers(metrics)
+                        if metrics is not None and metrics.enabled
+                        else None)
         if self.directory is not None:
             self._open_directory()
 
@@ -786,6 +794,7 @@ class SegmentStore:
         """Seal the journal tail into an immutable sorted segment."""
         if not self._tail:
             return None
+        seal_started = perf_counter() if self._timers is not None else 0.0
         events = self._tail
         sequence = self._next_sequence
         self._next_sequence += 1
@@ -812,6 +821,9 @@ class SegmentStore:
         self._tail_host_counts = {}
         self._tail_type_counts = {}
         self._counters.seals += 1
+        if self._timers is not None:
+            self._timers.observe("store_seal",
+                                 perf_counter() - seal_started)
         return segment
 
     def _note_footer_resident(self, segment: DiskSegment) -> None:
@@ -834,10 +846,15 @@ class SegmentStore:
         with it every query's pruning pass — bounded.  Returns the
         number of merges performed.
         """
+        compact_started = (perf_counter() if self._timers is not None
+                           else 0.0)
         merges = 0
         while True:
             group = self._next_compaction_group()
             if group is None:
+                if self._timers is not None:
+                    self._timers.observe("store_compact",
+                                         perf_counter() - compact_started)
                 return merges
             start, length = group
             self._merge_segments(start, length)
@@ -1017,8 +1034,29 @@ class SegmentStore:
                                     event_types))
 
     def scan(self) -> Iterator[Event]:
-        """Iterate every stored event in global order."""
-        return self.iter_query()
+        """Iterate every stored event in global order.
+
+        With metrics attached the total time spent *producing* events
+        (not the consumer's work between pulls) is observed as one
+        ``store_scan`` stage sample when the iterator is exhausted.
+        """
+        iterator = self.iter_query()
+        if self._timers is None:
+            return iterator
+        return self._timed_scan(iterator)
+
+    def _timed_scan(self, iterator: Iterator[Event]) -> Iterator[Event]:
+        elapsed = 0.0
+        while True:
+            pull_started = perf_counter()
+            try:
+                event = next(iterator)
+            except StopIteration:
+                elapsed += perf_counter() - pull_started
+                break
+            elapsed += perf_counter() - pull_started
+            yield event
+        self._timers.observe("store_scan", elapsed)
 
     def stats(self) -> StoreStats:
         """Return a snapshot of the store's observability counters."""

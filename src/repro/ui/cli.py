@@ -34,6 +34,7 @@ from repro.core.parallel import (DEFAULT_REBALANCE_RATIO,
 from repro.core.snapshot import resume_events
 from repro.events.stream import iter_batches
 from repro.core.retry import BackoffPolicy, RetryPolicy
+from repro.obs import MetricRegistry, render_json
 from repro.queries import DEMO_QUERIES, demo_query_names
 from repro.service import (FileSink, SAQLService, ServiceConfig,
                            ServiceTransport, TenantQuota, WebhookSink)
@@ -166,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 "webhook sinks)")
     serve_cmd.add_argument("--max-queries-per-tenant", type=int, default=16,
                            help="default tenant quota")
+    serve_cmd.add_argument("--no-metrics", action="store_true",
+                           help="disable metrics collection (the "
+                                "'metrics' op reports an error)")
+    serve_cmd.add_argument("--metrics-json", default=None, metavar="PATH",
+                           help="write the final metrics snapshot to "
+                                "PATH as JSON after the drain completes")
+    serve_cmd.add_argument("--journal-events", action="store_true",
+                           help="journal ingested events into a segment "
+                                "store under STATE_DIR/events and expose "
+                                "its stats in the 'stats' op")
     serve_cmd.add_argument("--finish-on-drain", action="store_true",
                            help="treat a drain as end-of-stream: flush "
                                 "open windows before stopping (default "
@@ -256,6 +267,14 @@ def _add_execution_options(command: argparse.ArgumentParser) -> None:
                               "and keys shard=, after=, duration=, "
                               "query= — e.g. 'kill:shard=1,after=5000' "
                               "or 'query-error:query=exfil'")
+    command.add_argument("--metrics-json", default=None, metavar="PATH",
+                         help="write the run's merged metrics snapshot "
+                              "(counters, stage-latency histograms, "
+                              "per-query timings) to PATH as JSON when "
+                              "the run ends")
+    command.add_argument("--no-metrics", action="store_true",
+                         help="disable metrics collection (drops the "
+                              "per-batch timing instrumentation)")
 
 
 def _checkpoint_store(args: argparse.Namespace):
@@ -302,6 +321,7 @@ def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
     quarantine = getattr(args, "quarantine_errors", None)
     plan = _fault_plan(args)
     supervision = _supervision_policy(args)
+    metrics_on = not getattr(args, "no_metrics", False)
     if args.shards > 1:
         rebalance = args.rebalance_interval
         return ShardedScheduler(shards=args.shards,
@@ -317,12 +337,15 @@ def _make_scheduler(args: argparse.Namespace, sink: CallbackSink):
                                 columnar=columnar,
                                 supervision=supervision,
                                 quarantine_errors=quarantine,
-                                fault_plan=plan)
+                                fault_plan=plan,
+                                metrics=metrics_on)
     return ConcurrentQueryScheduler(sink=sink,
                                     checkpoint_store=store,
                                     checkpoint_interval=interval,
                                     columnar=columnar,
-                                    quarantine_errors=quarantine)
+                                    quarantine_errors=quarantine,
+                                    metrics=MetricRegistry(
+                                        enabled=metrics_on))
 
 
 def _arm_faults(args: argparse.Namespace, scheduler) -> None:
@@ -339,6 +362,25 @@ def _arm_faults(args: argparse.Namespace, scheduler) -> None:
         plan.install(scheduler, position=0)
     except ValueError as error:
         raise SystemExit(f"--inject-fault: {error}")
+
+
+def _write_metrics_json(args: argparse.Namespace, scheduler) -> None:
+    """Dump the run's metrics snapshot to ``--metrics-json`` (if set).
+
+    Works for both scheduler flavors: the single-process scheduler
+    snapshots its live registry, the sharded scheduler returns the
+    merged cross-shard view collected at finish.
+    """
+    path = getattr(args, "metrics_json", None)
+    if not path:
+        return
+    snapshot = scheduler.metrics_snapshot()
+    if snapshot is None:
+        print("warning: metrics are disabled; "
+              f"{path} not written", file=sys.stderr)
+        return
+    Path(path).write_text(render_json(snapshot) + "\n", encoding="utf-8")
+    print(f"metrics written to {path}")
 
 
 def _print_alert(alert: Alert) -> None:
@@ -425,6 +467,7 @@ def command_demo(args: argparse.Namespace) -> int:
     _print_rebalance_summary(scheduler)
     _print_supervision_summary(scheduler)
     _print_error_records(scheduler)
+    _write_metrics_json(args, scheduler)
 
     if args.save_events:
         target = Path(args.save_events)
@@ -543,6 +586,7 @@ def _run_body(args: argparse.Namespace,
                 print(f"interrupted by {interrupted.name} after "
                       f"{replayer.events_replayed} events (no "
                       "--checkpoint-dir: nothing to resume from)")
+            _write_metrics_json(args, scheduler)
             return 0
         summary = (f"{len(alerts)} alerts (this run; checkpointed alerts "
                    "were not re-emitted)" if cursor is not None
@@ -551,6 +595,7 @@ def _run_body(args: argparse.Namespace,
     _print_rebalance_summary(scheduler)
     _print_supervision_summary(scheduler)
     _print_error_records(scheduler)
+    _write_metrics_json(args, scheduler)
     return 0
 
 
@@ -639,6 +684,8 @@ def _build_service(args: argparse.Namespace) -> SAQLService:
                           backoff=BackoffPolicy(initial=0.05, maximum=2.0,
                                                 factor=2.0, jitter=0.25)),
         default_quota=TenantQuota(max_queries=args.max_queries_per_tenant),
+        metrics=not args.no_metrics,
+        journal_events=args.journal_events,
     )
     return SAQLService(state_dir=args.state_dir, sinks=sinks, config=config)
 
@@ -694,6 +741,15 @@ def command_serve(args: argparse.Namespace) -> int:
           f"{report.delivered} alerts delivered, "
           f"{report.dead_lettered} dead-lettered, "
           f"checkpoint {'written' if report.checkpointed else 'skipped'}")
+    if args.metrics_json:
+        snapshot = service.metrics_snapshot()
+        if snapshot is None:
+            print("warning: metrics are disabled; "
+                  f"{args.metrics_json} not written", file=sys.stderr)
+        else:
+            Path(args.metrics_json).write_text(render_json(snapshot) + "\n",
+                                               encoding="utf-8")
+            print(f"metrics written to {args.metrics_json}")
     if args.state_dir and not report.finished_stream:
         print(f"resume with: saql serve --resume --state-dir "
               f"{args.state_dir}")

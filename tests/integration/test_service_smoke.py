@@ -25,6 +25,7 @@ from repro.core.snapshot.codecs import encode_alert
 from repro.events.entities import NetworkEntity, ProcessEntity
 from repro.events.event import Event, Operation
 from repro.events.serialization import event_to_dict
+from repro.obs import parse_prometheus
 from repro.service import ServiceClient, read_alert_file
 
 SUM_QUERY = """
@@ -101,6 +102,31 @@ def settle(client, ingested, timeout=15.0):
     raise AssertionError("service did not settle in time")
 
 
+def scrape_metrics_midrun(client):
+    """Hit the ``metrics`` op while the service is live and assert the
+    key series the dashboards depend on are present and non-zero."""
+    response = client.check("metrics")
+    assert response["content_type"].startswith("text/plain")
+    parsed = parse_prometheus(response["body"])
+    assert parsed["types"]["saql_stage_seconds"] == "histogram"
+    stages = {labels["stage"] for labels, _ in
+              parsed["samples"]["saql_stage_seconds_count"]}
+    # batch-size 8 sits below the columnar threshold, so these runs take
+    # the closure path: no columnar_pivot/predicate_eval stages here.
+    assert {"pattern_match", "pump_batch", "window_close",
+            "checkpoint_write"} <= stages
+    # End-to-end alert latency: both milestones observed by now (alerts
+    # have been emitted and acked by the file sink).
+    e2e = {labels["point"]: value for labels, value in
+           parsed["samples"]["saql_alert_e2e_seconds_count"]}
+    assert e2e["emit"] > 0
+    assert e2e["sink_ack"] > 0
+    events = {(): 0}
+    for labels, value in parsed["samples"]["saql_events_total"]:
+        events[tuple(sorted(labels.items()))] = value
+    assert events[()] > 0
+
+
 def finish(proc, timeout=30.0):
     """Collect remaining output and the exit code."""
     try:
@@ -150,6 +176,7 @@ class TestServeSmoke:
                 # The restored checkpoint carries the first run's stats,
                 # so the counter continues from CUTOVER.
                 settle(client, STREAM_LEN)
+                scrape_metrics_midrun(client)
                 client.check("drain", finish_stream=True)
             code, output = finish(second)
         finally:

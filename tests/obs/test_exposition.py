@@ -1,0 +1,73 @@
+"""Exposition conformance: Prometheus text rendering and JSON round-trips.
+
+The parser here is the same one the CI smoke scrape uses, so these tests
+pin down the renderer/parser contract: cumulative ``le`` buckets, label
+escaping, ``+Inf`` formatting, and a byte-identical JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (MetricRegistry, parse_json, parse_prometheus,
+                       render_json, render_prometheus)
+
+
+def _sample_registry() -> MetricRegistry:
+    registry = MetricRegistry()
+    registry.counter("saql_events_total", "Events processed.").inc(7)
+    registry.gauge("saql_watermark_lag_seconds", "Lag.",
+                   merge="max", shard="0").set(1.5)
+    histogram = registry.histogram("saql_batch_seconds", "Batch latency.",
+                                   bounds=(0.5, 1.0, 2.0))
+    for value in (0.25, 0.75, 3.0):
+        histogram.observe(value)
+    return registry
+
+
+def test_prometheus_text_parses_and_expands_histograms():
+    text = render_prometheus(_sample_registry().snapshot())
+    parsed = parse_prometheus(text)
+    assert parsed["types"]["saql_batch_seconds"] == "histogram"
+    assert parsed["types"]["saql_events_total"] == "counter"
+    buckets = dict((labels["le"], value) for labels, value
+                   in parsed["samples"]["saql_batch_seconds_bucket"])
+    # Cumulative counts, terminated by the +Inf catch-all.
+    assert buckets == {"0.5": 1, "1": 2, "2": 2, "+Inf": 3}
+    ((_, count),) = parsed["samples"]["saql_batch_seconds_count"]
+    assert count == 3
+    ((labels, value),) = parsed["samples"]["saql_watermark_lag_seconds"]
+    assert labels == {"shard": "0"} and value == 1.5
+
+
+def test_label_values_are_escaped_round_trip():
+    registry = MetricRegistry()
+    nasty = 'quo"te\\back\nline'
+    registry.counter("saql_alerts_total", query=nasty).inc()
+    parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+    ((labels, value),) = parsed["samples"]["saql_alerts_total"]
+    assert labels["query"] == nasty
+    assert value == 1
+
+
+def test_malformed_text_is_rejected():
+    with pytest.raises(ValueError):
+        parse_prometheus("saql_events_total{oops 3\n")
+    with pytest.raises(ValueError):
+        parse_prometheus("saql_events_total not-a-number\n")
+
+
+def test_invalid_metric_name_is_rejected_at_render_time():
+    snapshot = {"families": {"bad name": {
+        "type": "counter", "help": "", "merge": "last", "bounds": None,
+        "series": [{"labels": {}, "value": 1.0}]}}}
+    with pytest.raises(ValueError, match="invalid metric name"):
+        render_prometheus(snapshot)
+
+
+def test_json_round_trip_is_exact():
+    snapshot = _sample_registry().snapshot()
+    assert parse_json(render_json(snapshot)) == snapshot
+    # Rendering is deterministic (sorted keys) — stable across calls.
+    assert render_json(snapshot) == render_json(parse_json(
+        render_json(snapshot)))

@@ -1,0 +1,155 @@
+"""Core semantics of the `repro.obs` metrics primitives.
+
+The load-bearing property is deterministic merging: a registry that
+merges N partition snapshots must equal — bucket for bucket — a single
+registry that observed every value itself.  That is what lets the
+sharded runtime present one coherent view assembled from per-lane
+snapshots, and it is checked here both with hand-picked values and as a
+hypothesis property over arbitrary partitions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (DEFAULT_BUCKETS, Histogram, MetricRegistry,
+                       merge_snapshots)
+
+
+def test_counter_increments_and_snapshots():
+    registry = MetricRegistry()
+    counter = registry.counter("events_total", "events")
+    counter.inc()
+    counter.inc(4)
+    snap = registry.snapshot()
+    (series,) = snap["families"]["events_total"]["series"]
+    assert series["value"] == 5.0
+    assert snap["families"]["events_total"]["type"] == "counter"
+
+
+def test_labeled_children_are_cached_and_independent():
+    registry = MetricRegistry()
+    a = registry.counter("alerts_total", query="a")
+    b = registry.counter("alerts_total", query="b")
+    assert a is registry.counter("alerts_total", query="a")
+    assert a is not b
+    a.inc(2)
+    b.inc(3)
+    by_label = {series["labels"]["query"]: series["value"]
+                for series in registry.snapshot()
+                ["families"]["alerts_total"]["series"]}
+    assert by_label == {"a": 2.0, "b": 3.0}
+
+
+def test_type_conflict_is_an_error():
+    registry = MetricRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x")
+
+
+def test_histogram_le_semantics_and_overflow():
+    histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+        histogram.observe(value)
+    # Prometheus `le` buckets: a value equal to a bound lands in it.
+    assert histogram.buckets == [2, 1, 1, 1]
+    assert histogram.count == 5
+    assert histogram.min == 0.5 and histogram.max == 100.0
+    assert histogram.sum == pytest.approx(107.0)
+
+
+def test_percentile_is_an_upper_bound_and_overflow_reports_max():
+    histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.6, 0.7, 1.5):
+        histogram.observe(value)
+    assert histogram.percentile(0.5) == 1.0
+    assert histogram.percentile(1.0) == 2.0
+    histogram.observe(50.0)  # overflow bucket
+    assert histogram.percentile(1.0) == 50.0
+    assert Histogram().percentile(0.99) == 0.0  # empty
+
+
+def test_gauge_merge_modes():
+    last = merge_snapshots([_gauge_snap(3.0, "last"),
+                            _gauge_snap(1.0, "last")])
+    assert _gauge_value(last) == 1.0
+    peak = merge_snapshots([_gauge_snap(3.0, "max"),
+                            _gauge_snap(1.0, "max")])
+    assert _gauge_value(peak) == 3.0
+
+
+def _gauge_snap(value, merge):
+    registry = MetricRegistry()
+    registry.gauge("g", merge=merge).set(value)
+    return registry.snapshot()
+
+
+def _gauge_value(snapshot):
+    return snapshot["families"]["g"]["series"][0]["value"]
+
+
+def test_disabled_registry_is_noop_and_snapshotless():
+    registry = MetricRegistry(enabled=False)
+    counter = registry.counter("events_total")
+    counter.inc(10)
+    registry.histogram("h").observe(1.0)
+    registry.gauge("g").set(5.0)
+    assert registry.snapshot() == {"families": {}}
+    # All accessors share the one no-op singleton.
+    assert registry.counter("other") is counter
+
+
+def test_mismatched_histogram_bounds_refuse_to_merge():
+    left = MetricRegistry()
+    left.histogram("h", bounds=(1.0, 2.0)).observe(1.0)
+    right = MetricRegistry()
+    right.histogram("h", bounds=(1.0, 4.0)).observe(1.0)
+    with pytest.raises(ValueError, match="not mergeable"):
+        merge_snapshots([left.snapshot(), right.snapshot()])
+
+
+def test_default_buckets_are_sorted_log_scale():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    ratios = {DEFAULT_BUCKETS[i + 1] / DEFAULT_BUCKETS[i]
+              for i in range(len(DEFAULT_BUCKETS) - 1)}
+    assert ratios == {2.0}
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       max_size=80),
+       lanes=st.integers(min_value=1, max_value=5),
+       assignment=st.randoms(use_true_random=False))
+def test_merged_partitions_equal_single_registry(values, lanes, assignment):
+    """Any partition of the observations across N lanes merges back to
+    exactly the single-registry result — buckets, count, sum, min, max,
+    and the companion counter."""
+    single = MetricRegistry()
+    partitions = [MetricRegistry() for _ in range(lanes)]
+    for value in values:
+        single.histogram("latency").observe(value)
+        single.counter("events").inc()
+        lane = partitions[assignment.randrange(lanes)]
+        lane.histogram("latency").observe(value)
+        lane.counter("events").inc()
+    merged = merge_snapshots(p.snapshot() for p in partitions)
+    expected = single.snapshot()
+    if not values:
+        assert merged == expected == {"families": {}}
+        return
+    merged_hist = merged["families"]["latency"]["series"][0]
+    expected_hist = expected["families"]["latency"]["series"][0]
+    assert merged_hist["buckets"] == expected_hist["buckets"]
+    assert merged_hist["count"] == expected_hist["count"]
+    assert merged_hist["min"] == expected_hist["min"]
+    assert merged_hist["max"] == expected_hist["max"]
+    assert math.isclose(merged_hist["sum"], expected_hist["sum"],
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert (merged["families"]["events"]["series"][0]["value"]
+            == expected["families"]["events"]["series"][0]["value"])

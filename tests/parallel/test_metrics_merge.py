@@ -1,0 +1,148 @@
+"""Cross-backend metrics merging: shards' registries → one coherent view.
+
+Wall-clock timing histograms can never match across backends, so parity
+is asserted on the *deterministic* families — event/batch/alert counters
+and the alert window-span histogram (event-time, not wall-time) — which
+must be bucket-for-bucket identical across serial, thread and process
+backends and equal to a single-process run over the same stream.  The
+timing families are asserted structurally (present, counts consistent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConcurrentQueryScheduler
+from repro.core.parallel import ShardedScheduler
+from repro.events.entities import NetworkEntity, ProcessEntity
+from repro.events.event import Event, Operation
+from repro.events.stream import ListStream
+
+PER_HOST = ('proc p send ip i as evt #time(10)\n'
+            'state ss { t := sum(evt.amount) } group by evt.agentid\n'
+            'alert ss.t > 200\nreturn ss.t')
+
+#: Stream-deterministic families: identical across backends and vs a
+#: single-process run.  (Batch counts are execution-shape-dependent —
+#: each lane batches its own sub-stream — so they are not in this set.)
+DETERMINISTIC = ("saql_events_total", "saql_alerts_total",
+                 "saql_alert_window_span_seconds")
+
+
+def _event(host, timestamp, event_id):
+    return Event(
+        subject=ProcessEntity.make("x.exe", pid=1, host=host),
+        operation=Operation.SEND,
+        obj=NetworkEntity.make("10.0.1.2", "10.0.0.9", dstport=443),
+        timestamp=timestamp, agentid=host, amount=60.0,
+        event_id=event_id)
+
+
+def _events(count=600, hosts=4):
+    return [_event(f"host-{index % hosts:02d}", index * 0.1, index + 1)
+            for index in range(count)]
+
+
+def _family(snapshot, name):
+    family = snapshot["families"].get(name, {"series": []})
+    keyed = {}
+    for entry in family["series"]:
+        key = tuple(sorted(entry["labels"].items()))
+        if "buckets" in entry:
+            keyed[key] = (tuple(entry["buckets"]), entry["count"],
+                          entry["min"], entry["max"])
+        else:
+            keyed[key] = entry["value"]
+    return keyed
+
+
+def _run_sharded(backend, shards=2):
+    scheduler = ShardedScheduler(shards=shards, backend=backend,
+                                 batch_size=64)
+    scheduler.add_query(PER_HOST, name="sum")
+    alerts = scheduler.execute(ListStream(_events(), presorted=True))
+    return scheduler, alerts
+
+
+@pytest.fixture(scope="module")
+def single_reference():
+    scheduler = ConcurrentQueryScheduler()
+    scheduler.add_query(PER_HOST, name="sum")
+    alerts = scheduler.process_events(_events())
+    alerts += scheduler.finish()
+    return scheduler.metrics_snapshot(), alerts
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_merged_deterministic_families_match_single_process(
+        backend, single_reference):
+    reference, reference_alerts = single_reference
+    scheduler, alerts = _run_sharded(backend)
+    assert len(alerts) == len(reference_alerts) > 0
+    merged = scheduler.metrics_snapshot()
+    assert merged is not None
+    for name in DETERMINISTIC:
+        assert _family(merged, name) == _family(reference, name), name
+
+
+def test_merged_view_spans_multiple_shards():
+    """The alert series is non-zero and assembled from >= 2 shards."""
+    scheduler, _ = _run_sharded("serial")
+    merged = scheduler.metrics_snapshot()
+    lags = _family(merged, "saql_watermark_lag_seconds")
+    shards = {dict(key)["shard"] for key in lags}
+    assert len(shards) >= 2
+    alerts = _family(merged, "saql_alerts_total")
+    assert sum(alerts.values()) > 0
+    # Per-shard contributions really summed: each shard saw events, and
+    # the merged events counter equals the full stream.
+    events = _family(merged, "saql_events_total")
+    assert events[()] == len(_events())
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+def test_timing_families_are_present_and_consistent(backend):
+    scheduler, _ = _run_sharded(backend)
+    merged = scheduler.metrics_snapshot()
+    batch = _family(merged, "saql_batch_seconds")[()]
+    batches = _family(merged, "saql_batches_total")[()]
+    assert batch[1] == batches  # one observation per processed batch
+    stages = {dict(key)["stage"]
+              for key in _family(merged, "saql_stage_seconds")}
+    assert {"columnar_pivot", "predicate_eval", "pattern_match"} <= stages
+
+
+def test_live_metrics_control_op_mid_run():
+    """The ("metrics", seq) control round returns per-lane snapshots at
+    a batch boundary, before finish() — the live-scrape path."""
+    from repro.core.parallel.sharded import SerialShard, shard_index
+    from repro.obs import merge_snapshots
+
+    lanes = [SerialShard([("sum", PER_HOST)], enable_sharing=True,
+                         index=position) for position in range(2)]
+    batches = [[], []]
+    for event in _events()[:300]:
+        batches[shard_index(event.agentid, 2)].append(event)
+    snapshots = []
+    for lane, batch in zip(lanes, batches):
+        lane.feed(batch)
+        lane.request_control(("metrics", 7))
+        ((kind, seq, snapshot),) = lane.poll_control()
+        assert (kind, seq) == ("metrics", 7)
+        snapshots.append(snapshot)
+    live = merge_snapshots(snapshots)
+    assert live["families"]["saql_events_total"]["series"][0]["value"] \
+        == 300
+    # Both lanes contributed their own watermark series.
+    shards = {entry["labels"]["shard"] for entry in
+              live["families"]["saql_watermark_lag_seconds"]["series"]}
+    assert shards == {"0", "1"}
+
+
+def test_metrics_disabled_sharded_run_reports_none():
+    scheduler = ShardedScheduler(shards=2, backend="serial",
+                                 batch_size=64, metrics=False)
+    scheduler.add_query(PER_HOST, name="sum")
+    alerts = scheduler.execute(ListStream(_events(200), presorted=True))
+    assert alerts  # behavior unchanged, only observation disabled
+    assert scheduler.metrics_snapshot() is None

@@ -1,0 +1,205 @@
+"""Service observability: the shared registry, exposition op, slow-query
+log, dead-letter depth and the optional event journal.
+
+One registry spans the whole service (scheduler stages, queue waits,
+sink delivery, pump batches), so these tests drive a real service and
+assert on the merged view the ``metrics`` transport op exposes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.retry import BackoffPolicy, RetryPolicy
+from repro.obs import MetricRegistry, parse_prometheus
+from repro.service import (SAQLService, ServiceClient, ServiceConfig,
+                           ServiceTransport, SinkDispatcher, WebhookSink)
+from repro.service.queue import IngestionQueue
+from repro.testing import FlakySinkTransport
+
+from service_helpers import SUM_QUERY, make_stream
+
+from repro.core.engine.alerts import Alert
+
+
+def _make_alert(index: int, query: str = "q") -> Alert:
+    return Alert(query_name=query, timestamp=float(index),
+                 data=(("value", index),), group_key=f"g{index % 2}",
+                 window_start=float(index), window_end=float(index + 10),
+                 agentid="h1")
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3,
+                         backoff=BackoffPolicy(initial=0.001, maximum=0.002,
+                                               jitter=0.0))
+
+
+def _drained_service(events, config=None, sinks=(), state_dir=None):
+    service = SAQLService(state_dir=state_dir, sinks=list(sinks),
+                          config=config or ServiceConfig())
+    service.start()
+    for host in {event.agentid for event in events}:
+        service.register_query("t", f"sum-{host}", SUM_QUERY)
+    for event in events:
+        service.submit_event(event)
+    return service
+
+
+class TestServiceRegistry:
+    def test_drain_produces_both_e2e_points(self, tmp_path):
+        received = []
+        from repro.service import CallbackDeliverySink
+        service = _drained_service(
+            make_stream(80), sinks=[CallbackDeliverySink(received.append)])
+        service.drain(finish_stream=True)
+        snapshot = service.metrics_snapshot()
+        assert received  # alerts actually flowed through delivery
+        e2e = {entry["labels"]["point"]: entry["count"]
+               for entry in snapshot["families"]
+               ["saql_alert_e2e_seconds"]["series"]}
+        assert e2e["emit"] > 0
+        assert e2e["sink_ack"] > 0
+        stages = {entry["labels"]["stage"] for entry in
+                  snapshot["families"]["saql_stage_seconds"]["series"]}
+        assert "pump_batch" in stages
+
+    def test_disabled_metrics_snapshot_is_none(self):
+        service = _drained_service(
+            make_stream(20), config=ServiceConfig(metrics=False))
+        service.drain(finish_stream=True)
+        assert service.metrics_snapshot() is None
+
+    def test_sink_retry_and_dead_letter_counters(self, tmp_path):
+        transport = FlakySinkTransport(fail_first=10)  # > retry budget
+        registry = MetricRegistry()
+        dispatcher = SinkDispatcher(
+            [WebhookSink("http://example.test/hook", transport=transport)],
+            retry=FAST_RETRY, dead_letter_path=tmp_path / "dead.jsonl",
+            metrics=registry)
+        dispatcher.start()
+        dispatcher.submit(_make_alert(1))
+        assert dispatcher.flush(timeout=5.0)
+        dispatcher.stop()
+        families = registry.snapshot()["families"]
+        (retries,) = families["saql_sink_retries_total"]["series"]
+        assert retries["value"] == 2  # attempts 2 and 3 were retries
+        (dead,) = families["saql_sink_dead_letters_total"]["series"]
+        assert dead["value"] == 1
+        (delivery,) = families["saql_sink_delivery_seconds"]["series"]
+        assert delivery["count"] == 3  # every attempt observed
+        assert dispatcher.dead_letter_depth() == 1
+
+    def test_dead_letter_depth_survives_restart(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        path.write_text('{"sink": "s", "key": "k", "error": "x", '
+                        '"alert": {}}\n', encoding="utf-8")
+        dispatcher = SinkDispatcher([], dead_letter_path=path)
+        assert dispatcher.dead_letter_depth() == 1
+
+    def test_queue_admission_wait_observed_when_blocked(self):
+        registry = MetricRegistry()
+        queue = IngestionQueue(capacity=1, policy="block",
+                               block_timeout=0.01, metrics=registry)
+        queue.put("a")
+        assert queue.put("b") is False  # sheds after the bounded wait
+        (series,) = registry.snapshot()["families"][
+            "saql_queue_admission_wait_seconds"]["series"]
+        assert series["count"] == 1
+        assert series["sum"] >= 0.01
+
+
+class TestStatsSurface:
+    def test_stats_exposes_slow_queries_and_dead_letters(self):
+        config = ServiceConfig(journal_events=True)
+        service = _drained_service(make_stream(60), config=config)
+        stats = service.stats()
+        assert stats["slow_queries"] == []  # nothing slow at this scale
+        assert stats["sinks"]["dead_letter_depth"] == 0
+        assert "metrics_snapshot" not in stats["scheduler"]
+        service.drain(finish_stream=True)
+
+    def test_event_journal_surfaces_store_stats(self, tmp_path):
+        config = ServiceConfig(journal_events=True)
+        service = _drained_service(make_stream(60), config=config,
+                                   state_dir=tmp_path / "state")
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            stats = service.stats()
+            if stats["event_store"]["total_events"] == 60:
+                break
+            time.sleep(0.02)
+        assert stats["event_store"]["total_events"] == 60
+        assert stats["health"]["event_store"]["total_events"] == 60
+        service.drain(finish_stream=True)
+        # Drain seals the journal tail into a segment.
+        final = service._event_store.stats()
+        assert final.sealed_segments >= 1
+        assert (tmp_path / "state" / "events").is_dir()
+
+    def test_slow_query_log_records_over_threshold_batches(self):
+        from repro.core import ConcurrentQueryScheduler
+        scheduler = ConcurrentQueryScheduler(slow_query_threshold=1e-12)
+        scheduler.add_query(SUM_QUERY, name="sum")
+        scheduler.process_events(make_stream(40))
+        scheduler.finish()
+        entries = scheduler.slow_queries()
+        assert entries, "a near-zero threshold flags every batch"
+        entry = entries[-1]
+        assert entry["query"] == "sum"
+        assert entry["seconds"] >= 0.0
+        assert entry["p99_seconds"] >= entry["seconds"] * 0  # present
+        assert set(entry) == {"query", "seconds", "events", "p99_seconds"}
+
+
+class TestMetricsTransportOp:
+    def test_prometheus_and_json_formats(self):
+        service = _drained_service(make_stream(40))
+        transport = ServiceTransport(service).start()
+        host, port = transport.address
+        try:
+            with ServiceClient(host, port) as client:
+                response = client.check("metrics")
+                assert response["content_type"].startswith("text/plain")
+                parsed = parse_prometheus(response["body"])
+                assert parsed["types"]["saql_events_total"] == "counter"
+                assert (parsed["types"]["saql_stage_seconds"]
+                        == "histogram")
+                as_json = client.check("metrics", format="json")
+                assert "saql_events_total" in \
+                    as_json["metrics"]["families"]
+                bad = client.request("metrics", format="xml")
+                assert not bad["ok"]
+        finally:
+            transport.shutdown()
+            service.drain()
+
+    def test_metrics_op_errors_when_disabled(self):
+        service = _drained_service(
+            make_stream(5), config=ServiceConfig(metrics=False))
+        transport = ServiceTransport(service).start()
+        host, port = transport.address
+        try:
+            with ServiceClient(host, port) as client:
+                response = client.request("metrics")
+                assert not response["ok"]
+                assert "disabled" in response["error"]
+        finally:
+            transport.shutdown()
+            service.drain()
+
+    def test_idle_connection_survives_past_recv_timeout(self):
+        """Regression: a >1s idle client used to be dropped because the
+        buffered reader broke after a recv timeout."""
+        service = _drained_service(make_stream(5))
+        transport = ServiceTransport(service).start()
+        host, port = transport.address
+        try:
+            with ServiceClient(host, port) as client:
+                assert client.check("ping")["pong"]
+                time.sleep(1.3)
+                assert client.check("ping")["pong"]
+        finally:
+            transport.shutdown()
+            service.drain()

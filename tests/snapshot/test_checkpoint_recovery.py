@@ -382,9 +382,9 @@ def test_process_backend_worker_sigkill_then_restore(tmp_path):
 
     runner = threading.Thread(target=run)
     runner.start()
-    deadline = time.time() + 30.0
+    deadline = time.monotonic() + 30.0
     victim = None
-    while time.time() < deadline and victim is None:
+    while time.monotonic() < deadline and victim is None:
         children = multiprocessing.active_children()
         if children and len(store) > 0:
             victim = children[0]
